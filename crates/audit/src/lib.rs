@@ -1,0 +1,23 @@
+//! # langcrux-audit
+//!
+//! An Axe-core/Lighthouse-style accessibility audit engine covering the
+//! twelve language-sensitive audits of the paper's Table 1.
+//!
+//! The engine's pass/fail semantics reproduce the behaviour the paper
+//! *measured* from Lighthouse with isolated test pages (Appendix D,
+//! Table 3) — including its quirks (`alt=""` passes `image-alt`; `label`,
+//! `summary-name` and `svg-img-alt` never fail; a missing `<title>`
+//! passes `document-title`) — because Kizuki's contribution is defined
+//! relative to exactly these semantics.
+//!
+//! * [`rules`] — per-element rule logic and Axe impact weights.
+//! * [`report`] — page-level audits and the weighted 0–100 score.
+//! * [`matrix`] — the Appendix D isolated-probe experiment (Table 3).
+
+pub mod matrix;
+pub mod report;
+pub mod rules;
+
+pub use matrix::{lighthouse_matrix, probe_page, Condition, MatrixRow};
+pub use report::{audit_page, AuditOutcome, AuditReport, OTHER_AUDITS_WEIGHT};
+pub use rules::{element_passes, weight};

@@ -1,0 +1,80 @@
+//! Artefact benches: one per table/figure of the paper, measuring the cost
+//! of regenerating each analysis from a prepared dataset, plus the
+//! end-to-end pipeline itself.
+//!
+//! Run with `cargo bench -p langcrux-bench --bench artifacts`.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use langcrux_audit::lighthouse_matrix;
+use langcrux_bench::{build_corpus, Scale};
+use langcrux_core::{analysis, build_dataset, Dataset, PipelineOptions};
+use langcrux_lang::Country;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| langcrux_bench::build_scaled_dataset(0xA11E5, Scale::Sites(60)))
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table2_element_stats", |b| {
+        b.iter(|| analysis::table2(black_box(ds)))
+    });
+    group.bench_function("table3_audit_matrix", |b| b.iter(lighthouse_matrix));
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let ds = dataset();
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig2_visible_language", |b| {
+        b.iter(|| analysis::visible_scatter(black_box(ds), Country::India))
+    });
+    group.bench_function("fig3_filter_reasons", |b| {
+        b.iter(|| analysis::discard_by_country(black_box(ds)))
+    });
+    group.bench_function("fig4_lang_distribution", |b| {
+        b.iter(|| analysis::lang_distribution(black_box(ds)))
+    });
+    group.bench_function("fig5_mismatch_cdf", |b| {
+        b.iter(|| analysis::mismatch_cdfs(black_box(ds)))
+    });
+    group.bench_function("fig6_kizuki_rescore", |b| {
+        b.iter(|| {
+            analysis::kizuki_shift(black_box(ds), &[Country::Bangladesh, Country::Thailand])
+        })
+    });
+    group.bench_function("fig7_rank_distribution", |b| {
+        b.iter(|| analysis::rank_heatmap(black_box(ds)))
+    });
+    group.bench_function("fig9_filter_by_element", |b| {
+        b.iter(|| analysis::discard_by_element(black_box(ds)))
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("end_to_end_10_sites_per_country", |b| {
+        b.iter_batched(
+            || build_corpus(0xE2E, Scale::Sites(10)),
+            |corpus| {
+                build_dataset(
+                    &corpus,
+                    PipelineOptions {
+                        quota: 10,
+                        ..PipelineOptions::default()
+                    },
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_pipeline);
+criterion_main!(benches);

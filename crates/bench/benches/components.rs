@@ -1,0 +1,81 @@
+//! Component microbenches: the per-page cost centres of the pipeline.
+//!
+//! Run with `cargo bench -p langcrux-bench --bench components`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use langcrux_crawl::extract;
+use langcrux_filter::classify;
+use langcrux_html::{parse, visible_text};
+use langcrux_lang::{Country, Language};
+use langcrux_langid::{classify_label, composition, detect};
+use langcrux_net::ContentVariant;
+use langcrux_textgen::TextGenerator;
+use langcrux_webgen::{render, SitePlan};
+
+fn sample_page() -> String {
+    let plan = SitePlan::build(42, Country::Thailand, 0, Some(true));
+    render(&plan, ContentVariant::Localized, "/").0
+}
+
+fn bench_html(c: &mut Criterion) {
+    let html = sample_page();
+    let mut group = c.benchmark_group("html");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("parse", |b| b.iter(|| parse(black_box(&html))));
+    let doc = parse(&html);
+    group.bench_function("visible_text", |b| b.iter(|| visible_text(black_box(&doc))));
+    group.bench_function("extract", |b| b.iter(|| extract(black_box(&doc))));
+    group.finish();
+}
+
+fn bench_langid(c: &mut Criterion) {
+    let mut gen = TextGenerator::new(Language::Bangla, 7);
+    let paragraph = gen.paragraph(20);
+    let label = gen.phrase(3, 5);
+    let mut group = c.benchmark_group("langid");
+    group.bench_function("composition_paragraph", |b| {
+        b.iter(|| composition(black_box(&paragraph), Language::Bangla))
+    });
+    group.bench_function("classify_label", |b| {
+        b.iter(|| classify_label(black_box(&label), Language::Bangla))
+    });
+    group.bench_function("detect", |b| b.iter(|| detect(black_box(&paragraph))));
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let labels = [
+        "crowd gathered at the central square",
+        "icon",
+        "img123",
+        "banner_img4.jpg",
+        "https://example.com/a.png",
+        "ডাউনলোড",
+        "3 of 5",
+        "btn-submit",
+        "ภาพข่าววันนี้",
+    ];
+    c.bench_function("filter/classify_batch", |b| {
+        b.iter(|| {
+            for l in labels {
+                black_box(classify(black_box(l)));
+            }
+        })
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let plan = SitePlan::build(42, Country::Japan, 3, Some(true));
+    let mut group = c.benchmark_group("webgen");
+    group.bench_function("render_page", |b| {
+        b.iter(|| render(black_box(&plan), ContentVariant::Localized, "/"))
+    });
+    group.bench_function("textgen_paragraph", |b| {
+        let mut gen = TextGenerator::new(Language::Korean, 9);
+        b.iter(|| black_box(gen.paragraph(5)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_html, bench_langid, bench_filter, bench_generation);
+criterion_main!(benches);

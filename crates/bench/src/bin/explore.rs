@@ -1,0 +1,178 @@
+//! `explore` — query a LangCrUX dataset release.
+//!
+//! The paper ships "an interactive website for LangCrUX, where users can
+//! explore the dataset in greater detail, including language distribution
+//! across individual websites, with sampling and filtering options". This
+//! binary is that explorer's command-line equivalent, operating on the
+//! JSON produced by `cargo run --example build_dataset`.
+//!
+//! ```text
+//! explore <dataset.json> summary
+//! explore <dataset.json> country <code>
+//! explore <dataset.json> site <host>
+//! explore <dataset.json> mismatches [N]
+//! explore <dataset.json> sample <code> [N]
+//! ```
+
+use langcrux_core::dataset::TextState;
+use langcrux_core::{analysis, render, Dataset};
+use langcrux_lang::Country;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, command) = match args.as_slice() {
+        [path, rest @ ..] if !rest.is_empty() => (path.clone(), rest.to_vec()),
+        _ => {
+            eprintln!(
+                "usage: explore <dataset.json> <summary|country CODE|site HOST|mismatches [N]|sample CODE [N]>"
+            );
+            std::process::exit(2);
+        }
+    };
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let ds = Dataset::from_json(&json).expect("parse dataset JSON");
+
+    match command[0].as_str() {
+        "summary" => summary(&ds),
+        "country" => country(&ds, command.get(1).map(String::as_str).unwrap_or("bd")),
+        "site" => site(&ds, command.get(1).map(String::as_str).unwrap_or("")),
+        "mismatches" => mismatches(&ds, parse_n(&command, 2, 10)),
+        "sample" => sample(
+            &ds,
+            command.get(1).map(String::as_str).unwrap_or("bd"),
+            parse_n(&command, 2, 5),
+        ),
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_n(command: &[String], idx: usize, default: usize) -> usize {
+    command
+        .get(idx)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn summary(ds: &Dataset) {
+    println!(
+        "LangCrUX dataset: {} sites, seed {:#x}, quota {}/country",
+        ds.len(),
+        ds.seed,
+        ds.quota
+    );
+    print!("{}", render::crawl_summaries(ds));
+    println!();
+    print!("{}", render::headlines(&analysis::headlines(ds)));
+}
+
+fn country(ds: &Dataset, code: &str) {
+    let Some(c) = Country::from_code(code) else {
+        eprintln!("unknown country code {code:?}");
+        std::process::exit(2);
+    };
+    println!("{} — {} sites\n", c.name(), ds.in_country(c).count());
+    let lang = analysis::lang_distribution(ds);
+    if let Some(row) = lang.iter().find(|r| r.country_code == code) {
+        println!(
+            "informative a11y texts: {} ({:.1}% native, {:.1}% English, {:.1}% mixed)",
+            row.informative_texts, row.native_pct, row.english_pct, row.mixed_pct
+        );
+    }
+    for cdf in analysis::mismatch_cdfs(ds) {
+        if cdf.country_code == code {
+            println!(
+                "sites with <10% native accessibility text: {:.1}%",
+                cdf.sites_below_10pct_native_a11y
+            );
+        }
+    }
+}
+
+fn site(ds: &Dataset, host: &str) {
+    let Some(record) = ds.records.iter().find(|r| r.host == host) else {
+        eprintln!("host {host:?} not in dataset");
+        std::process::exit(2);
+    };
+    println!("https://{}/  ({}, rank {})", record.host, record.country.name(), record.rank);
+    println!(
+        "visible: {:.1}% native / {:.1}% English; declared lang: {}",
+        record.visible_native_pct,
+        record.visible_english_pct,
+        record.declared_lang.as_deref().unwrap_or("—")
+    );
+    println!(
+        "scores: base {:.1}, Kizuki {:.1}{}",
+        record.base_score,
+        record.kizuki_score,
+        if record.kizuki_eligible { "" } else { "  (fails base image-alt)" }
+    );
+    let mut missing = 0;
+    let mut empty = 0;
+    let mut discarded = 0;
+    let mut informative = 0;
+    for e in &record.elements {
+        match &e.state {
+            TextState::Missing => missing += 1,
+            TextState::Empty => empty += 1,
+            TextState::Present { discard: Some(_), .. } => discarded += 1,
+            TextState::Present { discard: None, .. } => informative += 1,
+        }
+    }
+    println!(
+        "elements: {} total — {missing} missing, {empty} empty, {discarded} uninformative, \
+         {informative} informative",
+        record.elements.len()
+    );
+    if let Some(pct) = record.a11y_native_pct() {
+        println!("native share of informative a11y text: {pct:.1}%");
+    } else {
+        println!("no informative accessibility text at all");
+    }
+}
+
+fn mismatches(ds: &Dataset, n: usize) {
+    // The paper's Table 5 view: native-dominant sites with the least
+    // native accessibility text.
+    let mut rows: Vec<(&str, f64, f64)> = ds
+        .records
+        .iter()
+        .filter(|r| r.visible_native_pct >= 85.0)
+        .map(|r| {
+            (
+                r.host.as_str(),
+                r.visible_native_pct,
+                r.a11y_native_pct().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.2.total_cmp(&b.2).then(b.1.total_cmp(&a.1)));
+    println!(
+        "{:<24} {:>14} {:>12}",
+        "host", "visible native", "a11y native"
+    );
+    for (host, visible, a11y) in rows.into_iter().take(n) {
+        println!("{host:<24} {visible:>13.1}% {a11y:>11.1}%");
+    }
+}
+
+fn sample(ds: &Dataset, code: &str, n: usize) {
+    let Some(c) = Country::from_code(code) else {
+        eprintln!("unknown country code {code:?}");
+        std::process::exit(2);
+    };
+    println!("{:<24} {:>6} {:>9} {:>9} {:>8}", "host", "rank", "visible%", "a11y%", "score");
+    for r in ds.in_country(c).take(n) {
+        println!(
+            "{:<24} {:>6} {:>8.1}% {:>8.1}% {:>8.1}",
+            r.host,
+            r.rank,
+            r.visible_native_pct,
+            r.a11y_native_pct().unwrap_or(0.0),
+            r.base_score
+        );
+    }
+}

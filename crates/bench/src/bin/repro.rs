@@ -1,0 +1,268 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
+//!
+//! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
+//!         | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
+//!         | headlines | selection | crawl
+//!         | ablation-vpn | ablation-langid | ablation-crawl
+//! ```
+//!
+//! The harness builds the synthetic corpus, runs the full LangCrUX
+//! pipeline, and prints the paper-format rows/series. Absolute values are
+//! corpus-scale dependent; the *shapes* (orderings, crossovers, drops)
+//! reproduce the paper — see EXPERIMENTS.md for paper-vs-measured.
+
+use langcrux_bench::{langid_ablation, vpn_ablation, Scale};
+use langcrux_core::{analysis, render, selection, Dataset};
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::rng::DEFAULT_SEED;
+use langcrux_lang::Country;
+
+struct Args {
+    artifacts: Vec<String>,
+    scale: Scale,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut artifacts = Vec::new();
+    let mut scale = Scale::Default;
+    let mut seed = DEFAULT_SEED;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--sites" => {
+                let n = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sites requires a number");
+                scale = Scale::Sites(n);
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed requires a u64");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]\n\
+                     artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
+                     fig5 fig6 fig7 fig8 fig9 headlines langmeta speech report selection crawl \
+                     ablation-vpn ablation-langid ablation-crawl"
+                );
+                std::process::exit(0);
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".to_string());
+    }
+    Args {
+        artifacts,
+        scale,
+        seed,
+    }
+}
+
+fn needs_dataset(artifacts: &[String]) -> bool {
+    artifacts.iter().any(|a| {
+        !matches!(
+            a.as_str(),
+            "table1" | "table3" | "selection" | "ablation-vpn" | "ablation-langid"
+                | "ablation-crawl"
+        )
+    })
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn main() {
+    let args = parse_args();
+    let all = args.artifacts.iter().any(|a| a == "all");
+    let wants = |name: &str| all || args.artifacts.iter().any(|a| a == name);
+
+    let dataset: Option<Dataset> = if needs_dataset(&args.artifacts) {
+        eprintln!(
+            "building corpus + dataset: {} sites/country, seed {:#x} …",
+            args.scale.sites_per_country(),
+            args.seed
+        );
+        let start = std::time::Instant::now();
+        let ds = langcrux_bench::build_scaled_dataset(args.seed, args.scale);
+        eprintln!(
+            "dataset ready: {} sites in {:.1?}",
+            ds.len(),
+            start.elapsed()
+        );
+        Some(ds)
+    } else {
+        None
+    };
+    let ds = dataset.as_ref();
+
+    if wants("table1") {
+        section("Table 1 — web elements requiring natural language");
+        for kind in ElementKind::ALL {
+            println!("  {}", kind.audit_id());
+        }
+    }
+    if wants("selection") {
+        section("§2 — language & country selection (X2)");
+        for (lang, verdict) in selection::select_languages() {
+            println!("  {:<24} {:?}", lang.name(), verdict);
+        }
+    }
+    if let Some(ds) = ds {
+        if wants("table2") {
+            section("Table 2 — accessibility element statistics");
+            print!("{}", render::table2(&analysis::table2(ds)));
+        }
+        if wants("fig2") {
+            section("Figure 2 — native vs English in visible text (density grids)");
+            for country in [Country::India, Country::Israel] {
+                let points = analysis::visible_scatter(ds, country);
+                print!(
+                    "{}",
+                    render::scatter_density(
+                        &format!(
+                            "{} — x: English %, y: {} %",
+                            country.name(),
+                            country.target_language().name()
+                        ),
+                        &points,
+                        (0.0, 60.0),
+                        (0.0, 100.0),
+                    )
+                );
+            }
+        }
+        if wants("fig3") {
+            section("Figure 3 — filtered accessibility texts by discard reason × country");
+            print!("{}", render::discards(&analysis::discard_by_country(ds)));
+        }
+        if wants("fig4") {
+            section("Figure 4 — language distribution of informative accessibility texts");
+            print!("{}", render::lang_distribution(&analysis::lang_distribution(ds)));
+        }
+        if wants("fig5") {
+            section("Figure 5 — CDFs of native share: visible vs accessibility text");
+            print!("{}", render::mismatch_cdfs(&analysis::mismatch_cdfs(ds)));
+        }
+        if wants("fig6") {
+            section("Figure 6 — scores before/after Kizuki (bd + th, image-alt passers)");
+            let shift =
+                analysis::kizuki_shift(ds, &[Country::Bangladesh, Country::Thailand]);
+            print!("{}", render::kizuki_shift(&shift));
+        }
+        if wants("fig7") {
+            section("Figure 7 — website rank distribution × country");
+            print!("{}", render::rank_heatmap(&analysis::rank_heatmap(ds)));
+        }
+        if wants("fig8") {
+            section("Figure 8 — visible vs accessibility native share per country");
+            for country in ds.countries() {
+                let points = analysis::mismatch_scatter(ds, country);
+                print!(
+                    "{}",
+                    render::scatter_density(
+                        &format!("{} — x: visible native %, y: a11y native %", country.name()),
+                        &points,
+                        (50.0, 100.0),
+                        (0.0, 100.0),
+                    )
+                );
+            }
+        }
+        if wants("fig8") {
+            println!("\nPearson(visible native %, a11y native %) per country:");
+            for (code, r) in analysis::mismatch_correlation(ds) {
+                match r {
+                    Some(r) => println!("  {code:<4} {r:>6.3}"),
+                    None => println!("  {code:<4}    n/a"),
+                }
+            }
+        }
+        if wants("fig9") {
+            section("Figure 9 — discard reasons × element kind");
+            print!("{}", render::discards(&analysis::discard_by_element(ds)));
+        }
+        if wants("table4") {
+            section("Table 4 — extreme alt texts (>1000 chars)");
+            print!("{}", render::extreme_examples(&ds.extreme_examples));
+        }
+        if wants("table5") {
+            section("Table 5 — visible/accessibility language mismatches");
+            print!("{}", render::mismatch_examples(&ds.mismatch_examples));
+        }
+        if wants("langmeta") {
+            section("X3 (extension) — declared <html lang> consistency");
+            print!("{}", render::declared_lang(&analysis::declared_lang(ds)));
+        }
+        if wants("headlines") {
+            section("Headline findings (§1/§3)");
+            print!("{}", render::headlines(&analysis::headlines(ds)));
+        }
+        if wants("report") {
+            // The one-shot Markdown report (written to repro-report.md).
+            let report = langcrux_core::markdown_report(ds);
+            std::fs::write("repro-report.md", &report).expect("write report");
+            eprintln!("wrote repro-report.md ({} bytes)", report.len());
+        }
+        if wants("crawl") {
+            section("Crawl provenance");
+            print!("{}", render::crawl_summaries(ds));
+        }
+    }
+    if wants("table3") {
+        section("Table 3 — Lighthouse pass/fail matrix (isolated probes)");
+        print!("{}", render::table3(&langcrux_audit::lighthouse_matrix()));
+    }
+    if wants("speech") {
+        section("X4 (extension) — screen-reader experience (VoiceOver-like profile)");
+        println!(
+            "  {:<8} {:>14} {:>10} {:>15} {:>9}",
+            "country", "announcements", "degraded", "mispronounced", "generic"
+        );
+        for row in langcrux_bench::speech_experience(args.seed, 30) {
+            println!(
+                "  {:<8} {:>14} {:>9.1}% {:>14.1}% {:>8.1}%",
+                row.country_code,
+                row.announcements,
+                row.degraded_pct,
+                row.mispronounced_pct,
+                row.generic_pct
+            );
+        }
+    }
+    if wants("ablation-vpn") {
+        section("Ablation A1 — VPN vantage vs cloud vantage");
+        let ab = vpn_ablation(args.seed, 25);
+        println!(
+            "  {} hosts: localized content at VPN vantage {:.1}%, at cloud vantage {:.1}%",
+            ab.hosts, ab.vpn_localized_pct, ab.cloud_localized_pct
+        );
+    }
+    if wants("ablation-langid") {
+        section("Ablation A2 — Unicode heuristic vs trigram language id (short labels)");
+        let ab = langid_ablation(args.seed, 200);
+        println!(
+            "  {} labels: unicode {:.1}% correct, trigram {:.1}% correct",
+            ab.labels, ab.unicode_accuracy_pct, ab.trigram_accuracy_pct
+        );
+    }
+    if wants("ablation-crawl") {
+        section("Ablation A3 — crawl worker scaling");
+        for threads in [1, 2, 4, 8] {
+            let elapsed = langcrux_bench::crawl_scaling(args.seed, 40, threads);
+            println!("  {threads:>2} workers: {elapsed:.2?}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # langcrux-core
+//!
+//! The LangCrUX measurement pipeline: the paper's methodology (Figure 1)
+//! end-to-end, plus the statistics and analyses behind every table and
+//! figure of the evaluation.
+//!
+//! ```text
+//! candidate pool ──select_languages──▶ 12 language-country pairs
+//! corpus (webgen) ──select_websites──▶ rank-ordered, threshold-verified sites
+//!                 ──build_dataset────▶ Dataset (the LangCrUX release)
+//! Dataset ──analysis::*──▶ Table 2/3/4/5, Figures 2–9, headline findings
+//! ```
+//!
+//! * [`stats`] — summaries, CDFs, histograms, count grids.
+//! * [`selection`] — the §2 inclusion criteria (languages and websites).
+//! * [`pipeline`] — crawl + extract + filter + classify + audit, per
+//!   country on a worker pool.
+//! * [`dataset`] — the serializable LangCrUX data model.
+//! * [`analysis`] — one function per paper artefact.
+//! * [`render`] — plain-text rendering used by the `repro` harness.
+//! * [`report`] — one-shot Markdown report over a whole dataset.
+
+pub mod analysis;
+pub mod dataset;
+pub mod pipeline;
+pub mod render;
+pub mod report;
+pub mod selection;
+pub mod stats;
+
+pub use dataset::{Dataset, SiteRecord, TextState};
+pub use report::markdown_report;
+pub use pipeline::{build_dataset, PipelineOptions};
+pub use selection::{select_languages, select_websites, LanguageVerdict};

@@ -1,0 +1,279 @@
+//! The end-to-end LangCrUX pipeline: corpus → selection → crawl → dataset.
+//!
+//! One call ([`build_dataset`]) reproduces the paper's Figure 1 flow:
+//! country-by-country VPN-vantage crawls over CrUX-rank-ordered candidates,
+//! the 50% native-content inclusion rule with next-candidate replacement,
+//! accessibility-element extraction, filtering, label-language
+//! classification, base audits and Kizuki rescoring. Countries are
+//! processed on a worker pool (one thread per country, CPU-bound work per
+//! the workspace guides); record order is deterministic.
+
+use crate::dataset::{
+    CountryCrawlSummary, Dataset, ElementRecord, ExtremeExample, MismatchExample, SiteRecord,
+    TextState,
+};
+use crate::selection::{select_websites, SelectedSite, SelectionStats};
+use langcrux_audit::audit_page;
+use langcrux_crawl::{char_len, word_count, BrowserConfig};
+use langcrux_filter::classify;
+use langcrux_kizuki::Kizuki;
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::Country;
+use langcrux_langid::{classify_label, LabelLanguage};
+use langcrux_webgen::Corpus;
+
+/// Pipeline options.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Sites per country to select (the paper: 10,000).
+    pub quota: usize,
+    pub browser: BrowserConfig,
+    /// Cap on captured extreme examples (Table 4).
+    pub max_extreme_examples: usize,
+    /// Cap on captured mismatch examples (Table 5).
+    pub max_mismatch_examples: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            quota: 1_000,
+            browser: BrowserConfig::default(),
+            max_extreme_examples: 40,
+            max_mismatch_examples: 24,
+        }
+    }
+}
+
+struct CountryResult {
+    country: Country,
+    records: Vec<SiteRecord>,
+    summary: CountryCrawlSummary,
+    extremes: Vec<ExtremeExample>,
+    mismatches: Vec<MismatchExample>,
+}
+
+/// Build the dataset from a corpus.
+pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
+    let countries: Vec<Country> = corpus.countries().collect();
+    let mut results: Vec<CountryResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = countries
+            .iter()
+            .map(|&country| {
+                scope.spawn(move |_| process_country(corpus, country, options))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("country worker panicked"))
+            .collect()
+    })
+    .expect("pipeline scope");
+
+    // Deterministic order: study order, independent of thread completion.
+    results.sort_by_key(|r| Country::STUDY.iter().position(|&c| c == r.country));
+
+    let mut dataset = Dataset {
+        seed: corpus.config().seed,
+        quota: options.quota,
+        ..Dataset::default()
+    };
+    for mut result in results {
+        dataset.records.append(&mut result.records);
+        dataset.crawl_summaries.push(result.summary);
+        for e in result.extremes {
+            if dataset.extreme_examples.len() < options.max_extreme_examples {
+                dataset.extreme_examples.push(e);
+            }
+        }
+        for m in result.mismatches {
+            if dataset.mismatch_examples.len() < options.max_mismatch_examples {
+                dataset.mismatch_examples.push(m);
+            }
+        }
+    }
+    dataset
+}
+
+fn process_country(corpus: &Corpus, country: Country, options: PipelineOptions) -> CountryResult {
+    let (sites, stats) = select_websites(corpus, country, options.quota, options.browser);
+    let mut records = Vec::with_capacity(sites.len());
+    let mut extremes = Vec::new();
+    let mut mismatches = Vec::new();
+    for site in &sites {
+        records.push(process_site(
+            site,
+            country,
+            &mut extremes,
+            &mut mismatches,
+            options,
+        ));
+    }
+    CountryResult {
+        country,
+        records,
+        summary: to_summary(country, &stats),
+        extremes,
+        mismatches,
+    }
+}
+
+fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
+    CountryCrawlSummary {
+        country_code: country.code().to_string(),
+        attempted: stats.attempted,
+        selected: stats.selected,
+        rejected_threshold: stats.rejected_threshold,
+        failed_fetch: stats.failed_fetch,
+        restricted: stats.restricted,
+    }
+}
+
+fn process_site(
+    site: &SelectedSite,
+    country: Country,
+    extremes: &mut Vec<ExtremeExample>,
+    mismatches: &mut Vec<MismatchExample>,
+    options: PipelineOptions,
+) -> SiteRecord {
+    let native = country.target_language();
+    let extract = &site.visit.extract;
+
+    let mut elements = Vec::with_capacity(extract.elements.len());
+    let mut mismatch_done = false;
+    for element in &extract.elements {
+        let state = if element.is_missing() {
+            TextState::Missing
+        } else if element.is_empty_text() {
+            TextState::Empty
+        } else {
+            let text = element.content().expect("non-empty");
+            let discard = classify(text);
+            let label = classify_label(text, native);
+            let chars = char_len(text) as u32;
+            let words = word_count(text) as u32;
+            if chars > 1_000 && extremes.len() < options.max_extreme_examples {
+                extremes.push(ExtremeExample {
+                    host: site.plan.host.clone(),
+                    country,
+                    kind: element.kind,
+                    chars,
+                    words,
+                    preview: text.chars().take(120).collect(),
+                });
+            }
+            if !mismatch_done
+                && element.kind == ElementKind::ImageAlt
+                && discard.is_none()
+                && label == LabelLanguage::English
+                && site.visible_native_pct >= 90.0
+                && mismatches.len() < options.max_mismatch_examples
+            {
+                mismatch_done = true;
+                mismatches.push(MismatchExample {
+                    host: site.plan.host.clone(),
+                    country,
+                    visible_native_pct: site.visible_native_pct,
+                    alt_preview: text.chars().take(120).collect(),
+                });
+            }
+            TextState::Present {
+                chars,
+                words,
+                discard,
+                label,
+            }
+        };
+        elements.push(ElementRecord {
+            kind: element.kind,
+            state,
+        });
+    }
+
+    let base = audit_page(extract);
+    let kizuki = Kizuki::standard().evaluate(extract, &base);
+    SiteRecord {
+        host: site.plan.host.clone(),
+        country,
+        rank: site.plan.rank,
+        visible_native_pct: site.visible_native_pct,
+        visible_english_pct: site.visible_english_pct,
+        declared_lang: extract.declared_lang.clone(),
+        elements,
+        base_score: base.score,
+        kizuki_score: kizuki.new_score,
+        kizuki_eligible: Kizuki::figure6_eligible(&base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_webgen::CorpusConfig;
+
+    fn tiny_dataset() -> Dataset {
+        let corpus = Corpus::build(CorpusConfig::small(11, 25));
+        build_dataset(
+            &corpus,
+            PipelineOptions {
+                quota: 25,
+                ..PipelineOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn dataset_covers_all_countries_at_quota() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.countries().len(), 12);
+        for country in Country::STUDY {
+            let n = ds.in_country(country).count();
+            assert_eq!(n, 25, "{country:?}");
+        }
+        assert_eq!(ds.len(), 300);
+        assert_eq!(ds.crawl_summaries.len(), 12);
+    }
+
+    #[test]
+    fn records_have_scores_and_elements() {
+        let ds = tiny_dataset();
+        for record in &ds.records {
+            assert!((0.0..=100.0).contains(&record.base_score), "{}", record.host);
+            assert!((0.0..=100.0).contains(&record.kizuki_score));
+            assert!(record.kizuki_score <= record.base_score + 1e-9);
+            assert!(record.visible_native_pct >= 50.0);
+            assert!(!record.elements.is_empty());
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = tiny_dataset();
+        let b = tiny_dataset();
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.records.iter().zip(&b.records) {
+            assert_eq!(ra.host, rb.host);
+            assert_eq!(ra.base_score, rb.base_score);
+            assert_eq!(ra.kizuki_score, rb.kizuki_score);
+            assert_eq!(ra.elements, rb.elements);
+        }
+    }
+
+    #[test]
+    fn mismatch_examples_are_native_sites_with_english_alts() {
+        let ds = tiny_dataset();
+        for m in &ds.mismatch_examples {
+            assert!(m.visible_native_pct >= 90.0);
+            assert!(!m.alt_preview.is_empty());
+        }
+    }
+
+    #[test]
+    fn json_round_trip_of_real_dataset() {
+        let ds = tiny_dataset();
+        let json = ds.to_json().unwrap();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.records[0].elements, ds.records[0].elements);
+    }
+}

@@ -1,0 +1,142 @@
+//! Full-report generation.
+//!
+//! [`markdown_report`] assembles every analysis into one self-contained
+//! Markdown document — the equivalent of regenerating the paper's entire
+//! evaluation section from a dataset. Used by downstream tooling and by
+//! users of released dataset JSON who want a readable overview without
+//! running the individual `repro` artefacts.
+
+use crate::analysis;
+use crate::dataset::Dataset;
+use crate::render;
+use langcrux_lang::Country;
+use std::fmt::Write as _;
+
+fn code_block(out: &mut String, body: &str) {
+    let _ = writeln!(out, "```text\n{}```\n", ensure_trailing_newline(body));
+}
+
+fn ensure_trailing_newline(s: &str) -> String {
+    if s.ends_with('\n') {
+        s.to_string()
+    } else {
+        format!("{s}\n")
+    }
+}
+
+/// Render the full evaluation report for a dataset.
+pub fn markdown_report(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# LangCrUX measurement report\n");
+    let _ = writeln!(
+        out,
+        "{} sites across {} countries (seed {:#x}, quota {}/country).\n",
+        ds.len(),
+        ds.countries().len(),
+        ds.seed,
+        ds.quota
+    );
+
+    let _ = writeln!(out, "## Crawl provenance\n");
+    code_block(&mut out, &render::crawl_summaries(ds));
+
+    let _ = writeln!(out, "## Table 2 — accessibility element statistics\n");
+    code_block(&mut out, &render::table2(&analysis::table2(ds)));
+
+    let _ = writeln!(out, "## Table 3 — Lighthouse pass/fail matrix\n");
+    code_block(&mut out, &render::table3(&langcrux_audit::lighthouse_matrix()));
+
+    let _ = writeln!(out, "## Figure 3 — discard reasons by country\n");
+    code_block(&mut out, &render::discards(&analysis::discard_by_country(ds)));
+
+    let _ = writeln!(out, "## Figure 4 — language of informative accessibility text\n");
+    code_block(
+        &mut out,
+        &render::lang_distribution(&analysis::lang_distribution(ds)),
+    );
+
+    let _ = writeln!(out, "## Figure 5 — native share CDFs\n");
+    code_block(&mut out, &render::mismatch_cdfs(&analysis::mismatch_cdfs(ds)));
+
+    let _ = writeln!(out, "## Figure 6 — Kizuki rescoring (bd + th)\n");
+    let shift = analysis::kizuki_shift(ds, &[Country::Bangladesh, Country::Thailand]);
+    code_block(&mut out, &render::kizuki_shift(&shift));
+
+    let _ = writeln!(out, "## Figure 7 — rank distribution\n");
+    code_block(&mut out, &render::rank_heatmap(&analysis::rank_heatmap(ds)));
+
+    let _ = writeln!(out, "## Figure 9 — discard reasons by element\n");
+    code_block(&mut out, &render::discards(&analysis::discard_by_element(ds)));
+
+    let _ = writeln!(out, "## Declared `lang` metadata (X3)\n");
+    code_block(&mut out, &render::declared_lang(&analysis::declared_lang(ds)));
+
+    if !ds.extreme_examples.is_empty() {
+        let _ = writeln!(out, "## Table 4 — extreme alt texts\n");
+        code_block(&mut out, &render::extreme_examples(&ds.extreme_examples));
+    }
+    if !ds.mismatch_examples.is_empty() {
+        let _ = writeln!(out, "## Table 5 — language mismatches\n");
+        code_block(&mut out, &render::mismatch_examples(&ds.mismatch_examples));
+    }
+
+    let _ = writeln!(out, "## Headlines\n");
+    code_block(&mut out, &render::headlines(&analysis::headlines(ds)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{build_dataset, PipelineOptions};
+    use langcrux_webgen::{Corpus, CorpusConfig};
+
+    #[test]
+    fn report_contains_every_section() {
+        let corpus = Corpus::build(CorpusConfig::small(3, 15));
+        let ds = build_dataset(
+            &corpus,
+            PipelineOptions {
+                quota: 15,
+                ..PipelineOptions::default()
+            },
+        );
+        let report = markdown_report(&ds);
+        for heading in [
+            "# LangCrUX measurement report",
+            "## Crawl provenance",
+            "## Table 2",
+            "## Table 3",
+            "## Figure 3",
+            "## Figure 4",
+            "## Figure 5",
+            "## Figure 6",
+            "## Figure 7",
+            "## Figure 9",
+            "## Declared `lang` metadata (X3)",
+            "## Headlines",
+        ] {
+            assert!(report.contains(heading), "missing section {heading:?}");
+        }
+        // Code fences must be balanced.
+        assert_eq!(report.matches("```").count() % 2, 0);
+        // All 12 countries appear.
+        assert!(report.contains("bd") && report.contains("th") && report.contains("il"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let build = || {
+            let corpus = Corpus::build(CorpusConfig::small(8, 10));
+            let ds = build_dataset(
+                &corpus,
+                PipelineOptions {
+                    quota: 10,
+                    ..PipelineOptions::default()
+                },
+            );
+            markdown_report(&ds)
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,351 @@
+//! Statistics utilities.
+//!
+//! Everything Table 2 and Figures 5–7 need: summary statistics
+//! (median/mean/σ/min/max), empirical CDFs, histograms, and a 2-D
+//! count grid for the rank heatmap. Implementations are deliberately
+//! plain — sorting-based medians, two-pass variance — because the inputs
+//! are at most a few hundred thousand points.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub median: f64,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// An empty summary (all-zero) for empty samples.
+    pub const EMPTY: Summary = Summary {
+        count: 0,
+        median: 0.0,
+        mean: 0.0,
+        std_dev: 0.0,
+        min: 0.0,
+        max: 0.0,
+    };
+
+    /// Compute over a sample (order irrelevant). Non-finite values are a
+    /// caller bug and will poison the result; inputs come from counters.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::EMPTY;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let variance = sorted
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / count as f64;
+        Summary {
+            count,
+            median: median_of_sorted(&sorted),
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+        }
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Percentile (0–100) by linear interpolation on the sorted sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Pearson correlation coefficient of paired samples; `None` when either
+/// side is constant or the samples are shorter than 2.
+pub fn pearson(pairs: &[(f64, f64)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = pairs.iter().map(|(x, _)| x).sum::<f64>() / nf;
+    let mean_y = pairs.iter().map(|(_, y)| y).sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in pairs {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// An empirical CDF over a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    pub fn of(values: &[f64]) -> Cdf {
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Cdf { sorted }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// P(X ≤ x), in [0, 1].
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Evaluate at a grid of points (for plotting / report tables).
+    pub fn series(&self, grid: &[f64]) -> Vec<(f64, f64)> {
+        grid.iter().map(|&x| (x, self.at(x))).collect()
+    }
+}
+
+/// A fixed-edge 1-D histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bin edges, ascending; bin `i` covers `[edges[i], edges[i+1])`, and
+    /// the last bin is closed on the right.
+    pub edges: Vec<f64>,
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn new(edges: Vec<f64>) -> Histogram {
+        assert!(edges.len() >= 2, "need at least one bin");
+        let bins = edges.len() - 1;
+        Histogram {
+            edges,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Uniform bins over [lo, hi].
+    pub fn uniform(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0 && hi > lo);
+        let width = (hi - lo) / bins as f64;
+        let edges = (0..=bins).map(|i| lo + width * i as f64).collect();
+        Histogram::new(edges)
+    }
+
+    /// Add one observation; out-of-range values clamp to the edge bins.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let idx = match self.edges.partition_point(|e| *e <= value) {
+            0 => 0,
+            i if i > bins => bins - 1,
+            i => i - 1,
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Share of observations at or above `threshold` (bin-aligned).
+    pub fn share_at_or_above(&self, threshold: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if self.edges[i] >= threshold {
+                acc += c;
+            }
+        }
+        acc as f64 / total as f64
+    }
+}
+
+/// A (row × column) count grid: Figure 7's rank-bucket × country heatmap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountGrid {
+    pub rows: Vec<String>,
+    pub cols: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl CountGrid {
+    pub fn new(rows: Vec<String>, cols: Vec<String>) -> CountGrid {
+        let counts = vec![0; rows.len() * cols.len()];
+        CountGrid { rows, cols, counts }
+    }
+
+    fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows.len() && col < self.cols.len());
+        row * self.cols.len() + col
+    }
+
+    pub fn add(&mut self, row: usize, col: usize, n: u64) {
+        let i = self.index(row, col);
+        self.counts[i] += n;
+    }
+
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        self.counts[self.index(row, col)]
+    }
+
+    pub fn col_total(&self, col: usize) -> u64 {
+        (0..self.rows.len()).map(|r| self.get(r, col)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.std_dev - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_even_count_median() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]), Summary::EMPTY);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn pearson_correlation() {
+        // Perfect positive and negative correlation.
+        let up: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((pearson(&up).unwrap() - 1.0).abs() < 1e-12);
+        let down: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((pearson(&down).unwrap() + 1.0).abs() < 1e-12);
+        // Constant side -> None.
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0)).collect();
+        assert_eq!(pearson(&flat), None);
+        assert_eq!(pearson(&[]), None);
+        assert_eq!(pearson(&[(1.0, 2.0)]), None);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let cdf = Cdf::of(&[1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(cdf.at(0.0), 0.0);
+        assert_eq!(cdf.at(1.0), 0.25);
+        assert_eq!(cdf.at(2.0), 0.75);
+        assert_eq!(cdf.at(100.0), 1.0);
+        let series = cdf.series(&[0.0, 1.0, 2.0, 3.0, 5.0]);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::uniform(0.0, 100.0, 10);
+        h.add(-5.0); // clamps into first bin
+        h.add(0.0);
+        h.add(9.99);
+        h.add(95.0);
+        h.add(100.0); // clamps into last bin
+        h.add(1000.0); // clamps into last bin
+        assert_eq!(h.counts[0], 3);
+        assert_eq!(h.counts[9], 3);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_share_above() {
+        let mut h = Histogram::uniform(0.0, 100.0, 10);
+        for v in [95.0, 92.0, 50.0, 10.0] {
+            h.add(v);
+        }
+        assert!((h.share_at_or_above(90.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_grid() {
+        let mut g = CountGrid::new(
+            vec!["1k".into(), "5k".into()],
+            vec!["bd".into(), "in".into()],
+        );
+        g.add(0, 0, 3);
+        g.add(1, 0, 2);
+        g.add(0, 1, 7);
+        assert_eq!(g.get(0, 0), 3);
+        assert_eq!(g.col_total(0), 5);
+        assert_eq!(g.col_total(1), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn count_grid_bounds_checked() {
+        let g = CountGrid::new(vec!["a".into()], vec!["b".into()]);
+        g.get(1, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Browser simulation: fetch → parse → extract.
+//!
+//! [`Browser::visit`] performs one page load the way the paper's Puppeteer
+//! harness does: issue the request from the configured vantage, retry
+//! transient failures, parse the returned HTML, and extract the visible
+//! text plus accessibility elements. Restricted responses (bot walls, VPN
+//! detection) are surfaced as [`VisitError::Restricted`] so the selection
+//! layer can apply the paper's replacement rule.
+
+use crate::extract::{extract, PageExtract};
+use langcrux_html::parse;
+use langcrux_net::{ContentVariant, FetchError, Internet, Request, Url, Vantage};
+use serde::{Deserialize, Serialize};
+
+/// A successful page visit.
+#[derive(Debug, Clone)]
+pub struct Visit {
+    pub url: Url,
+    pub variant: ContentVariant,
+    pub extract: PageExtract,
+    /// Total latency across attempts, milliseconds.
+    pub latency_ms: u32,
+    /// 1 + number of retries consumed.
+    pub attempts: u32,
+    /// Size of the fetched body.
+    pub html_bytes: usize,
+}
+
+/// Why a visit failed for good.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VisitError {
+    /// Network failure that survived all retries.
+    Fetch(FetchError),
+    /// The site served a restricted/bot-wall page (e.g. VPN detected).
+    Restricted,
+}
+
+impl std::fmt::Display for VisitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VisitError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            VisitError::Restricted => f.write_str("restricted content served"),
+        }
+    }
+}
+
+impl std::error::Error for VisitError {}
+
+/// Crawl-level browser configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrowserConfig {
+    /// Retries after the first attempt for retryable errors.
+    pub max_retries: u32,
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        BrowserConfig { max_retries: 2 }
+    }
+}
+
+/// A headless-browser stand-in bound to the simulated internet.
+pub struct Browser<'net> {
+    internet: &'net Internet,
+    config: BrowserConfig,
+}
+
+impl<'net> Browser<'net> {
+    pub fn new(internet: &'net Internet, config: BrowserConfig) -> Self {
+        Browser { internet, config }
+    }
+
+    /// Load a page from `vantage`, with retries on transient failures.
+    pub fn visit(&self, url: &Url, vantage: Vantage) -> Result<Visit, VisitError> {
+        let mut request = Request::new(url.clone(), vantage);
+        let mut latency_total = 0u32;
+        loop {
+            match self.internet.fetch(&request) {
+                Ok(resp) => {
+                    latency_total += resp.latency_ms;
+                    if resp.variant == ContentVariant::Restricted {
+                        return Err(VisitError::Restricted);
+                    }
+                    let doc = parse(resp.text());
+                    let page = extract(&doc);
+                    return Ok(Visit {
+                        url: url.clone(),
+                        variant: resp.variant,
+                        extract: page,
+                        latency_ms: latency_total,
+                        attempts: request.attempt + 1,
+                        html_bytes: resp.body.len(),
+                    });
+                }
+                Err(e) if e.is_retryable() && request.attempt < self.config.max_retries => {
+                    request = request.retry();
+                }
+                Err(e) => return Err(VisitError::Fetch(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_lang::Country;
+    use langcrux_net::{vpn_vantage, ContentServer, FaultPlan};
+
+    fn page_server() -> Box<dyn ContentServer> {
+        Box::new(|variant: ContentVariant, _path: &str| match variant {
+            ContentVariant::Localized => {
+                "<html lang=bn><head><title>খবর</title></head>\
+                 <body><p>বাংলা সংবাদ</p><img src=a alt=\"ছবি এক\"></body></html>"
+                    .to_string()
+            }
+            ContentVariant::Global => {
+                "<html lang=en><head><title>News</title></head>\
+                 <body><p>english news</p><img src=a alt=\"photo\"></body></html>"
+                    .to_string()
+            }
+            ContentVariant::Restricted => "<html><body>denied</body></html>".to_string(),
+        })
+    }
+
+    fn net(plan: FaultPlan) -> Internet {
+        let mut net = Internet::new(11, plan);
+        net.register_simple("khobor.bd", Country::Bangladesh, page_server());
+        net
+    }
+
+    #[test]
+    fn visit_extracts_localized_page() {
+        let net = net(FaultPlan::RELIABLE);
+        let browser = Browser::new(&net, BrowserConfig::default());
+        let visit = browser
+            .visit(
+                &Url::from_host("khobor.bd"),
+                vpn_vantage(Country::Bangladesh).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(visit.variant, ContentVariant::Localized);
+        assert_eq!(visit.extract.declared_lang.as_deref(), Some("bn"));
+        assert!(visit.extract.visible_text.contains("বাংলা"));
+        assert_eq!(visit.attempts, 1);
+        assert!(visit.html_bytes > 0);
+    }
+
+    #[test]
+    fn cloud_vantage_sees_global() {
+        let net = net(FaultPlan::RELIABLE);
+        let browser = Browser::new(&net, BrowserConfig::default());
+        let visit = browser
+            .visit(&Url::from_host("khobor.bd"), Vantage::Cloud)
+            .unwrap();
+        assert_eq!(visit.variant, ContentVariant::Global);
+        assert!(visit.extract.visible_text.contains("english"));
+    }
+
+    #[test]
+    fn unknown_host_fails_without_retry_burn() {
+        let net = net(FaultPlan::RELIABLE);
+        let browser = Browser::new(&net, BrowserConfig::default());
+        let err = browser
+            .visit(&Url::from_host("missing.bd"), Vantage::Cloud)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VisitError::Fetch(FetchError::UnknownHost("missing.bd".into()))
+        );
+    }
+
+    #[test]
+    fn restricted_is_not_a_visit() {
+        let mut plan = FaultPlan::RELIABLE;
+        plan.extra_vpn_detection = 1.0;
+        let mut net = Internet::new(11, plan);
+        net.register("wary.bd", Country::Bangladesh, 1.0, 0.0, page_server());
+        let browser = Browser::new(&net, BrowserConfig::default());
+        let err = browser
+            .visit(
+                &Url::from_host("wary.bd"),
+                vpn_vantage(Country::Bangladesh).unwrap(),
+            )
+            .unwrap_err();
+        assert_eq!(err, VisitError::Restricted);
+    }
+
+    #[test]
+    fn retries_recover_transient_faults() {
+        // Hostile network: find a host that fails on attempt 0 but
+        // succeeds within 2 retries, and confirm visit() recovers it.
+        let mut net = Internet::new(5, FaultPlan::HOSTILE);
+        for i in 0..60 {
+            net.register_simple(&format!("r{i}.bd"), Country::Bangladesh, page_server());
+        }
+        let browser = Browser::new(&net, BrowserConfig { max_retries: 3 });
+        let mut recovered = 0;
+        for i in 0..60 {
+            let url = Url::from_host(&format!("r{i}.bd"));
+            if let Ok(v) = browser.visit(&url, Vantage::Cloud) {
+                if v.attempts > 1 {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(recovered > 0, "no visit needed a retry on a hostile net");
+    }
+}

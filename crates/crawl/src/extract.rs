@@ -1,0 +1,452 @@
+//! Accessibility-element extraction.
+//!
+//! Implements the extraction contract of DESIGN.md §3: for each of the
+//! twelve element kinds, which attribute(s) provide its *accessibility
+//! text*, in priority order. "Missing" means no source is present at all;
+//! "Empty" means a source is present but whitespace-only — the distinction
+//! Table 2 reports. For buttons and links the visible inner text is
+//! captured separately (screen readers fall back to it, which §3 of the
+//! paper identifies as the likely cause of high missing rates).
+
+use langcrux_html::dom::{Document, NodeId, NodeKind};
+use langcrux_html::visible::visible_text;
+use langcrux_lang::a11y::ElementKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which source provided the accessibility text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TextSource {
+    AriaLabel,
+    Alt,
+    TitleAttr,
+    Value,
+    AssociatedLabel,
+    TitleChild,
+    TextContent,
+}
+
+/// One extracted accessibility element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtractedElement {
+    pub kind: ElementKind,
+    /// `None` = missing; `Some(s)` with whitespace-only `s` = empty.
+    pub text: Option<String>,
+    /// Source of `text` when present.
+    pub source: Option<TextSource>,
+    /// Visible inner text for elements with a fallback (buttons, links).
+    pub visible_fallback: Option<String>,
+}
+
+impl ExtractedElement {
+    /// Missing: no accessibility text source at all.
+    pub fn is_missing(&self) -> bool {
+        self.text.is_none()
+    }
+
+    /// Empty: a source exists but holds only whitespace.
+    pub fn is_empty_text(&self) -> bool {
+        self.text.as_deref().is_some_and(|t| t.trim().is_empty())
+    }
+
+    /// Present and non-whitespace.
+    pub fn content(&self) -> Option<&str> {
+        self.text
+            .as_deref()
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+    }
+}
+
+/// Everything the crawler extracts from one page.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PageExtract {
+    /// Whitespace-normalised visible text of the page.
+    pub visible_text: String,
+    /// The `<html lang=…>` declaration, if any.
+    pub declared_lang: Option<String>,
+    /// All accessibility elements in document order.
+    pub elements: Vec<ExtractedElement>,
+}
+
+impl PageExtract {
+    /// Elements of one kind.
+    pub fn of_kind(&self, kind: ElementKind) -> impl Iterator<Item = &ExtractedElement> {
+        self.elements.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// All non-empty accessibility texts (the input to filtering/langid).
+    pub fn texts(&self) -> impl Iterator<Item = (&ExtractedElement, &str)> {
+        self.elements.iter().filter_map(|e| e.content().map(|t| (e, t)))
+    }
+}
+
+/// Number of whitespace-delimited tokens (the paper's Table 2 word count;
+/// scriptio-continua labels count as one token, which matches how the
+/// paper's CJK medians behave).
+pub fn word_count(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+/// Character count (Unicode scalar values), the Table 2 text length.
+pub fn char_len(text: &str) -> usize {
+    text.chars().count()
+}
+
+/// Extract all accessibility elements plus page-level facts from a DOM.
+pub fn extract(doc: &Document) -> PageExtract {
+    let mut out = PageExtract {
+        visible_text: visible_text(doc),
+        ..PageExtract::default()
+    };
+
+    // <html lang>.
+    if let Some(html) = doc.elements_named("html").next() {
+        out.declared_lang = doc.attr(html, "lang").map(|s| s.to_string());
+    }
+
+    // label[for] → text map for form-control association.
+    let mut label_for: HashMap<String, String> = HashMap::new();
+    for label in doc.elements_named("label") {
+        if let Some(target) = doc.attr(label, "for") {
+            label_for
+                .entry(target.to_string())
+                .or_insert_with(|| doc.text_content(label));
+        }
+    }
+
+    // document-title: exactly one logical slot per page.
+    let title = doc.elements_named("title").find(|&t| {
+        // Ignore <title> children of <svg>.
+        doc.ancestors(t)
+            .all(|a| doc.tag_name(a) != Some("svg"))
+    });
+    out.elements.push(match title {
+        Some(t) => ExtractedElement {
+            kind: ElementKind::DocumentTitle,
+            text: Some(doc.text_content(t)),
+            source: Some(TextSource::TextContent),
+            visible_fallback: None,
+        },
+        None => ExtractedElement {
+            kind: ElementKind::DocumentTitle,
+            text: None,
+            source: None,
+            visible_fallback: None,
+        },
+    });
+
+    for id in doc.elements() {
+        let Some(tag) = doc.tag_name(id) else { continue };
+        match tag {
+            "img" => out.elements.push(attr_element(doc, id, ElementKind::ImageAlt, &[("alt", TextSource::Alt)], None)),
+            "iframe" | "frame" => out.elements.push(attr_element(
+                doc,
+                id,
+                ElementKind::FrameTitle,
+                &[("title", TextSource::TitleAttr)],
+                None,
+            )),
+            "button" => {
+                let fallback = Some(doc.text_content(id));
+                out.elements.push(attr_element(
+                    doc,
+                    id,
+                    ElementKind::ButtonName,
+                    &[("aria-label", TextSource::AriaLabel), ("title", TextSource::TitleAttr)],
+                    fallback,
+                ));
+            }
+            "a" => {
+                if doc.attr(id, "href").is_some() {
+                    let fallback = Some(doc.text_content(id));
+                    out.elements.push(attr_element(
+                        doc,
+                        id,
+                        ElementKind::LinkName,
+                        &[("aria-label", TextSource::AriaLabel), ("title", TextSource::TitleAttr)],
+                        fallback,
+                    ));
+                }
+            }
+            "summary" => {
+                let mut el = attr_element(
+                    doc,
+                    id,
+                    ElementKind::SummaryName,
+                    &[("aria-label", TextSource::AriaLabel)],
+                    None,
+                );
+                if el.text.is_none() {
+                    let inner = doc.text_content(id);
+                    if !inner.trim().is_empty() {
+                        el.text = Some(inner);
+                        el.source = Some(TextSource::TextContent);
+                    }
+                }
+                out.elements.push(el);
+            }
+            "svg" => {
+                if doc.attr(id, "role") == Some("img") {
+                    let mut el = attr_element(
+                        doc,
+                        id,
+                        ElementKind::SvgImgAlt,
+                        &[("aria-label", TextSource::AriaLabel)],
+                        None,
+                    );
+                    if el.text.is_none() {
+                        if let Some(t) = doc
+                            .node(id)
+                            .children
+                            .iter()
+                            .copied()
+                            .find(|&c| doc.tag_name(c) == Some("title"))
+                        {
+                            el.text = Some(doc.text_content(t));
+                            el.source = Some(TextSource::TitleChild);
+                        }
+                    }
+                    out.elements.push(el);
+                }
+            }
+            "object" => {
+                let mut el = attr_element(
+                    doc,
+                    id,
+                    ElementKind::ObjectAlt,
+                    &[("aria-label", TextSource::AriaLabel)],
+                    None,
+                );
+                if el.text.is_none() {
+                    let inner = doc.text_content(id);
+                    if !inner.trim().is_empty() {
+                        el.text = Some(inner);
+                        el.source = Some(TextSource::TextContent);
+                    }
+                }
+                out.elements.push(el);
+            }
+            "select" => {
+                let mut el = attr_element(
+                    doc,
+                    id,
+                    ElementKind::SelectName,
+                    &[("aria-label", TextSource::AriaLabel)],
+                    None,
+                );
+                if el.text.is_none() {
+                    if let Some(label) = doc.attr(id, "id").and_then(|i| label_for.get(i)) {
+                        el.text = Some(label.clone());
+                        el.source = Some(TextSource::AssociatedLabel);
+                    }
+                }
+                out.elements.push(el);
+            }
+            "input" => {
+                let input_type = doc.attr(id, "type").unwrap_or("text").to_ascii_lowercase();
+                match input_type.as_str() {
+                    "image" => out.elements.push(attr_element(
+                        doc,
+                        id,
+                        ElementKind::InputImageAlt,
+                        &[("alt", TextSource::Alt)],
+                        None,
+                    )),
+                    "submit" | "button" | "reset" => out.elements.push(attr_element(
+                        doc,
+                        id,
+                        ElementKind::InputButtonName,
+                        &[("value", TextSource::Value), ("aria-label", TextSource::AriaLabel)],
+                        None,
+                    )),
+                    "hidden" => {}
+                    _ => {
+                        // Text-like controls: the `label` audit target.
+                        let mut el = attr_element(
+                            doc,
+                            id,
+                            ElementKind::Label,
+                            &[("aria-label", TextSource::AriaLabel)],
+                            None,
+                        );
+                        if el.text.is_none() {
+                            if let Some(label) = doc.attr(id, "id").and_then(|i| label_for.get(i))
+                            {
+                                el.text = Some(label.clone());
+                                el.source = Some(TextSource::AssociatedLabel);
+                            }
+                        }
+                        out.elements.push(el);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn attr_element(
+    doc: &Document,
+    id: NodeId,
+    kind: ElementKind,
+    sources: &[(&str, TextSource)],
+    visible_fallback: Option<String>,
+) -> ExtractedElement {
+    for (attr, source) in sources {
+        if let Some(v) = doc.attr(id, attr) {
+            return ExtractedElement {
+                kind,
+                text: Some(v.to_string()),
+                source: Some(*source),
+                visible_fallback,
+            };
+        }
+    }
+    // Sanity: `id` really is an element (attr lookups above need it too).
+    debug_assert!(matches!(doc.node(id).kind, NodeKind::Element { .. }));
+    ExtractedElement {
+        kind,
+        text: None,
+        source: None,
+        visible_fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_html::parse;
+
+    fn extract_str(html: &str) -> PageExtract {
+        extract(&parse(html))
+    }
+
+    #[test]
+    fn image_alt_states() {
+        let ex = extract_str(r#"<img src=a><img src=b alt=""><img src=c alt="a cat">"#);
+        let imgs: Vec<_> = ex.of_kind(ElementKind::ImageAlt).collect();
+        assert_eq!(imgs.len(), 3);
+        assert!(imgs[0].is_missing());
+        assert!(imgs[1].is_empty_text() && !imgs[1].is_missing());
+        assert_eq!(imgs[2].content(), Some("a cat"));
+        assert_eq!(imgs[2].source, Some(TextSource::Alt));
+    }
+
+    #[test]
+    fn button_uses_aria_label_with_fallback() {
+        let ex = extract_str(r#"<button aria-label="закрыть">X</button><button>Open</button>"#);
+        let buttons: Vec<_> = ex.of_kind(ElementKind::ButtonName).collect();
+        assert_eq!(buttons[0].content(), Some("закрыть"));
+        assert_eq!(buttons[0].visible_fallback.as_deref(), Some("X"));
+        assert!(buttons[1].is_missing());
+        assert_eq!(buttons[1].visible_fallback.as_deref(), Some("Open"));
+    }
+
+    #[test]
+    fn link_requires_href() {
+        let ex = extract_str(r#"<a href="/x">go</a><a name="anchor">not a link</a>"#);
+        assert_eq!(ex.of_kind(ElementKind::LinkName).count(), 1);
+    }
+
+    #[test]
+    fn document_title_extraction() {
+        let ex = extract_str("<head><title>Новости дня</title></head>");
+        let t: Vec<_> = ex.of_kind(ElementKind::DocumentTitle).collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].content(), Some("Новости дня"));
+
+        let ex = extract_str("<head></head><body></body>");
+        assert!(ex.of_kind(ElementKind::DocumentTitle).next().unwrap().is_missing());
+    }
+
+    #[test]
+    fn svg_title_child_not_document_title() {
+        let ex = extract_str(
+            r#"<head><title>Page</title></head>
+               <svg role="img"><title>home icon</title></svg>
+               <svg><circle/></svg>"#,
+        );
+        assert_eq!(
+            ex.of_kind(ElementKind::DocumentTitle).next().unwrap().content(),
+            Some("Page")
+        );
+        let svgs: Vec<_> = ex.of_kind(ElementKind::SvgImgAlt).collect();
+        // Only the role="img" svg counts.
+        assert_eq!(svgs.len(), 1);
+        assert_eq!(svgs[0].content(), Some("home icon"));
+        assert_eq!(svgs[0].source, Some(TextSource::TitleChild));
+    }
+
+    #[test]
+    fn label_association() {
+        let ex = extract_str(
+            r#"<label for="name">Ваше имя</label><input type="text" id="name">
+               <input type="text" id="unlabelled">
+               <input type="text" aria-label="phone">"#,
+        );
+        let labels: Vec<_> = ex.of_kind(ElementKind::Label).collect();
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[0].content(), Some("Ваше имя"));
+        assert_eq!(labels[0].source, Some(TextSource::AssociatedLabel));
+        assert!(labels[1].is_missing());
+        assert_eq!(labels[2].content(), Some("phone"));
+    }
+
+    #[test]
+    fn input_kinds_split_by_type() {
+        let ex = extract_str(
+            r#"<input type="image" src="b.png" alt="buy">
+               <input type="submit" value="전송">
+               <input type="hidden" value="x">
+               <input>"#,
+        );
+        assert_eq!(ex.of_kind(ElementKind::InputImageAlt).count(), 1);
+        assert_eq!(
+            ex.of_kind(ElementKind::InputButtonName).next().unwrap().content(),
+            Some("전송")
+        );
+        // hidden input is skipped; bare input is a Label slot.
+        assert_eq!(ex.of_kind(ElementKind::Label).count(), 1);
+    }
+
+    #[test]
+    fn summary_and_object_fallback_text() {
+        let ex = extract_str(
+            r#"<details><summary>รายละเอียด</summary></details>
+               <details><summary></summary></details>
+               <object data="f.pdf">annual report</object>"#,
+        );
+        let summaries: Vec<_> = ex.of_kind(ElementKind::SummaryName).collect();
+        assert_eq!(summaries[0].content(), Some("รายละเอียด"));
+        assert!(summaries[1].is_missing());
+        assert_eq!(
+            ex.of_kind(ElementKind::ObjectAlt).next().unwrap().content(),
+            Some("annual report")
+        );
+    }
+
+    #[test]
+    fn declared_lang_and_visible_text() {
+        let ex = extract_str(r#"<html lang="th"><body><p>สวัสดี</p></body></html>"#);
+        assert_eq!(ex.declared_lang.as_deref(), Some("th"));
+        assert_eq!(ex.visible_text, "สวัสดี");
+    }
+
+    #[test]
+    fn texts_iterator_skips_missing_and_empty() {
+        let ex = extract_str(r#"<img alt="one"><img><img alt="">"#);
+        let texts: Vec<&str> = ex.texts().map(|(_, t)| t).collect();
+        assert_eq!(texts, vec!["one"]);
+    }
+
+    #[test]
+    fn word_and_char_counts() {
+        assert_eq!(word_count("three word label"), 3);
+        assert_eq!(word_count("ภาพข่าว"), 1);
+        assert_eq!(word_count("  "), 0);
+        assert_eq!(char_len("ক খ"), 3);
+        assert_eq!(char_len(""), 0);
+    }
+}

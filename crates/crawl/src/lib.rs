@@ -1,0 +1,26 @@
+//! # langcrux-crawl
+//!
+//! The crawling layer of the reproduction: a Puppeteer-equivalent page
+//! visitor (fetch → parse → extract) and a worker-pool crawler.
+//!
+//! The paper "develop\[s\] a web crawler using Puppeteer, which simulates web
+//! browsing conditions in a Chromium environment … capturing network-level
+//! metadata, page structure, and accessibility indicators" (§2, Data
+//! Collection). This crate produces the same artefacts from the simulated
+//! internet:
+//!
+//! * [`mod@extract`] — visible text, `<html lang>`, and the twelve
+//!   accessibility element kinds with their missing/empty/text states
+//!   (the extraction contract of DESIGN.md).
+//! * [`browser`] — single-page visits with retry handling and
+//!   restricted-content detection.
+//! * [`pool`] — crossbeam worker-pool crawling with deterministic,
+//!   scheduling-independent results.
+
+pub mod browser;
+pub mod extract;
+pub mod pool;
+
+pub use browser::{Browser, BrowserConfig, Visit, VisitError};
+pub use extract::{char_len, extract, word_count, ExtractedElement, PageExtract, TextSource};
+pub use pool::{crawl_hosts, CrawlConfig, CrawlOutcome, CrawlStats};

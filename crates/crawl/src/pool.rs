@@ -1,0 +1,217 @@
+//! Parallel crawling.
+//!
+//! The crawl workload is CPU-bound simulation (render + parse + extract),
+//! so — per the workspace's networking guides — it runs on a worker pool of
+//! OS threads rather than an async runtime: a crossbeam channel feeds
+//! hostnames to scoped worker threads, each owning a [`Browser`], and a
+//! second channel collects results. Results are re-sorted by host so the
+//! outcome is independent of scheduling order (determinism guarantee).
+
+use crate::browser::{Browser, BrowserConfig, Visit, VisitError};
+use crossbeam::channel;
+use langcrux_net::{Internet, Url, Vantage};
+use serde::{Deserialize, Serialize};
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlConfig {
+    pub threads: usize,
+    pub browser: BrowserConfig,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            browser: BrowserConfig::default(),
+        }
+    }
+}
+
+/// Aggregate crawl telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawlStats {
+    pub attempted: u64,
+    pub succeeded: u64,
+    pub failed: u64,
+    pub restricted: u64,
+    pub retried_visits: u64,
+    pub total_bytes: u64,
+    pub total_latency_ms: u64,
+}
+
+/// Result of crawling a host list.
+pub struct CrawlOutcome {
+    /// `(host, result)` sorted by host for determinism.
+    pub visits: Vec<(String, Result<Visit, VisitError>)>,
+    pub stats: CrawlStats,
+}
+
+impl CrawlOutcome {
+    /// Iterate only the successful visits.
+    pub fn successes(&self) -> impl Iterator<Item = (&str, &Visit)> {
+        self.visits
+            .iter()
+            .filter_map(|(h, r)| r.as_ref().ok().map(|v| (h.as_str(), v)))
+    }
+}
+
+/// Crawl `hosts` from `vantage` using a worker pool.
+pub fn crawl_hosts(
+    internet: &Internet,
+    vantage: Vantage,
+    hosts: &[String],
+    config: CrawlConfig,
+) -> CrawlOutcome {
+    let threads = config.threads.max(1).min(hosts.len().max(1));
+    let (work_tx, work_rx) = channel::unbounded::<String>();
+    let (result_tx, result_rx) = channel::unbounded::<(String, Result<Visit, VisitError>)>();
+
+    for host in hosts {
+        work_tx.send(host.clone()).expect("queue open");
+    }
+    drop(work_tx);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let result_tx = result_tx.clone();
+            let browser = Browser::new(internet, config.browser);
+            scope.spawn(move |_| {
+                while let Ok(host) = work_rx.recv() {
+                    let result = browser.visit(&Url::from_host(&host), vantage);
+                    if result_tx.send((host, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+    })
+    .expect("crawl worker panicked");
+
+    let mut visits: Vec<(String, Result<Visit, VisitError>)> = result_rx.iter().collect();
+    visits.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut stats = CrawlStats {
+        attempted: hosts.len() as u64,
+        ..CrawlStats::default()
+    };
+    for (_, result) in &visits {
+        match result {
+            Ok(v) => {
+                stats.succeeded += 1;
+                stats.total_bytes += v.html_bytes as u64;
+                stats.total_latency_ms += u64::from(v.latency_ms);
+                if v.attempts > 1 {
+                    stats.retried_visits += 1;
+                }
+            }
+            Err(VisitError::Restricted) => {
+                stats.restricted += 1;
+                stats.failed += 1;
+            }
+            Err(_) => stats.failed += 1,
+        }
+    }
+    CrawlOutcome { visits, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_lang::Country;
+    use langcrux_net::{ContentServer, ContentVariant, FaultPlan};
+
+    fn server(tag: String) -> Box<dyn ContentServer> {
+        Box::new(move |_v: ContentVariant, _p: &str| {
+            format!("<html><head><title>{tag}</title></head><body><p>{tag}</p></body></html>")
+        })
+    }
+
+    fn build_net(hosts: usize, plan: FaultPlan) -> (Internet, Vec<String>) {
+        let mut net = Internet::new(21, plan);
+        let mut names = Vec::new();
+        for i in 0..hosts {
+            let host = format!("site{i}.jp");
+            net.register_simple(&host, Country::Japan, server(host.clone()));
+            names.push(host);
+        }
+        (net, names)
+    }
+
+    #[test]
+    fn crawl_collects_all_hosts() {
+        let (net, hosts) = build_net(40, FaultPlan::RELIABLE);
+        let outcome = crawl_hosts(
+            &net,
+            Vantage::Residential(Country::Japan),
+            &hosts,
+            CrawlConfig {
+                threads: 4,
+                browser: BrowserConfig::default(),
+            },
+        );
+        assert_eq!(outcome.visits.len(), 40);
+        assert_eq!(outcome.stats.succeeded, 40);
+        assert_eq!(outcome.stats.failed, 0);
+        assert!(outcome.stats.total_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let (net, hosts) = build_net(60, FaultPlan::HOSTILE);
+        let run = |threads: usize| {
+            let outcome = crawl_hosts(
+                &net,
+                Vantage::Cloud,
+                &hosts,
+                CrawlConfig {
+                    threads,
+                    browser: BrowserConfig::default(),
+                },
+            );
+            outcome
+                .visits
+                .iter()
+                .map(|(h, r)| (h.clone(), r.is_ok()))
+                .collect::<Vec<_>>()
+        };
+        // Determinism: outcome (per host) must not depend on thread count.
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn stats_count_failures() {
+        let (net, hosts) = build_net(80, FaultPlan::HOSTILE);
+        let outcome = crawl_hosts(&net, Vantage::Cloud, &hosts, CrawlConfig::default());
+        assert_eq!(outcome.stats.attempted, 80);
+        assert_eq!(
+            outcome.stats.succeeded + outcome.stats.failed,
+            outcome.visits.len() as u64
+        );
+        // A hostile plan with retries should still recover most hosts.
+        assert!(outcome.stats.succeeded > 60);
+    }
+
+    #[test]
+    fn empty_host_list() {
+        let (net, _) = build_net(1, FaultPlan::RELIABLE);
+        let outcome = crawl_hosts(&net, Vantage::Cloud, &[], CrawlConfig::default());
+        assert!(outcome.visits.is_empty());
+        assert_eq!(outcome.stats.attempted, 0);
+    }
+
+    #[test]
+    fn successes_iterator() {
+        let (net, hosts) = build_net(10, FaultPlan::RELIABLE);
+        let outcome = crawl_hosts(&net, Vantage::Cloud, &hosts, CrawlConfig::default());
+        assert_eq!(outcome.successes().count(), 10);
+        for (host, visit) in outcome.successes() {
+            assert!(visit.extract.visible_text.contains(host));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The discard taxonomy of Appendix H.
+//!
+//! Eleven categories of uninformative accessibility text. The paper's
+//! definitions (rationale + examples) are quoted in each variant's doc
+//! comment; `langcrux-filter::rules` implements the matching heuristics and
+//! `langcrux-webgen` plants instances of each at calibrated rates.
+
+use serde::{Deserialize, Serialize};
+
+/// Why an accessibility text was discarded as uninformative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DiscardCategory {
+    /// "Emoji are discarded because screen readers often fail to interpret
+    /// them reliably or skip them altogether."
+    Emoji,
+    /// "Texts below a language-specific character threshold … for CJK the
+    /// limit is 1 character; for others, it is 3." Examples: "go", "图".
+    TooShort,
+    /// "Strings that appear to be image or asset file names."
+    /// Example: "banner_img123.jpg".
+    FileName,
+    /// "URLs or file system paths are excluded."
+    /// Example: `https://example.com/image.png`, `/assets/img/logo.svg`.
+    UrlOrFilePath,
+    /// "Common UI actions (e.g., 'close', 'search') in multiple languages
+    /// are filtered if used alone without context."
+    GenericAction,
+    /// "Generic placeholders for images or UI components, such as 'image',
+    /// 'icon', or 'button' … include translations in various languages."
+    Placeholder,
+    /// "Developer-generated IDs or component labels."
+    /// Example: "btn-submit", "nav_menu".
+    DevLabel,
+    /// "Common patterns like 'image 1', 'button 2'."
+    /// Example: "slide 3", "figure 5".
+    LabelNumberPattern,
+    /// "For non-CJK scripts, single-word entries are filtered unless they
+    /// appear to carry descriptive meaning." Example: "photo", "submit".
+    SingleWord,
+    /// "Strings with alphanumeric IDs are typically programmatic."
+    /// Example: "img123", "icon2".
+    MixedAlnum,
+    /// "Numeric phrases like '3 of 5' are common in pagination."
+    /// Example: "2 of 10", "1 of 3".
+    OrdinalPhrase,
+}
+
+impl DiscardCategory {
+    /// All categories, in the fixed priority order used by the classifier
+    /// (first match wins; see `rules` module docs for the rationale).
+    pub const ALL: [DiscardCategory; 11] = [
+        DiscardCategory::Emoji,
+        DiscardCategory::UrlOrFilePath,
+        DiscardCategory::FileName,
+        DiscardCategory::OrdinalPhrase,
+        DiscardCategory::LabelNumberPattern,
+        DiscardCategory::MixedAlnum,
+        DiscardCategory::DevLabel,
+        DiscardCategory::TooShort,
+        DiscardCategory::GenericAction,
+        DiscardCategory::Placeholder,
+        DiscardCategory::SingleWord,
+    ];
+
+    /// Display label matching the paper's Figure 3/9 legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiscardCategory::Emoji => "Emoji",
+            DiscardCategory::TooShort => "Too Short",
+            DiscardCategory::FileName => "File Name",
+            DiscardCategory::UrlOrFilePath => "URL or File Path",
+            DiscardCategory::GenericAction => "Generic Action",
+            DiscardCategory::Placeholder => "Placeholder",
+            DiscardCategory::DevLabel => "Dev Label",
+            DiscardCategory::LabelNumberPattern => "Label Number Pattern",
+            DiscardCategory::SingleWord => "Single Word",
+            DiscardCategory::MixedAlnum => "Mixed Alnum",
+            DiscardCategory::OrdinalPhrase => "Ordinal Phrase",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_categories() {
+        assert_eq!(DiscardCategory::ALL.len(), 11);
+        let mut sorted = DiscardCategory::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 11);
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(DiscardCategory::UrlOrFilePath.label(), "URL or File Path");
+        assert_eq!(
+            DiscardCategory::LabelNumberPattern.label(),
+            "Label Number Pattern"
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! The filtering heuristics.
+//!
+//! [`classify`] maps an accessibility text to `Some(DiscardCategory)` when
+//! it is uninformative, or `None` when it should be retained for the
+//! language analysis. Rules are checked in a fixed priority order (the
+//! order of [`DiscardCategory::ALL`]): structural patterns first (URLs,
+//! file names, numeric patterns), then the too-short cut, then dictionary
+//! categories, then the single-word fallback — so that `"btn-submit.png"`
+//! is a FileName, not a DevLabel; `"go"` is TooShort (the paper's example)
+//! even though it is also a generic action; and `"search"` is a
+//! GenericAction, not a SingleWord.
+//!
+//! Two thresholds follow the paper verbatim: CJK texts of 1 character are
+//! too short, other scripts need ≥ 3 characters. The paper's "single-word
+//! entries are filtered unless they appear to carry descriptive meaning"
+//! is operationalised with a length heuristic (documented at
+//! [`SINGLE_WORD_KEEP_LEN`]) — long single tokens in scripts without word
+//! spacing (Thai, Myanmar) or long compound words are kept.
+
+use crate::category::DiscardCategory;
+use langcrux_lang::dict;
+use langcrux_lang::script::{script_of, Script};
+
+/// Single whitespace-free tokens shorter than this are SingleWord-discarded
+/// in space-separated scripts; at or above it they are assumed to carry
+/// descriptive meaning (compound words, proper names).
+pub const SINGLE_WORD_KEEP_LEN: usize = 12;
+
+/// Thai/Myanmar write without inter-word spaces; a "single token" there can
+/// be a whole phrase. Tokens at or above this length are kept.
+pub const CONTINUA_KEEP_LEN: usize = 9;
+
+/// Classify an accessibility text. `None` means informative/useful.
+pub fn classify(text: &str) -> Option<DiscardCategory> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        // Empty is handled upstream as "empty attribute"; defensively map
+        // to TooShort here.
+        return Some(DiscardCategory::TooShort);
+    }
+    for category in DiscardCategory::ALL {
+        let hit = match category {
+            DiscardCategory::Emoji => is_emoji_only(trimmed),
+            DiscardCategory::UrlOrFilePath => is_url_or_path(trimmed),
+            DiscardCategory::FileName => is_file_name(trimmed),
+            DiscardCategory::OrdinalPhrase => is_ordinal_phrase(trimmed),
+            DiscardCategory::LabelNumberPattern => is_label_number(trimmed),
+            DiscardCategory::MixedAlnum => is_mixed_alnum(trimmed),
+            DiscardCategory::DevLabel => is_dev_label(trimmed),
+            DiscardCategory::GenericAction => dict::generic_action(trimmed).is_some(),
+            DiscardCategory::Placeholder => dict::placeholder(trimmed).is_some(),
+            DiscardCategory::TooShort => is_too_short(trimmed),
+            DiscardCategory::SingleWord => is_single_word(trimmed),
+        };
+        if hit {
+            return Some(category);
+        }
+    }
+    None
+}
+
+/// Whether the text survives filtering (is informative).
+pub fn is_informative(text: &str) -> bool {
+    classify(text).is_none()
+}
+
+fn is_emoji_char(c: char) -> bool {
+    let cp = c as u32;
+    matches!(cp,
+        0x1F000..=0x1FAFF   // emoji, symbols, pictographs
+        | 0x2600..=0x27BF   // misc symbols + dingbats
+        | 0x2B00..=0x2BFF   // misc symbols and arrows
+        | 0x2190..=0x21FF   // arrows
+        | 0x25A0..=0x25FF   // geometric shapes
+        | 0xFE0E..=0xFE0F   // variation selectors
+        | 0x200D            // zero-width joiner
+    )
+}
+
+fn is_emoji_only(text: &str) -> bool {
+    let mut saw_emoji = false;
+    for c in text.chars() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if is_emoji_char(c) {
+            saw_emoji = true;
+        } else if !c.is_ascii_punctuation() {
+            return false;
+        }
+    }
+    saw_emoji
+}
+
+fn is_url_or_path(text: &str) -> bool {
+    if text.split_whitespace().count() != 1 {
+        return false;
+    }
+    let lower = text.to_ascii_lowercase();
+    if lower.contains("://") || lower.starts_with("www.") {
+        return true;
+    }
+    // Absolute file-system-ish path with at least two segments.
+    if lower.starts_with('/') && lower[1..].contains('/') {
+        return true;
+    }
+    false
+}
+
+const ASSET_EXTENSIONS: &[&str] = &[
+    ".jpg", ".jpeg", ".png", ".gif", ".svg", ".webp", ".ico", ".bmp", ".avif", ".pdf", ".mp4",
+    ".webm", ".css", ".js",
+];
+
+fn is_file_name(text: &str) -> bool {
+    if text.split_whitespace().count() != 1 {
+        return false;
+    }
+    let lower = text.to_ascii_lowercase();
+    ASSET_EXTENSIONS.iter().any(|ext| lower.ends_with(ext)) && lower.len() > 4
+}
+
+fn is_ordinal_phrase(text: &str) -> bool {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    // "3 of 5", "3 / 5", "3/5"
+    match tokens.as_slice() {
+        [a, mid, b] => {
+            is_integer(a) && is_integer(b) && (mid.eq_ignore_ascii_case("of") || *mid == "/")
+        }
+        [single] => {
+            if let Some((a, b)) = single.split_once('/') {
+                is_integer(a) && is_integer(b)
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+fn is_integer(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_digit())
+}
+
+fn is_label_number(text: &str) -> bool {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    match tokens.as_slice() {
+        [word, num] => {
+            is_integer(num)
+                && !word.is_empty()
+                && word.chars().all(|c| c.is_alphabetic())
+        }
+        _ => false,
+    }
+}
+
+fn is_mixed_alnum(text: &str) -> bool {
+    if text.split_whitespace().count() != 1 {
+        return false;
+    }
+    let has_alpha = text.chars().any(|c| c.is_alphabetic());
+    let has_digit = text.chars().any(|c| c.is_ascii_digit());
+    let clean = text
+        .chars()
+        .all(|c| c.is_alphanumeric());
+    has_alpha && has_digit && clean
+}
+
+fn is_dev_label(text: &str) -> bool {
+    if text.split_whitespace().count() != 1 || text.len() < 3 {
+        return false;
+    }
+    let has_sep = text.contains('-') || text.contains('_');
+    if has_sep {
+        // kebab-case / snake_case identifiers: all-ASCII alnum segments.
+        let segments: Vec<&str> = text.split(['-', '_']).collect();
+        return segments.len() >= 2
+            && segments.iter().all(|s| {
+                !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric())
+            });
+    }
+    // camelCase: lowercase start, internal uppercase, ASCII only.
+    let ascii = text.chars().all(|c| c.is_ascii_alphanumeric());
+    if !ascii {
+        return false;
+    }
+    let starts_lower = text.chars().next().is_some_and(|c| c.is_ascii_lowercase());
+    let internal_upper = text.chars().skip(1).any(|c| c.is_ascii_uppercase());
+    starts_lower && internal_upper
+}
+
+/// Whether the text's letters are CJK-dominant (Han/kana/Hangul).
+fn is_cjk_dominant(text: &str) -> bool {
+    let mut cjk = 0usize;
+    let mut other = 0usize;
+    for c in text.chars() {
+        match script_of(c) {
+            s if s.is_cjk() => cjk += 1,
+            Script::Common | Script::Unknown => {}
+            _ => other += 1,
+        }
+    }
+    cjk > 0 && cjk >= other
+}
+
+/// Whether letters are in a scriptio-continua non-CJK script (Thai, Myanmar).
+fn is_continua_non_cjk(text: &str) -> bool {
+    let mut hits = 0usize;
+    let mut other = 0usize;
+    for c in text.chars() {
+        match script_of(c) {
+            Script::Thai | Script::Myanmar => hits += 1,
+            Script::Common | Script::Unknown => {}
+            _ => other += 1,
+        }
+    }
+    hits > 0 && hits >= other
+}
+
+fn is_too_short(text: &str) -> bool {
+    let len = text.chars().filter(|c| !c.is_whitespace()).count();
+    if is_cjk_dominant(text) {
+        len <= 1
+    } else {
+        len < 3
+    }
+}
+
+fn is_single_word(text: &str) -> bool {
+    if text.split_whitespace().count() != 1 {
+        return false;
+    }
+    // Pure digit/symbol tokens are not "words"; the language classifier
+    // upstream buckets them as non-linguistic.
+    if !text.chars().any(|c| c.is_alphabetic()) {
+        return false;
+    }
+    let len = text.chars().count();
+    if is_cjk_dominant(text) {
+        // Paper: the single-word rule applies to non-CJK scripts only.
+        return false;
+    }
+    if is_continua_non_cjk(text) {
+        return len < CONTINUA_KEEP_LEN;
+    }
+    len < SINGLE_WORD_KEEP_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat(text: &str) -> Option<DiscardCategory> {
+        classify(text)
+    }
+
+    #[test]
+    fn paper_examples_discard() {
+        // Appendix H examples, one per category.
+        assert_eq!(cat("🙂"), Some(DiscardCategory::Emoji));
+        assert_eq!(cat("go"), Some(DiscardCategory::TooShort));
+        assert_eq!(cat("图"), Some(DiscardCategory::TooShort));
+        assert_eq!(cat("banner_img123.jpg"), Some(DiscardCategory::FileName));
+        assert_eq!(
+            cat("https://example.com/image.png"),
+            Some(DiscardCategory::UrlOrFilePath)
+        );
+        assert_eq!(
+            cat("/assets/img/logo.svg"),
+            Some(DiscardCategory::UrlOrFilePath)
+        );
+        assert_eq!(cat("search"), Some(DiscardCategory::GenericAction));
+        assert_eq!(cat("닫기"), Some(DiscardCategory::GenericAction));
+        assert_eq!(cat("icon"), Some(DiscardCategory::Placeholder));
+        assert_eq!(cat("图像"), Some(DiscardCategory::Placeholder));
+        assert_eq!(cat("btn-submit"), Some(DiscardCategory::DevLabel));
+        assert_eq!(cat("nav_menu"), Some(DiscardCategory::DevLabel));
+        assert_eq!(cat("slide 3"), Some(DiscardCategory::LabelNumberPattern));
+        assert_eq!(cat("figure 5"), Some(DiscardCategory::LabelNumberPattern));
+        assert_eq!(cat("photo"), Some(DiscardCategory::SingleWord));
+        assert_eq!(cat("img123"), Some(DiscardCategory::MixedAlnum));
+        assert_eq!(cat("icon2"), Some(DiscardCategory::MixedAlnum));
+        assert_eq!(cat("2 of 10"), Some(DiscardCategory::OrdinalPhrase));
+        assert_eq!(cat("1 of 3"), Some(DiscardCategory::OrdinalPhrase));
+        assert_eq!(cat("3/5"), Some(DiscardCategory::OrdinalPhrase));
+    }
+
+    #[test]
+    fn informative_text_survives() {
+        assert_eq!(cat("finance minister presents annual budget"), None);
+        assert_eq!(cat("students planting trees in the school garden"), None);
+        assert_eq!(cat("শিক্ষার্থীরা গাছ লাগাচ্ছে"), None);
+        assert_eq!(cat("नदी के किनारे मेला"), None);
+        // CJK multi-char labels are informative (single-word rule exempt).
+        assert_eq!(cat("歴史博物館の入口"), None);
+        assert_eq!(cat("경복궁의 가을 풍경"), None);
+    }
+
+    #[test]
+    fn priority_file_name_over_dev_label() {
+        // Contains '-' AND '.png' → FileName wins by priority.
+        assert_eq!(cat("btn-close.png"), Some(DiscardCategory::FileName));
+    }
+
+    #[test]
+    fn priority_action_over_single_word() {
+        assert_eq!(cat("submit"), Some(DiscardCategory::GenericAction));
+        assert_eq!(cat("poodle"), Some(DiscardCategory::SingleWord));
+    }
+
+    #[test]
+    fn camel_case_dev_labels() {
+        assert_eq!(cat("navbarToggle"), Some(DiscardCategory::DevLabel));
+        assert_eq!(cat("mainHeaderLogo"), Some(DiscardCategory::DevLabel));
+        // Plain capitalised words are not dev labels (they're single words).
+        assert_eq!(cat("Budget"), Some(DiscardCategory::SingleWord));
+    }
+
+    #[test]
+    fn long_single_tokens_are_kept() {
+        // ≥ 12 chars: assumed descriptive (compound/proper noun).
+        assert_eq!(cat("chrysanthemum"), None);
+        assert_eq!(cat("Thiruvananthapuram"), None);
+        // Thai token of ≥ 9 chars is a phrase, keep.
+        assert_eq!(cat("ตลาดน้ำดำเนินสะดวก"), None);
+        // Short Thai token (3 chars: past the too-short bar, below the
+        // continua keep length): single word.
+        assert_eq!(cat("รูป"), Some(DiscardCategory::SingleWord));
+    }
+
+    #[test]
+    fn thai_short_single_word() {
+        // 4 Thai chars: above too-short (≥3), below continua keep (<9).
+        assert_eq!(cat("แผนที่"), Some(DiscardCategory::SingleWord));
+    }
+
+    #[test]
+    fn cjk_two_chars_not_too_short() {
+        // 2 CJK chars pass the 1-char CJK limit; 图片 is a Placeholder, 风景 is useful.
+        assert_eq!(cat("图片"), Some(DiscardCategory::Placeholder));
+        assert_eq!(cat("风景"), None);
+    }
+
+    #[test]
+    fn whitespace_and_empty() {
+        assert_eq!(cat(""), Some(DiscardCategory::TooShort));
+        assert_eq!(cat("   "), Some(DiscardCategory::TooShort));
+        assert_eq!(cat(" ok "), Some(DiscardCategory::TooShort));
+    }
+
+    #[test]
+    fn mixed_alnum_edge_cases() {
+        assert_eq!(cat("a1b2c3"), Some(DiscardCategory::MixedAlnum));
+        // Pure digits are not mixed-alnum; "12" is too short, "1234" is
+        // non-linguistic but passes length — it falls through to None here
+        // (language classification upstream buckets it as NonLinguistic).
+        assert_eq!(cat("1234"), None);
+        // Hyphenated alnum is DevLabel, not MixedAlnum.
+        assert_eq!(cat("carousel-1"), Some(DiscardCategory::DevLabel));
+    }
+
+    #[test]
+    fn url_detection_variants() {
+        assert_eq!(cat("www.example.com"), Some(DiscardCategory::UrlOrFilePath));
+        assert_eq!(cat("http://a.b/c?d=e"), Some(DiscardCategory::UrlOrFilePath));
+        // Multi-word strings containing a URL are informative enough.
+        assert_eq!(cat("see https://example.com for details"), None);
+    }
+
+    #[test]
+    fn ordinal_not_overtriggered() {
+        assert_eq!(cat("2 of the best"), None);
+        // "of 5" is word+number -> LabelNumberPattern, not ordinal.
+        assert_eq!(cat("of 5"), Some(DiscardCategory::LabelNumberPattern));
+        // "10 / 20 / 30" is not a simple ordinal.
+        assert_eq!(cat("10 / 20 / 30"), None);
+    }
+
+    #[test]
+    fn is_informative_helper() {
+        assert!(is_informative("crowd at the festival"));
+        assert!(!is_informative("icon"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Verdict accumulation.
+//!
+//! Counts classify() outcomes so the analysis layer can render Figure 3
+//! (by country) and Figure 9 (by element) without re-walking raw texts.
+
+use crate::category::DiscardCategory;
+use crate::rules::classify;
+use serde::{Deserialize, Serialize};
+
+/// Counts of filter verdicts over a set of accessibility texts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterStats {
+    /// Texts retained as informative.
+    pub useful: u64,
+    /// Discarded texts, indexed by `DiscardCategory::ALL` order.
+    discarded: [u64; 11],
+}
+
+impl FilterStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classify one text and record the verdict. Returns the category when
+    /// the text was discarded.
+    pub fn record(&mut self, text: &str) -> Option<DiscardCategory> {
+        match classify(text) {
+            Some(cat) => {
+                self.discarded[Self::index(cat)] += 1;
+                Some(cat)
+            }
+            None => {
+                self.useful += 1;
+                None
+            }
+        }
+    }
+
+    fn index(cat: DiscardCategory) -> usize {
+        DiscardCategory::ALL
+            .iter()
+            .position(|&c| c == cat)
+            .expect("category in ALL")
+    }
+
+    /// Count for one category.
+    pub fn count(&self, cat: DiscardCategory) -> u64 {
+        self.discarded[Self::index(cat)]
+    }
+
+    /// Total texts seen.
+    pub fn total(&self) -> u64 {
+        self.useful + self.discarded.iter().sum::<u64>()
+    }
+
+    /// Total discarded texts.
+    pub fn total_discarded(&self) -> u64 {
+        self.discarded.iter().sum()
+    }
+
+    /// Share (percent of all texts) discarded for a category.
+    pub fn pct(&self, cat: DiscardCategory) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(cat) as f64 * 100.0 / total as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.useful += other.useful;
+        for i in 0..self.discarded.len() {
+            self.discarded[i] += other.discarded[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_percentages() {
+        let mut s = FilterStats::new();
+        assert_eq!(s.record("icon"), Some(DiscardCategory::Placeholder));
+        assert_eq!(s.record("crowd at the market"), None);
+        assert_eq!(s.record("img123"), Some(DiscardCategory::MixedAlnum));
+        assert_eq!(s.record("photo"), Some(DiscardCategory::SingleWord));
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.useful, 1);
+        assert_eq!(s.total_discarded(), 3);
+        assert!((s.pct(DiscardCategory::Placeholder) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = FilterStats::new();
+        a.record("icon");
+        let mut b = FilterStats::new();
+        b.record("menu");
+        b.record("a descriptive sentence here");
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(DiscardCategory::Placeholder), 1);
+        assert_eq!(a.count(DiscardCategory::GenericAction), 1);
+        assert_eq!(a.useful, 1);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = FilterStats::new();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.pct(DiscardCategory::Emoji), 0.0);
+    }
+}

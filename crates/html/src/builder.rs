@@ -1,0 +1,180 @@
+//! Programmatic HTML construction.
+//!
+//! The website generator assembles pages element-by-element;
+//! [`HtmlBuilder`] provides a small push-based writer that guarantees
+//! well-formed output (balanced tags, escaped text and attribute values),
+//! so that what the generator *plants* is exactly what the parser
+//! *recovers* — a property the corpus round-trip tests rely on.
+
+use crate::entities::{escape_attr, escape_text};
+
+/// A streaming HTML writer with a tag stack.
+#[derive(Debug, Default)]
+pub struct HtmlBuilder {
+    buf: String,
+    stack: Vec<String>,
+}
+
+impl HtmlBuilder {
+    /// Start a document with the HTML5 doctype.
+    pub fn document() -> Self {
+        let mut b = HtmlBuilder::default();
+        b.buf.push_str("<!DOCTYPE html>");
+        b
+    }
+
+    /// An empty builder (fragment mode).
+    pub fn fragment() -> Self {
+        HtmlBuilder::default()
+    }
+
+    /// Open an element with attributes. `attrs` pairs are
+    /// `(name, Some(value))` or `(name, None)` for boolean attributes.
+    pub fn open(&mut self, tag: &str, attrs: &[(&str, Option<&str>)]) -> &mut Self {
+        self.write_tag(tag, attrs, false);
+        self.stack.push(tag.to_string());
+        self
+    }
+
+    /// Write a void/self-contained element.
+    pub fn void(&mut self, tag: &str, attrs: &[(&str, Option<&str>)]) -> &mut Self {
+        self.write_tag(tag, attrs, false);
+        self
+    }
+
+    fn write_tag(&mut self, tag: &str, attrs: &[(&str, Option<&str>)], self_close: bool) {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        for (name, value) in attrs {
+            self.buf.push(' ');
+            self.buf.push_str(name);
+            if let Some(v) = value {
+                self.buf.push_str("=\"");
+                self.buf.push_str(&escape_attr(v));
+                self.buf.push('"');
+            }
+        }
+        if self_close {
+            self.buf.push('/');
+        }
+        self.buf.push('>');
+    }
+
+    /// Close the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open — generator code is expected to be
+    /// balanced, and an unbalanced build is a bug worth failing loudly on.
+    pub fn close(&mut self) -> &mut Self {
+        let tag = self.stack.pop().expect("close() with no open element");
+        self.buf.push_str("</");
+        self.buf.push_str(&tag);
+        self.buf.push('>');
+        self
+    }
+
+    /// Escaped text content.
+    pub fn text(&mut self, text: &str) -> &mut Self {
+        self.buf.push_str(&escape_text(text));
+        self
+    }
+
+    /// Raw, pre-escaped markup (used sparingly, e.g. inline SVG bodies).
+    pub fn raw(&mut self, html: &str) -> &mut Self {
+        self.buf.push_str(html);
+        self
+    }
+
+    /// Convenience: `<tag ...>text</tag>`.
+    pub fn leaf(&mut self, tag: &str, attrs: &[(&str, Option<&str>)], text: &str) -> &mut Self {
+        self.open(tag, attrs);
+        self.text(text);
+        self.close()
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Finish the document, closing any still-open elements.
+    pub fn finish(mut self) -> String {
+        while !self.stack.is_empty() {
+            self.close();
+        }
+        self.buf
+    }
+
+    /// Peek at the bytes written so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::visible::visible_text;
+
+    #[test]
+    fn builds_wellformed_document() {
+        let mut b = HtmlBuilder::document();
+        b.open("html", &[("lang", Some("bn"))]);
+        b.open("body", &[]);
+        b.leaf("p", &[], "নমস্কার");
+        b.void("img", &[("src", Some("/a.png")), ("alt", Some("ছবি"))]);
+        b.close(); // body
+        b.close(); // html
+        let html = b.finish();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        let doc = parse(&html);
+        assert_eq!(visible_text(&doc), "নমস্কার");
+        let img = doc.elements_named("img").next().unwrap();
+        assert_eq!(doc.attr(img, "alt"), Some("ছবি"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let tricky = r#"5 < 6 & "quotes" > 4"#;
+        let mut b = HtmlBuilder::fragment();
+        b.leaf("p", &[("title", Some(tricky))], tricky);
+        let html = b.finish();
+        let doc = parse(&html);
+        let p = doc.elements_named("p").next().unwrap();
+        assert_eq!(doc.attr(p, "title"), Some(tricky));
+        assert_eq!(doc.text_content(p), tricky);
+    }
+
+    #[test]
+    fn boolean_attributes() {
+        let mut b = HtmlBuilder::fragment();
+        b.void("input", &[("type", Some("text")), ("disabled", None)]);
+        let html = b.finish();
+        assert_eq!(html, r#"<input type="text" disabled>"#);
+    }
+
+    #[test]
+    fn finish_closes_open_elements() {
+        let mut b = HtmlBuilder::fragment();
+        b.open("div", &[]).open("span", &[]).text("x");
+        let html = b.finish();
+        assert_eq!(html, "<div><span>x</span></div>");
+    }
+
+    #[test]
+    #[should_panic(expected = "close() with no open element")]
+    fn unbalanced_close_panics() {
+        HtmlBuilder::fragment().close();
+    }
+
+    #[test]
+    fn depth_tracks_stack() {
+        let mut b = HtmlBuilder::fragment();
+        assert_eq!(b.depth(), 0);
+        b.open("div", &[]);
+        assert_eq!(b.depth(), 1);
+        b.close();
+        assert_eq!(b.depth(), 0);
+    }
+}

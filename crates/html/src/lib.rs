@@ -1,0 +1,33 @@
+//! # langcrux-html
+//!
+//! A from-scratch HTML engine sized for measurement crawling: tokenizer,
+//! arena DOM, tree builder with browser-style error recovery, visibility-
+//! aware text extraction, and a well-formed HTML writer.
+//!
+//! This substrate replaces the paper's Puppeteer/Chromium dependency for
+//! everything the study actually consumes from the browser: the parsed DOM,
+//! element attributes, and the page's visible text (honouring `hidden`,
+//! `aria-hidden`, and inline `display:none`).
+//!
+//! * [`tokenizer`] — tags, attributes (all forms), comments, doctype,
+//!   raw-text elements; never fails on malformed input.
+//! * [`entities`] — character-reference decode/encode.
+//! * [`dom`] — arena [`dom::Document`] with id-based traversal.
+//! * [`parser`] — tree construction with void elements and recovery.
+//! * [`visible`] — Puppeteer-equivalent visible-text extraction.
+//! * [`builder`] — balanced, escaped HTML construction for the generator.
+//! * [`mod@serialize`] — DOM → HTML re-emission (normalising round trip).
+
+pub mod builder;
+pub mod dom;
+pub mod entities;
+pub mod parser;
+pub mod serialize;
+pub mod tokenizer;
+pub mod visible;
+
+pub use builder::HtmlBuilder;
+pub use dom::{Document, NodeId, NodeKind};
+pub use parser::parse;
+pub use serialize::serialize;
+pub use visible::{visible_text, visible_text_of};

@@ -1,0 +1,149 @@
+//! DOM → HTML serialization.
+//!
+//! Re-emits a parsed [`Document`] as HTML. Together with [`crate::parser`]
+//! this gives a normalising round trip: `parse(serialize(parse(x)))`
+//! produces the same tree as `parse(x)` — the property test that pins down
+//! both components. Used by tooling that rewrites pages (e.g. tests that
+//! inject accessibility fixes and re-audit).
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::entities::{escape_attr, escape_text};
+use crate::parser::is_void_element;
+use crate::tokenizer::is_raw_text_element;
+
+/// Serialize a whole document (including doctype when present).
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(dt) = &doc.doctype {
+        out.push_str("<!DOCTYPE ");
+        out.push_str(dt);
+        out.push('>');
+    }
+    for &child in &doc.node(NodeId::ROOT).children {
+        serialize_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serialize one subtree.
+pub fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Document => {
+            for &child in &doc.node(id).children {
+                serialize_node(doc, child, out);
+            }
+        }
+        NodeKind::Text(t) => {
+            // Text inside raw-text elements must not be entity-escaped.
+            let raw_parent = doc
+                .parent_element(id)
+                .and_then(|p| doc.tag_name(p))
+                .map(|name| is_raw_text_element(name) && !matches!(name, "title" | "textarea"))
+                .unwrap_or(false);
+            if raw_parent {
+                out.push_str(t);
+            } else {
+                out.push_str(&escape_text(t));
+            }
+        }
+        NodeKind::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeKind::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for attr in attrs {
+                out.push(' ');
+                out.push_str(&attr.name);
+                if !attr.value.is_empty() {
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&attr.value));
+                    out.push('"');
+                }
+            }
+            out.push('>');
+            if is_void_element(name) {
+                return;
+            }
+            for &child in &doc.node(id).children {
+                serialize_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::visible::visible_text;
+
+    fn round_trip(html: &str) -> String {
+        serialize(&parse(html))
+    }
+
+    #[test]
+    fn simple_round_trip() {
+        let html = r#"<!DOCTYPE html><html lang="bn"><body><p>নমস্কার</p></body></html>"#;
+        assert_eq!(round_trip(html), html);
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let out = round_trip(r#"<div><img src="a.png" alt="x"><br></div>"#);
+        assert_eq!(out, r#"<div><img src="a.png" alt="x"><br></div>"#);
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let out = round_trip(r#"<a href="/x" title="a &quot;b&quot; &amp; c">t</a>"#);
+        let doc = parse(&out);
+        let a = doc.elements_named("a").next().unwrap();
+        assert_eq!(doc.attr(a, "title"), Some(r#"a "b" & c"#));
+    }
+
+    #[test]
+    fn boolean_attributes_stay_bare() {
+        let out = round_trip(r#"<input type="text" disabled>"#);
+        assert_eq!(out, r#"<input type="text" disabled>"#);
+    }
+
+    #[test]
+    fn script_content_not_escaped() {
+        let html = r#"<script>if (a < b && c > d) { go(); }</script>"#;
+        let out = round_trip(html);
+        assert_eq!(out, html);
+    }
+
+    #[test]
+    fn title_content_escaped() {
+        let out = round_trip("<title>News &amp; Weather</title>");
+        assert_eq!(out, "<title>News &amp; Weather</title>");
+    }
+
+    #[test]
+    fn comments_preserved() {
+        assert_eq!(round_trip("<!-- note -->"), "<!-- note -->");
+    }
+
+    #[test]
+    fn reparse_is_stable() {
+        // parse → serialize → parse must preserve structure and text.
+        let html = r#"<!DOCTYPE html><html><body>
+            <ul><li>এক<li>দুই<li>তিন</ul>
+            <img src=x><p>a &lt; b</p>
+            <details><summary>more</summary><p>body</p></details>
+            </body></html>"#;
+        let once = parse(html);
+        let twice = parse(&serialize(&once));
+        assert_eq!(visible_text(&once), visible_text(&twice));
+        assert_eq!(once.elements().count(), twice.elements().count());
+        // And serialization reaches a fixed point after one pass.
+        assert_eq!(serialize(&once), serialize(&twice));
+    }
+}

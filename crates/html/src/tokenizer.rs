@@ -1,0 +1,438 @@
+//! HTML tokenizer.
+//!
+//! A pragmatic, spec-shaped (not spec-complete) tokenizer: it handles the
+//! constructs that occur in real-world markup — doctype, comments, start/end
+//! tags, all three attribute forms (double-quoted, single-quoted, unquoted,
+//! plus bare boolean attributes), self-closing tags, and the raw-text
+//! elements `script`/`style`/`textarea`/`title` whose content must not be
+//! re-tokenized. Error handling follows the browser convention: never fail,
+//! always produce *some* token stream (measurement crawlers meet a lot of
+//! broken HTML).
+
+use crate::entities::decode;
+
+/// One attribute on a start tag. Values are entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub value: String,
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Doctype(String),
+    Comment(String),
+    /// `name` is lower-cased; `self_closing` reflects a trailing `/`.
+    StartTag {
+        name: String,
+        attrs: Vec<Attribute>,
+        self_closing: bool,
+    },
+    EndTag {
+        name: String,
+    },
+    /// Entity-decoded character data.
+    Text(String),
+}
+
+/// Elements whose content is raw text (no nested markup).
+pub fn is_raw_text_element(name: &str) -> bool {
+    matches!(name, "script" | "style" | "textarea" | "title" | "noscript")
+}
+
+/// Tokenize an HTML document. Never panics on any input.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                self.lex_angle();
+            } else {
+                self.lex_text();
+            }
+        }
+        self.tokens
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn lex_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        if !raw.is_empty() {
+            self.tokens.push(Token::Text(decode(raw)));
+        }
+    }
+
+    fn lex_angle(&mut self) {
+        let rest = self.rest();
+        if rest.starts_with("<!--") {
+            self.lex_comment();
+        } else if rest.len() >= 2 && (rest.as_bytes()[1] == b'!' || rest.as_bytes()[1] == b'?') {
+            self.lex_declaration();
+        } else if rest.len() >= 2 && rest.as_bytes()[1] == b'/' {
+            self.lex_end_tag();
+        } else if rest.len() >= 2 && rest.as_bytes()[1].is_ascii_alphabetic() {
+            self.lex_start_tag();
+        } else {
+            // A lone '<' is text.
+            self.tokens.push(Token::Text("<".to_string()));
+            self.pos += 1;
+        }
+    }
+
+    fn lex_comment(&mut self) {
+        let body_start = self.pos + 4;
+        match self.input[body_start..].find("-->") {
+            Some(end) => {
+                self.tokens
+                    .push(Token::Comment(self.input[body_start..body_start + end].to_string()));
+                self.pos = body_start + end + 3;
+            }
+            None => {
+                // Unterminated comment swallows the rest of the input.
+                self.tokens
+                    .push(Token::Comment(self.input[body_start..].to_string()));
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn lex_declaration(&mut self) {
+        // <!DOCTYPE html> or <?xml ...?> — capture to the next '>'.
+        let body_start = self.pos + 2;
+        match self.input[body_start..].find('>') {
+            Some(end) => {
+                let body = &self.input[body_start..body_start + end];
+                if body
+                    .get(..7)
+                    .map_or(false, |p| p.eq_ignore_ascii_case("doctype"))
+                {
+                    self.tokens
+                        .push(Token::Doctype(body[7..].trim().to_ascii_lowercase()));
+                }
+                // Other declarations (CDATA, processing instructions) are dropped.
+                self.pos = body_start + end + 1;
+            }
+            None => {
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn lex_end_tag(&mut self) {
+        let name_start = self.pos + 2;
+        let mut i = name_start;
+        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        // Skip to '>'.
+        while i < self.bytes.len() && self.bytes[i] != b'>' {
+            i += 1;
+        }
+        self.pos = (i + 1).min(self.bytes.len());
+        if !name.is_empty() {
+            self.tokens.push(Token::EndTag { name });
+        }
+    }
+
+    fn lex_start_tag(&mut self) {
+        let name_start = self.pos + 1;
+        let mut i = name_start;
+        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        {
+            i += 1;
+        }
+        let name = self.input[name_start..i].to_ascii_lowercase();
+        self.pos = i;
+        let (attrs, self_closing) = self.lex_attributes();
+        let raw = is_raw_text_element(&name) && !self_closing;
+        self.tokens.push(Token::StartTag {
+            name: name.clone(),
+            attrs,
+            self_closing,
+        });
+        if raw {
+            self.lex_raw_text(&name);
+        }
+    }
+
+    /// After a raw-text start tag, consume everything up to the matching
+    /// case-insensitive `</name`, emitting it as a single Text token
+    /// (entity-decoded only for `title`/`textarea`, per spec these are
+    /// "escapable raw text").
+    fn lex_raw_text(&mut self, name: &str) {
+        let close = format!("</{name}");
+        let hay = self.rest();
+        let lower = hay.to_ascii_lowercase();
+        let end = lower.find(&close).unwrap_or(hay.len());
+        let body = &hay[..end];
+        if !body.is_empty() {
+            let text = if matches!(name, "title" | "textarea") {
+                decode(body)
+            } else {
+                body.to_string()
+            };
+            self.tokens.push(Token::Text(text));
+        }
+        self.pos += end;
+        // The EndTag will be lexed by the main loop (or EOF).
+    }
+
+    fn lex_attributes(&mut self) -> (Vec<Attribute>, bool) {
+        let mut attrs: Vec<Attribute> = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_whitespace();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            match self.bytes[self.pos] {
+                b'>' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'/' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() && self.bytes[self.pos] == b'>' {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                }
+                _ => {
+                    if let Some(attr) = self.lex_one_attribute() {
+                        // First occurrence wins, as in browsers.
+                        if !attrs.iter().any(|a| a.name == attr.name) {
+                            attrs.push(attr);
+                        }
+                    } else {
+                        // Couldn't make progress; skip a byte defensively.
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        (attrs, self_closing)
+    }
+
+    fn lex_one_attribute(&mut self) -> Option<Attribute> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_whitespace();
+        if self.pos >= self.bytes.len() || self.bytes[self.pos] != b'=' {
+            // Boolean attribute: <input disabled>
+            return Some(Attribute {
+                name,
+                value: String::new(),
+            });
+        }
+        self.pos += 1; // consume '='
+        self.skip_whitespace();
+        if self.pos >= self.bytes.len() {
+            return Some(Attribute {
+                name,
+                value: String::new(),
+            });
+        }
+        let value = match self.bytes[self.pos] {
+            q @ (b'"' | b'\'') => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != q {
+                    self.pos += 1;
+                }
+                let raw = &self.input[vstart..self.pos];
+                self.pos = (self.pos + 1).min(self.bytes.len()); // closing quote
+                decode(raw)
+            }
+            _ => {
+                let vstart = self.pos;
+                while self.pos < self.bytes.len()
+                    && !matches!(self.bytes[self.pos], b'>' | b' ' | b'\t' | b'\n' | b'\r')
+                {
+                    self.pos += 1;
+                }
+                decode(&self.input[vstart..self.pos])
+            }
+        };
+        Some(Attribute { name, value })
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(tokens: &[Token], idx: usize) -> (&str, &Vec<Attribute>, bool) {
+        match &tokens[idx] {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => (name.as_str(), attrs, *self_closing),
+            other => panic!("expected StartTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<!DOCTYPE html><html><body>Hi</body></html>");
+        assert_eq!(toks[0], Token::Doctype("html".into()));
+        assert_eq!(start(&toks, 1).0, "html");
+        assert_eq!(start(&toks, 2).0, "body");
+        assert_eq!(toks[3], Token::Text("Hi".into()));
+        assert_eq!(toks[4], Token::EndTag { name: "body".into() });
+    }
+
+    #[test]
+    fn attribute_forms() {
+        let toks =
+            tokenize(r#"<img src="a.png" alt='photo' width=100 hidden data-x="1&amp;2">"#);
+        let (name, attrs, _) = start(&toks, 0);
+        assert_eq!(name, "img");
+        let get = |n: &str| attrs.iter().find(|a| a.name == n).map(|a| a.value.clone());
+        assert_eq!(get("src").as_deref(), Some("a.png"));
+        assert_eq!(get("alt").as_deref(), Some("photo"));
+        assert_eq!(get("width").as_deref(), Some("100"));
+        assert_eq!(get("hidden").as_deref(), Some(""));
+        assert_eq!(get("data-x").as_deref(), Some("1&2"));
+    }
+
+    #[test]
+    fn self_closing_and_case() {
+        let toks = tokenize("<BR/><IMG SRC='x'/>");
+        assert_eq!(start(&toks, 0), ("br", &vec![], true));
+        let (name, attrs, sc) = start(&toks, 1);
+        assert_eq!(name, "img");
+        assert!(sc);
+        assert_eq!(attrs[0].name, "src");
+    }
+
+    #[test]
+    fn comments_and_unterminated() {
+        let toks = tokenize("<!-- hello -->text<!-- unterminated");
+        assert_eq!(toks[0], Token::Comment(" hello ".into()));
+        assert_eq!(toks[1], Token::Text("text".into()));
+        assert_eq!(toks[2], Token::Comment(" unterminated".into()));
+    }
+
+    #[test]
+    fn script_content_not_tokenized() {
+        let toks = tokenize(r#"<script>if (a < b) { x = "<div>"; }</script><p>ok</p>"#);
+        assert_eq!(start(&toks, 0).0, "script");
+        assert_eq!(
+            toks[1],
+            Token::Text(r#"if (a < b) { x = "<div>"; }"#.into())
+        );
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(start(&toks, 3).0, "p");
+    }
+
+    #[test]
+    fn title_is_escapable_raw_text() {
+        let toks = tokenize("<title>News &amp; Weather</title>");
+        assert_eq!(toks[1], Token::Text("News & Weather".into()));
+    }
+
+    #[test]
+    fn raw_text_close_tag_case_insensitive() {
+        let toks = tokenize("<script>x</SCRIPT>done");
+        assert_eq!(toks[1], Token::Text("x".into()));
+        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(toks[3], Token::Text("done".into()));
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_text() {
+        let toks = tokenize("a < b");
+        let text: String = toks
+            .iter()
+            .map(|t| match t {
+                Token::Text(s) => s.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(text, "a < b");
+    }
+
+    #[test]
+    fn unterminated_tag_at_eof() {
+        let toks = tokenize("<div class=\"x");
+        assert_eq!(start(&toks, 0).0, "div");
+    }
+
+    #[test]
+    fn duplicate_attributes_first_wins() {
+        let toks = tokenize(r#"<a href="first" href="second">"#);
+        let (_, attrs, _) = start(&toks, 0);
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].value, "first");
+    }
+
+    #[test]
+    fn multilingual_text_and_attrs() {
+        let toks = tokenize(r#"<img alt="ছবি: নদীর দৃশ্য"><p>สวัสดี</p>"#);
+        let (_, attrs, _) = start(&toks, 0);
+        assert_eq!(attrs[0].value, "ছবি: নদীর দৃশ্য");
+        assert_eq!(toks[2], Token::Text("สวัสดี".into()));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn never_panics_on_junk() {
+        for junk in [
+            "<", "<<", "<>", "</>", "<//>", "<!", "<!-", "<!--", "< div>", "<div", "<div /",
+            "<a b=c d='e", "<a b=\"", "&", "&#", "&#x", "\u{0}<\u{0}>",
+        ] {
+            let _ = tokenize(junk);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Visible-text extraction.
+//!
+//! The paper's language measurements are over *visible textual content* —
+//! what a sighted user (or a rendering engine) actually sees. This module
+//! reproduces Puppeteer's effective behaviour for static HTML: walk the
+//! DOM, skip subtrees that do not render (`<script>`, `<style>`,
+//! `<template>`, `<noscript>`, `<head>` metadata), skip subtrees hidden via
+//! the `hidden` attribute, `aria-hidden="true"`, or inline
+//! `display:none` / `visibility:hidden` styles, and normalise whitespace
+//! between block boundaries.
+
+use crate::dom::{Document, NodeId, NodeKind};
+
+/// Elements whose entire subtree never renders as text.
+fn is_non_rendering(name: &str) -> bool {
+    matches!(
+        name,
+        "script" | "style" | "template" | "noscript" | "head" | "title" | "meta" | "link" | "base"
+    )
+}
+
+/// Whether an element's inline `style` hides it.
+fn style_hides(style: &str) -> bool {
+    let lowered: String = style.to_ascii_lowercase().replace(' ', "");
+    lowered.contains("display:none") || lowered.contains("visibility:hidden")
+}
+
+/// Whether this single element (not its ancestors) is hidden.
+pub fn element_hidden(doc: &Document, id: NodeId) -> bool {
+    if doc.attr(id, "hidden").is_some() {
+        return true;
+    }
+    if doc
+        .attr(id, "aria-hidden")
+        .map(|v| v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+    {
+        return true;
+    }
+    if let Some(style) = doc.attr(id, "style") {
+        if style_hides(style) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether a node is visible, considering its own flags and every ancestor.
+pub fn is_visible(doc: &Document, id: NodeId) -> bool {
+    let check = |eid: NodeId| -> bool {
+        if let Some(name) = doc.tag_name(eid) {
+            if is_non_rendering(name) {
+                return false;
+            }
+        }
+        !element_hidden(doc, eid)
+    };
+    if matches!(doc.node(id).kind, NodeKind::Element { .. }) && !check(id) {
+        return false;
+    }
+    doc.ancestors(id).all(|a| {
+        matches!(doc.node(a).kind, NodeKind::Document) || check(a)
+    })
+}
+
+/// Block-level elements that introduce text boundaries.
+fn is_block(name: &str) -> bool {
+    matches!(
+        name,
+        "p" | "div"
+            | "section"
+            | "article"
+            | "header"
+            | "footer"
+            | "nav"
+            | "aside"
+            | "main"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "ul"
+            | "ol"
+            | "li"
+            | "table"
+            | "tr"
+            | "td"
+            | "th"
+            | "form"
+            | "fieldset"
+            | "blockquote"
+            | "figure"
+            | "figcaption"
+            | "br"
+            | "hr"
+            | "summary"
+            | "details"
+            | "option"
+            | "select"
+            | "label"
+            | "button"
+    )
+}
+
+/// Extract the visible text of the whole document, whitespace-normalised:
+/// consecutive whitespace collapses to a single space; block boundaries
+/// insert a newline.
+pub fn visible_text(doc: &Document) -> String {
+    visible_text_of(doc, NodeId::ROOT)
+}
+
+/// Extract the visible text of a subtree.
+pub fn visible_text_of(doc: &Document, root: NodeId) -> String {
+    let mut out = String::new();
+    walk(doc, root, &mut out);
+    normalise(&out)
+}
+
+fn walk(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => out.push_str(t),
+        NodeKind::Comment(_) => {}
+        NodeKind::Document => {
+            for &c in &doc.node(id).children {
+                walk(doc, c, out);
+            }
+        }
+        NodeKind::Element { name, .. } => {
+            if is_non_rendering(name) || element_hidden(doc, id) {
+                return;
+            }
+            let block = is_block(name);
+            if block {
+                out.push(BLOCK_SEP);
+            }
+            for &c in &doc.node(id).children {
+                walk(doc, c, out);
+            }
+            if block {
+                out.push(BLOCK_SEP);
+            }
+        }
+    }
+}
+
+/// Sentinel marking block boundaries during the walk; real text never
+/// contains U+0001 after entity decoding of well-formed input, and stray
+/// control characters are normalised away regardless.
+const BLOCK_SEP: char = '\u{1}';
+
+fn normalise(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut pending_newline = false;
+    let mut pending_space = false;
+    for c in raw.chars() {
+        if c == BLOCK_SEP {
+            pending_newline = true;
+        } else if c.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_newline {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                pending_newline = false;
+                pending_space = false;
+            } else if pending_space {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+            }
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn basic_extraction() {
+        let doc = parse("<html><body><p>Hello</p><p>World</p></body></html>");
+        assert_eq!(visible_text(&doc), "Hello\nWorld");
+    }
+
+    #[test]
+    fn scripts_styles_head_excluded() {
+        let doc = parse(
+            "<html><head><title>T</title><style>.x{}</style></head>\
+             <body><script>var x=1;</script><p>only this</p></body></html>",
+        );
+        assert_eq!(visible_text(&doc), "only this");
+    }
+
+    #[test]
+    fn hidden_attribute_hides_subtree() {
+        let doc = parse("<div hidden><p>secret</p></div><p>shown</p>");
+        assert_eq!(visible_text(&doc), "shown");
+    }
+
+    #[test]
+    fn aria_hidden_true_hides() {
+        let doc = parse(r#"<span aria-hidden="true">x</span><span aria-hidden="false">y</span>"#);
+        assert_eq!(visible_text(&doc), "y");
+    }
+
+    #[test]
+    fn display_none_hides() {
+        let doc = parse(r#"<div style="display: none">a</div><div style="color:red">b</div>"#);
+        assert_eq!(visible_text(&doc), "b");
+        let doc = parse(r#"<div style="VISIBILITY:HIDDEN">a</div>ok"#);
+        assert_eq!(visible_text(&doc), "ok");
+    }
+
+    #[test]
+    fn inline_elements_do_not_break_words() {
+        let doc = parse("<p>he<b>ll</b>o</p>");
+        assert_eq!(visible_text(&doc), "hello");
+    }
+
+    #[test]
+    fn whitespace_collapses() {
+        let doc = parse("<p>a   b\n\t c</p>");
+        assert_eq!(visible_text(&doc), "a b c");
+    }
+
+    #[test]
+    fn multilingual_text_preserved() {
+        let doc = parse("<p>নমস্কার বিশ্ব</p><p>हिन्दी</p>");
+        assert_eq!(visible_text(&doc), "নমস্কার বিশ্ব\nहिन्दी");
+    }
+
+    #[test]
+    fn is_visible_checks_ancestors() {
+        let doc = parse(r#"<div hidden><p id="x">a</p></div>"#);
+        let p = doc.elements_named("p").next().unwrap();
+        assert!(!is_visible(&doc, p));
+        let doc2 = parse(r#"<div><p>a</p></div>"#);
+        let p2 = doc2.elements_named("p").next().unwrap();
+        assert!(is_visible(&doc2, p2));
+    }
+
+    #[test]
+    fn title_not_visible_but_extractable() {
+        let doc = parse("<head><title>Site Name</title></head><body>body</body>");
+        assert_eq!(visible_text(&doc), "body");
+        let title = doc.elements_named("title").next().unwrap();
+        assert_eq!(doc.text_content(title), "Site Name");
+    }
+
+    #[test]
+    fn empty_document() {
+        assert_eq!(visible_text(&parse("")), "");
+        assert_eq!(visible_text(&parse("<div></div>")), "");
+    }
+}

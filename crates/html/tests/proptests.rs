@@ -1,0 +1,82 @@
+//! Property-based tests for the HTML engine.
+//!
+//! Invariants:
+//! 1. The tokenizer and parser never panic on arbitrary input.
+//! 2. Builder output re-parses to the same text and attributes
+//!    (plant→recover round trip).
+//! 3. Entity encode/decode round-trips arbitrary strings.
+//! 4. Visible text of built pages never contains markup characters.
+
+use langcrux_html::entities::{decode, escape_attr, escape_text};
+use langcrux_html::{parse, serialize, visible_text, HtmlBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_never_panics(input in ".{0,400}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_taggy(input in "(<[a-z ='\"/>]{0,10}|[a-z]{0,5}|&[a-z#0-9]{0,8};?){0,40}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn entity_round_trip_text(s in "\\PC{0,200}") {
+        prop_assert_eq!(decode(&escape_text(&s)), s.clone());
+        prop_assert_eq!(decode(&escape_attr(&s)), s);
+    }
+
+    #[test]
+    fn builder_round_trips_text(text in "[^\\x00-\\x1F<>&]{1,80}") {
+        let mut b = HtmlBuilder::document();
+        b.open("html", &[]).open("body", &[]);
+        b.leaf("p", &[], &text);
+        let html = b.finish();
+        let doc = parse(&html);
+        let collapsed: String = text.split_whitespace().collect::<Vec<_>>().join(" ");
+        prop_assert_eq!(visible_text(&doc), collapsed);
+    }
+
+    #[test]
+    fn builder_round_trips_attr(value in "\\PC{0,80}") {
+        let mut b = HtmlBuilder::fragment();
+        b.void("img", &[("alt", Some(value.as_str()))]);
+        let html = b.finish();
+        let doc = parse(&html);
+        let img = doc.elements_named("img").next().unwrap();
+        prop_assert_eq!(doc.attr(img, "alt"), Some(value.as_str()));
+    }
+
+    #[test]
+    fn visible_text_has_no_markup(texts in prop::collection::vec("[a-zA-Z \\u{995}\\u{E01}]{0,30}", 1..6)) {
+        let mut b = HtmlBuilder::document();
+        b.open("html", &[]).open("body", &[]);
+        for t in &texts {
+            b.leaf("div", &[], t);
+        }
+        let doc = parse(&b.finish());
+        let vis = visible_text(&doc);
+        prop_assert!(!vis.contains('<') && !vis.contains('>'));
+    }
+
+    #[test]
+    fn serialize_reaches_fixed_point(input in "(<[a-z]{1,6}( [a-z]{1,4}=\"[a-z0-9 ]{0,8}\")?>|</[a-z]{1,6}>|[a-z\u{995}\u{E01} ]{0,12}){0,24}") {
+        // parse → serialize → parse → serialize must be stable, and the
+        // visible text must survive the round trip.
+        let once = parse(&input);
+        let emitted = serialize(&once);
+        let twice = parse(&emitted);
+        prop_assert_eq!(serialize(&twice), emitted);
+        prop_assert_eq!(visible_text(&twice), visible_text(&once));
+    }
+
+    #[test]
+    fn tokenizer_text_reassembles(words in prop::collection::vec("[a-z]{1,8}", 1..8)) {
+        // A document made only of text must reproduce that text exactly.
+        let text = words.join(" ");
+        let doc = parse(&text);
+        prop_assert_eq!(visible_text(&doc), text);
+    }
+}

@@ -1,0 +1,266 @@
+//! Language-aware checks.
+//!
+//! A [`LanguageAwareCheck`] inspects one element kind's accessibility texts
+//! against the page's detected content language. The shipped checks:
+//!
+//! * [`AltLanguageCheck`] — the paper's §4 contribution: image alt texts
+//!   must be written in the language of the page's visible content. A page
+//!   fails when more than `mismatch_threshold` of its informative alt
+//!   texts are language-inconsistent (pure-other-language text; mixed
+//!   native+English counts as consistent, since it does contain the native
+//!   description).
+//! * [`LinkLanguageCheck`] — the same policy applied to link names,
+//!   demonstrating the extension mechanism the paper's artifact documents.
+
+use langcrux_crawl::PageExtract;
+use langcrux_filter::is_informative;
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::Language;
+use langcrux_langid::{classify_label, LabelLanguage};
+use serde::{Deserialize, Serialize};
+
+/// Result of one check on one page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckOutcome {
+    /// The check's id (e.g. `"kizuki/image-alt-language"`).
+    pub id: String,
+    /// Audit kind whose pass bit this check overrides.
+    pub kind: ElementKind,
+    pub passed: bool,
+    /// Informative texts examined.
+    pub examined: usize,
+    /// Texts found language-inconsistent.
+    pub mismatched: usize,
+}
+
+/// A pluggable language-aware audit extension.
+pub trait LanguageAwareCheck: Send + Sync {
+    /// Stable identifier, `kizuki/<name>`.
+    fn id(&self) -> &'static str;
+    /// The base audit whose outcome this check refines.
+    fn kind(&self) -> ElementKind;
+    /// Evaluate the page given its detected content language.
+    fn evaluate(&self, page: &PageExtract, page_language: Language) -> CheckOutcome;
+}
+
+/// Is this label consistent with the page language? Mixed counts as
+/// consistent; non-linguistic labels (digits, symbols) are skipped by the
+/// caller.
+fn is_consistent(label: LabelLanguage, page_is_english: bool) -> Option<bool> {
+    match label {
+        LabelLanguage::NonLinguistic => None,
+        LabelLanguage::Native | LabelLanguage::Mixed => Some(true),
+        LabelLanguage::English => Some(page_is_english),
+        LabelLanguage::OtherLanguage => Some(false),
+    }
+}
+
+/// Generic threshold-based language-consistency evaluation over one kind.
+fn evaluate_kind(
+    id: &'static str,
+    kind: ElementKind,
+    page: &PageExtract,
+    page_language: Language,
+    mismatch_threshold: f64,
+) -> CheckOutcome {
+    let page_is_english = page_language == Language::English;
+    let mut examined = 0usize;
+    let mut mismatched = 0usize;
+    for element in page.of_kind(kind) {
+        let Some(text) = element.content() else { continue };
+        // Uninformative labels are excluded, as in the paper's filtering
+        // step: "button" in English on a Thai page is a quality problem,
+        // not a translation problem.
+        if !is_informative(text) {
+            continue;
+        }
+        let label = if page_is_english {
+            // On an English page every candidate-language script is a
+            // mismatch; reuse the classifier with any non-Latin target to
+            // detect pure-English labels.
+            classify_label(text, Language::Thai)
+        } else {
+            classify_label(text, page_language)
+        };
+        match is_consistent(label, page_is_english) {
+            Some(true) => examined += 1,
+            Some(false) => {
+                examined += 1;
+                mismatched += 1;
+            }
+            None => {}
+        }
+    }
+    let passed = if examined == 0 {
+        // Vacuous pass: nothing to judge (mirrors Lighthouse's
+        // not-applicable semantics).
+        true
+    } else {
+        (mismatched as f64 / examined as f64) <= mismatch_threshold
+    };
+    CheckOutcome {
+        id: id.to_string(),
+        kind,
+        passed,
+        examined,
+        mismatched,
+    }
+}
+
+/// The paper's language-aware image-alt audit.
+#[derive(Debug, Clone, Copy)]
+pub struct AltLanguageCheck {
+    /// Maximum tolerated share of mismatched informative alt texts.
+    pub mismatch_threshold: f64,
+}
+
+impl Default for AltLanguageCheck {
+    fn default() -> Self {
+        // 40% of informative alt texts in the wrong language fails the
+        // page — calibrated against the paper's Figure 6 drops (43%→15.8%
+        // above 90; 5.6%→1.8% perfect) while tolerating loan-word labels.
+        AltLanguageCheck {
+            mismatch_threshold: 0.4,
+        }
+    }
+}
+
+impl LanguageAwareCheck for AltLanguageCheck {
+    fn id(&self) -> &'static str {
+        "kizuki/image-alt-language"
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::ImageAlt
+    }
+
+    fn evaluate(&self, page: &PageExtract, page_language: Language) -> CheckOutcome {
+        evaluate_kind(
+            self.id(),
+            ElementKind::ImageAlt,
+            page,
+            page_language,
+            self.mismatch_threshold,
+        )
+    }
+}
+
+/// A second check demonstrating extensibility: link names must match the
+/// page language too.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkLanguageCheck {
+    pub mismatch_threshold: f64,
+}
+
+impl Default for LinkLanguageCheck {
+    fn default() -> Self {
+        LinkLanguageCheck {
+            mismatch_threshold: 0.5,
+        }
+    }
+}
+
+impl LanguageAwareCheck for LinkLanguageCheck {
+    fn id(&self) -> &'static str {
+        "kizuki/link-name-language"
+    }
+
+    fn kind(&self) -> ElementKind {
+        ElementKind::LinkName
+    }
+
+    fn evaluate(&self, page: &PageExtract, page_language: Language) -> CheckOutcome {
+        evaluate_kind(
+            self.id(),
+            ElementKind::LinkName,
+            page,
+            page_language,
+            self.mismatch_threshold,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_crawl::extract;
+    use langcrux_html::parse;
+
+    fn page(html: &str) -> PageExtract {
+        extract(&parse(html))
+    }
+
+    #[test]
+    fn all_native_alts_pass() {
+        let p = page(
+            r#"<img alt="ভোরের নদীর দৃশ্য" src=a>
+               <img alt="বাজারে ব্যস্ত মানুষজন" src=b>"#,
+        );
+        let out = AltLanguageCheck::default().evaluate(&p, Language::Bangla);
+        assert!(out.passed);
+        assert_eq!(out.examined, 2);
+        assert_eq!(out.mismatched, 0);
+    }
+
+    #[test]
+    fn english_alts_on_native_page_fail() {
+        let p = page(
+            r#"<img alt="crowd gathered at the central square" src=a>
+               <img alt="students planting trees in the garden" src=b>
+               <img alt="ভোরের নদীর দৃশ্য" src=c>"#,
+        );
+        let out = AltLanguageCheck::default().evaluate(&p, Language::Bangla);
+        assert!(!out.passed);
+        assert_eq!(out.examined, 3);
+        assert_eq!(out.mismatched, 2);
+    }
+
+    #[test]
+    fn mixed_labels_count_as_consistent() {
+        let p = page(r#"<img alt="ดาวน์โหลด app สำหรับ android phone" src=a>"#);
+        let out = AltLanguageCheck::default().evaluate(&p, Language::Thai);
+        assert!(out.passed);
+        assert_eq!(out.mismatched, 0);
+    }
+
+    #[test]
+    fn uninformative_labels_are_skipped() {
+        let p = page(r#"<img alt="icon" src=a><img alt="img123" src=b>"#);
+        let out = AltLanguageCheck::default().evaluate(&p, Language::Thai);
+        assert_eq!(out.examined, 0);
+        assert!(out.passed, "vacuous pass when nothing informative");
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let p = page(
+            r#"<img alt="village festival by the river bank" src=a>
+               <img alt="ভোরের নদীর ধারে গ্রামের মেলা" src=b>"#,
+        );
+        // 1/2 mismatched: passes at threshold 0.5, fails at 0.4.
+        let lax = AltLanguageCheck {
+            mismatch_threshold: 0.5,
+        };
+        let strict = AltLanguageCheck {
+            mismatch_threshold: 0.4,
+        };
+        assert!(lax.evaluate(&p, Language::Bangla).passed);
+        assert!(!strict.evaluate(&p, Language::Bangla).passed);
+    }
+
+    #[test]
+    fn english_pages_accept_english() {
+        let p = page(r#"<img alt="crowd gathered at the central square" src=a>"#);
+        let out = AltLanguageCheck::default().evaluate(&p, Language::English);
+        assert!(out.passed);
+        assert_eq!(out.mismatched, 0);
+    }
+
+    #[test]
+    fn link_check_targets_links() {
+        let p = page(r#"<a href="/x" aria-label="annual report archive">ΑΡΧΕΙΟ</a>"#);
+        let out = LinkLanguageCheck::default().evaluate(&p, Language::Greek);
+        assert_eq!(out.kind, ElementKind::LinkName);
+        assert!(!out.passed);
+    }
+}

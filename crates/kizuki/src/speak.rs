@@ -1,0 +1,379 @@
+//! Screen-reader announcement simulation.
+//!
+//! The paper's motivation (§1) is what a blind user *hears*: "popular
+//! screen readers like JAWS and NVDA still exhibit limited support for
+//! non-Latin scripts and often perform poorly when confronted with mixed
+//! languages … Apple's VoiceOver does not provide any support for
+//! languages such as Urdu, Amharic, or Burmese." This module turns a
+//! crawled page into the utterance stream a screen reader would produce,
+//! and classifies each utterance by what the user would experience:
+//! spoken correctly, mispronounced (wrong synthesis engine), skipped
+//! (no engine for the language at all), or a degenerate announcement
+//! ("image", "button") where metadata was missing.
+//!
+//! This is the user-experience lens over the same data the audits score —
+//! used by the `repro speech` artefact to report per-country
+//! mispronunciation rates.
+
+use langcrux_crawl::{ExtractedElement, PageExtract};
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::Language;
+use langcrux_langid::{classify_label, LabelLanguage};
+use serde::{Deserialize, Serialize};
+
+/// How well the reader's synthesiser handles a language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineSupport {
+    /// A dedicated voice exists.
+    Full,
+    /// Synthesis exists but switching/prosody is unreliable (the
+    /// mixed-language failure mode of §1).
+    Partial,
+    /// No voice at all — the text is skipped or spelled out.
+    None,
+}
+
+/// What the user experiences for one element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeechOutcome {
+    /// Announced with a correct voice.
+    Spoken,
+    /// Read with the wrong-language engine: intelligible to the engine,
+    /// not to the listener ("mispronunciations or reduced clarity", §3).
+    Mispronounced,
+    /// No engine for the language: skipped or spelled character by
+    /// character.
+    Skipped,
+    /// No accessibility text: the reader falls back to a generic role
+    /// announcement ("image", "button") or the raw file name.
+    GenericAnnouncement,
+}
+
+/// One announcement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Utterance {
+    pub kind: ElementKind,
+    /// What the reader would say (accessible name or role fallback).
+    pub text: String,
+    /// Detected language of the announced text, when it has one.
+    pub language: Option<Language>,
+    pub outcome: SpeechOutcome,
+}
+
+/// A screen-reader profile: which languages its synthesiser covers.
+#[derive(Debug, Clone)]
+pub struct ScreenReader {
+    name: &'static str,
+    /// Languages with full voices.
+    full: Vec<Language>,
+    /// Languages with partial/robotic voices.
+    partial: Vec<Language>,
+}
+
+impl ScreenReader {
+    /// A VoiceOver-like profile: strong major-language coverage, partial
+    /// coverage for several non-Latin languages, and — per §1 — no support
+    /// at all for Urdu, Amharic, or Burmese.
+    pub fn voiceover_like() -> ScreenReader {
+        ScreenReader {
+            name: "voiceover-like",
+            full: vec![
+                Language::English,
+                Language::MandarinChinese,
+                Language::Cantonese,
+                Language::Japanese,
+                Language::Korean,
+                Language::Russian,
+                Language::Greek,
+                Language::Hebrew,
+                Language::Thai,
+                Language::ModernStandardArabic,
+                Language::EgyptianArabic,
+                Language::Hindi,
+            ],
+            partial: vec![
+                Language::Bangla,
+                Language::Tamil,
+                Language::Telugu,
+                Language::Marathi,
+                Language::Sinhala,
+                Language::Georgian,
+                Language::Punjabi,
+                Language::Gujarati,
+                Language::Kannada,
+                Language::Malayalam,
+                Language::Persian,
+                Language::Nepali,
+            ],
+        }
+    }
+
+    /// A minimal English-only reader (the worst case for the study's
+    /// users; useful as the lower bound in comparisons).
+    pub fn english_only() -> ScreenReader {
+        ScreenReader {
+            name: "english-only",
+            full: vec![Language::English],
+            partial: Vec::new(),
+        }
+    }
+
+    /// Profile name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Synthesiser support for a language.
+    pub fn support(&self, language: Language) -> EngineSupport {
+        if self.full.contains(&language) {
+            EngineSupport::Full
+        } else if self.partial.contains(&language) {
+            EngineSupport::Partial
+        } else {
+            EngineSupport::None
+        }
+    }
+
+    /// The accessible name the reader would announce for an element, or
+    /// `None` when it falls back to a generic role announcement.
+    fn accessible_name(element: &ExtractedElement) -> Option<String> {
+        element
+            .content()
+            .map(str::to_string)
+            .or_else(|| {
+                element
+                    .visible_fallback
+                    .as_deref()
+                    .map(str::trim)
+                    .filter(|t| !t.is_empty())
+                    .map(str::to_string)
+            })
+    }
+
+    /// Simulate announcing every accessibility element of a page.
+    ///
+    /// `page_language` is the language the page *content* is in (the
+    /// engine the reader would select from context/declared metadata).
+    pub fn announce_page(&self, page: &PageExtract, page_language: Language) -> Vec<Utterance> {
+        page.elements
+            .iter()
+            .map(|element| self.announce(element, page_language))
+            .collect()
+    }
+
+    fn announce(&self, element: &ExtractedElement, page_language: Language) -> Utterance {
+        let Some(name) = Self::accessible_name(element) else {
+            return Utterance {
+                kind: element.kind,
+                text: role_announcement(element.kind).to_string(),
+                language: None,
+                outcome: SpeechOutcome::GenericAnnouncement,
+            };
+        };
+        // Which language is this text in, relative to the page?
+        let label = classify_label(&name, page_language);
+        let text_language = match label {
+            LabelLanguage::Native | LabelLanguage::Mixed => Some(page_language),
+            LabelLanguage::English => Some(Language::English),
+            LabelLanguage::OtherLanguage => langcrux_langid::detect(&name),
+            LabelLanguage::NonLinguistic => None,
+        };
+        let outcome = match text_language {
+            None => SpeechOutcome::Spoken, // digits/symbols read fine
+            Some(lang) => match self.support(lang) {
+                EngineSupport::None => SpeechOutcome::Skipped,
+                EngineSupport::Partial => SpeechOutcome::Mispronounced,
+                EngineSupport::Full => {
+                    // A correct engine exists, but language switching within
+                    // a page only works when the text matches the engine in
+                    // use; §3: readers "typically do not handle language
+                    // switching within a single label".
+                    if label == LabelLanguage::Mixed {
+                        SpeechOutcome::Mispronounced
+                    } else {
+                        SpeechOutcome::Spoken
+                    }
+                }
+            },
+        };
+        Utterance {
+            kind: element.kind,
+            text: name,
+            language: text_language,
+            outcome,
+        }
+    }
+}
+
+/// The generic role announcement for an unnamed element.
+pub fn role_announcement(kind: ElementKind) -> &'static str {
+    match kind {
+        ElementKind::ButtonName | ElementKind::InputButtonName => "button",
+        ElementKind::DocumentTitle => "untitled document",
+        ElementKind::ImageAlt | ElementKind::InputImageAlt | ElementKind::SvgImgAlt => "image",
+        ElementKind::FrameTitle => "frame",
+        ElementKind::SummaryName => "disclosure triangle",
+        ElementKind::Label => "edit text",
+        ElementKind::SelectName => "pop-up button",
+        ElementKind::LinkName => "link",
+        ElementKind::ObjectAlt => "embedded object",
+    }
+}
+
+/// Aggregate experience over a page's utterances.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpeechStats {
+    pub spoken: u32,
+    pub mispronounced: u32,
+    pub skipped: u32,
+    pub generic: u32,
+}
+
+impl SpeechStats {
+    /// Summarise a set of utterances.
+    pub fn of(utterances: &[Utterance]) -> SpeechStats {
+        let mut stats = SpeechStats::default();
+        for u in utterances {
+            match u.outcome {
+                SpeechOutcome::Spoken => stats.spoken += 1,
+                SpeechOutcome::Mispronounced => stats.mispronounced += 1,
+                SpeechOutcome::Skipped => stats.skipped += 1,
+                SpeechOutcome::GenericAnnouncement => stats.generic += 1,
+            }
+        }
+        stats
+    }
+
+    pub fn total(&self) -> u32 {
+        self.spoken + self.mispronounced + self.skipped + self.generic
+    }
+
+    /// Share (%) of announcements that are NOT spoken correctly.
+    pub fn degraded_pct(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        f64::from(total - self.spoken) * 100.0 / f64::from(total)
+    }
+
+    pub fn merge(&mut self, other: &SpeechStats) {
+        self.spoken += other.spoken;
+        self.mispronounced += other.mispronounced;
+        self.skipped += other.skipped;
+        self.generic += other.generic;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_crawl::extract;
+    use langcrux_html::parse;
+
+    fn page(html: &str) -> PageExtract {
+        extract(&parse(html))
+    }
+
+    #[test]
+    fn named_native_elements_are_spoken() {
+        let p = page(r#"<img src=a alt="渋谷の夜景の写真です">"#);
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Japanese);
+        // document-title slot (missing) + the image.
+        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        assert_eq!(img.outcome, SpeechOutcome::Spoken);
+        assert_eq!(img.language, Some(Language::Japanese));
+    }
+
+    #[test]
+    fn missing_names_become_generic_announcements() {
+        let p = page(r#"<img src=a><a href="/x"></a>"#);
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Japanese);
+        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        assert_eq!(img.outcome, SpeechOutcome::GenericAnnouncement);
+        assert_eq!(img.text, "image");
+        let link = utterances.iter().find(|u| u.kind == ElementKind::LinkName).unwrap();
+        assert_eq!(link.outcome, SpeechOutcome::GenericAnnouncement);
+        assert_eq!(link.text, "link");
+    }
+
+    #[test]
+    fn partial_engine_mispronounces_bangla() {
+        // VoiceOver-like profile has only partial Bangla support.
+        let p = page(r#"<img src=a alt="নদীর ধারে সূর্যাস্ত">"#);
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Bangla);
+        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        assert_eq!(img.outcome, SpeechOutcome::Mispronounced);
+    }
+
+    #[test]
+    fn unsupported_language_is_skipped() {
+        // §1: no VoiceOver support for Urdu at all.
+        let p = page(r#"<img src=a alt="ٹھیک ہے دنیا کی تصویر ہے">"#);
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Urdu);
+        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        assert_eq!(reader.support(Language::Urdu), EngineSupport::None);
+        assert_eq!(img.outcome, SpeechOutcome::Skipped);
+    }
+
+    #[test]
+    fn mixed_labels_are_mispronounced_even_with_full_engines() {
+        let p = page(r#"<img src=a alt="ดาวน์โหลด app ใหม่ for android">"#);
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Thai);
+        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        assert_eq!(img.outcome, SpeechOutcome::Mispronounced);
+    }
+
+    #[test]
+    fn visible_fallback_is_announced() {
+        let p = page(r#"<button>Αναζήτηση εγγράφων</button>"#);
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Greek);
+        let button = utterances.iter().find(|u| u.kind == ElementKind::ButtonName).unwrap();
+        assert_eq!(button.outcome, SpeechOutcome::Spoken);
+        assert_eq!(button.text, "Αναζήτηση εγγράφων");
+    }
+
+    #[test]
+    fn stats_aggregate_and_degraded_pct() {
+        let p = page(
+            r#"<img src=a alt="渋谷の夜景">
+               <img src=b>
+               <img src=c alt="shibuya at night">"#,
+        );
+        let reader = ScreenReader::voiceover_like();
+        let utterances = reader.announce_page(&p, Language::Japanese);
+        let stats = SpeechStats::of(&utterances);
+        // 3 images + missing document-title slot.
+        assert_eq!(stats.total(), 4);
+        assert_eq!(stats.generic, 2); // missing alt + missing title
+        // English alt on a Japanese page is spoken (English engine exists,
+        // pure label) — degraded = 2 generic of 4.
+        assert!((stats.degraded_pct() - 50.0).abs() < 1e-9);
+        let mut merged = stats;
+        merged.merge(&stats);
+        assert_eq!(merged.total(), 8);
+    }
+
+    #[test]
+    fn english_only_reader_degrades_native_content() {
+        let p = page(r#"<img src=a alt="Φωτογραφία λιμανιού">"#);
+        let reader = ScreenReader::english_only();
+        let utterances = reader.announce_page(&p, Language::Greek);
+        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        assert_eq!(img.outcome, SpeechOutcome::Skipped);
+        assert_eq!(reader.name(), "english-only");
+    }
+
+    #[test]
+    fn every_kind_has_a_role_announcement() {
+        for kind in ElementKind::ALL {
+            assert!(!role_announcement(kind).is_empty());
+        }
+    }
+}

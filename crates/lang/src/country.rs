@@ -1,0 +1,220 @@
+//! Countries of the study.
+//!
+//! Each included language is paired with the country that has the highest
+//! population of native speakers (§2) — e.g. Modern Standard Arabic is
+//! studied from Algeria. Candidate countries that were excluded by the
+//! inclusion criteria (Sri Lanka, Georgia, …) are modelled too, because the
+//! selection pipeline has to reject them for the same reasons the paper did.
+
+use crate::language::Language;
+use serde::{Deserialize, Serialize};
+
+/// A country vantage point. The first 12 variants are the study's final
+/// pairs; the rest host excluded candidate languages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Country {
+    Bangladesh,
+    China,
+    Algeria,
+    Egypt,
+    Greece,
+    HongKong,
+    Israel,
+    India,
+    Japan,
+    SouthKorea,
+    Russia,
+    Thailand,
+    // ---- hosts of excluded candidates ----
+    SriLanka,
+    Georgia,
+    Pakistan,
+    Ethiopia,
+    Myanmar,
+    Iran,
+    Nepal,
+}
+
+impl Country {
+    /// The 12 study countries, ordered by their ISO codes as the paper's
+    /// figures do (bd cn dz eg gr hk il in jp kr ru th).
+    pub const STUDY: [Country; 12] = [
+        Country::Bangladesh,
+        Country::China,
+        Country::Algeria,
+        Country::Egypt,
+        Country::Greece,
+        Country::HongKong,
+        Country::Israel,
+        Country::India,
+        Country::Japan,
+        Country::SouthKorea,
+        Country::Russia,
+        Country::Thailand,
+    ];
+
+    /// ISO 3166-1 alpha-2 code (lowercase), as used on the paper's x-axes.
+    pub fn code(self) -> &'static str {
+        match self {
+            Country::Bangladesh => "bd",
+            Country::China => "cn",
+            Country::Algeria => "dz",
+            Country::Egypt => "eg",
+            Country::Greece => "gr",
+            Country::HongKong => "hk",
+            Country::Israel => "il",
+            Country::India => "in",
+            Country::Japan => "jp",
+            Country::SouthKorea => "kr",
+            Country::Russia => "ru",
+            Country::Thailand => "th",
+            Country::SriLanka => "lk",
+            Country::Georgia => "ge",
+            Country::Pakistan => "pk",
+            Country::Ethiopia => "et",
+            Country::Myanmar => "mm",
+            Country::Iran => "ir",
+            Country::Nepal => "np",
+        }
+    }
+
+    /// Parse an ISO code back into a country.
+    pub fn from_code(code: &str) -> Option<Country> {
+        ALL.iter().copied().find(|c| c.code() == code)
+    }
+
+    /// English display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Country::Bangladesh => "Bangladesh",
+            Country::China => "China",
+            Country::Algeria => "Algeria",
+            Country::Egypt => "Egypt",
+            Country::Greece => "Greece",
+            Country::HongKong => "Hong Kong",
+            Country::Israel => "Israel",
+            Country::India => "India",
+            Country::Japan => "Japan",
+            Country::SouthKorea => "South Korea",
+            Country::Russia => "Russia",
+            Country::Thailand => "Thailand",
+            Country::SriLanka => "Sri Lanka",
+            Country::Georgia => "Georgia",
+            Country::Pakistan => "Pakistan",
+            Country::Ethiopia => "Ethiopia",
+            Country::Myanmar => "Myanmar",
+            Country::Iran => "Iran",
+            Country::Nepal => "Nepal",
+        }
+    }
+
+    /// The target (native, studied) language for this vantage country.
+    pub fn target_language(self) -> Language {
+        match self {
+            Country::Bangladesh => Language::Bangla,
+            Country::China => Language::MandarinChinese,
+            Country::Algeria => Language::ModernStandardArabic,
+            Country::Egypt => Language::EgyptianArabic,
+            Country::Greece => Language::Greek,
+            Country::HongKong => Language::Cantonese,
+            Country::Israel => Language::Hebrew,
+            Country::India => Language::Hindi,
+            Country::Japan => Language::Japanese,
+            Country::SouthKorea => Language::Korean,
+            Country::Russia => Language::Russian,
+            Country::Thailand => Language::Thai,
+            Country::SriLanka => Language::Sinhala,
+            Country::Georgia => Language::Georgian,
+            Country::Pakistan => Language::Urdu,
+            Country::Ethiopia => Language::Amharic,
+            Country::Myanmar => Language::Burmese,
+            Country::Iran => Language::Persian,
+            Country::Nepal => Language::Nepali,
+        }
+    }
+
+    /// Country-code TLD used for generated hostnames.
+    pub fn tld(self) -> &'static str {
+        match self {
+            Country::HongKong => "hk",
+            c => c.code(),
+        }
+    }
+
+    /// Whether this country is part of the final 12-pair study.
+    pub fn is_study(self) -> bool {
+        Country::STUDY.contains(&self)
+    }
+}
+
+/// Every modelled country.
+pub const ALL: [Country; 19] = [
+    Country::Bangladesh,
+    Country::China,
+    Country::Algeria,
+    Country::Egypt,
+    Country::Greece,
+    Country::HongKong,
+    Country::Israel,
+    Country::India,
+    Country::Japan,
+    Country::SouthKorea,
+    Country::Russia,
+    Country::Thailand,
+    Country::SriLanka,
+    Country::Georgia,
+    Country::Pakistan,
+    Country::Ethiopia,
+    Country::Myanmar,
+    Country::Iran,
+    Country::Nepal,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_study_countries() {
+        assert_eq!(Country::STUDY.len(), 12);
+        for c in Country::STUDY {
+            assert!(c.is_study());
+            assert!(c.target_language().is_included(), "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn study_order_matches_figure_axes() {
+        let codes: Vec<&str> = Country::STUDY.iter().map(|c| c.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["bd", "cn", "dz", "eg", "gr", "hk", "il", "in", "jp", "kr", "ru", "th"]
+        );
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for c in ALL {
+            assert_eq!(Country::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Country::from_code("xx"), None);
+    }
+
+    #[test]
+    fn excluded_countries_map_to_excluded_languages() {
+        for c in [Country::SriLanka, Country::Georgia, Country::Pakistan] {
+            assert!(!c.is_study());
+            assert!(!c.target_language().is_included());
+        }
+    }
+
+    #[test]
+    fn study_languages_are_exactly_the_included_set() {
+        let mut langs: Vec<Language> =
+            Country::STUDY.iter().map(|c| c.target_language()).collect();
+        langs.sort();
+        let mut included = Language::INCLUDED.to_vec();
+        included.sort();
+        assert_eq!(langs, included);
+    }
+}

@@ -1,0 +1,365 @@
+//! Languages of the candidate pool.
+//!
+//! The paper starts from a pool of 26 widely spoken non-Latin-script
+//! languages (§2, "Language and Country Selection Criteria") and narrows it
+//! to 12 language-country pairs via inclusion criteria. This module defines
+//! the full pool (plus English, which is needed throughout the analysis as
+//! the contrast language), the script each language is written in, and the
+//! language-specific disambiguation characters used to tell apart languages
+//! that share a script (Arabic vs. Urdu vs. Persian; Hindi vs. Marathi vs.
+//! Nepali; Mandarin vs. Cantonese vs. Japanese Han usage).
+
+use crate::script::Script;
+use serde::{Deserialize, Serialize};
+
+/// A natural language tracked by the pipeline.
+///
+/// The 12 variants marked *(included)* survive the paper's inclusion
+/// criteria; the rest are candidates that are filtered out by the
+/// selection pipeline (`langcrux-core::selection`), exactly as in §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Language {
+    /// Contrast language; the only Latin-script entry.
+    English,
+    MandarinChinese, // (included) China
+    Hindi,           // (included) India
+    ModernStandardArabic, // (included) Algeria
+    Bangla,          // (included) Bangladesh
+    Russian,         // (included) Russia
+    Japanese,        // (included) Japan
+    EgyptianArabic,  // (included) Egypt
+    Cantonese,       // (included) Hong Kong
+    Korean,          // (included) South Korea
+    Thai,            // (included) Thailand
+    Greek,           // (included) Greece
+    Hebrew,          // (included) Israel
+    // ---- candidates excluded by the inclusion criteria ----
+    Urdu,
+    Tamil,
+    Telugu,
+    Marathi,
+    Amharic,
+    Burmese,
+    Sinhala,
+    Georgian,
+    Punjabi,
+    Gujarati,
+    Kannada,
+    Malayalam,
+    Persian,
+    Nepali,
+}
+
+impl Language {
+    /// The full 26-language candidate pool, in paper order (included 12
+    /// first), excluding `English`.
+    pub const CANDIDATE_POOL: [Language; 26] = [
+        Language::MandarinChinese,
+        Language::Hindi,
+        Language::ModernStandardArabic,
+        Language::Bangla,
+        Language::Russian,
+        Language::Japanese,
+        Language::EgyptianArabic,
+        Language::Cantonese,
+        Language::Korean,
+        Language::Thai,
+        Language::Greek,
+        Language::Hebrew,
+        Language::Urdu,
+        Language::Tamil,
+        Language::Telugu,
+        Language::Marathi,
+        Language::Amharic,
+        Language::Burmese,
+        Language::Sinhala,
+        Language::Georgian,
+        Language::Punjabi,
+        Language::Gujarati,
+        Language::Kannada,
+        Language::Malayalam,
+        Language::Persian,
+        Language::Nepali,
+    ];
+
+    /// The 12 languages that satisfy the paper's inclusion criteria.
+    pub const INCLUDED: [Language; 12] = [
+        Language::MandarinChinese,
+        Language::Hindi,
+        Language::ModernStandardArabic,
+        Language::Bangla,
+        Language::Russian,
+        Language::Japanese,
+        Language::EgyptianArabic,
+        Language::Cantonese,
+        Language::Korean,
+        Language::Thai,
+        Language::Greek,
+        Language::Hebrew,
+    ];
+
+    /// Primary script the language is written in.
+    ///
+    /// Japanese is multi-script (Hiragana + Katakana + Han); we return
+    /// `Hiragana` as the *identifying* script because Hiragana appears in
+    /// essentially all running Japanese text and never in Chinese, matching
+    /// the paper's need to disambiguate overlapping Han usage.
+    pub fn primary_script(self) -> Script {
+        match self {
+            Language::English => Script::Latin,
+            Language::MandarinChinese | Language::Cantonese => Script::Han,
+            Language::Hindi | Language::Marathi | Language::Nepali => Script::Devanagari,
+            Language::ModernStandardArabic | Language::EgyptianArabic => Script::Arabic,
+            Language::Urdu | Language::Persian => Script::Arabic,
+            Language::Bangla => Script::Bengali,
+            Language::Russian => Script::Cyrillic,
+            Language::Japanese => Script::Hiragana,
+            Language::Korean => Script::Hangul,
+            Language::Thai => Script::Thai,
+            Language::Greek => Script::Greek,
+            Language::Hebrew => Script::Hebrew,
+            Language::Tamil => Script::Tamil,
+            Language::Telugu => Script::Telugu,
+            Language::Amharic => Script::Ethiopic,
+            Language::Burmese => Script::Myanmar,
+            Language::Sinhala => Script::Sinhala,
+            Language::Georgian => Script::Georgian,
+            Language::Punjabi => Script::Gurmukhi,
+            Language::Gujarati => Script::Gujarati,
+            Language::Kannada => Script::Kannada,
+            Language::Malayalam => Script::Malayalam,
+        }
+    }
+
+    /// Every script whose characters count as evidence *for* this language
+    /// when computing language shares (the paper's Unicode heuristic).
+    pub fn evidence_scripts(self) -> &'static [Script] {
+        match self {
+            Language::Japanese => &[Script::Hiragana, Script::Katakana, Script::Han],
+            Language::English => &[Script::Latin],
+            Language::MandarinChinese | Language::Cantonese => &[Script::Han],
+            Language::Hindi | Language::Marathi | Language::Nepali => &[Script::Devanagari],
+            Language::ModernStandardArabic
+            | Language::EgyptianArabic
+            | Language::Urdu
+            | Language::Persian => &[Script::Arabic],
+            Language::Bangla => &[Script::Bengali],
+            Language::Russian => &[Script::Cyrillic],
+            Language::Korean => &[Script::Hangul],
+            Language::Thai => &[Script::Thai],
+            Language::Greek => &[Script::Greek],
+            Language::Hebrew => &[Script::Hebrew],
+            Language::Tamil => &[Script::Tamil],
+            Language::Telugu => &[Script::Telugu],
+            Language::Amharic => &[Script::Ethiopic],
+            Language::Burmese => &[Script::Myanmar],
+            Language::Sinhala => &[Script::Sinhala],
+            Language::Georgian => &[Script::Georgian],
+            Language::Punjabi => &[Script::Gurmukhi],
+            Language::Gujarati => &[Script::Gujarati],
+            Language::Kannada => &[Script::Kannada],
+            Language::Malayalam => &[Script::Malayalam],
+        }
+    }
+
+    /// Characters that positively identify this language against others that
+    /// share its primary script — the paper's "additional language-specific
+    /// characters to improve precision" (§2, Website Selection).
+    ///
+    /// * Urdu: retroflex and aspirate letters absent from Modern Standard
+    ///   Arabic (`ٹ ڈ ڑ ں ھ ہ ے`), plus Perso-Arabic `پ چ گ ژ`.
+    /// * Persian: `پ چ ژ گ` plus `ی` final form usage.
+    /// * Marathi: `ळ` (retroflex lateral) is frequent in Marathi and rare in
+    ///   Hindi.
+    /// * Japanese: kana (already separated at the script level).
+    pub fn disambiguation_chars(self) -> &'static [char] {
+        match self {
+            Language::Urdu => &['ٹ', 'ڈ', 'ڑ', 'ں', 'ھ', 'ہ', 'ے', 'پ', 'چ', 'گ', 'ژ'],
+            Language::Persian => &['پ', 'چ', 'ژ', 'گ'],
+            Language::Marathi => &['ळ'],
+            Language::Nepali => &['ँ'],
+            _ => &[],
+        }
+    }
+
+    /// BCP-47-ish language tag used in generated `lang=` attributes.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::MandarinChinese => "zh-CN",
+            Language::Cantonese => "zh-HK",
+            Language::Hindi => "hi",
+            Language::ModernStandardArabic => "ar",
+            Language::EgyptianArabic => "ar-EG",
+            Language::Bangla => "bn",
+            Language::Russian => "ru",
+            Language::Japanese => "ja",
+            Language::Korean => "ko",
+            Language::Thai => "th",
+            Language::Greek => "el",
+            Language::Hebrew => "he",
+            Language::Urdu => "ur",
+            Language::Tamil => "ta",
+            Language::Telugu => "te",
+            Language::Marathi => "mr",
+            Language::Amharic => "am",
+            Language::Burmese => "my",
+            Language::Sinhala => "si",
+            Language::Georgian => "ka",
+            Language::Punjabi => "pa",
+            Language::Gujarati => "gu",
+            Language::Kannada => "kn",
+            Language::Malayalam => "ml",
+            Language::Persian => "fa",
+            Language::Nepali => "ne",
+        }
+    }
+
+    /// English display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::English => "English",
+            Language::MandarinChinese => "Mandarin Chinese",
+            Language::Cantonese => "Cantonese",
+            Language::Hindi => "Hindi",
+            Language::ModernStandardArabic => "Modern Standard Arabic",
+            Language::EgyptianArabic => "Egyptian Arabic",
+            Language::Bangla => "Bangla",
+            Language::Russian => "Russian",
+            Language::Japanese => "Japanese",
+            Language::Korean => "Korean",
+            Language::Thai => "Thai",
+            Language::Greek => "Greek",
+            Language::Hebrew => "Hebrew",
+            Language::Urdu => "Urdu",
+            Language::Tamil => "Tamil",
+            Language::Telugu => "Telugu",
+            Language::Marathi => "Marathi",
+            Language::Amharic => "Amharic",
+            Language::Burmese => "Burmese",
+            Language::Sinhala => "Sinhala",
+            Language::Georgian => "Georgian",
+            Language::Punjabi => "Punjabi",
+            Language::Gujarati => "Gujarati",
+            Language::Kannada => "Kannada",
+            Language::Malayalam => "Malayalam",
+            Language::Persian => "Persian",
+            Language::Nepali => "Nepali",
+        }
+    }
+
+    /// Approximate global speakers, in millions. The 12 included languages
+    /// use the figures quoted in §2 of the paper; the rest use commonly
+    /// cited totals (needed only for candidate-pool ordering).
+    pub fn speakers_millions(self) -> f64 {
+        match self {
+            Language::English => 1500.0,
+            Language::MandarinChinese => 1200.0,
+            Language::Hindi => 609.0,
+            Language::ModernStandardArabic => 335.0,
+            Language::Bangla => 284.0,
+            Language::Russian => 253.0,
+            Language::Japanese => 126.0,
+            Language::EgyptianArabic => 119.0,
+            Language::Cantonese => 85.5,
+            Language::Korean => 82.0,
+            Language::Thai => 71.0,
+            Language::Greek => 13.5,
+            Language::Hebrew => 9.0,
+            Language::Urdu => 230.0,
+            Language::Tamil => 79.0,
+            Language::Telugu => 83.0,
+            Language::Marathi => 83.0,
+            Language::Amharic => 57.0,
+            Language::Burmese => 33.0,
+            Language::Sinhala => 16.0,
+            Language::Georgian => 3.7,
+            Language::Punjabi => 113.0,
+            Language::Gujarati => 57.0,
+            Language::Kannada => 44.0,
+            Language::Malayalam => 34.0,
+            Language::Persian => 62.0,
+            Language::Nepali => 25.0,
+        }
+    }
+
+    /// Whether this language is among the 12 included pairs.
+    pub fn is_included(self) -> bool {
+        Language::INCLUDED.contains(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::script_of;
+
+    #[test]
+    fn pool_has_26_candidates_and_12_included() {
+        assert_eq!(Language::CANDIDATE_POOL.len(), 26);
+        assert_eq!(Language::INCLUDED.len(), 12);
+        for l in Language::INCLUDED {
+            assert!(Language::CANDIDATE_POOL.contains(&l));
+            assert!(l.is_included());
+        }
+        assert!(!Language::English.is_included());
+        assert!(!Language::Tamil.is_included());
+    }
+
+    #[test]
+    fn no_candidate_is_latin_script() {
+        for l in Language::CANDIDATE_POOL {
+            assert_ne!(l.primary_script(), Script::Latin, "{:?}", l);
+        }
+        assert_eq!(Language::English.primary_script(), Script::Latin);
+    }
+
+    #[test]
+    fn included_speakers_sum_matches_paper() {
+        // §2: "Collectively, these 12 languages are spoken by over 3.19
+        // billion people".
+        let total: f64 = Language::INCLUDED.iter().map(|l| l.speakers_millions()).sum();
+        assert!(total > 3_190.0 - 10.0 && total < 3_300.0, "total = {total}");
+    }
+
+    #[test]
+    fn disambiguation_chars_live_in_primary_script() {
+        for l in Language::CANDIDATE_POOL {
+            for &c in l.disambiguation_chars() {
+                assert!(
+                    l.evidence_scripts().contains(&script_of(c)),
+                    "{:?}: {c} classified as {:?}",
+                    l,
+                    script_of(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn urdu_disambiguation_distinct_from_msa() {
+        // Every Urdu disambiguation char must be outside the basic MSA
+        // alphabet; spot check a few well-known MSA letters are NOT listed.
+        for msa in ['ا', 'ب', 'ت', 'ث', 'ج'] {
+            assert!(!Language::Urdu.disambiguation_chars().contains(&msa));
+        }
+    }
+
+    #[test]
+    fn tags_are_unique() {
+        let mut tags: Vec<&str> = Language::CANDIDATE_POOL.iter().map(|l| l.tag()).collect();
+        tags.push(Language::English.tag());
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(tags.len(), dedup.len());
+    }
+
+    #[test]
+    fn japanese_evidence_includes_all_three_scripts() {
+        let ev = Language::Japanese.evidence_scripts();
+        assert!(ev.contains(&Script::Hiragana));
+        assert!(ev.contains(&Script::Katakana));
+        assert!(ev.contains(&Script::Han));
+    }
+}

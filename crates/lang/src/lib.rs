@@ -1,0 +1,30 @@
+//! # langcrux-lang
+//!
+//! Foundation crate of the LangCrUX reproduction: writing systems, the
+//! 26-language candidate pool, the 12 study countries, multilingual UI
+//! dictionaries, and deterministic seed derivation.
+//!
+//! Everything else in the workspace builds on these types:
+//!
+//! * [`script`] — Unicode script ranges and the per-character classifier
+//!   that implements the paper's script-detection heuristic.
+//! * [`language`] — the candidate languages, their scripts, speaker counts
+//!   and disambiguation characters.
+//! * [`country`] — the vantage countries and language pairings.
+//! * [`dict`] — generic-action and placeholder vocabularies across the
+//!   study languages (shared by the generator and the filter).
+//! * [`rng`] — splitmix64 seed derivation for byte-reproducible corpora.
+//! * [`a11y`] — the twelve language-sensitive accessibility element kinds
+//!   of the paper's Table 1, shared across generator, crawler, and audits.
+
+pub mod a11y;
+pub mod country;
+pub mod dict;
+pub mod language;
+pub mod rng;
+pub mod script;
+
+pub use a11y::ElementKind;
+pub use country::Country;
+pub use language::Language;
+pub use script::{script_of, Script, ScriptHistogram};

@@ -1,0 +1,202 @@
+//! Deterministic fault injection.
+//!
+//! Real measurement crawls lose requests to timeouts, resets, geo-blocks
+//! and VPN detection; the paper's methodology explicitly handles these by
+//! replacing affected sites with "the next eligible candidate". The fault
+//! plan makes those hazards reproducible: every roll is derived from
+//! `(seed, host, attempt, purpose)`, so a crawl with the same seed loses
+//! exactly the same requests — and the crawler's retry logic can be tested
+//! against known outcomes.
+//!
+//! The shape follows the fault-injection options of smoltcp's examples
+//! (drop chance, corruption chance, latency shaping) adapted to the HTTP
+//! level.
+
+use langcrux_lang::rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Probabilities and latency model for the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a request times out entirely.
+    pub timeout_chance: f64,
+    /// Probability the connection resets mid-transfer.
+    pub reset_chance: f64,
+    /// Probability a VPN-detecting site recognises the VPN *in addition to*
+    /// the provider's own detectability factor.
+    pub extra_vpn_detection: f64,
+    /// Base round-trip latency in milliseconds.
+    pub base_latency_ms: u32,
+    /// Additional uniform jitter bound in milliseconds.
+    pub jitter_ms: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            timeout_chance: 0.01,
+            reset_chance: 0.005,
+            extra_vpn_detection: 0.0,
+            base_latency_ms: 80,
+            jitter_ms: 120,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A perfectly reliable network (unit tests that do not exercise
+    /// failure paths).
+    pub const RELIABLE: FaultPlan = FaultPlan {
+        timeout_chance: 0.0,
+        reset_chance: 0.0,
+        extra_vpn_detection: 0.0,
+        base_latency_ms: 50,
+        jitter_ms: 0,
+    };
+
+    /// A hostile network for failure-injection tests (≈15% loss, echoing
+    /// the smoltcp examples' recommended starting point).
+    pub const HOSTILE: FaultPlan = FaultPlan {
+        timeout_chance: 0.10,
+        reset_chance: 0.05,
+        extra_vpn_detection: 0.10,
+        base_latency_ms: 200,
+        jitter_ms: 400,
+    };
+}
+
+/// What kind of roll is being made — part of the derivation stream so that
+/// independent decisions do not correlate.
+#[derive(Debug, Clone, Copy)]
+pub enum RollPurpose {
+    Timeout,
+    Reset,
+    VpnDetection,
+    Latency,
+    GeoBlock,
+}
+
+impl RollPurpose {
+    fn stream(self) -> u64 {
+        match self {
+            RollPurpose::Timeout => 0x71,
+            RollPurpose::Reset => 0x72,
+            RollPurpose::VpnDetection => 0x73,
+            RollPurpose::Latency => 0x74,
+            RollPurpose::GeoBlock => 0x75,
+        }
+    }
+}
+
+/// Deterministic roll source for one request.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultDice {
+    seed: u64,
+    host_id: u64,
+    attempt: u32,
+}
+
+impl FaultDice {
+    pub fn new(seed: u64, host: &str, attempt: u32) -> Self {
+        FaultDice {
+            seed,
+            host_id: rng::stream_id(host),
+            attempt,
+        }
+    }
+
+    /// Uniform `[0,1)` roll for a purpose.
+    pub fn roll(&self, purpose: RollPurpose) -> f64 {
+        let mut r = rng::rng_for(
+            self.seed,
+            &[self.host_id, u64::from(self.attempt), purpose.stream()],
+        );
+        r.gen()
+    }
+
+    /// Whether an event with probability `p` fires.
+    pub fn fires(&self, purpose: RollPurpose, p: f64) -> bool {
+        p > 0.0 && self.roll(purpose) < p
+    }
+
+    /// Latency sample for this request.
+    pub fn latency_ms(&self, plan: &FaultPlan) -> u32 {
+        if plan.jitter_ms == 0 {
+            return plan.base_latency_ms;
+        }
+        let mut r = rng::rng_for(
+            self.seed,
+            &[self.host_id, u64::from(self.attempt), RollPurpose::Latency.stream()],
+        );
+        plan.base_latency_ms + r.gen_range(0..=plan.jitter_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic() {
+        let a = FaultDice::new(1, "example.bd", 0);
+        let b = FaultDice::new(1, "example.bd", 0);
+        assert_eq!(a.roll(RollPurpose::Timeout), b.roll(RollPurpose::Timeout));
+    }
+
+    #[test]
+    fn attempts_decorrelate() {
+        let a = FaultDice::new(1, "example.bd", 0);
+        let b = FaultDice::new(1, "example.bd", 1);
+        assert_ne!(a.roll(RollPurpose::Timeout), b.roll(RollPurpose::Timeout));
+    }
+
+    #[test]
+    fn purposes_decorrelate() {
+        let d = FaultDice::new(1, "example.bd", 0);
+        assert_ne!(d.roll(RollPurpose::Timeout), d.roll(RollPurpose::Reset));
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        for i in 0..100 {
+            let d = FaultDice::new(9, "host", i);
+            assert!(!d.fires(RollPurpose::Timeout, 0.0));
+        }
+    }
+
+    #[test]
+    fn one_probability_always_fires() {
+        for i in 0..100 {
+            let d = FaultDice::new(9, "host", i);
+            assert!(d.fires(RollPurpose::Reset, 1.0));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_probability() {
+        let mut hits = 0;
+        let n = 5000;
+        for i in 0..n {
+            let d = FaultDice::new(42, &format!("h{i}"), 0);
+            if d.fires(RollPurpose::Timeout, 0.10) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((0.07..0.13).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn latency_within_bounds() {
+        let plan = FaultPlan::default();
+        for i in 0..200 {
+            let d = FaultDice::new(3, "x", i);
+            let l = d.latency_ms(&plan);
+            assert!(l >= plan.base_latency_ms);
+            assert!(l <= plan.base_latency_ms + plan.jitter_ms);
+        }
+        let d = FaultDice::new(3, "x", 0);
+        assert_eq!(d.latency_ms(&FaultPlan::RELIABLE), 50);
+    }
+}

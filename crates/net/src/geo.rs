@@ -1,0 +1,179 @@
+//! Vantage points and VPN providers.
+//!
+//! The paper routes all crawler traffic "through VPN servers physically
+//! hosted in the corresponding country", choosing the provider per country
+//! because "not all VPN providers have servers in every target country"
+//! (§2, Data Collection). This module models that decision: vantage points
+//! with an egress country, commercial-VPN-like providers with partial
+//! coverage and a detectability factor, and the per-country provider
+//! selection rule.
+
+use langcrux_lang::Country;
+use serde::{Deserialize, Serialize};
+
+/// Where a request appears to originate from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vantage {
+    /// A generic cloud datacenter IP with no national egress (the baseline
+    /// the paper warns against: it receives global/English variants).
+    Cloud,
+    /// A VPN egress inside `country`, via the provider with the given
+    /// detectability (scaled 0–100; commercial VPN ranges are detectable by
+    /// some sites).
+    Vpn {
+        country: Country,
+        provider: VpnProviderId,
+    },
+    /// A native residential connection in `country` (ground-truth vantage,
+    /// used in tests to validate the VPN path).
+    Residential(Country),
+}
+
+impl Vantage {
+    /// The national egress of this vantage, if any.
+    pub fn egress_country(&self) -> Option<Country> {
+        match self {
+            Vantage::Cloud => None,
+            Vantage::Vpn { country, .. } => Some(*country),
+            Vantage::Residential(c) => Some(*c),
+        }
+    }
+
+    /// Whether the egress is a VPN (and thus potentially detectable).
+    pub fn is_vpn(&self) -> bool {
+        matches!(self, Vantage::Vpn { .. })
+    }
+}
+
+/// Identifier of a modelled VPN provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VpnProviderId {
+    /// Modeled after ProtonVPN: wide coverage, lower detectability.
+    Aurora,
+    /// Modeled after Hotspot Shield: complementary coverage, slightly more
+    /// detectable address space.
+    Meridian,
+}
+
+/// Static description of a provider's footprint.
+#[derive(Debug, Clone)]
+pub struct VpnProvider {
+    pub id: VpnProviderId,
+    pub name: &'static str,
+    /// Countries with physical servers.
+    pub endpoints: &'static [Country],
+    /// Probability (0.0–1.0) that a VPN-detecting site recognises this
+    /// provider's address space.
+    pub detectability: f64,
+}
+
+/// The two modelled commercial providers. Coverage is chosen so that
+/// *neither* provider covers all 12 study countries — forcing the
+/// per-country selection logic the paper describes.
+pub const PROVIDERS: &[VpnProvider] = &[
+    VpnProvider {
+        id: VpnProviderId::Aurora,
+        name: "Aurora VPN",
+        endpoints: &[
+            Country::Bangladesh,
+            Country::China,
+            Country::Egypt,
+            Country::Greece,
+            Country::HongKong,
+            Country::Israel,
+            Country::India,
+            Country::Japan,
+            Country::SouthKorea,
+            Country::Russia,
+            Country::Thailand,
+        ],
+        detectability: 0.05,
+    },
+    VpnProvider {
+        id: VpnProviderId::Meridian,
+        name: "Meridian Shield",
+        endpoints: &[
+            Country::Algeria,
+            Country::Egypt,
+            Country::Greece,
+            Country::India,
+            Country::Japan,
+            Country::Russia,
+            Country::Thailand,
+            Country::SriLanka,
+            Country::Georgia,
+            Country::Pakistan,
+        ],
+        detectability: 0.08,
+    },
+];
+
+/// Select a provider for a country: the least detectable one with an
+/// endpoint there (the paper's per-country choice for "reliable and
+/// consistent access").
+pub fn select_provider(country: Country) -> Option<&'static VpnProvider> {
+    PROVIDERS
+        .iter()
+        .filter(|p| p.endpoints.contains(&country))
+        .min_by(|a, b| a.detectability.total_cmp(&b.detectability))
+}
+
+/// Build the standard crawl vantage for a country, if any provider reaches
+/// it.
+pub fn vpn_vantage(country: Country) -> Option<Vantage> {
+    select_provider(country).map(|p| Vantage::Vpn {
+        country,
+        provider: p.id,
+    })
+}
+
+/// Provider lookup by id.
+pub fn provider(id: VpnProviderId) -> &'static VpnProvider {
+    PROVIDERS
+        .iter()
+        .find(|p| p.id == id)
+        .expect("all provider ids are in PROVIDERS")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_study_country_is_reachable() {
+        for c in Country::STUDY {
+            assert!(
+                select_provider(c).is_some(),
+                "no VPN endpoint covers {:?}",
+                c
+            );
+        }
+    }
+
+    #[test]
+    fn no_single_provider_covers_everything() {
+        for p in PROVIDERS {
+            let covered = Country::STUDY.iter().filter(|c| p.endpoints.contains(c)).count();
+            assert!(covered < 12, "{} covers all study countries", p.name);
+        }
+    }
+
+    #[test]
+    fn selection_prefers_lower_detectability() {
+        // Egypt is covered by both providers; Aurora is less detectable.
+        let p = select_provider(Country::Egypt).unwrap();
+        assert_eq!(p.id, VpnProviderId::Aurora);
+        // Algeria is Meridian-only.
+        let p = select_provider(Country::Algeria).unwrap();
+        assert_eq!(p.id, VpnProviderId::Meridian);
+    }
+
+    #[test]
+    fn vantage_properties() {
+        let v = vpn_vantage(Country::Thailand).unwrap();
+        assert_eq!(v.egress_country(), Some(Country::Thailand));
+        assert!(v.is_vpn());
+        assert_eq!(Vantage::Cloud.egress_country(), None);
+        assert!(!Vantage::Residential(Country::Japan).is_vpn());
+    }
+}

@@ -1,0 +1,418 @@
+//! The simulated internet.
+//!
+//! [`Internet`] is a host registry plus the geo-serving and fault logic
+//! that stands in for the live web:
+//!
+//! * **Localization** — a site hosted in country C serves its
+//!   [`ContentVariant::Localized`] variant only when the request's egress
+//!   country is C; other vantages get [`ContentVariant::Global`]. This is
+//!   the observable behaviour that motivates the paper's VPN methodology.
+//! * **VPN detection** — a fraction of sites inspect the client address
+//!   space; when they recognise a VPN range they fall back to the global
+//!   variant (the paper: "some websites may detect VPN use and return
+//!   generic or restricted versions").
+//! * **Faults** — timeouts / resets / geo-blocks per the deterministic
+//!   [`FaultPlan`].
+//!
+//! `Internet` is `Send + Sync`; the crawler queries it from a worker pool.
+
+use crate::fault::{FaultDice, FaultPlan, RollPurpose};
+use crate::geo::{provider, Vantage};
+use crate::types::{ContentVariant, FetchError, Request, Response};
+use bytes::Bytes;
+use langcrux_lang::Country;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A site's content provider: renders the page body for a variant.
+///
+/// Implemented by `langcrux-webgen`'s site generators; test code often uses
+/// the blanket impl for closures.
+pub trait ContentServer: Send + Sync {
+    fn serve(&self, variant: ContentVariant, path: &str) -> String;
+}
+
+impl<F> ContentServer for F
+where
+    F: Fn(ContentVariant, &str) -> String + Send + Sync,
+{
+    fn serve(&self, variant: ContentVariant, path: &str) -> String {
+        self(variant, path)
+    }
+}
+
+/// Per-host registration data.
+struct HostEntry {
+    country: Country,
+    /// Probability (0–1) that this site actively detects VPN ranges.
+    vpn_detecting: f64,
+    /// Probability that this site hard-blocks foreign (non-national,
+    /// non-VPN-accepted) vantages instead of serving the global variant.
+    geo_block: f64,
+    server: Box<dyn ContentServer>,
+}
+
+/// Counters describing what the network served. All counts are
+/// monotonically increasing; snapshot with [`Internet::metrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetMetrics {
+    pub requests: u64,
+    pub localized_responses: u64,
+    pub global_responses: u64,
+    pub restricted_responses: u64,
+    pub timeouts: u64,
+    pub resets: u64,
+    pub geo_blocks: u64,
+    pub unknown_hosts: u64,
+    pub vpn_detections: u64,
+    pub bytes_served: u64,
+}
+
+/// The simulated internet.
+pub struct Internet {
+    seed: u64,
+    plan: FaultPlan,
+    hosts: HashMap<String, HostEntry>,
+    metrics: Arc<Mutex<NetMetrics>>,
+}
+
+impl Internet {
+    /// An empty internet with the given workspace seed and fault plan.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        Internet {
+            seed,
+            plan,
+            hosts: HashMap::new(),
+            metrics: Arc::new(Mutex::new(NetMetrics::default())),
+        }
+    }
+
+    /// Register a host. `vpn_detecting` and `geo_block` are per-site
+    /// probabilities in `[0, 1]`.
+    pub fn register(
+        &mut self,
+        host: &str,
+        country: Country,
+        vpn_detecting: f64,
+        geo_block: f64,
+        server: Box<dyn ContentServer>,
+    ) {
+        self.hosts.insert(
+            host.to_ascii_lowercase(),
+            HostEntry {
+                country,
+                vpn_detecting,
+                geo_block,
+                server,
+            },
+        );
+    }
+
+    /// Convenience registration with no VPN detection or geo-blocking.
+    pub fn register_simple(&mut self, host: &str, country: Country, server: Box<dyn ContentServer>) {
+        self.register(host, country, 0.0, 0.0, server);
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether a hostname resolves.
+    pub fn knows(&self, host: &str) -> bool {
+        self.hosts.contains_key(&host.to_ascii_lowercase())
+    }
+
+    /// Hosts registered for a country (unordered).
+    pub fn hosts_in(&self, country: Country) -> Vec<&str> {
+        self.hosts
+            .iter()
+            .filter(|(_, e)| e.country == country)
+            .map(|(h, _)| h.as_str())
+            .collect()
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Execute one request.
+    pub fn fetch(&self, req: &Request) -> Result<Response, FetchError> {
+        let mut m = self.metrics.lock();
+        m.requests += 1;
+        drop(m);
+
+        let entry = match self.hosts.get(&req.url.host) {
+            Some(e) => e,
+            None => {
+                self.metrics.lock().unknown_hosts += 1;
+                return Err(FetchError::UnknownHost(req.url.host.clone()));
+            }
+        };
+
+        let dice = FaultDice::new(self.seed, &req.url.host, req.attempt);
+
+        if dice.fires(RollPurpose::Timeout, self.plan.timeout_chance) {
+            self.metrics.lock().timeouts += 1;
+            return Err(FetchError::Timeout);
+        }
+        if dice.fires(RollPurpose::Reset, self.plan.reset_chance) {
+            self.metrics.lock().resets += 1;
+            return Err(FetchError::ConnectionReset);
+        }
+
+        let variant = self.variant_for(entry, req, &dice)?;
+        let body = entry.server.serve(variant, &req.url.path);
+        let latency = dice.latency_ms(&self.plan);
+
+        let mut m = self.metrics.lock();
+        match variant {
+            ContentVariant::Localized => m.localized_responses += 1,
+            ContentVariant::Global => m.global_responses += 1,
+            ContentVariant::Restricted => m.restricted_responses += 1,
+        }
+        m.bytes_served += body.len() as u64;
+        drop(m);
+
+        Ok(Response {
+            url: req.url.clone(),
+            status: if variant == ContentVariant::Restricted {
+                451
+            } else {
+                200
+            },
+            body: Bytes::from(body),
+            variant,
+            latency_ms: latency,
+        })
+    }
+
+    /// Decide which variant the site serves to this vantage. The decision
+    /// is deterministic per (seed, host, attempt).
+    fn variant_for(
+        &self,
+        entry: &HostEntry,
+        req: &Request,
+        dice: &FaultDice,
+    ) -> Result<ContentVariant, FetchError> {
+        match req.vantage.egress_country() {
+            Some(egress) if egress == entry.country => {
+                if req.vantage.is_vpn() {
+                    // Combined chance: the site must be a detecting site AND
+                    // recognise this provider's ranges.
+                    let p_detect = entry.vpn_detecting
+                        * (provider_detectability(&req.vantage) + self.plan.extra_vpn_detection);
+                    if dice.fires(RollPurpose::VpnDetection, p_detect.min(1.0)) {
+                        self.metrics.lock().vpn_detections += 1;
+                        return Ok(ContentVariant::Restricted);
+                    }
+                }
+                Ok(ContentVariant::Localized)
+            }
+            _ => {
+                // Foreign vantage: occasionally geo-blocked, usually global.
+                if dice.fires(RollPurpose::GeoBlock, entry.geo_block) {
+                    self.metrics.lock().geo_blocks += 1;
+                    return Err(FetchError::GeoBlocked);
+                }
+                Ok(ContentVariant::Global)
+            }
+        }
+    }
+}
+
+fn provider_detectability(vantage: &Vantage) -> f64 {
+    match vantage {
+        Vantage::Vpn { provider: id, .. } => provider(*id).detectability,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::vpn_vantage;
+    use crate::url::Url;
+
+    fn test_server(tag: &'static str) -> Box<dyn ContentServer> {
+        Box::new(move |variant: ContentVariant, path: &str| {
+            format!("<html><body>{tag}:{variant:?}:{path}</body></html>")
+        })
+    }
+
+    fn internet() -> Internet {
+        let mut net = Internet::new(7, FaultPlan::RELIABLE);
+        net.register_simple("news.bd", Country::Bangladesh, test_server("bd"));
+        net.register("wall.th", Country::Thailand, 0.0, 1.0, test_server("th"));
+        net.register("paranoid.bd", Country::Bangladesh, 1.0, 0.0, test_server("pbd"));
+        net
+    }
+
+    #[test]
+    fn national_vantage_gets_localized() {
+        let net = internet();
+        let req = Request::new(
+            Url::from_host("news.bd"),
+            Vantage::Residential(Country::Bangladesh),
+        );
+        let resp = net.fetch(&req).unwrap();
+        assert_eq!(resp.variant, ContentVariant::Localized);
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().contains("Localized"));
+    }
+
+    #[test]
+    fn cloud_vantage_gets_global() {
+        let net = internet();
+        let req = Request::new(Url::from_host("news.bd"), Vantage::Cloud);
+        let resp = net.fetch(&req).unwrap();
+        assert_eq!(resp.variant, ContentVariant::Global);
+    }
+
+    #[test]
+    fn foreign_country_gets_global() {
+        let net = internet();
+        let req = Request::new(
+            Url::from_host("news.bd"),
+            Vantage::Residential(Country::Thailand),
+        );
+        assert_eq!(net.fetch(&req).unwrap().variant, ContentVariant::Global);
+    }
+
+    #[test]
+    fn vpn_vantage_gets_localized() {
+        let net = internet();
+        let req = Request::new(
+            Url::from_host("news.bd"),
+            vpn_vantage(Country::Bangladesh).unwrap(),
+        );
+        assert_eq!(net.fetch(&req).unwrap().variant, ContentVariant::Localized);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let net = internet();
+        let req = Request::new(Url::from_host("nosuch.xx"), Vantage::Cloud);
+        assert_eq!(
+            net.fetch(&req).unwrap_err(),
+            FetchError::UnknownHost("nosuch.xx".into())
+        );
+        assert_eq!(net.metrics().unknown_hosts, 1);
+    }
+
+    #[test]
+    fn geo_block_wall_blocks_foreigners_only() {
+        let net = internet();
+        let foreign = Request::new(Url::from_host("wall.th"), Vantage::Cloud);
+        assert_eq!(net.fetch(&foreign).unwrap_err(), FetchError::GeoBlocked);
+        let national = Request::new(
+            Url::from_host("wall.th"),
+            Vantage::Residential(Country::Thailand),
+        );
+        assert_eq!(net.fetch(&national).unwrap().variant, ContentVariant::Localized);
+    }
+
+    #[test]
+    fn residential_never_vpn_detected() {
+        let net = internet();
+        let req = Request::new(
+            Url::from_host("paranoid.bd"),
+            Vantage::Residential(Country::Bangladesh),
+        );
+        // paranoid.bd detects 100% of VPNs but this is not a VPN.
+        assert_eq!(net.fetch(&req).unwrap().variant, ContentVariant::Localized);
+    }
+
+    #[test]
+    fn vpn_detection_rate_tracks_provider_detectability() {
+        // With vpn_detecting = 1.0 and extra_vpn_detection = 1.0 the
+        // combined probability saturates to 1.0 → always restricted.
+        let mut plan = FaultPlan::RELIABLE;
+        plan.extra_vpn_detection = 1.0;
+        let mut net = Internet::new(11, plan);
+        net.register("p.bd", Country::Bangladesh, 1.0, 0.0, test_server("p"));
+        let req = Request::new(
+            Url::from_host("p.bd"),
+            vpn_vantage(Country::Bangladesh).unwrap(),
+        );
+        let resp = net.fetch(&req).unwrap();
+        assert_eq!(resp.variant, ContentVariant::Restricted);
+        assert_eq!(resp.status, 451);
+        assert_eq!(net.metrics().vpn_detections, 1);
+    }
+
+    #[test]
+    fn faults_are_deterministic_across_instances() {
+        let build = || {
+            let mut net = Internet::new(99, FaultPlan::HOSTILE);
+            for i in 0..50 {
+                net.register_simple(
+                    &format!("h{i}.bd"),
+                    Country::Bangladesh,
+                    test_server("x"),
+                );
+            }
+            net
+        };
+        let run = |net: &Internet| -> Vec<bool> {
+            (0..50)
+                .map(|i| {
+                    let req = Request::new(Url::from_host(&format!("h{i}.bd")), Vantage::Cloud);
+                    net.fetch(&req).is_ok()
+                })
+                .collect()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(run(&a), run(&b));
+        // And a hostile plan must actually produce some failures + successes.
+        let outcomes = run(&a);
+        assert!(outcomes.iter().any(|&ok| ok));
+        assert!(outcomes.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn retry_can_clear_transient_faults() {
+        let mut net = Internet::new(5, FaultPlan::HOSTILE);
+        for i in 0..100 {
+            net.register_simple(&format!("r{i}.bd"), Country::Bangladesh, test_server("x"));
+        }
+        let mut recovered = 0;
+        for i in 0..100 {
+            let req = Request::new(Url::from_host(&format!("r{i}.bd")), Vantage::Cloud);
+            if let Err(e) = net.fetch(&req) {
+                if e.is_retryable() && net.fetch(&req.retry()).is_ok() {
+                    recovered += 1;
+                }
+            }
+        }
+        assert!(recovered > 0, "no transient fault recovered on retry");
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let net = internet();
+        let req = Request::new(
+            Url::from_host("news.bd"),
+            Vantage::Residential(Country::Bangladesh),
+        );
+        net.fetch(&req).unwrap();
+        net.fetch(&req).unwrap();
+        let m = net.metrics();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.localized_responses, 2);
+        assert!(m.bytes_served > 0);
+    }
+
+    #[test]
+    fn hosts_in_filters_by_country() {
+        let net = internet();
+        let mut bd = net.hosts_in(Country::Bangladesh);
+        bd.sort_unstable();
+        assert_eq!(bd, vec!["news.bd", "paranoid.bd"]);
+        assert_eq!(net.hosts_in(Country::Japan).len(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal URL type.
+//!
+//! The corpus only needs `scheme://host/path` URLs; query strings are kept
+//! verbatim inside `path`. Parsing is strict enough to reject the junk that
+//! shows up in accessibility attributes (the filter crate has its own,
+//! looser URL *detector* — this type is for addressing real requests).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    pub scheme: String,
+    pub host: String,
+    /// Always begins with `/`.
+    pub path: String,
+}
+
+/// Why a URL failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UrlError {
+    MissingScheme,
+    UnsupportedScheme,
+    EmptyHost,
+    InvalidHost,
+}
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            UrlError::MissingScheme => "missing '://' scheme separator",
+            UrlError::UnsupportedScheme => "only http and https are supported",
+            UrlError::EmptyHost => "empty host",
+            UrlError::InvalidHost => "invalid character in host",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl Url {
+    /// Parse an absolute http(s) URL.
+    pub fn parse(input: &str) -> Result<Url, UrlError> {
+        let input = input.trim();
+        let (scheme, rest) = input.split_once("://").ok_or(UrlError::MissingScheme)?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(UrlError::UnsupportedScheme);
+        }
+        let (host, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty() {
+            return Err(UrlError::EmptyHost);
+        }
+        if !host
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '-'))
+        {
+            return Err(UrlError::InvalidHost);
+        }
+        Ok(Url {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            path: path.to_string(),
+        })
+    }
+
+    /// Build a `https://host/` URL for a bare hostname.
+    pub fn from_host(host: &str) -> Url {
+        Url {
+            scheme: "https".to_string(),
+            host: host.to_ascii_lowercase(),
+            path: "/".to_string(),
+        }
+    }
+
+    /// The registrable domain heuristic: last two labels (three when the
+    /// penultimate label is a common second-level registry like `gov`/`co`).
+    pub fn registrable_domain(&self) -> String {
+        let labels: Vec<&str> = self.host.split('.').collect();
+        if labels.len() <= 2 {
+            return self.host.clone();
+        }
+        let second_level = labels[labels.len() - 2];
+        let take = if matches!(second_level, "gov" | "co" | "ac" | "or" | "com" | "edu" | "net")
+            && labels[labels.len() - 1].len() == 2
+        {
+            3
+        } else {
+            2
+        };
+        labels[labels.len() - take.min(labels.len())..].join(".")
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.host, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_urls() {
+        let u = Url::parse("https://news.example.bd/politics/article-1").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "news.example.bd");
+        assert_eq!(u.path, "/politics/article-1");
+        assert_eq!(u.to_string(), "https://news.example.bd/politics/article-1");
+    }
+
+    #[test]
+    fn host_only_gets_root_path() {
+        let u = Url::parse("http://example.th").unwrap();
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn case_normalisation() {
+        let u = Url::parse("HTTPS://Example.COM/Path").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.host, "example.com");
+        assert_eq!(u.path, "/Path");
+    }
+
+    #[test]
+    fn rejects_bad_urls() {
+        assert_eq!(Url::parse("example.com"), Err(UrlError::MissingScheme));
+        assert_eq!(Url::parse("ftp://x.com"), Err(UrlError::UnsupportedScheme));
+        assert_eq!(Url::parse("https:///path"), Err(UrlError::EmptyHost));
+        assert_eq!(Url::parse("https://bad host/"), Err(UrlError::InvalidHost));
+    }
+
+    #[test]
+    fn registrable_domain() {
+        assert_eq!(
+            Url::parse("https://www.news.example.bd/").unwrap().registrable_domain(),
+            "example.bd"
+        );
+        assert_eq!(
+            Url::parse("https://portal.gov.bd/x").unwrap().registrable_domain(),
+            "portal.gov.bd"
+        );
+        assert_eq!(
+            Url::parse("https://example.com/").unwrap().registrable_domain(),
+            "example.com"
+        );
+    }
+
+    #[test]
+    fn from_host() {
+        assert_eq!(Url::from_host("A.B.C").to_string(), "https://a.b.c/");
+    }
+}

@@ -1,0 +1,130 @@
+//! Embedded English lexicon.
+//!
+//! English is the contrast language of the whole study: accessibility texts
+//! default to it, visible text mixes it in, and the filter must distinguish
+//! informative English ("finance minister presents annual budget") from
+//! uninformative English ("button"). Real words — rather than synthetic
+//! syllables — matter here because several filter rules are
+//! dictionary-driven.
+
+/// Function words used to glue sentences together.
+pub const FUNCTION_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "for", "with", "from", "to", "and", "or", "by",
+    "as", "is", "are", "was", "were", "has", "have", "will", "new", "more", "about", "after",
+    "over", "under", "between", "during", "their", "its", "this", "that", "these",
+];
+
+/// Content nouns spanning the site archetypes (news, government, commerce,
+/// education, health, sport, technology, travel).
+pub const NOUNS: &[&str] = &[
+    "minister", "government", "election", "economy", "market", "budget", "parliament",
+    "policy", "report", "committee", "agreement", "investment", "project", "development",
+    "community", "region", "country", "city", "village", "festival", "ceremony", "student",
+    "school", "university", "teacher", "education", "hospital", "doctor", "health", "vaccine",
+    "medicine", "patient", "weather", "storm", "flood", "temperature", "season", "harvest",
+    "farmer", "agriculture", "price", "product", "store", "delivery", "customer", "order",
+    "discount", "payment", "account", "service", "company", "business", "industry", "factory",
+    "worker", "union", "technology", "internet", "software", "network", "research",
+    "science", "energy", "water", "electricity", "transport", "railway", "airport", "road",
+    "bridge", "team", "match", "tournament", "championship", "player", "coach", "stadium",
+    "goal", "victory", "museum", "heritage", "culture", "language", "history", "tradition",
+    "artist", "music", "film", "theatre", "book", "author", "photograph", "exhibition",
+    "conference", "summit", "meeting", "announcement", "statement", "interview", "campaign",
+    "volunteer", "charity", "foundation", "award", "prize", "anniversary", "celebration",
+    "tourism", "visitor", "hotel", "restaurant", "recipe", "kitchen", "garden", "family",
+    "children", "youth", "women", "citizens", "residents", "neighborhood", "district",
+    "province", "court", "justice", "police", "security", "border", "trade", "export",
+    "import", "currency", "bank", "loan", "tax", "salary", "pension", "insurance",
+];
+
+/// Verbs (past/present forms usable in headlines).
+pub const VERBS: &[&str] = &[
+    "announces", "launches", "opens", "closes", "wins", "loses", "visits", "signs",
+    "approves", "rejects", "celebrates", "inaugurates", "expands", "reduces", "increases",
+    "improves", "builds", "repairs", "presents", "reveals", "reports", "confirms", "denies",
+    "warns", "urges", "plans", "begins", "completes", "hosts", "joins", "leads", "supports",
+    "protects", "promotes", "discusses", "reviews", "publishes", "releases", "introduces",
+    "demonstrates", "organizes", "attends", "welcomes", "honors", "awards", "funds",
+];
+
+/// Adjectives for descriptive alt text and headlines.
+pub const ADJECTIVES: &[&str] = &[
+    "national", "regional", "local", "international", "annual", "historic", "modern",
+    "traditional", "public", "private", "official", "major", "minor", "famous", "popular",
+    "recent", "upcoming", "free", "special", "cultural", "economic", "digital", "rural",
+    "urban", "young", "senior", "global", "central", "northern", "southern", "eastern",
+    "western", "colorful", "crowded", "quiet", "large", "small", "beautiful", "important",
+];
+
+/// Concrete visual subjects for image alt texts (what a photo depicts).
+pub const IMAGE_SUBJECTS: &[&str] = &[
+    "crowd gathered at the central square",
+    "officials cutting a ribbon at the opening ceremony",
+    "students in a classroom raising their hands",
+    "aerial view of the river and the old bridge",
+    "vendor arranging fresh vegetables at the market",
+    "players celebrating after the winning goal",
+    "doctor examining a patient at the clinic",
+    "workers assembling parts on the factory floor",
+    "traditional dancers performing in festival costumes",
+    "sunset over the harbor with fishing boats",
+    "children planting trees in the school garden",
+    "speaker addressing the conference audience",
+    "new train arriving at the renovated station",
+    "volunteers distributing relief supplies after the flood",
+    "chef plating a traditional dish in the kitchen",
+    "monks walking past the ancient temple gates",
+    "farmers harvesting rice in terraced fields",
+    "night view of the illuminated city skyline",
+    "artisan weaving fabric on a wooden loom",
+    "family shopping for fruit at the street stall",
+];
+
+/// Short UI nouns that are informative in context (product names, section
+/// names) — used to generate *informative* single-concept labels that must
+/// NOT be discarded by the single-word filter when multi-word.
+pub const UI_SECTIONS: &[&str] = &[
+    "breaking news", "sports results", "weather forecast", "market prices",
+    "exchange rates", "travel guide", "job listings", "event calendar",
+    "photo gallery", "video library", "press releases", "annual reports",
+    "contact directory", "help center", "privacy policy", "terms of service",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_lang::script::{script_of, Script};
+
+    #[test]
+    fn lexicon_is_nonempty_and_lowercase_ascii() {
+        for w in FUNCTION_WORDS
+            .iter()
+            .chain(NOUNS)
+            .chain(VERBS)
+            .chain(ADJECTIVES)
+        {
+            assert!(!w.is_empty());
+            assert!(
+                w.chars().all(|c| c.is_ascii_lowercase()),
+                "non-ascii-lower word {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicate_nouns() {
+        let mut v = NOUNS.to_vec();
+        v.sort_unstable();
+        let before = v.len();
+        v.dedup();
+        assert_eq!(before, v.len());
+    }
+
+    #[test]
+    fn subjects_are_latin_phrases() {
+        for s in IMAGE_SUBJECTS {
+            assert!(s.split_whitespace().count() >= 4, "{s}");
+            assert!(s.chars().any(|c| script_of(c) == Script::Latin));
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The text generator.
+//!
+//! [`TextGenerator`] produces deterministic pseudo-text in any candidate
+//! language: words, phrases, sentences, paragraphs, headlines, and
+//! descriptive alt texts. Output is *synthetic* — it is not meaningful prose
+//! — but it is script-faithful: the language-identification heuristics of
+//! `langcrux-langid` classify it exactly like real text of that language,
+//! which is all the measurement pipeline observes.
+//!
+//! Whitespace conventions follow the real orthographies: Chinese, Japanese
+//! and Thai sentences carry no inter-word spaces; everything else is
+//! space-separated. (Word-count metrics in the analysis layer count
+//! whitespace-delimited tokens, as the paper's Table 2 does.)
+
+use crate::english;
+use crate::pools::{self, AlphaPool};
+use langcrux_lang::rng;
+use langcrux_lang::Language;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Deterministic text generator for one language.
+#[derive(Debug)]
+pub struct TextGenerator {
+    language: Language,
+    rng: StdRng,
+}
+
+impl TextGenerator {
+    /// Create a generator for `language` from a base seed and stream ids.
+    pub fn new(language: Language, seed: u64) -> Self {
+        TextGenerator {
+            language,
+            rng: rng::rng_for(seed, &[language as u64 + 1]),
+        }
+    }
+
+    /// Create a generator that consumes an existing RNG (used when a caller
+    /// interleaves several generators deterministically).
+    pub fn from_rng(language: Language, rng: StdRng) -> Self {
+        TextGenerator { language, rng }
+    }
+
+    /// The language this generator produces.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    fn pick<T: Copy>(&mut self, slice: &[T]) -> T {
+        slice[self.rng.gen_range(0..slice.len())]
+    }
+
+    /// Generate one word.
+    pub fn word(&mut self) -> String {
+        match self.language {
+            Language::English => self.english_word(),
+            Language::MandarinChinese => self.han_word(pools::HAN_SIMPLIFIED),
+            Language::Cantonese => self.han_word(pools::HAN_TRADITIONAL),
+            Language::Japanese => self.japanese_word(),
+            Language::Korean => self.korean_word(),
+            Language::Amharic => self.ethiopic_word(),
+            Language::Thai => self.thai_word(),
+            lang => self.alpha_word(alpha_pool_for(lang)),
+        }
+    }
+
+    fn english_word(&mut self) -> String {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.25 {
+            self.pick(english::FUNCTION_WORDS).to_string()
+        } else if roll < 0.65 {
+            self.pick(english::NOUNS).to_string()
+        } else if roll < 0.85 {
+            self.pick(english::ADJECTIVES).to_string()
+        } else {
+            self.pick(english::VERBS).to_string()
+        }
+    }
+
+    /// Alphabetic / abugida word: 1–4 syllables of base(+sign|vowel).
+    fn alpha_word(&mut self, pool: AlphaPool) -> String {
+        let syllables = self.rng.gen_range(1..=4);
+        let mut out = String::new();
+        // Occasionally start with an independent vowel.
+        if !pool.vowels.is_empty() && self.rng.gen_bool(0.2) {
+            out.push(self.pick(pool.vowels));
+        }
+        for _ in 0..syllables {
+            out.push(self.pick(pool.base));
+            if !pool.signs.is_empty() && self.rng.gen_bool(0.65) {
+                out.push(self.pick(pool.signs));
+            } else if !pool.vowels.is_empty() && pool.signs.is_empty() && self.rng.gen_bool(0.75)
+            {
+                out.push(self.pick(pool.vowels));
+            }
+        }
+        if !pool.finals.is_empty() && self.rng.gen_bool(0.25) {
+            out.push(self.pick(pool.finals));
+        }
+        out
+    }
+
+    fn han_word(&mut self, pool: &[char]) -> String {
+        let len = self.pick(&[1usize, 2, 2, 2, 3]);
+        (0..len).map(|_| self.pick(pool)).collect()
+    }
+
+    fn japanese_word(&mut self) -> String {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.55 {
+            // Kanji stem, optionally with hiragana okurigana.
+            let kanji = self.rng.gen_range(1..=2);
+            let mut w: String = (0..kanji).map(|_| self.pick(pools::KANJI)).collect();
+            if self.rng.gen_bool(0.5) {
+                w.push(self.pick(pools::HIRAGANA));
+            }
+            w
+        } else if roll < 0.85 {
+            let len = self.rng.gen_range(2..=4);
+            (0..len).map(|_| self.pick(pools::HIRAGANA)).collect()
+        } else {
+            // Katakana loan word, often with a long-vowel mark.
+            let len = self.rng.gen_range(2..=5);
+            let mut w: String = (0..len).map(|_| self.pick(pools::KATAKANA)).collect();
+            if self.rng.gen_bool(0.35) {
+                w.push('ー');
+            }
+            w
+        }
+    }
+
+    fn korean_word(&mut self) -> String {
+        let len = self.rng.gen_range(1..=4);
+        (0..len).map(|_| self.hangul_syllable()).collect()
+    }
+
+    /// Compose a Hangul syllable block from jamo indices:
+    /// `0xAC00 + (initial*21 + vowel)*28 + final`.
+    fn hangul_syllable(&mut self) -> char {
+        let initial = self.rng.gen_range(0..19u32);
+        let vowel = self.rng.gen_range(0..21u32);
+        // Bias toward open syllables (no final consonant), as in real text.
+        let final_c = if self.rng.gen_bool(0.6) {
+            0
+        } else {
+            self.rng.gen_range(1..28u32)
+        };
+        char::from_u32(0xAC00 + (initial * 21 + vowel) * 28 + final_c).expect("valid Hangul")
+    }
+
+    fn ethiopic_word(&mut self) -> String {
+        let len = self.rng.gen_range(2..=4);
+        (0..len)
+            .map(|_| {
+                let base = self.pick(pools::ETHIOPIC_ROW_BASES);
+                let order = self.rng.gen_range(0..7u32);
+                char::from_u32(base + order).expect("valid Ethiopic")
+            })
+            .collect()
+    }
+
+    fn thai_word(&mut self) -> String {
+        let syllables = self.rng.gen_range(1..=3);
+        let mut out = String::new();
+        for _ in 0..syllables {
+            if self.rng.gen_bool(0.25) {
+                out.push(self.pick(pools::THAI_PREFIX_VOWELS));
+            }
+            out.push(self.pick(pools::THAI.base));
+            if self.rng.gen_bool(0.6) {
+                let roll: f64 = self.rng.gen();
+                if roll < 0.5 {
+                    out.push(self.pick(pools::THAI.signs));
+                } else {
+                    out.push(self.pick(pools::THAI.vowels));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this language writes without inter-word spaces.
+    pub fn scriptio_continua(&self) -> bool {
+        matches!(
+            self.language,
+            Language::MandarinChinese | Language::Cantonese | Language::Japanese | Language::Thai
+        )
+    }
+
+    /// `n` words joined by the language's separator (space, or nothing for
+    /// scriptio-continua languages).
+    pub fn words(&mut self, n: usize) -> String {
+        let sep = if self.scriptio_continua() { "" } else { " " };
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            parts.push(self.word());
+        }
+        parts.join(sep)
+    }
+
+    /// A phrase of between `min` and `max` words (inclusive), separated per
+    /// the language's convention. Suitable for labels and alt texts.
+    pub fn phrase(&mut self, min: usize, max: usize) -> String {
+        let n = if min >= max {
+            min
+        } else {
+            self.rng.gen_range(min..=max)
+        };
+        if self.language == Language::Japanese && n > 1 {
+            // Insert particles between content words.
+            let mut out = String::new();
+            for i in 0..n {
+                if i > 0 && self.rng.gen_bool(0.6) {
+                    out.push_str(pools::JA_PARTICLES[self.rng.gen_range(0..pools::JA_PARTICLES.len())]);
+                }
+                out.push_str(&self.word());
+            }
+            return out;
+        }
+        self.words(n)
+    }
+
+    /// A full sentence with terminal punctuation appropriate to the script.
+    pub fn sentence(&mut self) -> String {
+        let n = self.rng.gen_range(5..=14);
+        let body = self.phrase(n, n);
+        let terminal = match self.language {
+            Language::MandarinChinese | Language::Cantonese | Language::Japanese => "。",
+            Language::Hindi | Language::Marathi | Language::Nepali => "।",
+            Language::ModernStandardArabic | Language::EgyptianArabic | Language::Urdu
+            | Language::Persian => "؟",
+            Language::Greek => ".",
+            Language::Thai => "",
+            _ => ".",
+        };
+        // Arabic question mark only sometimes; default full stop.
+        if terminal == "؟" {
+            if self.rng.gen_bool(0.1) {
+                format!("{body}؟")
+            } else {
+                format!("{body}.")
+            }
+        } else {
+            format!("{body}{terminal}")
+        }
+    }
+
+    /// A paragraph of `sentences` sentences.
+    pub fn paragraph(&mut self, sentences: usize) -> String {
+        let mut parts = Vec::with_capacity(sentences);
+        for _ in 0..sentences {
+            parts.push(self.sentence());
+        }
+        parts.join(" ")
+    }
+
+    /// A short headline (2–7 words, no terminal punctuation).
+    pub fn headline(&mut self) -> String {
+        if self.language == Language::English {
+            // Headline grammar: [adj] noun verb [adj] noun
+            let with_adj1 = self.rng.gen_bool(0.6);
+            let with_adj2 = self.rng.gen_bool(0.5);
+            let mut parts: Vec<&str> = Vec::new();
+            if with_adj1 {
+                parts.push(self.pick(english::ADJECTIVES));
+            }
+            parts.push(self.pick(english::NOUNS));
+            parts.push(self.pick(english::VERBS));
+            if with_adj2 {
+                parts.push(self.pick(english::ADJECTIVES));
+            }
+            parts.push(self.pick(english::NOUNS));
+            return parts.join(" ");
+        }
+        self.phrase(2, 7)
+    }
+
+    /// A descriptive alt text: what a photo depicts, in this language.
+    /// English alt texts use the concrete subject bank for realism.
+    pub fn alt_text(&mut self) -> String {
+        if self.language == Language::English {
+            return self.pick(english::IMAGE_SUBJECTS).to_string();
+        }
+        self.phrase(3, 8)
+    }
+
+    /// An informative section/navigation label (1–3 words; English uses the
+    /// curated multi-word section names so the single-word filter keeps it).
+    pub fn section_label(&mut self) -> String {
+        if self.language == Language::English {
+            return self.pick(english::UI_SECTIONS).to_string();
+        }
+        self.phrase(1, 3)
+    }
+
+    /// Expose the inner RNG for callers that need correlated decisions.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+fn alpha_pool_for(lang: Language) -> AlphaPool {
+    match lang {
+        Language::English => pools::LATIN,
+        Language::Russian => pools::CYRILLIC,
+        Language::Greek => pools::GREEK,
+        Language::Hebrew => pools::HEBREW,
+        Language::ModernStandardArabic | Language::EgyptianArabic => pools::ARABIC,
+        Language::Urdu => pools::URDU,
+        Language::Persian => pools::PERSIAN,
+        Language::Hindi | Language::Nepali => pools::DEVANAGARI,
+        Language::Marathi => pools::MARATHI,
+        Language::Bangla => pools::BENGALI,
+        Language::Punjabi => pools::GURMUKHI,
+        Language::Gujarati => pools::GUJARATI,
+        Language::Tamil => pools::TAMIL,
+        Language::Telugu => pools::TELUGU,
+        Language::Kannada => pools::KANNADA,
+        Language::Malayalam => pools::MALAYALAM,
+        Language::Sinhala => pools::SINHALA,
+        Language::Thai => pools::THAI,
+        Language::Burmese => pools::MYANMAR,
+        Language::Georgian => pools::GEORGIAN,
+        // Han/kana/hangul/ethiopic languages never reach here.
+        Language::MandarinChinese
+        | Language::Cantonese
+        | Language::Japanese
+        | Language::Korean
+        | Language::Amharic => unreachable!("non-alphabetic language {lang:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_lang::script::ScriptHistogram;
+
+    const ALL_LANGS: &[Language] = &[
+        Language::English,
+        Language::MandarinChinese,
+        Language::Cantonese,
+        Language::Japanese,
+        Language::Korean,
+        Language::Thai,
+        Language::Hindi,
+        Language::Bangla,
+        Language::Russian,
+        Language::Greek,
+        Language::Hebrew,
+        Language::ModernStandardArabic,
+        Language::EgyptianArabic,
+        Language::Urdu,
+        Language::Tamil,
+        Language::Telugu,
+        Language::Marathi,
+        Language::Amharic,
+        Language::Burmese,
+        Language::Sinhala,
+        Language::Georgian,
+        Language::Punjabi,
+        Language::Gujarati,
+        Language::Kannada,
+        Language::Malayalam,
+        Language::Persian,
+        Language::Nepali,
+    ];
+
+    #[test]
+    fn words_are_nonempty_for_all_languages() {
+        for &lang in ALL_LANGS {
+            let mut g = TextGenerator::new(lang, 1);
+            for _ in 0..50 {
+                assert!(!g.word().is_empty(), "{lang:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for &lang in ALL_LANGS {
+            let mut a = TextGenerator::new(lang, 99);
+            let mut b = TextGenerator::new(lang, 99);
+            assert_eq!(a.paragraph(3), b.paragraph(3), "{lang:?}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TextGenerator::new(Language::Russian, 1);
+        let mut b = TextGenerator::new(Language::Russian, 2);
+        assert_ne!(a.paragraph(3), b.paragraph(3));
+    }
+
+    #[test]
+    fn words_carry_evidence_script() {
+        for &lang in ALL_LANGS {
+            let mut g = TextGenerator::new(lang, 7);
+            let text = g.words(40);
+            let hist = ScriptHistogram::of(&text);
+            let evidence: usize = lang
+                .evidence_scripts()
+                .iter()
+                .map(|&s| hist.count(s))
+                .sum();
+            let total = hist.distinguishing_total();
+            assert!(
+                evidence as f64 >= total as f64 * 0.95,
+                "{lang:?}: evidence {evidence}/{total} in {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scriptio_continua_has_no_spaces() {
+        for lang in [
+            Language::MandarinChinese,
+            Language::Japanese,
+            Language::Thai,
+            Language::Cantonese,
+        ] {
+            let mut g = TextGenerator::new(lang, 3);
+            let s = g.words(8);
+            assert!(!s.contains(' '), "{lang:?}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn spaced_languages_have_spaces() {
+        for lang in [Language::English, Language::Russian, Language::Hindi] {
+            let mut g = TextGenerator::new(lang, 3);
+            let s = g.words(8);
+            assert_eq!(s.split_whitespace().count(), 8, "{lang:?}");
+        }
+    }
+
+    #[test]
+    fn sentences_have_terminal_punctuation() {
+        let mut g = TextGenerator::new(Language::Russian, 5);
+        assert!(g.sentence().ends_with('.'));
+        let mut g = TextGenerator::new(Language::MandarinChinese, 5);
+        assert!(g.sentence().ends_with('。'));
+        let mut g = TextGenerator::new(Language::Hindi, 5);
+        assert!(g.sentence().ends_with('।'));
+    }
+
+    #[test]
+    fn phrase_respects_bounds() {
+        let mut g = TextGenerator::new(Language::Greek, 11);
+        for _ in 0..30 {
+            let p = g.phrase(2, 4);
+            let n = p.split_whitespace().count();
+            assert!((2..=4).contains(&n), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn korean_syllables_are_valid_hangul() {
+        let mut g = TextGenerator::new(Language::Korean, 13);
+        for _ in 0..100 {
+            for c in g.word().chars() {
+                let cp = c as u32;
+                assert!((0xAC00..=0xD7A3).contains(&cp), "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn english_headline_looks_like_words() {
+        let mut g = TextGenerator::new(Language::English, 17);
+        for _ in 0..20 {
+            let h = g.headline();
+            assert!(h.split_whitespace().count() >= 3);
+            assert!(h.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn alt_text_is_multiword_descriptive() {
+        let mut g = TextGenerator::new(Language::English, 19);
+        let alt = g.alt_text();
+        assert!(alt.split_whitespace().count() >= 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! # langcrux-textgen
+//!
+//! Deterministic synthetic text generation for every language in the
+//! LangCrUX candidate pool.
+//!
+//! The corpus that stands in for the paper's 120,000 crawled websites needs
+//! visible text, headlines, labels, and alt texts in 26 languages across 20
+//! scripts. This crate provides:
+//!
+//! * [`pools`] — curated per-script character pools (common letters only).
+//! * [`english`] — an embedded English lexicon (the study's contrast
+//!   language needs real words for the dictionary-driven filter rules).
+//! * [`gen::TextGenerator`] — words/phrases/sentences/paragraphs/headlines/
+//!   alt texts in one language, honouring each script's whitespace rules.
+//! * [`mixed::MixedGenerator`] — code-switched native+English text at a
+//!   controlled ratio (the paper's "mixed" label category).
+//!
+//! All output is derived from a seed via `langcrux_lang::rng`; equal seeds
+//! give byte-equal text.
+
+pub mod english;
+pub mod gen;
+pub mod mixed;
+pub mod pools;
+
+pub use gen::TextGenerator;
+pub use mixed::MixedGenerator;

@@ -1,0 +1,411 @@
+//! Character pools per writing system.
+//!
+//! Synthetic words are assembled from hand-curated pools of *common* letters
+//! of each script — not from the full Unicode block, which would include
+//! rare signs, combining marks in illegal positions, and historic letters
+//! that real pages essentially never contain. The goal is text that the
+//! script-detection heuristic (and a human skimming the corpus) accepts as
+//! the target language.
+
+/// Consonant-like and vowel-like pools for alphabetic / abugida scripts.
+#[derive(Debug, Clone, Copy)]
+pub struct AlphaPool {
+    /// Word-forming base letters (consonants for abugidas).
+    pub base: &'static [char],
+    /// Independent vowels (may start a word). Empty for pure abjads.
+    pub vowels: &'static [char],
+    /// Dependent signs appended after a base letter (matras, tone marks,
+    /// niqqud-free scripts leave this empty).
+    pub signs: &'static [char],
+    /// Word-final-only variants (Hebrew finals, Greek final sigma).
+    pub finals: &'static [char],
+}
+
+pub const LATIN: AlphaPool = AlphaPool {
+    base: &[
+        'b', 'c', 'd', 'f', 'g', 'h', 'j', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'w',
+    ],
+    vowels: &['a', 'e', 'i', 'o', 'u'],
+    signs: &[],
+    finals: &[],
+};
+
+pub const CYRILLIC: AlphaPool = AlphaPool {
+    base: &[
+        'б', 'в', 'г', 'д', 'ж', 'з', 'к', 'л', 'м', 'н', 'п', 'р', 'с', 'т', 'ф', 'х', 'ц',
+        'ч', 'ш', 'щ',
+    ],
+    vowels: &['а', 'е', 'и', 'о', 'у', 'ы', 'э', 'ю', 'я'],
+    signs: &[],
+    finals: &['й', 'ь'],
+};
+
+pub const GREEK: AlphaPool = AlphaPool {
+    base: &[
+        'β', 'γ', 'δ', 'ζ', 'θ', 'κ', 'λ', 'μ', 'ν', 'ξ', 'π', 'ρ', 'σ', 'τ', 'φ', 'χ', 'ψ',
+    ],
+    vowels: &['α', 'ε', 'η', 'ι', 'ο', 'υ', 'ω'],
+    signs: &[],
+    finals: &['ς'],
+};
+
+pub const HEBREW: AlphaPool = AlphaPool {
+    base: &[
+        'א', 'ב', 'ג', 'ד', 'ה', 'ו', 'ז', 'ח', 'ט', 'י', 'כ', 'ל', 'מ', 'נ', 'ס', 'ע', 'פ',
+        'צ', 'ק', 'ר', 'ש', 'ת',
+    ],
+    vowels: &[],
+    signs: &[],
+    finals: &['ך', 'ם', 'ן', 'ף', 'ץ'],
+};
+
+pub const ARABIC: AlphaPool = AlphaPool {
+    base: &[
+        'ا', 'ب', 'ت', 'ث', 'ج', 'ح', 'خ', 'د', 'ذ', 'ر', 'ز', 'س', 'ش', 'ص', 'ض', 'ط', 'ظ',
+        'ع', 'غ', 'ف', 'ق', 'ك', 'ل', 'م', 'ن', 'ه', 'و', 'ي',
+    ],
+    vowels: &[],
+    signs: &[],
+    finals: &['ة', 'ى'],
+};
+
+/// Urdu adds retroflex/aspirate letters; including them at generation time is
+/// what lets the langid disambiguation tests distinguish Urdu from MSA.
+pub const URDU: AlphaPool = AlphaPool {
+    base: &[
+        'ا', 'ب', 'پ', 'ت', 'ٹ', 'ج', 'چ', 'ح', 'خ', 'د', 'ڈ', 'ر', 'ڑ', 'ز', 'ژ', 'س', 'ش',
+        'ع', 'غ', 'ف', 'ق', 'ک', 'گ', 'ل', 'م', 'ن', 'ں', 'و', 'ہ', 'ھ', 'ی',
+    ],
+    vowels: &[],
+    signs: &[],
+    finals: &['ے'],
+};
+
+pub const PERSIAN: AlphaPool = AlphaPool {
+    base: &[
+        'ا', 'ب', 'پ', 'ت', 'ج', 'چ', 'ح', 'خ', 'د', 'ر', 'ز', 'ژ', 'س', 'ش', 'ع', 'غ', 'ف',
+        'ق', 'ک', 'گ', 'ل', 'م', 'ن', 'و', 'ه', 'ی',
+    ],
+    vowels: &[],
+    signs: &[],
+    finals: &[],
+};
+
+pub const DEVANAGARI: AlphaPool = AlphaPool {
+    base: &[
+        'क', 'ख', 'ग', 'घ', 'च', 'छ', 'ज', 'झ', 'ट', 'ठ', 'ड', 'ढ', 'ण', 'त', 'थ', 'द', 'ध',
+        'न', 'प', 'फ', 'ब', 'भ', 'म', 'य', 'र', 'ल', 'व', 'श', 'ष', 'स', 'ह',
+    ],
+    vowels: &['अ', 'आ', 'इ', 'ई', 'उ', 'ऊ', 'ए', 'ऐ', 'ओ', 'औ'],
+    signs: &['ा', 'ि', 'ी', 'ु', 'ू', 'े', 'ै', 'ो', 'ौ', 'ं', '्'],
+    finals: &[],
+};
+
+/// Marathi shares Devanagari but uses `ळ`; its pool differs only there.
+pub const MARATHI: AlphaPool = AlphaPool {
+    base: &[
+        'क', 'ख', 'ग', 'घ', 'च', 'छ', 'ज', 'झ', 'ट', 'ठ', 'ड', 'ढ', 'ण', 'त', 'थ', 'द', 'ध',
+        'न', 'प', 'फ', 'ब', 'भ', 'म', 'य', 'र', 'ल', 'ळ', 'व', 'श', 'ष', 'स', 'ह',
+    ],
+    vowels: &['अ', 'आ', 'इ', 'ई', 'उ', 'ऊ', 'ए', 'ऐ', 'ओ', 'औ'],
+    signs: &['ा', 'ि', 'ी', 'ु', 'ू', 'े', 'ै', 'ो', 'ौ', 'ं', '्'],
+    finals: &[],
+};
+
+pub const BENGALI: AlphaPool = AlphaPool {
+    base: &[
+        'ক', 'খ', 'গ', 'ঘ', 'চ', 'ছ', 'জ', 'ঝ', 'ট', 'ঠ', 'ড', 'ঢ', 'ণ', 'ত', 'থ', 'দ', 'ধ',
+        'ন', 'প', 'ফ', 'ব', 'ভ', 'ম', 'য', 'র', 'ল', 'শ', 'ষ', 'স', 'হ',
+    ],
+    vowels: &['অ', 'আ', 'ই', 'ঈ', 'উ', 'ঊ', 'এ', 'ঐ', 'ও', 'ঔ'],
+    signs: &['া', 'ি', 'ী', 'ু', 'ূ', 'ে', 'ৈ', 'ো', 'ৌ', 'ং', '্'],
+    finals: &[],
+};
+
+pub const GURMUKHI: AlphaPool = AlphaPool {
+    base: &[
+        'ਕ', 'ਖ', 'ਗ', 'ਘ', 'ਚ', 'ਛ', 'ਜ', 'ਝ', 'ਟ', 'ਠ', 'ਡ', 'ਢ', 'ਣ', 'ਤ', 'ਥ', 'ਦ', 'ਧ',
+        'ਨ', 'ਪ', 'ਫ', 'ਬ', 'ਭ', 'ਮ', 'ਯ', 'ਰ', 'ਲ', 'ਵ', 'ਸ', 'ਹ',
+    ],
+    vowels: &['ਅ', 'ਆ', 'ਇ', 'ਈ', 'ਉ', 'ਊ', 'ਏ', 'ਐ', 'ਓ', 'ਔ'],
+    signs: &['ਾ', 'ਿ', 'ੀ', 'ੁ', 'ੂ', 'ੇ', 'ੈ', 'ੋ', 'ੌ', 'ੰ'],
+    finals: &[],
+};
+
+pub const GUJARATI: AlphaPool = AlphaPool {
+    base: &[
+        'ક', 'ખ', 'ગ', 'ઘ', 'ચ', 'છ', 'જ', 'ઝ', 'ટ', 'ઠ', 'ડ', 'ઢ', 'ણ', 'ત', 'થ', 'દ', 'ધ',
+        'ન', 'પ', 'ફ', 'બ', 'ભ', 'મ', 'ય', 'ર', 'લ', 'વ', 'શ', 'ષ', 'સ', 'હ',
+    ],
+    vowels: &['અ', 'આ', 'ઇ', 'ઈ', 'ઉ', 'ઊ', 'એ', 'ઐ', 'ઓ', 'ઔ'],
+    signs: &['ા', 'િ', 'ી', 'ુ', 'ૂ', 'ે', 'ૈ', 'ો', 'ૌ', 'ં'],
+    finals: &[],
+};
+
+pub const TAMIL: AlphaPool = AlphaPool {
+    base: &[
+        'க', 'ங', 'ச', 'ஞ', 'ட', 'ண', 'த', 'ந', 'ப', 'ம', 'ய', 'ர', 'ல', 'வ', 'ழ', 'ள', 'ற',
+        'ன',
+    ],
+    vowels: &['அ', 'ஆ', 'இ', 'ஈ', 'உ', 'ஊ', 'எ', 'ஏ', 'ஐ', 'ஒ', 'ஓ'],
+    signs: &['ா', 'ி', 'ீ', 'ு', 'ூ', 'ெ', 'ே', 'ை', 'ொ', 'ோ'],
+    finals: &[],
+};
+
+pub const TELUGU: AlphaPool = AlphaPool {
+    base: &[
+        'క', 'ఖ', 'గ', 'ఘ', 'చ', 'ఛ', 'జ', 'ఝ', 'ట', 'ఠ', 'డ', 'ఢ', 'ణ', 'త', 'థ', 'ద', 'ధ',
+        'న', 'ప', 'ఫ', 'బ', 'భ', 'మ', 'య', 'ర', 'ల', 'వ', 'శ', 'ష', 'స', 'హ',
+    ],
+    vowels: &['అ', 'ఆ', 'ఇ', 'ఈ', 'ఉ', 'ఊ', 'ఎ', 'ఏ', 'ఐ', 'ఒ', 'ఓ'],
+    signs: &['ా', 'ి', 'ీ', 'ు', 'ూ', 'ె', 'ే', 'ై', 'ొ', 'ో'],
+    finals: &[],
+};
+
+pub const KANNADA: AlphaPool = AlphaPool {
+    base: &[
+        'ಕ', 'ಖ', 'ಗ', 'ಘ', 'ಚ', 'ಛ', 'ಜ', 'ಝ', 'ಟ', 'ಠ', 'ಡ', 'ಢ', 'ಣ', 'ತ', 'ಥ', 'ದ', 'ಧ',
+        'ನ', 'ಪ', 'ಫ', 'ಬ', 'ಭ', 'ಮ', 'ಯ', 'ರ', 'ಲ', 'ವ', 'ಶ', 'ಷ', 'ಸ', 'ಹ',
+    ],
+    vowels: &['ಅ', 'ಆ', 'ಇ', 'ಈ', 'ಉ', 'ಊ', 'ಎ', 'ಏ', 'ಐ', 'ಒ', 'ಓ'],
+    signs: &['ಾ', 'ಿ', 'ೀ', 'ು', 'ೂ', 'ೆ', 'ೇ', 'ೈ', 'ೊ', 'ೋ'],
+    finals: &[],
+};
+
+pub const MALAYALAM: AlphaPool = AlphaPool {
+    base: &[
+        'ക', 'ഖ', 'ഗ', 'ഘ', 'ച', 'ഛ', 'ജ', 'ഝ', 'ട', 'ഠ', 'ഡ', 'ഢ', 'ണ', 'ത', 'ഥ', 'ദ', 'ധ',
+        'ന', 'പ', 'ഫ', 'ബ', 'ഭ', 'മ', 'യ', 'ര', 'ല', 'വ', 'ശ', 'ഷ', 'സ', 'ഹ',
+    ],
+    vowels: &['അ', 'ആ', 'ഇ', 'ഈ', 'ഉ', 'ഊ', 'എ', 'ഏ', 'ഐ', 'ഒ', 'ഓ'],
+    signs: &['ാ', 'ി', 'ീ', 'ു', 'ൂ', 'െ', 'േ', 'ൈ', 'ൊ', 'ോ'],
+    finals: &[],
+};
+
+pub const SINHALA: AlphaPool = AlphaPool {
+    base: &[
+        'ක', 'ඛ', 'ග', 'ඝ', 'ච', 'ඡ', 'ජ', 'ඣ', 'ට', 'ඨ', 'ඩ', 'ඪ', 'ණ', 'ත', 'ථ', 'ද', 'ධ',
+        'න', 'ප', 'ඵ', 'බ', 'භ', 'ම', 'ය', 'ර', 'ල', 'ව', 'ශ', 'ෂ', 'ස', 'හ',
+    ],
+    vowels: &['අ', 'ආ', 'ඇ', 'ඉ', 'ඊ', 'උ', 'ඌ', 'එ', 'ඒ', 'ඔ', 'ඕ'],
+    signs: &['ා', 'ි', 'ී', 'ු', 'ූ', 'ෙ', 'ේ', 'ො', 'ෝ', 'ං'],
+    finals: &[],
+};
+
+pub const THAI: AlphaPool = AlphaPool {
+    base: &[
+        'ก', 'ข', 'ค', 'ง', 'จ', 'ฉ', 'ช', 'ซ', 'ญ', 'ด', 'ต', 'ถ', 'ท', 'ธ', 'น', 'บ', 'ป',
+        'ผ', 'ฝ', 'พ', 'ฟ', 'ภ', 'ม', 'ย', 'ร', 'ล', 'ว', 'ศ', 'ษ', 'ส', 'ห', 'อ', 'ฮ',
+    ],
+    vowels: &['ะ', 'า', 'ำ'],
+    signs: &['ิ', 'ี', 'ึ', 'ื', 'ุ', 'ู', '่', '้', '็'],
+    finals: &[],
+};
+
+/// Thai prefix vowels placed *before* the consonant they modify.
+pub const THAI_PREFIX_VOWELS: &[char] = &['เ', 'แ', 'โ', 'ใ', 'ไ'];
+
+pub const MYANMAR: AlphaPool = AlphaPool {
+    base: &[
+        'က', 'ခ', 'ဂ', 'ဃ', 'င', 'စ', 'ဆ', 'ဇ', 'ည', 'တ', 'ထ', 'ဒ', 'ဓ', 'န', 'ပ', 'ဖ', 'ဗ',
+        'ဘ', 'မ', 'ယ', 'ရ', 'လ', 'ဝ', 'သ', 'ဟ', 'အ',
+    ],
+    vowels: &[],
+    signs: &['ာ', 'ိ', 'ီ', 'ု', 'ူ', 'ေ', 'ဲ', 'ံ', '့', 'း'],
+    finals: &[],
+};
+
+pub const GEORGIAN: AlphaPool = AlphaPool {
+    base: &[
+        'ბ', 'გ', 'დ', 'ვ', 'ზ', 'თ', 'კ', 'ლ', 'მ', 'ნ', 'პ', 'ჟ', 'რ', 'ს', 'ტ', 'ფ', 'ქ',
+        'ღ', 'ყ', 'შ', 'ჩ', 'ც', 'ძ', 'წ', 'ჭ', 'ხ', 'ჯ', 'ჰ',
+    ],
+    vowels: &['ა', 'ე', 'ი', 'ო', 'უ'],
+    signs: &[],
+    finals: &[],
+};
+
+/// Ethiopic is a syllabary: each consonant row spans 8 consecutive
+/// codepoints (7 vowel orders + a rare 8th). We store row bases and derive
+/// syllables as `base + order`.
+pub const ETHIOPIC_ROW_BASES: &[u32] = &[
+    0x1200, // ሀ
+    0x1208, // ለ
+    0x1210, // ሐ
+    0x1218, // መ
+    0x1228, // ረ
+    0x1230, // ሰ
+    0x1240, // ቀ
+    0x1260, // በ
+    0x1270, // ተ
+    0x1290, // ነ
+    0x12A0, // አ
+    0x12A8, // ከ
+    0x12C8, // ወ
+    0x12D8, // ዘ
+    0x12E8, // የ
+    0x12F0, // ደ
+    0x1308, // ገ
+    0x1320, // ጠ
+    0x1340, // ፀ(ጸ row) -- actually ፀ at 1340 is Tsa row
+    0x1348, // ፈ
+];
+
+/// Common simplified-Chinese ideographs (frequency-ordered head of the
+/// standard list, deduplicated).
+pub const HAN_SIMPLIFIED: &[char] = &[
+    '的', '一', '是', '不', '了', '人', '我', '在', '有', '他', '这', '中', '大', '来', '上',
+    '国', '个', '到', '说', '们', '为', '子', '和', '你', '地', '出', '道', '也', '时', '年',
+    '得', '就', '那', '要', '下', '以', '生', '会', '自', '着', '去', '之', '过', '家', '学',
+    '对', '可', '她', '里', '后', '小', '么', '心', '多', '天', '而', '能', '好', '都', '然',
+    '没', '日', '于', '起', '还', '发', '成', '事', '只', '作', '当', '想', '看', '文', '无',
+    '开', '手', '十', '用', '主', '行', '方', '又', '如', '前', '所', '本', '见', '经', '头',
+    '面', '公', '同', '三', '已', '老', '从', '动', '两', '长', '知', '民', '样', '现', '分',
+    '将', '外', '但', '身', '些', '与', '高', '意', '进', '把', '法', '此', '实', '回', '二',
+    '理', '美', '点', '月', '明', '其', '种', '声', '全', '工', '己', '话', '儿', '者', '向',
+    '情', '部', '正', '名', '定', '女', '问', '力', '机', '给', '等', '几', '很', '业', '最',
+    '间', '新', '什', '打', '便', '位', '因', '重', '被', '走', '电', '四', '第', '门', '相',
+    '次', '东', '政', '海', '口', '使', '教', '西', '再', '平', '真', '听', '世', '气', '信',
+    '北', '少', '关', '并', '内', '加', '化', '由', '却', '代', '军', '产', '入', '先',
+];
+
+/// Common traditional-Chinese ideographs plus Cantonese-specific characters
+/// (佢 哋 嘅 咗 嚟 …) that distinguish Hong Kong pages.
+pub const HAN_TRADITIONAL: &[char] = &[
+    '的', '一', '是', '不', '了', '人', '我', '在', '有', '佢', '呢', '中', '大', '嚟', '上',
+    '國', '個', '到', '講', '哋', '為', '同', '你', '地', '出', '道', '也', '時', '年', '得',
+    '就', '嗰', '要', '下', '以', '生', '會', '自', '去', '之', '過', '家', '學', '對', '可',
+    '裡', '後', '小', '乜', '心', '多', '天', '而', '能', '好', '都', '然', '冇', '日', '於',
+    '起', '仲', '發', '成', '事', '只', '作', '當', '想', '睇', '文', '無', '開', '手', '十',
+    '用', '主', '行', '方', '又', '如', '前', '所', '本', '見', '經', '頭', '面', '公', '三',
+    '已', '老', '從', '動', '兩', '長', '知', '民', '樣', '現', '分', '將', '外', '但', '身',
+    '啲', '與', '高', '意', '進', '把', '法', '此', '實', '回', '二', '理', '美', '點', '月',
+    '明', '其', '種', '聲', '全', '工', '己', '話', '兒', '者', '向', '情', '部', '正', '名',
+    '定', '女', '問', '力', '機', '畀', '等', '幾', '嘅', '咗', '噉', '咁', '唔',
+];
+
+/// Common kanji for Japanese word stems.
+pub const KANJI: &[char] = &[
+    '日', '本', '人', '年', '大', '出', '中', '学', '生', '国', '会', '事', '自', '社', '発',
+    '者', '地', '業', '方', '新', '場', '員', '立', '開', '手', '力', '問', '代', '明', '動',
+    '京', '目', '通', '言', '理', '体', '田', '主', '題', '意', '不', '作', '用', '度', '強',
+    '公', '持', '野', '以', '思', '家', '世', '多', '正', '安', '院', '心', '界', '教', '文',
+    '元', '重', '近', '考', '画', '海', '売', '知', '道', '集', '別', '物', '使', '品', '計',
+    '特', '私', '始', '朝', '運', '終', '台', '広', '住', '真', '有', '口', '少', '町', '料',
+    '工', '建', '空', '急', '止', '送', '切', '転', '研', '足', '究', '楽', '起', '着', '店',
+    '病', '質', '待', '試', '族', '銀', '早', '映', '親', '験', '英', '医', '仕', '去', '味',
+    '写', '字', '答', '夜', '音', '注', '帰', '古', '時', '間', '週', '先', '長', '話', '山',
+    '高', '水', '車', '何', '南', '北', '東', '西', '名', '前', '午', '後', '食', '飲', '読',
+    '書', '見', '買', '聞',
+];
+
+/// Hiragana pool for particles and native-word syllables.
+pub const HIRAGANA: &[char] = &[
+    'あ', 'い', 'う', 'え', 'お', 'か', 'き', 'く', 'け', 'こ', 'さ', 'し', 'す', 'せ', 'そ',
+    'た', 'ち', 'つ', 'て', 'と', 'な', 'に', 'ぬ', 'ね', 'の', 'は', 'ひ', 'ふ', 'へ', 'ほ',
+    'ま', 'み', 'む', 'め', 'も', 'や', 'ゆ', 'よ', 'ら', 'り', 'る', 'れ', 'ろ', 'わ', 'を',
+    'ん', 'が', 'ぎ', 'ぐ', 'げ', 'ご', 'ざ', 'じ', 'ず', 'ぜ', 'ぞ', 'だ', 'で', 'ど', 'ば',
+    'び', 'ぶ', 'べ', 'ぼ',
+];
+
+/// Japanese grammatical particles (hiragana) inserted between words.
+pub const JA_PARTICLES: &[&str] = &["は", "が", "を", "に", "で", "と", "の", "も", "へ"];
+
+/// Katakana pool for loan words.
+pub const KATAKANA: &[char] = &[
+    'ア', 'イ', 'ウ', 'エ', 'オ', 'カ', 'キ', 'ク', 'ケ', 'コ', 'サ', 'シ', 'ス', 'セ', 'ソ',
+    'タ', 'チ', 'ツ', 'テ', 'ト', 'ナ', 'ニ', 'ヌ', 'ネ', 'ノ', 'ハ', 'ヒ', 'フ', 'ヘ', 'ホ',
+    'マ', 'ミ', 'ム', 'メ', 'モ', 'ヤ', 'ユ', 'ヨ', 'ラ', 'リ', 'ル', 'レ', 'ロ', 'ワ', 'ン',
+    'ガ', 'ギ', 'グ', 'ゲ', 'ゴ', 'ジ', 'ズ', 'ダ', 'デ', 'ド', 'バ', 'ビ', 'ブ', 'ベ', 'ボ',
+    'パ', 'ピ', 'プ', 'ペ', 'ポ',
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_lang::script::{script_of, Script};
+
+    fn assert_pool_in(pool: &AlphaPool, script: Script) {
+        for &c in pool
+            .base
+            .iter()
+            .chain(pool.vowels.iter())
+            .chain(pool.finals.iter())
+        {
+            assert_eq!(script_of(c), script, "char {c:?} ({:#x})", c as u32);
+        }
+        // Signs are combining marks; they must at least live in the block.
+        for &c in pool.signs {
+            assert_eq!(script_of(c), script, "sign {c:?} ({:#x})", c as u32);
+        }
+    }
+
+    #[test]
+    fn pools_live_in_their_scripts() {
+        assert_pool_in(&LATIN, Script::Latin);
+        assert_pool_in(&CYRILLIC, Script::Cyrillic);
+        assert_pool_in(&GREEK, Script::Greek);
+        assert_pool_in(&HEBREW, Script::Hebrew);
+        assert_pool_in(&ARABIC, Script::Arabic);
+        assert_pool_in(&URDU, Script::Arabic);
+        assert_pool_in(&PERSIAN, Script::Arabic);
+        assert_pool_in(&DEVANAGARI, Script::Devanagari);
+        assert_pool_in(&MARATHI, Script::Devanagari);
+        assert_pool_in(&BENGALI, Script::Bengali);
+        assert_pool_in(&GURMUKHI, Script::Gurmukhi);
+        assert_pool_in(&GUJARATI, Script::Gujarati);
+        assert_pool_in(&TAMIL, Script::Tamil);
+        assert_pool_in(&TELUGU, Script::Telugu);
+        assert_pool_in(&KANNADA, Script::Kannada);
+        assert_pool_in(&MALAYALAM, Script::Malayalam);
+        assert_pool_in(&SINHALA, Script::Sinhala);
+        assert_pool_in(&THAI, Script::Thai);
+        assert_pool_in(&MYANMAR, Script::Myanmar);
+        assert_pool_in(&GEORGIAN, Script::Georgian);
+    }
+
+    #[test]
+    fn han_pools_are_han() {
+        for &c in HAN_SIMPLIFIED.iter().chain(HAN_TRADITIONAL.iter()).chain(KANJI.iter()) {
+            assert_eq!(script_of(c), Script::Han, "{c}");
+        }
+    }
+
+    #[test]
+    fn kana_pools() {
+        for &c in HIRAGANA {
+            assert_eq!(script_of(c), Script::Hiragana, "{c}");
+        }
+        for &c in KATAKANA {
+            assert_eq!(script_of(c), Script::Katakana, "{c}");
+        }
+    }
+
+    #[test]
+    fn ethiopic_rows_expand_to_ethiopic() {
+        for &base in ETHIOPIC_ROW_BASES {
+            for order in 0..7 {
+                let c = char::from_u32(base + order).unwrap();
+                assert_eq!(script_of(c), Script::Ethiopic, "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn thai_prefix_vowels_are_thai() {
+        for &c in THAI_PREFIX_VOWELS {
+            assert_eq!(script_of(c), Script::Thai);
+        }
+    }
+
+    #[test]
+    fn urdu_pool_contains_disambiguators() {
+        use langcrux_lang::Language;
+        for c in Language::Urdu.disambiguation_chars() {
+            assert!(
+                URDU.base.contains(c) || URDU.finals.contains(c),
+                "urdu pool missing {c}"
+            );
+        }
+    }
+}

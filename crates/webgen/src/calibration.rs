@@ -1,0 +1,590 @@
+//! Calibration tables.
+//!
+//! Every distribution the generator plants is parameterised here, with the
+//! paper's reported targets quoted next to each value. Two levels:
+//!
+//! * **Per-element** ([`ElementCalibration`]) — the Table 2 statistics:
+//!   per-site missing/empty rate mixtures, informative word-count ranges,
+//!   per-page element counts, and outlier plans.
+//! * **Per-country** ([`CountryProfile`]) — the Figure 2/3/4/5/7 statistics:
+//!   visible native share, the accessibility-language aggregate
+//!   (native/english/mixed), the mismatched-site fraction, discard-category
+//!   rates, and the CrUX rank model.
+//!
+//! The analysis pipeline *measures* these values back out of generated
+//! HTML; integration tests assert the recovered shapes match the targets
+//! within tolerance, which is the end-to-end correctness argument for the
+//! whole reproduction.
+
+use crate::sample::RateMixture;
+use langcrux_filter::DiscardCategory;
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::Country;
+
+/// Per-element calibration (Table 2 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ElementCalibration {
+    pub kind: ElementKind,
+    /// Distribution of per-site missing rates.
+    /// Paper target (median / mean / σ) quoted per entry below.
+    pub missing: RateMixture,
+    /// Distribution of per-site empty rates (share of all elements of the
+    /// kind whose accessibility text is whitespace-only).
+    pub empty: RateMixture,
+    /// Words per informative label: `(min, max)` inclusive.
+    pub words: (usize, usize),
+    /// Elements of this kind per page: `(min, max)` inclusive.
+    pub per_page: (usize, usize),
+    /// Probability that one label of this kind is an extreme outlier
+    /// (Appendix E: alt texts exceeding 1000 characters).
+    pub outlier_chance: f64,
+}
+
+/// The Table 2 calibration for all twelve kinds.
+///
+/// Missing-rate targets from the paper (median%, mean%, σ):
+/// button 71.4/61.9/37.3 · frame 87.5/75.8/30.1 · image 1.9/17.1/28.9 ·
+/// input-button 100/93.9/22.6 · input-image 0/35.1/47.2 · label
+/// 100/98.6/10.0 · link 100/96.0/12.0 · object 100/94.2/23.3 · select
+/// 100/89.8/28.8 · summary 100/90.5/25.8 · svg 100/96.7/15.2.
+pub const ELEMENT_CALIBRATIONS: [ElementCalibration; 12] = [
+    ElementCalibration {
+        kind: ElementKind::ButtonName,
+        // med 71.43 / mean 61.92 / σ 37.25
+        missing: RateMixture(&[(0.30, 0.95, 1.0), (0.45, 0.55, 0.95), (0.25, 0.0, 0.25)]),
+        // med 0 / mean 0.36
+        empty: RateMixture(&[(0.95, 0.0, 0.0), (0.05, 0.0, 0.15)]),
+        words: (3, 6),
+        per_page: (2, 18),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::DocumentTitle,
+        // Titles are almost always present; Table 3's document-title quirks
+        // are exercised through the audit matrix, not the corpus.
+        missing: RateMixture(&[(0.97, 0.0, 0.0), (0.03, 1.0, 1.0)]),
+        empty: RateMixture(&[(0.96, 0.0, 0.0), (0.04, 1.0, 1.0)]),
+        words: (3, 8),
+        per_page: (1, 1),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::ImageAlt,
+        // med 1.89 / mean 17.12 / σ 28.86 — most sites alt nearly all
+        // images; a minority misses most of them.
+        missing: RateMixture(&[(0.62, 0.0, 0.04), (0.23, 0.05, 0.45), (0.15, 0.6, 1.0)]),
+        // med 7.46 / mean 25.39 / σ 32.40 — the highest empty rate of all
+        // kinds ("possible to pass the Lighthouse audit by setting alt to
+        // an empty string").
+        empty: RateMixture(&[(0.55, 0.0, 0.10), (0.27, 0.12, 0.55), (0.18, 0.6, 0.95)]),
+        words: (3, 7),
+        per_page: (10, 44),
+        // Table 2: max 261,864 chars but σ only 1332 — outliers are rare.
+        outlier_chance: 0.002,
+    },
+    ElementCalibration {
+        kind: ElementKind::FrameTitle,
+        // med 87.5 / mean 75.81 / σ 30.09
+        missing: RateMixture(&[(0.50, 0.95, 1.0), (0.35, 0.55, 0.95), (0.15, 0.0, 0.3)]),
+        empty: RateMixture(&[(0.96, 0.0, 0.0), (0.04, 0.0, 0.10)]),
+        words: (1, 3),
+        per_page: (0, 1),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::SummaryName,
+        // med 100 / mean 90.47 / σ 25.84
+        missing: RateMixture(&[(0.82, 1.0, 1.0), (0.18, 0.3, 0.65)]),
+        empty: RateMixture(&[(0.97, 0.0, 0.0), (0.03, 0.0, 0.12)]),
+        words: (1, 1),
+        per_page: (0, 3),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::Label,
+        // med 100 / mean 98.55 / σ 10.01 — the least-labelled kind.
+        missing: RateMixture(&[(0.95, 1.0, 1.0), (0.05, 0.6, 0.95)]),
+        empty: RateMixture(&[(0.98, 0.0, 0.0), (0.02, 0.0, 0.05)]),
+        words: (1, 2),
+        per_page: (0, 5),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::InputImageAlt,
+        // med 0 / mean 35.07 / σ 47.17 — bimodal (few elements per site).
+        missing: RateMixture(&[(0.60, 0.0, 0.0), (0.05, 0.3, 0.7), (0.35, 1.0, 1.0)]),
+        // med 0 / mean 4.85 / σ 21.27
+        empty: RateMixture(&[(0.92, 0.0, 0.0), (0.08, 0.3, 0.9)]),
+        words: (1, 2),
+        per_page: (0, 2),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::SelectName,
+        // med 100 / mean 89.84 / σ 28.78
+        missing: RateMixture(&[(0.82, 1.0, 1.0), (0.18, 0.3, 0.6)]),
+        empty: RateMixture(&[(0.98, 0.0, 0.0), (0.02, 0.0, 0.08)]),
+        words: (2, 3),
+        per_page: (0, 2),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::LinkName,
+        // med 100 / mean 95.96 / σ 11.98 — links rely on visible text.
+        missing: RateMixture(&[(0.87, 1.0, 1.0), (0.13, 0.55, 0.95)]),
+        empty: RateMixture(&[(0.97, 0.0, 0.0), (0.03, 0.0, 0.05)]),
+        words: (3, 7),
+        per_page: (25, 120),
+        // Table 2: link-name max 5,228 chars.
+        outlier_chance: 0.0005,
+    },
+    ElementCalibration {
+        kind: ElementKind::InputButtonName,
+        // med 100 / mean 93.90 / σ 22.62
+        missing: RateMixture(&[(0.88, 1.0, 1.0), (0.12, 0.3, 0.7)]),
+        empty: RateMixture(&[(0.97, 0.0, 0.0), (0.03, 0.0, 0.10)]),
+        words: (2, 3),
+        per_page: (1, 3),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::SvgImgAlt,
+        // med 100 / mean 96.66 / σ 15.15
+        missing: RateMixture(&[(0.90, 1.0, 1.0), (0.10, 0.5, 0.85)]),
+        empty: RateMixture(&[(0.98, 0.0, 0.0), (0.02, 0.0, 0.08)]),
+        words: (2, 3),
+        per_page: (1, 8),
+        outlier_chance: 0.0,
+    },
+    ElementCalibration {
+        kind: ElementKind::ObjectAlt,
+        // med 100 / mean 94.19 / σ 23.30
+        missing: RateMixture(&[(0.88, 1.0, 1.0), (0.12, 0.4, 0.6)]),
+        empty: RateMixture(&[(0.97, 0.0, 0.0), (0.03, 0.0, 0.10)]),
+        words: (1, 3),
+        per_page: (0, 1),
+        outlier_chance: 0.0,
+    },
+];
+
+/// Look up the calibration for a kind.
+pub fn element_calibration(kind: ElementKind) -> &'static ElementCalibration {
+    ELEMENT_CALIBRATIONS
+        .iter()
+        .find(|c| c.kind == kind)
+        .expect("all kinds calibrated")
+}
+
+/// Per-country calibration.
+///
+/// `discard_rates` is indexed by [`DiscardCategory::ALL`] order and holds
+/// the share (fraction of all planted labels) for each category — the
+/// Figure 3 targets. The language aggregate and mismatch fraction encode
+/// Figures 4 and 5.
+#[derive(Debug, Clone, Copy)]
+pub struct CountryProfile {
+    pub country: Country,
+    /// Figure 4 target: share of informative labels that are native.
+    pub agg_native: f64,
+    /// Figure 4 target: share of informative labels that are mixed.
+    pub agg_mixed: f64,
+    /// Figure 5 target: fraction of sites with essentially no native
+    /// accessibility text (<10%) despite native visible content.
+    pub mismatch_frac: f64,
+    /// Peak of the per-site visible-native-share triangular distribution
+    /// (support `[0.55, 0.98]` for qualifying sites).
+    pub visible_peak: f64,
+    /// Figure 3 targets, fraction per category in `DiscardCategory::ALL`
+    /// order.
+    pub discard_rates: [f64; 11],
+    /// CrUX rank model `(min, peak, max)` for Figure 7 — log-triangular.
+    pub rank_range: (u64, u64, u64),
+}
+
+impl CountryProfile {
+    /// Total uninformative share (sum of discard rates).
+    pub fn total_discard(&self) -> f64 {
+        self.discard_rates.iter().sum()
+    }
+
+    /// Conditional label-language weights `(native, english, mixed)` for
+    /// non-mismatch sites, derived so the corpus aggregate hits the Figure 4
+    /// targets given the mismatch fraction:
+    /// `agg = q·mismatch_profile + (1-q)·conditional`.
+    pub fn conditional_lang_weights(&self) -> (f64, f64, f64) {
+        let q = self.mismatch_frac;
+        let native = ((self.agg_native - q * MISMATCH_NATIVE) / (1.0 - q)).clamp(0.01, 0.97);
+        let mixed = ((self.agg_mixed - q * MISMATCH_MIXED) / (1.0 - q)).clamp(0.01, 0.97);
+        let english = (1.0 - native - mixed).max(0.01);
+        (native, english, mixed)
+    }
+}
+
+/// Label-language weights on mismatch sites: essentially no native text.
+pub const MISMATCH_NATIVE: f64 = 0.02;
+/// Mixed labels on mismatch sites (mixed still contains native characters,
+/// so it must stay small for the <10%-native property to hold).
+pub const MISMATCH_MIXED: f64 = 0.06;
+
+/// Discard-rate array builder, in `DiscardCategory::ALL` order:
+/// [Emoji, UrlOrFilePath, FileName, OrdinalPhrase, LabelNumberPattern,
+///  MixedAlnum, DevLabel, TooShort, GenericAction, Placeholder, SingleWord].
+const fn rates(
+    emoji: f64,
+    url: f64,
+    file: f64,
+    ordinal: f64,
+    label_num: f64,
+    mixed_alnum: f64,
+    dev: f64,
+    too_short: f64,
+    action: f64,
+    placeholder: f64,
+    single: f64,
+) -> [f64; 11] {
+    [
+        emoji, url, file, ordinal, label_num, mixed_alnum, dev, too_short, action, placeholder,
+        single,
+    ]
+}
+
+/// The twelve country profiles.
+///
+/// Figure 3 anchors: single-word th 33% > ru 22.2% > gr 18.0% > in 17.1%,
+/// bd lowest at 6.9%, eg 10.5%; too-short ru 4.26 / th 4.24 / il 4.03 /
+/// in 3.6; URL-or-path hk 3.8 / kr 3.5 / ru 3.17.
+/// Figure 4 anchors: bd most English (79%); mixed gr 35 / th 34 / hk 30;
+/// cn, ru, jp, in mixed > 20%.
+/// Figure 5 anchors: bd/in > 40% mismatched sites; th/cn/hk > 25%;
+/// jp/il < 10%.
+/// Figure 7 anchor: India's rank tail reaches ~1M, others concentrate
+/// within the top 50k.
+pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
+    CountryProfile {
+        country: Country::Bangladesh,
+        agg_native: 0.08,
+        agg_mixed: 0.13,
+        mismatch_frac: 0.45,
+        visible_peak: 0.88,
+        discard_rates: rates(0.007, 0.018, 0.012, 0.008, 0.012, 0.020, 0.022, 0.020, 0.045, 0.035, 0.062),
+        rank_range: (300, 8_000, 150_000),
+    },
+    CountryProfile {
+        country: Country::China,
+        agg_native: 0.35,
+        agg_mixed: 0.22,
+        mismatch_frac: 0.33,
+        visible_peak: 0.92,
+        discard_rates: rates(0.010, 0.022, 0.018, 0.010, 0.015, 0.025, 0.025, 0.025, 0.055, 0.040, 0.140),
+        rank_range: (200, 6_000, 120_000),
+    },
+    CountryProfile {
+        country: Country::Algeria,
+        agg_native: 0.30,
+        agg_mixed: 0.15,
+        mismatch_frac: 0.18,
+        visible_peak: 0.80,
+        discard_rates: rates(0.006, 0.016, 0.014, 0.007, 0.011, 0.018, 0.020, 0.022, 0.045, 0.030, 0.110),
+        rank_range: (500, 12_000, 200_000),
+    },
+    CountryProfile {
+        country: Country::Egypt,
+        agg_native: 0.18,
+        agg_mixed: 0.15,
+        mismatch_frac: 0.22,
+        visible_peak: 0.82,
+        discard_rates: rates(0.008, 0.017, 0.015, 0.008, 0.012, 0.020, 0.020, 0.024, 0.048, 0.032, 0.115),
+        rank_range: (400, 10_000, 180_000),
+    },
+    CountryProfile {
+        country: Country::Greece,
+        agg_native: 0.20,
+        agg_mixed: 0.35,
+        mismatch_frac: 0.15,
+        visible_peak: 0.85,
+        discard_rates: rates(0.009, 0.020, 0.016, 0.010, 0.014, 0.022, 0.024, 0.028, 0.052, 0.038, 0.210),
+        rank_range: (400, 9_000, 160_000),
+    },
+    CountryProfile {
+        country: Country::HongKong,
+        agg_native: 0.25,
+        agg_mixed: 0.35,
+        mismatch_frac: 0.24,
+        visible_peak: 0.85,
+        discard_rates: rates(0.012, 0.038, 0.022, 0.011, 0.015, 0.026, 0.028, 0.026, 0.058, 0.042, 0.140),
+        rank_range: (300, 7_000, 130_000),
+    },
+    CountryProfile {
+        country: Country::Israel,
+        agg_native: 0.45,
+        agg_mixed: 0.20,
+        mismatch_frac: 0.03,
+        visible_peak: 0.90,
+        discard_rates: rates(0.008, 0.019, 0.016, 0.009, 0.013, 0.021, 0.022, 0.044, 0.050, 0.035, 0.125),
+        rank_range: (300, 8_000, 140_000),
+    },
+    CountryProfile {
+        country: Country::India,
+        agg_native: 0.22,
+        agg_mixed: 0.22,
+        mismatch_frac: 0.42,
+        visible_peak: 0.78,
+        discard_rates: rates(0.009, 0.021, 0.017, 0.010, 0.014, 0.023, 0.025, 0.039, 0.054, 0.039, 0.195),
+        // Figure 7: India's distribution extends toward the 1M rank range
+        // (the model runs a little past 1M so the deepest replacement
+        // descent lands in the paper's "1M" bucket).
+        rank_range: (500, 60_000, 1_400_000),
+    },
+    CountryProfile {
+        country: Country::Japan,
+        agg_native: 0.45,
+        agg_mixed: 0.22,
+        mismatch_frac: 0.05,
+        visible_peak: 0.94,
+        discard_rates: rates(0.011, 0.020, 0.017, 0.009, 0.013, 0.021, 0.023, 0.022, 0.050, 0.036, 0.110),
+        rank_range: (200, 5_000, 100_000),
+    },
+    CountryProfile {
+        country: Country::SouthKorea,
+        agg_native: 0.40,
+        agg_mixed: 0.18,
+        mismatch_frac: 0.12,
+        visible_peak: 0.92,
+        discard_rates: rates(0.010, 0.036, 0.020, 0.010, 0.014, 0.024, 0.026, 0.024, 0.056, 0.040, 0.135),
+        rank_range: (200, 5_000, 100_000),
+    },
+    CountryProfile {
+        country: Country::Russia,
+        agg_native: 0.35,
+        agg_mixed: 0.23,
+        mismatch_frac: 0.14,
+        visible_peak: 0.90,
+        discard_rates: rates(0.009, 0.028, 0.019, 0.011, 0.015, 0.025, 0.027, 0.041, 0.053, 0.038, 0.250),
+        rank_range: (300, 7_000, 130_000),
+    },
+    CountryProfile {
+        country: Country::Thailand,
+        agg_native: 0.17,
+        agg_mixed: 0.42,
+        mismatch_frac: 0.22,
+        visible_peak: 0.90,
+        // Thai's single-word plant rate is set below the 33% target because
+        // the orthography itself (no inter-word spaces) pushes short
+        // informative tokens into the single-word verdict — the measured
+        // rate lands at the paper's ~33%.
+        discard_rates: rates(0.008, 0.024, 0.016, 0.008, 0.012, 0.020, 0.022, 0.048, 0.045, 0.032, 0.330),
+        rank_range: (300, 8_000, 150_000),
+    },
+];
+
+/// Inverse CDF of a country's log-triangular rank model: `u` in [0, 1]
+/// maps to a global rank. Used by the corpus builder to assign candidate
+/// ranks as order statistics, so that the *selected* population (the first
+/// `quota` qualifying candidates, as in the paper's §2 walk) reproduces
+/// the Figure 7 distribution — including India's descent toward rank 1M.
+pub fn rank_quantile(country: Country, u: f64) -> u64 {
+    let (min, peak, max) = country_profile(country).rank_range;
+    let (lo, pk, hi) = (
+        (min as f64).log10(),
+        (peak as f64).log10(),
+        (max as f64).log10(),
+    );
+    let u = u.clamp(0.0, 1.0);
+    let cut = (pk - lo) / (hi - lo);
+    let x = if u <= cut {
+        lo + (u * (hi - lo) * (pk - lo)).sqrt()
+    } else {
+        hi - ((1.0 - u) * (hi - lo) * (hi - pk)).sqrt()
+    };
+    10f64.powf(x).round().max(1.0) as u64
+}
+
+/// Look up a country profile.
+pub fn country_profile(country: Country) -> &'static CountryProfile {
+    COUNTRY_PROFILES
+        .iter()
+        .find(|p| p.country == country)
+        .expect("profile exists for every study country")
+}
+
+/// Extra per-element scaling of the total uninformative share (Figure 9:
+/// `<summary>` labels are overwhelmingly generic/single-word; titles are
+/// almost always informative).
+pub fn element_discard_scale(kind: ElementKind) -> f64 {
+    match kind {
+        ElementKind::SummaryName => 2.2,
+        ElementKind::InputButtonName => 1.4,
+        ElementKind::ButtonName => 1.3,
+        ElementKind::Label => 1.3,
+        ElementKind::SvgImgAlt => 1.3,
+        ElementKind::FrameTitle => 1.1,
+        ElementKind::DocumentTitle => 0.2,
+        _ => 1.0,
+    }
+}
+
+/// Per-(element, category) multiplier shaping Figure 9's element-level
+/// breakdown (generic actions concentrate in buttons/summaries, file names
+/// and alnum IDs in image alts, URLs in links, dev labels in frames).
+pub fn element_category_multiplier(kind: ElementKind, cat: DiscardCategory) -> f64 {
+    use DiscardCategory as C;
+    use ElementKind as K;
+    match (kind, cat) {
+        (K::SummaryName, C::GenericAction) => 6.0,
+        (K::SummaryName, C::SingleWord) => 3.0,
+        (K::ButtonName, C::GenericAction) => 3.0,
+        (K::InputButtonName, C::GenericAction) => 3.0,
+        (K::Label, C::SingleWord) => 2.0,
+        (K::ImageAlt, C::FileName) => 2.5,
+        (K::ImageAlt, C::MixedAlnum) => 1.5,
+        (K::ImageAlt, C::Placeholder) => 1.5,
+        (K::LinkName, C::UrlOrFilePath) => 2.5,
+        (K::LinkName, C::GenericAction) => 1.8,
+        (K::SvgImgAlt, C::Placeholder) => 2.5,
+        (K::FrameTitle, C::DevLabel) => 2.5,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_calibrated_once() {
+        assert_eq!(ELEMENT_CALIBRATIONS.len(), 12);
+        for kind in ElementKind::ALL {
+            assert_eq!(element_calibration(kind).kind, kind);
+        }
+    }
+
+    #[test]
+    fn missing_means_match_table2() {
+        // (kind, paper mean%) — generator mixtures must be within 5 points.
+        let targets = [
+            (ElementKind::ButtonName, 61.92),
+            (ElementKind::FrameTitle, 75.81),
+            (ElementKind::ImageAlt, 17.12),
+            (ElementKind::InputButtonName, 93.90),
+            (ElementKind::InputImageAlt, 35.07),
+            (ElementKind::Label, 98.55),
+            (ElementKind::LinkName, 95.96),
+            (ElementKind::ObjectAlt, 94.19),
+            (ElementKind::SelectName, 89.84),
+            (ElementKind::SummaryName, 90.47),
+            (ElementKind::SvgImgAlt, 96.66),
+        ];
+        for (kind, target) in targets {
+            let mean = element_calibration(kind).missing.mean() * 100.0;
+            assert!(
+                (mean - target).abs() < 5.0,
+                "{kind:?}: mixture mean {mean:.2} vs paper {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_alt_has_highest_empty_mean() {
+        let image = element_calibration(ElementKind::ImageAlt).empty.mean();
+        for kind in ElementKind::TABLE2 {
+            if kind != ElementKind::ImageAlt {
+                assert!(element_calibration(kind).empty.mean() < image, "{kind:?}");
+            }
+        }
+        // Paper: 25.39% mean empty.
+        assert!((image * 100.0 - 25.39).abs() < 6.0, "empty mean {image}");
+    }
+
+    #[test]
+    fn twelve_country_profiles() {
+        assert_eq!(COUNTRY_PROFILES.len(), 12);
+        for c in Country::STUDY {
+            let p = country_profile(c);
+            assert_eq!(p.country, c);
+            assert!(p.agg_native + p.agg_mixed < 1.0);
+            assert!(p.total_discard() < 0.65, "{c:?} discards too much");
+            assert!((0.0..1.0).contains(&p.mismatch_frac));
+            let (n, e, m) = p.conditional_lang_weights();
+            assert!(n > 0.0 && e > 0.0 && m > 0.0, "{c:?}: {n} {e} {m}");
+            assert!((n + e + m - 1.0).abs() < 0.05, "{c:?} weights sum {}", n + e + m);
+        }
+    }
+
+    #[test]
+    fn figure3_anchor_orderings() {
+        let single = |c: Country| {
+            let p = country_profile(c);
+            p.discard_rates[10] // SingleWord is last in ALL order
+        };
+        assert!(single(Country::Thailand) > single(Country::Russia));
+        assert!(single(Country::Russia) > single(Country::Greece));
+        assert!(single(Country::Greece) > single(Country::India).min(0.18));
+        assert!(single(Country::Bangladesh) < single(Country::Egypt));
+        let url = |c: Country| country_profile(c).discard_rates[1];
+        assert!(url(Country::HongKong) > url(Country::SouthKorea));
+        assert!(url(Country::SouthKorea) > url(Country::Bangladesh));
+    }
+
+    #[test]
+    fn figure4_anchor_bd_most_english() {
+        for c in Country::STUDY {
+            let p = country_profile(c);
+            let english = 1.0 - p.agg_native - p.agg_mixed;
+            if c != Country::Bangladesh {
+                let bd = country_profile(Country::Bangladesh);
+                assert!(
+                    1.0 - bd.agg_native - bd.agg_mixed >= english,
+                    "{c:?} more English than bd"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_anchor_mismatch_ordering() {
+        // Planted fractions sit below the paper's measured "<10% native
+        // a11y" shares because sites with a low native weight also fall
+        // under 10% by per-site binomial noise; the *measured* anchors are
+        // asserted end-to-end in tests/paper_shapes.rs.
+        let q = |c: Country| country_profile(c).mismatch_frac;
+        assert!(q(Country::Bangladesh) > 0.40);
+        assert!(q(Country::India) > 0.40);
+        assert!(q(Country::Thailand) >= 0.18);
+        assert!(q(Country::China) >= 0.20);
+        assert!(q(Country::HongKong) >= 0.20);
+        assert!(q(Country::Japan) < 0.10);
+        assert!(q(Country::Israel) < 0.10);
+    }
+
+    #[test]
+    fn figure7_anchor_india_long_tail() {
+        for c in Country::STUDY {
+            let (_, _, max) = country_profile(c).rank_range;
+            if c == Country::India {
+                assert!(max >= 1_000_000);
+            } else {
+                assert!(max <= 200_000, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn discard_array_order_matches_category_all() {
+        // The rates() builder encodes DiscardCategory::ALL order; guard
+        // against reordering the enum without updating the tables.
+        assert_eq!(DiscardCategory::ALL[0], DiscardCategory::Emoji);
+        assert_eq!(DiscardCategory::ALL[1], DiscardCategory::UrlOrFilePath);
+        assert_eq!(DiscardCategory::ALL[7], DiscardCategory::TooShort);
+        assert_eq!(DiscardCategory::ALL[10], DiscardCategory::SingleWord);
+    }
+
+    #[test]
+    fn element_multipliers_positive() {
+        for kind in ElementKind::ALL {
+            assert!(element_discard_scale(kind) > 0.0);
+            for cat in DiscardCategory::ALL {
+                assert!(element_category_multiplier(kind, cat) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,959 @@
+//! Page rendering: [`SitePlan`] → HTML + ground truth.
+//!
+//! Rendering is deterministic in `(plan.seed, variant, path)`. Alongside
+//! the HTML the renderer returns a [`PageTruth`] describing exactly what it
+//! planted, so integration tests can assert the crawl→extract→classify
+//! pipeline *recovers* the planted distributions — the core correctness
+//! argument of the reproduction.
+//!
+//! Layout of the localized variant (per archetype counts):
+//!
+//! ```text
+//! <!DOCTYPE html><html lang=…><head><title>…</title></head><body>
+//!   <header><nav> links … </nav></header>
+//!   <main>
+//!     <h1>headline</h1> paragraphs (native/English mix per plan)
+//!     <img alt=…> · <svg role=img><title>…</title></svg> · <iframe title=…>
+//!     <details><summary>…</summary></details> · <object>…</object>
+//!     <form> <label for=…>…</label><input> · <input type=image alt=…>
+//!            <select aria-label=…> · <input type=submit value=…> </form>
+//!     <button aria-label=…>visible</button> …
+//!   </main>
+//!   <footer> links … </footer>
+//! </body></html>
+//! ```
+//!
+//! The **global** variant keeps the same structure but serves
+//! English-dominant visible text and English accessibility text — what a
+//! cloud-vantage crawler sees. The **restricted** variant is a bot-wall
+//! stub.
+
+use crate::calibration::element_calibration;
+use crate::sample::{heavy_tail_len, int_between};
+use crate::site::{LangBucket, PlantedText, SitePlan};
+use langcrux_filter::DiscardCategory;
+use langcrux_html::HtmlBuilder;
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::{dict, rng, Language};
+use langcrux_net::ContentVariant;
+use langcrux_textgen::{MixedGenerator, TextGenerator};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Expected distinguishing characters per sentence for `lang`, relative to
+/// English. CJK sentences carry ~0.4× the characters of an English sentence
+/// with the same word count, so hitting a *character-share* target requires
+/// boosting the native *sentence* probability. The ratio is measured once
+/// per language from fixed-seed samples (deterministic) and cached.
+fn char_ratio(lang: Language) -> f64 {
+    static CACHE: OnceLock<Mutex<HashMap<Language, f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(v) = cache.lock().expect("ratio cache").get(&lang) {
+        return *v;
+    }
+    let mean_chars = |l: Language| -> f64 {
+        use langcrux_lang::script::ScriptHistogram;
+        let mut g = TextGenerator::new(l, 0xC0FFEE);
+        let mut total = 0usize;
+        const SAMPLES: usize = 40;
+        for _ in 0..SAMPLES {
+            let hist = ScriptHistogram::of(&g.sentence());
+            total += l
+                .evidence_scripts()
+                .iter()
+                .map(|&s| hist.count(s))
+                .sum::<usize>();
+        }
+        total as f64 / SAMPLES as f64
+    };
+    let ratio = (mean_chars(lang) / mean_chars(Language::English)).max(0.05);
+    cache.lock().expect("ratio cache").insert(lang, ratio);
+    ratio
+}
+
+/// Native-sentence probability needed for a target native *character*
+/// share `t`, given the language's char ratio `r`: solves
+/// `p·r / (p·r + (1-p)) = t`.
+fn native_sentence_prob(target_share: f64, ratio: f64) -> f64 {
+    let t = target_share.clamp(0.0, 1.0);
+    (t / (ratio + t * (1.0 - ratio))).clamp(0.0, 1.0)
+}
+
+/// What was planted for one element kind on one page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindTruth {
+    pub total: u32,
+    pub missing: u32,
+    pub empty: u32,
+    /// Indexed by `DiscardCategory::ALL` order.
+    pub uninformative: [u32; 11],
+    pub informative_native: u32,
+    pub informative_english: u32,
+    pub informative_mixed: u32,
+}
+
+impl KindTruth {
+    pub fn uninformative_total(&self) -> u32 {
+        self.uninformative.iter().sum()
+    }
+
+    pub fn informative_total(&self) -> u32 {
+        self.informative_native + self.informative_english + self.informative_mixed
+    }
+
+    pub fn merge(&mut self, other: &KindTruth) {
+        self.total += other.total;
+        self.missing += other.missing;
+        self.empty += other.empty;
+        for i in 0..11 {
+            self.uninformative[i] += other.uninformative[i];
+        }
+        self.informative_native += other.informative_native;
+        self.informative_english += other.informative_english;
+        self.informative_mixed += other.informative_mixed;
+    }
+}
+
+/// Ground truth for one rendered page.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PageTruth {
+    /// Indexed by `ElementKind::ALL` order.
+    pub per_kind: [KindTruth; 12],
+    /// The plan's target visible native share at render time.
+    pub target_visible_native: f64,
+}
+
+impl PageTruth {
+    pub fn kind(&self, kind: ElementKind) -> &KindTruth {
+        &self.per_kind[kind_index(kind)]
+    }
+}
+
+fn sample_category(r: &mut StdRng, dist: &[f64; 11]) -> DiscardCategory {
+    let total: f64 = dist.iter().sum();
+    let mut roll = r.gen::<f64>() * total;
+    for (i, &w) in dist.iter().enumerate() {
+        if roll < w {
+            return DiscardCategory::ALL[i];
+        }
+        roll -= w;
+    }
+    DiscardCategory::ALL[10]
+}
+
+fn kind_index(kind: ElementKind) -> usize {
+    ElementKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL")
+}
+
+/// Render a page for the plan/variant/path. Deterministic.
+pub fn render(plan: &SitePlan, variant: ContentVariant, path: &str) -> (String, PageTruth) {
+    match variant {
+        ContentVariant::Restricted => (render_restricted(plan), PageTruth::default()),
+        ContentVariant::Localized => Renderer::new(plan, variant, path).render(),
+        ContentVariant::Global => Renderer::new(plan, variant, path).render(),
+    }
+}
+
+fn render_restricted(plan: &SitePlan) -> String {
+    let mut b = HtmlBuilder::document();
+    b.open("html", &[("lang", Some("en"))]);
+    b.open("head", &[]);
+    b.leaf("title", &[], "Access denied");
+    b.close();
+    b.open("body", &[]);
+    b.leaf(
+        "p",
+        &[],
+        &format!(
+            "Access to {} from your network is restricted. Please disable \
+             proxy or VPN services and try again.",
+            plan.host
+        ),
+    );
+    b.close();
+    b.close();
+    b.finish()
+}
+
+struct Renderer<'a> {
+    plan: &'a SitePlan,
+    variant: ContentVariant,
+    rng: StdRng,
+    native: TextGenerator,
+    english: TextGenerator,
+    mixed: MixedGenerator,
+    truth: PageTruth,
+    /// Effective visible-native share for this variant.
+    visible_native: f64,
+    counter: u32,
+}
+
+impl<'a> Renderer<'a> {
+    fn new(plan: &'a SitePlan, variant: ContentVariant, path: &str) -> Self {
+        let vstream = match variant {
+            ContentVariant::Localized => 1,
+            ContentVariant::Global => 2,
+            ContentVariant::Restricted => 3,
+        };
+        let page_seed = rng::derive(plan.seed, &[vstream, rng::stream_id(path)]);
+        let native_lang = plan.native_language();
+        let target_share = match variant {
+            ContentVariant::Localized => plan.visible_native_share,
+            // The global variant is English-dominant: the residual native
+            // share models navigation crumbs and brand names.
+            ContentVariant::Global => (plan.visible_native_share * 0.12).min(0.10),
+            ContentVariant::Restricted => 0.0,
+        };
+        // Convert the character-share target into a sentence probability
+        // (CJK sentences carry fewer characters; see char_ratio()).
+        let visible_native = native_sentence_prob(target_share, char_ratio(native_lang));
+        Renderer {
+            plan,
+            variant,
+            rng: rng::rng_for(page_seed, &[0x11]),
+            native: TextGenerator::new(native_lang, rng::derive(page_seed, &[0x22])),
+            english: TextGenerator::new(Language::English, rng::derive(page_seed, &[0x33])),
+            mixed: MixedGenerator::new(native_lang, rng::derive(page_seed, &[0x44]), 0.5),
+            truth: PageTruth {
+                target_visible_native: target_share,
+                ..PageTruth::default()
+            },
+            visible_native,
+            counter: 0,
+        }
+    }
+
+    fn next_id(&mut self) -> u32 {
+        self.counter += 1;
+        self.counter
+    }
+
+    /// Visible text in the page's language mix, `words` words long.
+    fn visible_phrase(&mut self, min: usize, max: usize) -> String {
+        if self.rng.gen::<f64>() < self.visible_native {
+            self.native.phrase(min, max)
+        } else {
+            self.english.phrase(min, max)
+        }
+    }
+
+    fn visible_sentencer(&mut self) -> String {
+        if self.rng.gen::<f64>() < self.visible_native {
+            self.native.sentence()
+        } else {
+            self.english.sentence()
+        }
+    }
+
+    /// Count of elements of `kind` for this page.
+    fn count_for(&mut self, kind: ElementKind) -> usize {
+        let cal = element_calibration(kind);
+        let base = int_between(&mut self.rng, cal.per_page.0, cal.per_page.1);
+        let factor = self.plan.archetype.count_factor(kind);
+        ((base as f64 * factor).round() as usize).max(cal.per_page.0)
+    }
+
+    /// Decide what to plant for one slot of `kind` and record the truth.
+    fn plant(&mut self, kind: ElementKind) -> PlantedText {
+        let (missing_rate, empty_rate) = self.plan.rates(kind);
+        let truth = &mut self.truth.per_kind[kind_index(kind)];
+        truth.total += 1;
+
+        let roll: f64 = self.rng.gen();
+        if roll < missing_rate {
+            truth.missing += 1;
+            return PlantedText::Missing;
+        }
+        if roll < missing_rate + empty_rate {
+            truth.empty += 1;
+            return PlantedText::Empty;
+        }
+
+        let (discard_total, discard_dist) = self.plan.discard_profile(kind);
+        if self.rng.gen::<f64>() < discard_total {
+            let cat = sample_category(&mut self.rng, &discard_dist);
+            let text = self.uninformative_instance(kind, cat);
+            self.truth.per_kind[kind_index(kind)].uninformative
+                [DiscardCategory::ALL.iter().position(|&c| c == cat).expect("cat")] += 1;
+            return PlantedText::Uninformative(cat, text);
+        }
+
+        // Informative label. The global variant serves English a11y text.
+        let bucket = if self.variant == ContentVariant::Global {
+            LangBucket::English
+        } else {
+            self.plan.sample_bucket(&mut self.rng)
+        };
+        let text = self.informative_instance(kind, bucket);
+        let truth = &mut self.truth.per_kind[kind_index(kind)];
+        match bucket {
+            LangBucket::Native => truth.informative_native += 1,
+            LangBucket::English => truth.informative_english += 1,
+            LangBucket::Mixed => truth.informative_mixed += 1,
+        }
+        PlantedText::Informative(bucket, text)
+    }
+
+    fn informative_instance(&mut self, kind: ElementKind, bucket: LangBucket) -> String {
+        let cal = element_calibration(kind);
+        let (min, max) = cal.words;
+        // Thai/CJK single tokens must clear the filter's length bars to
+        // stay informative; widen the floor for continua scripts.
+        let native_lang = self.plan.native_language();
+        let min = if native_lang == Language::Thai && bucket != LangBucket::English {
+            min.max(3)
+        } else if bucket == LangBucket::Mixed {
+            min.max(2)
+        } else {
+            min
+        };
+        let max = max.max(min);
+        let base = match bucket {
+            LangBucket::Native => self.native.phrase(min, max),
+            LangBucket::English => self.english.phrase(min, max),
+            LangBucket::Mixed => self.mixed.phrase(min, max),
+        };
+        if cal.outlier_chance > 0.0 && self.rng.gen::<f64>() < cal.outlier_chance {
+            return self.outlier_text(bucket);
+        }
+        base
+    }
+
+    /// Appendix E: extreme alt texts — entire paragraphs or boilerplate
+    /// dumps mistakenly placed in accessibility attributes.
+    fn outlier_text(&mut self, bucket: LangBucket) -> String {
+        let target = heavy_tail_len(&mut self.rng, (1_200, 4_000), (8_000, 260_000), 0.10);
+        let mut out = String::with_capacity(target + 64);
+        while out.chars().count() < target {
+            let para = match bucket {
+                LangBucket::Native => self.native.paragraph(3),
+                _ => self.english.paragraph(3),
+            };
+            out.push_str(&para);
+            out.push(' ');
+        }
+        out
+    }
+
+    fn uninformative_instance(&mut self, _kind: ElementKind, cat: DiscardCategory) -> String {
+        let n = self.next_id();
+        let native = self.plan.native_language();
+        // Label-language choice for dictionary categories follows the
+        // site's a11y language profile (an English-defaulting site plants
+        // English "search" buttons).
+        let use_native = {
+            let (nat, _, mix) = self.plan.lang_weights;
+            self.rng.gen::<f64>() < (nat + mix * 0.5)
+        };
+        match cat {
+            DiscardCategory::Emoji => {
+                const EMOJI: &[&str] = &["📷", "🔍", "▶", "✕", "☰", "⭐", "➜", "🏠", "📧"];
+                EMOJI[self.rng.gen_range(0..EMOJI.len())].to_string()
+            }
+            DiscardCategory::TooShort => {
+                if native.primary_script().is_cjk() && use_native {
+                    self.native.word().chars().take(1).collect()
+                } else {
+                    const SHORT: &[&str] = &["go", "ok", "..", ">>", "NA", "x"];
+                    SHORT[self.rng.gen_range(0..SHORT.len())].to_string()
+                }
+            }
+            DiscardCategory::FileName => {
+                const STEMS: &[&str] = &["banner_img", "photo-", "IMG_", "slide_", "pic", "hero-"];
+                const EXTS: &[&str] = &["jpg", "png", "jpeg", "webp", "gif"];
+                format!(
+                    "{}{}.{}",
+                    STEMS[self.rng.gen_range(0..STEMS.len())],
+                    n,
+                    EXTS[self.rng.gen_range(0..EXTS.len())]
+                )
+            }
+            DiscardCategory::UrlOrFilePath => {
+                if self.rng.gen_bool(0.5) {
+                    format!("https://{}/images/{}.png", self.plan.host, n)
+                } else {
+                    format!("/assets/img/item-{n}.svg")
+                }
+            }
+            DiscardCategory::GenericAction => {
+                let lang = if use_native { native } else { Language::English };
+                let pool = dict::actions_in(lang);
+                let pool = if pool.is_empty() {
+                    dict::actions_in(Language::English)
+                } else {
+                    pool
+                };
+                pool[self.rng.gen_range(0..pool.len())].to_string()
+            }
+            DiscardCategory::Placeholder => {
+                let lang = if use_native { native } else { Language::English };
+                let pool = dict::placeholders_in(lang);
+                let pool = if pool.is_empty() {
+                    dict::placeholders_in(Language::English)
+                } else {
+                    pool
+                };
+                pool[self.rng.gen_range(0..pool.len())].to_string()
+            }
+            DiscardCategory::DevLabel => {
+                const HEADS: &[&str] = &["btn", "nav", "img", "ico", "hdr", "card", "mod"];
+                const TAILS: &[&str] = &["submit", "menu", "main", "item", "box", "wrap", "toggle"];
+                let head = HEADS[self.rng.gen_range(0..HEADS.len())];
+                let tail = TAILS[self.rng.gen_range(0..TAILS.len())];
+                match self.rng.gen_range(0..3u8) {
+                    0 => format!("{head}-{tail}"),
+                    1 => format!("{head}_{tail}"),
+                    _ => {
+                        let mut tail_cap = tail.to_string();
+                        tail_cap[..1].make_ascii_uppercase();
+                        format!("{head}{tail_cap}")
+                    }
+                }
+            }
+            DiscardCategory::LabelNumberPattern => {
+                const WORDS: &[&str] = &["image", "button", "slide", "figure", "banner", "item"];
+                format!(
+                    "{} {}",
+                    WORDS[self.rng.gen_range(0..WORDS.len())],
+                    self.rng.gen_range(1..20u8)
+                )
+            }
+            DiscardCategory::SingleWord => {
+                if use_native && !native.primary_script().is_cjk() {
+                    // A short native single word (below the keep thresholds).
+                    for _ in 0..8 {
+                        let w = self.native.word();
+                        let len = w.chars().count();
+                        if (3..8).contains(&len) && !w.contains(' ') {
+                            return w;
+                        }
+                    }
+                }
+                const WORDS: &[&str] = &[
+                    "photo", "economy", "sports", "market", "health", "culture", "weather",
+                    "travel", "profile",
+                ];
+                WORDS[self.rng.gen_range(0..WORDS.len())].to_string()
+            }
+            DiscardCategory::MixedAlnum => {
+                const STEMS: &[&str] = &["img", "icon", "pic", "fig", "ad", "file"];
+                format!("{}{}", STEMS[self.rng.gen_range(0..STEMS.len())], n)
+            }
+            DiscardCategory::OrdinalPhrase => {
+                let b = self.rng.gen_range(3..12u8);
+                let a = self.rng.gen_range(1..=b);
+                if self.rng.gen_bool(0.5) {
+                    format!("{a} of {b}")
+                } else {
+                    format!("{a}/{b}")
+                }
+            }
+        }
+    }
+
+    /// Attribute triple for a planted text: `(attr_name, value)` or inner
+    /// text, per element kind. Returns `None` for Missing.
+    fn render(mut self) -> (String, PageTruth) {
+        let mut b = HtmlBuilder::document();
+        let lang_attr;
+        if self.plan.declares_lang {
+            lang_attr = if self.variant == ContentVariant::Global
+                || self.plan.declared_lang_wrong
+            {
+                // Wrongly-declared sites keep the template default ("en")
+                // even though the content is native — a common real-world
+                // authoring error the paper's §1 calls out.
+                "en".to_string()
+            } else {
+                self.plan.native_language().tag().to_string()
+            };
+            b.open("html", &[("lang", Some(lang_attr.as_str()))]);
+        } else {
+            b.open("html", &[]);
+        }
+
+        // <head><title> — DocumentTitle slot.
+        b.open("head", &[]);
+        b.void("meta", &[("charset", Some("utf-8"))]);
+        match self.plant(ElementKind::DocumentTitle) {
+            PlantedText::Missing => {}
+            PlantedText::Empty => {
+                b.leaf("title", &[], "");
+            }
+            PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                b.leaf("title", &[], &t);
+            }
+        }
+        b.close(); // head
+
+        b.open("body", &[]);
+
+        // Header nav links (a share of all links).
+        let total_links = self.count_for(ElementKind::LinkName);
+        let nav_links = (total_links / 5).clamp(3, 14);
+        b.open("header", &[]);
+        b.open("nav", &[]);
+        for i in 0..nav_links {
+            self.render_link(&mut b, &format!("/nav/{i}"));
+        }
+        b.close();
+        b.close();
+
+        b.open("main", &[]);
+        let headline = self.visible_phrase(3, 8);
+        b.leaf("h1", &[], &headline);
+
+        // Article paragraphs: the bulk of visible text.
+        let paragraphs = int_between(&mut self.rng, 6, 16);
+        for _ in 0..paragraphs {
+            let sentences = int_between(&mut self.rng, 2, 5);
+            let mut text = String::new();
+            for _ in 0..sentences {
+                text.push_str(&self.visible_sentencer());
+                text.push(' ');
+            }
+            b.leaf("p", &[], text.trim());
+        }
+
+        // Images.
+        let images = self.count_for(ElementKind::ImageAlt);
+        for i in 0..images {
+            let src = format!("/img/{i}.jpg");
+            match self.plant(ElementKind::ImageAlt) {
+                PlantedText::Missing => {
+                    b.void("img", &[("src", Some(src.as_str()))]);
+                }
+                PlantedText::Empty => {
+                    b.void("img", &[("src", Some(src.as_str())), ("alt", Some(""))]);
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.void("img", &[("src", Some(src.as_str())), ("alt", Some(t.as_str()))]);
+                }
+            }
+        }
+
+        // Inline SVG icons (svg-img-alt: <title> child or aria-label).
+        let svgs = self.count_for(ElementKind::SvgImgAlt);
+        for _ in 0..svgs {
+            match self.plant(ElementKind::SvgImgAlt) {
+                PlantedText::Missing => {
+                    b.open("svg", &[("role", Some("img")), ("viewBox", Some("0 0 24 24"))]);
+                    b.raw("<path d=\"M0 0h24v24H0z\"/>");
+                    b.close();
+                }
+                PlantedText::Empty => {
+                    b.open("svg", &[("role", Some("img")), ("aria-label", Some(""))]);
+                    b.raw("<path d=\"M0 0h24v24H0z\"/>");
+                    b.close();
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.open("svg", &[("role", Some("img"))]);
+                    b.leaf("title", &[], &t);
+                    b.raw("<path d=\"M0 0h24v24H0z\"/>");
+                    b.close();
+                }
+            }
+        }
+
+        // Iframes.
+        let frames = self.count_for(ElementKind::FrameTitle);
+        for i in 0..frames {
+            let src = format!("/embed/{i}");
+            match self.plant(ElementKind::FrameTitle) {
+                PlantedText::Missing => {
+                    b.leaf("iframe", &[("src", Some(src.as_str()))], "");
+                }
+                PlantedText::Empty => {
+                    b.leaf(
+                        "iframe",
+                        &[("src", Some(src.as_str())), ("title", Some(""))],
+                        "",
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf(
+                        "iframe",
+                        &[("src", Some(src.as_str())), ("title", Some(t.as_str()))],
+                        "",
+                    );
+                }
+            }
+        }
+
+        // Details/summary.
+        let summaries = self.count_for(ElementKind::SummaryName);
+        for _ in 0..summaries {
+            b.open("details", &[]);
+            match self.plant(ElementKind::SummaryName) {
+                PlantedText::Missing => {
+                    b.leaf("summary", &[], "");
+                }
+                PlantedText::Empty => {
+                    b.leaf("summary", &[("aria-label", Some(""))], "");
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf("summary", &[], &t);
+                }
+            }
+            let body = self.visible_sentencer();
+            b.leaf("p", &[], &body);
+            b.close();
+        }
+
+        // Object embeds.
+        let objects = self.count_for(ElementKind::ObjectAlt);
+        for i in 0..objects {
+            let data = format!("/media/{i}.pdf");
+            match self.plant(ElementKind::ObjectAlt) {
+                PlantedText::Missing => {
+                    b.leaf("object", &[("data", Some(data.as_str()))], "");
+                }
+                PlantedText::Empty => {
+                    b.leaf(
+                        "object",
+                        &[("data", Some(data.as_str())), ("aria-label", Some(""))],
+                        "",
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf(
+                        "object",
+                        &[("data", Some(data.as_str())), ("aria-label", Some(t.as_str()))],
+                        "",
+                    );
+                }
+            }
+        }
+
+        // Form: labels + inputs, image inputs, selects, submit buttons.
+        b.open("form", &[("action", Some("/submit")), ("method", Some("post"))]);
+        let labels = self.count_for(ElementKind::Label);
+        for i in 0..labels {
+            let id = format!("field-{i}");
+            match self.plant(ElementKind::Label) {
+                PlantedText::Missing => {
+                    b.void(
+                        "input",
+                        &[("type", Some("text")), ("id", Some(id.as_str())), ("name", Some(id.as_str()))],
+                    );
+                }
+                PlantedText::Empty => {
+                    b.leaf("label", &[("for", Some(id.as_str()))], "");
+                    b.void("input", &[("type", Some("text")), ("id", Some(id.as_str()))]);
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf("label", &[("for", Some(id.as_str()))], &t);
+                    b.void("input", &[("type", Some("text")), ("id", Some(id.as_str()))]);
+                }
+            }
+        }
+        let image_inputs = self.count_for(ElementKind::InputImageAlt);
+        for i in 0..image_inputs {
+            let src = format!("/img/btn{i}.png");
+            match self.plant(ElementKind::InputImageAlt) {
+                PlantedText::Missing => {
+                    b.void("input", &[("type", Some("image")), ("src", Some(src.as_str()))]);
+                }
+                PlantedText::Empty => {
+                    b.void(
+                        "input",
+                        &[("type", Some("image")), ("src", Some(src.as_str())), ("alt", Some(""))],
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.void(
+                        "input",
+                        &[
+                            ("type", Some("image")),
+                            ("src", Some(src.as_str())),
+                            ("alt", Some(t.as_str())),
+                        ],
+                    );
+                }
+            }
+        }
+        let selects = self.count_for(ElementKind::SelectName);
+        for i in 0..selects {
+            let id = format!("select-{i}");
+            let planted = self.plant(ElementKind::SelectName);
+            match &planted {
+                PlantedText::Missing => {
+                    b.open("select", &[("id", Some(id.as_str()))]);
+                }
+                PlantedText::Empty => {
+                    b.open("select", &[("id", Some(id.as_str())), ("aria-label", Some(""))]);
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.open(
+                        "select",
+                        &[("id", Some(id.as_str())), ("aria-label", Some(t.as_str()))],
+                    );
+                }
+            }
+            for opt in 0..3 {
+                let text = self.visible_phrase(1, 2);
+                b.leaf("option", &[("value", Some(&*opt.to_string()))], &text);
+            }
+            b.close();
+        }
+        let input_buttons = self.count_for(ElementKind::InputButtonName);
+        for _ in 0..input_buttons {
+            match self.plant(ElementKind::InputButtonName) {
+                PlantedText::Missing => {
+                    b.void("input", &[("type", Some("submit"))]);
+                }
+                PlantedText::Empty => {
+                    b.void("input", &[("type", Some("submit")), ("value", Some(""))]);
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.void("input", &[("type", Some("submit")), ("value", Some(t.as_str()))]);
+                }
+            }
+        }
+        b.close(); // form
+
+        // Buttons (visible text + optional aria-label).
+        let buttons = self.count_for(ElementKind::ButtonName);
+        for _ in 0..buttons {
+            let visible = self.visible_phrase(1, 2);
+            match self.plant(ElementKind::ButtonName) {
+                PlantedText::Missing => {
+                    b.leaf("button", &[("type", Some("button"))], &visible);
+                }
+                PlantedText::Empty => {
+                    b.leaf(
+                        "button",
+                        &[("type", Some("button")), ("aria-label", Some(""))],
+                        &visible,
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf(
+                        "button",
+                        &[("type", Some("button")), ("aria-label", Some(t.as_str()))],
+                        &visible,
+                    );
+                }
+            }
+        }
+
+        // Body links.
+        let body_links = total_links.saturating_sub(nav_links);
+        for i in 0..body_links {
+            self.render_link(&mut b, &format!("/article/{i}"));
+        }
+        b.close(); // main
+
+        b.open("footer", &[]);
+        let footer_text = self.visible_sentencer();
+        b.leaf("p", &[], &footer_text);
+        b.close();
+
+        b.close(); // body
+        b.close(); // html
+        (b.finish(), self.truth)
+    }
+
+    fn render_link(&mut self, b: &mut HtmlBuilder, href: &str) {
+        let visible = self.visible_phrase(1, 4);
+        match self.plant(ElementKind::LinkName) {
+            PlantedText::Missing => {
+                b.leaf("a", &[("href", Some(href))], &visible);
+            }
+            PlantedText::Empty => {
+                b.leaf("a", &[("href", Some(href)), ("aria-label", Some(""))], &visible);
+            }
+            PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                b.leaf(
+                    "a",
+                    &[("href", Some(href)), ("aria-label", Some(t.as_str()))],
+                    &visible,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_html::{parse, visible_text};
+    use langcrux_lang::Country;
+
+    fn plan(country: Country, idx: u32) -> SitePlan {
+        SitePlan::build(1234, country, idx, Some(true))
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let p = plan(Country::Bangladesh, 0);
+        let (a, ta) = render(&p, ContentVariant::Localized, "/");
+        let (b, tb) = render(&p, ContentVariant::Localized, "/");
+        assert_eq!(a, b);
+        assert_eq!(ta.per_kind, tb.per_kind);
+    }
+
+    #[test]
+    fn variants_differ() {
+        let p = plan(Country::Bangladesh, 0);
+        let (local, _) = render(&p, ContentVariant::Localized, "/");
+        let (global, _) = render(&p, ContentVariant::Global, "/");
+        assert_ne!(local, global);
+    }
+
+    #[test]
+    fn html_parses_and_contains_structure() {
+        let p = plan(Country::Thailand, 3);
+        let (html, truth) = render(&p, ContentVariant::Localized, "/");
+        let doc = parse(&html);
+        assert_eq!(
+            doc.elements_named("img").count(),
+            truth.kind(ElementKind::ImageAlt).total as usize
+        );
+        assert_eq!(
+            doc.elements_named("button").count(),
+            truth.kind(ElementKind::ButtonName).total as usize
+        );
+        assert_eq!(
+            doc.elements_named("a").count(),
+            truth.kind(ElementKind::LinkName).total as usize
+        );
+        assert!(doc.elements_named("form").count() >= 1);
+    }
+
+    #[test]
+    fn truth_counts_are_consistent() {
+        let p = plan(Country::Russia, 5);
+        let (_, truth) = render(&p, ContentVariant::Localized, "/");
+        for kind in ElementKind::ALL {
+            let t = truth.kind(kind);
+            assert_eq!(
+                t.total,
+                t.missing + t.empty + t.uninformative_total() + t.informative_total(),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn localized_visible_text_is_native_dominant() {
+        use langcrux_langid::composition;
+        let p = plan(Country::Japan, 2);
+        let (html, _) = render(&p, ContentVariant::Localized, "/");
+        let doc = parse(&html);
+        let text = visible_text(&doc);
+        let c = composition(&text, Language::Japanese);
+        assert!(
+            c.native_pct > 50.0,
+            "native {:.1} (target {:.2})",
+            c.native_pct,
+            p.visible_native_share
+        );
+    }
+
+    #[test]
+    fn global_visible_text_is_english_dominant() {
+        use langcrux_langid::composition;
+        let p = plan(Country::Japan, 2);
+        let (html, _) = render(&p, ContentVariant::Global, "/");
+        let doc = parse(&html);
+        let text = visible_text(&doc);
+        let c = composition(&text, Language::Japanese);
+        assert!(c.english_pct > 70.0, "english {:.1}", c.english_pct);
+    }
+
+    #[test]
+    fn global_a11y_is_english() {
+        let p = plan(Country::Greece, 4);
+        let (_, truth) = render(&p, ContentVariant::Global, "/");
+        for kind in ElementKind::ALL {
+            let t = truth.kind(kind);
+            assert_eq!(t.informative_native, 0, "{kind:?}");
+            assert_eq!(t.informative_mixed, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn restricted_page_is_minimal() {
+        let p = plan(Country::China, 1);
+        let (html, truth) = render(&p, ContentVariant::Restricted, "/");
+        assert!(html.contains("restricted"));
+        assert!(html.len() < 600);
+        assert_eq!(truth.kind(ElementKind::ImageAlt).total, 0);
+    }
+
+    #[test]
+    fn planted_uninformative_instances_classify_correctly() {
+        use langcrux_filter::classify;
+        // Aggregate over many pages: planted category must agree with the
+        // filter's verdict for the structural categories.
+        let mut agree = 0u32;
+        let mut total = 0u32;
+        for idx in 0..12 {
+            let p = plan(Country::SouthKorea, idx);
+            let mut renderer = Renderer::new(&p, ContentVariant::Localized, "/");
+            for cat in DiscardCategory::ALL {
+                for _ in 0..20 {
+                    let instance =
+                        renderer.uninformative_instance(ElementKind::ImageAlt, cat);
+                    total += 1;
+                    if classify(&instance) == Some(cat) {
+                        agree += 1;
+                    }
+                }
+            }
+        }
+        let rate = f64::from(agree) / f64::from(total);
+        assert!(rate > 0.90, "plant/detect agreement {rate}");
+    }
+
+    #[test]
+    fn planted_informative_instances_survive_filter() {
+        use langcrux_filter::is_informative;
+        let mut survive = 0u32;
+        let mut total = 0u32;
+        for idx in 0..10 {
+            let p = plan(Country::Thailand, idx);
+            let mut renderer = Renderer::new(&p, ContentVariant::Localized, "/");
+            for bucket in [LangBucket::Native, LangBucket::English, LangBucket::Mixed] {
+                for kind in [ElementKind::ImageAlt, ElementKind::LinkName, ElementKind::ButtonName]
+                {
+                    for _ in 0..10 {
+                        let text = renderer.informative_instance(kind, bucket);
+                        total += 1;
+                        if is_informative(&text) {
+                            survive += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let rate = f64::from(survive) / f64::from(total);
+        assert!(rate > 0.85, "informative survival {rate}");
+    }
+
+    #[test]
+    fn outliers_appear_at_calibrated_rate() {
+        let mut extreme = 0usize;
+        for idx in 0..400 {
+            let p = plan(Country::India, idx);
+            let (html, _) = render(&p, ContentVariant::Localized, "/");
+            let doc = parse(&html);
+            for img in doc.elements_named("img") {
+                if let Some(alt) = doc.attr(img, "alt") {
+                    if alt.chars().count() > 1000 {
+                        extreme += 1;
+                    }
+                }
+            }
+        }
+        // ~400 pages × ~8 informative alts × 0.2% ≈ 6 expected.
+        assert!(extreme >= 1, "no extreme alt texts planted");
+    }
+}

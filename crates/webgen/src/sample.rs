@@ -1,0 +1,199 @@
+//! Distribution-sampling helpers for corpus calibration.
+//!
+//! The generator plants population statistics via small parametric
+//! distributions; these helpers keep that code readable. Everything takes
+//! an explicit `&mut StdRng` so the callers control determinism.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A mixture of uniform components: `(weight, lo, hi)`. Sampling picks a
+/// component by weight, then a uniform value inside it. This is the shape
+/// used to calibrate the per-site missing/empty rates of Table 2: e.g.
+/// "93% of sites never label anything, the rest label 5–40%" is
+/// `[(0.93, 1.0, 1.0), (0.07, 0.60, 0.95)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct RateMixture(pub &'static [(f64, f64, f64)]);
+
+impl RateMixture {
+    /// Sample one value from the mixture.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let total: f64 = self.0.iter().map(|(w, _, _)| w).sum();
+        debug_assert!(total > 0.0, "empty mixture");
+        let mut roll = rng.gen::<f64>() * total;
+        for &(w, lo, hi) in self.0 {
+            if roll < w {
+                return if lo >= hi { lo } else { rng.gen_range(lo..hi) };
+            }
+            roll -= w;
+        }
+        // Floating point slack: fall back to the last component.
+        let &(_, lo, hi) = self.0.last().expect("non-empty mixture");
+        if lo >= hi {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        }
+    }
+
+    /// Analytic mean of the mixture (used by calibration tests to compare
+    /// against the paper's Table 2 targets).
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.0.iter().map(|(w, _, _)| w).sum();
+        self.0
+            .iter()
+            .map(|&(w, lo, hi)| w / total * (lo + hi) / 2.0)
+            .sum()
+    }
+}
+
+/// Triangular distribution on `[lo, hi]` with the given `peak`. Used for
+/// per-site visible-native-share targets.
+pub fn triangular(rng: &mut StdRng, lo: f64, peak: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= peak && peak <= hi);
+    if hi <= lo {
+        return lo;
+    }
+    let u: f64 = rng.gen();
+    let cut = (peak - lo) / (hi - lo);
+    if u < cut {
+        lo + ((hi - lo) * (peak - lo) * u).sqrt()
+    } else {
+        hi - ((hi - lo) * (hi - peak) * (1.0 - u)).sqrt()
+    }
+}
+
+/// Sample an integer uniformly in `lo..=hi` (tolerates `lo == hi`).
+pub fn int_between(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+/// Weighted choice over a slice of `(weight, value)` pairs.
+pub fn weighted<'a, T>(rng: &mut StdRng, items: &'a [(f64, T)]) -> &'a T {
+    let total: f64 = items.iter().map(|(w, _)| w).sum();
+    debug_assert!(total > 0.0, "weights must be positive");
+    let mut roll = rng.gen::<f64>() * total;
+    for (w, v) in items {
+        if roll < *w {
+            return v;
+        }
+        roll -= w;
+    }
+    &items.last().expect("non-empty items").1
+}
+
+/// A heavy-tailed length sample: with probability `1 - p_tail` uniform in
+/// the body range, otherwise log-uniform in the tail range. Models the
+/// paper's extreme alt-text outliers (Table 2's σ of 1332 chars against a
+/// median of 14; Appendix E's >1000-char examples).
+pub fn heavy_tail_len(
+    rng: &mut StdRng,
+    body: (usize, usize),
+    tail: (usize, usize),
+    p_tail: f64,
+) -> usize {
+    if rng.gen::<f64>() < p_tail {
+        let (lo, hi) = tail;
+        let (lo_f, hi_f) = ((lo.max(1)) as f64, (hi.max(2)) as f64);
+        let x: f64 = rng.gen();
+        (lo_f * (hi_f / lo_f).powf(x)).round() as usize
+    } else {
+        int_between(rng, body.0, body.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn mixture_sample_within_support() {
+        let m = RateMixture(&[(0.5, 0.0, 0.1), (0.5, 0.8, 1.0)]);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = m.sample(&mut r);
+            assert!((0.0..=1.0).contains(&v));
+            assert!(v <= 0.1 || v >= 0.8, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mixture_point_mass() {
+        let m = RateMixture(&[(1.0, 1.0, 1.0)]);
+        let mut r = rng();
+        assert_eq!(m.sample(&mut r), 1.0);
+        assert_eq!(m.mean(), 1.0);
+    }
+
+    #[test]
+    fn mixture_mean_matches_empirical() {
+        let m = RateMixture(&[(0.7, 0.0, 0.2), (0.3, 0.6, 1.0)]);
+        let mut r = rng();
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| m.sample(&mut r)).sum();
+        assert!((sum / n as f64 - m.mean()).abs() < 0.01);
+    }
+
+    #[test]
+    fn triangular_bounds_and_mode() {
+        let mut r = rng();
+        let mut below = 0;
+        for _ in 0..10_000 {
+            let v = triangular(&mut r, 0.5, 0.9, 1.0);
+            assert!((0.5..=1.0).contains(&v));
+            if v < 0.9 {
+                below += 1;
+            }
+        }
+        // With peak at 0.9 of [0.5, 1.0], P(v < 0.9) = 0.8.
+        let frac = below as f64 / 10_000.0;
+        assert!((0.75..0.85).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = rng();
+        let items = [(9.0, "a"), (1.0, "b")];
+        let mut a = 0;
+        for _ in 0..10_000 {
+            if *weighted(&mut r, &items) == "a" {
+                a += 1;
+            }
+        }
+        let frac = a as f64 / 10_000.0;
+        assert!((0.87..0.93).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn heavy_tail_mostly_body() {
+        let mut r = rng();
+        let mut tail_hits = 0;
+        for _ in 0..10_000 {
+            let v = heavy_tail_len(&mut r, (5, 30), (1000, 200_000), 0.01);
+            if v > 30 {
+                tail_hits += 1;
+                assert!(v >= 1000);
+                assert!(v <= 260_000);
+            } else {
+                assert!(v >= 5);
+            }
+        }
+        assert!((50..200).contains(&tail_hits), "tail = {tail_hits}");
+    }
+
+    #[test]
+    fn int_between_degenerate() {
+        let mut r = rng();
+        assert_eq!(int_between(&mut r, 3, 3), 3);
+        assert_eq!(int_between(&mut r, 5, 2), 5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Per-country accessibility report.
+//!
+//! Builds a dataset for one country and prints its slice of the paper's
+//! analyses: visible-vs-accessibility language mismatch, discard reasons,
+//! informative-label languages, and the worst mismatch examples.
+//!
+//! ```sh
+//! cargo run --release --example country_report -- th 150
+//! ```
+
+use langcrux::core::{analysis, build_dataset, render, PipelineOptions};
+use langcrux::lang::Country;
+use langcrux::webgen::{Corpus, CorpusConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let code = args.next().unwrap_or_else(|| "bd".to_string());
+    let sites: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(150);
+    let country = Country::from_code(&code)
+        .unwrap_or_else(|| panic!("unknown country code {code:?} (use bd, cn, dz, …)"));
+    if !country.is_study() {
+        panic!("{} is not one of the 12 study countries", country.name());
+    }
+
+    println!(
+        "{} ({}) — target language: {}",
+        country.name(),
+        country.code(),
+        country.target_language().name()
+    );
+    let corpus = Corpus::build(CorpusConfig {
+        sites_per_country: sites,
+        countries: vec![country],
+        ..CorpusConfig::default()
+    });
+    let ds = build_dataset(
+        &corpus,
+        PipelineOptions {
+            quota: sites,
+            ..PipelineOptions::default()
+        },
+    );
+    println!("dataset: {} sites\n", ds.len());
+
+    println!("— language of informative accessibility texts (Figure 4 row) —");
+    print!("{}", render::lang_distribution(&analysis::lang_distribution(&ds)));
+
+    println!("\n— discard reasons (Figure 3 row) —");
+    print!("{}", render::discards(&analysis::discard_by_country(&ds)));
+
+    println!("\n— visible vs accessibility native share (Figure 8) —");
+    let points = analysis::mismatch_scatter(&ds, country);
+    print!(
+        "{}",
+        render::scatter_density(
+            &format!("{} — x: visible native %, y: a11y native %", country.name()),
+            &points,
+            (50.0, 100.0),
+            (0.0, 100.0),
+        )
+    );
+
+    let cdfs = analysis::mismatch_cdfs(&ds);
+    if let Some(row) = cdfs.first() {
+        println!(
+            "\nsites with <10% native accessibility text: {:.1}%",
+            row.sites_below_10pct_native_a11y
+        );
+    }
+
+    if !ds.mismatch_examples.is_empty() {
+        println!("\n— example mismatches (Table 5 style) —");
+        print!(
+            "{}",
+            render::mismatch_examples(
+                &ds.mismatch_examples[..ds.mismatch_examples.len().min(6)]
+            )
+        );
+    }
+}

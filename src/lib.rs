@@ -1,0 +1,33 @@
+//! # LangCrUX
+//!
+//! A from-scratch Rust reproduction of *"Not All Visitors are Bilingual: A
+//! Measurement Study of the Multilingual Web from an Accessibility
+//! Perspective"* (IMC 2025).
+//!
+//! This facade crate re-exports every subsystem of the workspace:
+//!
+//! * [`lang`] — scripts, languages, countries, Unicode tables, UI dictionaries.
+//! * [`textgen`] — deterministic synthetic multilingual text generation.
+//! * [`html`] — HTML tokenizer, DOM, parser, visible-text extraction.
+//! * [`langid`] — script/language identification and label classification.
+//! * [`net`] — simulated geo-localized internet with VPN vantage points.
+//! * [`webgen`] — calibrated synthetic website generator + CrUX-style ranking.
+//! * [`crawl`] — Puppeteer-like browser simulation and parallel crawler.
+//! * [`audit`] — Axe/Lighthouse-like accessibility rules and scoring.
+//! * [`filter`] — uninformative accessibility-text filtering (11 categories).
+//! * [`kizuki`] — language-aware accessibility auditing extension.
+//! * [`core`] — the LangCrUX dataset pipeline, statistics and analysis.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use langcrux_audit as audit;
+pub use langcrux_core as core;
+pub use langcrux_crawl as crawl;
+pub use langcrux_filter as filter;
+pub use langcrux_html as html;
+pub use langcrux_kizuki as kizuki;
+pub use langcrux_lang as lang;
+pub use langcrux_langid as langid;
+pub use langcrux_net as net;
+pub use langcrux_textgen as textgen;
+pub use langcrux_webgen as webgen;

@@ -1,0 +1,214 @@
+//! Filter case corpus: an extensive table of realistic accessibility
+//! labels and their expected verdicts, spanning all eleven discard
+//! categories, informative text in every study language, and the
+//! boundary cases the Appendix H rules hinge on.
+
+use langcrux::filter::{classify, DiscardCategory};
+
+use DiscardCategory as C;
+
+fn assert_cases(cases: &[(&str, Option<DiscardCategory>)]) {
+    for (text, expected) in cases {
+        assert_eq!(
+            classify(text),
+            *expected,
+            "label {text:?} misclassified"
+        );
+    }
+}
+
+#[test]
+fn emoji_cases() {
+    assert_cases(&[
+        ("🙂", Some(C::Emoji)),
+        ("📷", Some(C::Emoji)),
+        ("▶ ▶ ▶", Some(C::Emoji)),
+        ("☰", Some(C::Emoji)),
+        ("⭐⭐⭐⭐⭐", Some(C::Emoji)),
+        ("→", Some(C::Emoji)),
+        // Emoji mixed with real words is not emoji-only.
+        ("new 🎉 offers today", None),
+    ]);
+}
+
+#[test]
+fn url_and_path_cases() {
+    assert_cases(&[
+        ("https://example.com/image.png", Some(C::UrlOrFilePath)),
+        ("http://news.example.bd/article/17", Some(C::UrlOrFilePath)),
+        ("www.example.co.th", Some(C::UrlOrFilePath)),
+        ("/assets/img/logo.svg", Some(C::UrlOrFilePath)),
+        ("/static/css/main.css", Some(C::UrlOrFilePath)),
+        // A bare slash-word is not a path (it falls through to the
+        // single-word rule like any other short token).
+        ("and/or", Some(C::SingleWord)),
+    ]);
+}
+
+#[test]
+fn file_name_cases() {
+    assert_cases(&[
+        ("banner_img123.jpg", Some(C::FileName)),
+        ("IMG_2047.JPG", Some(C::FileName)),
+        ("hero-image.webp", Some(C::FileName)),
+        ("report.pdf", Some(C::FileName)),
+        ("video.mp4", Some(C::FileName)),
+        ("photo of the report cover", None),
+    ]);
+}
+
+#[test]
+fn ordinal_cases() {
+    assert_cases(&[
+        ("1 of 3", Some(C::OrdinalPhrase)),
+        ("2 of 10", Some(C::OrdinalPhrase)),
+        ("3/5", Some(C::OrdinalPhrase)),
+        ("12 / 20", Some(C::OrdinalPhrase)),
+        ("one of many stories", None),
+    ]);
+}
+
+#[test]
+fn label_number_cases() {
+    assert_cases(&[
+        ("image 1", Some(C::LabelNumberPattern)),
+        ("button 2", Some(C::LabelNumberPattern)),
+        ("slide 3", Some(C::LabelNumberPattern)),
+        ("figure 5", Some(C::LabelNumberPattern)),
+        ("banner 12", Some(C::LabelNumberPattern)),
+        // Numbers first or multiple words break the pattern.
+        ("2 buttons shown here", None),
+    ]);
+}
+
+#[test]
+fn mixed_alnum_cases() {
+    assert_cases(&[
+        ("img123", Some(C::MixedAlnum)),
+        ("icon2", Some(C::MixedAlnum)),
+        ("file1", Some(C::MixedAlnum)),
+        ("ad300x250", Some(C::MixedAlnum)),
+        ("covid19 vaccination centre", None),
+    ]);
+}
+
+#[test]
+fn dev_label_cases() {
+    assert_cases(&[
+        ("btn-submit", Some(C::DevLabel)),
+        ("nav_menu", Some(C::DevLabel)),
+        ("carousel-item-4", Some(C::DevLabel)),
+        ("navbarToggle", Some(C::DevLabel)),
+        ("mainHeaderLogo", Some(C::DevLabel)),
+        ("hdr_logo", Some(C::DevLabel)),
+        // Hyphenated natural compounds with spaces are fine.
+        ("well-known local landmark", None),
+    ]);
+}
+
+#[test]
+fn too_short_cases() {
+    assert_cases(&[
+        ("go", Some(C::TooShort)),
+        ("ok", Some(C::TooShort)),
+        ("x", Some(C::TooShort)),
+        ("图", Some(C::TooShort)),   // CJK limit is 1 char
+        ("..", Some(C::TooShort)),
+        (">>", Some(C::TooShort)),
+    ]);
+}
+
+#[test]
+fn generic_action_cases() {
+    assert_cases(&[
+        ("close", Some(C::GenericAction)),
+        ("search", Some(C::GenericAction)),
+        ("Read More", Some(C::GenericAction)),
+        ("toggle navigation", Some(C::GenericAction)),
+        ("닫기", Some(C::GenericAction)),
+        ("検索", Some(C::GenericAction)),
+        ("поиск", Some(C::GenericAction)),
+        ("بحث", Some(C::GenericAction)),
+        ("ค้นหา", Some(C::GenericAction)),
+        // A non-dictionary Hebrew token is not an action; it falls
+        // through to the single-word rule.
+        ("אנוסנדהאן", Some(C::SingleWord)),
+    ]);
+}
+
+#[test]
+fn placeholder_cases() {
+    assert_cases(&[
+        ("image", Some(C::Placeholder)),
+        ("icon", Some(C::Placeholder)),
+        ("button", Some(C::Placeholder)),
+        ("Logo", Some(C::Placeholder)),
+        ("placeholder", Some(C::Placeholder)),
+        ("图像", Some(C::Placeholder)),
+        ("画像", Some(C::Placeholder)),
+        ("이미지", Some(C::Placeholder)),
+        ("изображение", Some(C::Placeholder)),
+        ("תמונה", Some(C::Placeholder)),
+        ("صورة", Some(C::Placeholder)),
+        ("รูปภาพ", Some(C::Placeholder)),
+    ]);
+}
+
+#[test]
+fn single_word_cases() {
+    assert_cases(&[
+        ("photo", Some(C::SingleWord)),
+        ("economy", Some(C::SingleWord)),
+        ("sports", Some(C::SingleWord)),
+        ("Budget", Some(C::SingleWord)),
+        // Long single tokens carry meaning and are kept.
+        ("chrysanthemum", None),
+        ("Thiruvananthapuram", None),
+        // CJK single tokens are exempt from the single-word rule.
+        ("歴史博物館", None),
+        ("경복궁", None),
+        // Thai short token is a single word; a long one is a phrase.
+        ("แผนที่", Some(C::SingleWord)),
+        ("ตลาดน้ำดำเนินสะดวก", None),
+    ]);
+}
+
+#[test]
+fn informative_labels_survive_in_every_study_language() {
+    // A descriptive multi-word (or CJK multi-char) label per language.
+    let informative = [
+        "minister presents the annual budget",        // English
+        "শিক্ষার্থীরা বিদ্যালয়ের বাগানে গাছ লাগাচ্ছে",      // Bangla
+        "नदी के किनारे वार्षिक मेले की तस्वीर",           // Hindi
+        "صورة السوق القديم في وسط المدينة",              // Arabic
+        "вид на старый мост через реку",               // Russian
+        "渋谷の交差点を渡る人々の様子",                    // Japanese
+        "경복궁에서 열린 가을 축제 사진",                   // Korean
+        "ภาพบรรยากาศตลาดน้ำยามเช้า",                    // Thai
+        "άποψη του λιμανιού το ηλιοβασίλεμα",          // Greek
+        "תמונת הנמל בשקיעה מהטיילת",                    // Hebrew
+        "維多利亞港夜景全貌",                             // Cantonese (trad.)
+        "人民广场上的节日庆典",                           // Mandarin (simp.)
+    ];
+    for label in informative {
+        assert_eq!(classify(label), None, "informative label {label:?} was discarded");
+    }
+}
+
+#[test]
+fn priority_resolution_on_overlapping_labels() {
+    // Labels that match several rules resolve by the documented priority.
+    assert_cases(&[
+        // FileName beats DevLabel (has separator AND extension).
+        ("btn-close.png", Some(C::FileName)),
+        // UrlOrFilePath beats FileName (path prefix wins).
+        ("/img/btn-close.png", Some(C::UrlOrFilePath)),
+        // TooShort beats GenericAction ("go" is in the action dictionary).
+        ("go", Some(C::TooShort)),
+        // LabelNumberPattern beats Placeholder ("image" alone would be a
+        // placeholder).
+        ("image 4", Some(C::LabelNumberPattern)),
+        // MixedAlnum beats DevLabel for separator-free tokens.
+        ("img123", Some(C::MixedAlnum)),
+    ]);
+}

@@ -1,0 +1,128 @@
+//! Language-identification case corpus: realistic short labels and
+//! passages across every study script, plus the disambiguation pairs the
+//! paper calls out (§2: "For overlapping scripts, such as Arabic and Urdu,
+//! we include additional language-specific characters").
+
+use langcrux::lang::Language;
+use langcrux::langid::{classify_label, composition, detect, LabelLanguage};
+
+#[test]
+fn detect_study_language_passages() {
+    let cases: &[(&str, Language)] = &[
+        ("আজকের সংবাদ শিরোনাম এবং আবহাওয়ার খবর", Language::Bangla),
+        ("आज की मुख्य ख़बरें और मौसम की जानकारी", Language::Hindi),
+        ("أخبار اليوم الرئيسية وحالة الطقس", Language::ModernStandardArabic),
+        ("Главные новости дня и прогноз погоды", Language::Russian),
+        ("今日の主要ニュースと天気予報です", Language::Japanese),
+        ("오늘의 주요 뉴스와 일기 예보입니다", Language::Korean),
+        ("ข่าวเด่นวันนี้และพยากรณ์อากาศ", Language::Thai),
+        ("Οι κυριότερες ειδήσεις της ημέρας", Language::Greek),
+        ("החדשות המרכזיות של היום ותחזית", Language::Hebrew),
+        ("今日头条新闻和天气预报", Language::MandarinChinese),
+        ("the main news of the day", Language::English),
+    ];
+    for (text, expected) in cases {
+        assert_eq!(detect(text), Some(*expected), "{text:?}");
+    }
+}
+
+#[test]
+fn detect_disambiguation_pairs() {
+    // Urdu vs MSA: retroflex/aspirate letters decide.
+    assert_eq!(
+        detect("یہ ایک اردو جملہ ہے ٹھیک ہے"),
+        Some(Language::Urdu)
+    );
+    assert_eq!(
+        detect("هذه جملة باللغة العربية الفصحى"),
+        Some(Language::ModernStandardArabic)
+    );
+    // Hindi vs Marathi: ळ decides.
+    assert_eq!(detect("मराठी भाषेतील बातम्या आणि जळगाव"), Some(Language::Marathi));
+    assert_eq!(detect("हिंदी समाचार और जानकारी"), Some(Language::Hindi));
+    // Mandarin vs Cantonese vs Japanese over shared Han.
+    assert_eq!(detect("今天的新闻报道"), Some(Language::MandarinChinese));
+    assert_eq!(detect("今日嘅新聞報道係咁嘅"), Some(Language::Cantonese));
+    assert_eq!(detect("今日のニュース"), Some(Language::Japanese));
+}
+
+#[test]
+fn classify_label_matrix() {
+    use LabelLanguage as L;
+    let cases: &[(&str, Language, LabelLanguage)] = &[
+        // Pure native in several scripts.
+        ("নদীর ধারে সূর্যাস্ত", Language::Bangla, L::Native),
+        ("ภาพตลาดน้ำยามเช้า", Language::Thai, L::Native),
+        ("صورة الميناء القديم", Language::EgyptianArabic, L::Native),
+        // Pure English on non-English pages.
+        ("sunset over the harbor", Language::Bangla, L::English),
+        ("download the annual report", Language::Korean, L::English),
+        // Genuinely mixed.
+        ("ดาวน์โหลด app ใหม่", Language::Thai, L::Mixed),
+        ("Φωτογραφία από το event", Language::Greek, L::Mixed),
+        ("스마트폰 app 다운로드 안내", Language::Korean, L::Mixed),
+        // Third-language text.
+        ("изображение дня", Language::Thai, L::OtherLanguage),
+        ("日本語のラベル", Language::Russian, L::OtherLanguage),
+        // No linguistic content.
+        ("12 / 24", Language::Thai, L::NonLinguistic),
+        ("★★★☆☆", Language::Hebrew, L::NonLinguistic),
+    ];
+    for (text, native, expected) in cases {
+        assert_eq!(
+            classify_label(text, *native),
+            *expected,
+            "{text:?} vs {native:?}"
+        );
+    }
+}
+
+#[test]
+fn composition_tracks_mixture_ratio() {
+    // Build strings with a known native:English character balance and
+    // confirm the measured shares move monotonically.
+    let native_block = "ありがとうございました"; // 11 Japanese chars
+    let english_block = "hello world"; // 10 Latin chars
+    let mostly_native = format!("{native_block}{native_block} {english_block}");
+    let balanced = format!("{native_block} {english_block}{english_block}");
+    let a = composition(&mostly_native, Language::Japanese);
+    let b = composition(&balanced, Language::Japanese);
+    assert!(a.native_pct > b.native_pct);
+    assert!(a.english_pct < b.english_pct);
+    assert!(a.native_pct > 60.0 && b.native_pct < 45.0);
+}
+
+#[test]
+fn evidence_scripts_do_not_bleed_between_countries() {
+    // Korean text must contribute zero native share on every non-Korean
+    // study page, and vice versa for each unique-script pair.
+    let korean = "오늘의 주요 뉴스";
+    for lang in [
+        Language::Bangla,
+        Language::Thai,
+        Language::Greek,
+        Language::Hebrew,
+        Language::Russian,
+        Language::Hindi,
+    ] {
+        let c = composition(korean, lang);
+        assert_eq!(c.native_pct, 0.0, "{lang:?} claimed Korean evidence");
+        assert!(c.other_pct > 99.0);
+    }
+}
+
+#[test]
+fn shared_arabic_script_counts_for_both_dialect_pages() {
+    // MSA text on an Egyptian-Arabic page is native evidence (shared
+    // script) — the paper treats Arabic as one script family per country.
+    let msa = "أخبار اليوم الرئيسية";
+    let c = composition(msa, Language::EgyptianArabic);
+    assert!(c.native_pct > 99.0);
+}
+
+#[test]
+fn digits_and_punctuation_never_move_shares() {
+    let base = composition("ข่าววันนี้", Language::Thai);
+    let noisy = composition("ข่าววันนี้ 2025 — #1!", Language::Thai);
+    assert!((base.native_pct - noisy.native_pct).abs() < 1e-9);
+}

@@ -1,0 +1,414 @@
+//! The fidelity contract: end-to-end shape assertions.
+//!
+//! These tests build a quick-scale dataset through the *entire* pipeline
+//! (corpus → simulated network → VPN crawl → extraction → filtering →
+//! classification → audits) and assert the paper's qualitative findings —
+//! orderings, thresholds, crossovers — hold on the measured output. They
+//! are the executable version of EXPERIMENTS.md.
+
+use langcrux::core::analysis;
+use langcrux::core::Dataset;
+use langcrux::filter::DiscardCategory;
+use langcrux::lang::a11y::ElementKind;
+use langcrux::lang::Country;
+use std::sync::OnceLock;
+
+/// One shared quick-scale dataset for all shape tests (building it is the
+/// expensive part; the assertions are cheap).
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let corpus = langcrux::webgen::Corpus::build(langcrux::webgen::CorpusConfig {
+            seed: 0x5EED,
+            sites_per_country: 150,
+            ..Default::default()
+        });
+        langcrux::core::build_dataset(
+            &corpus,
+            langcrux::core::PipelineOptions {
+                quota: 150,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn fig4_row(ds: &Dataset, code: &str) -> analysis::LangDistRow {
+    analysis::lang_distribution(ds)
+        .into_iter()
+        .find(|r| r.country_code == code)
+        .expect("country present")
+}
+
+#[test]
+fn dataset_reaches_quota_everywhere() {
+    let ds = dataset();
+    assert_eq!(ds.len(), 150 * 12);
+    for c in Country::STUDY {
+        assert_eq!(ds.in_country(c).count(), 150, "{c:?}");
+    }
+}
+
+// ---------------------------------------------------------------- Table 2
+
+#[test]
+fn table2_label_is_least_labelled_and_image_alt_most() {
+    let rows = analysis::table2(dataset());
+    let get = |k: ElementKind| rows.iter().find(|r| r.kind == k).unwrap();
+    // Paper: label misses 98.55% on average — the worst of all kinds.
+    let label = get(ElementKind::Label);
+    assert!(label.missing.mean > 93.0, "label missing {}", label.missing.mean);
+    // Paper: image-alt has by far the lowest missing rate (17.12%)…
+    let image = get(ElementKind::ImageAlt);
+    assert!(image.missing.mean < 30.0, "image missing {}", image.missing.mean);
+    for row in &rows {
+        if row.kind != ElementKind::ImageAlt && row.missing.count > 0 {
+            assert!(
+                row.missing.mean > image.missing.mean,
+                "{:?} should miss more than image-alt",
+                row.kind
+            );
+        }
+    }
+    // …and the highest empty rate (25.39%).
+    for row in &rows {
+        if row.kind != ElementKind::ImageAlt && row.empty.count > 0 {
+            assert!(
+                row.empty.mean < image.empty.mean,
+                "{:?} should be empty less often than image-alt",
+                row.kind
+            );
+        }
+    }
+    assert!(image.empty.mean > 12.0, "image empty {}", image.empty.mean);
+}
+
+#[test]
+fn table2_link_names_are_longest_and_extremes_exist() {
+    let rows = analysis::table2(dataset());
+    let get = |k: ElementKind| rows.iter().find(|r| r.kind == k).unwrap();
+    // Paper: link-name has the highest median text length (22 chars) and
+    // summary-name the lowest (5 chars).
+    let link = get(ElementKind::LinkName);
+    let summary = get(ElementKind::SummaryName);
+    assert!(link.text_len.median > summary.text_len.median);
+    // Paper: image-alt's maximum runs to six figures (261,864 chars).
+    let image = get(ElementKind::ImageAlt);
+    assert!(image.text_len.max > 1_000.0, "max alt {}", image.text_len.max);
+    assert!(
+        image.text_len.max > 20.0 * image.text_len.median,
+        "image-alt extremes missing"
+    );
+}
+
+#[test]
+fn table2_per_site_missing_medians_saturate() {
+    // Paper: median per-site missing rate is 100% for label, link-name,
+    // input-button-name, object-alt, select-name, summary-name, svg-img-alt.
+    let rows = analysis::table2(dataset());
+    for kind in [
+        ElementKind::Label,
+        ElementKind::LinkName,
+        ElementKind::InputButtonName,
+        ElementKind::SvgImgAlt,
+    ] {
+        let row = rows.iter().find(|r| r.kind == kind).unwrap();
+        assert!(
+            row.missing.median > 99.0,
+            "{kind:?} median {}",
+            row.missing.median
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+#[test]
+fn fig3_single_word_ordering() {
+    let rows = analysis::discard_by_country(dataset());
+    let single = |code: &str| {
+        let idx = DiscardCategory::ALL
+            .iter()
+            .position(|c| *c == DiscardCategory::SingleWord)
+            .unwrap();
+        rows.iter().find(|r| r.label == code).unwrap().pct[idx]
+    };
+    // Paper: Thailand tops single-word labels (>33%); Russia second
+    // (22.2%); Bangladesh lowest (6.9%).
+    assert!(single("th") > 25.0, "th single-word {}", single("th"));
+    assert!(single("th") > single("ru"));
+    assert!(single("ru") > single("gr"));
+    for code in ["cn", "dz", "eg", "gr", "hk", "il", "in", "jp", "kr", "ru", "th"] {
+        assert!(
+            single(code) > single("bd"),
+            "bd should have the lowest single-word rate ({} vs {})",
+            single("bd"),
+            code
+        );
+    }
+}
+
+#[test]
+fn fig3_url_paths_concentrate_in_hk_kr_ru() {
+    let rows = analysis::discard_by_country(dataset());
+    let url = |code: &str| {
+        let idx = DiscardCategory::ALL
+            .iter()
+            .position(|c| *c == DiscardCategory::UrlOrFilePath)
+            .unwrap();
+        rows.iter().find(|r| r.label == code).unwrap().pct[idx]
+    };
+    // Paper: hk 3.8%, kr 3.5%, ru 3.17% are the top three.
+    let top3 = [url("hk"), url("kr"), url("ru")];
+    for code in ["bd", "dz", "eg", "gr", "jp", "th"] {
+        let low = url(code);
+        assert!(
+            top3.iter().filter(|t| **t > low).count() >= 2,
+            "{code} URL rate {low} not below the hk/kr/ru cluster {top3:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+#[test]
+fn fig4_bangladesh_is_most_english() {
+    let ds = dataset();
+    let bd = fig4_row(ds, "bd");
+    // Paper: 79% of Bangladesh's informative a11y texts are English — the
+    // highest of all countries.
+    assert!(
+        (bd.english_pct - 79.0).abs() < 8.0,
+        "bd english {}",
+        bd.english_pct
+    );
+    for c in Country::STUDY {
+        if c != Country::Bangladesh {
+            let row = fig4_row(ds, c.code());
+            assert!(
+                row.english_pct < bd.english_pct,
+                "{} more English than bd",
+                c.code()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig4_mixed_labels_concentrate_in_gr_th_hk() {
+    let ds = dataset();
+    // Paper: mixed-language hints are most common in Greece (35%),
+    // Thailand (34%), Hong Kong (30%).
+    let mut rows = analysis::lang_distribution(ds);
+    rows.sort_by(|a, b| b.mixed_pct.total_cmp(&a.mixed_pct));
+    let top3: Vec<&str> = rows[..3].iter().map(|r| r.country_code.as_str()).collect();
+    for code in ["gr", "th"] {
+        assert!(top3.contains(&code), "{code} not in mixed top-3 {top3:?}");
+    }
+    let hk_rank = rows.iter().position(|r| r.country_code == "hk").unwrap();
+    assert!(hk_rank <= 4, "hk mixed rank {hk_rank}");
+    // And >20% mixed in China, Russia, Japan, India (paper §3).
+    for code in ["cn", "ru", "jp", "in"] {
+        let row = rows.iter().find(|r| r.country_code == code).unwrap();
+        assert!(row.mixed_pct > 15.0, "{code} mixed {}", row.mixed_pct);
+    }
+}
+
+#[test]
+fn fig4_japan_israel_most_native() {
+    let ds = dataset();
+    let jp = fig4_row(ds, "jp");
+    let il = fig4_row(ds, "il");
+    let bd = fig4_row(ds, "bd");
+    assert!(jp.native_pct > 35.0);
+    assert!(il.native_pct > 35.0);
+    assert!(bd.native_pct < 15.0);
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+#[test]
+fn fig5_mismatch_anchors() {
+    let cdfs = analysis::mismatch_cdfs(dataset());
+    let below10 = |code: &str| {
+        cdfs.iter()
+            .find(|c| c.country_code == code)
+            .unwrap()
+            .sites_below_10pct_native_a11y
+    };
+    // Paper §4: "in countries like India and Bangladesh … over 40% of
+    // websites have less than 10% of their accessibility text in the
+    // native language."
+    assert!(below10("bd") > 40.0, "bd {}", below10("bd"));
+    assert!(below10("in") > 40.0, "in {}", below10("in"));
+    // "Thailand, China, and Hong Kong also show similar trends, with more
+    // than a quarter of their websites falling into this category."
+    for code in ["th", "cn", "hk"] {
+        assert!(below10(code) > 25.0, "{code} {}", below10(code));
+    }
+    // "Japan and Israel have significantly lower rates … fewer than 10%."
+    // (A floor of a few percent comes from sites whose accessibility text
+    // is too sparse to contain any native label at all.)
+    for code in ["jp", "il"] {
+        assert!(below10(code) < 13.0, "{code} {}", below10(code));
+    }
+    // The low-mismatch countries must be far below the high ones.
+    assert!(below10("bd") > 3.0 * below10("jp"));
+}
+
+#[test]
+fn fig5_visible_always_above_50() {
+    // Every selected site passed the 50% visible-native threshold, so the
+    // visible CDF must be 0 at 50.
+    for row in analysis::mismatch_cdfs(dataset()) {
+        assert_eq!(
+            row.visible.at(49.9),
+            0.0,
+            "{}: selected site below the visible threshold",
+            row.country_code
+        );
+    }
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+#[test]
+fn fig6_kizuki_shifts_scores_down() {
+    let shift = analysis::kizuki_shift(dataset(), &[Country::Bangladesh, Country::Thailand]);
+    assert!(shift.eligible_sites > 50);
+    // Paper: 43% above 90 before, 15.8% after; 5.6% perfect before, 1.8%
+    // after. Shape: both drop by roughly 2.5–3×.
+    assert!(
+        shift.old_above_90_pct > 25.0 && shift.old_above_90_pct < 60.0,
+        "old above-90 {}",
+        shift.old_above_90_pct
+    );
+    assert!(
+        shift.new_above_90_pct < 0.6 * shift.old_above_90_pct,
+        "Kizuki drop too small: {} -> {}",
+        shift.old_above_90_pct,
+        shift.new_above_90_pct
+    );
+    assert!(shift.new_perfect_pct <= shift.old_perfect_pct);
+    // Scores only ever move down.
+    for record in dataset().records.iter() {
+        assert!(record.kizuki_score <= record.base_score + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+#[test]
+fn fig7_india_long_tail() {
+    let ds = dataset();
+    let india_max = ds
+        .in_country(Country::India)
+        .map(|r| r.rank)
+        .max()
+        .unwrap();
+    assert!(india_max > 200_000, "india max rank {india_max}");
+    for c in Country::STUDY {
+        if c != Country::India {
+            // Replacement descent may push a few sites slightly past the
+            // country's modelled maximum (≤ 200k for every non-India
+            // country); India's tail must dwarf them.
+            let max = ds.in_country(c).map(|r| r.rank).max().unwrap();
+            assert!(max <= 300_000, "{c:?} max rank {max}");
+            assert!(max < india_max, "{c:?} deeper than India");
+        }
+    }
+    // Most countries concentrate within the top 50k (paper, Appendix C).
+    let grid = analysis::rank_heatmap(ds);
+    let col = |code: &str| grid.cols.iter().position(|c| c == code).unwrap();
+    for code in ["jp", "kr", "cn"] {
+        let c = col(code);
+        let top50k: u64 = (0..4).map(|r| grid.get(r, c)).sum();
+        let total = grid.col_total(c);
+        assert!(
+            top50k as f64 / total as f64 > 0.8,
+            "{code}: only {top50k}/{total} within top 50k"
+        );
+    }
+}
+
+// ------------------------------------------------------------- Figure 9
+
+#[test]
+fn fig9_summary_dominated_by_generic_and_single_word() {
+    let rows = analysis::discard_by_element(dataset());
+    let summary = rows.iter().find(|r| r.label == "summary-name").unwrap();
+    let idx = |cat: DiscardCategory| {
+        DiscardCategory::ALL.iter().position(|c| *c == cat).unwrap()
+    };
+    // Paper: summary shows the highest generic-action (42.9%) and
+    // single-word (40.5%) rates — minimal semantic value.
+    let generic = summary.pct[idx(DiscardCategory::GenericAction)];
+    let single = summary.pct[idx(DiscardCategory::SingleWord)];
+    assert!(generic + single > 30.0, "summary {generic} + {single}");
+    for row in &rows {
+        if row.total_texts > 0 && row.label != "summary-name" {
+            let g = row.pct[idx(DiscardCategory::GenericAction)];
+            assert!(
+                generic >= g,
+                "summary generic {generic} < {} of {}",
+                g,
+                row.label
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------- Tables 4 and 5
+
+#[test]
+fn tables_4_and_5_examples_captured() {
+    let ds = dataset();
+    assert!(
+        !ds.extreme_examples.is_empty(),
+        "no >1000-char alt texts captured"
+    );
+    for e in &ds.extreme_examples {
+        assert!(e.chars > 1_000);
+        assert!(!e.preview.is_empty());
+    }
+    assert!(
+        !ds.mismatch_examples.is_empty(),
+        "no visible/a11y mismatch examples captured"
+    );
+    for m in &ds.mismatch_examples {
+        assert!(m.visible_native_pct >= 90.0);
+    }
+}
+
+// ------------------------------------------------- X3 (declared language)
+
+#[test]
+fn x3_declared_lang_is_often_absent_or_wrong() {
+    // §1: screen readers depend on language metadata that is frequently
+    // "absent, incorrect, or inconsistent with the visible text".
+    let rows = analysis::declared_lang(dataset());
+    assert_eq!(rows.len(), 12);
+    for row in &rows {
+        assert!(
+            (row.declared_pct + row.absent_pct - 100.0).abs() < 1e-9,
+            "{}: declared + absent != 100",
+            row.country_code
+        );
+        assert!(
+            (row.correct_pct + row.incorrect_pct - row.declared_pct).abs() < 1e-9,
+            "{}: correct + incorrect != declared",
+            row.country_code
+        );
+        // The unreliability finding: a material share of sites has absent
+        // or wrong metadata.
+        assert!(
+            row.absent_pct + row.incorrect_pct > 20.0,
+            "{}: metadata suspiciously reliable ({}% absent, {}% wrong)",
+            row.country_code,
+            row.absent_pct,
+            row.incorrect_pct
+        );
+        // But correct declarations still dominate among declaring sites.
+        assert!(row.correct_pct > row.incorrect_pct, "{}", row.country_code);
+    }
+}

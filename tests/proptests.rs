@@ -1,0 +1,165 @@
+//! Workspace-level property tests on core invariants.
+
+use langcrux::core::stats::{percentile, Cdf, Histogram, Summary};
+use langcrux::filter::classify;
+use langcrux::lang::script::ScriptHistogram;
+use langcrux::lang::{rng, Language};
+use langcrux::langid::{classify_label, composition, detect, LabelLanguage};
+use langcrux::net::{FaultDice, FaultPlan, Url};
+use langcrux::textgen::TextGenerator;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------------------------------------------------------- stats
+
+    #[test]
+    fn summary_bounds_hold(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values);
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        // Mean matches a direct computation.
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_is_permutation_invariant(mut values in prop::collection::vec(-100f64..100.0, 2..50)) {
+        let a = Summary::of(&values);
+        values.reverse();
+        let b = Summary::of(&values);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(values in prop::collection::vec(-1e3f64..1e3, 0..100),
+                                   grid in prop::collection::vec(-1e3f64..1e3, 1..20)) {
+        let cdf = Cdf::of(&values);
+        let mut sorted_grid = grid;
+        sorted_grid.sort_by(|a, b| a.total_cmp(b));
+        let mut last = 0.0f64;
+        for x in sorted_grid {
+            let y = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= last);
+            last = y;
+        }
+    }
+
+    #[test]
+    fn percentile_within_range(values in prop::collection::vec(-1e3f64..1e3, 1..100),
+                               p in 0.0f64..100.0) {
+        let v = percentile(&values, p);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn histogram_conserves_count(values in prop::collection::vec(-50f64..150.0, 0..300)) {
+        let mut h = Histogram::uniform(0.0, 100.0, 10);
+        for v in &values {
+            h.add(*v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+    }
+
+    // --------------------------------------------------------------- filter
+
+    #[test]
+    fn filter_never_panics(text in "\\PC{0,120}") {
+        let _ = classify(&text);
+    }
+
+    #[test]
+    fn filter_is_trim_stable(text in "[a-zA-Z0-9 .:/_-]{0,60}") {
+        // Padding with outer whitespace must not change the verdict.
+        let padded = format!("  {text}\t");
+        prop_assert_eq!(classify(&text), classify(&padded));
+    }
+
+    // --------------------------------------------------------------- langid
+
+    #[test]
+    fn composition_percentages_are_consistent(text in "\\PC{0,200}") {
+        let c = composition(&text, Language::Thai);
+        if c.has_evidence() {
+            prop_assert!((c.native_pct + c.english_pct + c.other_pct - 100.0).abs() < 1e-6);
+            prop_assert!(c.native_pct >= 0.0 && c.native_pct <= 100.0);
+        } else {
+            prop_assert_eq!(c.native_pct, 0.0);
+        }
+    }
+
+    #[test]
+    fn classification_stable_under_self_concatenation(seed in 0u64..5000) {
+        // A label concatenated with itself has identical shares, so its
+        // class must not change.
+        let mut gen = TextGenerator::new(Language::Greek, seed);
+        let label = gen.phrase(2, 5);
+        let doubled = format!("{label} {label}");
+        prop_assert_eq!(
+            classify_label(&label, Language::Greek),
+            classify_label(&doubled, Language::Greek)
+        );
+    }
+
+    #[test]
+    fn detect_never_panics(text in "\\PC{0,150}") {
+        let _ = detect(&text);
+    }
+
+    #[test]
+    fn generated_native_text_classifies_native(seed in 0u64..3000) {
+        for lang in [Language::Bangla, Language::Korean, Language::Hebrew] {
+            let mut gen = TextGenerator::new(lang, seed);
+            let sentence = gen.sentence();
+            prop_assert_eq!(
+                classify_label(&sentence, lang),
+                LabelLanguage::Native,
+                "{:?}: {:?}", lang, sentence
+            );
+        }
+    }
+
+    #[test]
+    fn script_histogram_total_is_char_count(text in "\\PC{0,200}") {
+        let h = ScriptHistogram::of(&text);
+        prop_assert_eq!(h.total, text.chars().count());
+        prop_assert!(h.distinguishing_total() + h.common + h.unknown == h.total);
+    }
+
+    // ------------------------------------------------------------------ net
+
+    #[test]
+    fn url_display_reparses(host in "[a-z][a-z0-9-]{0,20}(\\.[a-z]{2,4}){1,2}",
+                            path in "(/[a-zA-Z0-9._-]{0,8}){0,4}") {
+        let input = format!("https://{host}{path}");
+        let url = Url::parse(&input).unwrap();
+        let reparsed = Url::parse(&url.to_string()).unwrap();
+        prop_assert_eq!(url, reparsed);
+    }
+
+    #[test]
+    fn fault_rolls_are_probabilities(seed in any::<u64>(), attempt in 0u32..10) {
+        use langcrux::net::fault::RollPurpose;
+        let dice = FaultDice::new(seed, "host.example", attempt);
+        for purpose in [RollPurpose::Timeout, RollPurpose::Reset, RollPurpose::GeoBlock] {
+            let roll = dice.roll(purpose);
+            prop_assert!((0.0..1.0).contains(&roll));
+        }
+        let plan = FaultPlan::default();
+        let latency = dice.latency_ms(&plan);
+        prop_assert!(latency >= plan.base_latency_ms);
+        prop_assert!(latency <= plan.base_latency_ms + plan.jitter_ms);
+    }
+
+    // ------------------------------------------------------------------ rng
+
+    #[test]
+    fn seed_derivation_is_injective_in_practice(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(rng::derive(1, &[a]), rng::derive(1, &[b]));
+    }
+}
