@@ -52,9 +52,7 @@ pub fn probe_page(kind: ElementKind, condition: Condition) -> String {
         K::SummaryName => match condition {
             C::Missing => "<details><summary></summary></details>".to_string(),
             C::Empty => r#"<details><summary aria-label=""></summary></details>"#.to_string(),
-            C::WrongLanguage => {
-                "<details><summary>english summary</summary></details>".to_string()
-            }
+            C::WrongLanguage => "<details><summary>english summary</summary></details>".to_string(),
         },
         K::Label => format!(r#"<input type="text"{}>"#, value("aria-label")),
         K::InputImageAlt => format!(r#"<input type="image" src="/b.png"{}>"#, value("alt")),
@@ -144,7 +142,11 @@ mod tests {
     #[test]
     fn probe_pages_are_parseable() {
         for kind in ElementKind::ALL {
-            for cond in [Condition::Missing, Condition::Empty, Condition::WrongLanguage] {
+            for cond in [
+                Condition::Missing,
+                Condition::Empty,
+                Condition::WrongLanguage,
+            ] {
                 let html = probe_page(kind, cond);
                 let doc = langcrux_html::parse(&html);
                 assert!(doc.len() > 1, "{kind:?}");

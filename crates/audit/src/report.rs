@@ -63,7 +63,11 @@ impl AuditReport {
         let mut total = OTHER_AUDITS_WEIGHT;
         for audit in &self.audits {
             total += audit.weight;
-            let pass = if audit.kind == kind { passed } else { audit.passed };
+            let pass = if audit.kind == kind {
+                passed
+            } else {
+                audit.passed
+            };
             if pass {
                 earned += audit.weight;
             }
@@ -125,7 +129,11 @@ mod tests {
                <button>поиск</button>
                </body></html>"#,
         );
-        assert!((report.score - 100.0).abs() < 1e-9, "score {}", report.score);
+        assert!(
+            (report.score - 100.0).abs() < 1e-9,
+            "score {}",
+            report.score
+        );
         for audit in &report.audits {
             assert!(audit.passed, "{:?}", audit.kind);
         }
@@ -161,8 +169,7 @@ mod tests {
     fn score_is_weighted() {
         // Failing image-alt (10) must cost more than failing frame-title (7).
         let img_fail = audit_html(r#"<head><title>t</title></head><img src="a">"#);
-        let frame_fail =
-            audit_html(r#"<head><title>t</title></head><iframe src="/e"></iframe>"#);
+        let frame_fail = audit_html(r#"<head><title>t</title></head><iframe src="/e"></iframe>"#);
         assert!(img_fail.score < frame_fail.score);
     }
 
@@ -181,9 +188,8 @@ mod tests {
 
     #[test]
     fn score_override_recomputes() {
-        let report = audit_html(
-            r#"<head><title>t</title></head><img src="a" alt="english text here">"#,
-        );
+        let report =
+            audit_html(r#"<head><title>t</title></head><img src="a" alt="english text here">"#);
         assert!(report.passes(ElementKind::ImageAlt));
         let downgraded = report.score_with_override(ElementKind::ImageAlt, false);
         assert!(downgraded < report.score);

@@ -77,23 +77,17 @@ pub fn element_passes(element: &ExtractedElement) -> bool {
         // Fails only when there is no name from any source (attribute or
         // visible text). Empty aria-label alone does not fail a button
         // that has no other name in Lighthouse's observed behaviour.
-        ElementKind::ButtonName => {
-            accessible_name(element).is_some() || element.is_empty_text()
-        }
+        ElementKind::ButtonName => accessible_name(element).is_some() || element.is_empty_text(),
         // Passes when absent; fails when present but empty.
-        ElementKind::DocumentTitle => {
-            element.is_missing() || element.content().is_some()
-        }
+        ElementKind::DocumentTitle => element.is_missing() || element.content().is_some(),
         // Fails when missing or empty.
-        ElementKind::FrameTitle
-        | ElementKind::InputImageAlt
-        | ElementKind::SelectName => element.content().is_some(),
+        ElementKind::FrameTitle | ElementKind::InputImageAlt | ElementKind::SelectName => {
+            element.content().is_some()
+        }
         // alt="" passes (decorative); missing alt fails.
         ElementKind::ImageAlt => !element.is_missing(),
         // Missing `value` renders a browser default; empty fails.
-        ElementKind::InputButtonName => {
-            element.is_missing() || element.content().is_some()
-        }
+        ElementKind::InputButtonName => element.is_missing() || element.content().is_some(),
         // Lenient rules: never fail.
         ElementKind::Label | ElementKind::SummaryName | ElementKind::SvgImgAlt => true,
         // Fail when no accessible name resolves (attribute or inner text).
@@ -157,9 +151,21 @@ mod tests {
 
     #[test]
     fn fallback_rescues_buttons_and_links() {
-        assert!(element_passes(&el(ElementKind::ButtonName, None, Some("Login"))));
-        assert!(element_passes(&el(ElementKind::LinkName, None, Some("читать"))));
-        assert!(!element_passes(&el(ElementKind::LinkName, None, Some("   "))));
+        assert!(element_passes(&el(
+            ElementKind::ButtonName,
+            None,
+            Some("Login")
+        )));
+        assert!(element_passes(&el(
+            ElementKind::LinkName,
+            None,
+            Some("читать")
+        )));
+        assert!(!element_passes(&el(
+            ElementKind::LinkName,
+            None,
+            Some("   ")
+        )));
         assert!(element_passes(&el(
             ElementKind::LinkName,
             Some(""),

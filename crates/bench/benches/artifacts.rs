@@ -42,9 +42,7 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| analysis::mismatch_cdfs(black_box(ds)))
     });
     group.bench_function("fig6_kizuki_rescore", |b| {
-        b.iter(|| {
-            analysis::kizuki_shift(black_box(ds), &[Country::Bangladesh, Country::Thailand])
-        })
+        b.iter(|| analysis::kizuki_shift(black_box(ds), &[Country::Bangladesh, Country::Thailand]))
     });
     group.bench_function("fig7_rank_distribution", |b| {
         b.iter(|| analysis::rank_heatmap(black_box(ds)))

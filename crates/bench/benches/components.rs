@@ -77,5 +77,11 @@ fn bench_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_html, bench_langid, bench_filter, bench_generation);
+criterion_group!(
+    benches,
+    bench_html,
+    bench_langid,
+    bench_filter,
+    bench_generation
+);
 criterion_main!(benches);

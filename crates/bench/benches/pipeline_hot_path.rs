@@ -1,0 +1,107 @@
+//! The fused-engine Criterion group: before/after microbenches for every
+//! layer the single-pass refactor touched, plus the end-to-end pipeline.
+//!
+//! Run with `cargo bench -p langcrux-bench --bench pipeline_hot_path`.
+//! The machine-readable before/after record lives in `BENCH_pipeline.json`
+//! (regenerate via `cargo run --release -p langcrux-bench --bin repro --
+//! --bench-json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use langcrux_bench::{baseline, build_corpus, Scale};
+use langcrux_core::{build_dataset, PipelineOptions};
+use langcrux_html::{parse, visible_text, visible_text_histogram};
+use langcrux_lang::script::{script_of, ScriptHistogram};
+use langcrux_lang::{Country, Language};
+use langcrux_langid::{classify_label, composition, composition_of_histogram};
+use langcrux_net::ContentVariant;
+use langcrux_textgen::TextGenerator;
+use langcrux_webgen::{render, SitePlan};
+
+fn sample_page() -> String {
+    let plan = SitePlan::build(42, Country::Thailand, 0, Some(true));
+    render(&plan, ContentVariant::Localized, "/").0
+}
+
+/// Layer 1: the DOM walk. Fused text+histogram vs walk-then-rescan.
+fn bench_fused_extraction(c: &mut Criterion) {
+    let html = sample_page();
+    let doc = parse(&html);
+    let mut group = c.benchmark_group("fused_extraction");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("visible_text_then_rescan", |b| {
+        b.iter(|| {
+            let text = visible_text(black_box(&doc));
+            ScriptHistogram::of(&text)
+        })
+    });
+    group.bench_function("visible_text_histogram_fused", |b| {
+        b.iter(|| visible_text_histogram(black_box(&doc)))
+    });
+    group.finish();
+}
+
+/// Layer 2: per-character script lookup and per-label classification.
+fn bench_script_tables(c: &mut Criterion) {
+    let mut gen = TextGenerator::new(Language::Japanese, 7);
+    let paragraph = gen.paragraph(30);
+    let label = gen.phrase(3, 5);
+    let mut group = c.benchmark_group("script_lookup");
+    group.throughput(Throughput::Elements(paragraph.chars().count() as u64));
+    group.bench_function("script_of_paragraph", |b| {
+        b.iter(|| {
+            paragraph
+                .chars()
+                .map(|ch| script_of(black_box(ch)) as usize)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("histogram_of_paragraph", |b| {
+        b.iter(|| ScriptHistogram::of(black_box(&paragraph)))
+    });
+    group.bench_function("classify_label_stack_histogram", |b| {
+        b.iter(|| classify_label(black_box(&label), Language::Japanese))
+    });
+    group.finish();
+}
+
+/// Layer 3: selection's composition — carried histogram vs text re-scan.
+fn bench_composition(c: &mut Criterion) {
+    let mut gen = TextGenerator::new(Language::Thai, 11);
+    let page_text = gen.paragraph(60);
+    let hist = ScriptHistogram::of(&page_text);
+    let mut group = c.benchmark_group("composition");
+    group.bench_function("rescan_text", |b| {
+        b.iter(|| composition(black_box(&page_text), Language::Thai))
+    });
+    group.bench_function("carried_histogram", |b| {
+        b.iter(|| composition_of_histogram(black_box(&hist), Language::Thai))
+    });
+    group.finish();
+}
+
+/// End to end: seed pipeline vs fused engine on the same small corpus.
+fn bench_pipeline_end_to_end(c: &mut Criterion) {
+    let corpus = build_corpus(0xBEAC4, Scale::Sites(12));
+    let options = PipelineOptions {
+        quota: 12,
+        ..PipelineOptions::default()
+    };
+    let mut group = c.benchmark_group("pipeline_hot_path");
+    group.sample_size(10);
+    group.bench_function("build_dataset_seed_baseline", |b| {
+        b.iter(|| baseline::build_dataset_seed(black_box(&corpus), options))
+    });
+    group.bench_function("build_dataset_fused", |b| {
+        b.iter(|| build_dataset(black_box(&corpus), options))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fused_extraction,
+    bench_script_tables,
+    bench_composition,
+    bench_pipeline_end_to_end
+);
+criterion_main!(benches);

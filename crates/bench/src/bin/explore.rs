@@ -29,8 +29,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let json = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let ds = Dataset::from_json(&json).expect("parse dataset JSON");
 
     match command[0].as_str() {
@@ -97,7 +96,12 @@ fn site(ds: &Dataset, host: &str) {
         eprintln!("host {host:?} not in dataset");
         std::process::exit(2);
     };
-    println!("https://{}/  ({}, rank {})", record.host, record.country.name(), record.rank);
+    println!(
+        "https://{}/  ({}, rank {})",
+        record.host,
+        record.country.name(),
+        record.rank
+    );
     println!(
         "visible: {:.1}% native / {:.1}% English; declared lang: {}",
         record.visible_native_pct,
@@ -108,7 +112,11 @@ fn site(ds: &Dataset, host: &str) {
         "scores: base {:.1}, Kizuki {:.1}{}",
         record.base_score,
         record.kizuki_score,
-        if record.kizuki_eligible { "" } else { "  (fails base image-alt)" }
+        if record.kizuki_eligible {
+            ""
+        } else {
+            "  (fails base image-alt)"
+        }
     );
     let mut missing = 0;
     let mut empty = 0;
@@ -118,7 +126,9 @@ fn site(ds: &Dataset, host: &str) {
         match &e.state {
             TextState::Missing => missing += 1,
             TextState::Empty => empty += 1,
-            TextState::Present { discard: Some(_), .. } => discarded += 1,
+            TextState::Present {
+                discard: Some(_), ..
+            } => discarded += 1,
             TextState::Present { discard: None, .. } => informative += 1,
         }
     }
@@ -164,7 +174,10 @@ fn sample(ds: &Dataset, code: &str, n: usize) {
         eprintln!("unknown country code {code:?}");
         std::process::exit(2);
     };
-    println!("{:<24} {:>6} {:>9} {:>9} {:>8}", "host", "rank", "visible%", "a11y%", "score");
+    println!(
+        "{:<24} {:>6} {:>9} {:>9} {:>8}",
+        "host", "rank", "visible%", "a11y%", "score"
+    );
     for r in ds.in_country(c).take(n) {
         println!(
             "{:<24} {:>6} {:>8.1}% {:>8.1}% {:>8.1}",

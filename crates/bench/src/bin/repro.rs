@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
+//!       [--bench-json [PATH]]
 //!
 //! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
 //!         | headlines | selection | crawl
 //!         | ablation-vpn | ablation-langid | ablation-crawl
 //! ```
+//!
+//! `--bench-json` skips the artefacts and instead times the seed pipeline
+//! against the fused single-pass engine at `Scale::Quick` and
+//! `Scale::Default` (or the scale given by `--sites/--quick/--full`),
+//! writing the before/after record to `BENCH_pipeline.json` (or PATH).
+//! Run it under `--release` for meaningful numbers.
 //!
 //! The harness builds the synthetic corpus, runs the full LangCrUX
 //! pipeline, and prints the paper-format rows/series. Absolute values are
@@ -23,24 +30,36 @@ use langcrux_lang::Country;
 struct Args {
     artifacts: Vec<String>,
     scale: Scale,
+    scale_overridden: bool,
     seed: u64,
+    /// `Some(path)` when `--bench-json` was requested.
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut artifacts = Vec::new();
     let mut scale = Scale::Default;
+    let mut scale_overridden = false;
     let mut seed = DEFAULT_SEED;
-    let mut iter = std::env::args().skip(1);
+    let mut bench_json = None;
+    let mut iter = std::env::args().skip(1).peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--full" => scale = Scale::Full,
+            "--quick" => {
+                scale = Scale::Quick;
+                scale_overridden = true;
+            }
+            "--full" => {
+                scale = Scale::Full;
+                scale_overridden = true;
+            }
             "--sites" => {
                 let n = iter
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--sites requires a number");
                 scale = Scale::Sites(n);
+                scale_overridden = true;
             }
             "--seed" => {
                 seed = iter
@@ -48,9 +67,20 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed requires a u64");
             }
+            "--bench-json" => {
+                // Only a `.json`-looking token is taken as the output path,
+                // so a trailing artifact name or flag typo is not silently
+                // consumed as a file name.
+                let path = match iter.peek() {
+                    Some(next) if next.ends_with(".json") => iter.next().unwrap(),
+                    _ => "BENCH_pipeline.json".to_string(),
+                };
+                bench_json = Some(path);
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]\n\
+                    "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S] \
+                     [--bench-json [PATH]]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
                      fig5 fig6 fig7 fig8 fig9 headlines langmeta speech report selection crawl \
                      ablation-vpn ablation-langid ablation-crawl"
@@ -66,7 +96,9 @@ fn parse_args() -> Args {
     Args {
         artifacts,
         scale,
+        scale_overridden,
         seed,
+        bench_json,
     }
 }
 
@@ -74,7 +106,11 @@ fn needs_dataset(artifacts: &[String]) -> bool {
     artifacts.iter().any(|a| {
         !matches!(
             a.as_str(),
-            "table1" | "table3" | "selection" | "ablation-vpn" | "ablation-langid"
+            "table1"
+                | "table3"
+                | "selection"
+                | "ablation-vpn"
+                | "ablation-langid"
                 | "ablation-crawl"
         )
     })
@@ -86,6 +122,27 @@ fn section(title: &str) {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.bench_json {
+        let scales: Vec<Scale> = if args.scale_overridden {
+            vec![args.scale]
+        } else {
+            vec![Scale::Quick, Scale::Default]
+        };
+        eprintln!(
+            "timing seed vs fused pipeline at {} scale(s) …",
+            scales.len()
+        );
+        let report = langcrux_bench::perf::pipeline_bench_report(args.seed, &scales);
+        for t in &report.timings {
+            eprintln!(
+                "  {:<10} {:>6} sites/country: baseline {:>9.1} ms, fused {:>9.1} ms — {:.2}×",
+                t.scale, t.sites_per_country, t.baseline_ms, t.fused_ms, t.speedup
+            );
+        }
+        langcrux_bench::perf::write_bench_json(path, &report).expect("write bench json");
+        eprintln!("wrote {path}");
+        return;
+    }
     let all = args.artifacts.iter().any(|a| a == "all");
     let wants = |name: &str| all || args.artifacts.iter().any(|a| a == name);
 
@@ -150,7 +207,10 @@ fn main() {
         }
         if wants("fig4") {
             section("Figure 4 — language distribution of informative accessibility texts");
-            print!("{}", render::lang_distribution(&analysis::lang_distribution(ds)));
+            print!(
+                "{}",
+                render::lang_distribution(&analysis::lang_distribution(ds))
+            );
         }
         if wants("fig5") {
             section("Figure 5 — CDFs of native share: visible vs accessibility text");
@@ -158,8 +218,7 @@ fn main() {
         }
         if wants("fig6") {
             section("Figure 6 — scores before/after Kizuki (bd + th, image-alt passers)");
-            let shift =
-                analysis::kizuki_shift(ds, &[Country::Bangladesh, Country::Thailand]);
+            let shift = analysis::kizuki_shift(ds, &[Country::Bangladesh, Country::Thailand]);
             print!("{}", render::kizuki_shift(&shift));
         }
         if wants("fig7") {

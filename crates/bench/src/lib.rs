@@ -4,6 +4,32 @@
 //! binary (which prints every table and figure of the paper) and by the
 //! Criterion benches (one per artefact plus component microbenches and the
 //! three ablations from DESIGN.md).
+//!
+//! ## Performance tracking
+//!
+//! * [`baseline`] preserves the seed implementation's hot path (per-country
+//!   threads, visible-text re-scans, `Vec`-probed histogram, per-site
+//!   Kizuki construction) as the before side of every perf comparison.
+//! * [`perf`] times the seed baseline against the fused single-pass engine
+//!   and emits the machine-readable record `BENCH_pipeline.json`:
+//!
+//!   ```text
+//!   cargo run --release -p langcrux-bench --bin repro -- --bench-json
+//!   ```
+//!
+//!   writes `BENCH_pipeline.json` with before/after wall-clock at
+//!   `Scale::Quick` and `Scale::Default` (pass `--sites N`/`--quick`/
+//!   `--full` to time a single chosen scale, and an optional path argument
+//!   after `--bench-json` to redirect the output). Numbers depend on the
+//!   host; the JSON records `available_cores` so the fusion share and the
+//!   work-stealing parallel share can be told apart.
+//! * `cargo bench -p langcrux-bench --bench pipeline_hot_path` runs the
+//!   per-layer before/after microbenches (fused extraction vs re-scan,
+//!   table lookups, composition from the carried histogram, and the
+//!   end-to-end pipeline pair).
+
+pub mod baseline;
+pub mod perf;
 
 use langcrux_core::{build_dataset, Dataset, PipelineOptions};
 use langcrux_crawl::BrowserConfig;
@@ -181,8 +207,7 @@ pub fn speech_experience(seed: u64, sites_per_country: usize) -> Vec<SpeechExper
             let Ok(visit) = browser.visit(&Url::from_host(&plan.host), vantage) else {
                 continue;
             };
-            let utterances =
-                reader.announce_page(&visit.extract, country.target_language());
+            let utterances = reader.announce_page(&visit.extract, country.target_language());
             stats.merge(&SpeechStats::of(&utterances));
         }
         let total = f64::from(stats.total().max(1));

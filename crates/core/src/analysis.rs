@@ -249,10 +249,7 @@ pub fn mismatch_cdfs(ds: &Dataset) -> Vec<MismatchCdfs> {
                 .in_country(country)
                 .map(|r| r.visible_native_pct)
                 .collect();
-            let a11y: Vec<f64> = ds
-                .in_country(country)
-                .map(site_a11y_native_pct)
-                .collect();
+            let a11y: Vec<f64> = ds.in_country(country).map(site_a11y_native_pct).collect();
             let below = if a11y.is_empty() {
                 0.0
             } else {
@@ -284,10 +281,7 @@ pub fn mismatch_correlation(ds: &Dataset) -> Vec<(String, Option<f64>)> {
         .into_iter()
         .map(|country| {
             let points = mismatch_scatter(ds, country);
-            (
-                country.code().to_string(),
-                crate::stats::pearson(&points),
-            )
+            (country.code().to_string(), crate::stats::pearson(&points))
         })
         .collect()
 }

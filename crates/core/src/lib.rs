@@ -29,6 +29,6 @@ pub mod selection;
 pub mod stats;
 
 pub use dataset::{Dataset, SiteRecord, TextState};
-pub use report::markdown_report;
 pub use pipeline::{build_dataset, PipelineOptions};
+pub use report::markdown_report;
 pub use selection::{select_languages, select_websites, LanguageVerdict};

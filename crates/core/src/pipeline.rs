@@ -4,23 +4,44 @@
 //! country-by-country VPN-vantage crawls over CrUX-rank-ordered candidates,
 //! the 50% native-content inclusion rule with next-candidate replacement,
 //! accessibility-element extraction, filtering, label-language
-//! classification, base audits and Kizuki rescoring. Countries are
-//! processed on a worker pool (one thread per country, CPU-bound work per
-//! the workspace guides); record order is deterministic.
+//! classification, base audits and Kizuki rescoring.
+//!
+//! ## Parallelism model
+//!
+//! Work is sharded as `(country, chunk)` units over the shared
+//! work-stealing pool in `langcrux-crawl` (one worker per core by default),
+//! replacing the old one-thread-per-country scope that left most cores
+//! idle whenever country counts and core counts disagreed. Two properties
+//! make this safe:
+//!
+//! * **Probe purity** — a candidate's fetch outcome and composition verdict
+//!   depend only on `(corpus seed, host, vantage)`, never on probe order,
+//!   so candidate chunks can run on any worker in any order.
+//! * **Verdict replay** — the paper's sequential rank-order replacement
+//!   walk is replayed over the probed verdicts afterwards, so selection
+//!   stats, the chosen sites, and the shortfall accounting are identical
+//!   to the sequential walk at every thread count.
+//!
+//! Record order is deterministic (study order, then rank order), and
+//! `Dataset::to_json` output is byte-identical across runs and thread
+//! counts — a tested invariant.
 
 use crate::dataset::{
     CountryCrawlSummary, Dataset, ElementRecord, ExtremeExample, MismatchExample, SiteRecord,
     TextState,
 };
-use crate::selection::{select_websites, SelectedSite, SelectionStats};
+use crate::selection::{probe_candidate, tally_probe, Rejection, SelectedSite, SelectionStats};
 use langcrux_audit::audit_page;
-use langcrux_crawl::{char_len, word_count, BrowserConfig};
+use langcrux_crawl::pool::{default_threads, run_work_stealing};
+use langcrux_crawl::{char_word_counts, Browser, BrowserConfig};
 use langcrux_filter::classify;
 use langcrux_kizuki::Kizuki;
 use langcrux_lang::a11y::ElementKind;
 use langcrux_lang::Country;
 use langcrux_langid::{classify_label, LabelLanguage};
+use langcrux_net::vpn_vantage;
 use langcrux_webgen::Corpus;
+use std::ops::Range;
 
 /// Pipeline options.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +53,8 @@ pub struct PipelineOptions {
     pub max_extreme_examples: usize,
     /// Cap on captured mismatch examples (Table 5).
     pub max_mismatch_examples: usize,
+    /// Worker threads for the shared pool; 0 means one per core.
+    pub threads: usize,
 }
 
 impl Default for PipelineOptions {
@@ -41,6 +64,7 @@ impl Default for PipelineOptions {
             browser: BrowserConfig::default(),
             max_extreme_examples: 40,
             max_mismatch_examples: 24,
+            threads: 0,
         }
     }
 }
@@ -53,24 +77,152 @@ struct CountryResult {
     mismatches: Vec<MismatchExample>,
 }
 
+/// Per-country progress of the wave-probed selection phase.
+struct CountryProbe {
+    country: Country,
+    /// Probe outcomes for the candidate prefix `0..verdicts.len()`.
+    verdicts: Vec<Result<SelectedSite, Rejection>>,
+    /// Qualifying candidates seen so far in the prefix.
+    qualified: usize,
+}
+
+/// Candidate chunks the probe phase hands to the pool.
+type ProbeTask = (usize, Range<usize>);
+
 /// Build the dataset from a corpus.
 pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
+    let threads = if options.threads == 0 {
+        default_threads()
+    } else {
+        options.threads
+    };
     let countries: Vec<Country> = corpus.countries().collect();
-    let mut results: Vec<CountryResult> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = countries
-            .iter()
-            .map(|&country| {
-                scope.spawn(move |_| process_country(corpus, country, options))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("country worker panicked"))
-            .collect()
-    })
-    .expect("pipeline scope");
+    // Hoisted: one Kizuki engine for the whole run (it is stateless and
+    // Sync); previously rebuilt per site record.
+    let kizuki = Kizuki::standard();
 
-    // Deterministic order: study order, independent of thread completion.
+    // ---- Phase 1: probe candidates in waves of (country, chunk) units.
+    let mut probes: Vec<CountryProbe> = countries
+        .iter()
+        .map(|&country| CountryProbe {
+            country,
+            verdicts: Vec::new(),
+            qualified: 0,
+        })
+        .collect();
+
+    loop {
+        let tasks = probe_wave_tasks(corpus, &probes, options.quota, threads);
+        if tasks.is_empty() {
+            break;
+        }
+        let wave = run_work_stealing(threads, &tasks, |_, task: &ProbeTask| {
+            let (ci, range) = task;
+            let country = probes[*ci].country;
+            let vantage =
+                vpn_vantage(country).unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
+            let browser = Browser::new(corpus.internet(), options.browser);
+            let native = country.target_language();
+            corpus.candidates(country)[range.clone()]
+                .iter()
+                .map(|plan| probe_candidate(&browser, plan, vantage, native))
+                .collect::<Vec<_>>()
+        });
+        for ((ci, _), outcomes) in tasks.iter().zip(wave) {
+            let probe = &mut probes[*ci];
+            probe.qualified += outcomes.iter().filter(|o| o.is_ok()).count();
+            probe.verdicts.extend(outcomes);
+        }
+    }
+
+    // Replay the paper's sequential replacement walk over the verdicts.
+    let selections: Vec<(Country, Vec<SelectedSite>, SelectionStats)> = probes
+        .into_iter()
+        .map(|probe| {
+            let mut selected = Vec::with_capacity(options.quota);
+            let mut stats = SelectionStats::default();
+            for outcome in probe.verdicts {
+                if selected.len() >= options.quota {
+                    break;
+                }
+                tally_probe(outcome, &mut selected, &mut stats);
+            }
+            stats.shortfall = (options.quota as u64).saturating_sub(stats.selected);
+            (probe.country, selected, stats)
+        })
+        .collect();
+
+    // ---- Phase 2: analyse selected sites as (country, chunk) units.
+    let total_sites: usize = selections.iter().map(|(_, s, _)| s.len()).sum();
+    let chunk = (total_sites / (threads * 4).max(1)).clamp(1, 32);
+    let site_tasks: Vec<ProbeTask> = selections
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, (_, sites, _))| chunk_ranges(sites.len(), chunk).map(move |r| (ci, r)))
+        .collect();
+
+    struct ChunkOut {
+        records: Vec<SiteRecord>,
+        extremes: Vec<ExtremeExample>,
+        mismatches: Vec<MismatchExample>,
+    }
+
+    let kizuki_ref = &kizuki;
+    let selections_ref = &selections;
+    let chunk_outputs = run_work_stealing(threads, &site_tasks, |_, task: &ProbeTask| {
+        let (ci, range) = task;
+        let (country, sites, _) = &selections_ref[*ci];
+        let mut out = ChunkOut {
+            records: Vec::with_capacity(range.len()),
+            extremes: Vec::new(),
+            mismatches: Vec::new(),
+        };
+        for site in &sites[range.clone()] {
+            out.records.push(process_site(
+                site,
+                *country,
+                kizuki_ref,
+                &mut out.extremes,
+                &mut out.mismatches,
+            ));
+        }
+        // Examples beyond the cap can never survive the ordered merge, so
+        // don't carry them out of the chunk (first-N semantics preserved:
+        // the merge takes examples in site order and truncates again).
+        out.extremes.truncate(options.max_extreme_examples);
+        out.mismatches.truncate(options.max_mismatch_examples);
+        out
+    });
+
+    // Deterministic merge: chunks arrive in (country, site) order; fold
+    // them into per-country results and apply the example caps exactly
+    // where the sequential per-country loop applied them.
+    let mut results: Vec<CountryResult> = selections
+        .iter()
+        .map(|(country, _, stats)| CountryResult {
+            country: *country,
+            records: Vec::new(),
+            summary: to_summary(*country, stats),
+            extremes: Vec::new(),
+            mismatches: Vec::new(),
+        })
+        .collect();
+    for ((ci, _), mut out) in site_tasks.iter().zip(chunk_outputs) {
+        let result = &mut results[*ci];
+        result.records.append(&mut out.records);
+        for e in out.extremes {
+            if result.extremes.len() < options.max_extreme_examples {
+                result.extremes.push(e);
+            }
+        }
+        for m in out.mismatches {
+            if result.mismatches.len() < options.max_mismatch_examples {
+                result.mismatches.push(m);
+            }
+        }
+    }
+
+    // Deterministic order: study order, independent of scheduling.
     results.sort_by_key(|r| Country::STUDY.iter().position(|&c| c == r.country));
 
     let mut dataset = Dataset {
@@ -95,27 +247,51 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
     dataset
 }
 
-fn process_country(corpus: &Corpus, country: Country, options: PipelineOptions) -> CountryResult {
-    let (sites, stats) = select_websites(corpus, country, options.quota, options.browser);
-    let mut records = Vec::with_capacity(sites.len());
-    let mut extremes = Vec::new();
-    let mut mismatches = Vec::new();
-    for site in &sites {
-        records.push(process_site(
-            site,
-            country,
-            &mut extremes,
-            &mut mismatches,
-            options,
-        ));
+/// Plan the next wave of `(country, candidate-chunk)` probe units.
+///
+/// Each country still short of quota extends its probed prefix far enough
+/// to plausibly fill the remainder (the paper's ~12% disqualification rate
+/// plus slack); countries that already have enough qualifying verdicts —
+/// or no candidates left — contribute nothing. An empty plan ends phase 1.
+fn probe_wave_tasks(
+    corpus: &Corpus,
+    probes: &[CountryProbe],
+    quota: usize,
+    threads: usize,
+) -> Vec<ProbeTask> {
+    let mut tasks = Vec::new();
+    let mut total = 0usize;
+    let mut windows: Vec<(usize, Range<usize>)> = Vec::new();
+    for (ci, probe) in probes.iter().enumerate() {
+        if probe.qualified >= quota {
+            continue;
+        }
+        let candidates = corpus.candidates(probe.country).len();
+        let probed = probe.verdicts.len();
+        if probed >= candidates {
+            continue;
+        }
+        let need = quota - probe.qualified;
+        // Inflate by the expected disqualification rate, plus slack so
+        // small quotas converge in one wave.
+        let window = (need + need / 7 + 8).min(candidates - probed);
+        windows.push((ci, probed..probed + window));
+        total += window;
     }
-    CountryResult {
-        country,
-        records,
-        summary: to_summary(country, &stats),
-        extremes,
-        mismatches,
+    // Chunk the windows so every worker gets several units to steal.
+    let chunk = (total / (threads * 4).max(1)).clamp(4, 64);
+    for (ci, window) in windows {
+        for range in chunk_ranges(window.len(), chunk) {
+            tasks.push((ci, window.start + range.start..window.start + range.end));
+        }
     }
+    tasks
+}
+
+/// Split `0..len` into consecutive ranges of at most `chunk`.
+fn chunk_ranges(len: usize, chunk: usize) -> impl Iterator<Item = Range<usize>> {
+    let chunk = chunk.max(1);
+    (0..len.div_ceil(chunk)).map(move |i| (i * chunk)..((i + 1) * chunk).min(len))
 }
 
 fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
@@ -129,12 +305,16 @@ fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
     }
 }
 
+/// Analyse one selected site: classify every accessibility element, audit,
+/// and rescore. Example capture is uncapped here — chunks are merged in
+/// site order and the caller truncates to the configured caps, which
+/// reproduces the sequential "first N qualifying" capture exactly.
 fn process_site(
     site: &SelectedSite,
     country: Country,
+    kizuki: &Kizuki,
     extremes: &mut Vec<ExtremeExample>,
     mismatches: &mut Vec<MismatchExample>,
-    options: PipelineOptions,
 ) -> SiteRecord {
     let native = country.target_language();
     let extract = &site.visit.extract;
@@ -150,9 +330,11 @@ fn process_site(
             let text = element.content().expect("non-empty");
             let discard = classify(text);
             let label = classify_label(text, native);
-            let chars = char_len(text) as u32;
-            let words = word_count(text) as u32;
-            if chars > 1_000 && extremes.len() < options.max_extreme_examples {
+            // Single fused pass; the old code walked the text once for
+            // chars and again for words.
+            let (chars, words) = char_word_counts(text);
+            let (chars, words) = (chars as u32, words as u32);
+            if chars > 1_000 {
                 extremes.push(ExtremeExample {
                     host: site.plan.host.clone(),
                     country,
@@ -167,7 +349,6 @@ fn process_site(
                 && discard.is_none()
                 && label == LabelLanguage::English
                 && site.visible_native_pct >= 90.0
-                && mismatches.len() < options.max_mismatch_examples
             {
                 mismatch_done = true;
                 mismatches.push(MismatchExample {
@@ -191,7 +372,7 @@ fn process_site(
     }
 
     let base = audit_page(extract);
-    let kizuki = Kizuki::standard().evaluate(extract, &base);
+    let kizuki_report = kizuki.evaluate(extract, &base);
     SiteRecord {
         host: site.plan.host.clone(),
         country,
@@ -201,7 +382,7 @@ fn process_site(
         declared_lang: extract.declared_lang.clone(),
         elements,
         base_score: base.score,
-        kizuki_score: kizuki.new_score,
+        kizuki_score: kizuki_report.new_score,
         kizuki_eligible: Kizuki::figure6_eligible(&base),
     }
 }
@@ -238,7 +419,11 @@ mod tests {
     fn records_have_scores_and_elements() {
         let ds = tiny_dataset();
         for record in &ds.records {
-            assert!((0.0..=100.0).contains(&record.base_score), "{}", record.host);
+            assert!(
+                (0.0..=100.0).contains(&record.base_score),
+                "{}",
+                record.host
+            );
             assert!((0.0..=100.0).contains(&record.kizuki_score));
             assert!(record.kizuki_score <= record.base_score + 1e-9);
             assert!(record.visible_native_pct >= 50.0);
@@ -256,6 +441,56 @@ mod tests {
             assert_eq!(ra.base_score, rb.base_score);
             assert_eq!(ra.kizuki_score, rb.kizuki_score);
             assert_eq!(ra.elements, rb.elements);
+        }
+    }
+
+    #[test]
+    fn pipeline_output_independent_of_thread_count() {
+        let corpus = Corpus::build(CorpusConfig::small(17, 12));
+        let run = |threads: usize| {
+            build_dataset(
+                &corpus,
+                PipelineOptions {
+                    quota: 12,
+                    threads,
+                    ..PipelineOptions::default()
+                },
+            )
+            .to_json()
+            .expect("serialize")
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(0)); // 0 = one worker per core
+    }
+
+    #[test]
+    fn parallel_selection_matches_sequential_walk() {
+        use crate::selection::select_websites;
+        let corpus = Corpus::build(CorpusConfig::small(29, 18));
+        let ds = build_dataset(
+            &corpus,
+            PipelineOptions {
+                quota: 18,
+                ..PipelineOptions::default()
+            },
+        );
+        for country in Country::STUDY {
+            let (sites, stats) = select_websites(&corpus, country, 18, BrowserConfig::default());
+            let summary = ds
+                .crawl_summaries
+                .iter()
+                .find(|s| s.country_code == country.code())
+                .expect("summary");
+            assert_eq!(summary.attempted, stats.attempted, "{country:?}");
+            assert_eq!(summary.selected, stats.selected, "{country:?}");
+            assert_eq!(
+                summary.rejected_threshold, stats.rejected_threshold,
+                "{country:?}"
+            );
+            let hosts: Vec<&str> = ds.in_country(country).map(|r| r.host.as_str()).collect();
+            let expected: Vec<&str> = sites.iter().map(|s| s.plan.host.as_str()).collect();
+            assert_eq!(hosts, expected, "{country:?}");
         }
     }
 

@@ -23,8 +23,11 @@ pub fn table2(rows: &[ElementStatsRow]) -> String {
     let _ = writeln!(
         out,
         "{:<18} | {:>23} | {:>23} | {:>23} | {:>23}",
-        "Element", "Missing % (med/sd/mean)", "Empty % (med/sd/mean)",
-        "Text len (med/sd/mean)", "Words (med/sd/mean)"
+        "Element",
+        "Missing % (med/sd/mean)",
+        "Empty % (med/sd/mean)",
+        "Text len (med/sd/mean)",
+        "Words (med/sd/mean)"
     );
     let _ = writeln!(out, "{}", hr(122));
     for row in rows {
@@ -115,8 +118,7 @@ pub fn lang_distribution(rows: &[LangDistRow]) -> String {
         let _ = writeln!(
             out,
             "{:<8} | {:>7.1}% | {:>7.1}% | {:>7.1}% | {:>10}",
-            row.country_code, row.native_pct, row.english_pct, row.mixed_pct,
-            row.informative_texts
+            row.country_code, row.native_pct, row.english_pct, row.mixed_pct, row.informative_texts
         );
     }
     out
@@ -146,7 +148,11 @@ pub fn mismatch_cdfs(rows: &[MismatchCdfs]) -> String {
         for g in &grid {
             let _ = write!(out, " {:>5.2}", row.a11y.at(*g));
         }
-        let _ = writeln!(out, "  | {:>5.1}% of sites", row.sites_below_10pct_native_a11y);
+        let _ = writeln!(
+            out,
+            "  | {:>5.1}% of sites",
+            row.sites_below_10pct_native_a11y
+        );
     }
     out
 }
@@ -221,8 +227,7 @@ pub fn scatter_density(
     for row in (0..BINS).rev() {
         let y_lo = y_range.0 + (y_range.1 - y_range.0) * row as f64 / BINS as f64;
         let _ = write!(out, "{y_lo:>5.0} |");
-        for col in 0..BINS {
-            let n = cells[row][col];
+        for &n in &cells[row] {
             let _ = match n {
                 0 => write!(out, "    ."),
                 n => write!(out, "{n:>5}"),
@@ -297,8 +302,7 @@ pub fn declared_lang(rows: &[DeclaredLangRow]) -> String {
         let _ = writeln!(
             out,
             "{:<8} | {:>8.1}% | {:>8.1}% | {:>9.1}% | {:>7.1}%",
-            row.country_code, row.declared_pct, row.correct_pct, row.incorrect_pct,
-            row.absent_pct
+            row.country_code, row.declared_pct, row.correct_pct, row.incorrect_pct, row.absent_pct
         );
     }
     out
@@ -333,7 +337,11 @@ pub fn crawl_summaries(ds: &Dataset) -> String {
         let _ = writeln!(
             out,
             "{:<8} | {:>9} | {:>8} | {:>10} | {:>6} | {:>10}",
-            s.country_code, s.attempted, s.selected, s.rejected_threshold, s.failed_fetch,
+            s.country_code,
+            s.attempted,
+            s.selected,
+            s.rejected_threshold,
+            s.failed_fetch,
             s.restricted
         );
     }

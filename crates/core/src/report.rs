@@ -44,19 +44,31 @@ pub fn markdown_report(ds: &Dataset) -> String {
     code_block(&mut out, &render::table2(&analysis::table2(ds)));
 
     let _ = writeln!(out, "## Table 3 — Lighthouse pass/fail matrix\n");
-    code_block(&mut out, &render::table3(&langcrux_audit::lighthouse_matrix()));
+    code_block(
+        &mut out,
+        &render::table3(&langcrux_audit::lighthouse_matrix()),
+    );
 
     let _ = writeln!(out, "## Figure 3 — discard reasons by country\n");
-    code_block(&mut out, &render::discards(&analysis::discard_by_country(ds)));
+    code_block(
+        &mut out,
+        &render::discards(&analysis::discard_by_country(ds)),
+    );
 
-    let _ = writeln!(out, "## Figure 4 — language of informative accessibility text\n");
+    let _ = writeln!(
+        out,
+        "## Figure 4 — language of informative accessibility text\n"
+    );
     code_block(
         &mut out,
         &render::lang_distribution(&analysis::lang_distribution(ds)),
     );
 
     let _ = writeln!(out, "## Figure 5 — native share CDFs\n");
-    code_block(&mut out, &render::mismatch_cdfs(&analysis::mismatch_cdfs(ds)));
+    code_block(
+        &mut out,
+        &render::mismatch_cdfs(&analysis::mismatch_cdfs(ds)),
+    );
 
     let _ = writeln!(out, "## Figure 6 — Kizuki rescoring (bd + th)\n");
     let shift = analysis::kizuki_shift(ds, &[Country::Bangladesh, Country::Thailand]);
@@ -66,10 +78,16 @@ pub fn markdown_report(ds: &Dataset) -> String {
     code_block(&mut out, &render::rank_heatmap(&analysis::rank_heatmap(ds)));
 
     let _ = writeln!(out, "## Figure 9 — discard reasons by element\n");
-    code_block(&mut out, &render::discards(&analysis::discard_by_element(ds)));
+    code_block(
+        &mut out,
+        &render::discards(&analysis::discard_by_element(ds)),
+    );
 
     let _ = writeln!(out, "## Declared `lang` metadata (X3)\n");
-    code_block(&mut out, &render::declared_lang(&analysis::declared_lang(ds)));
+    code_block(
+        &mut out,
+        &render::declared_lang(&analysis::declared_lang(ds)),
+    );
 
     if !ds.extreme_examples.is_empty() {
         let _ = writeln!(out, "## Table 4 — extreme alt texts\n");

@@ -15,8 +15,8 @@
 
 use langcrux_crawl::{Browser, BrowserConfig, Visit, VisitError};
 use langcrux_lang::{Country, Language};
-use langcrux_langid::composition;
-use langcrux_net::{vpn_vantage, Url};
+use langcrux_langid::composition_of_histogram;
+use langcrux_net::{vpn_vantage, Url, Vantage};
 use langcrux_webgen::{Corpus, SitePlan};
 use serde::{Deserialize, Serialize};
 
@@ -133,6 +133,61 @@ pub struct SelectionStats {
     pub shortfall: u64,
 }
 
+/// Fetch one candidate and apply the 50%-native-content inclusion test.
+///
+/// The outcome depends only on `(corpus seed, host, vantage)` — never on
+/// when or from which worker the probe runs — which is what lets the
+/// pipeline probe candidates in parallel chunks and still replay the
+/// paper's sequential rank-order replacement walk over the verdicts.
+/// The language composition comes from the histogram the crawler computed
+/// during DOM extraction; the visible text is not re-scanned.
+pub fn probe_candidate(
+    browser: &Browser,
+    plan: &SitePlan,
+    vantage: Vantage,
+    native: Language,
+) -> Result<SelectedSite, Rejection> {
+    match browser.visit(&Url::from_host(&plan.host), vantage) {
+        Ok(visit) => {
+            let comp = composition_of_histogram(&visit.extract.visible_hist, native);
+            if comp.has_evidence() && comp.native_pct >= NATIVE_CONTENT_THRESHOLD_PCT {
+                Ok(SelectedSite {
+                    plan: plan.clone(),
+                    visible_native_pct: comp.native_pct,
+                    visible_english_pct: comp.english_pct,
+                    visit,
+                })
+            } else {
+                Err(Rejection::BelowThreshold)
+            }
+        }
+        Err(e) => Err(Rejection::Fetch(e)),
+    }
+}
+
+/// Fold one probe outcome into the running stats, appending to `selected`
+/// when the candidate qualified. Shared by the sequential walk below and
+/// the pipeline's parallel verdict replay so both count identically.
+pub fn tally_probe(
+    outcome: Result<SelectedSite, Rejection>,
+    selected: &mut Vec<SelectedSite>,
+    stats: &mut SelectionStats,
+) {
+    stats.attempted += 1;
+    match outcome {
+        Ok(site) => {
+            stats.selected += 1;
+            selected.push(site);
+        }
+        Err(Rejection::BelowThreshold) => stats.rejected_threshold += 1,
+        Err(Rejection::Fetch(VisitError::Restricted)) => {
+            stats.restricted += 1;
+            stats.failed_fetch += 1;
+        }
+        Err(Rejection::Fetch(_)) => stats.failed_fetch += 1,
+    }
+}
+
 /// Select up to `quota` websites for `country` from the corpus, walking
 /// candidates in CrUX rank order and replacing failures with the next
 /// candidate — the paper's procedure.
@@ -142,8 +197,7 @@ pub fn select_websites(
     quota: usize,
     browser_config: BrowserConfig,
 ) -> (Vec<SelectedSite>, SelectionStats) {
-    let vantage = vpn_vantage(country)
-        .unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
+    let vantage = vpn_vantage(country).unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
     let browser = Browser::new(corpus.internet(), browser_config);
     let native = country.target_language();
 
@@ -154,28 +208,8 @@ pub fn select_websites(
         if selected.len() >= quota {
             break;
         }
-        stats.attempted += 1;
-        match browser.visit(&Url::from_host(&plan.host), vantage) {
-            Ok(visit) => {
-                let comp = composition(&visit.extract.visible_text, native);
-                if comp.has_evidence() && comp.native_pct >= NATIVE_CONTENT_THRESHOLD_PCT {
-                    stats.selected += 1;
-                    selected.push(SelectedSite {
-                        plan: plan.clone(),
-                        visible_native_pct: comp.native_pct,
-                        visible_english_pct: comp.english_pct,
-                        visit,
-                    });
-                } else {
-                    stats.rejected_threshold += 1;
-                }
-            }
-            Err(VisitError::Restricted) => {
-                stats.restricted += 1;
-                stats.failed_fetch += 1;
-            }
-            Err(_) => stats.failed_fetch += 1,
-        }
+        let outcome = probe_candidate(&browser, plan, vantage, native);
+        tally_probe(outcome, &mut selected, &mut stats);
     }
     stats.shortfall = (quota as u64).saturating_sub(stats.selected);
     (selected, stats)
@@ -205,7 +239,7 @@ mod tests {
     #[test]
     fn paper_named_exclusions_hold() {
         let verdicts = select_languages();
-        let verdict = |l: Language| verdicts.iter().find(|(x, _)| *x == l).unwrap().1.clone();
+        let verdict = |l: Language| verdicts.iter().find(|(x, _)| *x == l).unwrap().1;
         for lang in [
             Language::Tamil,
             Language::Telugu,
@@ -226,12 +260,8 @@ mod tests {
     #[test]
     fn website_selection_fills_quota_with_replacement() {
         let corpus = Corpus::build(CorpusConfig::small(301, 40));
-        let (sites, stats) = select_websites(
-            &corpus,
-            Country::Thailand,
-            40,
-            BrowserConfig::default(),
-        );
+        let (sites, stats) =
+            select_websites(&corpus, Country::Thailand, 40, BrowserConfig::default());
         assert_eq!(sites.len(), 40, "quota unmet: {stats:?}");
         assert_eq!(stats.shortfall, 0);
         // Replacement must actually have happened: some candidates rejected.
@@ -248,12 +278,7 @@ mod tests {
     #[test]
     fn selection_respects_rank_order() {
         let corpus = Corpus::build(CorpusConfig::small(301, 20));
-        let (sites, _) = select_websites(
-            &corpus,
-            Country::Japan,
-            20,
-            BrowserConfig::default(),
-        );
+        let (sites, _) = select_websites(&corpus, Country::Japan, 20, BrowserConfig::default());
         for w in sites.windows(2) {
             assert!(w[0].plan.rank <= w[1].plan.rank);
         }
@@ -262,12 +287,7 @@ mod tests {
     #[test]
     fn small_quota_small_attempts() {
         let corpus = Corpus::build(CorpusConfig::small(301, 30));
-        let (sites, stats) = select_websites(
-            &corpus,
-            Country::Israel,
-            5,
-            BrowserConfig::default(),
-        );
+        let (sites, stats) = select_websites(&corpus, Country::Israel, 5, BrowserConfig::default());
         assert_eq!(sites.len(), 5);
         assert!(stats.attempted <= 12, "attempted = {}", stats.attempted);
     }

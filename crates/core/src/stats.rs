@@ -40,11 +40,7 @@ impl Summary {
         sorted.sort_by(|a, b| a.total_cmp(b));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
-        let variance = sorted
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .sum::<f64>()
-            / count as f64;
+        let variance = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         Summary {
             count,
             median: median_of_sorted(&sorted),

@@ -109,16 +109,12 @@ mod tests {
 
     fn page_server() -> Box<dyn ContentServer> {
         Box::new(|variant: ContentVariant, _path: &str| match variant {
-            ContentVariant::Localized => {
-                "<html lang=bn><head><title>খবর</title></head>\
+            ContentVariant::Localized => "<html lang=bn><head><title>খবর</title></head>\
                  <body><p>বাংলা সংবাদ</p><img src=a alt=\"ছবি এক\"></body></html>"
-                    .to_string()
-            }
-            ContentVariant::Global => {
-                "<html lang=en><head><title>News</title></head>\
+                .to_string(),
+            ContentVariant::Global => "<html lang=en><head><title>News</title></head>\
                  <body><p>english news</p><img src=a alt=\"photo\"></body></html>"
-                    .to_string()
-            }
+                .to_string(),
             ContentVariant::Restricted => "<html><body>denied</body></html>".to_string(),
         })
     }

@@ -9,8 +9,9 @@
 //! paper identifies as the likely cause of high missing rates).
 
 use langcrux_html::dom::{Document, NodeId, NodeKind};
-use langcrux_html::visible::visible_text;
+use langcrux_html::visible::visible_text_histogram;
 use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::script::ScriptHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -63,6 +64,11 @@ impl ExtractedElement {
 pub struct PageExtract {
     /// Whitespace-normalised visible text of the page.
     pub visible_text: String,
+    /// Script histogram of `visible_text`, computed during the same DOM
+    /// walk that produced it (always equal to
+    /// `ScriptHistogram::of(&visible_text)`). Selection and analysis
+    /// consume this instead of re-scanning the text.
+    pub visible_hist: ScriptHistogram,
     /// The `<html lang=…>` declaration, if any.
     pub declared_lang: Option<String>,
     /// All accessibility elements in document order.
@@ -77,7 +83,9 @@ impl PageExtract {
 
     /// All non-empty accessibility texts (the input to filtering/langid).
     pub fn texts(&self) -> impl Iterator<Item = (&ExtractedElement, &str)> {
-        self.elements.iter().filter_map(|e| e.content().map(|t| (e, t)))
+        self.elements
+            .iter()
+            .filter_map(|e| e.content().map(|t| (e, t)))
     }
 }
 
@@ -93,10 +101,31 @@ pub fn char_len(text: &str) -> usize {
     text.chars().count()
 }
 
+/// Character count and word count in a single pass over the text —
+/// equivalent to `(char_len(text), word_count(text))` without walking the
+/// string twice. This is the per-element hot path of `process_site`.
+pub fn char_word_counts(text: &str) -> (usize, usize) {
+    let mut chars = 0usize;
+    let mut words = 0usize;
+    let mut in_word = false;
+    for c in text.chars() {
+        chars += 1;
+        if c.is_whitespace() {
+            in_word = false;
+        } else if !in_word {
+            words += 1;
+            in_word = true;
+        }
+    }
+    (chars, words)
+}
+
 /// Extract all accessibility elements plus page-level facts from a DOM.
 pub fn extract(doc: &Document) -> PageExtract {
+    let (visible_text, visible_hist) = visible_text_histogram(doc);
     let mut out = PageExtract {
-        visible_text: visible_text(doc),
+        visible_text,
+        visible_hist,
         ..PageExtract::default()
     };
 
@@ -118,8 +147,7 @@ pub fn extract(doc: &Document) -> PageExtract {
     // document-title: exactly one logical slot per page.
     let title = doc.elements_named("title").find(|&t| {
         // Ignore <title> children of <svg>.
-        doc.ancestors(t)
-            .all(|a| doc.tag_name(a) != Some("svg"))
+        doc.ancestors(t).all(|a| doc.tag_name(a) != Some("svg"))
     });
     out.elements.push(match title {
         Some(t) => ExtractedElement {
@@ -137,9 +165,17 @@ pub fn extract(doc: &Document) -> PageExtract {
     });
 
     for id in doc.elements() {
-        let Some(tag) = doc.tag_name(id) else { continue };
+        let Some(tag) = doc.tag_name(id) else {
+            continue;
+        };
         match tag {
-            "img" => out.elements.push(attr_element(doc, id, ElementKind::ImageAlt, &[("alt", TextSource::Alt)], None)),
+            "img" => out.elements.push(attr_element(
+                doc,
+                id,
+                ElementKind::ImageAlt,
+                &[("alt", TextSource::Alt)],
+                None,
+            )),
             "iframe" | "frame" => out.elements.push(attr_element(
                 doc,
                 id,
@@ -153,21 +189,25 @@ pub fn extract(doc: &Document) -> PageExtract {
                     doc,
                     id,
                     ElementKind::ButtonName,
-                    &[("aria-label", TextSource::AriaLabel), ("title", TextSource::TitleAttr)],
+                    &[
+                        ("aria-label", TextSource::AriaLabel),
+                        ("title", TextSource::TitleAttr),
+                    ],
                     fallback,
                 ));
             }
-            "a" => {
-                if doc.attr(id, "href").is_some() {
-                    let fallback = Some(doc.text_content(id));
-                    out.elements.push(attr_element(
-                        doc,
-                        id,
-                        ElementKind::LinkName,
-                        &[("aria-label", TextSource::AriaLabel), ("title", TextSource::TitleAttr)],
-                        fallback,
-                    ));
-                }
+            "a" if doc.attr(id, "href").is_some() => {
+                let fallback = Some(doc.text_content(id));
+                out.elements.push(attr_element(
+                    doc,
+                    id,
+                    ElementKind::LinkName,
+                    &[
+                        ("aria-label", TextSource::AriaLabel),
+                        ("title", TextSource::TitleAttr),
+                    ],
+                    fallback,
+                ));
             }
             "summary" => {
                 let mut el = attr_element(
@@ -186,29 +226,27 @@ pub fn extract(doc: &Document) -> PageExtract {
                 }
                 out.elements.push(el);
             }
-            "svg" => {
-                if doc.attr(id, "role") == Some("img") {
-                    let mut el = attr_element(
-                        doc,
-                        id,
-                        ElementKind::SvgImgAlt,
-                        &[("aria-label", TextSource::AriaLabel)],
-                        None,
-                    );
-                    if el.text.is_none() {
-                        if let Some(t) = doc
-                            .node(id)
-                            .children
-                            .iter()
-                            .copied()
-                            .find(|&c| doc.tag_name(c) == Some("title"))
-                        {
-                            el.text = Some(doc.text_content(t));
-                            el.source = Some(TextSource::TitleChild);
-                        }
+            "svg" if doc.attr(id, "role") == Some("img") => {
+                let mut el = attr_element(
+                    doc,
+                    id,
+                    ElementKind::SvgImgAlt,
+                    &[("aria-label", TextSource::AriaLabel)],
+                    None,
+                );
+                if el.text.is_none() {
+                    if let Some(t) = doc
+                        .node(id)
+                        .children
+                        .iter()
+                        .copied()
+                        .find(|&c| doc.tag_name(c) == Some("title"))
+                    {
+                        el.text = Some(doc.text_content(t));
+                        el.source = Some(TextSource::TitleChild);
                     }
-                    out.elements.push(el);
                 }
+                out.elements.push(el);
             }
             "object" => {
                 let mut el = attr_element(
@@ -257,7 +295,10 @@ pub fn extract(doc: &Document) -> PageExtract {
                         doc,
                         id,
                         ElementKind::InputButtonName,
-                        &[("value", TextSource::Value), ("aria-label", TextSource::AriaLabel)],
+                        &[
+                            ("value", TextSource::Value),
+                            ("aria-label", TextSource::AriaLabel),
+                        ],
                         None,
                     )),
                     "hidden" => {}
@@ -271,8 +312,7 @@ pub fn extract(doc: &Document) -> PageExtract {
                             None,
                         );
                         if el.text.is_none() {
-                            if let Some(label) = doc.attr(id, "id").and_then(|i| label_for.get(i))
-                            {
+                            if let Some(label) = doc.attr(id, "id").and_then(|i| label_for.get(i)) {
                                 el.text = Some(label.clone());
                                 el.source = Some(TextSource::AssociatedLabel);
                             }
@@ -358,7 +398,11 @@ mod tests {
         assert_eq!(t[0].content(), Some("Новости дня"));
 
         let ex = extract_str("<head></head><body></body>");
-        assert!(ex.of_kind(ElementKind::DocumentTitle).next().unwrap().is_missing());
+        assert!(ex
+            .of_kind(ElementKind::DocumentTitle)
+            .next()
+            .unwrap()
+            .is_missing());
     }
 
     #[test]
@@ -369,7 +413,10 @@ mod tests {
                <svg><circle/></svg>"#,
         );
         assert_eq!(
-            ex.of_kind(ElementKind::DocumentTitle).next().unwrap().content(),
+            ex.of_kind(ElementKind::DocumentTitle)
+                .next()
+                .unwrap()
+                .content(),
             Some("Page")
         );
         let svgs: Vec<_> = ex.of_kind(ElementKind::SvgImgAlt).collect();
@@ -404,7 +451,10 @@ mod tests {
         );
         assert_eq!(ex.of_kind(ElementKind::InputImageAlt).count(), 1);
         assert_eq!(
-            ex.of_kind(ElementKind::InputButtonName).next().unwrap().content(),
+            ex.of_kind(ElementKind::InputButtonName)
+                .next()
+                .unwrap()
+                .content(),
             Some("전송")
         );
         // hidden input is skipped; bare input is a Label slot.
@@ -432,6 +482,35 @@ mod tests {
         let ex = extract_str(r#"<html lang="th"><body><p>สวัสดี</p></body></html>"#);
         assert_eq!(ex.declared_lang.as_deref(), Some("th"));
         assert_eq!(ex.visible_text, "สวัสดี");
+    }
+
+    #[test]
+    fn carried_histogram_matches_visible_text() {
+        let ex = extract_str(
+            r#"<html lang="bn"><body><p>বাংলা সংবাদ and english</p>
+               <div hidden>hidden русский</div><p>১২৩ 456</p></body></html>"#,
+        );
+        assert_eq!(ex.visible_hist, ScriptHistogram::of(&ex.visible_text));
+        assert!(ex.visible_hist.total > 0);
+    }
+
+    #[test]
+    fn fused_char_word_counts_match_separate_passes() {
+        for text in [
+            "",
+            "   ",
+            "three word label",
+            "ภาพข่าว",
+            " leading and trailing ",
+            "tab\tand\nnewline",
+            "ক খ গ",
+        ] {
+            assert_eq!(
+                char_word_counts(text),
+                (char_len(text), word_count(text)),
+                "{text:?}"
+            );
+        }
     }
 
     #[test]

@@ -14,13 +14,18 @@
 //!   (the extraction contract of DESIGN.md).
 //! * [`browser`] — single-page visits with retry handling and
 //!   restricted-content detection.
-//! * [`pool`] — crossbeam worker-pool crawling with deterministic,
-//!   scheduling-independent results.
+//! * [`pool`] — a shared work-stealing worker pool with deterministic,
+//!   scheduling-independent results; also the executor behind the
+//!   `langcrux-core` pipeline's `(country, chunk)` sharding.
 
 pub mod browser;
 pub mod extract;
 pub mod pool;
 
 pub use browser::{Browser, BrowserConfig, Visit, VisitError};
-pub use extract::{char_len, extract, word_count, ExtractedElement, PageExtract, TextSource};
-pub use pool::{crawl_hosts, CrawlConfig, CrawlOutcome, CrawlStats};
+pub use extract::{
+    char_len, char_word_counts, extract, word_count, ExtractedElement, PageExtract, TextSource,
+};
+pub use pool::{
+    crawl_hosts, default_threads, run_work_stealing, CrawlConfig, CrawlOutcome, CrawlStats,
+};

@@ -19,5 +19,5 @@ pub mod rules;
 pub mod stats;
 
 pub use category::DiscardCategory;
-pub use rules::{classify, is_informative};
+pub use rules::{classify, is_informative, CONTINUA_KEEP_LEN, SINGLE_WORD_KEEP_LEN};
 pub use stats::FilterStats;

@@ -30,6 +30,90 @@ pub const SINGLE_WORD_KEEP_LEN: usize = 12;
 /// be a whole phrase. Tokens at or above this length are kept.
 pub const CONTINUA_KEEP_LEN: usize = 9;
 
+/// Character-level facts gathered in ONE pass over the trimmed text; every
+/// rule below reads these instead of re-walking the string. Before this
+/// fusion, a typical informative label was scanned by `split_whitespace`
+/// six times and by `script_of` up to three times per classification.
+struct TextFacts {
+    /// Whitespace-delimited token count.
+    tokens: usize,
+    /// Chars excluding whitespace.
+    nonws_len: usize,
+    /// Total chars.
+    len: usize,
+    has_alpha: bool,
+    has_digit: bool,
+    /// Every char is alphanumeric (no whitespace present implied).
+    all_alnum: bool,
+    /// Letters in CJK scripts (Han, kana, Hangul).
+    letters_cjk: usize,
+    /// Letters in scriptio-continua non-CJK scripts (Thai, Myanmar).
+    letters_continua: usize,
+    /// Letters in any other distinguishing script.
+    letters_other: usize,
+    /// Saw at least one emoji/pictograph char.
+    saw_emoji: bool,
+    /// Every non-whitespace char is an emoji or ASCII punctuation.
+    emoji_punct_only: bool,
+}
+
+impl TextFacts {
+    fn of(trimmed: &str) -> TextFacts {
+        let mut facts = TextFacts {
+            tokens: 0,
+            nonws_len: 0,
+            len: 0,
+            has_alpha: false,
+            has_digit: false,
+            all_alnum: true,
+            letters_cjk: 0,
+            letters_continua: 0,
+            letters_other: 0,
+            saw_emoji: false,
+            emoji_punct_only: true,
+        };
+        let mut in_token = false;
+        for c in trimmed.chars() {
+            facts.len += 1;
+            if c.is_whitespace() {
+                in_token = false;
+                facts.all_alnum = false;
+                continue;
+            }
+            if !in_token {
+                facts.tokens += 1;
+                in_token = true;
+            }
+            facts.nonws_len += 1;
+            facts.has_alpha |= c.is_alphabetic();
+            facts.has_digit |= c.is_ascii_digit();
+            facts.all_alnum &= c.is_alphanumeric();
+            if is_emoji_char(c) {
+                facts.saw_emoji = true;
+            } else if !c.is_ascii_punctuation() {
+                facts.emoji_punct_only = false;
+            }
+            match script_of(c) {
+                s if s.is_cjk() => facts.letters_cjk += 1,
+                Script::Thai | Script::Myanmar => facts.letters_continua += 1,
+                Script::Common | Script::Unknown => {}
+                _ => facts.letters_other += 1,
+            }
+        }
+        facts
+    }
+
+    /// Letters are CJK-dominant (Han/kana/Hangul).
+    fn cjk_dominant(&self) -> bool {
+        self.letters_cjk > 0 && self.letters_cjk >= self.letters_continua + self.letters_other
+    }
+
+    /// Letters are in a scriptio-continua non-CJK script (Thai, Myanmar).
+    fn continua_non_cjk(&self) -> bool {
+        self.letters_continua > 0 && self.letters_continua >= self.letters_cjk + self.letters_other
+    }
+}
+
 /// Classify an accessibility text. `None` means informative/useful.
 pub fn classify(text: &str) -> Option<DiscardCategory> {
     let trimmed = text.trim();
@@ -38,19 +122,43 @@ pub fn classify(text: &str) -> Option<DiscardCategory> {
         // to TooShort here.
         return Some(DiscardCategory::TooShort);
     }
+    let facts = TextFacts::of(trimmed);
+    // Single tokens get one shared lowercase copy for the URL/file rules.
+    let lowered_token = if facts.tokens == 1 {
+        Some(trimmed.to_ascii_lowercase())
+    } else {
+        None
+    };
     for category in DiscardCategory::ALL {
         let hit = match category {
-            DiscardCategory::Emoji => is_emoji_only(trimmed),
-            DiscardCategory::UrlOrFilePath => is_url_or_path(trimmed),
-            DiscardCategory::FileName => is_file_name(trimmed),
-            DiscardCategory::OrdinalPhrase => is_ordinal_phrase(trimmed),
-            DiscardCategory::LabelNumberPattern => is_label_number(trimmed),
-            DiscardCategory::MixedAlnum => is_mixed_alnum(trimmed),
-            DiscardCategory::DevLabel => is_dev_label(trimmed),
+            DiscardCategory::Emoji => facts.saw_emoji && facts.emoji_punct_only,
+            DiscardCategory::UrlOrFilePath => lowered_token.as_deref().is_some_and(is_url_or_path),
+            DiscardCategory::FileName => lowered_token.as_deref().is_some_and(is_file_name),
+            DiscardCategory::OrdinalPhrase => facts.tokens <= 3 && is_ordinal_phrase(trimmed),
+            DiscardCategory::LabelNumberPattern => facts.tokens == 2 && is_label_number(trimmed),
+            DiscardCategory::MixedAlnum => {
+                facts.tokens == 1 && facts.has_alpha && facts.has_digit && facts.all_alnum
+            }
+            DiscardCategory::DevLabel => facts.tokens == 1 && is_dev_label(trimmed),
             DiscardCategory::GenericAction => dict::generic_action(trimmed).is_some(),
             DiscardCategory::Placeholder => dict::placeholder(trimmed).is_some(),
-            DiscardCategory::TooShort => is_too_short(trimmed),
-            DiscardCategory::SingleWord => is_single_word(trimmed),
+            DiscardCategory::TooShort => {
+                if facts.cjk_dominant() {
+                    facts.nonws_len <= 1
+                } else {
+                    facts.nonws_len < 3
+                }
+            }
+            DiscardCategory::SingleWord => {
+                facts.tokens == 1
+                    && facts.has_alpha
+                    && !facts.cjk_dominant()
+                    && if facts.continua_non_cjk() {
+                        facts.len < CONTINUA_KEEP_LEN
+                    } else {
+                        facts.len < SINGLE_WORD_KEEP_LEN
+                    }
+            }
         };
         if hit {
             return Some(category);
@@ -77,34 +185,13 @@ fn is_emoji_char(c: char) -> bool {
     )
 }
 
-fn is_emoji_only(text: &str) -> bool {
-    let mut saw_emoji = false;
-    for c in text.chars() {
-        if c.is_whitespace() {
-            continue;
-        }
-        if is_emoji_char(c) {
-            saw_emoji = true;
-        } else if !c.is_ascii_punctuation() {
-            return false;
-        }
-    }
-    saw_emoji
-}
-
-fn is_url_or_path(text: &str) -> bool {
-    if text.split_whitespace().count() != 1 {
-        return false;
-    }
-    let lower = text.to_ascii_lowercase();
+/// URL/path test over an already-lowercased single token.
+fn is_url_or_path(lower: &str) -> bool {
     if lower.contains("://") || lower.starts_with("www.") {
         return true;
     }
     // Absolute file-system-ish path with at least two segments.
-    if lower.starts_with('/') && lower[1..].contains('/') {
-        return true;
-    }
-    false
+    lower.starts_with('/') && lower[1..].contains('/')
 }
 
 const ASSET_EXTENSIONS: &[&str] = &[
@@ -112,11 +199,8 @@ const ASSET_EXTENSIONS: &[&str] = &[
     ".webm", ".css", ".js",
 ];
 
-fn is_file_name(text: &str) -> bool {
-    if text.split_whitespace().count() != 1 {
-        return false;
-    }
-    let lower = text.to_ascii_lowercase();
+/// Asset-file-name test over an already-lowercased single token.
+fn is_file_name(lower: &str) -> bool {
     ASSET_EXTENSIONS.iter().any(|ext| lower.ends_with(ext)) && lower.len() > 4
 }
 
@@ -146,28 +230,15 @@ fn is_label_number(text: &str) -> bool {
     let tokens: Vec<&str> = text.split_whitespace().collect();
     match tokens.as_slice() {
         [word, num] => {
-            is_integer(num)
-                && !word.is_empty()
-                && word.chars().all(|c| c.is_alphabetic())
+            is_integer(num) && !word.is_empty() && word.chars().all(|c| c.is_alphabetic())
         }
         _ => false,
     }
 }
 
-fn is_mixed_alnum(text: &str) -> bool {
-    if text.split_whitespace().count() != 1 {
-        return false;
-    }
-    let has_alpha = text.chars().any(|c| c.is_alphabetic());
-    let has_digit = text.chars().any(|c| c.is_ascii_digit());
-    let clean = text
-        .chars()
-        .all(|c| c.is_alphanumeric());
-    has_alpha && has_digit && clean
-}
-
+/// Dev-identifier test over a single token (caller guarantees one token).
 fn is_dev_label(text: &str) -> bool {
-    if text.split_whitespace().count() != 1 || text.len() < 3 {
+    if text.len() < 3 {
         return false;
     }
     let has_sep = text.contains('-') || text.contains('_');
@@ -175,9 +246,9 @@ fn is_dev_label(text: &str) -> bool {
         // kebab-case / snake_case identifiers: all-ASCII alnum segments.
         let segments: Vec<&str> = text.split(['-', '_']).collect();
         return segments.len() >= 2
-            && segments.iter().all(|s| {
-                !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric())
-            });
+            && segments
+                .iter()
+                .all(|s| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric()));
     }
     // camelCase: lowercase start, internal uppercase, ASCII only.
     let ascii = text.chars().all(|c| c.is_ascii_alphanumeric());
@@ -189,69 +260,183 @@ fn is_dev_label(text: &str) -> bool {
     starts_lower && internal_upper
 }
 
-/// Whether the text's letters are CJK-dominant (Han/kana/Hangul).
-fn is_cjk_dominant(text: &str) -> bool {
-    let mut cjk = 0usize;
-    let mut other = 0usize;
-    for c in text.chars() {
-        match script_of(c) {
-            s if s.is_cjk() => cjk += 1,
-            Script::Common | Script::Unknown => {}
-            _ => other += 1,
-        }
-    }
-    cjk > 0 && cjk >= other
-}
-
-/// Whether letters are in a scriptio-continua non-CJK script (Thai, Myanmar).
-fn is_continua_non_cjk(text: &str) -> bool {
-    let mut hits = 0usize;
-    let mut other = 0usize;
-    for c in text.chars() {
-        match script_of(c) {
-            Script::Thai | Script::Myanmar => hits += 1,
-            Script::Common | Script::Unknown => {}
-            _ => other += 1,
-        }
-    }
-    hits > 0 && hits >= other
-}
-
-fn is_too_short(text: &str) -> bool {
-    let len = text.chars().filter(|c| !c.is_whitespace()).count();
-    if is_cjk_dominant(text) {
-        len <= 1
-    } else {
-        len < 3
-    }
-}
-
-fn is_single_word(text: &str) -> bool {
-    if text.split_whitespace().count() != 1 {
-        return false;
-    }
-    // Pure digit/symbol tokens are not "words"; the language classifier
-    // upstream buckets them as non-linguistic.
-    if !text.chars().any(|c| c.is_alphabetic()) {
-        return false;
-    }
-    let len = text.chars().count();
-    if is_cjk_dominant(text) {
-        // Paper: the single-word rule applies to non-CJK scripts only.
-        return false;
-    }
-    if is_continua_non_cjk(text) {
-        return len < CONTINUA_KEEP_LEN;
-    }
-    len < SINGLE_WORD_KEEP_LEN
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn cat(text: &str) -> Option<DiscardCategory> {
         classify(text)
+    }
+
+    /// The pre-fusion implementation, kept as the oracle: every rule
+    /// re-derives its own facts from the raw text. `classify` must agree
+    /// with this on any input.
+    mod reference {
+        use super::super::*;
+
+        fn is_emoji_only(text: &str) -> bool {
+            let mut saw_emoji = false;
+            for c in text.chars() {
+                if c.is_whitespace() {
+                    continue;
+                }
+                if is_emoji_char(c) {
+                    saw_emoji = true;
+                } else if !c.is_ascii_punctuation() {
+                    return false;
+                }
+            }
+            saw_emoji
+        }
+
+        fn one_token(text: &str) -> bool {
+            text.split_whitespace().count() == 1
+        }
+
+        fn is_mixed_alnum(text: &str) -> bool {
+            one_token(text)
+                && text.chars().any(|c| c.is_alphabetic())
+                && text.chars().any(|c| c.is_ascii_digit())
+                && text.chars().all(|c| c.is_alphanumeric())
+        }
+
+        fn is_cjk_dominant(text: &str) -> bool {
+            let mut cjk = 0usize;
+            let mut other = 0usize;
+            for c in text.chars() {
+                match script_of(c) {
+                    s if s.is_cjk() => cjk += 1,
+                    Script::Common | Script::Unknown => {}
+                    _ => other += 1,
+                }
+            }
+            cjk > 0 && cjk >= other
+        }
+
+        fn is_continua_non_cjk(text: &str) -> bool {
+            let mut hits = 0usize;
+            let mut other = 0usize;
+            for c in text.chars() {
+                match script_of(c) {
+                    Script::Thai | Script::Myanmar => hits += 1,
+                    Script::Common | Script::Unknown => {}
+                    _ => other += 1,
+                }
+            }
+            hits > 0 && hits >= other
+        }
+
+        fn is_too_short(text: &str) -> bool {
+            let len = text.chars().filter(|c| !c.is_whitespace()).count();
+            if is_cjk_dominant(text) {
+                len <= 1
+            } else {
+                len < 3
+            }
+        }
+
+        fn is_single_word(text: &str) -> bool {
+            if !one_token(text) || !text.chars().any(|c| c.is_alphabetic()) {
+                return false;
+            }
+            let len = text.chars().count();
+            if is_cjk_dominant(text) {
+                return false;
+            }
+            if is_continua_non_cjk(text) {
+                return len < CONTINUA_KEEP_LEN;
+            }
+            len < SINGLE_WORD_KEEP_LEN
+        }
+
+        pub fn classify(text: &str) -> Option<DiscardCategory> {
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                return Some(DiscardCategory::TooShort);
+            }
+            let lower = trimmed.to_ascii_lowercase();
+            for category in DiscardCategory::ALL {
+                let hit = match category {
+                    DiscardCategory::Emoji => is_emoji_only(trimmed),
+                    DiscardCategory::UrlOrFilePath => one_token(trimmed) && is_url_or_path(&lower),
+                    DiscardCategory::FileName => one_token(trimmed) && is_file_name(&lower),
+                    DiscardCategory::OrdinalPhrase => is_ordinal_phrase(trimmed),
+                    DiscardCategory::LabelNumberPattern => is_label_number(trimmed),
+                    DiscardCategory::MixedAlnum => is_mixed_alnum(trimmed),
+                    DiscardCategory::DevLabel => one_token(trimmed) && is_dev_label(trimmed),
+                    DiscardCategory::GenericAction => dict::generic_action(trimmed).is_some(),
+                    DiscardCategory::Placeholder => dict::placeholder(trimmed).is_some(),
+                    DiscardCategory::TooShort => is_too_short(trimmed),
+                    DiscardCategory::SingleWord => is_single_word(trimmed),
+                };
+                if hit {
+                    return Some(category);
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn fused_classify_matches_reference() {
+        let probes = [
+            "",
+            "   ",
+            "go",
+            "🙂",
+            "🙂!!",
+            "图",
+            "图片",
+            "风景",
+            "photo",
+            "Budget",
+            "banner_img123.jpg",
+            "https://example.com/image.png",
+            "/assets/img/logo.svg",
+            "www.example.com",
+            "search",
+            "닫기",
+            "icon",
+            "btn-submit",
+            "nav_menu",
+            "navbarToggle",
+            "slide 3",
+            "figure 5",
+            "2 of 10",
+            "3/5",
+            "10 / 20 / 30",
+            "img123",
+            "icon2",
+            "a1b2c3",
+            "1234",
+            "carousel-1",
+            "chrysanthemum",
+            "Thiruvananthapuram",
+            "ตลาดน้ำดำเนินสะดวก",
+            "รูป",
+            "แผนที่",
+            "歴史博物館の入口",
+            "경복궁의 가을 풍경",
+            "finance minister presents annual budget",
+            "শিক্ষার্থীরা গাছ লাগাচ্ছে",
+            "नदी के किनारे मेला",
+            "see https://example.com for details",
+            "2 of the best",
+            "of 5",
+            " ok ",
+            "x",
+            "read more",
+            "click here",
+            "التاريخ القديم",
+            "ছবি",
+            "→",
+            "• • •",
+            "מפה",
+            "ไอคอน",
+        ];
+        for probe in probes {
+            assert_eq!(classify(probe), reference::classify(probe), "{probe:?}");
+        }
     }
 
     #[test]
@@ -362,7 +547,10 @@ mod tests {
     #[test]
     fn url_detection_variants() {
         assert_eq!(cat("www.example.com"), Some(DiscardCategory::UrlOrFilePath));
-        assert_eq!(cat("http://a.b/c?d=e"), Some(DiscardCategory::UrlOrFilePath));
+        assert_eq!(
+            cat("http://a.b/c?d=e"),
+            Some(DiscardCategory::UrlOrFilePath)
+        );
         // Multi-word strings containing a URL are informative enough.
         assert_eq!(cat("see https://example.com for details"), None);
     }

@@ -22,7 +22,10 @@ impl NodeId {
 pub enum NodeKind {
     /// The synthetic root.
     Document,
-    Element { name: String, attrs: Vec<Attribute> },
+    Element {
+        name: String,
+        attrs: Vec<Attribute>,
+    },
     Text(String),
     Comment(String),
 }

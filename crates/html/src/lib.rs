@@ -30,4 +30,6 @@ pub use builder::HtmlBuilder;
 pub use dom::{Document, NodeId, NodeKind};
 pub use parser::parse;
 pub use serialize::serialize;
-pub use visible::{visible_text, visible_text_of};
+pub use visible::{
+    visible_text, visible_text_histogram, visible_text_histogram_of, visible_text_of,
+};

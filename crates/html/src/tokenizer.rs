@@ -59,7 +59,9 @@ impl<'a> Tokenizer<'a> {
             input,
             bytes: input.as_bytes(),
             pos: 0,
-            tokens: Vec::new(),
+            // Markup averages a few dozen bytes per token; reserving up
+            // front avoids repeated growth on page-sized inputs.
+            tokens: Vec::with_capacity(input.len() / 24),
         }
     }
 
@@ -110,8 +112,9 @@ impl<'a> Tokenizer<'a> {
         let body_start = self.pos + 4;
         match self.input[body_start..].find("-->") {
             Some(end) => {
-                self.tokens
-                    .push(Token::Comment(self.input[body_start..body_start + end].to_string()));
+                self.tokens.push(Token::Comment(
+                    self.input[body_start..body_start + end].to_string(),
+                ));
                 self.pos = body_start + end + 3;
             }
             None => {
@@ -131,7 +134,7 @@ impl<'a> Tokenizer<'a> {
                 let body = &self.input[body_start..body_start + end];
                 if body
                     .get(..7)
-                    .map_or(false, |p| p.eq_ignore_ascii_case("doctype"))
+                    .is_some_and(|p| p.eq_ignore_ascii_case("doctype"))
                 {
                     self.tokens
                         .push(Token::Doctype(body[7..].trim().to_ascii_lowercase()));
@@ -148,7 +151,8 @@ impl<'a> Tokenizer<'a> {
     fn lex_end_tag(&mut self) {
         let name_start = self.pos + 2;
         let mut i = name_start;
-        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
         {
             i += 1;
         }
@@ -166,20 +170,23 @@ impl<'a> Tokenizer<'a> {
     fn lex_start_tag(&mut self) {
         let name_start = self.pos + 1;
         let mut i = name_start;
-        while i < self.bytes.len() && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
+        while i < self.bytes.len()
+            && (self.bytes[i].is_ascii_alphanumeric() || self.bytes[i] == b'-')
         {
             i += 1;
         }
         let name = self.input[name_start..i].to_ascii_lowercase();
         self.pos = i;
         let (attrs, self_closing) = self.lex_attributes();
-        let raw = is_raw_text_element(&name) && !self_closing;
+        // Clone the name only for the rare raw-text elements; every other
+        // start tag moves its name into the token without copying.
+        let raw_name = (is_raw_text_element(&name) && !self_closing).then(|| name.clone());
         self.tokens.push(Token::StartTag {
-            name: name.clone(),
+            name,
             attrs,
             self_closing,
         });
-        if raw {
+        if let Some(name) = raw_name {
             self.lex_raw_text(&name);
         }
     }
@@ -189,10 +196,24 @@ impl<'a> Tokenizer<'a> {
     /// (entity-decoded only for `title`/`textarea`, per spec these are
     /// "escapable raw text").
     fn lex_raw_text(&mut self, name: &str) {
-        let close = format!("</{name}");
         let hay = self.rest();
-        let lower = hay.to_ascii_lowercase();
-        let end = lower.find(&close).unwrap_or(hay.len());
+        // In-place case-insensitive search for `</name` — the previous
+        // implementation lowercased the whole remaining input per raw-text
+        // element, which made tokenization quadratic in page size.
+        let bytes = hay.as_bytes();
+        let name_bytes = name.as_bytes();
+        let mut end = hay.len();
+        let mut i = 0;
+        while i + 2 + name_bytes.len() <= bytes.len() {
+            if bytes[i] == b'<'
+                && bytes[i + 1] == b'/'
+                && bytes[i + 2..i + 2 + name_bytes.len()].eq_ignore_ascii_case(name_bytes)
+            {
+                end = i;
+                break;
+            }
+            i += 1;
+        }
         let body = &hay[..end];
         if !body.is_empty() {
             let text = if matches!(name, "title" | "textarea") {
@@ -246,7 +267,10 @@ impl<'a> Tokenizer<'a> {
     fn lex_one_attribute(&mut self) -> Option<Attribute> {
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && !matches!(self.bytes[self.pos], b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r')
+            && !matches!(
+                self.bytes[self.pos],
+                b'=' | b'>' | b'/' | b' ' | b'\t' | b'\n' | b'\r'
+            )
         {
             self.pos += 1;
         }
@@ -325,13 +349,17 @@ mod tests {
         assert_eq!(start(&toks, 1).0, "html");
         assert_eq!(start(&toks, 2).0, "body");
         assert_eq!(toks[3], Token::Text("Hi".into()));
-        assert_eq!(toks[4], Token::EndTag { name: "body".into() });
+        assert_eq!(
+            toks[4],
+            Token::EndTag {
+                name: "body".into()
+            }
+        );
     }
 
     #[test]
     fn attribute_forms() {
-        let toks =
-            tokenize(r#"<img src="a.png" alt='photo' width=100 hidden data-x="1&amp;2">"#);
+        let toks = tokenize(r#"<img src="a.png" alt='photo' width=100 hidden data-x="1&amp;2">"#);
         let (name, attrs, _) = start(&toks, 0);
         assert_eq!(name, "img");
         let get = |n: &str| attrs.iter().find(|a| a.name == n).map(|a| a.value.clone());
@@ -368,7 +396,12 @@ mod tests {
             toks[1],
             Token::Text(r#"if (a < b) { x = "<div>"; }"#.into())
         );
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(start(&toks, 3).0, "p");
     }
 
@@ -382,7 +415,12 @@ mod tests {
     fn raw_text_close_tag_case_insensitive() {
         let toks = tokenize("<script>x</SCRIPT>done");
         assert_eq!(toks[1], Token::Text("x".into()));
-        assert_eq!(toks[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            toks[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
         assert_eq!(toks[3], Token::Text("done".into()));
     }
 
@@ -429,8 +467,23 @@ mod tests {
     #[test]
     fn never_panics_on_junk() {
         for junk in [
-            "<", "<<", "<>", "</>", "<//>", "<!", "<!-", "<!--", "< div>", "<div", "<div /",
-            "<a b=c d='e", "<a b=\"", "&", "&#", "&#x", "\u{0}<\u{0}>",
+            "<",
+            "<<",
+            "<>",
+            "</>",
+            "<//>",
+            "<!",
+            "<!-",
+            "<!--",
+            "< div>",
+            "<div",
+            "<div /",
+            "<a b=c d='e",
+            "<a b=\"",
+            "&",
+            "&#",
+            "&#x",
+            "\u{0}<\u{0}>",
         ] {
             let _ = tokenize(junk);
         }

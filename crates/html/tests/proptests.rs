@@ -8,7 +8,8 @@
 //! 4. Visible text of built pages never contains markup characters.
 
 use langcrux_html::entities::{decode, escape_attr, escape_text};
-use langcrux_html::{parse, serialize, visible_text, HtmlBuilder};
+use langcrux_html::{parse, serialize, visible_text, visible_text_histogram, HtmlBuilder};
+use langcrux_lang::script::ScriptHistogram;
 use proptest::prelude::*;
 
 proptest! {
@@ -78,5 +79,42 @@ proptest! {
         let text = words.join(" ");
         let doc = parse(&text);
         prop_assert_eq!(visible_text(&doc), text);
+    }
+
+    #[test]
+    fn fused_histogram_equals_rescan_on_built_pages(
+        texts in prop::collection::vec("[a-zA-Z0-9 \\u{995}\\u{E01}\\u{623}\\u{430}\\u{4E2D}]{0,40}", 1..8),
+        hidden in prop::collection::vec("[a-z\\u{995} ]{0,20}", 0..3),
+    ) {
+        // The histogram computed during the single extraction walk must be
+        // identical to re-scanning the extracted visible text — on pages
+        // with multilingual content, hidden subtrees, and block structure.
+        let mut b = HtmlBuilder::document();
+        b.open("html", &[]).open("body", &[]);
+        for (i, t) in texts.iter().enumerate() {
+            if i % 2 == 0 {
+                b.leaf("p", &[], t);
+            } else {
+                b.leaf("span", &[], t);
+            }
+        }
+        for h in &hidden {
+            b.leaf("div", &[("hidden", None)], h);
+        }
+        let doc = parse(&b.finish());
+        let (text, hist) = visible_text_histogram(&doc);
+        prop_assert_eq!(&text, &visible_text(&doc));
+        prop_assert_eq!(hist, ScriptHistogram::of(&text));
+    }
+
+    #[test]
+    fn fused_histogram_equals_rescan_on_arbitrary_markup(
+        input in "(<[a-z]{1,6}( [a-z]{1,4}=\"[a-z0-9 ]{0,8}\")?>|</[a-z]{1,6}>|[a-z\\u{995}\\u{E01}\\u{4E2D} ]{0,12}){0,24}",
+    ) {
+        // Same invariant on raw, possibly-malformed markup.
+        let doc = parse(&input);
+        let (text, hist) = visible_text_histogram(&doc);
+        prop_assert_eq!(&text, &visible_text(&doc));
+        prop_assert_eq!(hist, ScriptHistogram::of(&text));
     }
 }

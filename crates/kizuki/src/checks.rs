@@ -67,7 +67,9 @@ fn evaluate_kind(
     let mut examined = 0usize;
     let mut mismatched = 0usize;
     for element in page.of_kind(kind) {
-        let Some(text) = element.content() else { continue };
+        let Some(text) = element.content() else {
+            continue;
+        };
         // Uninformative labels are excluded, as in the paper's filtering
         // step: "button" in English on a Thai page is a quality problem,
         // not a translation problem.

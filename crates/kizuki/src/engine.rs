@@ -5,7 +5,7 @@ use langcrux_audit::{AuditReport, OTHER_AUDITS_WEIGHT};
 use langcrux_crawl::PageExtract;
 use langcrux_lang::a11y::ElementKind;
 use langcrux_lang::Language;
-use langcrux_langid::detect;
+use langcrux_langid::{detect, detect_with_histogram};
 use serde::{Deserialize, Serialize};
 
 /// Detect the page's content language from its visible text (falling back
@@ -14,8 +14,25 @@ use serde::{Deserialize, Serialize};
 /// The paper's check compares alt text against "the language of the page's
 /// visible content" — detection is content-first, declaration-second,
 /// because §1 argues declared metadata is exactly what cannot be trusted.
+/// Detection consumes the script histogram the crawler computed during
+/// extraction, so rescoring a site does not re-scan its visible text.
 pub fn page_language(extract: &PageExtract) -> Option<Language> {
-    if let Some(lang) = detect(&extract.visible_text) {
+    let detected = if extract.visible_hist.total == 0 && !extract.visible_text.is_empty() {
+        // Hand-built PageExtract (e.g. via struct literal + Default)
+        // without the carried histogram: fall back to a full scan rather
+        // than silently treating the page as language-free.
+        detect(&extract.visible_text)
+    } else {
+        // The crawler guarantees the carried histogram matches the text; a
+        // stale histogram on a hand-built extract would misdetect.
+        debug_assert_eq!(
+            extract.visible_hist.total,
+            extract.visible_text.chars().count(),
+            "PageExtract.visible_hist out of sync with visible_text"
+        );
+        detect_with_histogram(&extract.visible_hist, &extract.visible_text)
+    };
+    if let Some(lang) = detected {
         return Some(lang);
     }
     let declared = extract.declared_lang.as_deref()?;
@@ -104,9 +121,7 @@ impl Kizuki {
         let mut total = OTHER_AUDITS_WEIGHT;
         for audit in &base.audits {
             total += audit.weight;
-            let downgraded = outcomes
-                .iter()
-                .any(|o| o.kind == audit.kind && !o.passed);
+            let downgraded = outcomes.iter().any(|o| o.kind == audit.kind && !o.passed);
             if audit.passed && !downgraded {
                 earned += audit.weight;
             }

@@ -137,17 +137,14 @@ impl ScreenReader {
     /// The accessible name the reader would announce for an element, or
     /// `None` when it falls back to a generic role announcement.
     fn accessible_name(element: &ExtractedElement) -> Option<String> {
-        element
-            .content()
-            .map(str::to_string)
-            .or_else(|| {
-                element
-                    .visible_fallback
-                    .as_deref()
-                    .map(str::trim)
-                    .filter(|t| !t.is_empty())
-                    .map(str::to_string)
-            })
+        element.content().map(str::to_string).or_else(|| {
+            element
+                .visible_fallback
+                .as_deref()
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+        })
     }
 
     /// Simulate announcing every accessibility element of a page.
@@ -281,7 +278,10 @@ mod tests {
         let reader = ScreenReader::voiceover_like();
         let utterances = reader.announce_page(&p, Language::Japanese);
         // document-title slot (missing) + the image.
-        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        let img = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ImageAlt)
+            .unwrap();
         assert_eq!(img.outcome, SpeechOutcome::Spoken);
         assert_eq!(img.language, Some(Language::Japanese));
     }
@@ -291,10 +291,16 @@ mod tests {
         let p = page(r#"<img src=a><a href="/x"></a>"#);
         let reader = ScreenReader::voiceover_like();
         let utterances = reader.announce_page(&p, Language::Japanese);
-        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        let img = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ImageAlt)
+            .unwrap();
         assert_eq!(img.outcome, SpeechOutcome::GenericAnnouncement);
         assert_eq!(img.text, "image");
-        let link = utterances.iter().find(|u| u.kind == ElementKind::LinkName).unwrap();
+        let link = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::LinkName)
+            .unwrap();
         assert_eq!(link.outcome, SpeechOutcome::GenericAnnouncement);
         assert_eq!(link.text, "link");
     }
@@ -305,7 +311,10 @@ mod tests {
         let p = page(r#"<img src=a alt="নদীর ধারে সূর্যাস্ত">"#);
         let reader = ScreenReader::voiceover_like();
         let utterances = reader.announce_page(&p, Language::Bangla);
-        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        let img = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ImageAlt)
+            .unwrap();
         assert_eq!(img.outcome, SpeechOutcome::Mispronounced);
     }
 
@@ -315,7 +324,10 @@ mod tests {
         let p = page(r#"<img src=a alt="ٹھیک ہے دنیا کی تصویر ہے">"#);
         let reader = ScreenReader::voiceover_like();
         let utterances = reader.announce_page(&p, Language::Urdu);
-        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        let img = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ImageAlt)
+            .unwrap();
         assert_eq!(reader.support(Language::Urdu), EngineSupport::None);
         assert_eq!(img.outcome, SpeechOutcome::Skipped);
     }
@@ -325,7 +337,10 @@ mod tests {
         let p = page(r#"<img src=a alt="ดาวน์โหลด app ใหม่ for android">"#);
         let reader = ScreenReader::voiceover_like();
         let utterances = reader.announce_page(&p, Language::Thai);
-        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        let img = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ImageAlt)
+            .unwrap();
         assert_eq!(img.outcome, SpeechOutcome::Mispronounced);
     }
 
@@ -334,7 +349,10 @@ mod tests {
         let p = page(r#"<button>Αναζήτηση εγγράφων</button>"#);
         let reader = ScreenReader::voiceover_like();
         let utterances = reader.announce_page(&p, Language::Greek);
-        let button = utterances.iter().find(|u| u.kind == ElementKind::ButtonName).unwrap();
+        let button = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ButtonName)
+            .unwrap();
         assert_eq!(button.outcome, SpeechOutcome::Spoken);
         assert_eq!(button.text, "Αναζήτηση εγγράφων");
     }
@@ -352,8 +370,8 @@ mod tests {
         // 3 images + missing document-title slot.
         assert_eq!(stats.total(), 4);
         assert_eq!(stats.generic, 2); // missing alt + missing title
-        // English alt on a Japanese page is spoken (English engine exists,
-        // pure label) — degraded = 2 generic of 4.
+                                      // English alt on a Japanese page is spoken (English engine exists,
+                                      // pure label) — degraded = 2 generic of 4.
         assert!((stats.degraded_pct() - 50.0).abs() < 1e-9);
         let mut merged = stats;
         merged.merge(&stats);
@@ -365,7 +383,10 @@ mod tests {
         let p = page(r#"<img src=a alt="Φωτογραφία λιμανιού">"#);
         let reader = ScreenReader::english_only();
         let utterances = reader.announce_page(&p, Language::Greek);
-        let img = utterances.iter().find(|u| u.kind == ElementKind::ImageAlt).unwrap();
+        let img = utterances
+            .iter()
+            .find(|u| u.kind == ElementKind::ImageAlt)
+            .unwrap();
         assert_eq!(img.outcome, SpeechOutcome::Skipped);
         assert_eq!(reader.name(), "english-only");
     }

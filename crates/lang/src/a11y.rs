@@ -80,7 +80,10 @@ impl ElementKind {
 
     /// Parse an audit id back to a kind.
     pub fn from_audit_id(id: &str) -> Option<ElementKind> {
-        ElementKind::ALL.iter().copied().find(|k| k.audit_id() == id)
+        ElementKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.audit_id() == id)
     }
 
     /// The primary HTML tag this kind targets.

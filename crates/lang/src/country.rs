@@ -210,8 +210,7 @@ mod tests {
 
     #[test]
     fn study_languages_are_exactly_the_included_set() {
-        let mut langs: Vec<Language> =
-            Country::STUDY.iter().map(|c| c.target_language()).collect();
+        let mut langs: Vec<Language> = Country::STUDY.iter().map(|c| c.target_language()).collect();
         langs.sort();
         let mut included = Language::INCLUDED.to_vec();
         included.sort();

@@ -271,14 +271,60 @@ pub fn matches_term_list(text: &str, list: &[Term]) -> Option<Term> {
         .find(|term| term.text == trimmed || term.text.to_lowercase() == lowered)
 }
 
+/// A case-folded dictionary index: terms sorted by lowercased text for
+/// binary-search lookup. Built once per list; `matches_term_list` re-lowers
+/// every term on every call, which made dictionary checks the single most
+/// expensive step of accessibility-text filtering at crawl scale.
+struct TermIndex {
+    /// `(lowercased text, term)` sorted by text; duplicate keys keep the
+    /// first list occurrence, matching `matches_term_list` priority.
+    entries: Vec<(String, Term)>,
+}
+
+impl TermIndex {
+    fn build(list: &[Term]) -> TermIndex {
+        let mut entries: Vec<(String, Term)> = Vec::with_capacity(list.len());
+        for term in list {
+            let key = term.text.to_lowercase();
+            if !entries.iter().any(|(k, _)| *k == key) {
+                entries.push((key, *term));
+            }
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        TermIndex { entries }
+    }
+
+    fn lookup(&self, text: &str) -> Option<Term> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        let lowered = trimmed.to_lowercase();
+        self.entries
+            .binary_search_by(|(k, _)| k.as_str().cmp(lowered.as_str()))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+}
+
+fn action_index() -> &'static TermIndex {
+    static INDEX: std::sync::OnceLock<TermIndex> = std::sync::OnceLock::new();
+    INDEX.get_or_init(|| TermIndex::build(GENERIC_ACTIONS))
+}
+
+fn placeholder_index() -> &'static TermIndex {
+    static INDEX: std::sync::OnceLock<TermIndex> = std::sync::OnceLock::new();
+    INDEX.get_or_init(|| TermIndex::build(PLACEHOLDERS))
+}
+
 /// Look up a generic-action term.
 pub fn generic_action(text: &str) -> Option<Term> {
-    matches_term_list(text, GENERIC_ACTIONS)
+    action_index().lookup(text)
 }
 
 /// Look up a placeholder term.
 pub fn placeholder(text: &str) -> Option<Term> {
-    matches_term_list(text, PLACEHOLDERS)
+    placeholder_index().lookup(text)
 }
 
 /// All generic actions in a given language (used by the generator to plant
@@ -306,6 +352,33 @@ mod tests {
     use crate::script::{script_of, Script};
 
     #[test]
+    fn index_agrees_with_linear_term_scan() {
+        // The binary-search index must return exactly what the reference
+        // linear scan returns, for every term and some case variants.
+        for list in [GENERIC_ACTIONS, PLACEHOLDERS] {
+            for term in list {
+                for probe in [
+                    term.text.to_string(),
+                    term.text.to_uppercase(),
+                    format!("  {}  ", term.text),
+                ] {
+                    assert_eq!(
+                        matches_term_list(&probe, list),
+                        if list == GENERIC_ACTIONS {
+                            generic_action(&probe)
+                        } else {
+                            placeholder(&probe)
+                        },
+                        "{probe:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(generic_action("no such term"), None);
+        assert_eq!(placeholder(""), None);
+    }
+
+    #[test]
     fn english_actions_match_case_insensitively() {
         assert!(generic_action("Close").is_some());
         assert!(generic_action("SEARCH").is_some());
@@ -315,13 +388,22 @@ mod tests {
 
     #[test]
     fn native_actions_match_exactly() {
-        assert_eq!(generic_action("닫기").map(|t| t.language), Some(Language::Korean));
-        assert_eq!(generic_action("検索").map(|t| t.language), Some(Language::Japanese));
+        assert_eq!(
+            generic_action("닫기").map(|t| t.language),
+            Some(Language::Korean)
+        );
+        assert_eq!(
+            generic_action("検索").map(|t| t.language),
+            Some(Language::Japanese)
+        );
         assert_eq!(
             generic_action("поиск").map(|t| t.language),
             Some(Language::Russian)
         );
-        assert_eq!(generic_action("ค้นหา").map(|t| t.language), Some(Language::Thai));
+        assert_eq!(
+            generic_action("ค้นหา").map(|t| t.language),
+            Some(Language::Thai)
+        );
     }
 
     #[test]
@@ -365,7 +447,11 @@ mod tests {
             });
             // Loan words written in Latin (e.g. none currently) would fail
             // here; the dictionaries intentionally keep scripts pure.
-            assert!(ok, "{:?} term {:?} has no {:?} evidence", term.language, term.text, evidence);
+            assert!(
+                ok,
+                "{:?} term {:?} has no {:?} evidence",
+                term.language, term.text, evidence
+            );
             // And no term may be pure-Common.
             assert!(term.text.chars().any(|c| script_of(c) != Script::Common));
         }

@@ -21,18 +21,18 @@ use serde::{Deserialize, Serialize};
 pub enum Language {
     /// Contrast language; the only Latin-script entry.
     English,
-    MandarinChinese, // (included) China
-    Hindi,           // (included) India
+    MandarinChinese,      // (included) China
+    Hindi,                // (included) India
     ModernStandardArabic, // (included) Algeria
-    Bangla,          // (included) Bangladesh
-    Russian,         // (included) Russia
-    Japanese,        // (included) Japan
-    EgyptianArabic,  // (included) Egypt
-    Cantonese,       // (included) Hong Kong
-    Korean,          // (included) South Korea
-    Thai,            // (included) Thailand
-    Greek,           // (included) Greece
-    Hebrew,          // (included) Israel
+    Bangla,               // (included) Bangladesh
+    Russian,              // (included) Russia
+    Japanese,             // (included) Japan
+    EgyptianArabic,       // (included) Egypt
+    Cantonese,            // (included) Hong Kong
+    Korean,               // (included) South Korea
+    Thai,                 // (included) Thailand
+    Greek,                // (included) Greece
+    Hebrew,               // (included) Israel
     // ---- candidates excluded by the inclusion criteria ----
     Urdu,
     Tamil,
@@ -172,9 +172,12 @@ impl Language {
     /// * Marathi: `ळ` (retroflex lateral) is frequent in Marathi and rare in
     ///   Hindi.
     /// * Japanese: kana (already separated at the script level).
+    ///
+    /// Each set is sorted by codepoint (a tested invariant), so membership
+    /// checks can binary-search instead of scanning.
     pub fn disambiguation_chars(self) -> &'static [char] {
         match self {
-            Language::Urdu => &['ٹ', 'ڈ', 'ڑ', 'ں', 'ھ', 'ہ', 'ے', 'پ', 'چ', 'گ', 'ژ'],
+            Language::Urdu => &['ٹ', 'پ', 'چ', 'ڈ', 'ڑ', 'ژ', 'گ', 'ں', 'ھ', 'ہ', 'ے'],
             Language::Persian => &['پ', 'چ', 'ژ', 'گ'],
             Language::Marathi => &['ळ'],
             Language::Nepali => &['ँ'],
@@ -318,7 +321,10 @@ mod tests {
     fn included_speakers_sum_matches_paper() {
         // §2: "Collectively, these 12 languages are spoken by over 3.19
         // billion people".
-        let total: f64 = Language::INCLUDED.iter().map(|l| l.speakers_millions()).sum();
+        let total: f64 = Language::INCLUDED
+            .iter()
+            .map(|l| l.speakers_millions())
+            .sum();
         assert!(total > 3_190.0 - 10.0 && total < 3_300.0, "total = {total}");
     }
 
@@ -332,6 +338,16 @@ mod tests {
                     l,
                     script_of(c)
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn disambiguation_chars_are_sorted_sets() {
+        for l in Language::CANDIDATE_POOL {
+            let set = l.disambiguation_chars();
+            for w in set.windows(2) {
+                assert!(w[0] < w[1], "{l:?}: {:?} !< {:?}", w[0], w[1]);
             }
         }
     }

@@ -121,7 +121,23 @@ impl Script {
     pub fn is_rtl(self) -> bool {
         matches!(self, Script::Hebrew | Script::Arabic)
     }
+
+    /// Dense index of a distinguishing script (declaration order); used by
+    /// the fixed-size histogram. `Common`/`Unknown` have no slot.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Script::index`] for distinguishing scripts.
+    #[inline]
+    pub const fn from_index(i: usize) -> Script {
+        Script::ALL_DISTINGUISHING[i]
+    }
 }
+
+/// Number of distinguishing scripts (histogram slots).
+pub const DISTINGUISHING_SCRIPTS: usize = Script::ALL_DISTINGUISHING.len();
 
 /// An inclusive codepoint range assigned to one script.
 #[derive(Debug, Clone, Copy)]
@@ -188,11 +204,101 @@ const fn r(start: u32, end: u32, script: Script) -> ScriptRange {
     ScriptRange { start, end, script }
 }
 
+/// The flat classification table driving [`script_of`]: `SCRIPT_RANGES`
+/// merged with the shared-character (`Common`) ranges that the old
+/// implementation special-cased with per-call branch chains — the Latin-1
+/// `×`/`÷` signs, general punctuation and symbols (U+2000–U+2BFF), and CJK
+/// punctuation (U+3000–U+303F). Sorted and disjoint, so one binary search
+/// classifies any non-ASCII character; a parallel `starts` array keeps the
+/// search cache-friendly.
+const LOOKUP_RANGES: &[ScriptRange] = &[
+    r(0x0041, 0x005A, Script::Latin),
+    r(0x0061, 0x007A, Script::Latin),
+    r(0x00C0, 0x00D6, Script::Latin),
+    r(0x00D7, 0x00D7, Script::Common), // multiplication sign
+    r(0x00D8, 0x00F6, Script::Latin),
+    r(0x00F7, 0x00F7, Script::Common), // division sign
+    r(0x00F8, 0x00FF, Script::Latin),
+    r(0x0100, 0x024F, Script::Latin),
+    r(0x0370, 0x03FF, Script::Greek),
+    r(0x0400, 0x04FF, Script::Cyrillic),
+    r(0x0500, 0x052F, Script::Cyrillic),
+    r(0x0590, 0x05FF, Script::Hebrew),
+    r(0x0600, 0x06FF, Script::Arabic),
+    r(0x0750, 0x077F, Script::Arabic),
+    r(0x08A0, 0x08FF, Script::Arabic),
+    r(0x0900, 0x097F, Script::Devanagari),
+    r(0x0980, 0x09FF, Script::Bengali),
+    r(0x0A00, 0x0A7F, Script::Gurmukhi),
+    r(0x0A80, 0x0AFF, Script::Gujarati),
+    r(0x0B80, 0x0BFF, Script::Tamil),
+    r(0x0C00, 0x0C7F, Script::Telugu),
+    r(0x0C80, 0x0CFF, Script::Kannada),
+    r(0x0D00, 0x0D7F, Script::Malayalam),
+    r(0x0D80, 0x0DFF, Script::Sinhala),
+    r(0x0E00, 0x0E7F, Script::Thai),
+    r(0x1000, 0x109F, Script::Myanmar),
+    r(0x10A0, 0x10FF, Script::Georgian),
+    r(0x1100, 0x11FF, Script::Hangul),
+    r(0x1200, 0x137F, Script::Ethiopic),
+    r(0x13A0, 0x13FF, Script::Unknown), // Cherokee (not in pool)
+    r(0x1780, 0x17FF, Script::Unknown), // Khmer (not in pool)
+    r(0x1C90, 0x1CBF, Script::Georgian),
+    r(0x1E00, 0x1EFF, Script::Latin),
+    r(0x1F00, 0x1FFF, Script::Greek),
+    r(0x2000, 0x2BFF, Script::Common), // punctuation, symbols, arrows
+    r(0x3000, 0x303F, Script::Common), // CJK punctuation
+    r(0x3040, 0x309F, Script::Hiragana),
+    r(0x30A0, 0x30FF, Script::Katakana),
+    r(0x3130, 0x318F, Script::Hangul),
+    r(0x31F0, 0x31FF, Script::Katakana),
+    r(0x3400, 0x4DBF, Script::Han),
+    r(0x4E00, 0x9FFF, Script::Han),
+    r(0xA8E0, 0xA8FF, Script::Devanagari),
+    r(0xAC00, 0xD7AF, Script::Hangul),
+    r(0xF900, 0xFAFF, Script::Han),
+    r(0xFB1D, 0xFB4F, Script::Hebrew),
+    r(0xFB50, 0xFDFF, Script::Arabic),
+    r(0xFE70, 0xFEFF, Script::Arabic),
+    r(0x20000, 0x2A6DF, Script::Han),
+];
+
+/// Range starts extracted into a flat array so the hot binary search scans
+/// contiguous `u32`s instead of striding over 12-byte `ScriptRange`s.
+const LOOKUP_STARTS: [u32; LOOKUP_RANGES.len()] = {
+    let mut starts = [0u32; LOOKUP_RANGES.len()];
+    let mut i = 0;
+    while i < LOOKUP_RANGES.len() {
+        starts[i] = LOOKUP_RANGES[i].start;
+        i += 1;
+    }
+    starts
+};
+
+/// Direct classification table for the ASCII fast path.
+const ASCII_TABLE: [Script; 128] = {
+    let mut table = [Script::Common; 128];
+    let mut i = b'A';
+    while i <= b'Z' {
+        table[i as usize] = Script::Latin;
+        i += 1;
+    }
+    let mut i = b'a';
+    while i <= b'z' {
+        table[i as usize] = Script::Latin;
+        i += 1;
+    }
+    table
+};
+
 /// Classify a single character into a [`Script`].
 ///
 /// ASCII digits, punctuation, whitespace and symbols return
 /// [`Script::Common`]; characters inside a tabulated block return that
-/// block's script; everything else returns [`Script::Unknown`].
+/// block's script; everything else returns [`Script::Unknown`]. The lookup
+/// is fully table-driven: a 128-entry direct table for ASCII, then one
+/// binary search over [`LOOKUP_RANGES`] — no per-call chains of range
+/// comparisons.
 ///
 /// ```
 /// use langcrux_lang::script::{script_of, Script};
@@ -201,38 +307,26 @@ const fn r(start: u32, end: u32, script: Script) -> ScriptRange {
 /// assert_eq!(script_of('7'), Script::Common);
 /// assert_eq!(script_of('한'), Script::Hangul);
 /// ```
+#[inline]
 pub fn script_of(c: char) -> Script {
     let cp = c as u32;
-    // Fast path: ASCII.
     if cp < 0x80 {
-        return if c.is_ascii_alphabetic() {
-            Script::Latin
-        } else {
-            Script::Common
-        };
+        return ASCII_TABLE[cp as usize];
     }
-    // Multiplication/division signs sit inside the Latin-1 letter run.
-    if cp == 0x00D7 || cp == 0x00F7 {
-        return Script::Common;
-    }
-    // General punctuation, symbols, and format characters are common.
-    if (0x2000..=0x2BFF).contains(&cp) || (0x3000..=0x303F).contains(&cp) {
-        return Script::Common;
-    }
-    if c.is_whitespace() {
-        return Script::Common;
-    }
-    match SCRIPT_RANGES.binary_search_by(|range| {
-        if cp < range.start {
-            std::cmp::Ordering::Greater
-        } else if cp > range.end {
-            std::cmp::Ordering::Less
-        } else {
-            std::cmp::Ordering::Equal
+    // Index of the last range whose start is <= cp, if any.
+    let idx = LOOKUP_STARTS.partition_point(|&start| start <= cp);
+    if idx > 0 {
+        let range = &LOOKUP_RANGES[idx - 1];
+        if cp <= range.end {
+            return range.script;
         }
-    }) {
-        Ok(idx) => SCRIPT_RANGES[idx].script,
-        Err(_) => Script::Unknown,
+    }
+    // Gaps: whitespace not covered by a table range (NBSP, NEL, Ogham
+    // space, …) counts as Common; everything else is non-evidence.
+    if c.is_whitespace() {
+        Script::Common
+    } else {
+        Script::Unknown
     }
 }
 
@@ -241,9 +335,15 @@ pub fn script_of(c: char) -> Script {
 /// This is the core primitive behind the paper's 50%-native-content
 /// threshold: count characters per script, ignore `Common`, and compare
 /// the target script share against the total of distinguishing characters.
+///
+/// Counts live in a fixed `[usize; 22]` indexed by [`Script::index`], so a
+/// histogram is a small stack value — `push` is two array increments with
+/// no allocation or linear probing, and per-label classification can build
+/// one on the stack for every accessibility element without touching the
+/// heap.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScriptHistogram {
-    counts: Vec<(Script, usize)>,
+    counts: [usize; DISTINGUISHING_SCRIPTS],
     /// Characters classified as `Common` (not part of any share).
     pub common: usize,
     /// Characters classified as `Unknown`.
@@ -263,15 +363,13 @@ impl ScriptHistogram {
     }
 
     /// Add a single character to the histogram.
+    #[inline]
     pub fn push(&mut self, c: char) {
         self.total += 1;
         match script_of(c) {
             Script::Common => self.common += 1,
             Script::Unknown => self.unknown += 1,
-            s => match self.counts.iter_mut().find(|(sc, _)| *sc == s) {
-                Some((_, n)) => *n += 1,
-                None => self.counts.push((s, 1)),
-            },
+            s => self.counts[s.index()] += 1,
         }
     }
 
@@ -280,26 +378,23 @@ impl ScriptHistogram {
         self.common += other.common;
         self.unknown += other.unknown;
         self.total += other.total;
-        for &(s, n) in &other.counts {
-            match self.counts.iter_mut().find(|(sc, _)| *sc == s) {
-                Some((_, m)) => *m += n,
-                None => self.counts.push((s, n)),
-            }
+        for (slot, n) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += n;
         }
     }
 
     /// Count of characters in a given script.
+    #[inline]
     pub fn count(&self, script: Script) -> usize {
-        self.counts
-            .iter()
-            .find(|(s, _)| *s == script)
-            .map(|(_, n)| *n)
-            .unwrap_or(0)
+        match script {
+            Script::Common | Script::Unknown => 0,
+            s => self.counts[s.index()],
+        }
     }
 
     /// Total count of distinguishing (non-common, non-unknown) characters.
     pub fn distinguishing_total(&self) -> usize {
-        self.counts.iter().map(|(_, n)| n).sum()
+        self.counts.iter().sum()
     }
 
     /// Share (0.0–1.0) of `script` among distinguishing characters.
@@ -317,20 +412,28 @@ impl ScriptHistogram {
     /// Ties break toward the lower-ordered `Script` variant so the result is
     /// deterministic.
     pub fn dominant(&self) -> Option<Script> {
-        self.counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-            .map(|(s, _)| *s)
+        let mut best: Option<(usize, usize)> = None; // (index, count)
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n > 0 && best.is_none_or(|(_, b)| n > b) {
+                best = Some((i, n));
+            }
+        }
+        best.map(|(i, _)| Script::from_index(i))
     }
 
-    /// Iterate over `(script, count)` pairs for distinguishing scripts.
+    /// Iterate over `(script, count)` pairs for scripts that are present,
+    /// in [`Script`] declaration order.
     pub fn iter(&self) -> impl Iterator<Item = (Script, usize)> + '_ {
-        self.counts.iter().copied()
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Script::from_index(i), n))
     }
 
     /// Number of distinct distinguishing scripts present.
     pub fn script_count(&self) -> usize {
-        self.counts.len()
+        self.counts.iter().filter(|&&n| n > 0).count()
     }
 }
 
@@ -350,6 +453,51 @@ mod tests {
         }
         for range in SCRIPT_RANGES {
             assert!(range.start <= range.end, "inverted range {:?}", range);
+        }
+    }
+
+    #[test]
+    fn lookup_table_is_sorted_and_disjoint() {
+        for w in LOOKUP_RANGES.windows(2) {
+            assert!(
+                w[0].end < w[1].start,
+                "lookup ranges overlap or unsorted: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for range in LOOKUP_RANGES {
+            assert!(range.start <= range.end, "inverted range {:?}", range);
+        }
+    }
+
+    #[test]
+    fn lookup_table_covers_script_ranges() {
+        // Every letter range of the documentation table classifies to the
+        // same script through the merged lookup table (spot-check range
+        // edges plus midpoints).
+        for range in SCRIPT_RANGES {
+            for cp in [range.start, (range.start + range.end) / 2, range.end] {
+                if let Some(c) = char::from_u32(cp) {
+                    assert_eq!(script_of(c), range.script, "U+{cp:04X} misclassified");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn script_index_round_trips() {
+        for (i, s) in Script::ALL_DISTINGUISHING.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Script::from_index(i), *s);
+        }
+    }
+
+    #[test]
+    fn whitespace_gaps_are_common() {
+        // Whitespace outside every table range must stay Common.
+        for c in ['\u{A0}', '\u{85}', '\u{1680}', '\u{2028}', '\u{3000}'] {
+            assert_eq!(script_of(c), Script::Common, "{c:?}");
         }
     }
 

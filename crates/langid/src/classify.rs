@@ -127,16 +127,28 @@ mod tests {
 
     #[test]
     fn non_linguistic_label() {
-        assert_eq!(classify_label("1 / 5", Language::Thai), LabelLanguage::NonLinguistic);
-        assert_eq!(classify_label("→", Language::Thai), LabelLanguage::NonLinguistic);
-        assert_eq!(classify_label("", Language::Thai), LabelLanguage::NonLinguistic);
+        assert_eq!(
+            classify_label("1 / 5", Language::Thai),
+            LabelLanguage::NonLinguistic
+        );
+        assert_eq!(
+            classify_label("→", Language::Thai),
+            LabelLanguage::NonLinguistic
+        );
+        assert_eq!(
+            classify_label("", Language::Thai),
+            LabelLanguage::NonLinguistic
+        );
     }
 
     #[test]
     fn tiny_english_accent_does_not_break_native() {
         // 1 Latin char in 20 native chars stays Native (below 10%).
         let text = "בדיקהבדיקהבדיקהבדיקה x";
-        assert_eq!(classify_label(text, Language::Hebrew), LabelLanguage::Native);
+        assert_eq!(
+            classify_label(text, Language::Hebrew),
+            LabelLanguage::Native
+        );
     }
 
     #[test]

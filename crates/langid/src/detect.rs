@@ -30,7 +30,17 @@ fn detection_candidates() -> impl Iterator<Item = Language> {
 /// e.g. Arabic-script text containing `ٹ`/`ڑ`/`ے` resolves to Urdu, and
 /// Han text containing kana resolves to Japanese.
 pub fn detect(text: &str) -> Option<Language> {
-    let hist = ScriptHistogram::of(text);
+    detect_with_histogram(&ScriptHistogram::of(text), text)
+}
+
+/// [`detect`] from a pre-computed histogram of `text` (e.g. the one the
+/// crawler carries on `PageExtract` from its fused extraction walk).
+///
+/// For most dominant scripts this touches only the histogram; the text is
+/// re-read solely when a shared script needs disambiguation characters
+/// (Arabic ↔ Urdu/Persian, Devanagari's Hindi ↔ Marathi, Han-only pages
+/// for Cantonese markers), and those passes are sorted-set binary probes.
+pub fn detect_with_histogram(hist: &ScriptHistogram, text: &str) -> Option<Language> {
     if hist.distinguishing_total() == 0 {
         return None;
     }
@@ -39,21 +49,47 @@ pub fn detect(text: &str) -> Option<Language> {
     match dominant {
         Script::Arabic => Some(disambiguate_arabic(text)),
         Script::Devanagari => Some(disambiguate_devanagari(text)),
-        Script::Han | Script::Hiragana | Script::Katakana => Some(disambiguate_cjk(&hist, text)),
+        Script::Han | Script::Hiragana | Script::Katakana => Some(disambiguate_cjk(hist, text)),
         script => detection_candidates().find(|l| l.primary_script() == script),
     }
 }
 
+/// Count how many chars of `text` are in `set`, which must be sorted by
+/// codepoint so each char costs one binary search instead of a scan.
 fn count_chars(text: &str, set: &[char]) -> usize {
-    text.chars().filter(|c| set.contains(c)).count()
+    debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be sorted");
+    text.chars()
+        .filter(|c| set.binary_search(c).is_ok())
+        .count()
+}
+
+/// Sorted-set membership for a single char.
+#[inline]
+fn in_set(c: char, set: &[char]) -> bool {
+    set.binary_search(&c).is_ok()
 }
 
 fn disambiguate_arabic(text: &str) -> Language {
-    let urdu = count_chars(text, Language::Urdu.disambiguation_chars());
-    let persian = count_chars(text, Language::Persian.disambiguation_chars());
+    // Urdu letters absent from Persian's shared Perso-Arabic additions
+    // (sorted by codepoint for binary search).
+    const URDU_ONLY: &[char] = &['ٹ', 'ڈ', 'ڑ', 'ں', 'ھ', 'ہ', 'ے'];
+    let urdu_set = Language::Urdu.disambiguation_chars();
+    let persian_set = Language::Persian.disambiguation_chars();
+    // One pass over the text, counting all three sets simultaneously.
+    let (mut urdu, mut persian, mut urdu_only) = (0usize, 0usize, 0usize);
+    for c in text.chars() {
+        if in_set(c, urdu_set) {
+            urdu += 1;
+            if in_set(c, URDU_ONLY) {
+                urdu_only += 1;
+            }
+        }
+        if in_set(c, persian_set) {
+            persian += 1;
+        }
+    }
     // Urdu's set is a superset of Persian's four letters; require evidence
     // beyond the shared ones for Urdu.
-    let urdu_only = count_chars(text, &['ٹ', 'ڈ', 'ڑ', 'ں', 'ھ', 'ہ', 'ے']);
     if urdu_only > 0 {
         Language::Urdu
     } else if persian > 0 && urdu == persian {
@@ -78,8 +114,11 @@ fn disambiguate_cjk(hist: &ScriptHistogram, text: &str) -> Language {
     if kana > 0 {
         return Language::Japanese;
     }
-    // Cantonese-specific characters distinguish Hong Kong pages.
-    const CANTONESE_MARKERS: &[char] = &['嘅', '咗', '哋', '冇', '嚟', '睇', '乜', '噉', '咁', '唔', '畀', '嗰', '啲'];
+    // Cantonese-specific characters distinguish Hong Kong pages (sorted by
+    // codepoint for binary search).
+    const CANTONESE_MARKERS: &[char] = &[
+        '乜', '冇', '咁', '咗', '哋', '唔', '啲', '嗰', '嘅', '噉', '嚟', '畀', '睇',
+    ];
     if count_chars(text, CANTONESE_MARKERS) > 0 {
         Language::Cantonese
     } else {
@@ -162,7 +201,7 @@ impl TrigramDetector {
                 .iter()
                 .filter_map(|(g, w)| model.get(g).map(|m| m * w))
                 .sum();
-            if best.map_or(true, |(_, b)| score > b) {
+            if best.is_none_or(|(_, b)| score > b) {
                 best = Some((*lang, score));
             }
         }
@@ -193,7 +232,10 @@ mod tests {
 
     #[test]
     fn arabic_vs_urdu_disambiguation() {
-        assert_eq!(detect("مرحبا بالعالم"), Some(Language::ModernStandardArabic));
+        assert_eq!(
+            detect("مرحبا بالعالم"),
+            Some(Language::ModernStandardArabic)
+        );
         // Urdu with retroflex ٹ and final ے.
         assert_eq!(detect("ہیلو دنیا ٹھیک ہے"), Some(Language::Urdu));
     }
@@ -224,7 +266,9 @@ mod tests {
         let mut det = TrigramDetector::new();
         det.train(Language::English, sample(Language::English));
         det.train(Language::Russian, sample(Language::Russian));
-        let (lang, score) = det.classify("the government announced a new policy").unwrap();
+        let (lang, score) = det
+            .classify("the government announced a new policy")
+            .unwrap();
         assert_eq!(lang, Language::English);
         assert!(score > 0.0);
         let (lang, _) = det.classify("новости правительства и политика").unwrap();

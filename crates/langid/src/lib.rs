@@ -20,5 +20,5 @@ pub mod composition;
 pub mod detect;
 
 pub use classify::{classify_label, LabelLanguage};
-pub use composition::{composition, meets_native_threshold, Composition};
-pub use detect::{detect, TrigramDetector};
+pub use composition::{composition, composition_of_histogram, meets_native_threshold, Composition};
+pub use detect::{detect, detect_with_histogram, TrigramDetector};

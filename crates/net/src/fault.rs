@@ -127,7 +127,11 @@ impl FaultDice {
         }
         let mut r = rng::rng_for(
             self.seed,
-            &[self.host_id, u64::from(self.attempt), RollPurpose::Latency.stream()],
+            &[
+                self.host_id,
+                u64::from(self.attempt),
+                RollPurpose::Latency.stream(),
+            ],
         );
         plan.base_latency_ms + r.gen_range(0..=plan.jitter_ms)
     }

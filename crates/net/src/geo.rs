@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn no_single_provider_covers_everything() {
         for p in PROVIDERS {
-            let covered = Country::STUDY.iter().filter(|c| p.endpoints.contains(c)).count();
+            let covered = Country::STUDY
+                .iter()
+                .filter(|c| p.endpoints.contains(c))
+                .count();
             assert!(covered < 12, "{} covers all study countries", p.name);
         }
     }

@@ -111,7 +111,12 @@ impl Internet {
     }
 
     /// Convenience registration with no VPN detection or geo-blocking.
-    pub fn register_simple(&mut self, host: &str, country: Country, server: Box<dyn ContentServer>) {
+    pub fn register_simple(
+        &mut self,
+        host: &str,
+        country: Country,
+        server: Box<dyn ContentServer>,
+    ) {
         self.register(host, country, 0.0, 0.0, server);
     }
 
@@ -247,7 +252,13 @@ mod tests {
         let mut net = Internet::new(7, FaultPlan::RELIABLE);
         net.register_simple("news.bd", Country::Bangladesh, test_server("bd"));
         net.register("wall.th", Country::Thailand, 0.0, 1.0, test_server("th"));
-        net.register("paranoid.bd", Country::Bangladesh, 1.0, 0.0, test_server("pbd"));
+        net.register(
+            "paranoid.bd",
+            Country::Bangladesh,
+            1.0,
+            0.0,
+            test_server("pbd"),
+        );
         net
     }
 
@@ -312,7 +323,10 @@ mod tests {
             Url::from_host("wall.th"),
             Vantage::Residential(Country::Thailand),
         );
-        assert_eq!(net.fetch(&national).unwrap().variant, ContentVariant::Localized);
+        assert_eq!(
+            net.fetch(&national).unwrap().variant,
+            ContentVariant::Localized
+        );
     }
 
     #[test]
@@ -349,11 +363,7 @@ mod tests {
         let build = || {
             let mut net = Internet::new(99, FaultPlan::HOSTILE);
             for i in 0..50 {
-                net.register_simple(
-                    &format!("h{i}.bd"),
-                    Country::Bangladesh,
-                    test_server("x"),
-                );
+                net.register_simple(&format!("h{i}.bd"), Country::Bangladesh, test_server("x"));
             }
             net
         };

@@ -135,6 +135,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(FetchError::Timeout.to_string(), "request timed out");
-        assert!(FetchError::UnknownHost("x.y".into()).to_string().contains("x.y"));
+        assert!(FetchError::UnknownHost("x.y".into())
+            .to_string()
+            .contains("x.y"));
     }
 }

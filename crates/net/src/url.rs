@@ -86,8 +86,10 @@ impl Url {
             return self.host.clone();
         }
         let second_level = labels[labels.len() - 2];
-        let take = if matches!(second_level, "gov" | "co" | "ac" | "or" | "com" | "edu" | "net")
-            && labels[labels.len() - 1].len() == 2
+        let take = if matches!(
+            second_level,
+            "gov" | "co" | "ac" | "or" | "com" | "edu" | "net"
+        ) && labels[labels.len() - 1].len() == 2
         {
             3
         } else {
@@ -141,15 +143,21 @@ mod tests {
     #[test]
     fn registrable_domain() {
         assert_eq!(
-            Url::parse("https://www.news.example.bd/").unwrap().registrable_domain(),
+            Url::parse("https://www.news.example.bd/")
+                .unwrap()
+                .registrable_domain(),
             "example.bd"
         );
         assert_eq!(
-            Url::parse("https://portal.gov.bd/x").unwrap().registrable_domain(),
+            Url::parse("https://portal.gov.bd/x")
+                .unwrap()
+                .registrable_domain(),
             "portal.gov.bd"
         );
         assert_eq!(
-            Url::parse("https://example.com/").unwrap().registrable_domain(),
+            Url::parse("https://example.com/")
+                .unwrap()
+                .registrable_domain(),
             "example.com"
         );
     }

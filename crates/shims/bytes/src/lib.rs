@@ -1,0 +1,88 @@
+//! Minimal in-tree stand-in for the `bytes` crate: an immutable, cheaply
+//! cloneable byte buffer backed by `Arc<[u8]>`.
+
+use std::sync::Arc;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    pub fn from(src: impl Into<Bytes>) -> Bytes {
+        src.into()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes {
+            data: s.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes {
+            data: s.as_bytes().into(),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes { data: s.into() }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_deref() {
+        let b = Bytes::from("hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..2], b"he");
+        assert_eq!(std::str::from_utf8(&b).unwrap(), "hello");
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+}

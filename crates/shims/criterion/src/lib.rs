@@ -1,0 +1,228 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Measures wall-clock time per iteration with a short warmup and adaptive
+//! iteration counts, printing one line per benchmark:
+//!
+//! ```text
+//! bench  html/parse                time:   12.345 µs  (n = 128)
+//! ```
+//!
+//! Supported surface: `Criterion`, `benchmark_group` (`sample_size`,
+//! `throughput`, `bench_function`, `finish`), `bench_function`, `Bencher`
+//! (`iter`, `iter_batched`), `black_box`, `Throughput`, `BatchSize`, and
+//! the `criterion_group!` / `criterion_main!` macros. No statistics,
+//! plotting, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark (once warmed up).
+const TARGET_TIME: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 100_000;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub mean: Duration,
+    pub iters: u64,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements recorded this run (inspectable by custom harnesses).
+    pub measurements: Vec<Measurement>,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+    prefix: Option<String>,
+}
+
+pub struct Bencher {
+    /// Total measured time and iteration count for the current benchmark.
+    elapsed: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        black_box(routine());
+        while self.elapsed < self.budget && self.iters < MAX_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        while self.elapsed < self.budget && self.iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+impl Criterion {
+    pub fn from_args() -> Self {
+        Criterion::default()
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = match &self.prefix {
+            Some(p) => format!("{p}/{}", name.into()),
+            None => name.into(),
+        };
+        // A smaller sample_size signals an expensive benchmark: shrink the
+        // budget so whole-pipeline benches stay tractable.
+        let budget = match self.sample_size {
+            Some(n) if n <= 10 => TARGET_TIME / 2,
+            _ => TARGET_TIME,
+        };
+        let mut bencher = Bencher::new(budget);
+        f(&mut bencher);
+        let iters = bencher.iters.max(1);
+        let mean = bencher.elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        let line = format!("bench  {name:<44} time: {mean:>12.3?}  (n = {iters})");
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+                let rate = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  [{rate:.1} MiB/s]")
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                let rate = n as f64 / mean.as_secs_f64();
+                format!("  [{rate:.0} elem/s]")
+            }
+            _ => String::new(),
+        };
+        println!("{line}{extra}");
+        self.measurements.push(Measurement { name, mean, iters });
+        self
+    }
+
+    pub fn final_summary(&self) {
+        println!("completed {} benchmarks", self.measurements.len());
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.criterion.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.criterion.prefix = Some(self.name.clone());
+        self.criterion.bench_function(name, f);
+        self.criterion.prefix = None;
+        self
+    }
+
+    pub fn finish(&mut self) {
+        self.criterion.sample_size = None;
+        self.criterion.throughput = None;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records() {
+        let mut c = Criterion::from_args();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements.len(), 1);
+        assert!(c.measurements[0].iters >= 1);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion::from_args();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("x", |b| {
+            b.iter_batched(|| 2, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.measurements[0].name, "g/x");
+    }
+}

@@ -1,0 +1,618 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use:
+//!
+//! * `proptest! { #[test] fn name(pat in strategy, …) { … } }`
+//! * strategies: `&str` regex literals, numeric ranges, `any::<T>()`,
+//!   `prop::collection::vec(strategy, size_range)`
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//!
+//! No shrinking: a failing case panics with the assertion message. Case
+//! count defaults to 64 and can be raised via `PROPTEST_CASES`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. (The real crate's `Strategy` also carries
+    /// shrinking machinery; this shim only generates.)
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// String literals act as generation regexes, as in real proptest.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_regex(self, rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range_int(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range_int(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    /// `any::<T>()` — uniform over the whole domain.
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! impl_any {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` strategy constructor.
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let hi = self.size.end.max(self.size.start + 1);
+            let len = rng.range_int(self.size.start as i128, hi as i128 - 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Rejected by `prop_assume!`.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// Deterministic per-test RNG (splitmix64 over the test name).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi]` (inclusive, i128 to cover u64).
+        pub fn range_int(&mut self, lo: i128, hi: i128) -> i128 {
+            if hi <= lo {
+                return lo;
+            }
+            let span = (hi - lo + 1) as u128;
+            lo + (u128::from(self.next_u64()) % span) as i128
+        }
+    }
+
+    pub fn rng_for_test(name: &str) -> TestRng {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod string {
+    //! A generation-only regex interpreter covering the syntax the
+    //! workspace's strategies use: literals, `.`, `[...]` classes (ranges,
+    //! negation, `\xHH`, `\u{HEX}` escapes), `\PC` (printable), groups,
+    //! alternation, and the `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        /// Any printable char (`.`, `\PC`).
+        AnyPrintable,
+        /// Inclusive codepoint ranges; `negated` samples printable chars
+        /// outside every range.
+        Class {
+            ranges: Vec<(u32, u32)>,
+            negated: bool,
+        },
+        Group(Box<Node>),
+        Alt(Vec<Node>),
+        Seq(Vec<Node>),
+        Repeat {
+            node: Box<Node>,
+            min: usize,
+            max: usize,
+        },
+    }
+
+    /// Sample pool for `.` / `\PC` / negated classes: ASCII printable plus
+    /// letters from several study scripts, so generated text exercises the
+    /// script histogram.
+    const EXTRA_CHARS: &[char] = &[
+        'é', 'ß', 'Ω', 'λ', 'Я', 'ж', 'א', 'ش', 'क', 'ক', 'த', 'ก', 'ᄀ', '中', '文', 'あ', 'ア',
+        '한', '국', '日', '本', '©', '€', '—', '•',
+    ];
+
+    fn printable(rng: &mut TestRng) -> char {
+        // 80% ASCII printable, 20% multilingual.
+        if rng.unit_f64() < 0.8 {
+            char::from_u32(rng.range_int(0x20, 0x7E) as u32).unwrap()
+        } else {
+            EXTRA_CHARS[rng.range_int(0, EXTRA_CHARS.len() as i128 - 1) as usize]
+        }
+    }
+
+    struct RegexParser<'a> {
+        chars: Vec<char>,
+        pos: usize,
+        pattern: &'a str,
+    }
+
+    impl<'a> RegexParser<'a> {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> char {
+            let c = self.chars[self.pos];
+            self.pos += 1;
+            c
+        }
+
+        fn fail(&self, msg: &str) -> ! {
+            panic!(
+                "proptest shim: unsupported regex {:?} ({} at {})",
+                self.pattern, msg, self.pos
+            );
+        }
+
+        fn parse_alt(&mut self) -> Node {
+            let mut branches = vec![self.parse_seq()];
+            while self.peek() == Some('|') {
+                self.bump();
+                branches.push(self.parse_seq());
+            }
+            if branches.len() == 1 {
+                branches.pop().unwrap()
+            } else {
+                Node::Alt(branches)
+            }
+        }
+
+        fn parse_seq(&mut self) -> Node {
+            let mut items = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.parse_atom();
+                items.push(self.parse_quant(atom));
+            }
+            Node::Seq(items)
+        }
+
+        fn parse_quant(&mut self, atom: Node) -> Node {
+            match self.peek() {
+                Some('{') => {
+                    self.bump();
+                    let mut min_text = String::new();
+                    while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        min_text.push(self.bump());
+                    }
+                    let min: usize = min_text.parse().unwrap_or(0);
+                    let max = if self.peek() == Some(',') {
+                        self.bump();
+                        let mut max_text = String::new();
+                        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            max_text.push(self.bump());
+                        }
+                        max_text.parse().unwrap_or(min + 8)
+                    } else {
+                        min
+                    };
+                    if self.peek() != Some('}') {
+                        self.fail("expected `}`");
+                    }
+                    self.bump();
+                    Node::Repeat {
+                        node: Box::new(atom),
+                        min,
+                        max,
+                    }
+                }
+                Some('?') => {
+                    self.bump();
+                    Node::Repeat {
+                        node: Box::new(atom),
+                        min: 0,
+                        max: 1,
+                    }
+                }
+                Some('*') => {
+                    self.bump();
+                    Node::Repeat {
+                        node: Box::new(atom),
+                        min: 0,
+                        max: 8,
+                    }
+                }
+                Some('+') => {
+                    self.bump();
+                    Node::Repeat {
+                        node: Box::new(atom),
+                        min: 1,
+                        max: 8,
+                    }
+                }
+                _ => atom,
+            }
+        }
+
+        fn parse_atom(&mut self) -> Node {
+            match self.bump() {
+                '.' => Node::AnyPrintable,
+                '(' => {
+                    let inner = self.parse_alt();
+                    if self.peek() != Some(')') {
+                        self.fail("expected `)`");
+                    }
+                    self.bump();
+                    Node::Group(Box::new(inner))
+                }
+                '[' => self.parse_class(),
+                '\\' => self.parse_escape_atom(),
+                c => Node::Literal(c),
+            }
+        }
+
+        fn parse_escape_atom(&mut self) -> Node {
+            match self.bump() {
+                'P' => {
+                    // `\PC` (and the `\P{C}` spelling): NOT in category
+                    // "Other" — i.e. printable.
+                    match self.peek() {
+                        Some('{') => while self.peek().is_some() && self.bump() != '}' {},
+                        Some(_) => {
+                            self.bump();
+                        }
+                        None => self.fail("dangling \\P"),
+                    }
+                    Node::AnyPrintable
+                }
+                'u' => Node::Literal(self.parse_codepoint_escape()),
+                'x' => {
+                    let hex: String = (0..2).map(|_| self.bump()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .unwrap_or_else(|_| self.fail("bad \\x escape"));
+                    Node::Literal(char::from_u32(code).unwrap())
+                }
+                'n' => Node::Literal('\n'),
+                'r' => Node::Literal('\r'),
+                't' => Node::Literal('\t'),
+                c => Node::Literal(c),
+            }
+        }
+
+        fn parse_codepoint_escape(&mut self) -> char {
+            if self.peek() != Some('{') {
+                self.fail("expected `{` after \\u");
+            }
+            self.bump();
+            let mut hex = String::new();
+            while self.peek().is_some_and(|c| c != '}') {
+                hex.push(self.bump());
+            }
+            self.bump();
+            char::from_u32(u32::from_str_radix(&hex, 16).unwrap_or_else(|_| self.fail("bad hex")))
+                .unwrap_or_else(|| self.fail("bad codepoint"))
+        }
+
+        fn parse_class(&mut self) -> Node {
+            let negated = self.peek() == Some('^');
+            if negated {
+                self.bump();
+            }
+            let mut ranges: Vec<(u32, u32)> = Vec::new();
+            loop {
+                let c = match self.peek() {
+                    Some(']') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(_) => self.class_char(),
+                    None => self.fail("unterminated class"),
+                };
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                    self.bump();
+                    let hi = self.class_char();
+                    ranges.push((c as u32, hi as u32));
+                } else {
+                    ranges.push((c as u32, c as u32));
+                }
+            }
+            Node::Class { ranges, negated }
+        }
+
+        fn class_char(&mut self) -> char {
+            match self.bump() {
+                '\\' => match self.bump() {
+                    'u' => self.parse_codepoint_escape(),
+                    'x' => {
+                        let hex: String = (0..2).map(|_| self.bump()).collect();
+                        char::from_u32(
+                            u32::from_str_radix(&hex, 16)
+                                .unwrap_or_else(|_| self.fail("bad \\x escape")),
+                        )
+                        .unwrap()
+                    }
+                    'n' => '\n',
+                    'r' => '\r',
+                    't' => '\t',
+                    c => c,
+                },
+                c => c,
+            }
+        }
+    }
+
+    fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::AnyPrintable => out.push(printable(rng)),
+            Node::Class { ranges, negated } => {
+                if *negated {
+                    for _ in 0..64 {
+                        let c = printable(rng);
+                        if !ranges
+                            .iter()
+                            .any(|&(lo, hi)| (lo..=hi).contains(&(c as u32)))
+                        {
+                            out.push(c);
+                            return;
+                        }
+                    }
+                    panic!("proptest shim: negated class rejected every sample");
+                }
+                let total: u64 = ranges.iter().map(|&(lo, hi)| u64::from(hi - lo + 1)).sum();
+                let mut pick = rng.range_int(0, total as i128 - 1) as u64;
+                for &(lo, hi) in ranges {
+                    let span = u64::from(hi - lo + 1);
+                    if pick < span {
+                        out.push(char::from_u32(lo + pick as u32).expect("valid class char"));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+            Node::Group(inner) => generate(inner, rng, out),
+            Node::Alt(branches) => {
+                let idx = rng.range_int(0, branches.len() as i128 - 1) as usize;
+                generate(&branches[idx], rng, out);
+            }
+            Node::Seq(items) => {
+                for item in items {
+                    generate(item, rng, out);
+                }
+            }
+            Node::Repeat { node, min, max } => {
+                let count = rng.range_int(*min as i128, (*max).max(*min) as i128) as usize;
+                for _ in 0..count {
+                    generate(node, rng, out);
+                }
+            }
+        }
+    }
+
+    pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = RegexParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        };
+        let node = parser.parse_alt();
+        if parser.pos != parser.chars.len() {
+            parser.fail("trailing syntax");
+        }
+        let mut out = String::new();
+        generate(&node, rng, &mut out);
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for _case in 0..$crate::test_runner::case_count() {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::Rejected> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    // Rejections (prop_assume) simply skip the case.
+                    let _ = outcome;
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::test_runner::rng_for_test;
+
+    fn gen(pattern: &str) -> String {
+        let mut rng = rng_for_test("shim-self-test");
+        crate::string::generate_from_regex(pattern, &mut rng)
+    }
+
+    #[test]
+    fn literal_and_counts() {
+        assert_eq!(gen("abc"), "abc");
+        for _ in 0..50 {
+            let s = gen("[a-c]{2,4}");
+            let n = s.chars().count();
+            assert!((2..=4).contains(&n), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        let s = gen("[\\u{995}]{3}");
+        assert_eq!(s, "ককক");
+        for _ in 0..50 {
+            let s = gen("[^\\x00-\\x1F<>&]{1,10}");
+            assert!(!s.contains('<') && !s.contains('>') && !s.contains('&'));
+            assert!(s.chars().all(|c| c as u32 > 0x1F));
+        }
+    }
+
+    #[test]
+    fn alternation_groups_quantifiers() {
+        for _ in 0..50 {
+            let s = gen("(foo|ba?r){1,2}");
+            assert!(!s.is_empty());
+        }
+        let empty = gen("x{0}");
+        assert_eq!(empty, "");
+    }
+
+    #[test]
+    fn printable_class() {
+        for _ in 0..100 {
+            let s = gen("\\PC{0,20}");
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_self_test(x in 0u64..100, text in "[a-z]{1,5}") {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_ne!(x, 13);
+            prop_assert_eq!(text.len(), text.chars().count());
+        }
+    }
+}

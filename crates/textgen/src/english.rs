@@ -9,51 +9,245 @@
 
 /// Function words used to glue sentences together.
 pub const FUNCTION_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "in", "on", "at", "for", "with", "from", "to", "and", "or", "by",
-    "as", "is", "are", "was", "were", "has", "have", "will", "new", "more", "about", "after",
-    "over", "under", "between", "during", "their", "its", "this", "that", "these",
+    "the", "a", "an", "of", "in", "on", "at", "for", "with", "from", "to", "and", "or", "by", "as",
+    "is", "are", "was", "were", "has", "have", "will", "new", "more", "about", "after", "over",
+    "under", "between", "during", "their", "its", "this", "that", "these",
 ];
 
 /// Content nouns spanning the site archetypes (news, government, commerce,
 /// education, health, sport, technology, travel).
 pub const NOUNS: &[&str] = &[
-    "minister", "government", "election", "economy", "market", "budget", "parliament",
-    "policy", "report", "committee", "agreement", "investment", "project", "development",
-    "community", "region", "country", "city", "village", "festival", "ceremony", "student",
-    "school", "university", "teacher", "education", "hospital", "doctor", "health", "vaccine",
-    "medicine", "patient", "weather", "storm", "flood", "temperature", "season", "harvest",
-    "farmer", "agriculture", "price", "product", "store", "delivery", "customer", "order",
-    "discount", "payment", "account", "service", "company", "business", "industry", "factory",
-    "worker", "union", "technology", "internet", "software", "network", "research",
-    "science", "energy", "water", "electricity", "transport", "railway", "airport", "road",
-    "bridge", "team", "match", "tournament", "championship", "player", "coach", "stadium",
-    "goal", "victory", "museum", "heritage", "culture", "language", "history", "tradition",
-    "artist", "music", "film", "theatre", "book", "author", "photograph", "exhibition",
-    "conference", "summit", "meeting", "announcement", "statement", "interview", "campaign",
-    "volunteer", "charity", "foundation", "award", "prize", "anniversary", "celebration",
-    "tourism", "visitor", "hotel", "restaurant", "recipe", "kitchen", "garden", "family",
-    "children", "youth", "women", "citizens", "residents", "neighborhood", "district",
-    "province", "court", "justice", "police", "security", "border", "trade", "export",
-    "import", "currency", "bank", "loan", "tax", "salary", "pension", "insurance",
+    "minister",
+    "government",
+    "election",
+    "economy",
+    "market",
+    "budget",
+    "parliament",
+    "policy",
+    "report",
+    "committee",
+    "agreement",
+    "investment",
+    "project",
+    "development",
+    "community",
+    "region",
+    "country",
+    "city",
+    "village",
+    "festival",
+    "ceremony",
+    "student",
+    "school",
+    "university",
+    "teacher",
+    "education",
+    "hospital",
+    "doctor",
+    "health",
+    "vaccine",
+    "medicine",
+    "patient",
+    "weather",
+    "storm",
+    "flood",
+    "temperature",
+    "season",
+    "harvest",
+    "farmer",
+    "agriculture",
+    "price",
+    "product",
+    "store",
+    "delivery",
+    "customer",
+    "order",
+    "discount",
+    "payment",
+    "account",
+    "service",
+    "company",
+    "business",
+    "industry",
+    "factory",
+    "worker",
+    "union",
+    "technology",
+    "internet",
+    "software",
+    "network",
+    "research",
+    "science",
+    "energy",
+    "water",
+    "electricity",
+    "transport",
+    "railway",
+    "airport",
+    "road",
+    "bridge",
+    "team",
+    "match",
+    "tournament",
+    "championship",
+    "player",
+    "coach",
+    "stadium",
+    "goal",
+    "victory",
+    "museum",
+    "heritage",
+    "culture",
+    "language",
+    "history",
+    "tradition",
+    "artist",
+    "music",
+    "film",
+    "theatre",
+    "book",
+    "author",
+    "photograph",
+    "exhibition",
+    "conference",
+    "summit",
+    "meeting",
+    "announcement",
+    "statement",
+    "interview",
+    "campaign",
+    "volunteer",
+    "charity",
+    "foundation",
+    "award",
+    "prize",
+    "anniversary",
+    "celebration",
+    "tourism",
+    "visitor",
+    "hotel",
+    "restaurant",
+    "recipe",
+    "kitchen",
+    "garden",
+    "family",
+    "children",
+    "youth",
+    "women",
+    "citizens",
+    "residents",
+    "neighborhood",
+    "district",
+    "province",
+    "court",
+    "justice",
+    "police",
+    "security",
+    "border",
+    "trade",
+    "export",
+    "import",
+    "currency",
+    "bank",
+    "loan",
+    "tax",
+    "salary",
+    "pension",
+    "insurance",
 ];
 
 /// Verbs (past/present forms usable in headlines).
 pub const VERBS: &[&str] = &[
-    "announces", "launches", "opens", "closes", "wins", "loses", "visits", "signs",
-    "approves", "rejects", "celebrates", "inaugurates", "expands", "reduces", "increases",
-    "improves", "builds", "repairs", "presents", "reveals", "reports", "confirms", "denies",
-    "warns", "urges", "plans", "begins", "completes", "hosts", "joins", "leads", "supports",
-    "protects", "promotes", "discusses", "reviews", "publishes", "releases", "introduces",
-    "demonstrates", "organizes", "attends", "welcomes", "honors", "awards", "funds",
+    "announces",
+    "launches",
+    "opens",
+    "closes",
+    "wins",
+    "loses",
+    "visits",
+    "signs",
+    "approves",
+    "rejects",
+    "celebrates",
+    "inaugurates",
+    "expands",
+    "reduces",
+    "increases",
+    "improves",
+    "builds",
+    "repairs",
+    "presents",
+    "reveals",
+    "reports",
+    "confirms",
+    "denies",
+    "warns",
+    "urges",
+    "plans",
+    "begins",
+    "completes",
+    "hosts",
+    "joins",
+    "leads",
+    "supports",
+    "protects",
+    "promotes",
+    "discusses",
+    "reviews",
+    "publishes",
+    "releases",
+    "introduces",
+    "demonstrates",
+    "organizes",
+    "attends",
+    "welcomes",
+    "honors",
+    "awards",
+    "funds",
 ];
 
 /// Adjectives for descriptive alt text and headlines.
 pub const ADJECTIVES: &[&str] = &[
-    "national", "regional", "local", "international", "annual", "historic", "modern",
-    "traditional", "public", "private", "official", "major", "minor", "famous", "popular",
-    "recent", "upcoming", "free", "special", "cultural", "economic", "digital", "rural",
-    "urban", "young", "senior", "global", "central", "northern", "southern", "eastern",
-    "western", "colorful", "crowded", "quiet", "large", "small", "beautiful", "important",
+    "national",
+    "regional",
+    "local",
+    "international",
+    "annual",
+    "historic",
+    "modern",
+    "traditional",
+    "public",
+    "private",
+    "official",
+    "major",
+    "minor",
+    "famous",
+    "popular",
+    "recent",
+    "upcoming",
+    "free",
+    "special",
+    "cultural",
+    "economic",
+    "digital",
+    "rural",
+    "urban",
+    "young",
+    "senior",
+    "global",
+    "central",
+    "northern",
+    "southern",
+    "eastern",
+    "western",
+    "colorful",
+    "crowded",
+    "quiet",
+    "large",
+    "small",
+    "beautiful",
+    "important",
 ];
 
 /// Concrete visual subjects for image alt texts (what a photo depicts).
@@ -84,10 +278,22 @@ pub const IMAGE_SUBJECTS: &[&str] = &[
 /// names) — used to generate *informative* single-concept labels that must
 /// NOT be discarded by the single-word filter when multi-word.
 pub const UI_SECTIONS: &[&str] = &[
-    "breaking news", "sports results", "weather forecast", "market prices",
-    "exchange rates", "travel guide", "job listings", "event calendar",
-    "photo gallery", "video library", "press releases", "annual reports",
-    "contact directory", "help center", "privacy policy", "terms of service",
+    "breaking news",
+    "sports results",
+    "weather forecast",
+    "market prices",
+    "exchange rates",
+    "travel guide",
+    "job listings",
+    "event calendar",
+    "photo gallery",
+    "video library",
+    "press releases",
+    "annual reports",
+    "contact directory",
+    "help center",
+    "privacy policy",
+    "terms of service",
 ];
 
 #[cfg(test)]

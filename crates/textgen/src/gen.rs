@@ -89,8 +89,7 @@ impl TextGenerator {
             out.push(self.pick(pool.base));
             if !pool.signs.is_empty() && self.rng.gen_bool(0.65) {
                 out.push(self.pick(pool.signs));
-            } else if !pool.vowels.is_empty() && pool.signs.is_empty() && self.rng.gen_bool(0.75)
-            {
+            } else if !pool.vowels.is_empty() && pool.signs.is_empty() && self.rng.gen_bool(0.75) {
                 out.push(self.pick(pool.vowels));
             }
         }
@@ -211,7 +210,9 @@ impl TextGenerator {
             let mut out = String::new();
             for i in 0..n {
                 if i > 0 && self.rng.gen_bool(0.6) {
-                    out.push_str(pools::JA_PARTICLES[self.rng.gen_range(0..pools::JA_PARTICLES.len())]);
+                    out.push_str(
+                        pools::JA_PARTICLES[self.rng.gen_range(0..pools::JA_PARTICLES.len())],
+                    );
                 }
                 out.push_str(&self.word());
             }
@@ -227,7 +228,9 @@ impl TextGenerator {
         let terminal = match self.language {
             Language::MandarinChinese | Language::Cantonese | Language::Japanese => "。",
             Language::Hindi | Language::Marathi | Language::Nepali => "।",
-            Language::ModernStandardArabic | Language::EgyptianArabic | Language::Urdu
+            Language::ModernStandardArabic
+            | Language::EgyptianArabic
+            | Language::Urdu
             | Language::Persian => "؟",
             Language::Greek => ".",
             Language::Thai => "",
@@ -397,11 +400,7 @@ mod tests {
             let mut g = TextGenerator::new(lang, 7);
             let text = g.words(40);
             let hist = ScriptHistogram::of(&text);
-            let evidence: usize = lang
-                .evidence_scripts()
-                .iter()
-                .map(|&s| hist.count(s))
-                .sum();
+            let evidence: usize = lang.evidence_scripts().iter().map(|&s| hist.count(s)).sum();
             let total = hist.distinguishing_total();
             assert!(
                 evidence as f64 >= total as f64 * 0.95,

@@ -32,8 +32,8 @@ pub const LATIN: AlphaPool = AlphaPool {
 
 pub const CYRILLIC: AlphaPool = AlphaPool {
     base: &[
-        'ะฑ', 'ะฒ', 'ะณ', 'ะด', 'ะถ', 'ะท', 'ะบ', 'ะป', 'ะผ', 'ะฝ', 'ะฟ', 'ั', 'ั', 'ั', 'ั', 'ั', 'ั',
-        'ั', 'ั', 'ั',
+        'ะฑ', 'ะฒ', 'ะณ', 'ะด', 'ะถ', 'ะท', 'ะบ', 'ะป', 'ะผ', 'ะฝ', 'ะฟ', 'ั', 'ั', 'ั', 'ั', 'ั', 'ั', 'ั',
+        'ั', 'ั',
     ],
     vowels: &['ะฐ', 'ะต', 'ะธ', 'ะพ', 'ั', 'ั', 'ั', 'ั', 'ั'],
     signs: &[],
@@ -51,8 +51,8 @@ pub const GREEK: AlphaPool = AlphaPool {
 
 pub const HEBREW: AlphaPool = AlphaPool {
     base: &[
-        'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ืก', 'ืข', 'ืค',
-        'ืฆ', 'ืง', 'ืจ', 'ืฉ', 'ืช',
+        'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ื', 'ืก', 'ืข', 'ืค', 'ืฆ',
+        'ืง', 'ืจ', 'ืฉ', 'ืช',
     ],
     vowels: &[],
     signs: &[],
@@ -61,8 +61,8 @@ pub const HEBREW: AlphaPool = AlphaPool {
 
 pub const ARABIC: AlphaPool = AlphaPool {
     base: &[
-        'ุง', 'ุจ', 'ุช', 'ุซ', 'ุฌ', 'ุญ', 'ุฎ', 'ุฏ', 'ุฐ', 'ุฑ', 'ุฒ', 'ุณ', 'ุด', 'ุต', 'ุถ', 'ุท', 'ุธ',
-        'ุน', 'ุบ', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู',
+        'ุง', 'ุจ', 'ุช', 'ุซ', 'ุฌ', 'ุญ', 'ุฎ', 'ุฏ', 'ุฐ', 'ุฑ', 'ุฒ', 'ุณ', 'ุด', 'ุต', 'ุถ', 'ุท', 'ุธ', 'ุน',
+        'ุบ', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู', 'ู',
     ],
     vowels: &[],
     signs: &[],
@@ -73,8 +73,8 @@ pub const ARABIC: AlphaPool = AlphaPool {
 /// what lets the langid disambiguation tests distinguish Urdu from MSA.
 pub const URDU: AlphaPool = AlphaPool {
     base: &[
-        'ุง', 'ุจ', 'ูพ', 'ุช', 'ูน', 'ุฌ', 'ฺ', 'ุญ', 'ุฎ', 'ุฏ', 'ฺ', 'ุฑ', 'ฺ', 'ุฒ', 'ฺ', 'ุณ', 'ุด',
-        'ุน', 'ุบ', 'ู', 'ู', 'ฺฉ', 'ฺฏ', 'ู', 'ู', 'ู', 'ฺบ', 'ู', '', 'ฺพ', '',
+        'ุง', 'ุจ', 'ูพ', 'ุช', 'ูน', 'ุฌ', 'ฺ', 'ุญ', 'ุฎ', 'ุฏ', 'ฺ', 'ุฑ', 'ฺ', 'ุฒ', 'ฺ', 'ุณ', 'ุด', 'ุน',
+        'ุบ', 'ู', 'ู', 'ฺฉ', 'ฺฏ', 'ู', 'ู', 'ู', 'ฺบ', 'ู', '', 'ฺพ', '',
     ],
     vowels: &[],
     signs: &[],
@@ -83,8 +83,8 @@ pub const URDU: AlphaPool = AlphaPool {
 
 pub const PERSIAN: AlphaPool = AlphaPool {
     base: &[
-        'ุง', 'ุจ', 'ูพ', 'ุช', 'ุฌ', 'ฺ', 'ุญ', 'ุฎ', 'ุฏ', 'ุฑ', 'ุฒ', 'ฺ', 'ุณ', 'ุด', 'ุน', 'ุบ', 'ู',
-        'ู', 'ฺฉ', 'ฺฏ', 'ู', 'ู', 'ู', 'ู', 'ู', '',
+        'ุง', 'ุจ', 'ูพ', 'ุช', 'ุฌ', 'ฺ', 'ุญ', 'ุฎ', 'ุฏ', 'ุฑ', 'ุฒ', 'ฺ', 'ุณ', 'ุด', 'ุน', 'ุบ', 'ู', 'ู',
+        'ฺฉ', 'ฺฏ', 'ู', 'ู', 'ู', 'ู', 'ู', '',
     ],
     vowels: &[],
     signs: &[],
@@ -93,8 +93,8 @@ pub const PERSIAN: AlphaPool = AlphaPool {
 
 pub const DEVANAGARI: AlphaPool = AlphaPool {
     base: &[
-        'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เคก', 'เคข', 'เคฃ', 'เคค', 'เคฅ', 'เคฆ', 'เคง',
-        'เคจ', 'เคช', 'เคซ', 'เคฌ', 'เคญ', 'เคฎ', 'เคฏ', 'เคฐ', 'เคฒ', 'เคต', 'เคถ', 'เคท', 'เคธ', 'เคน',
+        'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เคก', 'เคข', 'เคฃ', 'เคค', 'เคฅ', 'เคฆ', 'เคง', 'เคจ',
+        'เคช', 'เคซ', 'เคฌ', 'เคญ', 'เคฎ', 'เคฏ', 'เคฐ', 'เคฒ', 'เคต', 'เคถ', 'เคท', 'เคธ', 'เคน',
     ],
     vowels: &['เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค'],
     signs: &['เคพ', 'เคฟ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เค', 'เฅ'],
@@ -104,8 +104,8 @@ pub const DEVANAGARI: AlphaPool = AlphaPool {
 /// Marathi shares Devanagari but uses `เคณ`; its pool differs only there.
 pub const MARATHI: AlphaPool = AlphaPool {
     base: &[
-        'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เคก', 'เคข', 'เคฃ', 'เคค', 'เคฅ', 'เคฆ', 'เคง',
-        'เคจ', 'เคช', 'เคซ', 'เคฌ', 'เคญ', 'เคฎ', 'เคฏ', 'เคฐ', 'เคฒ', 'เคณ', 'เคต', 'เคถ', 'เคท', 'เคธ', 'เคน',
+        'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เคก', 'เคข', 'เคฃ', 'เคค', 'เคฅ', 'เคฆ', 'เคง', 'เคจ',
+        'เคช', 'เคซ', 'เคฌ', 'เคญ', 'เคฎ', 'เคฏ', 'เคฐ', 'เคฒ', 'เคณ', 'เคต', 'เคถ', 'เคท', 'เคธ', 'เคน',
     ],
     vowels: &['เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค', 'เค'],
     signs: &['เคพ', 'เคฟ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เฅ', 'เค', 'เฅ'],
@@ -114,8 +114,8 @@ pub const MARATHI: AlphaPool = AlphaPool {
 
 pub const BENGALI: AlphaPool = AlphaPool {
     base: &[
-        'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆก', 'เฆข', 'เฆฃ', 'เฆค', 'เฆฅ', 'เฆฆ', 'เฆง',
-        'เฆจ', 'เฆช', 'เฆซ', 'เฆฌ', 'เฆญ', 'เฆฎ', 'เฆฏ', 'เฆฐ', 'เฆฒ', 'เฆถ', 'เฆท', 'เฆธ', 'เฆน',
+        'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆก', 'เฆข', 'เฆฃ', 'เฆค', 'เฆฅ', 'เฆฆ', 'เฆง', 'เฆจ',
+        'เฆช', 'เฆซ', 'เฆฌ', 'เฆญ', 'เฆฎ', 'เฆฏ', 'เฆฐ', 'เฆฒ', 'เฆถ', 'เฆท', 'เฆธ', 'เฆน',
     ],
     vowels: &['เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ', 'เฆ'],
     signs: &['เฆพ', 'เฆฟ', 'เง', 'เง', 'เง', 'เง', 'เง', 'เง', 'เง', 'เฆ', 'เง'],
@@ -124,8 +124,8 @@ pub const BENGALI: AlphaPool = AlphaPool {
 
 pub const GURMUKHI: AlphaPool = AlphaPool {
     base: &[
-        'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจก', 'เจข', 'เจฃ', 'เจค', 'เจฅ', 'เจฆ', 'เจง',
-        'เจจ', 'เจช', 'เจซ', 'เจฌ', 'เจญ', 'เจฎ', 'เจฏ', 'เจฐ', 'เจฒ', 'เจต', 'เจธ', 'เจน',
+        'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจก', 'เจข', 'เจฃ', 'เจค', 'เจฅ', 'เจฆ', 'เจง', 'เจจ',
+        'เจช', 'เจซ', 'เจฌ', 'เจญ', 'เจฎ', 'เจฏ', 'เจฐ', 'เจฒ', 'เจต', 'เจธ', 'เจน',
     ],
     vowels: &['เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ', 'เจ'],
     signs: &['เจพ', 'เจฟ', 'เฉ', 'เฉ', 'เฉ', 'เฉ', 'เฉ', 'เฉ', 'เฉ', 'เฉฐ'],
@@ -134,8 +134,8 @@ pub const GURMUKHI: AlphaPool = AlphaPool {
 
 pub const GUJARATI: AlphaPool = AlphaPool {
     base: &[
-        'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เชก', 'เชข', 'เชฃ', 'เชค', 'เชฅ', 'เชฆ', 'เชง',
-        'เชจ', 'เชช', 'เชซ', 'เชฌ', 'เชญ', 'เชฎ', 'เชฏ', 'เชฐ', 'เชฒ', 'เชต', 'เชถ', 'เชท', 'เชธ', 'เชน',
+        'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เชก', 'เชข', 'เชฃ', 'เชค', 'เชฅ', 'เชฆ', 'เชง', 'เชจ',
+        'เชช', 'เชซ', 'เชฌ', 'เชญ', 'เชฎ', 'เชฏ', 'เชฐ', 'เชฒ', 'เชต', 'เชถ', 'เชท', 'เชธ', 'เชน',
     ],
     vowels: &['เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช', 'เช'],
     signs: &['เชพ', 'เชฟ', 'เซ', 'เซ', 'เซ', 'เซ', 'เซ', 'เซ', 'เซ', 'เช'],
@@ -144,8 +144,7 @@ pub const GUJARATI: AlphaPool = AlphaPool {
 
 pub const TAMIL: AlphaPool = AlphaPool {
     base: &[
-        'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎฃ', 'เฎค', 'เฎจ', 'เฎช', 'เฎฎ', 'เฎฏ', 'เฎฐ', 'เฎฒ', 'เฎต', 'เฎด', 'เฎณ', 'เฎฑ',
-        'เฎฉ',
+        'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎฃ', 'เฎค', 'เฎจ', 'เฎช', 'เฎฎ', 'เฎฏ', 'เฎฐ', 'เฎฒ', 'เฎต', 'เฎด', 'เฎณ', 'เฎฑ', 'เฎฉ',
     ],
     vowels: &['เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ', 'เฎ'],
     signs: &['เฎพ', 'เฎฟ', 'เฏ', 'เฏ', 'เฏ', 'เฏ', 'เฏ', 'เฏ', 'เฏ', 'เฏ'],
@@ -154,8 +153,8 @@ pub const TAMIL: AlphaPool = AlphaPool {
 
 pub const TELUGU: AlphaPool = AlphaPool {
     base: &[
-        'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐก', 'เฐข', 'เฐฃ', 'เฐค', 'เฐฅ', 'เฐฆ', 'เฐง',
-        'เฐจ', 'เฐช', 'เฐซ', 'เฐฌ', 'เฐญ', 'เฐฎ', 'เฐฏ', 'เฐฐ', 'เฐฒ', 'เฐต', 'เฐถ', 'เฐท', 'เฐธ', 'เฐน',
+        'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐก', 'เฐข', 'เฐฃ', 'เฐค', 'เฐฅ', 'เฐฆ', 'เฐง', 'เฐจ',
+        'เฐช', 'เฐซ', 'เฐฌ', 'เฐญ', 'เฐฎ', 'เฐฏ', 'เฐฐ', 'เฐฒ', 'เฐต', 'เฐถ', 'เฐท', 'เฐธ', 'เฐน',
     ],
     vowels: &['เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ', 'เฐ'],
     signs: &['เฐพ', 'เฐฟ', 'เฑ', 'เฑ', 'เฑ', 'เฑ', 'เฑ', 'เฑ', 'เฑ', 'เฑ'],
@@ -164,8 +163,8 @@ pub const TELUGU: AlphaPool = AlphaPool {
 
 pub const KANNADA: AlphaPool = AlphaPool {
     base: &[
-        'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒก', 'เฒข', 'เฒฃ', 'เฒค', 'เฒฅ', 'เฒฆ', 'เฒง',
-        'เฒจ', 'เฒช', 'เฒซ', 'เฒฌ', 'เฒญ', 'เฒฎ', 'เฒฏ', 'เฒฐ', 'เฒฒ', 'เฒต', 'เฒถ', 'เฒท', 'เฒธ', 'เฒน',
+        'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒก', 'เฒข', 'เฒฃ', 'เฒค', 'เฒฅ', 'เฒฆ', 'เฒง', 'เฒจ',
+        'เฒช', 'เฒซ', 'เฒฌ', 'เฒญ', 'เฒฎ', 'เฒฏ', 'เฒฐ', 'เฒฒ', 'เฒต', 'เฒถ', 'เฒท', 'เฒธ', 'เฒน',
     ],
     vowels: &['เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ', 'เฒ'],
     signs: &['เฒพ', 'เฒฟ', 'เณ', 'เณ', 'เณ', 'เณ', 'เณ', 'เณ', 'เณ', 'เณ'],
@@ -174,8 +173,8 @@ pub const KANNADA: AlphaPool = AlphaPool {
 
 pub const MALAYALAM: AlphaPool = AlphaPool {
     base: &[
-        'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เดก', 'เดข', 'เดฃ', 'เดค', 'เดฅ', 'เดฆ', 'เดง',
-        'เดจ', 'เดช', 'เดซ', 'เดฌ', 'เดญ', 'เดฎ', 'เดฏ', 'เดฐ', 'เดฒ', 'เดต', 'เดถ', 'เดท', 'เดธ', 'เดน',
+        'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เดก', 'เดข', 'เดฃ', 'เดค', 'เดฅ', 'เดฆ', 'เดง', 'เดจ',
+        'เดช', 'เดซ', 'เดฌ', 'เดญ', 'เดฎ', 'เดฏ', 'เดฐ', 'เดฒ', 'เดต', 'เดถ', 'เดท', 'เดธ', 'เดน',
     ],
     vowels: &['เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด', 'เด'],
     signs: &['เดพ', 'เดฟ', 'เต', 'เต', 'เต', 'เต', 'เต', 'เต', 'เต', 'เต'],
@@ -184,8 +183,8 @@ pub const MALAYALAM: AlphaPool = AlphaPool {
 
 pub const SINHALA: AlphaPool = AlphaPool {
     base: &[
-        'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถก', 'เถข', 'เถฃ', 'เถง', 'เถจ', 'เถฉ', 'เถช', 'เถซ', 'เถญ', 'เถฎ', 'เถฏ', 'เถฐ',
-        'เถฑ', 'เถด', 'เถต', 'เถถ', 'เถท', 'เถธ', 'เถบ', 'เถป', 'เถฝ', 'เท', 'เท', 'เท', 'เท', 'เท',
+        'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถก', 'เถข', 'เถฃ', 'เถง', 'เถจ', 'เถฉ', 'เถช', 'เถซ', 'เถญ', 'เถฎ', 'เถฏ', 'เถฐ', 'เถฑ',
+        'เถด', 'เถต', 'เถถ', 'เถท', 'เถธ', 'เถบ', 'เถป', 'เถฝ', 'เท', 'เท', 'เท', 'เท', 'เท',
     ],
     vowels: &['เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถ', 'เถ'],
     signs: &['เท', 'เท', 'เท', 'เท', 'เท', 'เท', 'เท', 'เท', 'เท', 'เถ'],
@@ -194,8 +193,8 @@ pub const SINHALA: AlphaPool = AlphaPool {
 
 pub const THAI: AlphaPool = AlphaPool {
     base: &[
-        'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ',
-        'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธก', 'เธข', 'เธฃ', 'เธฅ', 'เธง', 'เธจ', 'เธฉ', 'เธช', 'เธซ', 'เธญ', 'เธฎ',
+        'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ', 'เธ',
+        'เธ', 'เธ', 'เธ', 'เธ', 'เธก', 'เธข', 'เธฃ', 'เธฅ', 'เธง', 'เธจ', 'เธฉ', 'เธช', 'เธซ', 'เธญ', 'เธฎ',
     ],
     vowels: &['เธฐ', 'เธฒ', 'เธณ'],
     signs: &['เธด', 'เธต', 'เธถ', 'เธท', 'เธธ', 'เธน', 'เน', 'เน', 'เน'],
@@ -207,8 +206,8 @@ pub const THAI_PREFIX_VOWELS: &[char] = &['เน', 'เน', 'เน', 'เน', 'เน'];
 
 pub const MYANMAR: AlphaPool = AlphaPool {
     base: &[
-        'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ',
-        'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แก',
+        'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ',
+        'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แก',
     ],
     vowels: &[],
     signs: &['แฌ', 'แญ', 'แฎ', 'แฏ', 'แฐ', 'แฑ', 'แฒ', 'แถ', 'แท', 'แธ'],
@@ -217,8 +216,8 @@ pub const MYANMAR: AlphaPool = AlphaPool {
 
 pub const GEORGIAN: AlphaPool = AlphaPool {
     base: &[
-        'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แก', 'แข', 'แค', 'แฅ',
-        'แฆ', 'แง', 'แจ', 'แฉ', 'แช', 'แซ', 'แฌ', 'แญ', 'แฎ', 'แฏ', 'แฐ',
+        'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แ', 'แก', 'แข', 'แค', 'แฅ', 'แฆ',
+        'แง', 'แจ', 'แฉ', 'แช', 'แซ', 'แฌ', 'แญ', 'แฎ', 'แฏ', 'แฐ',
     ],
     vowels: &['แ', 'แ', 'แ', 'แ', 'แฃ'],
     signs: &[],
@@ -254,58 +253,56 @@ pub const ETHIOPIC_ROW_BASES: &[u32] = &[
 /// Common simplified-Chinese ideographs (frequency-ordered head of the
 /// standard list, deduplicated).
 pub const HAN_SIMPLIFIED: &[char] = &[
-    '็', 'ไธ', 'ๆฏ', 'ไธ', 'ไบ', 'ไบบ', 'ๆ', 'ๅจ', 'ๆ', 'ไป', '่ฟ', 'ไธญ', 'ๅคง', 'ๆฅ', 'ไธ',
-    'ๅฝ', 'ไธช', 'ๅฐ', '่ฏด', 'ไปฌ', 'ไธบ', 'ๅญ', 'ๅ', 'ไฝ', 'ๅฐ', 'ๅบ', '้', 'ไน', 'ๆถ', 'ๅนด',
-    'ๅพ', 'ๅฐฑ', '้ฃ', '่ฆ', 'ไธ', 'ไปฅ', '็', 'ไผ', '่ช', '็', 'ๅป', 'ไน', '่ฟ', 'ๅฎถ', 'ๅญฆ',
-    'ๅฏน', 'ๅฏ', 'ๅฅน', '้', 'ๅ', 'ๅฐ', 'ไน', 'ๅฟ', 'ๅค', 'ๅคฉ', '่', '่ฝ', 'ๅฅฝ', '้ฝ', '็ถ',
-    'ๆฒก', 'ๆฅ', 'ไบ', '่ตท', '่ฟ', 'ๅ', 'ๆ', 'ไบ', 'ๅช', 'ไฝ', 'ๅฝ', 'ๆณ', '็', 'ๆ', 'ๆ',
-    'ๅผ', 'ๆ', 'ๅ', '็จ', 'ไธป', '่ก', 'ๆน', 'ๅ', 'ๅฆ', 'ๅ', 'ๆ', 'ๆฌ', '่ง', '็ป', 'ๅคด',
-    '้ข', 'ๅฌ', 'ๅ', 'ไธ', 'ๅทฒ', '่', 'ไป', 'ๅจ', 'ไธค', '้ฟ', '็ฅ', 'ๆฐ', 'ๆท', '็ฐ', 'ๅ',
-    'ๅฐ', 'ๅค', 'ไฝ', '่บซ', 'ไบ', 'ไธ', '้ซ', 'ๆ', '่ฟ', 'ๆ', 'ๆณ', 'ๆญค', 'ๅฎ', 'ๅ', 'ไบ',
-    '็', '็พ', '็น', 'ๆ', 'ๆ', 'ๅถ', '็ง', 'ๅฃฐ', 'ๅจ', 'ๅทฅ', 'ๅทฑ', '่ฏ', 'ๅฟ', '่', 'ๅ',
-    'ๆ', '้จ', 'ๆญฃ', 'ๅ', 'ๅฎ', 'ๅฅณ', '้ฎ', 'ๅ', 'ๆบ', '็ป', '็ญ', 'ๅ', 'ๅพ', 'ไธ', 'ๆ',
-    '้ด', 'ๆฐ', 'ไป', 'ๆ', 'ไพฟ', 'ไฝ', 'ๅ', '้', '่ขซ', '่ตฐ', '็ต', 'ๅ', '็ฌฌ', '้จ', '็ธ',
-    'ๆฌก', 'ไธ', 'ๆฟ', 'ๆตท', 'ๅฃ', 'ไฝฟ', 'ๆ', '่ฅฟ', 'ๅ', 'ๅนณ', '็', 'ๅฌ', 'ไธ', 'ๆฐ', 'ไฟก',
-    'ๅ', 'ๅฐ', 'ๅณ', 'ๅนถ', 'ๅ', 'ๅ', 'ๅ', '็ฑ', 'ๅด', 'ไปฃ', 'ๅ', 'ไบง', 'ๅฅ', 'ๅ',
+    '็', 'ไธ', 'ๆฏ', 'ไธ', 'ไบ', 'ไบบ', 'ๆ', 'ๅจ', 'ๆ', 'ไป', '่ฟ', 'ไธญ', 'ๅคง', 'ๆฅ', 'ไธ', 'ๅฝ',
+    'ไธช', 'ๅฐ', '่ฏด', 'ไปฌ', 'ไธบ', 'ๅญ', 'ๅ', 'ไฝ', 'ๅฐ', 'ๅบ', '้', 'ไน', 'ๆถ', 'ๅนด', 'ๅพ', 'ๅฐฑ',
+    '้ฃ', '่ฆ', 'ไธ', 'ไปฅ', '็', 'ไผ', '่ช', '็', 'ๅป', 'ไน', '่ฟ', 'ๅฎถ', 'ๅญฆ', 'ๅฏน', 'ๅฏ', 'ๅฅน',
+    '้', 'ๅ', 'ๅฐ', 'ไน', 'ๅฟ', 'ๅค', 'ๅคฉ', '่', '่ฝ', 'ๅฅฝ', '้ฝ', '็ถ', 'ๆฒก', 'ๆฅ', 'ไบ', '่ตท',
+    '่ฟ', 'ๅ', 'ๆ', 'ไบ', 'ๅช', 'ไฝ', 'ๅฝ', 'ๆณ', '็', 'ๆ', 'ๆ', 'ๅผ', 'ๆ', 'ๅ', '็จ', 'ไธป',
+    '่ก', 'ๆน', 'ๅ', 'ๅฆ', 'ๅ', 'ๆ', 'ๆฌ', '่ง', '็ป', 'ๅคด', '้ข', 'ๅฌ', 'ๅ', 'ไธ', 'ๅทฒ', '่',
+    'ไป', 'ๅจ', 'ไธค', '้ฟ', '็ฅ', 'ๆฐ', 'ๆท', '็ฐ', 'ๅ', 'ๅฐ', 'ๅค', 'ไฝ', '่บซ', 'ไบ', 'ไธ', '้ซ',
+    'ๆ', '่ฟ', 'ๆ', 'ๆณ', 'ๆญค', 'ๅฎ', 'ๅ', 'ไบ', '็', '็พ', '็น', 'ๆ', 'ๆ', 'ๅถ', '็ง', 'ๅฃฐ',
+    'ๅจ', 'ๅทฅ', 'ๅทฑ', '่ฏ', 'ๅฟ', '่', 'ๅ', 'ๆ', '้จ', 'ๆญฃ', 'ๅ', 'ๅฎ', 'ๅฅณ', '้ฎ', 'ๅ', 'ๆบ',
+    '็ป', '็ญ', 'ๅ', 'ๅพ', 'ไธ', 'ๆ', '้ด', 'ๆฐ', 'ไป', 'ๆ', 'ไพฟ', 'ไฝ', 'ๅ', '้', '่ขซ', '่ตฐ',
+    '็ต', 'ๅ', '็ฌฌ', '้จ', '็ธ', 'ๆฌก', 'ไธ', 'ๆฟ', 'ๆตท', 'ๅฃ', 'ไฝฟ', 'ๆ', '่ฅฟ', 'ๅ', 'ๅนณ', '็',
+    'ๅฌ', 'ไธ', 'ๆฐ', 'ไฟก', 'ๅ', 'ๅฐ', 'ๅณ', 'ๅนถ', 'ๅ', 'ๅ', 'ๅ', '็ฑ', 'ๅด', 'ไปฃ', 'ๅ', 'ไบง',
+    'ๅฅ', 'ๅ',
 ];
 
 /// Common traditional-Chinese ideographs plus Cantonese-specific characters
 /// (ไฝข ๅ ๅ ๅ ๅ โฆ) that distinguish Hong Kong pages.
 pub const HAN_TRADITIONAL: &[char] = &[
-    '็', 'ไธ', 'ๆฏ', 'ไธ', 'ไบ', 'ไบบ', 'ๆ', 'ๅจ', 'ๆ', 'ไฝข', 'ๅข', 'ไธญ', 'ๅคง', 'ๅ', 'ไธ',
-    'ๅ', 'ๅ', 'ๅฐ', '่ฌ', 'ๅ', '็บ', 'ๅ', 'ไฝ', 'ๅฐ', 'ๅบ', '้', 'ไน', 'ๆ', 'ๅนด', 'ๅพ',
-    'ๅฐฑ', 'ๅฐ', '่ฆ', 'ไธ', 'ไปฅ', '็', 'ๆ', '่ช', 'ๅป', 'ไน', '้', 'ๅฎถ', 'ๅญธ', 'ๅฐ', 'ๅฏ',
-    '่ฃก', 'ๅพ', 'ๅฐ', 'ไน', 'ๅฟ', 'ๅค', 'ๅคฉ', '่', '่ฝ', 'ๅฅฝ', '้ฝ', '็ถ', 'ๅ', 'ๆฅ', 'ๆผ',
-    '่ตท', 'ไปฒ', '็ผ', 'ๆ', 'ไบ', 'ๅช', 'ไฝ', '็ถ', 'ๆณ', '็', 'ๆ', '็ก', '้', 'ๆ', 'ๅ',
-    '็จ', 'ไธป', '่ก', 'ๆน', 'ๅ', 'ๅฆ', 'ๅ', 'ๆ', 'ๆฌ', '่ฆ', '็ถ', '้ญ', '้ข', 'ๅฌ', 'ไธ',
-    'ๅทฒ', '่', 'ๅพ', 'ๅ', 'ๅฉ', '้ท', '็ฅ', 'ๆฐ', 'ๆจฃ', '็พ', 'ๅ', 'ๅฐ', 'ๅค', 'ไฝ', '่บซ',
-    'ๅฒ', '่', '้ซ', 'ๆ', '้ฒ', 'ๆ', 'ๆณ', 'ๆญค', 'ๅฏฆ', 'ๅ', 'ไบ', '็', '็พ', '้ป', 'ๆ',
-    'ๆ', 'ๅถ', '็จฎ', '่ฒ', 'ๅจ', 'ๅทฅ', 'ๅทฑ', '่ฉฑ', 'ๅ', '่', 'ๅ', 'ๆ', '้จ', 'ๆญฃ', 'ๅ',
-    'ๅฎ', 'ๅฅณ', 'ๅ', 'ๅ', 'ๆฉ', '็', '็ญ', 'ๅนพ', 'ๅ', 'ๅ', 'ๅ', 'ๅ', 'ๅ',
+    '็', 'ไธ', 'ๆฏ', 'ไธ', 'ไบ', 'ไบบ', 'ๆ', 'ๅจ', 'ๆ', 'ไฝข', 'ๅข', 'ไธญ', 'ๅคง', 'ๅ', 'ไธ', 'ๅ',
+    'ๅ', 'ๅฐ', '่ฌ', 'ๅ', '็บ', 'ๅ', 'ไฝ', 'ๅฐ', 'ๅบ', '้', 'ไน', 'ๆ', 'ๅนด', 'ๅพ', 'ๅฐฑ', 'ๅฐ',
+    '่ฆ', 'ไธ', 'ไปฅ', '็', 'ๆ', '่ช', 'ๅป', 'ไน', '้', 'ๅฎถ', 'ๅญธ', 'ๅฐ', 'ๅฏ', '่ฃก', 'ๅพ', 'ๅฐ',
+    'ไน', 'ๅฟ', 'ๅค', 'ๅคฉ', '่', '่ฝ', 'ๅฅฝ', '้ฝ', '็ถ', 'ๅ', 'ๆฅ', 'ๆผ', '่ตท', 'ไปฒ', '็ผ', 'ๆ',
+    'ไบ', 'ๅช', 'ไฝ', '็ถ', 'ๆณ', '็', 'ๆ', '็ก', '้', 'ๆ', 'ๅ', '็จ', 'ไธป', '่ก', 'ๆน', 'ๅ',
+    'ๅฆ', 'ๅ', 'ๆ', 'ๆฌ', '่ฆ', '็ถ', '้ญ', '้ข', 'ๅฌ', 'ไธ', 'ๅทฒ', '่', 'ๅพ', 'ๅ', 'ๅฉ', '้ท',
+    '็ฅ', 'ๆฐ', 'ๆจฃ', '็พ', 'ๅ', 'ๅฐ', 'ๅค', 'ไฝ', '่บซ', 'ๅฒ', '่', '้ซ', 'ๆ', '้ฒ', 'ๆ', 'ๆณ',
+    'ๆญค', 'ๅฏฆ', 'ๅ', 'ไบ', '็', '็พ', '้ป', 'ๆ', 'ๆ', 'ๅถ', '็จฎ', '่ฒ', 'ๅจ', 'ๅทฅ', 'ๅทฑ', '่ฉฑ',
+    'ๅ', '่', 'ๅ', 'ๆ', '้จ', 'ๆญฃ', 'ๅ', 'ๅฎ', 'ๅฅณ', 'ๅ', 'ๅ', 'ๆฉ', '็', '็ญ', 'ๅนพ', 'ๅ',
+    'ๅ', 'ๅ', 'ๅ', 'ๅ',
 ];
 
 /// Common kanji for Japanese word stems.
 pub const KANJI: &[char] = &[
-    'ๆฅ', 'ๆฌ', 'ไบบ', 'ๅนด', 'ๅคง', 'ๅบ', 'ไธญ', 'ๅญฆ', '็', 'ๅฝ', 'ไผ', 'ไบ', '่ช', '็คพ', '็บ',
-    '่', 'ๅฐ', 'ๆฅญ', 'ๆน', 'ๆฐ', 'ๅด', 'ๅก', '็ซ', '้', 'ๆ', 'ๅ', 'ๅ', 'ไปฃ', 'ๆ', 'ๅ',
-    'ไบฌ', '็ฎ', '้', '่จ', '็', 'ไฝ', '็ฐ', 'ไธป', '้ก', 'ๆ', 'ไธ', 'ไฝ', '็จ', 'ๅบฆ', 'ๅผท',
-    'ๅฌ', 'ๆ', '้', 'ไปฅ', 'ๆ', 'ๅฎถ', 'ไธ', 'ๅค', 'ๆญฃ', 'ๅฎ', '้ข', 'ๅฟ', '็', 'ๆ', 'ๆ',
-    'ๅ', '้', '่ฟ', '่', '็ป', 'ๆตท', 'ๅฃฒ', '็ฅ', '้', '้', 'ๅฅ', '็ฉ', 'ไฝฟ', 'ๅ', '่จ',
-    '็น', '็ง', 'ๅง', 'ๆ', '้', '็ต', 'ๅฐ', 'ๅบ', 'ไฝ', '็', 'ๆ', 'ๅฃ', 'ๅฐ', '็บ', 'ๆ',
-    'ๅทฅ', 'ๅปบ', '็ฉบ', 'ๆฅ', 'ๆญข', '้', 'ๅ', '่ปข', '็', '่ถณ', '็ฉถ', 'ๆฅฝ', '่ตท', '็', 'ๅบ',
-    '็', '่ณช', 'ๅพ', '่ฉฆ', 'ๆ', '้', 'ๆฉ', 'ๆ', '่ฆช', '้จ', '่ฑ', 'ๅป', 'ไป', 'ๅป', 'ๅณ',
-    'ๅ', 'ๅญ', '็ญ', 'ๅค', '้ณ', 'ๆณจ', 'ๅธฐ', 'ๅค', 'ๆ', '้', '้ฑ', 'ๅ', '้ท', '่ฉฑ', 'ๅฑฑ',
-    '้ซ', 'ๆฐด', '่ป', 'ไฝ', 'ๅ', 'ๅ', 'ๆฑ', '่ฅฟ', 'ๅ', 'ๅ', 'ๅ', 'ๅพ', '้ฃ', '้ฃฒ', '่ชญ',
-    'ๆธ', '่ฆ', '่ฒท', '่',
+    'ๆฅ', 'ๆฌ', 'ไบบ', 'ๅนด', 'ๅคง', 'ๅบ', 'ไธญ', 'ๅญฆ', '็', 'ๅฝ', 'ไผ', 'ไบ', '่ช', '็คพ', '็บ', '่',
+    'ๅฐ', 'ๆฅญ', 'ๆน', 'ๆฐ', 'ๅด', 'ๅก', '็ซ', '้', 'ๆ', 'ๅ', 'ๅ', 'ไปฃ', 'ๆ', 'ๅ', 'ไบฌ', '็ฎ',
+    '้', '่จ', '็', 'ไฝ', '็ฐ', 'ไธป', '้ก', 'ๆ', 'ไธ', 'ไฝ', '็จ', 'ๅบฆ', 'ๅผท', 'ๅฌ', 'ๆ', '้',
+    'ไปฅ', 'ๆ', 'ๅฎถ', 'ไธ', 'ๅค', 'ๆญฃ', 'ๅฎ', '้ข', 'ๅฟ', '็', 'ๆ', 'ๆ', 'ๅ', '้', '่ฟ', '่',
+    '็ป', 'ๆตท', 'ๅฃฒ', '็ฅ', '้', '้', 'ๅฅ', '็ฉ', 'ไฝฟ', 'ๅ', '่จ', '็น', '็ง', 'ๅง', 'ๆ', '้',
+    '็ต', 'ๅฐ', 'ๅบ', 'ไฝ', '็', 'ๆ', 'ๅฃ', 'ๅฐ', '็บ', 'ๆ', 'ๅทฅ', 'ๅปบ', '็ฉบ', 'ๆฅ', 'ๆญข', '้',
+    'ๅ', '่ปข', '็', '่ถณ', '็ฉถ', 'ๆฅฝ', '่ตท', '็', 'ๅบ', '็', '่ณช', 'ๅพ', '่ฉฆ', 'ๆ', '้', 'ๆฉ',
+    'ๆ', '่ฆช', '้จ', '่ฑ', 'ๅป', 'ไป', 'ๅป', 'ๅณ', 'ๅ', 'ๅญ', '็ญ', 'ๅค', '้ณ', 'ๆณจ', 'ๅธฐ', 'ๅค',
+    'ๆ', '้', '้ฑ', 'ๅ', '้ท', '่ฉฑ', 'ๅฑฑ', '้ซ', 'ๆฐด', '่ป', 'ไฝ', 'ๅ', 'ๅ', 'ๆฑ', '่ฅฟ', 'ๅ',
+    'ๅ', 'ๅ', 'ๅพ', '้ฃ', '้ฃฒ', '่ชญ', 'ๆธ', '่ฆ', '่ฒท', '่',
 ];
 
 /// Hiragana pool for particles and native-word syllables.
 pub const HIRAGANA: &[char] = &[
-    'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
-    'ใ', 'ใก', 'ใค', 'ใฆ', 'ใจ', 'ใช', 'ใซ', 'ใฌ', 'ใญ', 'ใฎ', 'ใฏ', 'ใฒ', 'ใต', 'ใธ', 'ใป',
-    'ใพ', 'ใฟ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
-    'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใง', 'ใฉ', 'ใฐ',
-    'ใณ', 'ใถ', 'ใน', 'ใผ',
+    'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
+    'ใก', 'ใค', 'ใฆ', 'ใจ', 'ใช', 'ใซ', 'ใฌ', 'ใญ', 'ใฎ', 'ใฏ', 'ใฒ', 'ใต', 'ใธ', 'ใป', 'ใพ', 'ใฟ',
+    'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
+    'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใง', 'ใฉ', 'ใฐ', 'ใณ', 'ใถ', 'ใน', 'ใผ',
 ];
 
 /// Japanese grammatical particles (hiragana) inserted between words.
@@ -313,11 +310,11 @@ pub const JA_PARTICLES: &[&str] = &["ใฏ", "ใ", "ใ", "ใซ", "ใง", "ใจ", "ใ
 
 /// Katakana pool for loan words.
 pub const KATAKANA: &[char] = &[
-    'ใข', 'ใค', 'ใฆ', 'ใจ', 'ใช', 'ใซ', 'ใญ', 'ใฏ', 'ใฑ', 'ใณ', 'ใต', 'ใท', 'ใน', 'ใป', 'ใฝ',
-    'ใฟ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
-    'ใ', 'ใ', 'ใ', 'ใก', 'ใข', 'ใค', 'ใฆ', 'ใจ', 'ใฉ', 'ใช', 'ใซ', 'ใฌ', 'ใญ', 'ใฏ', 'ใณ',
-    'ใฌ', 'ใฎ', 'ใฐ', 'ใฒ', 'ใด', 'ใธ', 'ใบ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
-    'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
+    'ใข', 'ใค', 'ใฆ', 'ใจ', 'ใช', 'ใซ', 'ใญ', 'ใฏ', 'ใฑ', 'ใณ', 'ใต', 'ใท', 'ใน', 'ใป', 'ใฝ', 'ใฟ',
+    'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
+    'ใ', 'ใก', 'ใข', 'ใค', 'ใฆ', 'ใจ', 'ใฉ', 'ใช', 'ใซ', 'ใฌ', 'ใญ', 'ใฏ', 'ใณ', 'ใฌ', 'ใฎ', 'ใฐ',
+    'ใฒ', 'ใด', 'ใธ', 'ใบ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ', 'ใ',
+    'ใ',
 ];
 
 #[cfg(test)]
@@ -366,7 +363,11 @@ mod tests {
 
     #[test]
     fn han_pools_are_han() {
-        for &c in HAN_SIMPLIFIED.iter().chain(HAN_TRADITIONAL.iter()).chain(KANJI.iter()) {
+        for &c in HAN_SIMPLIFIED
+            .iter()
+            .chain(HAN_TRADITIONAL.iter())
+            .chain(KANJI.iter())
+        {
             assert_eq!(script_of(c), Script::Han, "{c}");
         }
     }

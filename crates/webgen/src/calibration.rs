@@ -229,6 +229,7 @@ pub const MISMATCH_MIXED: f64 = 0.06;
 /// Discard-rate array builder, in `DiscardCategory::ALL` order:
 /// [Emoji, UrlOrFilePath, FileName, OrdinalPhrase, LabelNumberPattern,
 ///  MixedAlnum, DevLabel, TooShort, GenericAction, Placeholder, SingleWord].
+#[allow(clippy::too_many_arguments)] // one argument per discard category
 const fn rates(
     emoji: f64,
     url: f64,
@@ -243,7 +244,16 @@ const fn rates(
     single: f64,
 ) -> [f64; 11] {
     [
-        emoji, url, file, ordinal, label_num, mixed_alnum, dev, too_short, action, placeholder,
+        emoji,
+        url,
+        file,
+        ordinal,
+        label_num,
+        mixed_alnum,
+        dev,
+        too_short,
+        action,
+        placeholder,
         single,
     ]
 }
@@ -266,7 +276,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.13,
         mismatch_frac: 0.45,
         visible_peak: 0.88,
-        discard_rates: rates(0.007, 0.018, 0.012, 0.008, 0.012, 0.020, 0.022, 0.020, 0.045, 0.035, 0.062),
+        discard_rates: rates(
+            0.007, 0.018, 0.012, 0.008, 0.012, 0.020, 0.022, 0.020, 0.045, 0.035, 0.062,
+        ),
         rank_range: (300, 8_000, 150_000),
     },
     CountryProfile {
@@ -275,7 +287,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.22,
         mismatch_frac: 0.33,
         visible_peak: 0.92,
-        discard_rates: rates(0.010, 0.022, 0.018, 0.010, 0.015, 0.025, 0.025, 0.025, 0.055, 0.040, 0.140),
+        discard_rates: rates(
+            0.010, 0.022, 0.018, 0.010, 0.015, 0.025, 0.025, 0.025, 0.055, 0.040, 0.140,
+        ),
         rank_range: (200, 6_000, 120_000),
     },
     CountryProfile {
@@ -284,7 +298,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.15,
         mismatch_frac: 0.18,
         visible_peak: 0.80,
-        discard_rates: rates(0.006, 0.016, 0.014, 0.007, 0.011, 0.018, 0.020, 0.022, 0.045, 0.030, 0.110),
+        discard_rates: rates(
+            0.006, 0.016, 0.014, 0.007, 0.011, 0.018, 0.020, 0.022, 0.045, 0.030, 0.110,
+        ),
         rank_range: (500, 12_000, 200_000),
     },
     CountryProfile {
@@ -293,7 +309,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.15,
         mismatch_frac: 0.22,
         visible_peak: 0.82,
-        discard_rates: rates(0.008, 0.017, 0.015, 0.008, 0.012, 0.020, 0.020, 0.024, 0.048, 0.032, 0.115),
+        discard_rates: rates(
+            0.008, 0.017, 0.015, 0.008, 0.012, 0.020, 0.020, 0.024, 0.048, 0.032, 0.115,
+        ),
         rank_range: (400, 10_000, 180_000),
     },
     CountryProfile {
@@ -302,7 +320,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.35,
         mismatch_frac: 0.15,
         visible_peak: 0.85,
-        discard_rates: rates(0.009, 0.020, 0.016, 0.010, 0.014, 0.022, 0.024, 0.028, 0.052, 0.038, 0.210),
+        discard_rates: rates(
+            0.009, 0.020, 0.016, 0.010, 0.014, 0.022, 0.024, 0.028, 0.052, 0.038, 0.210,
+        ),
         rank_range: (400, 9_000, 160_000),
     },
     CountryProfile {
@@ -311,7 +331,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.35,
         mismatch_frac: 0.24,
         visible_peak: 0.85,
-        discard_rates: rates(0.012, 0.038, 0.022, 0.011, 0.015, 0.026, 0.028, 0.026, 0.058, 0.042, 0.140),
+        discard_rates: rates(
+            0.012, 0.038, 0.022, 0.011, 0.015, 0.026, 0.028, 0.026, 0.058, 0.042, 0.140,
+        ),
         rank_range: (300, 7_000, 130_000),
     },
     CountryProfile {
@@ -320,7 +342,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.20,
         mismatch_frac: 0.03,
         visible_peak: 0.90,
-        discard_rates: rates(0.008, 0.019, 0.016, 0.009, 0.013, 0.021, 0.022, 0.044, 0.050, 0.035, 0.125),
+        discard_rates: rates(
+            0.008, 0.019, 0.016, 0.009, 0.013, 0.021, 0.022, 0.044, 0.050, 0.035, 0.125,
+        ),
         rank_range: (300, 8_000, 140_000),
     },
     CountryProfile {
@@ -329,7 +353,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.22,
         mismatch_frac: 0.42,
         visible_peak: 0.78,
-        discard_rates: rates(0.009, 0.021, 0.017, 0.010, 0.014, 0.023, 0.025, 0.039, 0.054, 0.039, 0.195),
+        discard_rates: rates(
+            0.009, 0.021, 0.017, 0.010, 0.014, 0.023, 0.025, 0.039, 0.054, 0.039, 0.195,
+        ),
         // Figure 7: India's distribution extends toward the 1M rank range
         // (the model runs a little past 1M so the deepest replacement
         // descent lands in the paper's "1M" bucket).
@@ -341,7 +367,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.22,
         mismatch_frac: 0.05,
         visible_peak: 0.94,
-        discard_rates: rates(0.011, 0.020, 0.017, 0.009, 0.013, 0.021, 0.023, 0.022, 0.050, 0.036, 0.110),
+        discard_rates: rates(
+            0.011, 0.020, 0.017, 0.009, 0.013, 0.021, 0.023, 0.022, 0.050, 0.036, 0.110,
+        ),
         rank_range: (200, 5_000, 100_000),
     },
     CountryProfile {
@@ -350,7 +378,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.18,
         mismatch_frac: 0.12,
         visible_peak: 0.92,
-        discard_rates: rates(0.010, 0.036, 0.020, 0.010, 0.014, 0.024, 0.026, 0.024, 0.056, 0.040, 0.135),
+        discard_rates: rates(
+            0.010, 0.036, 0.020, 0.010, 0.014, 0.024, 0.026, 0.024, 0.056, 0.040, 0.135,
+        ),
         rank_range: (200, 5_000, 100_000),
     },
     CountryProfile {
@@ -359,7 +389,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         agg_mixed: 0.23,
         mismatch_frac: 0.14,
         visible_peak: 0.90,
-        discard_rates: rates(0.009, 0.028, 0.019, 0.011, 0.015, 0.025, 0.027, 0.041, 0.053, 0.038, 0.250),
+        discard_rates: rates(
+            0.009, 0.028, 0.019, 0.011, 0.015, 0.025, 0.027, 0.041, 0.053, 0.038, 0.250,
+        ),
         rank_range: (300, 7_000, 130_000),
     },
     CountryProfile {
@@ -372,7 +404,9 @@ pub const COUNTRY_PROFILES: [CountryProfile; 12] = [
         // the orthography itself (no inter-word spaces) pushes short
         // informative tokens into the single-word verdict — the measured
         // rate lands at the paper's ~33%.
-        discard_rates: rates(0.008, 0.024, 0.016, 0.008, 0.012, 0.020, 0.022, 0.048, 0.045, 0.032, 0.330),
+        discard_rates: rates(
+            0.008, 0.024, 0.016, 0.008, 0.012, 0.020, 0.022, 0.048, 0.045, 0.032, 0.330,
+        ),
         rank_range: (300, 8_000, 150_000),
     },
 ];
@@ -506,7 +540,11 @@ mod tests {
             assert!((0.0..1.0).contains(&p.mismatch_frac));
             let (n, e, m) = p.conditional_lang_weights();
             assert!(n > 0.0 && e > 0.0 && m > 0.0, "{c:?}: {n} {e} {m}");
-            assert!((n + e + m - 1.0).abs() < 0.05, "{c:?} weights sum {}", n + e + m);
+            assert!(
+                (n + e + m - 1.0).abs() < 0.05,
+                "{c:?} weights sum {}",
+                n + e + m
+            );
         }
     }
 

@@ -190,8 +190,16 @@ mod tests {
         let a = small();
         let b = small();
         for country in Country::STUDY {
-            let ha: Vec<&str> = a.candidates(country).iter().map(|p| p.host.as_str()).collect();
-            let hb: Vec<&str> = b.candidates(country).iter().map(|p| p.host.as_str()).collect();
+            let ha: Vec<&str> = a
+                .candidates(country)
+                .iter()
+                .map(|p| p.host.as_str())
+                .collect();
+            let hb: Vec<&str> = b
+                .candidates(country)
+                .iter()
+                .map(|p| p.host.as_str())
+                .collect();
             assert_eq!(ha, hb);
         }
     }

@@ -279,8 +279,10 @@ impl<'a> Renderer<'a> {
         if self.rng.gen::<f64>() < discard_total {
             let cat = sample_category(&mut self.rng, &discard_dist);
             let text = self.uninformative_instance(kind, cat);
-            self.truth.per_kind[kind_index(kind)].uninformative
-                [DiscardCategory::ALL.iter().position(|&c| c == cat).expect("cat")] += 1;
+            self.truth.per_kind[kind_index(kind)].uninformative[DiscardCategory::ALL
+                .iter()
+                .position(|&c| c == cat)
+                .expect("cat")] += 1;
             return PlantedText::Uninformative(cat, text);
         }
 
@@ -382,7 +384,11 @@ impl<'a> Renderer<'a> {
                 }
             }
             DiscardCategory::GenericAction => {
-                let lang = if use_native { native } else { Language::English };
+                let lang = if use_native {
+                    native
+                } else {
+                    Language::English
+                };
                 let pool = dict::actions_in(lang);
                 let pool = if pool.is_empty() {
                     dict::actions_in(Language::English)
@@ -392,7 +398,11 @@ impl<'a> Renderer<'a> {
                 pool[self.rng.gen_range(0..pool.len())].to_string()
             }
             DiscardCategory::Placeholder => {
-                let lang = if use_native { native } else { Language::English };
+                let lang = if use_native {
+                    native
+                } else {
+                    Language::English
+                };
                 let pool = dict::placeholders_in(lang);
                 let pool = if pool.is_empty() {
                     dict::placeholders_in(Language::English)
@@ -463,9 +473,7 @@ impl<'a> Renderer<'a> {
         let mut b = HtmlBuilder::document();
         let lang_attr;
         if self.plan.declares_lang {
-            lang_attr = if self.variant == ContentVariant::Global
-                || self.plan.declared_lang_wrong
-            {
+            lang_attr = if self.variant == ContentVariant::Global || self.plan.declared_lang_wrong {
                 // Wrongly-declared sites keep the template default ("en")
                 // even though the content is native — a common real-world
                 // authoring error the paper's §1 calls out.
@@ -533,7 +541,10 @@ impl<'a> Renderer<'a> {
                     b.void("img", &[("src", Some(src.as_str())), ("alt", Some(""))]);
                 }
                 PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
-                    b.void("img", &[("src", Some(src.as_str())), ("alt", Some(t.as_str()))]);
+                    b.void(
+                        "img",
+                        &[("src", Some(src.as_str())), ("alt", Some(t.as_str()))],
+                    );
                 }
             }
         }
@@ -543,7 +554,10 @@ impl<'a> Renderer<'a> {
         for _ in 0..svgs {
             match self.plant(ElementKind::SvgImgAlt) {
                 PlantedText::Missing => {
-                    b.open("svg", &[("role", Some("img")), ("viewBox", Some("0 0 24 24"))]);
+                    b.open(
+                        "svg",
+                        &[("role", Some("img")), ("viewBox", Some("0 0 24 24"))],
+                    );
                     b.raw("<path d=\"M0 0h24v24H0z\"/>");
                     b.close();
                 }
@@ -624,7 +638,10 @@ impl<'a> Renderer<'a> {
                 PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
                     b.leaf(
                         "object",
-                        &[("data", Some(data.as_str())), ("aria-label", Some(t.as_str()))],
+                        &[
+                            ("data", Some(data.as_str())),
+                            ("aria-label", Some(t.as_str())),
+                        ],
                         "",
                     );
                 }
@@ -632,7 +649,10 @@ impl<'a> Renderer<'a> {
         }
 
         // Form: labels + inputs, image inputs, selects, submit buttons.
-        b.open("form", &[("action", Some("/submit")), ("method", Some("post"))]);
+        b.open(
+            "form",
+            &[("action", Some("/submit")), ("method", Some("post"))],
+        );
         let labels = self.count_for(ElementKind::Label);
         for i in 0..labels {
             let id = format!("field-{i}");
@@ -640,16 +660,26 @@ impl<'a> Renderer<'a> {
                 PlantedText::Missing => {
                     b.void(
                         "input",
-                        &[("type", Some("text")), ("id", Some(id.as_str())), ("name", Some(id.as_str()))],
+                        &[
+                            ("type", Some("text")),
+                            ("id", Some(id.as_str())),
+                            ("name", Some(id.as_str())),
+                        ],
                     );
                 }
                 PlantedText::Empty => {
                     b.leaf("label", &[("for", Some(id.as_str()))], "");
-                    b.void("input", &[("type", Some("text")), ("id", Some(id.as_str()))]);
+                    b.void(
+                        "input",
+                        &[("type", Some("text")), ("id", Some(id.as_str()))],
+                    );
                 }
                 PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
                     b.leaf("label", &[("for", Some(id.as_str()))], &t);
-                    b.void("input", &[("type", Some("text")), ("id", Some(id.as_str()))]);
+                    b.void(
+                        "input",
+                        &[("type", Some("text")), ("id", Some(id.as_str()))],
+                    );
                 }
             }
         }
@@ -658,12 +688,19 @@ impl<'a> Renderer<'a> {
             let src = format!("/img/btn{i}.png");
             match self.plant(ElementKind::InputImageAlt) {
                 PlantedText::Missing => {
-                    b.void("input", &[("type", Some("image")), ("src", Some(src.as_str()))]);
+                    b.void(
+                        "input",
+                        &[("type", Some("image")), ("src", Some(src.as_str()))],
+                    );
                 }
                 PlantedText::Empty => {
                     b.void(
                         "input",
-                        &[("type", Some("image")), ("src", Some(src.as_str())), ("alt", Some(""))],
+                        &[
+                            ("type", Some("image")),
+                            ("src", Some(src.as_str())),
+                            ("alt", Some("")),
+                        ],
                     );
                 }
                 PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
@@ -687,7 +724,10 @@ impl<'a> Renderer<'a> {
                     b.open("select", &[("id", Some(id.as_str()))]);
                 }
                 PlantedText::Empty => {
-                    b.open("select", &[("id", Some(id.as_str())), ("aria-label", Some(""))]);
+                    b.open(
+                        "select",
+                        &[("id", Some(id.as_str())), ("aria-label", Some(""))],
+                    );
                 }
                 PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
                     b.open(
@@ -712,7 +752,10 @@ impl<'a> Renderer<'a> {
                     b.void("input", &[("type", Some("submit")), ("value", Some(""))]);
                 }
                 PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
-                    b.void("input", &[("type", Some("submit")), ("value", Some(t.as_str()))]);
+                    b.void(
+                        "input",
+                        &[("type", Some("submit")), ("value", Some(t.as_str()))],
+                    );
                 }
             }
         }
@@ -767,7 +810,11 @@ impl<'a> Renderer<'a> {
                 b.leaf("a", &[("href", Some(href))], &visible);
             }
             PlantedText::Empty => {
-                b.leaf("a", &[("href", Some(href)), ("aria-label", Some(""))], &visible);
+                b.leaf(
+                    "a",
+                    &[("href", Some(href)), ("aria-label", Some(""))],
+                    &visible,
+                );
             }
             PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
                 b.leaf(
@@ -900,8 +947,7 @@ mod tests {
             let mut renderer = Renderer::new(&p, ContentVariant::Localized, "/");
             for cat in DiscardCategory::ALL {
                 for _ in 0..20 {
-                    let instance =
-                        renderer.uninformative_instance(ElementKind::ImageAlt, cat);
+                    let instance = renderer.uninformative_instance(ElementKind::ImageAlt, cat);
                     total += 1;
                     if classify(&instance) == Some(cat) {
                         agree += 1;
@@ -922,8 +968,11 @@ mod tests {
             let p = plan(Country::Thailand, idx);
             let mut renderer = Renderer::new(&p, ContentVariant::Localized, "/");
             for bucket in [LangBucket::Native, LangBucket::English, LangBucket::Mixed] {
-                for kind in [ElementKind::ImageAlt, ElementKind::LinkName, ElementKind::ButtonName]
-                {
+                for kind in [
+                    ElementKind::ImageAlt,
+                    ElementKind::LinkName,
+                    ElementKind::ButtonName,
+                ] {
                     for _ in 0..10 {
                         let text = renderer.informative_instance(kind, bucket);
                         total += 1;

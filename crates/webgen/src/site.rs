@@ -315,12 +315,7 @@ fn sample_rank(r: &mut StdRng, profile: &CountryProfile) -> u64 {
 }
 
 fn host_name(country: Country, archetype: Archetype, index: u32) -> String {
-    format!(
-        "{}-{}.{}",
-        archetype.host_stem(),
-        index,
-        country.tld()
-    )
+    format!("{}-{}.{}", archetype.host_stem(), index, country.tld())
 }
 
 #[cfg(test)]
@@ -392,7 +387,11 @@ mod tests {
         for i in 0..300 {
             let p = SitePlan::build(9, Country::Bangladesh, i, Some(true));
             if p.mismatch_site {
-                assert!(p.lang_weights.0 < 0.05, "native weight {}", p.lang_weights.0);
+                assert!(
+                    p.lang_weights.0 < 0.05,
+                    "native weight {}",
+                    p.lang_weights.0
+                );
             }
         }
     }

@@ -13,10 +13,7 @@ use langcrux::webgen::{Corpus, CorpusConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let sites: usize = args
-        .next()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100);
+    let sites: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let out = args
         .next()
         .unwrap_or_else(|| "langcrux-dataset.json".to_string());

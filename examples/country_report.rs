@@ -43,7 +43,10 @@ fn main() {
     println!("dataset: {} sites\n", ds.len());
 
     println!("— language of informative accessibility texts (Figure 4 row) —");
-    print!("{}", render::lang_distribution(&analysis::lang_distribution(&ds)));
+    print!(
+        "{}",
+        render::lang_distribution(&analysis::lang_distribution(&ds))
+    );
 
     println!("\n— discard reasons (Figure 3 row) —");
     print!("{}", render::discards(&analysis::discard_by_country(&ds)));
@@ -72,9 +75,7 @@ fn main() {
         println!("\n— example mismatches (Table 5 style) —");
         print!(
             "{}",
-            render::mismatch_examples(
-                &ds.mismatch_examples[..ds.mismatch_examples.len().min(6)]
-            )
+            render::mismatch_examples(&ds.mismatch_examples[..ds.mismatch_examples.len().min(6)])
         );
     }
 }

@@ -13,9 +13,7 @@
 use langcrux::audit::audit_page;
 use langcrux::crawl::{extract, PageExtract};
 use langcrux::html::parse;
-use langcrux::kizuki::{
-    CheckOutcome, Kizuki, LanguageAwareCheck, LinkLanguageCheck,
-};
+use langcrux::kizuki::{CheckOutcome, Kizuki, LanguageAwareCheck, LinkLanguageCheck};
 use langcrux::lang::a11y::ElementKind;
 use langcrux::lang::Language;
 use langcrux::langid::{classify_label, LabelLanguage};

@@ -64,7 +64,12 @@ fn main() {
 
     // 4. Accessibility elements and filter verdicts.
     let total = visit.extract.elements.len();
-    let missing = visit.extract.elements.iter().filter(|e| e.is_missing()).count();
+    let missing = visit
+        .extract
+        .elements
+        .iter()
+        .filter(|e| e.is_missing())
+        .count();
     let empty = visit
         .extract
         .elements

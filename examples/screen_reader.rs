@@ -66,9 +66,17 @@ fn main() {
         "screen reader profile: {} (partial Bangla voice — §1 of the paper)\n",
         voiceover.name()
     );
-    narrate("as authored: English + placeholder metadata", AS_AUTHORED, &voiceover);
+    narrate(
+        "as authored: English + placeholder metadata",
+        AS_AUTHORED,
+        &voiceover,
+    );
     narrate("properly localized metadata", LOCALIZED, &voiceover);
 
     println!("same localized page under an English-only reader:");
-    narrate("english-only engine", LOCALIZED, &ScreenReader::english_only());
+    narrate(
+        "english-only engine",
+        LOCALIZED,
+        &ScreenReader::english_only(),
+    );
 }

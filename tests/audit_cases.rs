@@ -27,8 +27,7 @@ fn score_arithmetic_two_failures() {
            <img src="a">
            <iframe src="/e"></iframe>"#,
     );
-    let expected =
-        (OTHER_AUDITS_WEIGHT + 91.0 - 17.0) / (OTHER_AUDITS_WEIGHT + 91.0) * 100.0;
+    let expected = (OTHER_AUDITS_WEIGHT + 91.0 - 17.0) / (OTHER_AUDITS_WEIGHT + 91.0) * 100.0;
     assert!((report.score - expected).abs() < 1e-9, "{}", report.score);
 }
 

@@ -9,11 +9,7 @@ use DiscardCategory as C;
 
 fn assert_cases(cases: &[(&str, Option<DiscardCategory>)]) {
     for (text, expected) in cases {
-        assert_eq!(
-            classify(text),
-            *expected,
-            "label {text:?} misclassified"
-        );
+        assert_eq!(classify(text), *expected, "label {text:?} misclassified");
     }
 }
 
@@ -112,7 +108,7 @@ fn too_short_cases() {
         ("go", Some(C::TooShort)),
         ("ok", Some(C::TooShort)),
         ("x", Some(C::TooShort)),
-        ("图", Some(C::TooShort)),   // CJK limit is 1 char
+        ("图", Some(C::TooShort)), // CJK limit is 1 char
         ("..", Some(C::TooShort)),
         (">>", Some(C::TooShort)),
     ]);
@@ -177,21 +173,25 @@ fn single_word_cases() {
 fn informative_labels_survive_in_every_study_language() {
     // A descriptive multi-word (or CJK multi-char) label per language.
     let informative = [
-        "minister presents the annual budget",        // English
-        "শিক্ষার্থীরা বিদ্যালয়ের বাগানে গাছ লাগাচ্ছে",      // Bangla
-        "नदी के किनारे वार्षिक मेले की तस्वीर",           // Hindi
-        "صورة السوق القديم في وسط المدينة",              // Arabic
-        "вид на старый мост через реку",               // Russian
-        "渋谷の交差点を渡る人々の様子",                    // Japanese
-        "경복궁에서 열린 가을 축제 사진",                   // Korean
-        "ภาพบรรยากาศตลาดน้ำยามเช้า",                    // Thai
-        "άποψη του λιμανιού το ηλιοβασίλεμα",          // Greek
-        "תמונת הנמל בשקיעה מהטיילת",                    // Hebrew
-        "維多利亞港夜景全貌",                             // Cantonese (trad.)
-        "人民广场上的节日庆典",                           // Mandarin (simp.)
+        "minister presents the annual budget", // English
+        "শিক্ষার্থীরা বিদ্যালয়ের বাগানে গাছ লাগাচ্ছে",     // Bangla
+        "नदी के किनारे वार्षिक मेले की तस्वीर",      // Hindi
+        "صورة السوق القديم في وسط المدينة",    // Arabic
+        "вид на старый мост через реку",       // Russian
+        "渋谷の交差点を渡る人々の様子",        // Japanese
+        "경복궁에서 열린 가을 축제 사진",      // Korean
+        "ภาพบรรยากาศตลาดน้ำยามเช้า",             // Thai
+        "άποψη του λιμανιού το ηλιοβασίλεμα",  // Greek
+        "תמונת הנמל בשקיעה מהטיילת",           // Hebrew
+        "維多利亞港夜景全貌",                  // Cantonese (trad.)
+        "人民广场上的节日庆典",                // Mandarin (simp.)
     ];
     for label in informative {
-        assert_eq!(classify(label), None, "informative label {label:?} was discarded");
+        assert_eq!(
+            classify(label),
+            None,
+            "informative label {label:?} was discarded"
+        );
     }
 }
 

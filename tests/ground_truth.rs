@@ -17,9 +17,9 @@ use langcrux::net::ContentVariant;
 use langcrux::webgen::{render, SitePlan};
 
 fn plans(n: u32) -> impl Iterator<Item = (Country, SitePlan)> {
-    Country::STUDY.into_iter().flat_map(move |c| {
-        (0..n).map(move |i| (c, SitePlan::build(0xBEEF, c, i, Some(true))))
-    })
+    Country::STUDY
+        .into_iter()
+        .flat_map(move |c| (0..n).map(move |i| (c, SitePlan::build(0xBEEF, c, i, Some(true)))))
 }
 
 #[test]
@@ -31,8 +31,7 @@ fn structural_counts_recovered_exactly() {
             let planted = truth.kind(kind);
             let measured_total = page.of_kind(kind).count() as u32;
             let measured_missing = page.of_kind(kind).filter(|e| e.is_missing()).count() as u32;
-            let measured_empty =
-                page.of_kind(kind).filter(|e| e.is_empty_text()).count() as u32;
+            let measured_empty = page.of_kind(kind).filter(|e| e.is_empty_text()).count() as u32;
             assert_eq!(
                 planted.total, measured_total,
                 "{country:?}/{}: {kind:?} total",
@@ -116,9 +115,21 @@ fn label_language_classes_recovered() {
     let p = |n: u32, t: f64| f64::from(n) / t;
     // Each bucket's share must be recovered within 8 points.
     for (name, a, b) in [
-        ("native", p(planted.0, planted_total), p(measured.0, measured_total)),
-        ("english", p(planted.1, planted_total), p(measured.1, measured_total)),
-        ("mixed", p(planted.2, planted_total), p(measured.2, measured_total)),
+        (
+            "native",
+            p(planted.0, planted_total),
+            p(measured.0, measured_total),
+        ),
+        (
+            "english",
+            p(planted.1, planted_total),
+            p(measured.1, measured_total),
+        ),
+        (
+            "mixed",
+            p(planted.2, planted_total),
+            p(measured.2, measured_total),
+        ),
     ] {
         assert!(
             (a - b).abs() < 0.08,
@@ -134,7 +145,11 @@ fn global_variant_plants_and_measures_english() {
         let page = extract(&parse(&html));
         // Ground truth says all informative labels are English…
         for kind in ElementKind::ALL {
-            assert_eq!(truth.kind(kind).informative_native, 0, "{country:?} {kind:?}");
+            assert_eq!(
+                truth.kind(kind).informative_native,
+                0,
+                "{country:?} {kind:?}"
+            );
         }
         // …and the measurement agrees for almost all of them.
         let mut english = 0u32;

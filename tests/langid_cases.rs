@@ -11,7 +11,10 @@ fn detect_study_language_passages() {
     let cases: &[(&str, Language)] = &[
         ("আজকের সংবাদ শিরোনাম এবং আবহাওয়ার খবর", Language::Bangla),
         ("आज की मुख्य ख़बरें और मौसम की जानकारी", Language::Hindi),
-        ("أخبار اليوم الرئيسية وحالة الطقس", Language::ModernStandardArabic),
+        (
+            "أخبار اليوم الرئيسية وحالة الطقس",
+            Language::ModernStandardArabic,
+        ),
         ("Главные новости дня и прогноз погоды", Language::Russian),
         ("今日の主要ニュースと天気予報です", Language::Japanese),
         ("오늘의 주요 뉴스와 일기 예보입니다", Language::Korean),
@@ -29,16 +32,16 @@ fn detect_study_language_passages() {
 #[test]
 fn detect_disambiguation_pairs() {
     // Urdu vs MSA: retroflex/aspirate letters decide.
-    assert_eq!(
-        detect("یہ ایک اردو جملہ ہے ٹھیک ہے"),
-        Some(Language::Urdu)
-    );
+    assert_eq!(detect("یہ ایک اردو جملہ ہے ٹھیک ہے"), Some(Language::Urdu));
     assert_eq!(
         detect("هذه جملة باللغة العربية الفصحى"),
         Some(Language::ModernStandardArabic)
     );
     // Hindi vs Marathi: ळ decides.
-    assert_eq!(detect("मराठी भाषेतील बातम्या आणि जळगाव"), Some(Language::Marathi));
+    assert_eq!(
+        detect("मराठी भाषेतील बातम्या आणि जळगाव"),
+        Some(Language::Marathi)
+    );
     assert_eq!(detect("हिंदी समाचार और जानकारी"), Some(Language::Hindi));
     // Mandarin vs Cantonese vs Japanese over shared Han.
     assert_eq!(detect("今天的新闻报道"), Some(Language::MandarinChinese));

@@ -57,10 +57,18 @@ fn table2_label_is_least_labelled_and_image_alt_most() {
     let get = |k: ElementKind| rows.iter().find(|r| r.kind == k).unwrap();
     // Paper: label misses 98.55% on average — the worst of all kinds.
     let label = get(ElementKind::Label);
-    assert!(label.missing.mean > 93.0, "label missing {}", label.missing.mean);
+    assert!(
+        label.missing.mean > 93.0,
+        "label missing {}",
+        label.missing.mean
+    );
     // Paper: image-alt has by far the lowest missing rate (17.12%)…
     let image = get(ElementKind::ImageAlt);
-    assert!(image.missing.mean < 30.0, "image missing {}", image.missing.mean);
+    assert!(
+        image.missing.mean < 30.0,
+        "image missing {}",
+        image.missing.mean
+    );
     for row in &rows {
         if row.kind != ElementKind::ImageAlt && row.missing.count > 0 {
             assert!(
@@ -94,7 +102,11 @@ fn table2_link_names_are_longest_and_extremes_exist() {
     assert!(link.text_len.median > summary.text_len.median);
     // Paper: image-alt's maximum runs to six figures (261,864 chars).
     let image = get(ElementKind::ImageAlt);
-    assert!(image.text_len.max > 1_000.0, "max alt {}", image.text_len.max);
+    assert!(
+        image.text_len.max > 1_000.0,
+        "max alt {}",
+        image.text_len.max
+    );
     assert!(
         image.text_len.max > 20.0 * image.text_len.median,
         "image-alt extremes missing"
@@ -138,7 +150,9 @@ fn fig3_single_word_ordering() {
     assert!(single("th") > 25.0, "th single-word {}", single("th"));
     assert!(single("th") > single("ru"));
     assert!(single("ru") > single("gr"));
-    for code in ["cn", "dz", "eg", "gr", "hk", "il", "in", "jp", "kr", "ru", "th"] {
+    for code in [
+        "cn", "dz", "eg", "gr", "hk", "il", "in", "jp", "kr", "ru", "th",
+    ] {
         assert!(
             single(code) > single("bd"),
             "bd should have the lowest single-word rate ({} vs {})",
@@ -301,11 +315,7 @@ fn fig6_kizuki_shifts_scores_down() {
 #[test]
 fn fig7_india_long_tail() {
     let ds = dataset();
-    let india_max = ds
-        .in_country(Country::India)
-        .map(|r| r.rank)
-        .max()
-        .unwrap();
+    let india_max = ds.in_country(Country::India).map(|r| r.rank).max().unwrap();
     assert!(india_max > 200_000, "india max rank {india_max}");
     for c in Country::STUDY {
         if c != Country::India {
@@ -337,9 +347,7 @@ fn fig7_india_long_tail() {
 fn fig9_summary_dominated_by_generic_and_single_word() {
     let rows = analysis::discard_by_element(dataset());
     let summary = rows.iter().find(|r| r.label == "summary-name").unwrap();
-    let idx = |cat: DiscardCategory| {
-        DiscardCategory::ALL.iter().position(|c| *c == cat).unwrap()
-    };
+    let idx = |cat: DiscardCategory| DiscardCategory::ALL.iter().position(|c| *c == cat).unwrap();
     // Paper: summary shows the highest generic-action (42.9%) and
     // single-word (40.5%) rates — minimal semantic value.
     let generic = summary.pct[idx(DiscardCategory::GenericAction)];

@@ -1,0 +1,70 @@
+//! Determinism of the work-stealing pipeline.
+//!
+//! The dataset is the paper's release artefact, so its bytes must not
+//! depend on scheduling: `Dataset::to_json` has to be identical across
+//! runs and across worker counts (1, 2, and one-per-core).
+
+use langcrux::core::{build_dataset, PipelineOptions};
+use langcrux::lang::Country;
+use langcrux::webgen::{Corpus, CorpusConfig};
+
+fn dataset_json(corpus: &Corpus, quota: usize, threads: usize) -> String {
+    build_dataset(
+        corpus,
+        PipelineOptions {
+            quota,
+            threads,
+            ..PipelineOptions::default()
+        },
+    )
+    .to_json()
+    .expect("dataset serializes")
+}
+
+#[test]
+fn to_json_identical_across_thread_counts_and_runs() {
+    let corpus = Corpus::build(CorpusConfig::small(23, 15));
+    let serial = dataset_json(&corpus, 15, 1);
+    // Repeat runs at the same thread count.
+    assert_eq!(
+        serial,
+        dataset_json(&corpus, 15, 1),
+        "run-to-run drift at 1 thread"
+    );
+    // Other worker counts, including 0 = one per core.
+    for threads in [2, 3, 0] {
+        assert_eq!(
+            serial,
+            dataset_json(&corpus, 15, threads),
+            "thread count {threads} changed the dataset bytes"
+        );
+        assert_eq!(
+            serial,
+            dataset_json(&corpus, 15, threads),
+            "run-to-run drift at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn rank_order_replacement_preserved_under_parallelism() {
+    // Selected sites stay in CrUX rank order per country at every worker
+    // count — the paper's walk, replayed over parallel probe verdicts.
+    let corpus = Corpus::build(CorpusConfig::small(37, 10));
+    for threads in [1, 4] {
+        let ds = build_dataset(
+            &corpus,
+            PipelineOptions {
+                quota: 10,
+                threads,
+                ..PipelineOptions::default()
+            },
+        );
+        for country in Country::STUDY {
+            let ranks: Vec<u64> = ds.in_country(country).map(|r| r.rank).collect();
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            assert_eq!(ranks, sorted, "{country:?} at {threads} threads");
+        }
+    }
+}
