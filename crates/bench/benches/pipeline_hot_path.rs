@@ -79,6 +79,71 @@ fn bench_composition(c: &mut Criterion) {
     group.finish();
 }
 
+/// Layer 4 (webgen allocation diet): textgen scratch-buffer reuse vs
+/// per-call allocation, presized vs default-grown HtmlBuilder, and the
+/// absolute page-render number both feed into.
+fn bench_webgen_alloc(c: &mut Criterion) {
+    use langcrux_html::HtmlBuilder;
+    use langcrux_webgen::calibration::estimated_page_bytes;
+
+    let mut group = c.benchmark_group("webgen_alloc");
+
+    // Before: every paragraph allocates its own String (plus the
+    // per-word/per-sentence intermediates the old join-based path made).
+    group.bench_function("textgen_paragraph_fresh_alloc", |b| {
+        let mut gen = TextGenerator::new(Language::Bangla, 3);
+        b.iter(|| black_box(gen.paragraph(4)).len())
+    });
+    // After: one scratch buffer reused across paragraphs.
+    group.bench_function("textgen_paragraph_scratch_reuse", |b| {
+        let mut gen = TextGenerator::new(Language::Bangla, 3);
+        let mut scratch = String::new();
+        b.iter(|| {
+            scratch.clear();
+            gen.append_paragraph(4, &mut scratch);
+            black_box(scratch.len())
+        })
+    });
+
+    // Builder growth ladder vs one calibrated up-front reservation.
+    let build_page = |mut b: HtmlBuilder| {
+        b.open("html", &[("lang", Some("th"))]);
+        for i in 0..220 {
+            b.leaf(
+                "p",
+                &[("class", Some("row"))],
+                "ข่าววันนี้ของประเทศไทยทั้งหมดพร้อมรายละเอียดเพิ่มเติมสำหรับผู้อ่าน",
+            );
+            if i % 4 == 0 {
+                b.void("img", &[("src", Some("/img/a.jpg")), ("alt", Some("ภาพ"))]);
+            }
+        }
+        b.finish()
+    };
+    group.bench_function("html_builder_default_growth", |b| {
+        b.iter(|| black_box(build_page(HtmlBuilder::document())).len())
+    });
+    group.bench_function("html_builder_presized", |b| {
+        b.iter(|| {
+            black_box(build_page(HtmlBuilder::document_sized(
+                estimated_page_bytes(),
+            )))
+            .len()
+        })
+    });
+
+    // The end-to-end render both optimisations feed into.
+    group.bench_function("render_localized_page", |b| {
+        let plan = SitePlan::build(42, Country::Bangladesh, 1, Some(true));
+        b.iter(|| {
+            black_box(render(&plan, ContentVariant::Localized, "/"))
+                .0
+                .len()
+        })
+    });
+    group.finish();
+}
+
 /// End to end: seed pipeline vs fused engine on the same small corpus.
 fn bench_pipeline_end_to_end(c: &mut Criterion) {
     let corpus = build_corpus(0xBEAC4, Scale::Sites(12));
@@ -102,6 +167,7 @@ criterion_group!(
     bench_fused_extraction,
     bench_script_tables,
     bench_composition,
+    bench_webgen_alloc,
     bench_pipeline_end_to_end
 );
 criterion_main!(benches);

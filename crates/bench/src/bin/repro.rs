@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
-//!       [--bench-json [PATH]]
+//!       [--bench-json [PATH]] [--serve-bench [PATH]]
 //!
 //! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
@@ -10,11 +10,19 @@
 //!         | ablation-vpn | ablation-langid | ablation-crawl
 //! ```
 //!
-//! `--bench-json` skips the artefacts and instead times the seed pipeline
-//! against the fused single-pass engine at `Scale::Quick` and
-//! `Scale::Default` (or the scale given by `--sites/--quick/--full`),
-//! writing the before/after record to `BENCH_pipeline.json` (or PATH).
-//! Run it under `--release` for meaningful numbers.
+//! `--bench-json` times the seed pipeline against the fused single-pass
+//! engine at `Scale::Quick` and `Scale::Default` (or the scale given by
+//! `--sites/--quick/--full`), writing the before/after record to
+//! `BENCH_pipeline.json` (or PATH). Bench flags replace the implicit
+//! `all` artefact run; artefacts named explicitly alongside a bench flag
+//! are still produced.
+//! On multi-core hosts the record also carries per-worker-count timings
+//! (`worker_scaling`). Run it under `--release` for meaningful numbers.
+//!
+//! `--serve-bench` spawns the `langcrux-serve` audit server on an
+//! ephemeral loopback port, drives it with the load generator (cold =
+//! all cache misses, hot = all cache hits), and writes `BENCH_serve.json`
+//! (or PATH). `--quick` shrinks the workload to CI-smoke size.
 //!
 //! The harness builds the synthetic corpus, runs the full LangCrUX
 //! pipeline, and prints the paper-format rows/series. Absolute values are
@@ -29,11 +37,17 @@ use langcrux_lang::Country;
 
 struct Args {
     artifacts: Vec<String>,
+    /// Whether artifacts were named on the command line (as opposed to
+    /// the implicit `all` default). Bench flags replace the implicit
+    /// default but never swallow explicitly requested artifacts.
+    explicit_artifacts: bool,
     scale: Scale,
     scale_overridden: bool,
     seed: u64,
     /// `Some(path)` when `--bench-json` was requested.
     bench_json: Option<String>,
+    /// `Some(path)` when `--serve-bench` was requested.
+    serve_bench: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +56,7 @@ fn parse_args() -> Args {
     let mut scale_overridden = false;
     let mut seed = DEFAULT_SEED;
     let mut bench_json = None;
+    let mut serve_bench = None;
     let mut iter = std::env::args().skip(1).peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -77,10 +92,17 @@ fn parse_args() -> Args {
                 };
                 bench_json = Some(path);
             }
+            "--serve-bench" => {
+                let path = match iter.peek() {
+                    Some(next) if next.ends_with(".json") => iter.next().unwrap(),
+                    _ => "BENCH_serve.json".to_string(),
+                };
+                serve_bench = Some(path);
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S] \
-                     [--bench-json [PATH]]\n\
+                     [--bench-json [PATH]] [--serve-bench [PATH]]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
                      fig5 fig6 fig7 fig8 fig9 headlines langmeta speech report selection crawl \
                      ablation-vpn ablation-langid ablation-crawl"
@@ -90,15 +112,18 @@ fn parse_args() -> Args {
             other => artifacts.push(other.to_string()),
         }
     }
+    let explicit_artifacts = !artifacts.is_empty();
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
     Args {
         artifacts,
+        explicit_artifacts,
         scale,
         scale_overridden,
         seed,
         bench_json,
+        serve_bench,
     }
 }
 
@@ -122,6 +147,24 @@ fn section(title: &str) {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.serve_bench {
+        let config = langcrux_bench::serve_bench::ServeBenchConfig::for_scale(args.scale);
+        eprintln!(
+            "serve bench: {} pages × (1 cold + {} hot) passes over {} connections …",
+            config.pages, config.rounds, config.connections
+        );
+        let report = langcrux_bench::serve_bench::serve_bench_report(args.seed, config);
+        eprintln!(
+            "  cold {:>8.1} req/s (p50 {:.2} ms, p99 {:.2} ms)",
+            report.cold.req_per_sec, report.cold.p50_ms, report.cold.p99_ms
+        );
+        eprintln!(
+            "  hot  {:>8.1} req/s (p50 {:.2} ms, p99 {:.2} ms) — {:.1}× cold",
+            report.hot.req_per_sec, report.hot.p50_ms, report.hot.p99_ms, report.hot_vs_cold
+        );
+        langcrux_bench::serve_bench::write_serve_json(path, &report).expect("write serve json");
+        eprintln!("wrote {path}");
+    }
     if let Some(path) = &args.bench_json {
         let scales: Vec<Scale> = if args.scale_overridden {
             vec![args.scale]
@@ -141,6 +184,10 @@ fn main() {
         }
         langcrux_bench::perf::write_bench_json(path, &report).expect("write bench json");
         eprintln!("wrote {path}");
+    }
+    // Bench flags stand in for the implicit `all` run, but explicitly
+    // named artifacts alongside them are still produced (no silent drop).
+    if (args.serve_bench.is_some() || args.bench_json.is_some()) && !args.explicit_artifacts {
         return;
     }
     let all = args.artifacts.iter().any(|a| a == "all");

@@ -30,6 +30,7 @@
 
 pub mod baseline;
 pub mod perf;
+pub mod serve_bench;
 
 use langcrux_core::{build_dataset, Dataset, PipelineOptions};
 use langcrux_crawl::BrowserConfig;

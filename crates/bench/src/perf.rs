@@ -30,6 +30,16 @@ pub struct ScaleTiming {
     pub records: usize,
 }
 
+/// Wall-clock of the fused pipeline at one fixed worker count — the
+/// parallel share of the speedup, separated from the algorithmic share.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerTiming {
+    pub workers: usize,
+    pub fused_ms: f64,
+    /// Speedup of this worker count over the single-worker run.
+    pub speedup_vs_one_worker: f64,
+}
+
 /// The `BENCH_pipeline.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct PipelineBenchReport {
@@ -40,7 +50,63 @@ pub struct PipelineBenchReport {
     /// Hardware parallelism of the machine that produced the numbers.
     pub available_cores: usize,
     pub timings: Vec<ScaleTiming>,
+    /// Fused-pipeline wall-clock per worker count at the first scale
+    /// (empty on single-core hosts, where the pool cannot contribute).
+    pub worker_scaling: Vec<WorkerTiming>,
     pub notes: String,
+}
+
+/// Worker counts to sweep on a host with `cores` cores: powers of two up
+/// to the core count, plus the core count itself.
+pub fn worker_counts(cores: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut w = 1;
+    while w <= cores {
+        counts.push(w);
+        w *= 2;
+    }
+    if counts.last() != Some(&cores) {
+        counts.push(cores);
+    }
+    counts
+}
+
+/// Time the fused pipeline at each worker count on a fresh corpus.
+///
+/// Returns an empty vector when `cores <= 1`: with a single hardware
+/// thread every worker count degenerates to the same sequential run and
+/// the sweep would only record noise (the ROADMAP records the parallel
+/// share from multi-core CI hosts instead).
+pub fn worker_scaling(seed: u64, scale: Scale, cores: usize) -> Vec<WorkerTiming> {
+    if cores <= 1 {
+        return Vec::new();
+    }
+    let corpus = build_corpus(seed, scale);
+    let mut timings = Vec::new();
+    let mut one_worker_ms = f64::NAN;
+    for workers in worker_counts(cores) {
+        let options = PipelineOptions {
+            quota: scale.sites_per_country(),
+            threads: workers,
+            ..PipelineOptions::default()
+        };
+        let mut fused_ms = f64::INFINITY;
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            let ds = build_dataset(&corpus, options);
+            fused_ms = fused_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            std::hint::black_box(ds.len());
+        }
+        if workers == 1 {
+            one_worker_ms = fused_ms;
+        }
+        timings.push(WorkerTiming {
+            workers,
+            fused_ms,
+            speedup_vs_one_worker: one_worker_ms / fused_ms.max(1e-9),
+        });
+    }
+    timings
 }
 
 fn scale_name(scale: Scale) -> String {
@@ -102,12 +168,17 @@ pub fn time_scale(seed: u64, scale: Scale) -> ScaleTiming {
 pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport {
     let cores = default_threads();
     let timings: Vec<ScaleTiming> = scales.iter().map(|&s| time_scale(seed, s)).collect();
+    // Per-worker-count timings (ROADMAP open item: record the parallel
+    // share). The sweep reuses the first requested scale.
+    let worker_scaling =
+        worker_scaling(seed, scales.first().copied().unwrap_or(Scale::Quick), cores);
     PipelineBenchReport {
         bench: "pipeline_hot_path/build_dataset".to_string(),
         seed,
         threads: cores,
         available_cores: cores,
         timings,
+        worker_scaling,
         notes: format!(
             "baseline = seed pipeline (one thread per country, visible-text re-scan per \
              candidate and per site, Vec-probed histogram, per-site Kizuki construction); \
@@ -117,7 +188,8 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
              {par}, so the speedup recorded here is the fusion share alone. On any \
              multi-core host the pool multiplies it further (the seed capped at 12 \
              country threads; the pool uses every core and steals across the country \
-             tail).",
+             tail). worker_scaling records the fused pipeline per worker count on \
+             multi-core hosts, isolating that parallel share.",
             par = if cores > 1 {
                 "additional parallel speedup"
             } else {
@@ -136,6 +208,28 @@ pub fn write_bench_json(path: &str, report: &PipelineBenchReport) -> std::io::Re
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_counts_cover_powers_of_two_and_cores() {
+        assert_eq!(worker_counts(1), vec![1]);
+        assert_eq!(worker_counts(2), vec![1, 2]);
+        assert_eq!(worker_counts(6), vec![1, 2, 4, 6]);
+        assert_eq!(worker_counts(8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn worker_scaling_gated_on_cores() {
+        assert!(worker_scaling(5, Scale::Sites(2), 1).is_empty());
+        // A forced 2-core sweep runs and records both counts even on a
+        // single-core host (timings are then just not informative).
+        let sweep = worker_scaling(5, Scale::Sites(2), 2);
+        assert_eq!(
+            sweep.iter().map(|t| t.workers).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!((sweep[0].speedup_vs_one_worker - 1.0).abs() < 1e-9);
+        assert!(sweep.iter().all(|t| t.fused_ms > 0.0));
+    }
 
     #[test]
     fn timing_report_shape() {

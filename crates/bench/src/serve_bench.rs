@@ -1,0 +1,183 @@
+//! The serve benchmark behind `repro --serve-bench`: spawn the audit
+//! server on an ephemeral loopback port, drive it with the load
+//! generator, and emit the machine-readable record `BENCH_serve.json`.
+//!
+//! Two runs over the same corpus pages quantify what the sharded
+//! response cache buys:
+//!
+//! * **cold** — one request per distinct page: every request misses the
+//!   cache and pays the full parse → extract → audit → Kizuki → speak
+//!   pipeline.
+//! * **hot** — `rounds` further passes over the same pages: every
+//!   request answers byte-identical JSON straight from the cache.
+//!
+//! The headline number is `hot_vs_cold` (cache-hot req/s over cold
+//! req/s); the acceptance bar for the serve subsystem is ≥ 5×.
+
+use crate::Scale;
+use langcrux_lang::Country;
+use langcrux_net::ContentVariant;
+use langcrux_serve::{run_load, LoadGenRun, ServeConfig, StatsSnapshot};
+use langcrux_webgen::{render, SitePlan};
+use serde::Serialize;
+
+/// Workload shape for one serve bench.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchConfig {
+    /// Distinct corpus pages (= cold requests).
+    pub pages: usize,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Hot passes over the page set after the cold pass.
+    pub rounds: usize,
+}
+
+impl ServeBenchConfig {
+    /// Scale-matched defaults: tiny under `--quick` (CI smoke), larger
+    /// otherwise.
+    pub fn for_scale(scale: Scale) -> ServeBenchConfig {
+        match scale {
+            Scale::Quick => ServeBenchConfig {
+                pages: 48,
+                connections: 4,
+                rounds: 4,
+            },
+            Scale::Sites(n) => ServeBenchConfig {
+                pages: n.max(2),
+                connections: 4,
+                rounds: 4,
+            },
+            _ => ServeBenchConfig {
+                pages: 192,
+                connections: 8,
+                rounds: 8,
+            },
+        }
+    }
+}
+
+/// The `BENCH_serve.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    pub bench: String,
+    pub seed: u64,
+    pub pages: usize,
+    pub connections: usize,
+    /// Mean page size of the workload, bytes.
+    pub mean_page_bytes: usize,
+    /// All-miss pass: full pipeline per request.
+    pub cold: LoadGenRun,
+    /// All-hit passes: sharded-cache lookups only.
+    pub hot: LoadGenRun,
+    /// Cache-hot req/s over cold req/s (acceptance bar: ≥ 5).
+    pub hot_vs_cold: f64,
+    /// Server-side view after the run (cache + latency histogram).
+    pub server: StatsSnapshot,
+    pub notes: String,
+}
+
+/// Render `pages` distinct localized corpus pages, cycling countries so
+/// the workload spans every script family the study covers.
+pub fn bench_pages(seed: u64, pages: usize) -> Vec<String> {
+    (0..pages)
+        .map(|i| {
+            let country = Country::STUDY[i % Country::STUDY.len()];
+            let plan = SitePlan::build(seed, country, i as u32, Some(true));
+            render(&plan, ContentVariant::Localized, "/").0
+        })
+        .collect()
+}
+
+/// Spawn a server, run the cold and hot passes, and assemble the report.
+pub fn serve_bench_report(seed: u64, config: ServeBenchConfig) -> ServeBenchReport {
+    let pages = bench_pages(seed, config.pages);
+    let mean_page_bytes = pages.iter().map(String::len).sum::<usize>() / pages.len().max(1);
+
+    let server = langcrux_serve::spawn(ServeConfig {
+        // Capacity sized to hold the whole working set so the hot pass
+        // measures pure hit throughput, not eviction churn.
+        cache_shards: 8,
+        cache_capacity_per_shard: config.pages.div_ceil(8).max(64),
+        ..ServeConfig::default()
+    })
+    .expect("spawn audit server on loopback");
+
+    let cold = run_load(server.addr(), &pages, config.connections, pages.len()).expect("cold run");
+    let hot = run_load(
+        server.addr(),
+        &pages,
+        config.connections,
+        pages.len() * config.rounds.max(1),
+    )
+    .expect("hot run");
+    let stats = server.shutdown();
+
+    let hot_vs_cold = hot.req_per_sec / cold.req_per_sec.max(1e-9);
+    ServeBenchReport {
+        bench: "serve/audit_loopback".to_string(),
+        seed,
+        pages: config.pages,
+        connections: config.connections,
+        mean_page_bytes,
+        cold,
+        hot,
+        hot_vs_cold,
+        server: stats,
+        notes: format!(
+            "cold = one POST /v1/audit per distinct corpus page (every request is a cache \
+             miss and runs the full parse+extract+audit+Kizuki+speak pipeline); hot = {} \
+             further passes over the same pages answered from the sharded LRU response \
+             cache. Loopback HTTP/1.1 keep-alive, {} concurrent connections; latencies \
+             are client-side.",
+            config.rounds.max(1),
+            config.connections,
+        ),
+    }
+}
+
+/// Write an already-computed report as JSON at `path`.
+pub fn write_serve_json(path: &str, report: &ServeBenchReport) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(report).expect("serialize serve report");
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_pages_are_distinct_and_multilingual() {
+        let pages = bench_pages(77, 24);
+        assert_eq!(pages.len(), 24);
+        let distinct: std::collections::HashSet<&String> = pages.iter().collect();
+        assert_eq!(distinct.len(), 24, "cold pass needs all-distinct bodies");
+        assert!(pages.iter().all(|p| p.len() > 1_000));
+    }
+
+    #[test]
+    fn serve_bench_smoke_and_cache_accounting() {
+        let report = serve_bench_report(
+            41,
+            ServeBenchConfig {
+                pages: 10,
+                connections: 2,
+                rounds: 3,
+            },
+        );
+        assert_eq!(report.cold.requests, 10);
+        assert_eq!(report.hot.requests, 30);
+        assert_eq!(report.cold.errors + report.hot.errors, 0);
+        // Every cold request missed; every hot request hit.
+        assert_eq!(report.server.cache.misses, 10);
+        assert_eq!(report.server.cache.hits, 30);
+        assert_eq!(report.server.requests.audit, 40);
+        assert!(
+            report.hot_vs_cold > 1.0,
+            "hot {} <= cold {}",
+            report.hot.req_per_sec,
+            report.cold.req_per_sec
+        );
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"hot_vs_cold\""));
+    }
+}

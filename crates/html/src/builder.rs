@@ -23,9 +23,32 @@ impl HtmlBuilder {
         b
     }
 
+    /// Start a document with the output buffer pre-sized to `capacity`
+    /// bytes. Generators that know their typical page size (webgen's
+    /// calibrated estimate) use this to avoid the doubling-reallocation
+    /// ladder while streaming a page.
+    pub fn document_sized(capacity: usize) -> Self {
+        let mut b = HtmlBuilder::fragment_sized(capacity);
+        b.buf.push_str("<!DOCTYPE html>");
+        b
+    }
+
     /// An empty builder (fragment mode).
     pub fn fragment() -> Self {
         HtmlBuilder::default()
+    }
+
+    /// Fragment-mode builder with a pre-sized output buffer.
+    pub fn fragment_sized(capacity: usize) -> Self {
+        HtmlBuilder {
+            buf: String::with_capacity(capacity),
+            stack: Vec::with_capacity(16),
+        }
+    }
+
+    /// Spare capacity currently available without reallocation.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Open an element with attributes. `attrs` pairs are
@@ -166,6 +189,19 @@ mod tests {
     #[should_panic(expected = "close() with no open element")]
     fn unbalanced_close_panics() {
         HtmlBuilder::fragment().close();
+    }
+
+    #[test]
+    fn presized_builder_output_matches_default() {
+        let build = |mut b: HtmlBuilder| {
+            b.open("html", &[("lang", Some("ru"))]);
+            b.leaf("p", &[], "новости дня");
+            b.finish()
+        };
+        let presized = build(HtmlBuilder::document_sized(4096));
+        assert_eq!(presized, build(HtmlBuilder::document()));
+        let b = HtmlBuilder::fragment_sized(1024);
+        assert!(b.capacity() >= 1024);
     }
 
     #[test]

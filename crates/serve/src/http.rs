@@ -1,0 +1,622 @@
+//! A hand-rolled HTTP/1.1 layer over `std::net`.
+//!
+//! The container has no crates.io access, so there is no hyper/tokio; the
+//! serve workload is CPU-bound page auditing, which per the workspace's
+//! networking guidance runs fine on blocking OS threads. What this module
+//! provides is deliberately small and fully testable without sockets:
+//!
+//! * [`RequestParser`] — an incremental (push-based) request parser. Bytes
+//!   arrive in arbitrary chunks (TCP reads tear start-lines, CRLFs and
+//!   bodies at any offset); the parser buffers and yields complete
+//!   [`Request`]s. Pipelined requests in one read are handled: leftover
+//!   bytes stay buffered for the next [`RequestParser::poll`].
+//! * [`ParseError`] — typed protocol violations, each mapped to the HTTP
+//!   status the server answers before closing the connection
+//!   (malformed start-line → 400, oversized body → 413, oversized
+//!   header block → 431).
+//! * [`Response`] — a minimal response writer with keep-alive handling.
+//!
+//! Only what the audit service needs is implemented: `Content-Length`
+//! bodies (no chunked transfer — a `Transfer-Encoding` header is rejected
+//! with 501), no trailers, no multiline header folding (folding was
+//! deprecated by RFC 7230 and is rejected as malformed).
+
+/// Byte-size limits enforced while parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the start-line + header block (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` (413 beyond this).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            // Generous for HTML pages; the paper's corpus tops out well
+            // below this even with Appendix-E extreme alt texts.
+            max_body_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method verbatim (methods are case-sensitive tokens).
+    pub method: String,
+    /// Request target verbatim, e.g. `/v1/audit`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// HTTP/1.1 default: keep-alive unless `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A protocol violation, with the status the server should answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Start-line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadStartLine,
+    /// A header line without `:`, an empty/illegal header name, or
+    /// obs-fold continuation.
+    BadHeader,
+    /// `Content-Length` missing on a method requiring none, duplicated,
+    /// or not a decimal number.
+    BadContentLength,
+    /// Start-line + headers exceed [`Limits::max_head_bytes`].
+    HeadTooLarge,
+    /// Declared body exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// `Transfer-Encoding` is not supported by this server.
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// HTTP status code the server answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::BodyTooLarge(_) => 413,
+            ParseError::HeadTooLarge => 431,
+            ParseError::UnsupportedTransferEncoding => 501,
+            _ => 400,
+        }
+    }
+
+    /// Human-readable detail for the JSON error body.
+    pub fn detail(&self) -> String {
+        match self {
+            ParseError::BadStartLine => "malformed request line".to_string(),
+            ParseError::BadHeader => "malformed header".to_string(),
+            ParseError::BadContentLength => "missing or invalid content-length".to_string(),
+            ParseError::HeadTooLarge => "header block too large".to_string(),
+            ParseError::BodyTooLarge(n) => format!("declared body of {n} bytes exceeds limit"),
+            ParseError::UnsupportedTransferEncoding => {
+                "transfer-encoding is not supported".to_string()
+            }
+        }
+    }
+}
+
+/// Parsed start-line + headers, waiting for the body to arrive.
+#[derive(Debug)]
+struct PendingHead {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+/// Incremental request parser.
+///
+/// Feed raw bytes with [`feed`](RequestParser::feed) as they arrive from
+/// the socket, then drain complete requests with
+/// [`poll`](RequestParser::poll). The parse result is independent of how
+/// the byte stream was chunked — the property the proptests pin down.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: Limits,
+    buf: Vec<u8>,
+    pending: Option<PendingHead>,
+    /// A protocol error is sticky: the connection is poisoned.
+    failed: bool,
+}
+
+impl RequestParser {
+    pub fn new(limits: Limits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            pending: None,
+            failed: false,
+        }
+    }
+
+    /// Append bytes read from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to complete one request from the buffered bytes.
+    ///
+    /// `Ok(None)` means "need more bytes". Errors are sticky — after a
+    /// protocol violation the connection must be answered and closed.
+    pub fn poll(&mut self) -> Result<Option<Request>, ParseError> {
+        if self.failed {
+            return Err(ParseError::BadStartLine);
+        }
+        match self.poll_inner() {
+            Err(e) => {
+                self.failed = true;
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn poll_inner(&mut self) -> Result<Option<Request>, ParseError> {
+        if self.pending.is_none() {
+            let Some(head_end) = find_head_end(&self.buf) else {
+                // No terminator yet: enforce the head limit on what has
+                // accumulated so a slow-loris header stream cannot grow
+                // the buffer without bound.
+                if self.buf.len() > self.limits.max_head_bytes {
+                    return Err(ParseError::HeadTooLarge);
+                }
+                return Ok(None);
+            };
+            if head_end > self.limits.max_head_bytes {
+                return Err(ParseError::HeadTooLarge);
+            }
+            let head = parse_head(&self.buf[..head_end], self.limits.max_body_bytes)?;
+            self.buf.drain(..head_end + 4);
+            self.pending = Some(head);
+        }
+
+        let need = self.pending.as_ref().expect("pending head").content_length;
+        if self.buf.len() < need {
+            return Ok(None);
+        }
+        let head = self.pending.take().expect("pending head");
+        let body: Vec<u8> = self.buf.drain(..need).collect();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+        }))
+    }
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head(head: &[u8], max_body: usize) -> Result<PendingHead, ParseError> {
+    let head = std::str::from_utf8(head).map_err(|_| ParseError::BadHeader)?;
+    let mut lines = head.split("\r\n");
+    let start = lines.next().ok_or(ParseError::BadStartLine)?;
+
+    // METHOD SP TARGET SP HTTP/1.x — exactly three space-separated parts.
+    let mut parts = start.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(ParseError::BadStartLine),
+    };
+    if method.is_empty()
+        || !method
+            .bytes()
+            .all(|b| b.is_ascii_uppercase() || b == b'-' || b == b'_')
+    {
+        return Err(ParseError::BadStartLine);
+    }
+    if path.is_empty() || !path.starts_with('/') {
+        return Err(ParseError::BadStartLine);
+    }
+    if !version.starts_with("HTTP/1.") || version.len() != 8 {
+        return Err(ParseError::BadStartLine);
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        // A line starting with whitespace would be RFC 7230 obs-fold.
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(ParseError::BadHeader);
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(ParseError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ParseError::UnsupportedTransferEncoding);
+    }
+
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let content_length = match (lengths.next(), lengths.next()) {
+        (None, _) => 0,
+        // DIGIT-only per RFC 9110 — `usize::from_str` alone would also
+        // accept a leading `+`, which an intermediary may frame
+        // differently (request-smuggling precondition).
+        (Some((_, v)), None) => {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseError::BadContentLength);
+            }
+            v.parse::<usize>()
+                .map_err(|_| ParseError::BadContentLength)?
+        }
+        // Conflicting duplicate content-lengths are a smuggling vector.
+        (Some(_), Some(_)) => return Err(ParseError::BadContentLength),
+    };
+    if content_length > max_body {
+        return Err(ParseError::BodyTooLarge(content_length));
+    }
+
+    Ok(PendingHead {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        content_length,
+    })
+}
+
+/// RFC 7230 `tchar` (the subset that matters for header names).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'!' | b'#' | b'$' | b'%' | b'&')
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+/// A response payload: owned bytes for one-off documents, shared bytes
+/// for cache hits so the cached JSON is never copied per request.
+#[derive(Debug, Clone)]
+pub enum Body {
+    Owned(Vec<u8>),
+    Shared(std::sync::Arc<Vec<u8>>),
+}
+
+impl Body {
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(v) => v,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+impl From<std::sync::Arc<Vec<u8>>> for Body {
+    fn from(v: std::sync::Arc<Vec<u8>>) -> Body {
+        Body::Shared(v)
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Body,
+    /// Whether the connection survives this exchange.
+    pub keep_alive: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Body>, keep_alive: bool) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            keep_alive,
+        }
+    }
+
+    /// The standard JSON error envelope.
+    pub fn error(status: u16, detail: &str, keep_alive: bool) -> Response {
+        let body = format!(
+            "{{\"error\":{},\"status\":{status}}}",
+            json_escape_string(detail)
+        );
+        Response::json(status, body.into_bytes(), keep_alive)
+    }
+
+    /// Serialize head + body into `out` (cleared first). Taking the
+    /// buffer from the caller lets the connection loop reuse one
+    /// allocation across every response it writes.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write;
+        out.clear();
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.keep_alive {
+                "keep-alive"
+            } else {
+                "close"
+            },
+        )
+        .expect("write to Vec");
+        out.extend_from_slice(self.body.as_slice());
+    }
+
+    /// Serialize head + body into one write-ready buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
+        out
+    }
+}
+
+/// Minimal JSON string escaping for error details (matches the
+/// `serde_json` shim's escaping rules).
+fn json_escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(bytes);
+        p.poll()
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let req = parse_all(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_all(b"POST /v1/audit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot() {
+        let raw = b"POST /v1/audit HTTP/1.1\r\nContent-Type: text/html\r\nContent-Length: 11\r\n\r\n<html></html>"; // body longer than 11 on purpose: pipelined residue
+        let one_shot = {
+            let mut p = RequestParser::new(Limits::default());
+            p.feed(raw);
+            p.poll().unwrap().unwrap()
+        };
+        let mut p = RequestParser::new(Limits::default());
+        let mut trickled = None;
+        for b in raw.iter() {
+            p.feed(&[*b]);
+            if let Some(req) = p.poll().unwrap() {
+                trickled = Some(req);
+                break;
+            }
+        }
+        assert_eq!(trickled.unwrap(), one_shot);
+        assert_eq!(one_shot.body, b"<html></htm");
+    }
+
+    #[test]
+    fn pipelined_requests_drain_in_order() {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.poll().unwrap().unwrap().path, "/a");
+        assert_eq!(p.poll().unwrap().unwrap().path, "/b");
+        assert_eq!(p.poll().unwrap(), None);
+    }
+
+    #[test]
+    fn connection_close_observed() {
+        let req = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn malformed_start_lines_are_400() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2\r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse_all(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{raw:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_400() {
+        for raw in [
+            &b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\n: novalue\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n",
+        ] {
+            assert_eq!(parse_all(raw).unwrap_err().status(), 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let limits = Limits {
+            max_body_bytes: 100,
+            ..Limits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        p.feed(b"POST / HTTP/1.1\r\nContent-Length: 101\r\n\r\n");
+        let err = p.poll().unwrap_err();
+        assert_eq!(err, ParseError::BodyTooLarge(101));
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_without_terminator() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        p.feed(b"GET / HTTP/1.1\r\n");
+        // Keep streaming header bytes without ever finishing the head.
+        let mut err = None;
+        for _ in 0..64 {
+            p.feed(b"X-Filler: aaaaaaaaaaaaaaaa\r\n");
+            match p.poll() {
+                Ok(None) => continue,
+                Ok(Some(_)) => panic!("head never terminated"),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err.unwrap().status(), 431);
+    }
+
+    #[test]
+    fn non_digit_content_length_rejected() {
+        // `usize::from_str` accepts a leading `+`; RFC 9110 does not.
+        for raw in [
+            &b"POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello"[..],
+            b"POST / HTTP/1.1\r\nContent-Length:\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 0x5\r\n\r\nhello",
+        ] {
+            let err = parse_all(raw).unwrap_err();
+            assert_eq!(err, ParseError::BadContentLength, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_content_length_rejected() {
+        let err = parse_all(b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nx")
+            .unwrap_err();
+        assert_eq!(err, ParseError::BadContentLength);
+    }
+
+    #[test]
+    fn transfer_encoding_rejected() {
+        let err = parse_all(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn errors_are_sticky() {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(b"BROKEN\r\n\r\nGET / HTTP/1.1\r\n\r\n");
+        assert!(p.poll().is_err());
+        assert!(p.poll().is_err(), "poisoned parser must stay failed");
+    }
+
+    #[test]
+    fn response_bytes_shape() {
+        let r = Response::json(200, b"{}".to_vec(), true);
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn error_body_escapes_json() {
+        let r = Response::error(400, "bad \"quote\"", false);
+        let text = String::from_utf8(r.body.to_vec()).unwrap();
+        assert_eq!(text, "{\"error\":\"bad \\\"quote\\\"\",\"status\":400}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # langcrux-serve
+//!
+//! Audit-as-a-service: the paper's offline page-analysis pipeline
+//! (Bhuiyan et al., IMC 2025) exposed as an HTTP service, the deployment
+//! shape the ROADMAP's production north star asks for — site operators
+//! POST a page and get back the language-composition, lang-attribute,
+//! audit-rule, and screen-reader verdicts the paper computes offline.
+//!
+//! The crate is std-only (`std::net::TcpListener`; the build environment
+//! has no crates.io access, so no hyper/tokio):
+//!
+//! * [`http`] — incremental HTTP/1.1 request parser (chunking-agnostic,
+//!   typed protocol errors → 400/413/431/501) and response writer.
+//! * [`cache`] — sharded, content-hash-keyed LRU response cache
+//!   (FNV-1a keys, per-shard `parking_lot` mutexes, exact-LRU eviction).
+//! * [`service`] — the audit engine façade: HTML in, deterministic
+//!   [`AuditResponse`] JSON out (fused extraction, `audit::rules`,
+//!   Kizuki rescoring via the carried histogram, speak-order pass).
+//! * [`server`] — accept loop, keep-alive connections, routing:
+//!   `POST /v1/audit`, `POST /v1/batch` (fanned out over the
+//!   work-stealing pool), `GET /v1/healthz`, `GET /v1/stats`.
+//! * [`stats`] — request counters and a lock-free latency histogram
+//!   (p50/p99) behind `GET /v1/stats`.
+//! * [`loadgen`] — loopback load generator used by `repro --serve-bench`
+//!   to produce `BENCH_serve.json` (cold vs cache-hot req/s).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use langcrux_serve::{spawn, ServeConfig};
+//!
+//! let server = spawn(ServeConfig::default()).expect("bind loopback");
+//! println!("auditing on http://{}", server.addr());
+//! // POST HTML to /v1/audit, then:
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheKey, CacheSnapshot, ShardedCache};
+pub use http::{Limits, ParseError, Request, RequestParser, Response};
+pub use loadgen::{run_load, LoadGenRun};
+pub use server::{route, spawn, ServeConfig, ServeState, ServerHandle, StatsSnapshot};
+pub use service::{AuditResponse, AuditService, ScriptSlice};
+pub use stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};

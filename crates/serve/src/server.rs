@@ -1,0 +1,458 @@
+//! The HTTP server: accept loop, keep-alive connection handling, routing.
+//!
+//! Architecture (std-only, one OS thread per connection):
+//!
+//! ```text
+//! spawn() ──► accept thread ──► connection threads (keep-alive loop)
+//!                 │                   │  RequestParser::feed/poll
+//!                 │                   │  route() ──► AuditService
+//!                 │                   │          └─► ShardedCache
+//!                 └─ ServerHandle::shutdown(): flag + self-connect to
+//!                    unblock accept, then join accept + connections.
+//! ```
+//!
+//! Batch requests fan their pages out over the workspace's work-stealing
+//! pool (`crawl::pool::run_work_stealing`) so a many-page batch uses
+//! every core, exactly like the offline crawl pipeline. Each page inside
+//! a batch goes through the same content-hash cache as single audits, so
+//! mixed single/batch traffic shares one response cache.
+
+use crate::cache::{CacheSnapshot, ShardedCache};
+use crate::http::{Limits, Request, RequestParser, Response};
+use crate::service::AuditService;
+use crate::stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};
+use langcrux_crawl::run_work_stealing;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+    /// Worker threads for batch fan-out (0 = one per core).
+    pub batch_threads: usize,
+    pub cache_shards: usize,
+    pub cache_capacity_per_shard: usize,
+    pub limits: Limits,
+    /// Keep-alive connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".parse().expect("loopback addr"),
+            batch_threads: 0,
+            cache_shards: 8,
+            cache_capacity_per_shard: 256,
+            limits: Limits::default(),
+            idle_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared server state.
+pub struct ServeState {
+    pub service: AuditService,
+    pub cache: ShardedCache,
+    pub counters: RequestCounters,
+    pub latency: LatencyHistogram,
+    batch_threads: usize,
+    started: Instant,
+}
+
+/// The `GET /v1/stats` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsSnapshot {
+    pub uptime_ms: u64,
+    pub requests: RequestSnapshot,
+    pub cache: CacheSnapshot,
+    pub latency: LatencySnapshot,
+}
+
+impl ServeState {
+    fn new(config: &ServeConfig) -> Self {
+        ServeState {
+            service: AuditService::new(),
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
+            counters: RequestCounters::default(),
+            latency: LatencyHistogram::default(),
+            batch_threads: config.batch_threads,
+            started: Instant::now(),
+        }
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            requests: self.counters.snapshot(),
+            cache: self.cache.snapshot(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Route one parsed request. Pure in `(state, request)` modulo telemetry,
+/// which is what lets the router be unit-tested without sockets.
+pub fn route(state: &ServeState, request: &Request) -> Response {
+    let keep = request.keep_alive();
+    let relaxed = Ordering::Relaxed;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/audit") => {
+            let Ok(html) = std::str::from_utf8(&request.body) else {
+                state.counters.errors.fetch_add(1, relaxed);
+                return Response::error(400, "body is not valid utf-8", keep);
+            };
+            let (bytes, _hit) = state
+                .cache
+                .get_or_compute(&request.body, || state.service.audit_json(html));
+            state.counters.audit.fetch_add(1, relaxed);
+            // The Arc goes straight into the response body: a cache hit
+            // never copies the cached JSON.
+            Response::json(200, bytes, keep)
+        }
+        ("POST", "/v1/batch") => {
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                state.counters.errors.fetch_add(1, relaxed);
+                return Response::error(400, "body is not valid utf-8", keep);
+            };
+            let pages: Vec<String> = match serde_json::from_str(body) {
+                Ok(pages) => pages,
+                Err(_) => {
+                    state.counters.errors.fetch_add(1, relaxed);
+                    return Response::error(400, "body must be a JSON array of HTML strings", keep);
+                }
+            };
+            let threads = if state.batch_threads == 0 {
+                langcrux_crawl::default_threads()
+            } else {
+                state.batch_threads
+            };
+            // Fan the pages out over the work-stealing pool; every page
+            // answers through the shared content-hash cache.
+            let reports: Vec<Arc<Vec<u8>>> = run_work_stealing(threads, &pages, |_, page| {
+                let (bytes, _hit) = state
+                    .cache
+                    .get_or_compute(page.as_bytes(), || state.service.audit_json(page));
+                bytes
+            });
+            // Splice the per-page JSON documents into one array so each
+            // element is byte-identical to its single-audit response.
+            let total: usize = reports.iter().map(|r| r.len() + 1).sum();
+            let mut body = Vec::with_capacity(total + 2);
+            body.push(b'[');
+            for (i, report) in reports.iter().enumerate() {
+                if i > 0 {
+                    body.push(b',');
+                }
+                body.extend_from_slice(report);
+            }
+            body.push(b']');
+            state.counters.batch.fetch_add(1, relaxed);
+            state
+                .counters
+                .batch_pages
+                .fetch_add(pages.len() as u64, relaxed);
+            Response::json(200, body, keep)
+        }
+        ("GET", "/v1/healthz") => {
+            state.counters.healthz.fetch_add(1, relaxed);
+            Response::json(200, b"{\"status\":\"ok\"}".to_vec(), keep)
+        }
+        ("GET", "/v1/stats") => {
+            state.counters.stats.fetch_add(1, relaxed);
+            let body = serde_json::to_string(&state.stats())
+                .expect("stats serialize")
+                .into_bytes();
+            Response::json(200, body, keep)
+        }
+        (_, "/v1/audit" | "/v1/batch" | "/v1/healthz" | "/v1/stats") => {
+            state.counters.errors.fetch_add(1, relaxed);
+            Response::error(405, "method not allowed", keep)
+        }
+        _ => {
+            state.counters.errors.fetch_add(1, relaxed);
+            Response::error(404, "no such endpoint", keep)
+        }
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for in-process inspection (tests, the bench).
+    pub fn state(&self) -> &ServeState {
+        &self.state
+    }
+
+    /// Stop accepting, drain connection threads, and join. Returns the
+    /// final stats snapshot — "clean shutdown" means every worker joined.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        self.state.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort stop if the caller never called shutdown().
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Start the server. Returns once the listener is bound, with the accept
+/// loop running in the background.
+pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServeState::new(&config));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept = {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || accept_loop(listener, state, shutdown, config))
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    config: ServeConfig,
+) {
+    // Connection threads are joined before the accept thread exits, so
+    // ServerHandle::shutdown() returning means the server is fully quiet.
+    // Only this thread touches the handles, so a plain Vec suffices.
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        let shutdown_flag = Arc::clone(&shutdown);
+        let config = config.clone();
+        let handle = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &state, &shutdown_flag, &config);
+            })
+            .expect("spawn connection thread");
+        workers.push(handle);
+        // Opportunistically reap finished workers so a long-lived server
+        // does not accumulate handles.
+        workers.retain(|h| !h.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+/// Keep-alive loop for one connection.
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &ServeState,
+    shutdown: &AtomicBool,
+    config: &ServeConfig,
+) -> std::io::Result<()> {
+    // Short read timeout so the loop can observe shutdown and enforce the
+    // idle deadline without a dedicated wakeup channel.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_nodelay(true)?;
+    let mut parser = RequestParser::new(config.limits);
+    let mut read_buf = [0u8; 16 * 1024];
+    // One write buffer reused for every response on this connection.
+    let mut write_buf: Vec<u8> = Vec::new();
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Drain every request already buffered (pipelining) before
+        // touching the socket again.
+        loop {
+            match parser.poll() {
+                Ok(Some(request)) => {
+                    let started = Instant::now();
+                    let response = route(state, &request);
+                    let keep = response.keep_alive;
+                    response.write_into(&mut write_buf);
+                    stream.write_all(&write_buf)?;
+                    state
+                        .latency
+                        .record_us(started.elapsed().as_micros() as u64);
+                    last_activity = Instant::now();
+                    if !keep {
+                        return Ok(());
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Answer the protocol error and close: the byte
+                    // stream is no longer trustworthy.
+                    state.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::error(e.status(), &e.detail(), false);
+                    response.write_into(&mut write_buf);
+                    let _ = stream.write_all(&write_buf);
+                    return Ok(());
+                }
+            }
+        }
+
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => {
+                parser.feed(&read_buf[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() > config.idle_timeout {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Body;
+
+    fn request(method: &str, path: &str, body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        }
+    }
+
+    fn test_state() -> ServeState {
+        ServeState::new(&ServeConfig {
+            batch_threads: 2,
+            ..ServeConfig::default()
+        })
+    }
+
+    const PAGE: &str = "<html lang=th><head><title>ข่าว</title></head><body>\
+        <p>ข่าววันนี้ของประเทศไทยทั้งหมด</p><img src=a alt=\"market stalls\"></body></html>";
+
+    #[test]
+    fn audit_route_answers_cached_bytes() {
+        let state = test_state();
+        let first = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        assert_eq!(first.status, 200);
+        let second = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+        match (&first.body, &second.body) {
+            (Body::Shared(a), Body::Shared(b)) => {
+                assert!(
+                    Arc::ptr_eq(a, b),
+                    "cache hit must reuse the cached allocation"
+                );
+            }
+            _ => panic!("audit responses must carry shared cache bytes"),
+        }
+        assert_eq!(state.cache.hits(), 1);
+        assert_eq!(state.cache.misses(), 1);
+        assert_eq!(state.counters.snapshot().audit, 2);
+    }
+
+    #[test]
+    fn batch_route_splices_single_audit_bytes() {
+        let state = test_state();
+        let single = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        let batch_body = serde_json::to_string(&vec![PAGE.to_string(), PAGE.to_string()]).unwrap();
+        let batch = route(&state, &request("POST", "/v1/batch", batch_body.as_bytes()));
+        assert_eq!(batch.status, 200);
+        let expected_single = String::from_utf8(single.body.to_vec()).unwrap();
+        let expected = format!("[{expected_single},{expected_single}]");
+        assert_eq!(String::from_utf8(batch.body.to_vec()).unwrap(), expected);
+        let counters = state.counters.snapshot();
+        assert_eq!(counters.batch, 1);
+        assert_eq!(counters.batch_pages, 2);
+    }
+
+    #[test]
+    fn batch_rejects_non_array_body() {
+        let state = test_state();
+        let resp = route(&state, &request("POST", "/v1/batch", b"{\"nope\":1}"));
+        assert_eq!(resp.status, 400);
+        assert_eq!(state.counters.snapshot().errors, 1);
+    }
+
+    #[test]
+    fn audit_rejects_invalid_utf8() {
+        let state = test_state();
+        let resp = route(&state, &request("POST", "/v1/audit", &[0xff, 0xfe, 0x80]));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn healthz_and_stats_routes() {
+        let state = test_state();
+        let health = route(&state, &request("GET", "/v1/healthz", b""));
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body.as_slice(), b"{\"status\":\"ok\"}");
+        let stats = route(&state, &request("GET", "/v1/stats", b""));
+        assert_eq!(stats.status, 200);
+        let text = String::from_utf8(stats.body.to_vec()).unwrap();
+        assert!(text.contains("\"requests\""));
+        assert!(text.contains("\"hit_rate\""));
+        assert!(text.contains("\"p99_us\""));
+    }
+
+    #[test]
+    fn unknown_path_is_404_wrong_method_is_405() {
+        let state = test_state();
+        assert_eq!(route(&state, &request("GET", "/nope", b"")).status, 404);
+        assert_eq!(route(&state, &request("GET", "/v1/audit", b"")).status, 405);
+        assert_eq!(
+            route(&state, &request("POST", "/v1/healthz", b"")).status,
+            405
+        );
+        assert_eq!(state.counters.snapshot().errors, 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The audit service: raw HTML in, deterministic JSON report out.
+//!
+//! One [`AuditService`] call runs the same fused engine the offline
+//! pipeline uses — a single parse, the fused visible-text + script
+//! histogram DOM walk, `audit::rules` page scoring, Kizuki's
+//! language-aware rescoring via the carried histogram
+//! (`detect_with_histogram`), and the screen-reader speak-order pass.
+//! The serialized bytes are byte-identical to serializing the same
+//! structures from a direct library call: the engine is deterministic and
+//! the serde shim writes fields in declaration order, which is what lets
+//! the response cache store bytes and what the API determinism test pins.
+
+use crate::cache::CacheKey;
+use langcrux_audit::{audit_page, AuditReport};
+use langcrux_crawl::extract;
+use langcrux_html::parse;
+use langcrux_kizuki::{page_language, Kizuki, KizukiReport, ScreenReader, Utterance};
+use langcrux_lang::script::Script;
+use langcrux_lang::Language;
+use serde::Serialize;
+
+/// Per-script character counts of the page's visible text (only scripts
+/// actually present are listed, in the fixed `ALL_DISTINGUISHING` order).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScriptSlice {
+    pub script: String,
+    pub chars: usize,
+    /// Share of distinguishing characters, 0–1.
+    pub share: f64,
+}
+
+/// The `POST /v1/audit` response document.
+#[derive(Debug, Clone, Serialize)]
+pub struct AuditResponse {
+    /// Hex FNV-1a of the submitted HTML (also the cache key).
+    pub content_hash: String,
+    pub html_bytes: usize,
+    /// Characters of visible text (the fused walk's histogram total).
+    pub visible_chars: usize,
+    /// `<html lang=…>` declaration, if any.
+    pub declared_lang: Option<String>,
+    /// Content language detected from the carried script histogram.
+    pub page_language: Option<String>,
+    /// Script composition of the visible text.
+    pub scripts: Vec<ScriptSlice>,
+    /// Lighthouse-semantics audit (the paper's Table 1 rules).
+    pub audit: AuditReport,
+    /// Kizuki language-aware rescoring.
+    pub kizuki: KizukiReport,
+    /// Screen-reader announcements in document (speak) order.
+    pub speak_order: Vec<Utterance>,
+}
+
+/// The shared audit engine: Kizuki checks and the screen-reader profile
+/// are built once and reused by every connection thread.
+pub struct AuditService {
+    kizuki: Kizuki,
+    reader: ScreenReader,
+}
+
+impl Default for AuditService {
+    fn default() -> Self {
+        AuditService::new()
+    }
+}
+
+impl AuditService {
+    /// The paper's configuration: standard Kizuki + VoiceOver-like reader.
+    pub fn new() -> Self {
+        AuditService {
+            kizuki: Kizuki::standard(),
+            reader: ScreenReader::voiceover_like(),
+        }
+    }
+
+    /// Audit one page. Pure and deterministic in `html`.
+    pub fn audit(&self, html: &str) -> AuditResponse {
+        let doc = parse(html);
+        let page = extract(&doc);
+        let base = audit_page(&page);
+        let kizuki = self.kizuki.evaluate(&page, &base);
+        let language = page_language(&page);
+        // Speak-order pass: announce against the detected content
+        // language; undetermined pages are announced with an English
+        // engine (the reader's default voice).
+        let speak_order = self
+            .reader
+            .announce_page(&page, language.unwrap_or(Language::English));
+
+        let total = page.visible_hist.distinguishing_total().max(1);
+        let scripts = Script::ALL_DISTINGUISHING
+            .iter()
+            .filter_map(|&script| {
+                let chars = page.visible_hist.count(script);
+                (chars > 0).then(|| ScriptSlice {
+                    script: script.name().to_string(),
+                    chars,
+                    share: chars as f64 / total as f64,
+                })
+            })
+            .collect();
+
+        AuditResponse {
+            content_hash: CacheKey::of(html.as_bytes()).hex(),
+            html_bytes: html.len(),
+            visible_chars: page.visible_hist.total,
+            declared_lang: page.declared_lang.clone(),
+            page_language: language.map(|l| l.tag().to_string()),
+            scripts,
+            audit: base,
+            kizuki,
+            speak_order,
+        }
+    }
+
+    /// The serialized response bytes `POST /v1/audit` answers with.
+    pub fn audit_json(&self, html: &str) -> Vec<u8> {
+        serde_json::to_string(&self.audit(html))
+            .expect("audit response serializes")
+            .into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<html lang="bn"><head><title>শিক্ষক বাতায়ন</title></head><body>
+        <p>বাংলাদেশের শিক্ষকদের জন্য জাতীয় প্ল্যাটফর্মে স্বাগতম। এখানে পাঠ
+        পরিকল্পনা এবং প্রশিক্ষণ উপকরণ পাওয়া যায়।</p>
+        <img src="a.jpg" alt="teacher training workshop session">
+        <button>অনুসন্ধান</button></body></html>"#;
+
+    #[test]
+    fn audit_response_reflects_the_engine() {
+        let service = AuditService::new();
+        let resp = service.audit(PAGE);
+        assert_eq!(resp.html_bytes, PAGE.len());
+        assert_eq!(resp.declared_lang.as_deref(), Some("bn"));
+        assert_eq!(resp.page_language.as_deref(), Some("bn"));
+        assert!(resp.visible_chars > 0);
+        assert!(resp
+            .scripts
+            .iter()
+            .any(|s| s.script == "Bengali" && s.share > 0.5));
+        // English alt on a Bangla page: base passes, Kizuki downgrades.
+        assert!(resp.audit.score > resp.kizuki.new_score);
+        assert!(!resp.speak_order.is_empty());
+    }
+
+    #[test]
+    fn audit_json_is_deterministic() {
+        let service = AuditService::new();
+        let a = service.audit_json(PAGE);
+        let b = service.audit_json(PAGE);
+        assert_eq!(a, b);
+        // A fresh service (fresh Kizuki/reader) produces the same bytes.
+        let c = AuditService::new().audit_json(PAGE);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn content_hash_matches_cache_key() {
+        let resp = AuditService::new().audit(PAGE);
+        assert_eq!(resp.content_hash, CacheKey::of(PAGE.as_bytes()).hex());
+    }
+
+    #[test]
+    fn empty_page_audits_cleanly() {
+        let resp = AuditService::new().audit("");
+        assert_eq!(resp.visible_chars, 0);
+        assert!(resp.scripts.is_empty());
+        assert!(resp.page_language.is_none());
+        // Only the document-title slot is announced.
+        assert_eq!(resp.speak_order.len(), 1);
+    }
+
+    #[test]
+    fn script_shares_sum_to_one_when_text_present() {
+        let resp = AuditService::new().audit(PAGE);
+        let sum: f64 = resp.scripts.iter().map(|s| s.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares sum {sum}");
+    }
+}

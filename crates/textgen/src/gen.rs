@@ -189,17 +189,36 @@ impl TextGenerator {
     /// `n` words joined by the language's separator (space, or nothing for
     /// scriptio-continua languages).
     pub fn words(&mut self, n: usize) -> String {
+        let mut out = String::new();
+        self.append_words(n, &mut out);
+        out
+    }
+
+    /// [`words`](Self::words) written into a caller-owned buffer — the
+    /// allocation-diet path: the per-word `Vec<String>` + `join` pair is
+    /// replaced by direct pushes, and the caller reuses `out` across
+    /// calls. Bytes and RNG draws are identical to `words`.
+    pub fn append_words(&mut self, n: usize, out: &mut String) {
         let sep = if self.scriptio_continua() { "" } else { " " };
-        let mut parts = Vec::with_capacity(n);
-        for _ in 0..n {
-            parts.push(self.word());
+        for i in 0..n {
+            if i > 0 {
+                out.push_str(sep);
+            }
+            let word = self.word();
+            out.push_str(&word);
         }
-        parts.join(sep)
     }
 
     /// A phrase of between `min` and `max` words (inclusive), separated per
     /// the language's convention. Suitable for labels and alt texts.
     pub fn phrase(&mut self, min: usize, max: usize) -> String {
+        let mut out = String::new();
+        self.append_phrase(min, max, &mut out);
+        out
+    }
+
+    /// [`phrase`](Self::phrase) into a caller-owned buffer.
+    pub fn append_phrase(&mut self, min: usize, max: usize, out: &mut String) {
         let n = if min >= max {
             min
         } else {
@@ -207,24 +226,31 @@ impl TextGenerator {
         };
         if self.language == Language::Japanese && n > 1 {
             // Insert particles between content words.
-            let mut out = String::new();
             for i in 0..n {
                 if i > 0 && self.rng.gen_bool(0.6) {
                     out.push_str(
                         pools::JA_PARTICLES[self.rng.gen_range(0..pools::JA_PARTICLES.len())],
                     );
                 }
-                out.push_str(&self.word());
+                let word = self.word();
+                out.push_str(&word);
             }
-            return out;
+            return;
         }
-        self.words(n)
+        self.append_words(n, out);
     }
 
     /// A full sentence with terminal punctuation appropriate to the script.
     pub fn sentence(&mut self) -> String {
+        let mut out = String::new();
+        self.append_sentence(&mut out);
+        out
+    }
+
+    /// [`sentence`](Self::sentence) into a caller-owned buffer.
+    pub fn append_sentence(&mut self, out: &mut String) {
         let n = self.rng.gen_range(5..=14);
-        let body = self.phrase(n, n);
+        self.append_phrase(n, n, out);
         let terminal = match self.language {
             Language::MandarinChinese | Language::Cantonese | Language::Japanese => "。",
             Language::Hindi | Language::Marathi | Language::Nepali => "।",
@@ -238,23 +264,27 @@ impl TextGenerator {
         };
         // Arabic question mark only sometimes; default full stop.
         if terminal == "؟" {
-            if self.rng.gen_bool(0.1) {
-                format!("{body}؟")
-            } else {
-                format!("{body}.")
-            }
+            out.push_str(if self.rng.gen_bool(0.1) { "؟" } else { "." });
         } else {
-            format!("{body}{terminal}")
+            out.push_str(terminal);
         }
     }
 
     /// A paragraph of `sentences` sentences.
     pub fn paragraph(&mut self, sentences: usize) -> String {
-        let mut parts = Vec::with_capacity(sentences);
-        for _ in 0..sentences {
-            parts.push(self.sentence());
+        let mut out = String::new();
+        self.append_paragraph(sentences, &mut out);
+        out
+    }
+
+    /// [`paragraph`](Self::paragraph) into a caller-owned buffer.
+    pub fn append_paragraph(&mut self, sentences: usize, out: &mut String) {
+        for i in 0..sentences {
+            if i > 0 {
+                out.push(' ');
+            }
+            self.append_sentence(out);
         }
-        parts.join(" ")
     }
 
     /// A short headline (2–7 words, no terminal punctuation).
@@ -374,6 +404,34 @@ mod tests {
             let mut g = TextGenerator::new(lang, 1);
             for _ in 0..50 {
                 assert!(!g.word().is_empty(), "{lang:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_variants_match_returning_variants() {
+        // The allocation-diet path must be byte- and RNG-draw-identical.
+        for &lang in ALL_LANGS {
+            let mut returning = TextGenerator::new(lang, 321);
+            let mut appending = TextGenerator::new(lang, 321);
+            let mut scratch = String::new();
+            for round in 0..5 {
+                let expect = format!(
+                    "{}|{}|{}|{}",
+                    returning.words(3),
+                    returning.phrase(2, 6),
+                    returning.sentence(),
+                    returning.paragraph(2)
+                );
+                scratch.clear();
+                appending.append_words(3, &mut scratch);
+                scratch.push('|');
+                appending.append_phrase(2, 6, &mut scratch);
+                scratch.push('|');
+                appending.append_sentence(&mut scratch);
+                scratch.push('|');
+                appending.append_paragraph(2, &mut scratch);
+                assert_eq!(scratch, expect, "{lang:?} round {round}");
             }
         }
     }

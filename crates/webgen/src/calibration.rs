@@ -441,6 +441,18 @@ pub fn country_profile(country: Country) -> &'static CountryProfile {
         .expect("profile exists for every study country")
 }
 
+/// Calibrated estimate of a rendered localized page's HTML size, bytes.
+///
+/// Used to pre-size the `HtmlBuilder` output buffer so rendering avoids
+/// the doubling-reallocation ladder. Measured over the serve-bench corpus
+/// (every study country, localized variant): mean ≈ 11.4 KB; 16 KiB
+/// covers the bulk of pages in one allocation while staying far below
+/// the Appendix-E outlier tail (which reallocates as needed — capacity
+/// is an estimate, never a cap, and never affects output bytes).
+pub fn estimated_page_bytes() -> usize {
+    16 * 1024
+}
+
 /// Extra per-element scaling of the total uninformative share (Figure 9:
 /// `<summary>` labels are overwhelmingly generic/single-word; titles are
 /// almost always informative).

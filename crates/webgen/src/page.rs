@@ -28,7 +28,7 @@
 //! cloud-vantage crawler sees. The **restricted** variant is a bot-wall
 //! stub.
 
-use crate::calibration::element_calibration;
+use crate::calibration::{element_calibration, estimated_page_bytes};
 use crate::sample::{heavy_tail_len, int_between};
 use crate::site::{LangBucket, PlantedText, SitePlan};
 use langcrux_filter::DiscardCategory;
@@ -244,10 +244,20 @@ impl<'a> Renderer<'a> {
     }
 
     fn visible_sentencer(&mut self) -> String {
+        let mut out = String::new();
+        self.append_visible_sentence(&mut out);
+        out
+    }
+
+    /// [`visible_sentencer`](Self::visible_sentencer) into a caller-owned
+    /// scratch buffer (the article-paragraph hot path reuses one buffer
+    /// across every paragraph of a page instead of allocating per
+    /// sentence). Bytes and RNG draws are identical.
+    fn append_visible_sentence(&mut self, out: &mut String) {
         if self.rng.gen::<f64>() < self.visible_native {
-            self.native.sentence()
+            self.native.append_sentence(out);
         } else {
-            self.english.sentence()
+            self.english.append_sentence(out);
         }
     }
 
@@ -332,13 +342,18 @@ impl<'a> Renderer<'a> {
     fn outlier_text(&mut self, bucket: LangBucket) -> String {
         let target = heavy_tail_len(&mut self.rng, (1_200, 4_000), (8_000, 260_000), 0.10);
         let mut out = String::with_capacity(target + 64);
-        while out.chars().count() < target {
-            let para = match bucket {
-                LangBucket::Native => self.native.paragraph(3),
-                _ => self.english.paragraph(3),
-            };
-            out.push_str(&para);
+        // Track the char count incrementally: re-scanning a 260k-char
+        // outlier per appended paragraph is quadratic.
+        let mut chars = 0usize;
+        while chars < target {
+            let before = out.len();
+            match bucket {
+                LangBucket::Native => self.native.append_paragraph(3, &mut out),
+                _ => self.english.append_paragraph(3, &mut out),
+            }
+            chars += out[before..].chars().count();
             out.push(' ');
+            chars += 1;
         }
         out
     }
@@ -470,7 +485,10 @@ impl<'a> Renderer<'a> {
     /// Attribute triple for a planted text: `(attr_name, value)` or inner
     /// text, per element kind. Returns `None` for Missing.
     fn render(mut self) -> (String, PageTruth) {
-        let mut b = HtmlBuilder::document();
+        // Pre-sized from the calibrated page-size estimate: the buffer
+        // grows past this only for outlier pages (capacity never affects
+        // the rendered bytes).
+        let mut b = HtmlBuilder::document_sized(estimated_page_bytes());
         let lang_attr;
         if self.plan.declares_lang {
             lang_attr = if self.variant == ContentVariant::Global || self.plan.declared_lang_wrong {
@@ -517,13 +535,15 @@ impl<'a> Renderer<'a> {
         let headline = self.visible_phrase(3, 8);
         b.leaf("h1", &[], &headline);
 
-        // Article paragraphs: the bulk of visible text.
+        // Article paragraphs: the bulk of visible text. One scratch
+        // buffer serves every paragraph of the page (allocation diet).
         let paragraphs = int_between(&mut self.rng, 6, 16);
+        let mut text = String::with_capacity(512);
         for _ in 0..paragraphs {
             let sentences = int_between(&mut self.rng, 2, 5);
-            let mut text = String::new();
+            text.clear();
             for _ in 0..sentences {
-                text.push_str(&self.visible_sentencer());
+                self.append_visible_sentence(&mut text);
                 text.push(' ');
             }
             b.leaf("p", &[], text.trim());

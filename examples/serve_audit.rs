@@ -1,0 +1,70 @@
+//! Quickstart for the audit service: spawn the HTTP server on an
+//! ephemeral loopback port, render one synthetic corpus page, audit it
+//! over the wire twice (cache miss, then byte-identical cache hit), and
+//! print the server's own view of the traffic.
+//!
+//! ```sh
+//! cargo run --example serve_audit
+//! ```
+
+use langcrux::lang::Country;
+use langcrux::net::ContentVariant;
+use langcrux::serve::loadgen::{get, post};
+use langcrux::serve::{spawn, ServeConfig};
+use langcrux::webgen::{render, SitePlan};
+use std::net::TcpStream;
+
+fn main() {
+    // 1. Spawn the server. Port 0 lets the OS pick a free port.
+    let server = spawn(ServeConfig::default()).expect("bind loopback");
+    println!("audit service listening on http://{}", server.addr());
+
+    // 2. Render a page the way the offline pipeline's crawler sees it —
+    //    a Thai news-portal page with calibrated accessibility defects.
+    let plan = SitePlan::build(0xD5EA7, Country::Thailand, 7, Some(true));
+    let (html, _truth) = render(&plan, ContentVariant::Localized, "/");
+    println!("rendered {} bytes of corpus HTML", html.len());
+
+    // 3. POST it to /v1/audit over a keep-alive connection.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut scratch = Vec::new();
+    let (status, body) =
+        post(&mut stream, "/v1/audit", html.as_bytes(), &mut scratch).expect("audit request");
+    let report: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).expect("utf-8 body")).expect("json");
+    println!("\nPOST /v1/audit -> {status}");
+    for field in ["content_hash", "page_language", "visible_chars"] {
+        println!("  {field}: {:?}", report.get(field));
+    }
+    if let Some(audit) = report.get("audit") {
+        println!("  lighthouse score: {:?}", audit.get("score"));
+    }
+    if let Some(kizuki) = report.get("kizuki") {
+        println!("  kizuki score:     {:?}", kizuki.get("new_score"));
+    }
+    if let Some(speak) = report.get("speak_order").and_then(|s| s.as_array()) {
+        println!("  speak-order announcements: {}", speak.len());
+    }
+
+    // 4. The same page again: answered from the sharded cache,
+    //    byte-identical.
+    let (_, cached) =
+        post(&mut stream, "/v1/audit", html.as_bytes(), &mut scratch).expect("cached request");
+    assert_eq!(cached, body, "cache hit must be byte-identical");
+    println!("\nsecond POST answered from cache, byte-identical: true");
+
+    // 5. The server's own telemetry.
+    let (_, stats) = get(&mut stream, "/v1/stats", &mut scratch).expect("stats");
+    println!(
+        "\nGET /v1/stats -> {}",
+        std::str::from_utf8(&stats).expect("utf-8 stats")
+    );
+
+    // 6. Clean shutdown: every connection thread joined.
+    let finale = server.shutdown();
+    println!(
+        "\nshutdown complete: {} audits served, cache hit rate {:.0}%",
+        finale.requests.audit,
+        finale.cache.hit_rate * 100.0
+    );
+}

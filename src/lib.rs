@@ -17,6 +17,8 @@
 //! * [`filter`] — uninformative accessibility-text filtering (11 categories).
 //! * [`kizuki`] — language-aware accessibility auditing extension.
 //! * [`core`] — the LangCrUX dataset pipeline, statistics and analysis.
+//! * [`serve`] — audit-as-a-service HTTP subsystem with a sharded
+//!   response cache and loopback load generator.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -29,5 +31,6 @@ pub use langcrux_kizuki as kizuki;
 pub use langcrux_lang as lang;
 pub use langcrux_langid as langid;
 pub use langcrux_net as net;
+pub use langcrux_serve as serve;
 pub use langcrux_textgen as textgen;
 pub use langcrux_webgen as webgen;
