@@ -9,7 +9,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use langcrux_bench::{baseline, build_corpus, Scale};
 use langcrux_core::{build_dataset, PipelineOptions};
-use langcrux_html::{parse, visible_text, visible_text_histogram};
+use langcrux_crawl::{extract, extract_streaming};
+use langcrux_html::{parse, stream_visible_text_histogram, visible_text, visible_text_histogram};
 use langcrux_lang::script::{script_of, ScriptHistogram};
 use langcrux_lang::{Country, Language};
 use langcrux_langid::{classify_label, composition, composition_of_histogram};
@@ -36,6 +37,32 @@ fn bench_fused_extraction(c: &mut Criterion) {
     });
     group.bench_function("visible_text_histogram_fused", |b| {
         b.iter(|| visible_text_histogram(black_box(&doc)))
+    });
+    group.finish();
+}
+
+/// Layer 1b: the per-visit extraction pair — DOM materialisation
+/// (tokenize → tree-build → walk) vs the streaming tokenize→extract path
+/// the crawl and serve hot loops use. Both pairs produce identical
+/// output (proptest- and corpus-pinned); the delta is the skipped token
+/// buffer + node arena.
+fn bench_stream_vs_dom(c: &mut Criterion) {
+    let html = sample_page();
+    let mut group = c.benchmark_group("stream_vs_dom");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    // Full PageExtract: what Browser::visit and /v1/audit run per page.
+    group.bench_function("dom_parse_then_extract", |b| {
+        b.iter(|| extract(&parse(black_box(&html))))
+    });
+    group.bench_function("streaming_extract", |b| {
+        b.iter(|| extract_streaming(black_box(&html)))
+    });
+    // Visible text + histogram only: the langcrux-html layer in isolation.
+    group.bench_function("dom_parse_then_visible_histogram", |b| {
+        b.iter(|| visible_text_histogram(&parse(black_box(&html))))
+    });
+    group.bench_function("stream_visible_histogram", |b| {
+        b.iter(|| stream_visible_text_histogram(black_box(&html)))
     });
     group.finish();
 }
@@ -165,6 +192,7 @@ fn bench_pipeline_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fused_extraction,
+    bench_stream_vs_dom,
     bench_script_tables,
     bench_composition,
     bench_webgen_alloc,

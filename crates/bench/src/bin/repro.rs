@@ -182,6 +182,11 @@ fn main() {
                 t.scale, t.sites_per_country, t.baseline_ms, t.fused_ms, t.speedup
             );
         }
+        let s = &report.stream_vs_dom;
+        eprintln!(
+            "  per-visit extract ({} pages): dom {:.1} µs, streaming {:.1} µs — {:.2}×",
+            s.pages, s.dom_us_per_page, s.stream_us_per_page, s.speedup
+        );
         langcrux_bench::perf::write_bench_json(path, &report).expect("write bench json");
         eprintln!("wrote {path}");
     }

@@ -25,8 +25,13 @@
 //!   work-stealing parallel share can be told apart.
 //! * `cargo bench -p langcrux-bench --bench pipeline_hot_path` runs the
 //!   per-layer before/after microbenches (fused extraction vs re-scan,
-//!   table lookups, composition from the carried histogram, and the
-//!   end-to-end pipeline pair).
+//!   streaming tokenize→extract vs DOM materialisation per visit
+//!   (`stream_vs_dom`), table lookups, composition from the carried
+//!   histogram, and the end-to-end pipeline pair).
+//!
+//! Every field of both JSON artefacts, and how CI's relative gates map
+//! to the committed 1-core reference numbers, is documented in
+//! `docs/benchmarks.md`.
 
 pub mod baseline;
 pub mod perf;

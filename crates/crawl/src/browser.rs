@@ -1,14 +1,15 @@
-//! Browser simulation: fetch → parse → extract.
+//! Browser simulation: fetch → streaming tokenize→extract.
 //!
 //! [`Browser::visit`] performs one page load the way the paper's Puppeteer
 //! harness does: issue the request from the configured vantage, retry
-//! transient failures, parse the returned HTML, and extract the visible
-//! text plus accessibility elements. Restricted responses (bot walls, VPN
+//! transient failures, and stream the returned HTML through the
+//! tokenize→extract path ([`crate::stream`]) to produce the visible
+//! text plus accessibility elements — no DOM is built per visit. Restricted responses (bot walls, VPN
 //! detection) are surfaced as [`VisitError::Restricted`] so the selection
 //! layer can apply the paper's replacement rule.
 
-use crate::extract::{extract, PageExtract};
-use langcrux_html::parse;
+use crate::extract::PageExtract;
+use crate::stream::extract_streaming;
 use langcrux_net::{ContentVariant, FetchError, Internet, Request, Url, Vantage};
 use serde::{Deserialize, Serialize};
 
@@ -81,8 +82,10 @@ impl<'net> Browser<'net> {
                     if resp.variant == ContentVariant::Restricted {
                         return Err(VisitError::Restricted);
                     }
-                    let doc = parse(resp.text());
-                    let page = extract(&doc);
+                    // Streaming tokenize→extract: no DOM is materialised
+                    // on the crawl path (identical output to the DOM walk
+                    // — see crate::stream).
+                    let page = extract_streaming(resp.text());
                     return Ok(Visit {
                         url: url.clone(),
                         variant: resp.variant,

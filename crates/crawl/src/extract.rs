@@ -1,4 +1,5 @@
-//! Accessibility-element extraction.
+//! Accessibility-element extraction (DOM path — the streaming path's
+//! reference oracle).
 //!
 //! Implements the extraction contract of DESIGN.md §3: for each of the
 //! twelve element kinds, which attribute(s) provide its *accessibility
@@ -7,6 +8,11 @@
 //! Table 2 reports. For buttons and links the visible inner text is
 //! captured separately (screen readers fall back to it, which §3 of the
 //! paper identifies as the likely cause of high missing rates).
+//!
+//! The crawl hot path uses [`crate::stream::extract_streaming`], which
+//! produces an identical [`PageExtract`] directly from tokenizer events;
+//! this DOM-walking implementation stays as the test oracle and for
+//! callers that already hold a parsed [`Document`].
 
 use langcrux_html::dom::{Document, NodeId, NodeKind};
 use langcrux_html::visible::visible_text_histogram;
@@ -60,7 +66,7 @@ impl ExtractedElement {
 }
 
 /// Everything the crawler extracts from one page.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageExtract {
     /// Whitespace-normalised visible text of the page.
     pub visible_text: String,

@@ -11,7 +11,11 @@
 //!
 //! * [`mod@extract`] — visible text, `<html lang>`, and the twelve
 //!   accessibility element kinds with their missing/empty/text states
-//!   (the extraction contract of DESIGN.md).
+//!   (the extraction contract of DESIGN.md); the DOM-walking reference
+//!   implementation.
+//! * [`stream`] — the same extraction streamed from tokenizer events with
+//!   no DOM materialisation ([`extract_streaming`]); the crawl path's
+//!   per-visit hot loop, byte-identical to the DOM path by test.
 //! * [`browser`] — single-page visits with retry handling and
 //!   restricted-content detection.
 //! * [`pool`] — a shared work-stealing worker pool with deterministic,
@@ -21,6 +25,7 @@
 pub mod browser;
 pub mod extract;
 pub mod pool;
+pub mod stream;
 
 pub use browser::{Browser, BrowserConfig, Visit, VisitError};
 pub use extract::{
@@ -29,3 +34,4 @@ pub use extract::{
 pub use pool::{
     crawl_hosts, default_threads, run_work_stealing, CrawlConfig, CrawlOutcome, CrawlStats,
 };
+pub use stream::extract_streaming;

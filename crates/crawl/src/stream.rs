@@ -1,0 +1,516 @@
+//! Streaming page extraction: the full [`PageExtract`] straight from
+//! tokenizer events, with no DOM materialisation.
+//!
+//! [`extract_streaming`] produces output identical to
+//! `extract(&parse(html))` — the same visible text and histogram (it runs
+//! on `langcrux-html`'s shared streaming walk), the same accessibility
+//! elements in the same document order, the same `<html lang>` — without
+//! allocating a token buffer or a node arena. This is the crawl path's
+//! per-visit hot loop: selection and Kizuki consume the carried histogram
+//! and the extracted elements, so the tree the parser would build is pure
+//! overhead. The DOM-based [`extract`](crate::extract::extract) remains
+//! the reference oracle; equivalence is pinned by unit tests on
+//! adversarial HTML, a property test, and a corpus sweep.
+//!
+//! What the single pass tracks beyond the visible-text skip-stack:
+//!
+//! * **Capture buffers** for elements whose accessibility text is their
+//!   inner text (`<title>`, button/link fallbacks, `<summary>`,
+//!   `<object>`, `<label>`): text runs append to every open capture, so
+//!   nested captures see exactly the text the DOM's `text_content` would.
+//! * **Deferred label association**: `<label for=…>` texts are recorded
+//!   in document order and joined to `input`/`select` slots only at the
+//!   end of the pass — a label may follow the control it names.
+//! * **SVG context**: a `<title>` inside any `<svg>` never becomes the
+//!   document title; the first *direct* `<title>` child of an
+//!   `<svg role="img">` without `aria-label` becomes its name.
+
+use crate::extract::{ExtractedElement, PageExtract, TextSource};
+use langcrux_html::stream::{stream_extract, StreamSink};
+use langcrux_html::tokenizer::Attribute;
+use langcrux_lang::a11y::ElementKind;
+use std::collections::HashMap;
+
+/// Extract all accessibility elements plus page-level facts directly from
+/// the HTML text, without building a DOM. Identical output to
+/// `extract(&parse(html))`.
+///
+/// ```
+/// use langcrux_crawl::{extract, extract_streaming};
+/// use langcrux_html::parse;
+///
+/// let html = r#"<html lang="bn"><head><title>খবর</title></head>
+///     <body><p>বাংলা সংবাদ</p><img src="a.jpg"></body></html>"#;
+/// let page = extract_streaming(html);
+/// assert_eq!(page.declared_lang.as_deref(), Some("bn"));
+/// assert_eq!(page, extract(&parse(html)));
+/// ```
+pub fn extract_streaming(html: &str) -> PageExtract {
+    let (visible_text, visible_hist, sink) = stream_extract(html, ExtractSink::new());
+    let mut out = sink.finish();
+    out.visible_text = visible_text;
+    out.visible_hist = visible_hist;
+    out
+}
+
+/// What happens to a capture buffer when its element closes.
+enum CaptureKind {
+    /// The document-title slot (`elements[0]`).
+    DocTitle,
+    /// `visible_fallback` of the element at this index (button/link).
+    Fallback(usize),
+    /// Inner-text fallback for `summary`/`object`: fills `text` when the
+    /// buffer is non-blank and no attribute source was found.
+    TextIfMissing(usize),
+    /// First direct `<title>` child of an `<svg role="img">`.
+    SvgTitle(usize),
+    /// A `<label for=…>` body; `(start_seq, target_id)` — ordered by
+    /// element start so the first label in document order wins.
+    LabelFor(usize, String),
+}
+
+struct Capture {
+    buf: String,
+    kind: CaptureKind,
+}
+
+/// Per-open-element record on the sink's own stack (kept in lockstep with
+/// the walk's balanced start/end events).
+struct Open {
+    /// Captures opened by this element (they sit at the tail of the
+    /// capture stack and complete when it closes).
+    captures_opened: usize,
+    /// `Some(element index)` for an `<svg role="img">` without
+    /// `aria-label`, until its first direct `<title>` child claims it.
+    svg_slot: Option<usize>,
+    is_svg: bool,
+}
+
+struct ExtractSink {
+    elements: Vec<ExtractedElement>,
+    declared_lang: Option<String>,
+    html_seen: bool,
+    /// True until the first `<title>` outside any `<svg>` claims the
+    /// document-title slot.
+    doc_title_pending: bool,
+    /// Open `<svg>` ancestors (their `<title>`s are never the document
+    /// title).
+    svg_depth: usize,
+    stack: Vec<Open>,
+    captures: Vec<Capture>,
+    /// Completed `(start_seq, for_target, text)` label bodies.
+    label_entries: Vec<(usize, String, String)>,
+    /// `(element index, control id)` pairs awaiting label association.
+    fixups: Vec<(usize, String)>,
+    /// Element start counter (document order of starts).
+    seq: usize,
+}
+
+fn attr_of<'a>(attrs: &'a [Attribute], name: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|a| a.name == name)
+        .map(|a| a.value.as_str())
+}
+
+/// The streaming twin of the DOM path's `attr_element`: first present
+/// attribute source wins.
+fn attr_element(
+    attrs: &[Attribute],
+    kind: ElementKind,
+    sources: &[(&str, TextSource)],
+) -> ExtractedElement {
+    for (attr, source) in sources {
+        if let Some(v) = attr_of(attrs, attr) {
+            return ExtractedElement {
+                kind,
+                text: Some(v.to_string()),
+                source: Some(*source),
+                visible_fallback: None,
+            };
+        }
+    }
+    ExtractedElement {
+        kind,
+        text: None,
+        source: None,
+        visible_fallback: None,
+    }
+}
+
+impl ExtractSink {
+    fn new() -> Self {
+        ExtractSink {
+            // The document-title slot is always elements[0]; it is filled
+            // in place when the first eligible <title> closes.
+            elements: vec![ExtractedElement {
+                kind: ElementKind::DocumentTitle,
+                text: None,
+                source: None,
+                visible_fallback: None,
+            }],
+            declared_lang: None,
+            html_seen: false,
+            doc_title_pending: true,
+            svg_depth: 0,
+            stack: Vec::new(),
+            captures: Vec::new(),
+            label_entries: Vec::new(),
+            fixups: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn open_capture(&mut self, open: &mut Open, kind: CaptureKind) {
+        self.captures.push(Capture {
+            buf: String::new(),
+            kind,
+        });
+        open.captures_opened += 1;
+    }
+
+    fn complete_capture(&mut self, capture: Capture) {
+        let Capture { buf, kind } = capture;
+        match kind {
+            CaptureKind::DocTitle => {
+                self.elements[0] = ExtractedElement {
+                    kind: ElementKind::DocumentTitle,
+                    text: Some(buf),
+                    source: Some(TextSource::TextContent),
+                    visible_fallback: None,
+                };
+            }
+            CaptureKind::Fallback(idx) => {
+                self.elements[idx].visible_fallback = Some(buf);
+            }
+            CaptureKind::TextIfMissing(idx) => {
+                let el = &mut self.elements[idx];
+                if el.text.is_none() && !buf.trim().is_empty() {
+                    el.text = Some(buf);
+                    el.source = Some(TextSource::TextContent);
+                }
+            }
+            CaptureKind::SvgTitle(idx) => {
+                let el = &mut self.elements[idx];
+                if el.text.is_none() {
+                    el.text = Some(buf);
+                    el.source = Some(TextSource::TitleChild);
+                }
+            }
+            CaptureKind::LabelFor(seq, target) => {
+                self.label_entries.push((seq, target, buf));
+            }
+        }
+    }
+
+    /// Resolve deferred label associations and hand back the element list.
+    fn finish(mut self) -> PageExtract {
+        // First label in document (start) order wins per target — captures
+        // complete in close order, which differs for nested labels.
+        self.label_entries.sort_by_key(|(seq, _, _)| *seq);
+        let mut label_for: HashMap<String, String> = HashMap::new();
+        for (_, target, text) in self.label_entries {
+            label_for.entry(target).or_insert(text);
+        }
+        for (idx, id) in self.fixups {
+            if let Some(label) = label_for.get(&id) {
+                let el = &mut self.elements[idx];
+                el.text = Some(label.clone());
+                el.source = Some(TextSource::AssociatedLabel);
+            }
+        }
+        PageExtract {
+            visible_text: String::new(),
+            visible_hist: Default::default(),
+            declared_lang: self.declared_lang,
+            elements: self.elements,
+        }
+    }
+}
+
+impl StreamSink for ExtractSink {
+    fn element_start(&mut self, name: &str, attrs: &[Attribute], _visible: bool) {
+        self.seq += 1;
+        let seq = self.seq;
+        let mut open = Open {
+            captures_opened: 0,
+            svg_slot: None,
+            is_svg: name == "svg",
+        };
+        match name {
+            "html" if !self.html_seen => {
+                self.html_seen = true;
+                self.declared_lang = attr_of(attrs, "lang").map(|s| s.to_string());
+            }
+            "title" => {
+                // Parent checks run against the stack top — the element
+                // this title nests under.
+                if let Some(idx) = self.stack.last_mut().and_then(|p| p.svg_slot.take()) {
+                    self.open_capture(&mut open, CaptureKind::SvgTitle(idx));
+                } else if self.svg_depth == 0 && self.doc_title_pending {
+                    self.doc_title_pending = false;
+                    self.open_capture(&mut open, CaptureKind::DocTitle);
+                }
+            }
+            "img" => self.elements.push(attr_element(
+                attrs,
+                ElementKind::ImageAlt,
+                &[("alt", TextSource::Alt)],
+            )),
+            "iframe" | "frame" => self.elements.push(attr_element(
+                attrs,
+                ElementKind::FrameTitle,
+                &[("title", TextSource::TitleAttr)],
+            )),
+            "button" => {
+                self.elements.push(attr_element(
+                    attrs,
+                    ElementKind::ButtonName,
+                    &[
+                        ("aria-label", TextSource::AriaLabel),
+                        ("title", TextSource::TitleAttr),
+                    ],
+                ));
+                let idx = self.elements.len() - 1;
+                self.open_capture(&mut open, CaptureKind::Fallback(idx));
+            }
+            "a" if attr_of(attrs, "href").is_some() => {
+                self.elements.push(attr_element(
+                    attrs,
+                    ElementKind::LinkName,
+                    &[
+                        ("aria-label", TextSource::AriaLabel),
+                        ("title", TextSource::TitleAttr),
+                    ],
+                ));
+                let idx = self.elements.len() - 1;
+                self.open_capture(&mut open, CaptureKind::Fallback(idx));
+            }
+            "summary" => {
+                let el = attr_element(
+                    attrs,
+                    ElementKind::SummaryName,
+                    &[("aria-label", TextSource::AriaLabel)],
+                );
+                let missing = el.text.is_none();
+                self.elements.push(el);
+                if missing {
+                    let idx = self.elements.len() - 1;
+                    self.open_capture(&mut open, CaptureKind::TextIfMissing(idx));
+                }
+            }
+            "svg" if attr_of(attrs, "role") == Some("img") => {
+                let el = attr_element(
+                    attrs,
+                    ElementKind::SvgImgAlt,
+                    &[("aria-label", TextSource::AriaLabel)],
+                );
+                let missing = el.text.is_none();
+                self.elements.push(el);
+                if missing {
+                    open.svg_slot = Some(self.elements.len() - 1);
+                }
+            }
+            "object" => {
+                let el = attr_element(
+                    attrs,
+                    ElementKind::ObjectAlt,
+                    &[("aria-label", TextSource::AriaLabel)],
+                );
+                let missing = el.text.is_none();
+                self.elements.push(el);
+                if missing {
+                    let idx = self.elements.len() - 1;
+                    self.open_capture(&mut open, CaptureKind::TextIfMissing(idx));
+                }
+            }
+            "select" => {
+                let el = attr_element(
+                    attrs,
+                    ElementKind::SelectName,
+                    &[("aria-label", TextSource::AriaLabel)],
+                );
+                let missing = el.text.is_none();
+                self.elements.push(el);
+                if missing {
+                    if let Some(id) = attr_of(attrs, "id") {
+                        self.fixups.push((self.elements.len() - 1, id.to_string()));
+                    }
+                }
+            }
+            "input" => {
+                let input_type = attr_of(attrs, "type")
+                    .unwrap_or("text")
+                    .to_ascii_lowercase();
+                match input_type.as_str() {
+                    "image" => self.elements.push(attr_element(
+                        attrs,
+                        ElementKind::InputImageAlt,
+                        &[("alt", TextSource::Alt)],
+                    )),
+                    "submit" | "button" | "reset" => self.elements.push(attr_element(
+                        attrs,
+                        ElementKind::InputButtonName,
+                        &[
+                            ("value", TextSource::Value),
+                            ("aria-label", TextSource::AriaLabel),
+                        ],
+                    )),
+                    "hidden" => {}
+                    _ => {
+                        // Text-like controls: the `label` audit target.
+                        let el = attr_element(
+                            attrs,
+                            ElementKind::Label,
+                            &[("aria-label", TextSource::AriaLabel)],
+                        );
+                        let missing = el.text.is_none();
+                        self.elements.push(el);
+                        if missing {
+                            if let Some(id) = attr_of(attrs, "id") {
+                                self.fixups.push((self.elements.len() - 1, id.to_string()));
+                            }
+                        }
+                    }
+                }
+            }
+            "label" => {
+                if let Some(target) = attr_of(attrs, "for") {
+                    self.open_capture(&mut open, CaptureKind::LabelFor(seq, target.to_string()));
+                }
+            }
+            _ => {}
+        }
+        if open.is_svg {
+            self.svg_depth += 1;
+        }
+        self.stack.push(open);
+    }
+
+    fn element_end(&mut self, _name: &str) {
+        let open = self.stack.pop().expect("balanced element events");
+        if open.is_svg {
+            self.svg_depth -= 1;
+        }
+        for _ in 0..open.captures_opened {
+            let capture = self.captures.pop().expect("capture stack in sync");
+            self.complete_capture(capture);
+        }
+    }
+
+    fn text(&mut self, text: &str, _visible: bool) {
+        // Every open capture owns this text: the DOM's text_content is
+        // unconditional over descendants, including invisible subtrees.
+        for capture in &mut self.captures {
+            capture.buf.push_str(text);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use langcrux_html::parse;
+
+    fn assert_matches_dom(html: &str) {
+        let dom = extract(&parse(html));
+        let streamed = extract_streaming(html);
+        assert_eq!(streamed, dom, "PageExtract diverged on {html:?}");
+    }
+
+    #[test]
+    fn matches_dom_on_representative_pages() {
+        for html in [
+            "",
+            "<html lang=\"th\"><head><title>หน้าแรก</title></head><body><p>สวัสดี</p></body></html>",
+            r#"<img src=a><img src=b alt=""><img src=c alt="a cat">"#,
+            r#"<button aria-label="закрыть">X</button><button>Open</button>"#,
+            r#"<a href="/x">go</a><a name="anchor">not a link</a>"#,
+            r#"<label for="name">Ваше имя</label><input type="text" id="name">
+               <input type="text" id="unlabelled"><input type="text" aria-label="phone">"#,
+            r#"<input type="image" src="b.png" alt="buy"><input type="submit" value="전송">
+               <input type="hidden" value="x"><input>"#,
+            r#"<details><summary>รายละเอียด</summary></details>
+               <details><summary></summary></details>
+               <object data="f.pdf">annual report</object>"#,
+            r#"<head><title>Page</title></head>
+               <svg role="img"><title>home icon</title></svg><svg><circle/></svg>"#,
+            r#"<select id="s1"></select><label for="s1">choose</label>"#,
+        ] {
+            assert_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn matches_dom_on_structural_edge_cases() {
+        for html in [
+            // Label appears after the control it names.
+            r#"<input id="late"><label for="late">привет</label>"#,
+            // Nested labels for the same target: document order wins.
+            r#"<label for="x">a<label for="x">b</label></label><input id="x">"#,
+            // Button whose text_content crosses broken nesting.
+            "<button>a<div>b</button>c",
+            // Unclosed button swallows the page tail, like the DOM tree.
+            "<button>start<p>rest of page",
+            // Link inside a button: both capture their inner text.
+            r#"<button><a href="/x">inner</a>outer</button>"#,
+            // svg title after a sibling element is still a direct child.
+            r#"<svg role="img"><circle/><title>late title</title></svg>"#,
+            // Nested svg: title is a child of <g>, not of the svg itself.
+            r#"<svg role="img"><g><title>not direct</title></g></svg>"#,
+            // A second <html> never re-declares lang.
+            r#"<html><body></body></html><html lang="de"></html>"#,
+            // Title inside svg is not the document title; the next one is.
+            r#"<svg><title>icon</title></svg><title>real</title>"#,
+            // Self-closing title and button.
+            "<title/><button/>",
+            // Hidden subtrees still contribute accessibility elements.
+            r#"<div hidden><img src=x><button>b</button></div>"#,
+            // Duplicate ids: HashMap association, first label in document
+            // order wins for both controls.
+            r#"<label for="d">one</label><label for="d">two</label>
+               <input id="d"><select id="d"></select>"#,
+        ] {
+            assert_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn matches_dom_on_adversarial_markup() {
+        for html in [
+            // Mis-nested end tag inside raw text: '</scrip' does not close.
+            "<script>a</scrip>b</script><p>after</p>",
+            "<title>t</titl>still title</title><body>x</body>",
+            // Entities split by a tag: neither path decodes across runs.
+            "a&am<b>p;</b>",
+            "<p>&#24<span>53;</span></p>",
+            // Entity at the very end of a capture.
+            "<button>x &amp</button>",
+            // Hidden-subtree attributes in every hiding form.
+            r#"<div hidden=hidden><p>a</p></div><div aria-hidden="TRUE">b</div>
+               <div style="display : none">c</div>ok"#,
+            // Unterminated raw text swallows to EOF.
+            "<script>everything<p>else",
+            "<title>unterminated title<p>tail",
+            // End tags with no open element.
+            "</div></p></body>text",
+            // Attributes on end tags are ignored.
+            "<div>a</div class=x>b",
+        ] {
+            assert_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn streaming_is_the_crawl_default() {
+        // The exported names used by browser/serve resolve to this module.
+        let page = extract_streaming("<html lang=bn><body><p>টেক্সট</p></body></html>");
+        assert_eq!(page.declared_lang.as_deref(), Some("bn"));
+        assert_eq!(page.visible_text, "টেক্সট");
+        assert_eq!(
+            page.visible_hist,
+            langcrux_lang::script::ScriptHistogram::of(&page.visible_text)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Streaming-vs-DOM extraction equivalence at corpus scale.
+//!
+//! The unit tests in `crawl::stream` pin hand-picked adversarial HTML;
+//! this suite sweeps the realistic surface: every study country's
+//! generated sites in both content variants (the exact pages the crawl
+//! path visits), plus property-generated markup. For each page the
+//! streaming [`extract_streaming`] must equal the DOM oracle
+//! `extract(&parse(html))` on the whole [`PageExtract`] — visible text,
+//! histogram, declared lang, and every accessibility element — which is
+//! what keeps `Dataset::to_json` and the serve cache's audit bytes
+//! unchanged by the streaming switch.
+
+use langcrux_crawl::{extract, extract_streaming};
+use langcrux_html::parse;
+use langcrux_lang::Country;
+use langcrux_net::ContentVariant;
+use langcrux_webgen::{render, SitePlan};
+use proptest::prelude::*;
+
+#[test]
+fn corpus_sweep_streaming_equals_dom() {
+    let mut pages = 0usize;
+    for country in Country::STUDY {
+        for index in 0..6u32 {
+            // Alternate pinned qualification so both site shapes appear.
+            let plan = SitePlan::build(0x57AE, country, index, Some(index % 2 == 0));
+            for variant in [
+                ContentVariant::Localized,
+                ContentVariant::Global,
+                ContentVariant::Restricted,
+            ] {
+                let (html, _) = render(&plan, variant, "/");
+                let dom = extract(&parse(&html));
+                let streamed = extract_streaming(&html);
+                assert_eq!(
+                    streamed, dom,
+                    "diverged: {country:?} site {index} {variant:?}"
+                );
+                pages += 1;
+            }
+        }
+    }
+    // 12 countries × 6 sites × 3 variants.
+    assert_eq!(pages, 216);
+}
+
+proptest! {
+    #[test]
+    fn streaming_page_extract_matches_dom_on_arbitrary_markup(
+        input in "(<(a|p|div|img|button|label|input|select|title|svg|script|li)( (hidden|href=\"/x\"|for=\"i\"|id=\"i\"|alt=\"ছবি\"|aria-label=\"x\"|type=\"text\"|role=\"img\"))?/?>|</(a|p|div|button|label|select|title|svg|script|li)>|&[a-z#0-9]{0,6};?|[a-z\\u{995}\\u{E01} ]{0,10}){0,30}",
+    ) {
+        // Markup biased toward the tags the extractor cares about, with
+        // hiding/labelling attributes, broken nesting, raw text, and
+        // partial entities.
+        prop_assert_eq!(extract_streaming(&input), extract(&parse(&input)));
+    }
+}

@@ -62,6 +62,27 @@ pub fn decode(input: &str) -> String {
         return input.to_string();
     }
     let mut out = String::with_capacity(input.len());
+    decode_into(input, &mut out);
+    out
+}
+
+/// Decode all character references in `input`, appending the result to
+/// `out`. Identical output to [`decode`], but lets callers reuse one
+/// scratch buffer across many text runs — the streaming extraction path
+/// ([`crate::stream`]) decodes every visible text run this way without a
+/// fresh allocation per run.
+///
+/// ```
+/// use langcrux_html::entities::{decode, decode_into};
+/// let mut buf = String::new();
+/// decode_into("a &amp; b", &mut buf);
+/// assert_eq!(buf, decode("a &amp; b"));
+/// ```
+pub fn decode_into(input: &str, out: &mut String) {
+    if !input.contains('&') {
+        out.push_str(input);
+        return;
+    }
     let bytes = input.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
@@ -93,7 +114,6 @@ pub fn decode(input: &str) -> String {
             }
         }
     }
-    out
 }
 
 fn decode_reference(body: &str) -> Option<char> {
@@ -205,5 +225,17 @@ mod tests {
     fn no_entities_fast_path() {
         let s = "plain text with no ampersand";
         assert_eq!(decode(s), s);
+    }
+
+    #[test]
+    fn decode_into_appends_and_matches_decode() {
+        let mut buf = String::from("prefix|");
+        decode_into("a &amp; b &#2453;", &mut buf);
+        assert_eq!(buf, "prefix|a & b ক");
+        for case in ["", "plain", "&amp", "&#xZZ;", "&lt;x&gt;", "নমস্কার &copy;"] {
+            let mut out = String::new();
+            decode_into(case, &mut out);
+            assert_eq!(out, decode(case), "{case:?}");
+        }
     }
 }

@@ -33,8 +33,9 @@ pub fn is_void_element(name: &str) -> bool {
 }
 
 /// Elements that implicitly close an open element of the same name
-/// (`<li>`, `<p>`, table rows/cells, options).
-fn closes_same(name: &str) -> bool {
+/// (`<li>`, `<p>`, table rows/cells, options). Shared with the streaming
+/// walk ([`crate::stream`]), which emulates this tree builder's stack.
+pub(crate) fn closes_same(name: &str) -> bool {
     matches!(
         name,
         "li" | "p" | "tr" | "td" | "th" | "option" | "dt" | "dd"

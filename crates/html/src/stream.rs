@@ -1,0 +1,379 @@
+//! Streaming tokenize→extract: visible text and script histogram straight
+//! from tokenizer events, with **no DOM allocation**.
+//!
+//! The crawl path never needs the tree the parser builds — selection and
+//! Kizuki consume the fused visible-text histogram, and the accessibility
+//! elements are derivable from tag events alone. This module re-runs the
+//! exact rules of [`crate::parser::parse`] + [`crate::visible`] over the
+//! token stream instead of over a materialised [`crate::dom::Document`]:
+//!
+//! * the **open-element stack** is emulated with a flat name arena (void
+//!   elements, implicit `<li>`/`<p>` closes, browser-style recovery for
+//!   mismatched end tags — the same rules, so text parentage matches the
+//!   tree builder's);
+//! * a **skip-stack** depth counter tracks `script`/`style`/`head`/hidden
+//!   subtrees, replacing the DOM walk's per-subtree early return;
+//! * inter-block whitespace flows through the *same*
+//!   [`Normaliser`]/[`ScriptHistogram`] sink the DOM walk uses, so the
+//!   output is byte-identical by construction (and proptest-pinned).
+//!
+//! [`stream_visible_text_histogram`] is the drop-in streaming equivalent
+//! of parse-then-[`visible_text_histogram`]; richer consumers (the
+//! crawler's full `PageExtract` builder in `langcrux-crawl`) implement
+//! [`StreamSink`] to observe element starts/ends and text runs from the
+//! same single pass.
+//!
+//! [`Normaliser`]: crate::visible
+//! [`visible_text_histogram`]: crate::visible::visible_text_histogram
+
+use crate::entities::decode_into;
+use crate::parser::{closes_same, is_void_element};
+use crate::tokenizer::{tokenize_into, Attribute, TokenSink};
+use crate::visible::{attrs_hide, is_block, is_non_rendering, Normaliser};
+use langcrux_lang::script::ScriptHistogram;
+
+/// Observer of tree-level events during a streaming extraction pass.
+///
+/// Events mirror the final tree [`crate::parser::parse`] would build:
+/// `element_start`/`element_end` arrive balanced and properly nested (void
+/// and self-closing elements produce an immediate end; elements left open
+/// at EOF are closed then), and `text` fires for every text node in
+/// document order with its entity-decoded content and whether it is
+/// visible (no `script`/`style`/`head`/hidden ancestor).
+///
+/// All methods default to no-ops; `()` is the unit sink behind
+/// [`stream_visible_text_histogram`].
+pub trait StreamSink {
+    /// An element opened. `attrs` is deduplicated with decoded values;
+    /// `visible` is false when the element itself or any open ancestor is
+    /// non-rendering or hidden.
+    fn element_start(&mut self, _name: &str, _attrs: &[Attribute], _visible: bool) {}
+    /// The matching close of the innermost open element (fires for void
+    /// and self-closing elements immediately after their start).
+    fn element_end(&mut self, _name: &str) {}
+    /// A text node's decoded content. `visible` is false inside skipped
+    /// subtrees (the text still reaches the sink: accessibility text like
+    /// `<title>` or labels in hidden subtrees is extracted regardless).
+    fn text(&mut self, _text: &str, _visible: bool) {}
+}
+
+impl StreamSink for () {}
+
+/// Visible text and script histogram of an HTML document, computed
+/// directly from tokenizer events — no token buffer, no DOM.
+///
+/// Byte- and histogram-identical to parsing first:
+///
+/// ```
+/// use langcrux_html::{parse, stream_visible_text_histogram, visible_text_histogram};
+///
+/// let html = "<body><p>নমস্কার</p><div hidden>skip</div><p>ok &amp; on</p></body>";
+/// let streamed = stream_visible_text_histogram(html);
+/// assert_eq!(streamed, visible_text_histogram(&parse(html)));
+/// assert_eq!(streamed.0, "নমস্কার\nok & on");
+/// ```
+pub fn stream_visible_text_histogram(html: &str) -> (String, ScriptHistogram) {
+    let (text, hist, ()) = stream_extract(html, ());
+    (text, hist)
+}
+
+/// Run a full streaming extraction pass: tokenizer events are folded
+/// through the emulated open-element stack, visible text is normalised
+/// into the returned `(text, histogram)`, and every tree-level event is
+/// forwarded to `sink`. Returns the sink for state recovery.
+pub fn stream_extract<S: StreamSink>(html: &str, sink: S) -> (String, ScriptHistogram, S) {
+    let mut walk = StreamWalk {
+        stack: Vec::new(),
+        names: String::new(),
+        skip_depth: 0,
+        normaliser: Normaliser::new(ScriptHistogram::default()),
+        text_buf: String::new(),
+        sink,
+    };
+    tokenize_into(html, &mut walk);
+    // Elements still open at EOF: the tree builder leaves them on the
+    // stack and the DOM walk unwinds through them; close them so sinks
+    // see balanced events.
+    while !walk.stack.is_empty() {
+        walk.pop_one();
+    }
+    (walk.normaliser.out, walk.normaliser.tally, walk.sink)
+}
+
+/// One emulated open element. The name lives in the shared arena
+/// (`StreamWalk::names`) so pushing an element allocates nothing after
+/// warm-up.
+struct OpenElement {
+    /// Byte offset of this element's name in the arena.
+    name_start: usize,
+    /// Whether this element itself is non-rendering or hidden (it
+    /// contributes one level to the skip-stack depth).
+    skipped: bool,
+    /// Whether open/close emit a block boundary (block element in a
+    /// visible context at open time).
+    emits_boundary: bool,
+}
+
+/// The streaming walk: a [`TokenSink`] that replays the tree builder's
+/// stack discipline and the visible-text walk's skip rules over the token
+/// stream.
+struct StreamWalk<S> {
+    stack: Vec<OpenElement>,
+    /// Name arena: concatenated names of the open elements, truncated on
+    /// pop. `stack[i]`'s name spans `names[stack[i].name_start ..
+    /// stack[i+1].name_start]` (or to the end for the top).
+    names: String,
+    /// Number of open elements that are non-rendering or hidden; text is
+    /// visible iff zero.
+    skip_depth: usize,
+    normaliser: Normaliser<ScriptHistogram>,
+    /// Scratch buffer for entity decoding, reused across text runs.
+    text_buf: String,
+    sink: S,
+}
+
+impl<S: StreamSink> StreamWalk<S> {
+    fn name_of(&self, idx: usize) -> &str {
+        let start = self.stack[idx].name_start;
+        let end = self
+            .stack
+            .get(idx + 1)
+            .map_or(self.names.len(), |e| e.name_start);
+        &self.names[start..end]
+    }
+
+    fn top_name(&self) -> Option<&str> {
+        (!self.stack.is_empty()).then(|| self.name_of(self.stack.len() - 1))
+    }
+
+    /// Pop the innermost open element, emitting its closing boundary and
+    /// sink event — the streaming equivalent of the DOM walk returning
+    /// from a subtree.
+    fn pop_one(&mut self) {
+        let entry = self.stack.pop().expect("pop on empty stack");
+        if entry.skipped {
+            self.skip_depth -= 1;
+        }
+        if entry.emits_boundary {
+            self.normaliser.block_boundary();
+        }
+        let name = &self.names[entry.name_start..];
+        self.sink.element_end(name);
+        self.names.truncate(entry.name_start);
+    }
+}
+
+impl<S: StreamSink> TokenSink for StreamWalk<S> {
+    fn start_tag(&mut self, name: &str, attrs: &mut Vec<Attribute>, self_closing: bool) {
+        // Implicit close: "<li>a<li>b" closes the first li — but only when
+        // the match is the innermost open element (the tree builder's
+        // `pos == stack.len() - 1` rule: don't close a <p> through a
+        // nested <div>).
+        if closes_same(name) && self.top_name() == Some(name) {
+            self.pop_one();
+        }
+        let skipped = is_non_rendering(name) || attrs_hide(attrs);
+        let visible = self.skip_depth == 0 && !skipped;
+        let emits_boundary = visible && is_block(name);
+        if emits_boundary {
+            self.normaliser.block_boundary();
+        }
+        self.sink.element_start(name, attrs, visible);
+        if self_closing || is_void_element(name) {
+            // No children: the DOM walk opens and immediately closes this
+            // subtree.
+            if emits_boundary {
+                self.normaliser.block_boundary();
+            }
+            self.sink.element_end(name);
+        } else {
+            let name_start = self.names.len();
+            self.names.push_str(name);
+            self.stack.push(OpenElement {
+                name_start,
+                skipped,
+                emits_boundary,
+            });
+            if skipped {
+                self.skip_depth += 1;
+            }
+        }
+    }
+
+    fn end_tag(&mut self, name: &str) {
+        // Pop to the nearest matching open element; unmatched end tags are
+        // dropped (browser behaviour, mirroring the tree builder).
+        if let Some(pos) = (0..self.stack.len()).rposition(|i| self.name_of(i) == name) {
+            while self.stack.len() > pos {
+                self.pop_one();
+            }
+        }
+    }
+
+    fn text(&mut self, raw: &str, decode_entities: bool) {
+        let decoded: &str = if decode_entities && raw.contains('&') {
+            self.text_buf.clear();
+            decode_into(raw, &mut self.text_buf);
+            &self.text_buf
+        } else {
+            // No entities (or a raw-text body): the decoded text is the
+            // input slice, unchanged.
+            raw
+        };
+        let visible = self.skip_depth == 0;
+        if visible {
+            self.normaliser.push_text(decoded);
+        }
+        self.sink.text(decoded, visible);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::visible::visible_text_histogram;
+
+    /// The invariant the whole module exists to uphold.
+    fn assert_stream_matches_dom(html: &str) {
+        let dom = visible_text_histogram(&parse(html));
+        let streamed = stream_visible_text_histogram(html);
+        assert_eq!(streamed.0, dom.0, "text diverged on {html:?}");
+        assert_eq!(streamed.1, dom.1, "histogram diverged on {html:?}");
+    }
+
+    #[test]
+    fn matches_dom_on_simple_pages() {
+        for html in [
+            "",
+            "plain text only",
+            "<html><body><p>Hello</p><p>World</p></body></html>",
+            "<p>a   b\n\t c</p>",
+            "<p>he<b>ll</b>o</p>",
+            "<ul><li>one<li>two<li>three</ul>",
+            "<p>নমস্কার বিশ্ব</p><p>हिन्दी</p><p>สวัสดี</p>",
+        ] {
+            assert_stream_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn matches_dom_on_skip_subtrees() {
+        for html in [
+            "<head><title>T</title><style>.x{}</style></head><body><p>only this</p></body>",
+            "<script>var x = '<p>not text</p>';</script>after",
+            "<div hidden><p>secret</p></div><p>shown</p>",
+            r#"<span aria-hidden="true">x</span><span aria-hidden="false">y</span>"#,
+            r#"<div style="display: none">a</div><div style="color:red">b</div>"#,
+            r#"<div style="VISIBILITY:HIDDEN">a</div>ok"#,
+            "<noscript><p>fallback</p></noscript>visible",
+            "<div hidden><div><p>deep</p></div></div>tail",
+        ] {
+            assert_stream_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn matches_dom_on_broken_markup() {
+        for html in [
+            "<div><span>text</div></span>",
+            "<p>outer<span><p>inner</span></p>",
+            "<b>unclosed everywhere",
+            "<div class=\"x",
+            "</p>leading end tag",
+            "<a></b></c><d>",
+            "a < b and c > d",
+            "<p>first<p>second<div><p>third",
+            "<table><tr><td>a<td>b<tr><td>c</table>",
+        ] {
+            assert_stream_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn matches_dom_on_entities_and_raw_text() {
+        for html in [
+            "a &amp; b &#2453; &#x0E01; &unknown; &amp",
+            "<title>News &amp; Weather</title><body>x</body>",
+            "<textarea>5 &lt; 7</textarea>",
+            "<script>a &amp; b stays raw</script><p>c &amp; d</p>",
+        ] {
+            assert_stream_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn void_and_self_closing_blocks() {
+        for html in [
+            "a<br>b",
+            "a<br/>b",
+            "a<hr hidden>b",
+            "<img src=x alt=y>tail",
+            "<div/>not really self-closing in html but ours honours it<p>x</p>",
+        ] {
+            assert_stream_matches_dom(html);
+        }
+    }
+
+    #[test]
+    fn sink_sees_balanced_tree_events() {
+        #[derive(Default)]
+        struct Trace {
+            events: Vec<String>,
+            depth: isize,
+            min_depth: isize,
+        }
+        impl StreamSink for Trace {
+            fn element_start(&mut self, name: &str, attrs: &[Attribute], visible: bool) {
+                self.depth += 1;
+                self.events
+                    .push(format!("+{name}/{}/{visible}", attrs.len()));
+            }
+            fn element_end(&mut self, name: &str) {
+                self.depth -= 1;
+                self.min_depth = self.min_depth.min(self.depth);
+                self.events.push(format!("-{name}"));
+            }
+            fn text(&mut self, text: &str, visible: bool) {
+                self.events.push(format!("t:{text}/{visible}"));
+            }
+        }
+        let (_, _, trace) = stream_extract(
+            "<div hidden><img src=x>a</div><li>1<li>2<p>open at eof",
+            Trace::default(),
+        );
+        assert_eq!(trace.depth, 0, "starts and ends must balance");
+        assert!(trace.min_depth >= 0, "an end fired before its start");
+        assert_eq!(
+            trace.events,
+            vec![
+                "+div/1/false",
+                "+img/1/false",
+                "-img",
+                "t:a/false",
+                "-div",
+                "+li/0/true",
+                "t:1/true",
+                "-li",
+                "+li/0/true",
+                "t:2/true",
+                // <p> is not a same-name implicit close for <li>, so it
+                // nests inside; EOF unwinds innermost-first.
+                "+p/0/true",
+                "t:open at eof/true",
+                "-p",
+                "-li",
+            ]
+        );
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow() {
+        let mut s = String::new();
+        for _ in 0..3000 {
+            s.push_str("<div>");
+        }
+        s.push_str("deep");
+        assert_stream_matches_dom(&s);
+    }
+}

@@ -8,6 +8,15 @@
 //! re-tokenized. Error handling follows the browser convention: never fail,
 //! always produce *some* token stream (measurement crawlers meet a lot of
 //! broken HTML).
+//!
+//! The lexer is written once and driven through a [`TokenSink`], so the two
+//! consumers share every lexing rule byte for byte:
+//!
+//! * [`tokenize`] materialises owned [`Token`]s for the tree builder
+//!   ([`crate::parser::parse`]).
+//! * [`tokenize_into`] pushes borrowed lexemes straight into a caller sink —
+//!   this is the entry point of the streaming extraction path
+//!   ([`crate::stream`]), which never allocates a token buffer or a DOM.
 
 use crate::entities::decode;
 
@@ -38,34 +47,137 @@ pub enum Token {
 
 /// Elements whose content is raw text (no nested markup).
 pub fn is_raw_text_element(name: &str) -> bool {
-    matches!(name, "script" | "style" | "textarea" | "title" | "noscript")
+    raw_text_static_name(name).is_some()
 }
 
-/// Tokenize an HTML document. Never panics on any input.
+/// The single source of truth for the raw-text element set: maps a
+/// lower-cased tag name to its `'static` spelling (the raw-text scanner
+/// needs a name that outlives the lexer's scratch buffer).
+fn raw_text_static_name(name: &str) -> Option<&'static str> {
+    match name {
+        "script" => Some("script"),
+        "style" => Some("style"),
+        "textarea" => Some("textarea"),
+        "title" => Some("title"),
+        "noscript" => Some("noscript"),
+        _ => None,
+    }
+}
+
+/// Receiver of lexical events from [`tokenize_into`].
+///
+/// The lexer owns every scratch buffer; sinks see borrowed data that is
+/// valid only for the duration of the call:
+///
+/// * `name` slices are already lower-cased.
+/// * `attrs` arrives deduplicated (first occurrence wins) with
+///   entity-decoded values. A sink that wants ownership may
+///   `std::mem::take` the `Vec`; the lexer clears it before the next tag
+///   either way, so taking is free and not taking reuses the allocation.
+/// * `text` arrives **undecoded**; `decode_entities` says whether the
+///   owned-token path would run [`decode`] over it (true for ordinary
+///   character data and the "escapable raw text" elements
+///   `title`/`textarea`, false for `script`/`style`/`noscript` bodies).
+///   This keeps the expensive decode lazy: a sink may skip it for runs it
+///   will discard, or decode into a reused buffer.
+///
+/// `doctype` and `comment` default to no-ops since most sinks ignore them.
+pub trait TokenSink {
+    /// Doctype body after the `doctype` keyword, untrimmed and in original
+    /// case (the owned-token path trims + lower-cases it).
+    fn doctype(&mut self, _raw: &str) {}
+    /// Comment body, excluding the `<!--`/`-->` delimiters.
+    fn comment(&mut self, _text: &str) {}
+    /// A start tag. See the trait docs for the `attrs` contract.
+    fn start_tag(&mut self, name: &str, attrs: &mut Vec<Attribute>, self_closing: bool);
+    /// An end tag (`name` is non-empty and lower-cased).
+    fn end_tag(&mut self, name: &str);
+    /// A non-empty run of character data. See the trait docs for the
+    /// `decode_entities` contract.
+    fn text(&mut self, raw: &str, decode_entities: bool);
+}
+
+/// Tokenize an HTML document into owned tokens. Never panics on any input.
 pub fn tokenize(input: &str) -> Vec<Token> {
-    Tokenizer::new(input).run()
+    let mut sink = VecSink {
+        // Markup averages a few dozen bytes per token; reserving up
+        // front avoids repeated growth on page-sized inputs.
+        tokens: Vec::with_capacity(input.len() / 24),
+    };
+    tokenize_into(input, &mut sink);
+    sink.tokens
 }
 
-struct Tokenizer<'a> {
-    input: &'a str,
-    bytes: &'a [u8],
-    pos: usize,
+/// Tokenize an HTML document, pushing each lexeme into `sink`. Never
+/// panics on any input. [`tokenize`] is exactly this with a `Vec<Token>`
+/// sink, so every consumer shares one lexer.
+pub fn tokenize_into<S: TokenSink>(input: &str, sink: &mut S) {
+    Tokenizer::new(input, sink).run();
+}
+
+/// The sink behind [`tokenize`]: materialises owned [`Token`]s.
+struct VecSink {
     tokens: Vec<Token>,
 }
 
-impl<'a> Tokenizer<'a> {
-    fn new(input: &'a str) -> Self {
+impl TokenSink for VecSink {
+    fn doctype(&mut self, raw: &str) {
+        self.tokens
+            .push(Token::Doctype(raw.trim().to_ascii_lowercase()));
+    }
+
+    fn comment(&mut self, text: &str) {
+        self.tokens.push(Token::Comment(text.to_string()));
+    }
+
+    fn start_tag(&mut self, name: &str, attrs: &mut Vec<Attribute>, self_closing: bool) {
+        self.tokens.push(Token::StartTag {
+            name: name.to_string(),
+            attrs: std::mem::take(attrs),
+            self_closing,
+        });
+    }
+
+    fn end_tag(&mut self, name: &str) {
+        self.tokens.push(Token::EndTag {
+            name: name.to_string(),
+        });
+    }
+
+    fn text(&mut self, raw: &str, decode_entities: bool) {
+        self.tokens.push(Token::Text(if decode_entities {
+            decode(raw)
+        } else {
+            raw.to_string()
+        }));
+    }
+}
+
+struct Tokenizer<'a, S> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    sink: &'a mut S,
+    /// Scratch for the current tag name (lower-cased); reused across tags.
+    name_buf: String,
+    /// Scratch for the current tag's attributes; reused across tags unless
+    /// the sink takes it.
+    attrs_buf: Vec<Attribute>,
+}
+
+impl<'a, S: TokenSink> Tokenizer<'a, S> {
+    fn new(input: &'a str, sink: &'a mut S) -> Self {
         Tokenizer {
             input,
             bytes: input.as_bytes(),
             pos: 0,
-            // Markup averages a few dozen bytes per token; reserving up
-            // front avoids repeated growth on page-sized inputs.
-            tokens: Vec::with_capacity(input.len() / 24),
+            sink,
+            name_buf: String::new(),
+            attrs_buf: Vec::new(),
         }
     }
 
-    fn run(mut self) -> Vec<Token> {
+    fn run(mut self) {
         while self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'<' {
                 self.lex_angle();
@@ -73,7 +185,6 @@ impl<'a> Tokenizer<'a> {
                 self.lex_text();
             }
         }
-        self.tokens
     }
 
     fn rest(&self) -> &'a str {
@@ -87,7 +198,7 @@ impl<'a> Tokenizer<'a> {
         }
         let raw = &self.input[start..self.pos];
         if !raw.is_empty() {
-            self.tokens.push(Token::Text(decode(raw)));
+            self.sink.text(raw, true);
         }
     }
 
@@ -103,7 +214,7 @@ impl<'a> Tokenizer<'a> {
             self.lex_start_tag();
         } else {
             // A lone '<' is text.
-            self.tokens.push(Token::Text("<".to_string()));
+            self.sink.text(&self.input[self.pos..self.pos + 1], false);
             self.pos += 1;
         }
     }
@@ -112,15 +223,12 @@ impl<'a> Tokenizer<'a> {
         let body_start = self.pos + 4;
         match self.input[body_start..].find("-->") {
             Some(end) => {
-                self.tokens.push(Token::Comment(
-                    self.input[body_start..body_start + end].to_string(),
-                ));
+                self.sink.comment(&self.input[body_start..body_start + end]);
                 self.pos = body_start + end + 3;
             }
             None => {
                 // Unterminated comment swallows the rest of the input.
-                self.tokens
-                    .push(Token::Comment(self.input[body_start..].to_string()));
+                self.sink.comment(&self.input[body_start..]);
                 self.pos = self.bytes.len();
             }
         }
@@ -136,8 +244,7 @@ impl<'a> Tokenizer<'a> {
                     .get(..7)
                     .is_some_and(|p| p.eq_ignore_ascii_case("doctype"))
                 {
-                    self.tokens
-                        .push(Token::Doctype(body[7..].trim().to_ascii_lowercase()));
+                    self.sink.doctype(&body[7..]);
                 }
                 // Other declarations (CDATA, processing instructions) are dropped.
                 self.pos = body_start + end + 1;
@@ -148,6 +255,14 @@ impl<'a> Tokenizer<'a> {
         }
     }
 
+    /// Lower-case `src` into the name scratch buffer.
+    fn set_name(name_buf: &mut String, src: &str) {
+        name_buf.clear();
+        // Tag names are ASCII-alphanumeric plus '-', so per-byte
+        // lower-casing is exact.
+        name_buf.extend(src.bytes().map(|b| b.to_ascii_lowercase() as char));
+    }
+
     fn lex_end_tag(&mut self) {
         let name_start = self.pos + 2;
         let mut i = name_start;
@@ -156,14 +271,14 @@ impl<'a> Tokenizer<'a> {
         {
             i += 1;
         }
-        let name = self.input[name_start..i].to_ascii_lowercase();
+        Self::set_name(&mut self.name_buf, &self.input[name_start..i]);
         // Skip to '>'.
         while i < self.bytes.len() && self.bytes[i] != b'>' {
             i += 1;
         }
         self.pos = (i + 1).min(self.bytes.len());
-        if !name.is_empty() {
-            self.tokens.push(Token::EndTag { name });
+        if !self.name_buf.is_empty() {
+            self.sink.end_tag(&self.name_buf);
         }
     }
 
@@ -175,31 +290,31 @@ impl<'a> Tokenizer<'a> {
         {
             i += 1;
         }
-        let name = self.input[name_start..i].to_ascii_lowercase();
+        Self::set_name(&mut self.name_buf, &self.input[name_start..i]);
         self.pos = i;
-        let (attrs, self_closing) = self.lex_attributes();
-        // Clone the name only for the rare raw-text elements; every other
-        // start tag moves its name into the token without copying.
-        let raw_name = (is_raw_text_element(&name) && !self_closing).then(|| name.clone());
-        self.tokens.push(Token::StartTag {
-            name,
-            attrs,
-            self_closing,
-        });
+        let self_closing = self.lex_attributes();
+        let raw_name: Option<&'static str> = if self_closing {
+            None
+        } else {
+            raw_text_static_name(self.name_buf.as_str())
+        };
+        self.sink
+            .start_tag(&self.name_buf, &mut self.attrs_buf, self_closing);
+        self.attrs_buf.clear();
         if let Some(name) = raw_name {
-            self.lex_raw_text(&name);
+            self.lex_raw_text(name);
         }
     }
 
     /// After a raw-text start tag, consume everything up to the matching
-    /// case-insensitive `</name`, emitting it as a single Text token
+    /// case-insensitive `</name`, emitting it as a single text run
     /// (entity-decoded only for `title`/`textarea`, per spec these are
     /// "escapable raw text").
     fn lex_raw_text(&mut self, name: &str) {
         let hay = self.rest();
-        // In-place case-insensitive search for `</name` — the previous
-        // implementation lowercased the whole remaining input per raw-text
-        // element, which made tokenization quadratic in page size.
+        // In-place case-insensitive search for `</name` — lowercasing the
+        // whole remaining input per raw-text element would make
+        // tokenization quadratic in page size.
         let bytes = hay.as_bytes();
         let name_bytes = name.as_bytes();
         let mut end = hay.len();
@@ -216,19 +331,15 @@ impl<'a> Tokenizer<'a> {
         }
         let body = &hay[..end];
         if !body.is_empty() {
-            let text = if matches!(name, "title" | "textarea") {
-                decode(body)
-            } else {
-                body.to_string()
-            };
-            self.tokens.push(Token::Text(text));
+            self.sink.text(body, matches!(name, "title" | "textarea"));
         }
         self.pos += end;
         // The EndTag will be lexed by the main loop (or EOF).
     }
 
-    fn lex_attributes(&mut self) -> (Vec<Attribute>, bool) {
-        let mut attrs: Vec<Attribute> = Vec::new();
+    /// Lex attributes into the scratch buffer; returns the self-closing flag.
+    fn lex_attributes(&mut self) -> bool {
+        debug_assert!(self.attrs_buf.is_empty());
         let mut self_closing = false;
         loop {
             self.skip_whitespace();
@@ -251,8 +362,8 @@ impl<'a> Tokenizer<'a> {
                 _ => {
                     if let Some(attr) = self.lex_one_attribute() {
                         // First occurrence wins, as in browsers.
-                        if !attrs.iter().any(|a| a.name == attr.name) {
-                            attrs.push(attr);
+                        if !self.attrs_buf.iter().any(|a| a.name == attr.name) {
+                            self.attrs_buf.push(attr);
                         }
                     } else {
                         // Couldn't make progress; skip a byte defensively.
@@ -261,7 +372,7 @@ impl<'a> Tokenizer<'a> {
                 }
             }
         }
-        (attrs, self_closing)
+        self_closing
     }
 
     fn lex_one_attribute(&mut self) -> Option<Attribute> {
@@ -487,5 +598,80 @@ mod tests {
         ] {
             let _ = tokenize(junk);
         }
+    }
+
+    /// A sink that records events as debug strings — pins the contract
+    /// between the shared lexer and streaming sinks.
+    #[derive(Default)]
+    struct TraceSink {
+        events: Vec<String>,
+    }
+
+    impl TokenSink for TraceSink {
+        fn doctype(&mut self, raw: &str) {
+            self.events.push(format!("doctype({raw})"));
+        }
+        fn comment(&mut self, text: &str) {
+            self.events.push(format!("comment({text})"));
+        }
+        fn start_tag(&mut self, name: &str, attrs: &mut Vec<Attribute>, self_closing: bool) {
+            let attrs: Vec<String> = attrs
+                .iter()
+                .map(|a| format!("{}={}", a.name, a.value))
+                .collect();
+            self.events.push(format!(
+                "start({name},[{}],{self_closing})",
+                attrs.join(";")
+            ));
+        }
+        fn end_tag(&mut self, name: &str) {
+            self.events.push(format!("end({name})"));
+        }
+        fn text(&mut self, raw: &str, decode_entities: bool) {
+            self.events.push(format!("text({raw},{decode_entities})"));
+        }
+    }
+
+    #[test]
+    fn sink_sees_borrowed_events() {
+        let mut sink = TraceSink::default();
+        tokenize_into(
+            "<!DOCTYPE HTML><DIV Class=x>a&amp;b<script>1<2</script></DIV><!--c-->",
+            &mut sink,
+        );
+        assert_eq!(
+            sink.events,
+            vec![
+                "doctype( HTML)",
+                "start(div,[class=x],false)",
+                "text(a&amp;b,true)",
+                "start(script,[],false)",
+                "text(1<2,false)",
+                "end(script)",
+                "end(div)",
+                "comment(c)",
+            ]
+        );
+    }
+
+    #[test]
+    fn sink_attrs_vec_is_reusable_when_not_taken() {
+        // A sink that never takes the attrs Vec still sees each tag's own
+        // attributes (the lexer clears between tags).
+        struct CountSink {
+            attr_counts: Vec<usize>,
+        }
+        impl TokenSink for CountSink {
+            fn start_tag(&mut self, _: &str, attrs: &mut Vec<Attribute>, _: bool) {
+                self.attr_counts.push(attrs.len());
+            }
+            fn end_tag(&mut self, _: &str) {}
+            fn text(&mut self, _: &str, _: bool) {}
+        }
+        let mut sink = CountSink {
+            attr_counts: Vec::new(),
+        };
+        tokenize_into("<a x=1 y=2><b z=3><c>", &mut sink);
+        assert_eq!(sink.attr_counts, vec![2, 1, 0]);
     }
 }

@@ -10,10 +10,11 @@
 //! between block boundaries.
 
 use crate::dom::{Document, NodeId, NodeKind};
+use crate::tokenizer::Attribute;
 use langcrux_lang::script::ScriptHistogram;
 
 /// Elements whose entire subtree never renders as text.
-fn is_non_rendering(name: &str) -> bool {
+pub(crate) fn is_non_rendering(name: &str) -> bool {
     matches!(
         name,
         "script" | "style" | "template" | "noscript" | "head" | "title" | "meta" | "link" | "base"
@@ -26,24 +27,29 @@ fn style_hides(style: &str) -> bool {
     lowered.contains("display:none") || lowered.contains("visibility:hidden")
 }
 
+/// Whether an attribute list hides its element (`hidden`,
+/// `aria-hidden="true"`, or a hiding inline `style`). Shared by the DOM
+/// walk ([`element_hidden`]) and the streaming walk ([`crate::stream`]),
+/// so the two paths cannot drift.
+pub(crate) fn attrs_hide(attrs: &[Attribute]) -> bool {
+    let get = |name: &str| {
+        attrs
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    };
+    if get("hidden").is_some() {
+        return true;
+    }
+    if get("aria-hidden").is_some_and(|v| v.eq_ignore_ascii_case("true")) {
+        return true;
+    }
+    get("style").is_some_and(style_hides)
+}
+
 /// Whether this single element (not its ancestors) is hidden.
 pub fn element_hidden(doc: &Document, id: NodeId) -> bool {
-    if doc.attr(id, "hidden").is_some() {
-        return true;
-    }
-    if doc
-        .attr(id, "aria-hidden")
-        .map(|v| v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false)
-    {
-        return true;
-    }
-    if let Some(style) = doc.attr(id, "style") {
-        if style_hides(style) {
-            return true;
-        }
-    }
-    false
+    attrs_hide(doc.attrs(id))
 }
 
 /// Whether a node is visible, considering its own flags and every ancestor.
@@ -64,7 +70,7 @@ pub fn is_visible(doc: &Document, id: NodeId) -> bool {
 }
 
 /// Block-level elements that introduce text boundaries.
-fn is_block(name: &str) -> bool {
+pub(crate) fn is_block(name: &str) -> bool {
     matches!(
         name,
         "p" | "div"
@@ -123,6 +129,21 @@ pub fn visible_text_of(doc: &Document, root: NodeId) -> String {
 /// is identical to `ScriptHistogram::of(&text)` but costs no re-scan of the
 /// built string — this is the hot path of the paper's 50%-native-content
 /// website-selection rule at crawl scale.
+///
+/// When the caller holds raw HTML rather than a parsed [`Document`], the
+/// streaming equivalent [`crate::stream::stream_visible_text_histogram`]
+/// produces the same pair without materialising a DOM at all.
+///
+/// ```
+/// use langcrux_html::{parse, visible_text_histogram};
+/// use langcrux_lang::script::{Script, ScriptHistogram};
+///
+/// let doc = parse("<body><p>নমস্কার</p><script>skip()</script><p>ok</p></body>");
+/// let (text, hist) = visible_text_histogram(&doc);
+/// assert_eq!(text, "নমস্কার\nok");
+/// assert_eq!(hist, ScriptHistogram::of(&text));
+/// assert!(hist.count(Script::Bengali) > hist.count(Script::Latin));
+/// ```
 pub fn visible_text_histogram(doc: &Document) -> (String, ScriptHistogram) {
     visible_text_histogram_of(doc, NodeId::ROOT)
 }
@@ -136,7 +157,7 @@ pub fn visible_text_histogram_of(doc: &Document, root: NodeId) -> (String, Scrip
 
 /// Observer of every character emitted into the normalised text. The unit
 /// impl lets `visible_text` monomorphise to a tally-free walk.
-trait CharTally {
+pub(crate) trait CharTally {
     fn push(&mut self, c: char);
 }
 
@@ -152,19 +173,21 @@ impl CharTally for ScriptHistogram {
     }
 }
 
-/// Streaming whitespace normaliser: the DOM walk feeds text runs and block
+/// Streaming whitespace normaliser: the DOM walk — and the tokenizer-fed
+/// streaming walk in [`crate::stream`] — feed text runs and block
 /// boundaries directly into it, so the visible text (and, when requested,
 /// its script histogram) is produced in one pass with no intermediate
-/// buffer.
-struct Normaliser<T> {
-    out: String,
-    tally: T,
+/// buffer. Both extraction paths share this one struct, which is what
+/// makes their outputs byte-identical by construction.
+pub(crate) struct Normaliser<T> {
+    pub(crate) out: String,
+    pub(crate) tally: T,
     pending_newline: bool,
     pending_space: bool,
 }
 
 impl<T: CharTally> Normaliser<T> {
-    fn new(tally: T) -> Self {
+    pub(crate) fn new(tally: T) -> Self {
         Normaliser {
             out: String::new(),
             tally,
@@ -179,11 +202,11 @@ impl<T: CharTally> Normaliser<T> {
         self.tally.push(c);
     }
 
-    fn block_boundary(&mut self) {
+    pub(crate) fn block_boundary(&mut self) {
         self.pending_newline = true;
     }
 
-    fn push_text(&mut self, text: &str) {
+    pub(crate) fn push_text(&mut self, text: &str) {
         for c in text.chars() {
             // Historical sentinel: a literal U+0001 in input text acted as
             // a block boundary before the walk was fused; preserved so

@@ -6,9 +6,14 @@
 //!    (plant→recover round trip).
 //! 3. Entity encode/decode round-trips arbitrary strings.
 //! 4. Visible text of built pages never contains markup characters.
+//! 5. The streaming tokenize→extract path is byte- and
+//!    histogram-identical to parse-then-walk on arbitrary markup.
 
 use langcrux_html::entities::{decode, escape_attr, escape_text};
-use langcrux_html::{parse, serialize, visible_text, visible_text_histogram, HtmlBuilder};
+use langcrux_html::{
+    parse, serialize, stream_visible_text_histogram, visible_text, visible_text_histogram,
+    HtmlBuilder,
+};
 use langcrux_lang::script::ScriptHistogram;
 use proptest::prelude::*;
 
@@ -116,5 +121,48 @@ proptest! {
         let (text, hist) = visible_text_histogram(&doc);
         prop_assert_eq!(&text, &visible_text(&doc));
         prop_assert_eq!(hist, ScriptHistogram::of(&text));
+    }
+
+    #[test]
+    fn streaming_extract_matches_dom_on_arbitrary_markup(
+        input in "(<[a-z]{1,6}( (hidden|style=\"display:none\"|[a-z]{1,4}=\"[a-z0-9 ]{0,8}\"))?/?>|</[a-z]{1,6}>|&[a-z#0-9]{0,6};?|[a-z\\u{995}\\u{E01}\\u{4E2D} ]{0,12}){0,24}",
+    ) {
+        // The streaming path must be byte- and histogram-identical to the
+        // DOM path on malformed markup, hiding attributes, self-closing
+        // tags, and stray/partial entities.
+        let (dom_text, dom_hist) = visible_text_histogram(&parse(&input));
+        let (stream_text, stream_hist) = stream_visible_text_histogram(&input);
+        prop_assert_eq!(stream_text, dom_text);
+        prop_assert_eq!(stream_hist, dom_hist);
+    }
+
+    #[test]
+    fn streaming_extract_matches_dom_on_structured_pages(
+        texts in prop::collection::vec("[a-zA-Z0-9 \\u{995}\\u{E01}\\u{623}\\u{430}\\u{4E2D}]{0,30}", 1..6),
+        hidden in prop::collection::vec("[a-z\\u{995} ]{0,16}", 0..3),
+        title in "[a-z\\u{E01} ]{0,16}",
+    ) {
+        // Same invariant on well-formed built pages with head metadata,
+        // raw-text elements, and hidden subtrees.
+        let mut b = HtmlBuilder::document();
+        b.open("html", &[]).open("head", &[]);
+        b.leaf("title", &[], &title);
+        b.close(); // head
+        b.open("body", &[]);
+        for (i, t) in texts.iter().enumerate() {
+            if i % 2 == 0 {
+                b.leaf("p", &[], t);
+            } else {
+                b.leaf("span", &[], t);
+            }
+        }
+        for h in &hidden {
+            b.leaf("div", &[("hidden", None)], h);
+        }
+        let html = b.finish();
+        let (dom_text, dom_hist) = visible_text_histogram(&parse(&html));
+        let (stream_text, stream_hist) = stream_visible_text_histogram(&html);
+        prop_assert_eq!(stream_text, dom_text);
+        prop_assert_eq!(stream_hist, dom_hist);
     }
 }

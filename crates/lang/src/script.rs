@@ -297,8 +297,8 @@ const ASCII_TABLE: [Script; 128] = {
 /// [`Script::Common`]; characters inside a tabulated block return that
 /// block's script; everything else returns [`Script::Unknown`]. The lookup
 /// is fully table-driven: a 128-entry direct table for ASCII, then one
-/// binary search over [`LOOKUP_RANGES`] — no per-call chains of range
-/// comparisons.
+/// binary search over the merged `LOOKUP_RANGES` table — no per-call
+/// chains of range comparisons.
 ///
 /// ```
 /// use langcrux_lang::script::{script_of, Script};

@@ -33,6 +33,21 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Murmur3's 64-bit finalizer (fmix64): two xor-shift/multiply rounds that
+/// give full avalanche — every input bit flips every output bit with
+/// probability ≈ 1/2. FNV-1a alone is a fine identity hash but a poor
+/// *distribution* hash for one-or-two-byte inputs (the last multiply
+/// under-mixes the high bits), and shard selection reduces the hash
+/// modulo a small count, so it needs the avalanche.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
 /// Cache key: content hash plus original length (the length guard turns a
 /// 64-bit-collision stale answer into a 64-bit-collision *on equal-length
 /// bodies*, which is as close to content addressing as a fixed-width key
@@ -112,10 +127,11 @@ impl ShardedCache {
 
     /// Which shard a key lands on. FNV-1a's final multiply leaves the
     /// high word under-mixed for short inputs (measured: 3 of 8 shards
-    /// absorb everything on `page-N` keys), so the halves are XOR-folded
+    /// absorbed everything on `page-N` keys under the earlier XOR-fold of
+    /// the halves), so the hash goes through a full 64-bit finalizer
     /// before reduction.
     pub fn shard_of(&self, key: CacheKey) -> usize {
-        ((key.hash ^ (key.hash >> 32)) as usize) % self.shards.len()
+        (mix64(key.hash) as usize) % self.shards.len()
     }
 
     /// Look up a key, bumping its recency on hit.
@@ -314,6 +330,32 @@ mod tests {
         for (i, len) in lens.iter().enumerate() {
             assert!(*len > 0, "shard {i} empty: {lens:?}");
             assert!(*len < 128, "shard {i} overloaded: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn short_keys_stripe_across_shards() {
+        // The under-mixed-high-bits failure mode: one- and two-byte
+        // bodies. With the fmix64 finalizer every shard must take a fair
+        // share; without it a handful of shards absorb everything.
+        let cache = ShardedCache::new(8, 64);
+        let mut inserted = 0;
+        for a in b'a'..=b'z' {
+            cache.insert(CacheKey::of(&[a]), val("x"));
+            inserted += 1;
+            for b in b'0'..=b'9' {
+                cache.insert(CacheKey::of(&[a, b]), val("y"));
+                inserted += 1;
+            }
+        }
+        let lens = cache.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), inserted);
+        let expected = inserted / 8;
+        for (i, len) in lens.iter().enumerate() {
+            assert!(
+                *len >= expected / 2 && *len <= expected * 2,
+                "shard {i} holds {len} of {inserted} (expected ≈{expected}): {lens:?}"
+            );
         }
     }
 

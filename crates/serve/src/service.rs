@@ -1,8 +1,9 @@
 //! The audit service: raw HTML in, deterministic JSON report out.
 //!
 //! One [`AuditService`] call runs the same fused engine the offline
-//! pipeline uses — a single parse, the fused visible-text + script
-//! histogram DOM walk, `audit::rules` page scoring, Kizuki's
+//! pipeline uses — the streaming tokenize→extract pass (visible text +
+//! script histogram straight from tokenizer events, no DOM
+//! materialisation), `audit::rules` page scoring, Kizuki's
 //! language-aware rescoring via the carried histogram
 //! (`detect_with_histogram`), and the screen-reader speak-order pass.
 //! The serialized bytes are byte-identical to serializing the same
@@ -12,8 +13,7 @@
 
 use crate::cache::CacheKey;
 use langcrux_audit::{audit_page, AuditReport};
-use langcrux_crawl::extract;
-use langcrux_html::parse;
+use langcrux_crawl::extract_streaming;
 use langcrux_kizuki::{page_language, Kizuki, KizukiReport, ScreenReader, Utterance};
 use langcrux_lang::script::Script;
 use langcrux_lang::Language;
@@ -53,6 +53,18 @@ pub struct AuditResponse {
 
 /// The shared audit engine: Kizuki checks and the screen-reader profile
 /// are built once and reused by every connection thread.
+///
+/// ```
+/// use langcrux_serve::AuditService;
+///
+/// let service = AuditService::new();
+/// let report = service.audit(r#"<html lang="th"><body><p>สวัสดี</p></body></html>"#);
+/// assert_eq!(report.declared_lang.as_deref(), Some("th"));
+/// assert_eq!(report.page_language.as_deref(), Some("th"));
+/// // The serialized bytes are what POST /v1/audit answers with (and what
+/// // the response cache stores).
+/// assert!(!service.audit_json("<p>x</p>").is_empty());
+/// ```
 pub struct AuditService {
     kizuki: Kizuki,
     reader: ScreenReader,
@@ -75,8 +87,13 @@ impl AuditService {
 
     /// Audit one page. Pure and deterministic in `html`.
     pub fn audit(&self, html: &str) -> AuditResponse {
-        let doc = parse(html);
-        let page = extract(&doc);
+        self.audit_extract(extract_streaming(html), html)
+    }
+
+    /// Audit an already-extracted page (the extraction path is the only
+    /// thing [`audit`](Self::audit) adds — tests use this to pin the
+    /// streaming path byte-identical to the DOM oracle).
+    fn audit_extract(&self, page: langcrux_crawl::PageExtract, html: &str) -> AuditResponse {
         let base = audit_page(&page);
         let kizuki = self.kizuki.evaluate(&page, &base);
         let language = page_language(&page);
@@ -157,6 +174,24 @@ mod tests {
         // A fresh service (fresh Kizuki/reader) produces the same bytes.
         let c = AuditService::new().audit_json(PAGE);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn streaming_audit_bytes_match_dom_oracle() {
+        // The switch to extract_streaming must not change a single cached
+        // or served byte: run the same engine over the DOM-extracted page
+        // and compare full serialized responses.
+        let service = AuditService::new();
+        for html in [
+            PAGE,
+            "",
+            "<button>অনুসন্ধান</button><img src=x>",
+            "<ul><li>ข่าววันนี้<li>อ่านต่อ</ul><script>skip()</script>",
+        ] {
+            let dom_page = langcrux_crawl::extract(&langcrux_html::parse(html));
+            let dom_bytes = serde_json::to_string(&service.audit_extract(dom_page, html)).unwrap();
+            assert_eq!(dom_bytes.into_bytes(), service.audit_json(html), "{html:?}");
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //!
 //! * [`lang`] — scripts, languages, countries, Unicode tables, UI dictionaries.
 //! * [`textgen`] — deterministic synthetic multilingual text generation.
-//! * [`html`] — HTML tokenizer, DOM, parser, visible-text extraction.
+//! * [`html`] — HTML tokenizer, DOM, parser, visible-text extraction, and
+//!   the streaming tokenize→extract walk (no DOM on the hot path).
 //! * [`langid`] — script/language identification and label classification.
 //! * [`net`] — simulated geo-localized internet with VPN vantage points.
 //! * [`webgen`] — calibrated synthetic website generator + CrUX-style ranking.
@@ -20,7 +21,13 @@
 //! * [`serve`] — audit-as-a-service HTTP subsystem with a sharded
 //!   response cache and loopback load generator.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+//! `ARCHITECTURE.md` at the repository root maps the crate graph, the
+//! fused single-pass data flow (tokenizer → streaming extract → carried
+//! histogram → selection/Kizuki/audit), the work-stealing pool's
+//! determinism contract, and the serve cache design; `docs/benchmarks.md`
+//! documents every `BENCH_*.json` field and how the CI gates relate to
+//! the committed reference numbers. See `README.md` for a quickstart and
+//! `DESIGN.md` for the system inventory.
 
 pub use langcrux_audit as audit;
 pub use langcrux_core as core;
