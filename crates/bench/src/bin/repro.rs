@@ -3,6 +3,7 @@
 //! ```text
 //! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
 //!       [--bench-json [PATH]] [--serve-bench [PATH]]
+//!       [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]
 //!
 //! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
@@ -21,8 +22,19 @@
 //!
 //! `--serve-bench` spawns the `langcrux-serve` audit server on an
 //! ephemeral loopback port, drives it with the load generator (cold =
-//! all cache misses, hot = all cache hits), and writes `BENCH_serve.json`
+//! all cache misses, hot = all cache hits, bounded = hot with the
+//! connection governor at its tightest), and writes `BENCH_serve.json`
 //! (or PATH). `--quick` shrinks the workload to CI-smoke size.
+//!
+//! `--serve-daemon` runs the audit server as a long-lived foreground
+//! process: it binds `127.0.0.1:<--port>` (default ephemeral), writes a
+//! `{"pid":…,"port":…,"addr":…}` JSON file at PATH (default
+//! `serve-daemon.json`), and serves until SIGTERM/SIGINT, then drains
+//! gracefully — in-flight requests complete, the accept loop stops, all
+//! connection threads join — removes the file, and exits 0. Load tests
+//! point at it with `--loadgen ADDR`, which drives a quick load-gen run
+//! against an *external* server and exits non-zero on any failed
+//! request.
 //!
 //! The harness builds the synthetic corpus, runs the full LangCrUX
 //! pipeline, and prints the paper-format rows/series. Absolute values are
@@ -48,6 +60,12 @@ struct Args {
     bench_json: Option<String>,
     /// `Some(path)` when `--serve-bench` was requested.
     serve_bench: Option<String>,
+    /// `Some(pid/port-file path)` when `--serve-daemon` was requested.
+    serve_daemon: Option<String>,
+    /// Port for the daemon listener (0 = ephemeral).
+    port: u16,
+    /// `Some(host:port)` when `--loadgen` was requested.
+    loadgen: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +75,9 @@ fn parse_args() -> Args {
     let mut seed = DEFAULT_SEED;
     let mut bench_json = None;
     let mut serve_bench = None;
+    let mut serve_daemon = None;
+    let mut port = 0u16;
+    let mut loadgen = None;
     let mut iter = std::env::args().skip(1).peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -99,10 +120,27 @@ fn parse_args() -> Args {
                 };
                 serve_bench = Some(path);
             }
+            "--serve-daemon" => {
+                let path = match iter.peek() {
+                    Some(next) if next.ends_with(".json") => iter.next().unwrap(),
+                    _ => "serve-daemon.json".to_string(),
+                };
+                serve_daemon = Some(path);
+            }
+            "--port" => {
+                port = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--port requires a u16");
+            }
+            "--loadgen" => {
+                loadgen = Some(iter.next().expect("--loadgen requires host:port"));
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S] \
-                     [--bench-json [PATH]] [--serve-bench [PATH]]\n\
+                     [--bench-json [PATH]] [--serve-bench [PATH]] \
+                     [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
                      fig5 fig6 fig7 fig8 fig9 headlines langmeta speech report selection crawl \
                      ablation-vpn ablation-langid ablation-crawl"
@@ -124,7 +162,99 @@ fn parse_args() -> Args {
         seed,
         bench_json,
         serve_bench,
+        serve_daemon,
+        port,
+        loadgen,
     }
+}
+
+/// SIGTERM/SIGINT latch for the daemon, via the C runtime's `signal`
+/// (the container has no `libc` crate; the two symbols declared here are
+/// all the daemon needs).
+#[cfg(unix)]
+mod daemon_signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+/// `--serve-daemon`: run the audit server until SIGTERM, then drain.
+fn run_serve_daemon(file_path: &str, port: u16) -> ! {
+    #[cfg(not(unix))]
+    {
+        let _ = (file_path, port);
+        eprintln!("--serve-daemon needs unix signal handling");
+        std::process::exit(2);
+    }
+    #[cfg(unix)]
+    {
+        use langcrux_serve::ServeConfig;
+        daemon_signals::install();
+        let config = ServeConfig {
+            addr: format!("127.0.0.1:{port}").parse().expect("loopback addr"),
+            ..ServeConfig::default()
+        };
+        let server = langcrux_serve::spawn(config).expect("bind daemon listener");
+        let addr = server.addr();
+        let doc = format!(
+            "{{\"pid\":{},\"port\":{},\"addr\":\"{addr}\"}}\n",
+            std::process::id(),
+            addr.port(),
+        );
+        std::fs::write(file_path, doc).expect("write pid/port file");
+        eprintln!(
+            "serve daemon: http://{addr} (pid {}, pid/port file {file_path}); SIGTERM drains",
+            std::process::id()
+        );
+        while !daemon_signals::stopped() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        eprintln!("serve daemon: signal received, draining …");
+        let stats = server.shutdown();
+        let _ = std::fs::remove_file(file_path);
+        eprintln!(
+            "serve daemon: drained cleanly — {} requests served ({} audit, {} batch, {} shed, {} errors)",
+            stats.requests.total(),
+            stats.requests.audit,
+            stats.requests.batch,
+            stats.requests.shed,
+            stats.requests.errors,
+        );
+        std::process::exit(0);
+    }
+}
+
+/// `--loadgen ADDR`: quick load-gen against an external (daemon) server.
+fn run_external_loadgen(addr: &str, seed: u64) -> ! {
+    let addr: std::net::SocketAddr = addr.parse().expect("--loadgen needs host:port");
+    let pages = langcrux_bench::serve_bench::bench_pages(seed, 24);
+    let run = langcrux_serve::run_load(addr, &pages, 4, 96).expect("load run against daemon");
+    eprintln!(
+        "loadgen vs {addr}: {} requests, {} errors, {:.1} req/s (p50 {:.2} ms, p99 {:.2} ms)",
+        run.requests, run.errors, run.req_per_sec, run.p50_ms, run.p99_ms
+    );
+    std::process::exit(if run.errors == 0 { 0 } else { 1 });
 }
 
 fn needs_dataset(artifacts: &[String]) -> bool {
@@ -147,6 +277,12 @@ fn section(title: &str) {
 
 fn main() {
     let args = parse_args();
+    if let Some(addr) = &args.loadgen {
+        run_external_loadgen(addr, args.seed);
+    }
+    if let Some(path) = &args.serve_daemon {
+        run_serve_daemon(path, args.port);
+    }
     if let Some(path) = &args.serve_bench {
         let config = langcrux_bench::serve_bench::ServeBenchConfig::for_scale(args.scale);
         eprintln!(
@@ -161,6 +297,10 @@ fn main() {
         eprintln!(
             "  hot  {:>8.1} req/s (p50 {:.2} ms, p99 {:.2} ms) — {:.1}× cold",
             report.hot.req_per_sec, report.hot.p50_ms, report.hot.p99_ms, report.hot_vs_cold
+        );
+        eprintln!(
+            "  bounded {:>5.1} req/s with the governor at cap == connections — {:.2}× hot",
+            report.bounded.req_per_sec, report.bounded_vs_hot
         );
         langcrux_bench::serve_bench::write_serve_json(path, &report).expect("write serve json");
         eprintln!("wrote {path}");

@@ -2,14 +2,20 @@
 //! server on an ephemeral loopback port, drive it with the load
 //! generator, and emit the machine-readable record `BENCH_serve.json`.
 //!
-//! Two runs over the same corpus pages quantify what the sharded
-//! response cache buys:
+//! Three runs over the same corpus pages quantify what the sharded
+//! response cache buys and what the connection governor costs:
 //!
 //! * **cold** — one request per distinct page: every request misses the
 //!   cache and pays the full parse → extract → audit → Kizuki → speak
 //!   pipeline.
 //! * **hot** — `rounds` further passes over the same pages: every
 //!   request answers byte-identical JSON straight from the cache.
+//! * **bounded** — the hot workload against a second server whose
+//!   governor is at its tightest useful setting (connection cap ==
+//!   loadgen connections, accept queue == cap, deadlines armed). The
+//!   governor's bookkeeping sits on every request; this run proves the
+//!   hot path keeps ≥ 90 % of its throughput with the front door
+//!   bounded (`bounded_vs_hot`).
 //!
 //! The headline number is `hot_vs_cold` (cache-hot req/s over cold
 //! req/s); the acceptance bar for the serve subsystem is ≥ 5×.
@@ -71,7 +77,14 @@ pub struct ServeBenchReport {
     pub hot: LoadGenRun,
     /// Cache-hot req/s over cold req/s (acceptance bar: ≥ 5).
     pub hot_vs_cold: f64,
-    /// Server-side view after the run (cache + latency histogram).
+    /// The hot workload with the connection governor at its tightest
+    /// (cap == connections, accept queue == cap, deadlines armed).
+    pub bounded: LoadGenRun,
+    /// Bounded req/s over hot req/s (acceptance bar: ≥ 0.9 — the
+    /// governor must not cost the hot path more than 10 %).
+    pub bounded_vs_hot: f64,
+    /// Server-side view after the cold+hot run (cache + latency
+    /// histogram); the bounded run uses its own server.
     pub server: StatsSnapshot,
     pub notes: String,
 }
@@ -112,7 +125,39 @@ pub fn serve_bench_report(seed: u64, config: ServeBenchConfig) -> ServeBenchRepo
     .expect("hot run");
     let stats = server.shutdown();
 
+    // The bounded pass: a fresh server with the governor at its tightest
+    // useful setting. One uncounted warm-up pass fills the cache so the
+    // measured pass is the hot workload again, now with cap bookkeeping
+    // and deadlines on every request. The accept queue equals the
+    // connection count so the measured connections park (bounded
+    // backpressure) rather than shed while the warm-up connections'
+    // slots are still being released.
+    let bounded_server = langcrux_serve::spawn(ServeConfig {
+        cache_shards: 8,
+        cache_capacity_per_shard: config.pages.div_ceil(8).max(64),
+        max_connections: config.connections,
+        accept_queue: config.connections,
+        ..ServeConfig::default()
+    })
+    .expect("spawn bounded audit server on loopback");
+    run_load(
+        bounded_server.addr(),
+        &pages,
+        config.connections,
+        pages.len(),
+    )
+    .expect("bounded warm-up");
+    let bounded = run_load(
+        bounded_server.addr(),
+        &pages,
+        config.connections,
+        pages.len() * config.rounds.max(1),
+    )
+    .expect("bounded run");
+    bounded_server.shutdown();
+
     let hot_vs_cold = hot.req_per_sec / cold.req_per_sec.max(1e-9);
+    let bounded_vs_hot = bounded.req_per_sec / hot.req_per_sec.max(1e-9);
     ServeBenchReport {
         bench: "serve/audit_loopback".to_string(),
         seed,
@@ -122,14 +167,19 @@ pub fn serve_bench_report(seed: u64, config: ServeBenchConfig) -> ServeBenchRepo
         cold,
         hot,
         hot_vs_cold,
+        bounded,
+        bounded_vs_hot,
         server: stats,
         notes: format!(
             "cold = one POST /v1/audit per distinct corpus page (every request is a cache \
              miss and runs the full parse+extract+audit+Kizuki+speak pipeline); hot = {} \
              further passes over the same pages answered from the sharded LRU response \
-             cache. Loopback HTTP/1.1 keep-alive, {} concurrent connections; latencies \
-             are client-side.",
+             cache; bounded = the hot workload against a server with the connection \
+             governor at connection cap == {} (loadgen connection count), accept queue == \
+             cap, and request/write deadlines armed. Loopback HTTP/1.1 keep-alive, {} \
+             concurrent connections; latencies are client-side.",
             config.rounds.max(1),
+            config.connections,
             config.connections,
         ),
     }
@@ -177,7 +227,13 @@ mod tests {
             report.hot.req_per_sec,
             report.cold.req_per_sec
         );
+        // The bounded pass ran the same hot workload under the governor
+        // with zero shed capacity — every request must still succeed.
+        assert_eq!(report.bounded.requests, 30);
+        assert_eq!(report.bounded.errors, 0);
+        assert!(report.bounded_vs_hot > 0.0);
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"hot_vs_cold\""));
+        assert!(json.contains("\"bounded_vs_hot\""));
     }
 }

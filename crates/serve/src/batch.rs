@@ -1,0 +1,300 @@
+//! Bounded reorder machinery for the streaming `/v1/batch` path.
+//!
+//! The batch endpoint fans pages out over the work-stealing pool and
+//! writes each element's JSON as soon as it (and everything before it)
+//! is done — element order preserved, no full-array buffering. Two
+//! mechanisms keep memory at O(window × element) instead of O(batch):
+//!
+//! * **Lookahead window** — a worker must [`StreamFanout::admit`] unit
+//!   `i` before computing it, which blocks while `i ≥ next + window`.
+//!   Completed-but-unwritten results therefore always live in
+//!   `[next, next + window)`.
+//! * **Non-blocking completion** — [`StreamFanout::complete`] never
+//!   waits, which is what makes the window admission deadlock-free: the
+//!   head unit `next` is always admissible (`next < next + window`), the
+//!   worker holding it is never parked, and every park is released when
+//!   the writer advances `next`.
+//!
+//! Why no worker can starve the head: deques hold ascending contiguous
+//! index blocks and steals take from the back, so if unit `next` is
+//! still queued it is at the *front* of its owner's deque — the owner
+//! picks it up next, and the owner itself cannot be parked on a
+//! farther-ahead unit (it would have had to pop `next` first).
+//!
+//! The peak of buffered bytes is tracked and surfaced as the
+//! `peak_batch_buffer` gauge on `GET /v1/stats`, which is what the
+//! large-batch memory test asserts against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct FanState {
+    /// Completed, not-yet-written elements, indexed absolutely.
+    slots: Vec<Option<std::sync::Arc<Vec<u8>>>>,
+    /// Next element the writer will emit.
+    next: usize,
+    /// Bytes currently parked in `slots`.
+    buffered_bytes: usize,
+    peak_bytes: usize,
+    /// Writer gave up (client went away): stop parking workers and drop
+    /// completions on the floor.
+    abandoned: bool,
+    /// A worker died without completing its unit: the writer must stop
+    /// waiting for elements that will never arrive.
+    poisoned: bool,
+}
+
+/// Reorder buffer between pool workers and the response writer.
+pub struct StreamFanout {
+    total: usize,
+    window: usize,
+    state: Mutex<FanState>,
+    /// Notified on every `next` advance, completion, and abandon.
+    changed: Condvar,
+}
+
+impl StreamFanout {
+    /// `total` units, at most `window` (clamped to ≥ 1) in flight beyond
+    /// the writer's cursor.
+    pub fn new(total: usize, window: usize) -> Self {
+        StreamFanout {
+            total,
+            window: window.max(1),
+            state: Mutex::new(FanState {
+                slots: (0..total).map(|_| None).collect(),
+                next: 0,
+                buffered_bytes: 0,
+                peak_bytes: 0,
+                abandoned: false,
+                poisoned: false,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Block until unit `idx` is inside the lookahead window (or the
+    /// stream failed — writer abandoned it or a worker died). Call
+    /// before computing the unit.
+    pub fn admit(&self, idx: usize) {
+        let mut state = self.state.lock().expect("fanout lock");
+        while idx >= state.next + self.window && !state.abandoned && !state.poisoned {
+            state = self.changed.wait(state).expect("fanout wait");
+        }
+    }
+
+    /// Deliver unit `idx`'s bytes. Never blocks.
+    pub fn complete(&self, idx: usize, bytes: std::sync::Arc<Vec<u8>>) {
+        let mut state = self.state.lock().expect("fanout lock");
+        if state.abandoned || state.poisoned {
+            return;
+        }
+        state.buffered_bytes += bytes.len();
+        state.peak_bytes = state.peak_bytes.max(state.buffered_bytes);
+        state.slots[idx] = Some(bytes);
+        self.changed.notify_all();
+    }
+
+    /// Writer side: wait for and take the next in-order element. `None`
+    /// once all `total` elements have been taken — or, on a poisoned
+    /// fan-out, as soon as the next element can never arrive (the
+    /// caller must treat an early `None` as a failed stream).
+    pub fn next(&self) -> Option<std::sync::Arc<Vec<u8>>> {
+        let mut state = self.state.lock().expect("fanout lock");
+        if state.next >= self.total {
+            return None;
+        }
+        while state.slots[state.next].is_none() {
+            if state.poisoned {
+                return None;
+            }
+            state = self.changed.wait(state).expect("fanout wait");
+        }
+        let idx = state.next;
+        let bytes = state.slots[idx].take().expect("checked above");
+        state.buffered_bytes -= bytes.len();
+        state.next += 1;
+        self.changed.notify_all();
+        Some(bytes)
+    }
+
+    /// A worker is dying without completing its unit (panic unwinding):
+    /// wake the writer so it fails the stream instead of waiting forever
+    /// for an element that will never arrive, and release every parked
+    /// worker.
+    pub fn poison(&self) {
+        let mut state = self.state.lock().expect("fanout lock");
+        state.poisoned = true;
+        self.changed.notify_all();
+    }
+
+    /// Writer bails (client closed mid-stream): release every parked
+    /// worker permanently and discard any further completions so the
+    /// pool can drain without the writer consuming.
+    pub fn abandon(&self) {
+        let mut state = self.state.lock().expect("fanout lock");
+        state.abandoned = true;
+        state.buffered_bytes = 0;
+        for slot in &mut state.slots {
+            *slot = None;
+        }
+        self.changed.notify_all();
+    }
+
+    /// High-water mark of bytes parked in the reorder buffer.
+    pub fn peak_bytes(&self) -> usize {
+        self.state.lock().expect("fanout lock").peak_bytes
+    }
+}
+
+/// Monotonic high-water gauge for `peak_batch_buffer` (bytes). Lives on
+/// the server state; every finished batch folds its fan-out peak in.
+#[derive(Default)]
+pub struct PeakGauge {
+    peak: AtomicUsize,
+}
+
+impl PeakGauge {
+    /// Raise the gauge to at least `value`.
+    pub fn observe(&self, value: usize) {
+        self.peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn bytes(len: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![b'x'; len])
+    }
+
+    #[test]
+    fn in_order_single_threaded_round_trip() {
+        let fan = StreamFanout::new(3, 2);
+        fan.admit(0);
+        fan.complete(0, bytes(5));
+        assert_eq!(fan.next().unwrap().len(), 5);
+        fan.admit(1);
+        fan.complete(1, bytes(7));
+        fan.admit(2);
+        fan.complete(2, bytes(9));
+        assert_eq!(fan.next().unwrap().len(), 7);
+        assert_eq!(fan.next().unwrap().len(), 9);
+        assert!(fan.next().is_none());
+        assert!(fan.next().is_none(), "exhausted fanout stays exhausted");
+    }
+
+    #[test]
+    fn empty_batch_yields_nothing() {
+        let fan = StreamFanout::new(0, 4);
+        assert!(fan.next().is_none());
+    }
+
+    #[test]
+    fn window_bounds_buffered_bytes() {
+        // Workers race ahead; the writer drains slowly. Peak buffered
+        // bytes must stay within window × element size.
+        let total = 64;
+        let window = 4;
+        let element = 1000;
+        let fan = StreamFanout::new(total, window);
+        std::thread::scope(|scope| {
+            for worker in 0..4usize {
+                let fan = &fan;
+                scope.spawn(move || {
+                    let mut idx = worker;
+                    while idx < total {
+                        fan.admit(idx);
+                        fan.complete(idx, bytes(element));
+                        idx += 4;
+                    }
+                });
+            }
+            for _ in 0..total {
+                let taken = fan.next().expect("element");
+                assert_eq!(taken.len(), element);
+            }
+        });
+        assert!(fan.next().is_none());
+        let peak = fan.peak_bytes();
+        assert!(peak > 0);
+        assert!(
+            peak <= window * element,
+            "peak {peak} exceeds window bound {}",
+            window * element
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_reorders() {
+        let fan = StreamFanout::new(3, 3);
+        fan.admit(2);
+        fan.complete(2, bytes(3));
+        fan.admit(1);
+        fan.complete(1, bytes(2));
+        fan.admit(0);
+        fan.complete(0, bytes(1));
+        assert_eq!(fan.next().unwrap().len(), 1);
+        assert_eq!(fan.next().unwrap().len(), 2);
+        assert_eq!(fan.next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn abandon_releases_parked_workers() {
+        let fan = StreamFanout::new(8, 1);
+        std::thread::scope(|scope| {
+            let parked = scope.spawn(|| {
+                // Unit 5 is far beyond the window with next == 0: parks
+                // until abandon.
+                fan.admit(5);
+                fan.complete(5, bytes(10));
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            fan.abandon();
+            parked.join().expect("parked worker released");
+        });
+        assert_eq!(fan.peak_bytes(), 0, "post-abandon completion discarded");
+    }
+
+    #[test]
+    fn poison_wakes_a_blocked_writer_and_parked_workers() {
+        let fan = StreamFanout::new(4, 1);
+        fan.admit(0);
+        fan.complete(0, bytes(5));
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                // Element 0 streams; element 1 never arrives — the
+                // writer must get an early None, not hang.
+                let first = fan.next();
+                let second = fan.next();
+                (first, second)
+            });
+            let parked = scope.spawn(|| {
+                // Far beyond the window: parked until the poison.
+                fan.admit(3);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            fan.poison();
+            let (first, second) = writer.join().expect("writer released");
+            assert_eq!(first.map(|b| b.len()), Some(5));
+            assert!(second.is_none(), "poisoned gap must yield None");
+            parked.join().expect("parked worker released");
+        });
+    }
+
+    #[test]
+    fn peak_gauge_is_monotonic() {
+        let gauge = PeakGauge::default();
+        assert_eq!(gauge.get(), 0);
+        gauge.observe(100);
+        gauge.observe(40);
+        assert_eq!(gauge.get(), 100);
+        gauge.observe(250);
+        assert_eq!(gauge.get(), 250);
+    }
+}

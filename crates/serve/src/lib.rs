@@ -10,19 +10,28 @@
 //! has no crates.io access, so no hyper/tokio):
 //!
 //! * [`http`] — incremental HTTP/1.1 request parser (chunking-agnostic,
-//!   typed protocol errors → 400/413/431/501) and response writer.
+//!   `Content-Length` *and* `Transfer-Encoding: chunked` request bodies,
+//!   typed protocol errors → 400/413/431/501) and response writer,
+//!   including chunked-response helpers for streaming bodies.
+//! * [`governor`] — bounded admission: hard connection cap, bounded
+//!   pending queue, `503 + Retry-After` shedding beyond both.
 //! * [`cache`] — sharded, content-hash-keyed LRU response cache
 //!   (FNV-1a keys, per-shard `parking_lot` mutexes, exact-LRU eviction).
 //! * [`service`] — the audit engine façade: HTML in, deterministic
 //!   [`AuditResponse`] JSON out (fused extraction, `audit::rules`,
 //!   Kizuki rescoring via the carried histogram, speak-order pass).
-//! * [`server`] — accept loop, keep-alive connections, routing:
-//!   `POST /v1/audit`, `POST /v1/batch` (fanned out over the
-//!   work-stealing pool), `GET /v1/healthz`, `GET /v1/stats`.
-//! * [`stats`] — request counters and a lock-free latency histogram
-//!   (p50/p99) behind `GET /v1/stats`.
+//! * [`server`] — accept loop behind the governor, keep-alive
+//!   connections with slowloris deadlines, routing: `POST /v1/audit`,
+//!   `POST /v1/batch` (streamed as chunked encoding while the
+//!   work-stealing pool completes units), `GET /v1/healthz`,
+//!   `GET /v1/stats`.
+//! * [`batch`] — the bounded reorder window between pool workers and the
+//!   streaming batch writer (`peak_batch_buffer` gauge).
+//! * [`stats`] — request counters (incl. shed/timeout) and a lock-free
+//!   latency histogram (p50/p99) behind `GET /v1/stats`.
 //! * [`loadgen`] — loopback load generator used by `repro --serve-bench`
-//!   to produce `BENCH_serve.json` (cold vs cache-hot req/s).
+//!   to produce `BENCH_serve.json` (cold vs cache-hot vs governed
+//!   req/s); its response reader understands both framings.
 //!
 //! ## Quickstart
 //!
@@ -35,16 +44,22 @@
 //! server.shutdown();
 //! ```
 
+pub mod batch;
 pub mod cache;
+pub mod governor;
 pub mod http;
 pub mod loadgen;
 pub mod server;
 pub mod service;
 pub mod stats;
 
+pub use batch::{PeakGauge, StreamFanout};
 pub use cache::{CacheKey, CacheSnapshot, ShardedCache};
+pub use governor::{Admission, Governor};
 pub use http::{Limits, ParseError, Request, RequestParser, Response};
 pub use loadgen::{run_load, LoadGenRun};
-pub use server::{route, spawn, ServeConfig, ServeState, ServerHandle, StatsSnapshot};
+pub use server::{
+    batch_buffered, route, spawn, Routed, ServeConfig, ServeState, ServerHandle, StatsSnapshot,
+};
 pub use service::{AuditResponse, AuditService, ScriptSlice};
 pub use stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};

@@ -1,33 +1,48 @@
-//! The HTTP server: accept loop, keep-alive connection handling, routing.
+//! The HTTP server: governed accept loop, keep-alive connection handling
+//! with slowloris deadlines, routing, and the streaming batch writer.
 //!
-//! Architecture (std-only, one OS thread per connection):
+//! Architecture (std-only, one OS thread per admitted connection):
 //!
 //! ```text
-//! spawn() ──► accept thread ──► connection threads (keep-alive loop)
-//!                 │                   │  RequestParser::feed/poll
-//!                 │                   │  route() ──► AuditService
-//!                 │                   │          └─► ShardedCache
+//! spawn() ──► accept thread ──► Governor ──► connection threads
+//!                 │              │  cap → serve / queue / shed(503)     │
+//!                 │              └─ finished threads pop the queue      │
+//!                 │                   RequestParser::feed/poll          │
+//!                 │                   route() ──► AuditService          │
+//!                 │                      │    └─► ShardedCache          │
+//!                 │                      └─ BatchStream ─► StreamFanout │
+//!                 │                         (chunked response while the │
+//!                 │                          work-stealing pool runs)   │
 //!                 └─ ServerHandle::shutdown(): flag + self-connect to
-//!                    unblock accept, then join accept + connections.
+//!                    unblock accept, drop queued waiters, then join
+//!                    accept + connections (in-flight requests finish).
 //! ```
 //!
 //! Batch requests fan their pages out over the workspace's work-stealing
 //! pool (`crawl::pool::run_work_stealing`) so a many-page batch uses
 //! every core, exactly like the offline crawl pipeline. Each page inside
 //! a batch goes through the same content-hash cache as single audits, so
-//! mixed single/batch traffic shares one response cache.
+//! mixed single/batch traffic shares one response cache — and since the
+//! streaming rewrite, the response is written element by element as pool
+//! units complete, holding at most a bounded reorder window in memory
+//! instead of the whole spliced array.
 
+use crate::batch::{PeakGauge, StreamFanout};
 use crate::cache::{CacheSnapshot, ShardedCache};
-use crate::http::{Limits, Request, RequestParser, Response};
+use crate::governor::{Admission, Governor};
+use crate::http::{self, Limits, Request, RequestParser, Response};
 use crate::service::AuditService;
 use crate::stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};
 use langcrux_crawl::run_work_stealing;
 use serde::Serialize;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// `Retry-After` hint (seconds) on governor-shed 503 responses.
+const RETRY_AFTER_SECS: u32 = 1;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +56,22 @@ pub struct ServeConfig {
     pub limits: Limits,
     /// Keep-alive connections idle longer than this are closed.
     pub idle_timeout: Duration,
+    /// Hard cap on concurrently served connections (and therefore on
+    /// connection threads). Beyond it, arrivals queue then shed.
+    pub max_connections: usize,
+    /// Accepted connections parked while all slots are busy; beyond
+    /// this, arrivals are shed with `503 + Retry-After`.
+    pub accept_queue: usize,
+    /// A request whose bytes started arriving must parse completely
+    /// within this window, or the connection is answered `408` and
+    /// closed — the slowloris bound.
+    pub request_deadline: Duration,
+    /// OS-level write timeout: a client that stops reading its response
+    /// cannot pin a connection thread past this.
+    pub write_timeout: Duration,
+    /// Streaming-batch reorder window in elements (0 = auto: twice the
+    /// batch worker count). Bounds batch memory at O(window × element).
+    pub batch_window: usize,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +83,11 @@ impl Default for ServeConfig {
             cache_capacity_per_shard: 256,
             limits: Limits::default(),
             idle_timeout: Duration::from_secs(10),
+            max_connections: 256,
+            accept_queue: 64,
+            request_deadline: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            batch_window: 0,
         }
     }
 }
@@ -62,6 +98,10 @@ pub struct ServeState {
     pub cache: ShardedCache,
     pub counters: RequestCounters,
     pub latency: LatencyHistogram,
+    /// High-water mark of bytes parked in streaming-batch reorder
+    /// buffers — the observable proof that batches stream instead of
+    /// buffering the whole response array.
+    pub peak_batch_buffer: PeakGauge,
     batch_threads: usize,
     started: Instant,
 }
@@ -73,6 +113,8 @@ pub struct StatsSnapshot {
     pub requests: RequestSnapshot,
     pub cache: CacheSnapshot,
     pub latency: LatencySnapshot,
+    /// Peak bytes buffered by any streaming batch (reorder window).
+    pub peak_batch_buffer: u64,
 }
 
 impl ServeState {
@@ -82,6 +124,7 @@ impl ServeState {
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity_per_shard),
             counters: RequestCounters::default(),
             latency: LatencyHistogram::default(),
+            peak_batch_buffer: PeakGauge::default(),
             batch_threads: config.batch_threads,
             started: Instant::now(),
         }
@@ -93,20 +136,45 @@ impl ServeState {
             requests: self.counters.snapshot(),
             cache: self.cache.snapshot(),
             latency: self.latency.snapshot(),
+            peak_batch_buffer: self.peak_batch_buffer.get() as u64,
         }
     }
+
+    /// Effective batch fan-out worker count.
+    fn batch_threads(&self) -> usize {
+        if self.batch_threads == 0 {
+            langcrux_crawl::default_threads()
+        } else {
+            self.batch_threads
+        }
+        .max(1)
+    }
+}
+
+/// A routed request: either a complete response, or a batch whose
+/// response the connection loop streams as chunked encoding while the
+/// work-stealing pool completes elements.
+#[derive(Debug)]
+pub enum Routed {
+    Response(Response),
+    /// `POST /v1/batch` with a validated page list.
+    BatchStream {
+        pages: Vec<String>,
+        keep_alive: bool,
+    },
 }
 
 /// Route one parsed request. Pure in `(state, request)` modulo telemetry,
 /// which is what lets the router be unit-tested without sockets.
-pub fn route(state: &ServeState, request: &Request) -> Response {
+pub fn route(state: &ServeState, request: &Request) -> Routed {
     let keep = request.keep_alive();
     let relaxed = Ordering::Relaxed;
+    let full = Routed::Response;
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/audit") => {
             let Ok(html) = std::str::from_utf8(&request.body) else {
                 state.counters.errors.fetch_add(1, relaxed);
-                return Response::error(400, "body is not valid utf-8", keep);
+                return full(Response::error(400, "body is not valid utf-8", keep));
             };
             let (bytes, _hit) = state
                 .cache
@@ -114,72 +182,161 @@ pub fn route(state: &ServeState, request: &Request) -> Response {
             state.counters.audit.fetch_add(1, relaxed);
             // The Arc goes straight into the response body: a cache hit
             // never copies the cached JSON.
-            Response::json(200, bytes, keep)
+            full(Response::json(200, bytes, keep))
         }
         ("POST", "/v1/batch") => {
             let Ok(body) = std::str::from_utf8(&request.body) else {
                 state.counters.errors.fetch_add(1, relaxed);
-                return Response::error(400, "body is not valid utf-8", keep);
+                return full(Response::error(400, "body is not valid utf-8", keep));
             };
-            let pages: Vec<String> = match serde_json::from_str(body) {
-                Ok(pages) => pages,
+            match serde_json::from_str::<Vec<String>>(body) {
+                Ok(pages) => Routed::BatchStream {
+                    pages,
+                    keep_alive: keep,
+                },
                 Err(_) => {
                     state.counters.errors.fetch_add(1, relaxed);
-                    return Response::error(400, "body must be a JSON array of HTML strings", keep);
+                    full(Response::error(
+                        400,
+                        "body must be a JSON array of HTML strings",
+                        keep,
+                    ))
                 }
-            };
-            let threads = if state.batch_threads == 0 {
-                langcrux_crawl::default_threads()
-            } else {
-                state.batch_threads
-            };
-            // Fan the pages out over the work-stealing pool; every page
-            // answers through the shared content-hash cache.
-            let reports: Vec<Arc<Vec<u8>>> = run_work_stealing(threads, &pages, |_, page| {
-                let (bytes, _hit) = state
-                    .cache
-                    .get_or_compute(page.as_bytes(), || state.service.audit_json(page));
-                bytes
-            });
-            // Splice the per-page JSON documents into one array so each
-            // element is byte-identical to its single-audit response.
-            let total: usize = reports.iter().map(|r| r.len() + 1).sum();
-            let mut body = Vec::with_capacity(total + 2);
-            body.push(b'[');
-            for (i, report) in reports.iter().enumerate() {
-                if i > 0 {
-                    body.push(b',');
-                }
-                body.extend_from_slice(report);
             }
-            body.push(b']');
-            state.counters.batch.fetch_add(1, relaxed);
-            state
-                .counters
-                .batch_pages
-                .fetch_add(pages.len() as u64, relaxed);
-            Response::json(200, body, keep)
         }
         ("GET", "/v1/healthz") => {
             state.counters.healthz.fetch_add(1, relaxed);
-            Response::json(200, b"{\"status\":\"ok\"}".to_vec(), keep)
+            full(Response::json(200, b"{\"status\":\"ok\"}".to_vec(), keep))
         }
         ("GET", "/v1/stats") => {
             state.counters.stats.fetch_add(1, relaxed);
             let body = serde_json::to_string(&state.stats())
                 .expect("stats serialize")
                 .into_bytes();
-            Response::json(200, body, keep)
+            full(Response::json(200, body, keep))
         }
         (_, "/v1/audit" | "/v1/batch" | "/v1/healthz" | "/v1/stats") => {
             state.counters.errors.fetch_add(1, relaxed);
-            Response::error(405, "method not allowed", keep)
+            full(Response::error(405, "method not allowed", keep))
         }
         _ => {
             state.counters.errors.fetch_add(1, relaxed);
-            Response::error(404, "no such endpoint", keep)
+            full(Response::error(404, "no such endpoint", keep))
         }
     }
+}
+
+/// The pre-streaming buffered batch body: every element spliced into one
+/// array, each byte-identical to its single-audit bytes. Kept as the
+/// equivalence oracle for the streaming path (the de-chunked streamed
+/// response must equal these bytes exactly) and for in-process callers
+/// that want the whole document in memory. Uses the shared response
+/// cache but does not touch the request counters.
+pub fn batch_buffered(state: &ServeState, pages: &[String]) -> Vec<u8> {
+    let reports: Vec<Arc<Vec<u8>>> = run_work_stealing(state.batch_threads(), pages, |_, page| {
+        let (bytes, _hit) = state
+            .cache
+            .get_or_compute(page.as_bytes(), || state.service.audit_json(page));
+        bytes
+    });
+    let total: usize = reports.iter().map(|r| r.len() + 1).sum();
+    let mut body = Vec::with_capacity(total + 2);
+    body.push(b'[');
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            body.push(b',');
+        }
+        body.extend_from_slice(report);
+    }
+    body.push(b']');
+    body
+}
+
+/// Stream one batch response: chunked encoding, elements written in
+/// order as the work-stealing pool completes them, at most a bounded
+/// reorder window of elements in memory. The de-chunked bytes are
+/// byte-identical to [`batch_buffered`] for the same pages.
+fn stream_batch(
+    stream: &mut TcpStream,
+    state: &ServeState,
+    config: &ServeConfig,
+    pages: &[String],
+    keep_alive: bool,
+    write_buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let threads = state.batch_threads();
+    let window = if config.batch_window == 0 {
+        (threads * 2).max(2)
+    } else {
+        config.batch_window
+    };
+    let fanout = StreamFanout::new(pages.len(), window);
+    let mut io_result = Ok(());
+    std::thread::scope(|scope| {
+        let fan = &fanout;
+        // Poisons the fan-out if a unit closure unwinds before
+        // completing — otherwise the writer would wait forever for an
+        // element that will never arrive, pinning a governor slot.
+        struct PoisonOnUnwind<'a>(&'a StreamFanout, bool);
+        impl Drop for PoisonOnUnwind<'_> {
+            fn drop(&mut self) {
+                if !self.1 {
+                    self.0.poison();
+                }
+            }
+        }
+        // The pool occupies its own thread; this connection thread is
+        // the writer, so elements leave memory as fast as the socket
+        // accepts them.
+        let pool = scope.spawn(move || {
+            run_work_stealing(threads, pages, |i, page| {
+                fan.admit(i);
+                let mut guard = PoisonOnUnwind(fan, false);
+                let (bytes, _hit) = state
+                    .cache
+                    .get_or_compute(page.as_bytes(), || state.service.audit_json(page));
+                fan.complete(i, bytes);
+                guard.1 = true;
+            });
+        });
+        io_result = (|| {
+            http::write_chunked_head(write_buf, 200, "application/json", keep_alive);
+            for i in 0..pages.len() {
+                let Some(element) = fanout.next() else {
+                    // Poisoned: a worker died mid-batch. The response is
+                    // already truncated mid-stream; fail the connection.
+                    return Err(std::io::Error::other("batch audit worker panicked"));
+                };
+                let punctuation: &[u8] = if i == 0 { b"[" } else { b"," };
+                http::write_chunk(write_buf, punctuation);
+                http::write_chunk(write_buf, &element);
+                stream.write_all(write_buf)?;
+                write_buf.clear();
+            }
+            let closing: &[u8] = if pages.is_empty() { b"[]" } else { b"]" };
+            http::write_chunk(write_buf, closing);
+            http::write_last_chunk(write_buf);
+            stream.write_all(write_buf)
+        })();
+        if io_result.is_err() {
+            // Client went away mid-stream (or a worker died): release
+            // parked workers and let the pool drain without a consumer.
+            fanout.abandon();
+        }
+        // Join the pool explicitly to consume a propagated unit panic —
+        // an unjoined panicked scope thread would re-panic this
+        // connection thread at scope exit and leak its governor slot.
+        let _ = pool.join();
+    });
+    state.peak_batch_buffer.observe(fanout.peak_bytes());
+    if io_result.is_ok() {
+        state.counters.batch.fetch_add(1, Ordering::Relaxed);
+        state
+            .counters
+            .batch_pages
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+    }
+    io_result
 }
 
 /// Handle to a running server.
@@ -260,27 +417,106 @@ fn accept_loop(
     // ServerHandle::shutdown() returning means the server is fully quiet.
     // Only this thread touches the handles, so a plain Vec suffices.
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let shed_threads: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
+    let governor: Arc<Governor<TcpStream>> =
+        Arc::new(Governor::new(config.max_connections, config.accept_queue));
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let state = Arc::clone(&state);
-        let shutdown_flag = Arc::clone(&shutdown);
-        let config = config.clone();
-        let handle = std::thread::Builder::new()
-            .name("serve-conn".to_string())
-            .spawn(move || {
-                let _ = handle_connection(stream, &state, &shutdown_flag, &config);
-            })
-            .expect("spawn connection thread");
-        workers.push(handle);
-        // Opportunistically reap finished workers so a long-lived server
-        // does not accumulate handles.
-        workers.retain(|h| !h.is_finished());
+        match governor.admit(stream) {
+            Admission::Serve(stream) => {
+                let state = Arc::clone(&state);
+                let shutdown_flag = Arc::clone(&shutdown);
+                let governor = Arc::clone(&governor);
+                let config = config.clone();
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        let mut stream = stream;
+                        loop {
+                            let _ = handle_connection(stream, &state, &shutdown_flag, &config);
+                            // Done with this connection: serve a queued
+                            // waiter on the same slot, unless draining —
+                            // shutdown refuses queued work.
+                            let draining = shutdown_flag.load(Ordering::SeqCst);
+                            match governor.finish(!draining) {
+                                Some(next) => stream = next,
+                                None => break,
+                            }
+                        }
+                    })
+                    .expect("spawn connection thread");
+                workers.push(handle);
+                // Opportunistically reap finished workers so a
+                // long-lived server does not accumulate handles.
+                workers.retain(|h| !h.is_finished());
+            }
+            Admission::Queued => {
+                // Parked inside the governor: a finishing handler thread
+                // picks it up. Slot turnover is bounded by the
+                // idle/request/write deadlines on every live connection.
+            }
+            Admission::Shed(stream) => {
+                shed_connection(stream, &state, &shed_threads);
+            }
+        }
     }
+    // Queued-but-never-served connections are refused at shutdown:
+    // dropping the stream closes the socket.
+    drop(governor.drain_queue());
     for handle in workers {
         let _ = handle.join();
+    }
+}
+
+/// Most concurrent detached threads answering shed connections. Beyond
+/// this (a shed storm of non-reading clients), the stream is dropped
+/// without the 503 nicety — the connection still closes immediately.
+const MAX_SHED_THREADS: usize = 64;
+
+/// Refuse one connection with `503 + Retry-After`. The write (up to the
+/// 250 ms write timeout against a non-reading client) and the RST-
+/// avoiding read-drain happen on a short-lived detached thread, so a
+/// shed — however slow the client — never blocks the accept loop: the
+/// governor's refusal stays O(1) per arrival.
+fn shed_connection(stream: TcpStream, state: &ServeState, shed_threads: &Arc<AtomicUsize>) {
+    state.counters.shed.fetch_add(1, Ordering::Relaxed);
+    if shed_threads.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        shed_threads.fetch_sub(1, Ordering::SeqCst);
+        return; // storm: drop without ceremony, closing the socket
+    }
+    let counter = Arc::clone(shed_threads);
+    let spawned = std::thread::Builder::new()
+        .name("serve-shed".to_string())
+        .spawn(move || {
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            if stream
+                .write_all(&http::shed_response_bytes(RETRY_AFTER_SECS))
+                .is_ok()
+            {
+                // Half-close and briefly drain the client's request
+                // bytes: closing with unread data in the receive buffer
+                // makes the kernel RST the connection, which can destroy
+                // the 503 before the client reads it.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                let deadline = Instant::now() + Duration::from_millis(100);
+                let mut sink = [0u8; 1024];
+                for _ in 0..8 {
+                    if !matches!(stream.read(&mut sink), Ok(n) if n > 0)
+                        || Instant::now() > deadline
+                    {
+                        break;
+                    }
+                }
+            }
+            counter.fetch_sub(1, Ordering::SeqCst);
+        });
+    if spawned.is_err() {
+        shed_threads.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -291,15 +527,20 @@ fn handle_connection(
     shutdown: &AtomicBool,
     config: &ServeConfig,
 ) -> std::io::Result<()> {
-    // Short read timeout so the loop can observe shutdown and enforce the
-    // idle deadline without a dedicated wakeup channel.
+    // Short read timeout so the loop can observe shutdown and enforce
+    // the idle/request deadlines without a dedicated wakeup channel; the
+    // write timeout stops a non-reading client from pinning the thread.
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true)?;
     let mut parser = RequestParser::new(config.limits);
     let mut read_buf = [0u8; 16 * 1024];
     // One write buffer reused for every response on this connection.
     let mut write_buf: Vec<u8> = Vec::new();
     let mut last_activity = Instant::now();
+    // Set while a request is partially buffered: the slowloris deadline
+    // runs from the first byte of a request to its complete parse.
+    let mut request_started: Option<Instant> = None;
 
     loop {
         // Drain every request already buffered (pipelining) before
@@ -307,11 +548,33 @@ fn handle_connection(
         loop {
             match parser.poll() {
                 Ok(Some(request)) => {
+                    // A request finished parsing: the slowloris deadline
+                    // bounds one request's parse, so completing one
+                    // re-arms the timer for whatever is buffered next —
+                    // without this, a fast client pipelining nonstop
+                    // (parser never empty) would be cut off with a
+                    // spurious 408 after request_deadline.
+                    request_started = None;
                     let started = Instant::now();
-                    let response = route(state, &request);
-                    let keep = response.keep_alive;
-                    response.write_into(&mut write_buf);
-                    stream.write_all(&write_buf)?;
+                    let keep = match route(state, &request) {
+                        Routed::Response(response) => {
+                            response.write_into(&mut write_buf);
+                            stream.write_all(&write_buf)?;
+                            response.keep_alive
+                        }
+                        Routed::BatchStream { pages, keep_alive } => {
+                            stream_batch(
+                                &mut stream,
+                                state,
+                                config,
+                                &pages,
+                                keep_alive,
+                                &mut write_buf,
+                            )?;
+                            write_buf.clear();
+                            keep_alive
+                        }
+                    };
                     state
                         .latency
                         .record_us(started.elapsed().as_micros() as u64);
@@ -331,6 +594,24 @@ fn handle_connection(
                     return Ok(());
                 }
             }
+        }
+
+        // Deadline bookkeeping: a partially buffered request keeps its
+        // start time; a fully drained parser resets it.
+        if parser.mid_request() {
+            let started = *request_started.get_or_insert_with(Instant::now);
+            if started.elapsed() > config.request_deadline {
+                // Slowloris: bytes dribble in fast enough to dodge the
+                // idle timeout but the request never completes. Answer
+                // 408 and free the slot.
+                state.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                let response = Response::error(408, "request did not complete in time", false);
+                response.write_into(&mut write_buf);
+                let _ = stream.write_all(&write_buf);
+                return Ok(());
+            }
+        } else {
+            request_started = None;
         }
 
         if shutdown.load(Ordering::SeqCst) {
@@ -376,15 +657,29 @@ mod tests {
         })
     }
 
+    /// Unwrap the complete-response arm (everything but a valid batch).
+    fn full(routed: Routed) -> Response {
+        match routed {
+            Routed::Response(response) => response,
+            Routed::BatchStream { .. } => panic!("expected a complete response"),
+        }
+    }
+
     const PAGE: &str = "<html lang=th><head><title>ข่าว</title></head><body>\
         <p>ข่าววันนี้ของประเทศไทยทั้งหมด</p><img src=a alt=\"market stalls\"></body></html>";
 
     #[test]
     fn audit_route_answers_cached_bytes() {
         let state = test_state();
-        let first = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        let first = full(route(
+            &state,
+            &request("POST", "/v1/audit", PAGE.as_bytes()),
+        ));
         assert_eq!(first.status, 200);
-        let second = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        let second = full(route(
+            &state,
+            &request("POST", "/v1/audit", PAGE.as_bytes()),
+        ));
         assert_eq!(first.body, second.body, "cache hit must be byte-identical");
         match (&first.body, &second.body) {
             (Body::Shared(a), Body::Shared(b)) => {
@@ -401,24 +696,35 @@ mod tests {
     }
 
     #[test]
-    fn batch_route_splices_single_audit_bytes() {
+    fn batch_route_parses_pages_and_oracle_splices_single_audit_bytes() {
         let state = test_state();
-        let single = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        let single = full(route(
+            &state,
+            &request("POST", "/v1/audit", PAGE.as_bytes()),
+        ));
         let batch_body = serde_json::to_string(&vec![PAGE.to_string(), PAGE.to_string()]).unwrap();
-        let batch = route(&state, &request("POST", "/v1/batch", batch_body.as_bytes()));
-        assert_eq!(batch.status, 200);
+        let routed = route(&state, &request("POST", "/v1/batch", batch_body.as_bytes()));
+        let Routed::BatchStream { pages, keep_alive } = routed else {
+            panic!("valid batch must route to the streaming arm");
+        };
+        assert!(keep_alive);
+        assert_eq!(pages, vec![PAGE.to_string(), PAGE.to_string()]);
+        // The buffered oracle splices per-page bytes identical to the
+        // single-audit response; the live streaming path is pinned
+        // byte-identical to this oracle in tests/batch_stream.rs.
         let expected_single = String::from_utf8(single.body.to_vec()).unwrap();
         let expected = format!("[{expected_single},{expected_single}]");
-        assert_eq!(String::from_utf8(batch.body.to_vec()).unwrap(), expected);
-        let counters = state.counters.snapshot();
-        assert_eq!(counters.batch, 1);
-        assert_eq!(counters.batch_pages, 2);
+        let oracle = String::from_utf8(batch_buffered(&state, &pages)).unwrap();
+        assert_eq!(oracle, expected);
     }
 
     #[test]
     fn batch_rejects_non_array_body() {
         let state = test_state();
-        let resp = route(&state, &request("POST", "/v1/batch", b"{\"nope\":1}"));
+        let resp = full(route(
+            &state,
+            &request("POST", "/v1/batch", b"{\"nope\":1}"),
+        ));
         assert_eq!(resp.status, 400);
         assert_eq!(state.counters.snapshot().errors, 1);
     }
@@ -426,33 +732,58 @@ mod tests {
     #[test]
     fn audit_rejects_invalid_utf8() {
         let state = test_state();
-        let resp = route(&state, &request("POST", "/v1/audit", &[0xff, 0xfe, 0x80]));
+        let resp = full(route(
+            &state,
+            &request("POST", "/v1/audit", &[0xff, 0xfe, 0x80]),
+        ));
         assert_eq!(resp.status, 400);
     }
 
     #[test]
     fn healthz_and_stats_routes() {
         let state = test_state();
-        let health = route(&state, &request("GET", "/v1/healthz", b""));
+        let health = full(route(&state, &request("GET", "/v1/healthz", b"")));
         assert_eq!(health.status, 200);
         assert_eq!(health.body.as_slice(), b"{\"status\":\"ok\"}");
-        let stats = route(&state, &request("GET", "/v1/stats", b""));
+        let stats = full(route(&state, &request("GET", "/v1/stats", b"")));
         assert_eq!(stats.status, 200);
         let text = String::from_utf8(stats.body.to_vec()).unwrap();
         assert!(text.contains("\"requests\""));
         assert!(text.contains("\"hit_rate\""));
         assert!(text.contains("\"p99_us\""));
+        assert!(text.contains("\"shed\""));
+        assert!(text.contains("\"peak_batch_buffer\""));
     }
 
     #[test]
     fn unknown_path_is_404_wrong_method_is_405() {
         let state = test_state();
-        assert_eq!(route(&state, &request("GET", "/nope", b"")).status, 404);
-        assert_eq!(route(&state, &request("GET", "/v1/audit", b"")).status, 405);
         assert_eq!(
-            route(&state, &request("POST", "/v1/healthz", b"")).status,
+            full(route(&state, &request("GET", "/nope", b""))).status,
+            404
+        );
+        assert_eq!(
+            full(route(&state, &request("GET", "/v1/audit", b""))).status,
+            405
+        );
+        assert_eq!(
+            full(route(&state, &request("POST", "/v1/healthz", b""))).status,
             405
         );
         assert_eq!(state.counters.snapshot().errors, 3);
+    }
+
+    #[test]
+    fn batch_buffered_empty_and_single() {
+        let state = test_state();
+        assert_eq!(batch_buffered(&state, &[]), b"[]");
+        let one = batch_buffered(&state, &[PAGE.to_string()]);
+        assert_eq!(one.first(), Some(&b'['));
+        assert_eq!(one.last(), Some(&b']'));
+        let single = full(route(
+            &state,
+            &request("POST", "/v1/audit", PAGE.as_bytes()),
+        ));
+        assert_eq!(&one[1..one.len() - 1], single.body.as_slice());
     }
 }

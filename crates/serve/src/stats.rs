@@ -134,6 +134,10 @@ pub struct RequestCounters {
     pub stats: AtomicU64,
     /// 4xx/5xx answers (routing errors + protocol errors).
     pub errors: AtomicU64,
+    /// Connections refused with `503 + Retry-After` by the governor.
+    pub shed: AtomicU64,
+    /// Connections closed with `408` by the request deadline (slowloris).
+    pub timeouts: AtomicU64,
 }
 
 impl RequestCounters {
@@ -145,6 +149,8 @@ impl RequestCounters {
             healthz: self.healthz.load(Ordering::Relaxed),
             stats: self.stats.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -157,6 +163,8 @@ pub struct RequestSnapshot {
     pub healthz: u64,
     pub stats: u64,
     pub errors: u64,
+    pub shed: u64,
+    pub timeouts: u64,
 }
 
 impl RequestSnapshot {
@@ -238,8 +246,15 @@ mod tests {
         c.audit.fetch_add(3, Ordering::Relaxed);
         c.healthz.fetch_add(1, Ordering::Relaxed);
         c.errors.fetch_add(2, Ordering::Relaxed);
+        c.shed.fetch_add(5, Ordering::Relaxed);
+        c.timeouts.fetch_add(1, Ordering::Relaxed);
         let snap = c.snapshot();
-        assert_eq!(snap.total(), 4);
+        assert_eq!(snap.total(), 4, "shed/timeout connections never routed");
         assert_eq!(snap.errors, 2);
+        assert_eq!(snap.shed, 5);
+        assert_eq!(snap.timeouts, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"shed\":5"));
+        assert!(json.contains("\"timeouts\":1"));
     }
 }
