@@ -37,6 +37,7 @@ fn bench_crawl_scaling(c: &mut Criterion) {
                 .iter()
                 .take(20)
                 .map(|p| p.host.clone())
+                .collect::<Vec<_>>()
         })
         .collect();
     let vantage = vpn_vantage(Country::Thailand).expect("endpoint");

@@ -159,13 +159,46 @@ fn bench_webgen_alloc(c: &mut Criterion) {
         })
     });
 
-    // The end-to-end render both optimisations feed into.
-    group.bench_function("render_localized_page", |b| {
-        let plan = SitePlan::build(42, Country::Bangladesh, 1, Some(true));
+    // The end-to-end render the optimisations feed into, in three forms:
+    // the preserved pre-arena renderer (fresh generators + per-label
+    // Strings every page), the fresh-scratch wrapper, and the pooled
+    // arena the corpus content path actually runs. All three emit
+    // identical bytes (oracle-tested in bench::render_seed); the CI gate
+    // asserts render_pooled ≥ 1.2× render_unpooled via BENCH_pipeline's
+    // render.speedup record.
+    let plan = SitePlan::build(42, Country::Bangladesh, 1, Some(true));
+    group.bench_function("render_unpooled_prearena", |b| {
+        b.iter(|| {
+            black_box(langcrux_bench::render_seed::render_seed(
+                &plan,
+                ContentVariant::Localized,
+                "/",
+            ))
+            .0
+            .len()
+        })
+    });
+    group.bench_function("render_fresh_scratch", |b| {
         b.iter(|| {
             black_box(render(&plan, ContentVariant::Localized, "/"))
                 .0
                 .len()
+        })
+    });
+    group.bench_function("render_pooled", |b| {
+        use langcrux_webgen::{render_into, RenderScratch};
+        let mut scratch = RenderScratch::new();
+        let mut out = String::new();
+        b.iter(|| {
+            out.clear();
+            render_into(
+                &plan,
+                ContentVariant::Localized,
+                "/",
+                &mut scratch,
+                &mut out,
+            );
+            black_box(out.len())
         })
     });
     group.finish();

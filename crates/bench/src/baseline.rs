@@ -451,12 +451,12 @@ pub fn build_dataset_seed(corpus: &Corpus, options: PipelineOptions) -> Dataset 
 
 fn process_country(corpus: &Corpus, country: Country, options: PipelineOptions) -> CountryResult {
     let vantage = vpn_vantage(country).unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
-    let browser = Browser::new(corpus.internet(), options.browser);
+    let mut browser = Browser::new(corpus.internet(), options.browser);
     let native = country.target_language();
 
     let mut sites = Vec::with_capacity(options.quota);
     let mut stats = SelectionStats::default();
-    for plan in corpus.candidates(country) {
+    for plan in corpus.candidates(country).iter() {
         if sites.len() >= options.quota {
             break;
         }

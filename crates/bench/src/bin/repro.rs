@@ -327,6 +327,11 @@ fn main() {
             "  per-visit extract ({} pages): dom {:.1} µs, streaming {:.1} µs — {:.2}×",
             s.pages, s.dom_us_per_page, s.stream_us_per_page, s.speedup
         );
+        let r = &report.render;
+        eprintln!(
+            "  per-page render ({} pages): pre-arena {:.1} µs, pooled {:.1} µs — {:.2}×",
+            r.pages, r.baseline_us_per_page, r.render_us_per_page, r.speedup
+        );
         langcrux_bench::perf::write_bench_json(path, &report).expect("write bench json");
         eprintln!("wrote {path}");
     }
@@ -345,11 +350,28 @@ fn main() {
             args.seed
         );
         let start = std::time::Instant::now();
-        let ds = langcrux_bench::build_scaled_dataset(args.seed, args.scale);
+        let (corpus, ds) = langcrux_bench::build_scaled_dataset_with_corpus(args.seed, args.scale);
         eprintln!(
             "dataset ready: {} sites in {:.1?}",
             ds.len(),
             start.elapsed()
+        );
+        // The lazy-shard gauges: peak_live bounds corpus memory at
+        // peak_live × per-country shard size (builds > countries means
+        // shards were revived after LRU eviction; peak_resident is the
+        // cache high-water mark, ≤ the cap).
+        let shards = corpus.shard_stats();
+        eprintln!(
+            "corpus shards: {} built, {} evicted, peak resident {}, peak live {} (cap {})",
+            shards.builds,
+            shards.evictions,
+            shards.peak_resident,
+            shards.peak_live,
+            if shards.resident_cap == 0 {
+                "unbounded".to_string()
+            } else {
+                shards.resident_cap.to_string()
+            }
         );
         Some(ds)
     } else {

@@ -35,6 +35,7 @@
 
 pub mod baseline;
 pub mod perf;
+pub mod render_seed;
 pub mod serve_bench;
 
 use langcrux_core::{build_dataset, Dataset, PipelineOptions};
@@ -81,14 +82,21 @@ pub fn build_corpus(seed: u64, scale: Scale) -> Corpus {
 
 /// Build the full dataset (corpus + pipeline) at a given scale.
 pub fn build_scaled_dataset(seed: u64, scale: Scale) -> Dataset {
+    build_scaled_dataset_with_corpus(seed, scale).1
+}
+
+/// [`build_scaled_dataset`], also handing back the corpus so callers can
+/// inspect its lazy-shard gauges (`Corpus::shard_stats`) after the run.
+pub fn build_scaled_dataset_with_corpus(seed: u64, scale: Scale) -> (Corpus, Dataset) {
     let corpus = build_corpus(seed, scale);
-    build_dataset(
+    let dataset = build_dataset(
         &corpus,
         PipelineOptions {
             quota: scale.sites_per_country(),
             ..PipelineOptions::default()
         },
-    )
+    );
+    (corpus, dataset)
 }
 
 /// Build with the workspace default seed.
@@ -115,7 +123,8 @@ pub fn vpn_ablation(seed: u64, hosts_per_country: usize) -> VpnAblation {
     let mut cloud_localized = 0u32;
     for country in Country::STUDY {
         let vantage = vpn_vantage(country).expect("vpn endpoint");
-        for plan in corpus.candidates(country).iter().take(hosts_per_country) {
+        let candidates = corpus.candidates(country);
+        for plan in candidates.iter().take(hosts_per_country) {
             total += 1;
             let url = Url::from_host(&plan.host);
             if let Ok(resp) = corpus.internet().fetch(&Request::new(url.clone(), vantage)) {
@@ -207,9 +216,10 @@ pub fn speech_experience(seed: u64, sites_per_country: usize) -> Vec<SpeechExper
     let mut rows = Vec::new();
     for country in Country::STUDY {
         let vantage = vpn_vantage(country).expect("vpn endpoint");
-        let browser = Browser::new(corpus.internet(), BrowserConfig::default());
+        let mut browser = Browser::new(corpus.internet(), BrowserConfig::default());
         let mut stats = SpeechStats::default();
-        for plan in corpus.candidates(country).iter().take(sites_per_country) {
+        let candidates = corpus.candidates(country);
+        for plan in candidates.iter().take(sites_per_country) {
             let Ok(visit) = browser.visit(&Url::from_host(&plan.host), vantage) else {
                 continue;
             };
@@ -242,6 +252,7 @@ pub fn crawl_scaling(seed: u64, hosts_per_country: usize, threads: usize) -> std
                 .iter()
                 .take(hosts_per_country)
                 .map(|p| p.host.clone())
+                .collect::<Vec<_>>()
         })
         .collect();
     let vantage = vpn_vantage(Country::Thailand).expect("endpoint");

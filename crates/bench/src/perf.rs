@@ -10,13 +10,13 @@
 //! cargo run --release -p langcrux-bench --bin repro -- --bench-json
 //! ```
 
-use crate::{baseline, build_corpus, Scale};
+use crate::{baseline, build_corpus, render_seed, Scale};
 use langcrux_core::{build_dataset, PipelineOptions};
 use langcrux_crawl::{default_threads, extract, extract_streaming};
 use langcrux_html::parse;
 use langcrux_lang::Country;
 use langcrux_net::ContentVariant;
-use langcrux_webgen::{render, SitePlan};
+use langcrux_webgen::{render, render_into, RenderScratch, SitePlan};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -60,7 +60,74 @@ pub struct PipelineBenchReport {
     /// Per-visit extraction: streaming tokenize→extract vs DOM
     /// materialisation (the PR-3 crawl-path win, isolated).
     pub stream_vs_dom: StreamVsDomTiming,
+    /// Per-page generation: pooled render arena vs the preserved
+    /// pre-arena renderer (the zero-alloc-render win, isolated).
+    pub render: RenderTiming,
     pub notes: String,
+}
+
+/// Per-page render wall-clock: the pre-arena renderer (fresh generators,
+/// fresh output buffer, per-label `String` returns — preserved as
+/// `bench::render_seed`) vs the pooled [`RenderScratch`] engine the corpus
+/// content path runs. Both produce identical bytes and truth (asserted
+/// before timing), so the delta is exactly the allocation churn.
+#[derive(Debug, Clone, Serialize)]
+pub struct RenderTiming {
+    /// Pages in the sample (every study country, both content variants).
+    pub pages: usize,
+    /// Pre-arena renderer, microseconds per page.
+    pub baseline_us_per_page: f64,
+    /// Pooled-arena renderer, microseconds per page.
+    pub render_us_per_page: f64,
+    pub speedup: f64,
+}
+
+/// Measure [`RenderTiming`] over a fresh plan sample.
+pub fn render_timing(seed: u64) -> RenderTiming {
+    let mut plans: Vec<(SitePlan, ContentVariant)> = Vec::new();
+    for country in Country::STUDY {
+        for index in 0..4u32 {
+            let plan = SitePlan::build(seed, country, index, Some(index % 2 == 0));
+            for variant in [ContentVariant::Localized, ContentVariant::Global] {
+                plans.push((plan.clone(), variant));
+            }
+        }
+    }
+    // The comparison is only meaningful if both paths emit the same page.
+    let mut scratch = RenderScratch::new();
+    let mut out = String::new();
+    for (plan, variant) in &plans {
+        let (expect_html, expect_truth) = render_seed::render_seed(plan, *variant, "/");
+        out.clear();
+        let truth = render_into(plan, *variant, "/", &mut scratch, &mut out);
+        assert_eq!(out, expect_html, "pooled render diverged from the oracle");
+        assert_eq!(truth, expect_truth, "pooled truth diverged from the oracle");
+    }
+
+    let mut baseline_s = f64::INFINITY;
+    let mut pooled_s = f64::INFINITY;
+    for _ in 0..RUNS.max(3) {
+        let start = Instant::now();
+        for (plan, variant) in &plans {
+            std::hint::black_box(render_seed::render_seed(plan, *variant, "/").0.len());
+        }
+        baseline_s = baseline_s.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for (plan, variant) in &plans {
+            out.clear();
+            render_into(plan, *variant, "/", &mut scratch, &mut out);
+            std::hint::black_box(out.len());
+        }
+        pooled_s = pooled_s.min(start.elapsed().as_secs_f64());
+    }
+    let per_page = 1e6 / plans.len() as f64;
+    RenderTiming {
+        pages: plans.len(),
+        baseline_us_per_page: baseline_s * per_page,
+        render_us_per_page: pooled_s * per_page,
+        speedup: baseline_s / pooled_s.max(1e-12),
+    }
 }
 
 /// Worker counts to sweep on a host with `cores` cores: powers of two up
@@ -246,13 +313,18 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
         timings,
         worker_scaling,
         stream_vs_dom: stream_vs_dom(seed),
+        render: render_timing(seed),
         notes: format!(
             "baseline = seed pipeline (one thread per country, visible-text re-scan per \
              candidate and per site, Vec-probed histogram, per-site Kizuki construction); \
              fused = single-pass engine on the work-stealing pool, with the crawl path's \
              per-visit extraction running the streaming tokenize→extract pass (no token \
              buffer, no DOM node arena — stream_vs_dom isolates that per-visit win \
-             against the parse-then-walk oracle on the same pages). The ≥2x target \
+             against the parse-then-walk oracle on the same pages) and page generation \
+             running the pooled zero-alloc render arena over lazily sharded corpora \
+             (render isolates that per-page win against the preserved pre-arena \
+             renderer; both pipelines fetch through the same lazy corpus, so the \
+             end-to-end speedup understates the render share). The ≥2x target \
              decomposes into an algorithmic (fusion) share and a parallelism share; with \
              available_parallelism() = {cores} on this host the pool contributes \
              {par}, so the speedup recorded here is the fusion share alone. On any \
@@ -310,6 +382,18 @@ mod tests {
         assert!(t.speedup > 0.0);
         let json = serde_json::to_string(&t).unwrap();
         assert!(json.contains("stream_us_per_page"));
+    }
+
+    #[test]
+    fn render_timing_shape() {
+        let t = render_timing(7);
+        // 12 countries × 4 sites × 2 variants.
+        assert_eq!(t.pages, 96);
+        assert!(t.baseline_us_per_page > 0.0 && t.render_us_per_page > 0.0);
+        assert!(t.speedup > 0.0);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("render_us_per_page"));
+        assert!(json.contains("baseline_us_per_page"));
     }
 
     #[test]

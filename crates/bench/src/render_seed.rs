@@ -1,0 +1,1022 @@
+//! The pre-arena page renderer, preserved with its original allocation
+//! profile as the benchmark baseline (and byte/truth oracle) for the
+//! pooled `RenderScratch` engine.
+//!
+//! The zero-alloc render PR changed the whole generation stack: textgen
+//! words append into caller buffers instead of returning one `String`
+//! each, `MixedGenerator` shuffles token ranges in a reusable arena
+//! instead of a `Vec<String>`, `HtmlBuilder` keeps its tag stack in a
+//! flat name arena and escapes straight into the output, and the page
+//! renderer threads every label/attribute/paragraph through pooled
+//! scratch. This module vendors the **old** behaviour at every layer —
+//! a `Vec<String>`-stacked builder with allocating escapes
+//! (`SeedHtmlBuilder`), word-per-`String` phrase/sentence assembly over
+//! the public `TextGenerator` API, a token-vector mixed generator, fresh
+//! generators and a fresh output buffer per page — drawing the RNG
+//! exactly like the engine does. That gives `repro --bench-json` a true
+//! before/after (`render.baseline_us_per_page` vs `render_us_per_page`
+//! in `BENCH_pipeline.json`) and pins the pooled renderer byte- and
+//! truth-identical to the pre-PR output. Benchmarking scaffolding, not a
+//! supported entry point.
+
+use langcrux_filter::DiscardCategory;
+use langcrux_lang::a11y::ElementKind;
+use langcrux_lang::{dict, rng, Language};
+use langcrux_net::ContentVariant;
+use langcrux_textgen::{pools, TextGenerator};
+use langcrux_webgen::calibration::{element_calibration, estimated_page_bytes};
+use langcrux_webgen::sample::{heavy_tail_len, int_between};
+use langcrux_webgen::{LangBucket, PageTruth, PlantedText, SitePlan};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------
+// The seed HTML builder: per-open tag Strings, per-text escape Strings.
+// ---------------------------------------------------------------------
+
+/// The pre-PR `HtmlBuilder`: `stack: Vec<String>` (one allocation per
+/// opened element) and escape helpers that return owned `String`s (one
+/// allocation per text/attribute write).
+struct SeedHtmlBuilder {
+    buf: String,
+    stack: Vec<String>,
+}
+
+fn escape_text_seed(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_attr_seed(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for c in input.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+impl SeedHtmlBuilder {
+    fn document() -> Self {
+        let mut b = SeedHtmlBuilder {
+            buf: String::new(),
+            stack: Vec::with_capacity(16),
+        };
+        b.buf.push_str("<!DOCTYPE html>");
+        b
+    }
+
+    fn document_sized(capacity: usize) -> Self {
+        let mut b = SeedHtmlBuilder {
+            buf: String::with_capacity(capacity),
+            stack: Vec::with_capacity(16),
+        };
+        b.buf.push_str("<!DOCTYPE html>");
+        b
+    }
+
+    fn write_tag(&mut self, tag: &str, attrs: &[(&str, Option<&str>)]) {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        for (name, value) in attrs {
+            self.buf.push(' ');
+            self.buf.push_str(name);
+            if let Some(v) = value {
+                self.buf.push_str("=\"");
+                self.buf.push_str(&escape_attr_seed(v));
+                self.buf.push('"');
+            }
+        }
+        self.buf.push('>');
+    }
+
+    fn open(&mut self, tag: &str, attrs: &[(&str, Option<&str>)]) -> &mut Self {
+        self.write_tag(tag, attrs);
+        self.stack.push(tag.to_string());
+        self
+    }
+
+    fn void(&mut self, tag: &str, attrs: &[(&str, Option<&str>)]) -> &mut Self {
+        self.write_tag(tag, attrs);
+        self
+    }
+
+    fn close(&mut self) -> &mut Self {
+        let tag = self.stack.pop().expect("close() with no open element");
+        self.buf.push_str("</");
+        self.buf.push_str(&tag);
+        self.buf.push('>');
+        self
+    }
+
+    fn text(&mut self, text: &str) -> &mut Self {
+        self.buf.push_str(&escape_text_seed(text));
+        self
+    }
+
+    fn raw(&mut self, html: &str) -> &mut Self {
+        self.buf.push_str(html);
+        self
+    }
+
+    fn leaf(&mut self, tag: &str, attrs: &[(&str, Option<&str>)], text: &str) -> &mut Self {
+        self.open(tag, attrs);
+        self.text(text);
+        self.close()
+    }
+
+    fn finish(mut self) -> String {
+        while !self.stack.is_empty() {
+            self.close();
+        }
+        self.buf
+    }
+}
+
+// ---------------------------------------------------------------------
+// The seed text assembly: one String per word, Vec<String> mixed tokens.
+// ---------------------------------------------------------------------
+
+/// Pre-PR `append_words`: one owned `String` per word (`word()` still
+/// returns one), joined into the buffer. RNG-draw-identical to the
+/// engine's allocation-free `append_words`.
+fn append_words_seed(g: &mut TextGenerator, n: usize, out: &mut String) {
+    let sep = if g.scriptio_continua() { "" } else { " " };
+    for i in 0..n {
+        if i > 0 {
+            out.push_str(sep);
+        }
+        let word = g.word();
+        out.push_str(&word);
+    }
+}
+
+fn append_phrase_seed(g: &mut TextGenerator, min: usize, max: usize, out: &mut String) {
+    let n = if min >= max {
+        min
+    } else {
+        g.rng_mut().gen_range(min..=max)
+    };
+    if g.language() == Language::Japanese && n > 1 {
+        for i in 0..n {
+            if i > 0 && g.rng_mut().gen_bool(0.6) {
+                out.push_str(
+                    pools::JA_PARTICLES[g.rng_mut().gen_range(0..pools::JA_PARTICLES.len())],
+                );
+            }
+            let word = g.word();
+            out.push_str(&word);
+        }
+        return;
+    }
+    append_words_seed(g, n, out);
+}
+
+fn phrase_seed(g: &mut TextGenerator, min: usize, max: usize) -> String {
+    let mut out = String::new();
+    append_phrase_seed(g, min, max, &mut out);
+    out
+}
+
+fn append_sentence_seed(g: &mut TextGenerator, out: &mut String) {
+    let n = g.rng_mut().gen_range(5..=14);
+    append_phrase_seed(g, n, n, out);
+    let terminal = match g.language() {
+        Language::MandarinChinese | Language::Cantonese | Language::Japanese => "。",
+        Language::Hindi | Language::Marathi | Language::Nepali => "।",
+        Language::ModernStandardArabic
+        | Language::EgyptianArabic
+        | Language::Urdu
+        | Language::Persian => "؟",
+        Language::Greek => ".",
+        Language::Thai => "",
+        _ => ".",
+    };
+    if terminal == "؟" {
+        out.push_str(if g.rng_mut().gen_bool(0.1) { "؟" } else { "." });
+    } else {
+        out.push_str(terminal);
+    }
+}
+
+fn append_paragraph_seed(g: &mut TextGenerator, sentences: usize, out: &mut String) {
+    for i in 0..sentences {
+        if i > 0 {
+            out.push(' ');
+        }
+        append_sentence_seed(g, out);
+    }
+}
+
+/// Pre-PR `MixedGenerator`: same seeded state as the engine's (the
+/// constructor derivation is replicated here), but phrases assemble a
+/// `Vec<String>` of tokens and `join` after the shuffle — the historical
+/// allocation profile.
+struct SeedMixed {
+    native: TextGenerator,
+    english: TextGenerator,
+    native_ratio: f64,
+    rng: StdRng,
+}
+
+impl SeedMixed {
+    fn new(native: Language, seed: u64, native_ratio: f64) -> Self {
+        SeedMixed {
+            native: TextGenerator::new(native, seed),
+            english: TextGenerator::new(Language::English, seed ^ 0xEEEE),
+            native_ratio: native_ratio.clamp(0.05, 0.95),
+            rng: rng::rng_for(seed, &[0x3A1D, native as u64]),
+        }
+    }
+
+    fn phrase(&mut self, min: usize, max: usize) -> String {
+        let n = if min >= max {
+            min.max(2)
+        } else {
+            self.rng.gen_range(min.max(2)..=max.max(2))
+        };
+        let mut tokens: Vec<String> = Vec::with_capacity(n);
+        tokens.push(self.native.word());
+        tokens.push(self.english.word());
+        for _ in 2..n {
+            if self.rng.gen_bool(self.native_ratio) {
+                tokens.push(self.native.word());
+            } else {
+                tokens.push(self.english.word());
+            }
+        }
+        for i in (1..tokens.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            tokens.swap(i, j);
+        }
+        tokens.join(" ")
+    }
+}
+
+/// The seed's per-language character ratio (its own cache, same values as
+/// the engine's — both measure fixed-seed samples deterministically).
+fn char_ratio(lang: Language) -> f64 {
+    static CACHE: OnceLock<Mutex<HashMap<Language, f64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(v) = cache.lock().expect("ratio cache").get(&lang) {
+        return *v;
+    }
+    let mean_chars = |l: Language| -> f64 {
+        use langcrux_lang::script::ScriptHistogram;
+        let mut g = TextGenerator::new(l, 0xC0FFEE);
+        let mut total = 0usize;
+        const SAMPLES: usize = 40;
+        for _ in 0..SAMPLES {
+            let hist = ScriptHistogram::of(&g.sentence());
+            total += l
+                .evidence_scripts()
+                .iter()
+                .map(|&s| hist.count(s))
+                .sum::<usize>();
+        }
+        total as f64 / SAMPLES as f64
+    };
+    let ratio = (mean_chars(lang) / mean_chars(Language::English)).max(0.05);
+    cache.lock().expect("ratio cache").insert(lang, ratio);
+    ratio
+}
+
+fn native_sentence_prob(target_share: f64, ratio: f64) -> f64 {
+    let t = target_share.clamp(0.0, 1.0);
+    (t / (ratio + t * (1.0 - ratio))).clamp(0.0, 1.0)
+}
+
+fn sample_category(r: &mut StdRng, dist: &[f64; 11]) -> DiscardCategory {
+    let total: f64 = dist.iter().sum();
+    let mut roll = r.gen::<f64>() * total;
+    for (i, &w) in dist.iter().enumerate() {
+        if roll < w {
+            return DiscardCategory::ALL[i];
+        }
+        roll -= w;
+    }
+    DiscardCategory::ALL[10]
+}
+
+fn kind_index(kind: ElementKind) -> usize {
+    ElementKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL")
+}
+
+/// Render a page with the pre-arena allocation profile. Deterministic;
+/// byte- and truth-identical to `webgen::render` (tested).
+pub fn render_seed(plan: &SitePlan, variant: ContentVariant, path: &str) -> (String, PageTruth) {
+    match variant {
+        ContentVariant::Restricted => (render_restricted(plan), PageTruth::default()),
+        ContentVariant::Localized => Renderer::new(plan, variant, path).render(),
+        ContentVariant::Global => Renderer::new(plan, variant, path).render(),
+    }
+}
+
+fn render_restricted(plan: &SitePlan) -> String {
+    let mut b = SeedHtmlBuilder::document();
+    b.open("html", &[("lang", Some("en"))]);
+    b.open("head", &[]);
+    b.leaf("title", &[], "Access denied");
+    b.close();
+    b.open("body", &[]);
+    b.leaf(
+        "p",
+        &[],
+        &format!(
+            "Access to {} from your network is restricted. Please disable \
+             proxy or VPN services and try again.",
+            plan.host
+        ),
+    );
+    b.close();
+    b.close();
+    b.finish()
+}
+
+struct Renderer<'a> {
+    plan: &'a SitePlan,
+    variant: ContentVariant,
+    rng: StdRng,
+    native: TextGenerator,
+    english: TextGenerator,
+    mixed: SeedMixed,
+    truth: PageTruth,
+    visible_native: f64,
+    counter: u32,
+}
+
+impl<'a> Renderer<'a> {
+    fn new(plan: &'a SitePlan, variant: ContentVariant, path: &str) -> Self {
+        let vstream = match variant {
+            ContentVariant::Localized => 1,
+            ContentVariant::Global => 2,
+            ContentVariant::Restricted => 3,
+        };
+        let page_seed = rng::derive(plan.seed, &[vstream, rng::stream_id(path)]);
+        let native_lang = plan.native_language();
+        let target_share = match variant {
+            ContentVariant::Localized => plan.visible_native_share,
+            ContentVariant::Global => (plan.visible_native_share * 0.12).min(0.10),
+            ContentVariant::Restricted => 0.0,
+        };
+        let visible_native = native_sentence_prob(target_share, char_ratio(native_lang));
+        Renderer {
+            plan,
+            variant,
+            rng: rng::rng_for(page_seed, &[0x11]),
+            native: TextGenerator::new(native_lang, rng::derive(page_seed, &[0x22])),
+            english: TextGenerator::new(Language::English, rng::derive(page_seed, &[0x33])),
+            mixed: SeedMixed::new(native_lang, rng::derive(page_seed, &[0x44]), 0.5),
+            truth: PageTruth {
+                target_visible_native: target_share,
+                ..PageTruth::default()
+            },
+            visible_native,
+            counter: 0,
+        }
+    }
+
+    fn next_id(&mut self) -> u32 {
+        self.counter += 1;
+        self.counter
+    }
+
+    fn visible_phrase(&mut self, min: usize, max: usize) -> String {
+        if self.rng.gen::<f64>() < self.visible_native {
+            phrase_seed(&mut self.native, min, max)
+        } else {
+            phrase_seed(&mut self.english, min, max)
+        }
+    }
+
+    fn visible_sentencer(&mut self) -> String {
+        let mut out = String::new();
+        self.append_visible_sentence(&mut out);
+        out
+    }
+
+    fn append_visible_sentence(&mut self, out: &mut String) {
+        if self.rng.gen::<f64>() < self.visible_native {
+            append_sentence_seed(&mut self.native, out);
+        } else {
+            append_sentence_seed(&mut self.english, out);
+        }
+    }
+
+    fn count_for(&mut self, kind: ElementKind) -> usize {
+        let cal = element_calibration(kind);
+        let base = int_between(&mut self.rng, cal.per_page.0, cal.per_page.1);
+        let factor = self.plan.archetype.count_factor(kind);
+        ((base as f64 * factor).round() as usize).max(cal.per_page.0)
+    }
+
+    fn plant(&mut self, kind: ElementKind) -> PlantedText {
+        let (missing_rate, empty_rate) = self.plan.rates(kind);
+        let truth = &mut self.truth.per_kind[kind_index(kind)];
+        truth.total += 1;
+
+        let roll: f64 = self.rng.gen();
+        if roll < missing_rate {
+            truth.missing += 1;
+            return PlantedText::Missing;
+        }
+        if roll < missing_rate + empty_rate {
+            truth.empty += 1;
+            return PlantedText::Empty;
+        }
+
+        let (discard_total, discard_dist) = self.plan.discard_profile(kind);
+        if self.rng.gen::<f64>() < discard_total {
+            let cat = sample_category(&mut self.rng, &discard_dist);
+            let text = self.uninformative_instance(kind, cat);
+            self.truth.per_kind[kind_index(kind)].uninformative[DiscardCategory::ALL
+                .iter()
+                .position(|&c| c == cat)
+                .expect("cat")] += 1;
+            return PlantedText::Uninformative(cat, text);
+        }
+
+        let bucket = if self.variant == ContentVariant::Global {
+            LangBucket::English
+        } else {
+            self.plan.sample_bucket(&mut self.rng)
+        };
+        let text = self.informative_instance(kind, bucket);
+        let truth = &mut self.truth.per_kind[kind_index(kind)];
+        match bucket {
+            LangBucket::Native => truth.informative_native += 1,
+            LangBucket::English => truth.informative_english += 1,
+            LangBucket::Mixed => truth.informative_mixed += 1,
+        }
+        PlantedText::Informative(bucket, text)
+    }
+
+    fn informative_instance(&mut self, kind: ElementKind, bucket: LangBucket) -> String {
+        let cal = element_calibration(kind);
+        let (min, max) = cal.words;
+        let native_lang = self.plan.native_language();
+        let min = if native_lang == Language::Thai && bucket != LangBucket::English {
+            min.max(3)
+        } else if bucket == LangBucket::Mixed {
+            min.max(2)
+        } else {
+            min
+        };
+        let max = max.max(min);
+        let base = match bucket {
+            LangBucket::Native => phrase_seed(&mut self.native, min, max),
+            LangBucket::English => phrase_seed(&mut self.english, min, max),
+            LangBucket::Mixed => self.mixed.phrase(min, max),
+        };
+        if cal.outlier_chance > 0.0 && self.rng.gen::<f64>() < cal.outlier_chance {
+            return self.outlier_text(bucket);
+        }
+        base
+    }
+
+    fn outlier_text(&mut self, bucket: LangBucket) -> String {
+        let target = heavy_tail_len(&mut self.rng, (1_200, 4_000), (8_000, 260_000), 0.10);
+        let mut out = String::with_capacity(target + 64);
+        let mut chars = 0usize;
+        while chars < target {
+            let before = out.len();
+            match bucket {
+                LangBucket::Native => append_paragraph_seed(&mut self.native, 3, &mut out),
+                _ => append_paragraph_seed(&mut self.english, 3, &mut out),
+            }
+            chars += out[before..].chars().count();
+            out.push(' ');
+            chars += 1;
+        }
+        out
+    }
+
+    fn uninformative_instance(&mut self, _kind: ElementKind, cat: DiscardCategory) -> String {
+        let n = self.next_id();
+        let native = self.plan.native_language();
+        let use_native = {
+            let (nat, _, mix) = self.plan.lang_weights;
+            self.rng.gen::<f64>() < (nat + mix * 0.5)
+        };
+        match cat {
+            DiscardCategory::Emoji => {
+                const EMOJI: &[&str] = &["📷", "🔍", "▶", "✕", "☰", "⭐", "➜", "🏠", "📧"];
+                EMOJI[self.rng.gen_range(0..EMOJI.len())].to_string()
+            }
+            DiscardCategory::TooShort => {
+                if native.primary_script().is_cjk() && use_native {
+                    self.native.word().chars().take(1).collect()
+                } else {
+                    const SHORT: &[&str] = &["go", "ok", "..", ">>", "NA", "x"];
+                    SHORT[self.rng.gen_range(0..SHORT.len())].to_string()
+                }
+            }
+            DiscardCategory::FileName => {
+                const STEMS: &[&str] = &["banner_img", "photo-", "IMG_", "slide_", "pic", "hero-"];
+                const EXTS: &[&str] = &["jpg", "png", "jpeg", "webp", "gif"];
+                format!(
+                    "{}{}.{}",
+                    STEMS[self.rng.gen_range(0..STEMS.len())],
+                    n,
+                    EXTS[self.rng.gen_range(0..EXTS.len())]
+                )
+            }
+            DiscardCategory::UrlOrFilePath => {
+                if self.rng.gen_bool(0.5) {
+                    format!("https://{}/images/{}.png", self.plan.host, n)
+                } else {
+                    format!("/assets/img/item-{n}.svg")
+                }
+            }
+            DiscardCategory::GenericAction => {
+                let lang = if use_native {
+                    native
+                } else {
+                    Language::English
+                };
+                let pool = dict::actions_in(lang);
+                let pool = if pool.is_empty() {
+                    dict::actions_in(Language::English)
+                } else {
+                    pool
+                };
+                pool[self.rng.gen_range(0..pool.len())].to_string()
+            }
+            DiscardCategory::Placeholder => {
+                let lang = if use_native {
+                    native
+                } else {
+                    Language::English
+                };
+                let pool = dict::placeholders_in(lang);
+                let pool = if pool.is_empty() {
+                    dict::placeholders_in(Language::English)
+                } else {
+                    pool
+                };
+                pool[self.rng.gen_range(0..pool.len())].to_string()
+            }
+            DiscardCategory::DevLabel => {
+                const HEADS: &[&str] = &["btn", "nav", "img", "ico", "hdr", "card", "mod"];
+                const TAILS: &[&str] = &["submit", "menu", "main", "item", "box", "wrap", "toggle"];
+                let head = HEADS[self.rng.gen_range(0..HEADS.len())];
+                let tail = TAILS[self.rng.gen_range(0..TAILS.len())];
+                match self.rng.gen_range(0..3u8) {
+                    0 => format!("{head}-{tail}"),
+                    1 => format!("{head}_{tail}"),
+                    _ => {
+                        let mut tail_cap = tail.to_string();
+                        tail_cap[..1].make_ascii_uppercase();
+                        format!("{head}{tail_cap}")
+                    }
+                }
+            }
+            DiscardCategory::LabelNumberPattern => {
+                const WORDS: &[&str] = &["image", "button", "slide", "figure", "banner", "item"];
+                format!(
+                    "{} {}",
+                    WORDS[self.rng.gen_range(0..WORDS.len())],
+                    self.rng.gen_range(1..20u8)
+                )
+            }
+            DiscardCategory::SingleWord => {
+                if use_native && !native.primary_script().is_cjk() {
+                    for _ in 0..8 {
+                        let w = self.native.word();
+                        let len = w.chars().count();
+                        if (3..8).contains(&len) && !w.contains(' ') {
+                            return w;
+                        }
+                    }
+                }
+                const WORDS: &[&str] = &[
+                    "photo", "economy", "sports", "market", "health", "culture", "weather",
+                    "travel", "profile",
+                ];
+                WORDS[self.rng.gen_range(0..WORDS.len())].to_string()
+            }
+            DiscardCategory::MixedAlnum => {
+                const STEMS: &[&str] = &["img", "icon", "pic", "fig", "ad", "file"];
+                format!("{}{}", STEMS[self.rng.gen_range(0..STEMS.len())], n)
+            }
+            DiscardCategory::OrdinalPhrase => {
+                let b = self.rng.gen_range(3..12u8);
+                let a = self.rng.gen_range(1..=b);
+                if self.rng.gen_bool(0.5) {
+                    format!("{a} of {b}")
+                } else {
+                    format!("{a}/{b}")
+                }
+            }
+        }
+    }
+
+    fn render(mut self) -> (String, PageTruth) {
+        let mut b = SeedHtmlBuilder::document_sized(estimated_page_bytes());
+        let lang_attr;
+        if self.plan.declares_lang {
+            lang_attr = if self.variant == ContentVariant::Global || self.plan.declared_lang_wrong {
+                "en".to_string()
+            } else {
+                self.plan.native_language().tag().to_string()
+            };
+            b.open("html", &[("lang", Some(lang_attr.as_str()))]);
+        } else {
+            b.open("html", &[]);
+        }
+
+        b.open("head", &[]);
+        b.void("meta", &[("charset", Some("utf-8"))]);
+        match self.plant(ElementKind::DocumentTitle) {
+            PlantedText::Missing => {}
+            PlantedText::Empty => {
+                b.leaf("title", &[], "");
+            }
+            PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                b.leaf("title", &[], &t);
+            }
+        }
+        b.close(); // head
+
+        b.open("body", &[]);
+
+        let total_links = self.count_for(ElementKind::LinkName);
+        let nav_links = (total_links / 5).clamp(3, 14);
+        b.open("header", &[]);
+        b.open("nav", &[]);
+        for i in 0..nav_links {
+            self.render_link(&mut b, &format!("/nav/{i}"));
+        }
+        b.close();
+        b.close();
+
+        b.open("main", &[]);
+        let headline = self.visible_phrase(3, 8);
+        b.leaf("h1", &[], &headline);
+
+        let paragraphs = int_between(&mut self.rng, 6, 16);
+        let mut text = String::with_capacity(512);
+        for _ in 0..paragraphs {
+            let sentences = int_between(&mut self.rng, 2, 5);
+            text.clear();
+            for _ in 0..sentences {
+                self.append_visible_sentence(&mut text);
+                text.push(' ');
+            }
+            b.leaf("p", &[], text.trim());
+        }
+
+        let images = self.count_for(ElementKind::ImageAlt);
+        for i in 0..images {
+            let src = format!("/img/{i}.jpg");
+            match self.plant(ElementKind::ImageAlt) {
+                PlantedText::Missing => {
+                    b.void("img", &[("src", Some(src.as_str()))]);
+                }
+                PlantedText::Empty => {
+                    b.void("img", &[("src", Some(src.as_str())), ("alt", Some(""))]);
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.void(
+                        "img",
+                        &[("src", Some(src.as_str())), ("alt", Some(t.as_str()))],
+                    );
+                }
+            }
+        }
+
+        let svgs = self.count_for(ElementKind::SvgImgAlt);
+        for _ in 0..svgs {
+            match self.plant(ElementKind::SvgImgAlt) {
+                PlantedText::Missing => {
+                    b.open(
+                        "svg",
+                        &[("role", Some("img")), ("viewBox", Some("0 0 24 24"))],
+                    );
+                    b.raw("<path d=\"M0 0h24v24H0z\"/>");
+                    b.close();
+                }
+                PlantedText::Empty => {
+                    b.open("svg", &[("role", Some("img")), ("aria-label", Some(""))]);
+                    b.raw("<path d=\"M0 0h24v24H0z\"/>");
+                    b.close();
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.open("svg", &[("role", Some("img"))]);
+                    b.leaf("title", &[], &t);
+                    b.raw("<path d=\"M0 0h24v24H0z\"/>");
+                    b.close();
+                }
+            }
+        }
+
+        let frames = self.count_for(ElementKind::FrameTitle);
+        for i in 0..frames {
+            let src = format!("/embed/{i}");
+            match self.plant(ElementKind::FrameTitle) {
+                PlantedText::Missing => {
+                    b.leaf("iframe", &[("src", Some(src.as_str()))], "");
+                }
+                PlantedText::Empty => {
+                    b.leaf(
+                        "iframe",
+                        &[("src", Some(src.as_str())), ("title", Some(""))],
+                        "",
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf(
+                        "iframe",
+                        &[("src", Some(src.as_str())), ("title", Some(t.as_str()))],
+                        "",
+                    );
+                }
+            }
+        }
+
+        let summaries = self.count_for(ElementKind::SummaryName);
+        for _ in 0..summaries {
+            b.open("details", &[]);
+            match self.plant(ElementKind::SummaryName) {
+                PlantedText::Missing => {
+                    b.leaf("summary", &[], "");
+                }
+                PlantedText::Empty => {
+                    b.leaf("summary", &[("aria-label", Some(""))], "");
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf("summary", &[], &t);
+                }
+            }
+            let body = self.visible_sentencer();
+            b.leaf("p", &[], &body);
+            b.close();
+        }
+
+        let objects = self.count_for(ElementKind::ObjectAlt);
+        for i in 0..objects {
+            let data = format!("/media/{i}.pdf");
+            match self.plant(ElementKind::ObjectAlt) {
+                PlantedText::Missing => {
+                    b.leaf("object", &[("data", Some(data.as_str()))], "");
+                }
+                PlantedText::Empty => {
+                    b.leaf(
+                        "object",
+                        &[("data", Some(data.as_str())), ("aria-label", Some(""))],
+                        "",
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf(
+                        "object",
+                        &[
+                            ("data", Some(data.as_str())),
+                            ("aria-label", Some(t.as_str())),
+                        ],
+                        "",
+                    );
+                }
+            }
+        }
+
+        b.open(
+            "form",
+            &[("action", Some("/submit")), ("method", Some("post"))],
+        );
+        let labels = self.count_for(ElementKind::Label);
+        for i in 0..labels {
+            let id = format!("field-{i}");
+            match self.plant(ElementKind::Label) {
+                PlantedText::Missing => {
+                    b.void(
+                        "input",
+                        &[
+                            ("type", Some("text")),
+                            ("id", Some(id.as_str())),
+                            ("name", Some(id.as_str())),
+                        ],
+                    );
+                }
+                PlantedText::Empty => {
+                    b.leaf("label", &[("for", Some(id.as_str()))], "");
+                    b.void(
+                        "input",
+                        &[("type", Some("text")), ("id", Some(id.as_str()))],
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf("label", &[("for", Some(id.as_str()))], &t);
+                    b.void(
+                        "input",
+                        &[("type", Some("text")), ("id", Some(id.as_str()))],
+                    );
+                }
+            }
+        }
+        let image_inputs = self.count_for(ElementKind::InputImageAlt);
+        for i in 0..image_inputs {
+            let src = format!("/img/btn{i}.png");
+            match self.plant(ElementKind::InputImageAlt) {
+                PlantedText::Missing => {
+                    b.void(
+                        "input",
+                        &[("type", Some("image")), ("src", Some(src.as_str()))],
+                    );
+                }
+                PlantedText::Empty => {
+                    b.void(
+                        "input",
+                        &[
+                            ("type", Some("image")),
+                            ("src", Some(src.as_str())),
+                            ("alt", Some("")),
+                        ],
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.void(
+                        "input",
+                        &[
+                            ("type", Some("image")),
+                            ("src", Some(src.as_str())),
+                            ("alt", Some(t.as_str())),
+                        ],
+                    );
+                }
+            }
+        }
+        let selects = self.count_for(ElementKind::SelectName);
+        for i in 0..selects {
+            let id = format!("select-{i}");
+            let planted = self.plant(ElementKind::SelectName);
+            match &planted {
+                PlantedText::Missing => {
+                    b.open("select", &[("id", Some(id.as_str()))]);
+                }
+                PlantedText::Empty => {
+                    b.open(
+                        "select",
+                        &[("id", Some(id.as_str())), ("aria-label", Some(""))],
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.open(
+                        "select",
+                        &[("id", Some(id.as_str())), ("aria-label", Some(t.as_str()))],
+                    );
+                }
+            }
+            for opt in 0..3 {
+                let text = self.visible_phrase(1, 2);
+                b.leaf("option", &[("value", Some(&*opt.to_string()))], &text);
+            }
+            b.close();
+        }
+        let input_buttons = self.count_for(ElementKind::InputButtonName);
+        for _ in 0..input_buttons {
+            match self.plant(ElementKind::InputButtonName) {
+                PlantedText::Missing => {
+                    b.void("input", &[("type", Some("submit"))]);
+                }
+                PlantedText::Empty => {
+                    b.void("input", &[("type", Some("submit")), ("value", Some(""))]);
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.void(
+                        "input",
+                        &[("type", Some("submit")), ("value", Some(t.as_str()))],
+                    );
+                }
+            }
+        }
+        b.close(); // form
+
+        let buttons = self.count_for(ElementKind::ButtonName);
+        for _ in 0..buttons {
+            let visible = self.visible_phrase(1, 2);
+            match self.plant(ElementKind::ButtonName) {
+                PlantedText::Missing => {
+                    b.leaf("button", &[("type", Some("button"))], &visible);
+                }
+                PlantedText::Empty => {
+                    b.leaf(
+                        "button",
+                        &[("type", Some("button")), ("aria-label", Some(""))],
+                        &visible,
+                    );
+                }
+                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                    b.leaf(
+                        "button",
+                        &[("type", Some("button")), ("aria-label", Some(t.as_str()))],
+                        &visible,
+                    );
+                }
+            }
+        }
+
+        let body_links = total_links.saturating_sub(nav_links);
+        for i in 0..body_links {
+            self.render_link(&mut b, &format!("/article/{i}"));
+        }
+        b.close(); // main
+
+        b.open("footer", &[]);
+        let footer_text = self.visible_sentencer();
+        b.leaf("p", &[], &footer_text);
+        b.close();
+
+        b.close(); // body
+        b.close(); // html
+        (b.finish(), self.truth)
+    }
+
+    fn render_link(&mut self, b: &mut SeedHtmlBuilder, href: &str) {
+        let visible = self.visible_phrase(1, 4);
+        match self.plant(ElementKind::LinkName) {
+            PlantedText::Missing => {
+                b.leaf("a", &[("href", Some(href))], &visible);
+            }
+            PlantedText::Empty => {
+                b.leaf(
+                    "a",
+                    &[("href", Some(href)), ("aria-label", Some(""))],
+                    &visible,
+                );
+            }
+            PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                b.leaf(
+                    "a",
+                    &[("href", Some(href)), ("aria-label", Some(t.as_str()))],
+                    &visible,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrux_lang::Country;
+    use langcrux_webgen::page::RenderScratch;
+    use langcrux_webgen::render;
+
+    /// The byte/truth oracle for the whole zero-alloc render conversion:
+    /// every page the pooled engine emits must equal the preserved
+    /// pre-arena renderer exactly — HTML bytes, truth counts, and across
+    /// repeated uses of one scratch (no state bleed between pages).
+    #[test]
+    fn pooled_render_matches_seed_renderer() {
+        let mut scratch = RenderScratch::new();
+        let mut out = String::new();
+        for country in Country::STUDY {
+            for index in 0..3u32 {
+                let plan = SitePlan::build(97, country, index, None);
+                for variant in [
+                    ContentVariant::Localized,
+                    ContentVariant::Global,
+                    ContentVariant::Restricted,
+                ] {
+                    let (expect_html, expect_truth) = render_seed(&plan, variant, "/");
+                    // The fresh-scratch wrapper …
+                    let (html, truth) = render(&plan, variant, "/");
+                    assert_eq!(html, expect_html, "{country:?}/{index}/{variant:?}");
+                    assert_eq!(truth, expect_truth, "{country:?}/{index}/{variant:?}");
+                    // … and the pooled path on a long-lived scratch.
+                    out.clear();
+                    let truth = langcrux_webgen::page::render_into(
+                        &plan,
+                        variant,
+                        "/",
+                        &mut scratch,
+                        &mut out,
+                    );
+                    assert_eq!(out, expect_html, "pooled {country:?}/{index}/{variant:?}");
+                    assert_eq!(
+                        truth, expect_truth,
+                        "pooled {country:?}/{index}/{variant:?}"
+                    );
+                }
+            }
+        }
+    }
+}

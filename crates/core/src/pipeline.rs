@@ -32,7 +32,7 @@ use crate::dataset::{
 };
 use crate::selection::{probe_candidate, tally_probe, Rejection, SelectedSite, SelectionStats};
 use langcrux_audit::audit_page;
-use langcrux_crawl::pool::{default_threads, run_work_stealing};
+use langcrux_crawl::pool::{default_threads, run_work_stealing, run_work_stealing_with};
 use langcrux_crawl::{char_word_counts, Browser, BrowserConfig};
 use langcrux_filter::classify;
 use langcrux_kizuki::Kizuki;
@@ -116,18 +116,25 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
         if tasks.is_empty() {
             break;
         }
-        let wave = run_work_stealing(threads, &tasks, |_, task: &ProbeTask| {
-            let (ci, range) = task;
-            let country = probes[*ci].country;
-            let vantage =
-                vpn_vantage(country).unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
-            let browser = Browser::new(corpus.internet(), options.browser);
-            let native = country.target_language();
-            corpus.candidates(country)[range.clone()]
-                .iter()
-                .map(|plan| probe_candidate(&browser, plan, vantage, native))
-                .collect::<Vec<_>>()
-        });
+        // One browser per pool worker: its fetch buffer (and the render
+        // arenas it exercises downstream) are recycled across every chunk
+        // the worker probes, regardless of country.
+        let wave = run_work_stealing_with(
+            threads,
+            &tasks,
+            |_| Browser::new(corpus.internet(), options.browser),
+            |browser, _, task: &ProbeTask| {
+                let (ci, range) = task;
+                let country = probes[*ci].country;
+                let vantage = vpn_vantage(country)
+                    .unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
+                let native = country.target_language();
+                corpus.candidates(country)[range.clone()]
+                    .iter()
+                    .map(|plan| probe_candidate(browser, plan, vantage, native))
+                    .collect::<Vec<_>>()
+            },
+        );
         for ((ci, _), outcomes) in tasks.iter().zip(wave) {
             let probe = &mut probes[*ci];
             probe.qualified += outcomes.iter().filter(|o| o.is_ok()).count();

@@ -142,7 +142,7 @@ pub struct SelectionStats {
 /// The language composition comes from the histogram the crawler computed
 /// during DOM extraction; the visible text is not re-scanned.
 pub fn probe_candidate(
-    browser: &Browser,
+    browser: &mut Browser,
     plan: &SitePlan,
     vantage: Vantage,
     native: Language,
@@ -198,17 +198,17 @@ pub fn select_websites(
     browser_config: BrowserConfig,
 ) -> (Vec<SelectedSite>, SelectionStats) {
     let vantage = vpn_vantage(country).unwrap_or_else(|| panic!("no VPN endpoint for {country:?}"));
-    let browser = Browser::new(corpus.internet(), browser_config);
+    let mut browser = Browser::new(corpus.internet(), browser_config);
     let native = country.target_language();
 
     let mut selected = Vec::with_capacity(quota);
     let mut stats = SelectionStats::default();
 
-    for plan in corpus.candidates(country) {
+    for plan in corpus.candidates(country).iter() {
         if selected.len() >= quota {
             break;
         }
-        let outcome = probe_candidate(&browser, plan, vantage, native);
+        let outcome = probe_candidate(&mut browser, plan, vantage, native);
         tally_probe(outcome, &mut selected, &mut stats);
     }
     stats.shortfall = (quota as u64).saturating_sub(stats.selected);

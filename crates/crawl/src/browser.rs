@@ -13,6 +13,10 @@ use crate::stream::extract_streaming;
 use langcrux_net::{ContentVariant, FetchError, Internet, Request, Url, Vantage};
 use serde::{Deserialize, Serialize};
 
+/// Initial capacity of a browser's reusable body buffer (a typical
+/// generated page; the buffer grows past this once and stays).
+const BODY_BUF_CAPACITY: usize = 16 * 1024;
+
 /// A successful page visit.
 #[derive(Debug, Clone)]
 pub struct Visit {
@@ -61,38 +65,50 @@ impl Default for BrowserConfig {
 }
 
 /// A headless-browser stand-in bound to the simulated internet.
+///
+/// The browser owns a reusable body buffer: every visit fetches through
+/// [`Internet::fetch_into`] into the same allocation (content servers with
+/// a `serve_into` override render straight into it), so a long-lived
+/// browser — one per crawl worker — performs zero per-visit body
+/// allocations. [`visit`](Browser::visit) therefore takes `&mut self`.
 pub struct Browser<'net> {
     internet: &'net Internet,
     config: BrowserConfig,
+    /// Body buffer recycled across visits.
+    body: String,
 }
 
 impl<'net> Browser<'net> {
     pub fn new(internet: &'net Internet, config: BrowserConfig) -> Self {
-        Browser { internet, config }
+        Browser {
+            internet,
+            config,
+            body: String::with_capacity(BODY_BUF_CAPACITY),
+        }
     }
 
     /// Load a page from `vantage`, with retries on transient failures.
-    pub fn visit(&self, url: &Url, vantage: Vantage) -> Result<Visit, VisitError> {
+    pub fn visit(&mut self, url: &Url, vantage: Vantage) -> Result<Visit, VisitError> {
         let mut request = Request::new(url.clone(), vantage);
         let mut latency_total = 0u32;
         loop {
-            match self.internet.fetch(&request) {
-                Ok(resp) => {
-                    latency_total += resp.latency_ms;
-                    if resp.variant == ContentVariant::Restricted {
+            match self.internet.fetch_into(&request, &mut self.body) {
+                Ok(meta) => {
+                    latency_total += meta.latency_ms;
+                    if meta.variant == ContentVariant::Restricted {
                         return Err(VisitError::Restricted);
                     }
                     // Streaming tokenize→extract: no DOM is materialised
                     // on the crawl path (identical output to the DOM walk
                     // — see crate::stream).
-                    let page = extract_streaming(resp.text());
+                    let page = extract_streaming(&self.body);
                     return Ok(Visit {
                         url: url.clone(),
-                        variant: resp.variant,
+                        variant: meta.variant,
                         extract: page,
                         latency_ms: latency_total,
                         attempts: request.attempt + 1,
-                        html_bytes: resp.body.len(),
+                        html_bytes: self.body.len(),
                     });
                 }
                 Err(e) if e.is_retryable() && request.attempt < self.config.max_retries => {
@@ -131,7 +147,7 @@ mod tests {
     #[test]
     fn visit_extracts_localized_page() {
         let net = net(FaultPlan::RELIABLE);
-        let browser = Browser::new(&net, BrowserConfig::default());
+        let mut browser = Browser::new(&net, BrowserConfig::default());
         let visit = browser
             .visit(
                 &Url::from_host("khobor.bd"),
@@ -148,7 +164,7 @@ mod tests {
     #[test]
     fn cloud_vantage_sees_global() {
         let net = net(FaultPlan::RELIABLE);
-        let browser = Browser::new(&net, BrowserConfig::default());
+        let mut browser = Browser::new(&net, BrowserConfig::default());
         let visit = browser
             .visit(&Url::from_host("khobor.bd"), Vantage::Cloud)
             .unwrap();
@@ -159,7 +175,7 @@ mod tests {
     #[test]
     fn unknown_host_fails_without_retry_burn() {
         let net = net(FaultPlan::RELIABLE);
-        let browser = Browser::new(&net, BrowserConfig::default());
+        let mut browser = Browser::new(&net, BrowserConfig::default());
         let err = browser
             .visit(&Url::from_host("missing.bd"), Vantage::Cloud)
             .unwrap_err();
@@ -175,7 +191,7 @@ mod tests {
         plan.extra_vpn_detection = 1.0;
         let mut net = Internet::new(11, plan);
         net.register("wary.bd", Country::Bangladesh, 1.0, 0.0, page_server());
-        let browser = Browser::new(&net, BrowserConfig::default());
+        let mut browser = Browser::new(&net, BrowserConfig::default());
         let err = browser
             .visit(
                 &Url::from_host("wary.bd"),
@@ -193,7 +209,7 @@ mod tests {
         for i in 0..60 {
             net.register_simple(&format!("r{i}.bd"), Country::Bangladesh, page_server());
         }
-        let browser = Browser::new(&net, BrowserConfig { max_retries: 3 });
+        let mut browser = Browser::new(&net, BrowserConfig { max_retries: 3 });
         let mut recovered = 0;
         for i in 0..60 {
             let url = Url::from_host(&format!("r{i}.bd"));

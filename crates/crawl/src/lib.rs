@@ -32,6 +32,7 @@ pub use extract::{
     char_len, char_word_counts, extract, word_count, ExtractedElement, PageExtract, TextSource,
 };
 pub use pool::{
-    crawl_hosts, default_threads, run_work_stealing, CrawlConfig, CrawlOutcome, CrawlStats,
+    crawl_hosts, default_threads, run_work_stealing, run_work_stealing_with, CrawlConfig,
+    CrawlOutcome, CrawlStats,
 };
 pub use stream::extract_streaming;

@@ -36,9 +36,34 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_work_stealing_with(threads, tasks, |_| (), |(), i, t| f(i, t))
+}
+
+/// [`run_work_stealing`] with **per-worker state**: `init(worker)` runs
+/// once on each worker thread and the resulting value is passed mutably to
+/// every task that worker executes (stolen tasks included).
+///
+/// This is how the crawl threads reusable resources through the pool —
+/// each worker holds one [`Browser`] (with its recycled fetch buffer)
+/// across every visit it performs, instead of rebuilding per task. The
+/// determinism contract is unchanged *provided* task results do not depend
+/// on the state's history, which holds for browsers (a visit depends only
+/// on `(corpus seed, host, vantage)`).
+pub fn run_work_stealing_with<T, R, S, I, F>(threads: usize, tasks: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let threads = threads.max(1).min(tasks.len().max(1));
     if threads == 1 {
-        return tasks.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init(0);
+        return tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     // One deque per worker, seeded with a contiguous block of task indices.
@@ -54,11 +79,13 @@ where
     };
     let queues = &queues;
     let f = &f;
+    let init = &init;
 
     let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 scope.spawn(move || {
+                    let mut state = init(w);
                     let mut results: Vec<(usize, R)> = Vec::new();
                     loop {
                         // Own work first (front), then steal from the back
@@ -72,7 +99,7 @@ where
                             None => steal(queues, w),
                         };
                         match next {
-                            Some(i) => results.push((i, f(i, &tasks[i]))),
+                            Some(i) => results.push((i, f(&mut state, i, &tasks[i]))),
                             None => break,
                         }
                     }
@@ -167,10 +194,14 @@ pub fn crawl_hosts(
     hosts: &[String],
     config: CrawlConfig,
 ) -> CrawlOutcome {
-    let results = run_work_stealing(config.threads, hosts, |_, host: &String| {
-        let browser = Browser::new(internet, config.browser);
-        browser.visit(&Url::from_host(host), vantage)
-    });
+    // One browser per worker: the body buffer (and any downstream render
+    // arena it triggers) is recycled across every host the worker visits.
+    let results = run_work_stealing_with(
+        config.threads,
+        hosts,
+        |_| Browser::new(internet, config.browser),
+        |browser, _, host: &String| browser.visit(&Url::from_host(host), vantage),
+    );
 
     let mut visits: Vec<(String, Result<Visit, VisitError>)> =
         hosts.iter().cloned().zip(results).collect();
@@ -258,6 +289,35 @@ mod tests {
             let tasks: Vec<u64> = (0..200).collect();
             let out = run_work_stealing(8, &tasks, |_, t| *t);
             assert_eq!(out.len(), 200, "round {round}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_once_and_reused() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let tasks: Vec<u64> = (0..300).collect();
+        for threads in [1, 2, 6] {
+            inits.store(0, Ordering::SeqCst);
+            let out = run_work_stealing_with(
+                threads,
+                &tasks,
+                |w| {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    // Per-worker scratch: tasks served per state.
+                    (w, 0usize)
+                },
+                |state, i, t| {
+                    state.1 += 1;
+                    assert_eq!(i as u64, *t);
+                    *t * 2
+                },
+            );
+            assert_eq!(out, tasks.iter().map(|t| t * 2).collect::<Vec<_>>());
+            assert!(
+                inits.load(Ordering::SeqCst) <= threads,
+                "init ran more than once per worker"
+            );
         }
     }
 

@@ -6,13 +6,22 @@
 //! so that what the generator *plants* is exactly what the parser
 //! *recovers* — a property the corpus round-trip tests rely on.
 
-use crate::entities::{escape_attr, escape_text};
+use crate::entities::{escape_attr_into, escape_text_into};
 
 /// A streaming HTML writer with a tag stack.
+///
+/// The open-element stack is a flat name arena (`names` + byte ranges), so
+/// building a page performs no per-element allocation; escaping appends
+/// straight into the output buffer. [`reset_document`](Self::reset_document)
+/// recycles a builder (buffer capacity and all) across pages — the webgen
+/// render arena keeps one per worker.
 #[derive(Debug, Default)]
 pub struct HtmlBuilder {
     buf: String,
-    stack: Vec<String>,
+    /// Concatenated names of currently open elements.
+    names: String,
+    /// `(start, end)` ranges into `names`, innermost last.
+    stack: Vec<(u32, u32)>,
 }
 
 impl HtmlBuilder {
@@ -42,8 +51,21 @@ impl HtmlBuilder {
     pub fn fragment_sized(capacity: usize) -> Self {
         HtmlBuilder {
             buf: String::with_capacity(capacity),
+            names: String::new(),
             stack: Vec::with_capacity(16),
         }
+    }
+
+    /// Recycle this builder for a fresh document: the output buffer is
+    /// cleared (keeping its grown capacity) and the doctype re-written.
+    /// Equivalent to replacing the builder with
+    /// [`document_sized`](Self::document_sized) at the current capacity,
+    /// without the allocation.
+    pub fn reset_document(&mut self) {
+        self.buf.clear();
+        self.names.clear();
+        self.stack.clear();
+        self.buf.push_str("<!DOCTYPE html>");
     }
 
     /// Spare capacity currently available without reallocation.
@@ -55,7 +77,9 @@ impl HtmlBuilder {
     /// `(name, Some(value))` or `(name, None)` for boolean attributes.
     pub fn open(&mut self, tag: &str, attrs: &[(&str, Option<&str>)]) -> &mut Self {
         self.write_tag(tag, attrs, false);
-        self.stack.push(tag.to_string());
+        let start = self.names.len() as u32;
+        self.names.push_str(tag);
+        self.stack.push((start, self.names.len() as u32));
         self
     }
 
@@ -73,7 +97,7 @@ impl HtmlBuilder {
             self.buf.push_str(name);
             if let Some(v) = value {
                 self.buf.push_str("=\"");
-                self.buf.push_str(&escape_attr(v));
+                escape_attr_into(v, &mut self.buf);
                 self.buf.push('"');
             }
         }
@@ -89,16 +113,17 @@ impl HtmlBuilder {
     /// Panics if no element is open — generator code is expected to be
     /// balanced, and an unbalanced build is a bug worth failing loudly on.
     pub fn close(&mut self) -> &mut Self {
-        let tag = self.stack.pop().expect("close() with no open element");
+        let (start, end) = self.stack.pop().expect("close() with no open element");
         self.buf.push_str("</");
-        self.buf.push_str(&tag);
+        self.buf.push_str(&self.names[start as usize..end as usize]);
         self.buf.push('>');
+        self.names.truncate(start as usize);
         self
     }
 
     /// Escaped text content.
     pub fn text(&mut self, text: &str) -> &mut Self {
-        self.buf.push_str(&escape_text(text));
+        escape_text_into(text, &mut self.buf);
         self
     }
 
@@ -202,6 +227,31 @@ mod tests {
         assert_eq!(presized, build(HtmlBuilder::document()));
         let b = HtmlBuilder::fragment_sized(1024);
         assert!(b.capacity() >= 1024);
+    }
+
+    #[test]
+    fn reset_document_recycles_buffer_and_stack() {
+        let mut b = HtmlBuilder::document_sized(4096);
+        b.open("html", &[])
+            .open("body", &[])
+            .leaf("p", &[], "first");
+        let cap = b.capacity();
+        b.reset_document();
+        assert_eq!(b.depth(), 0);
+        assert_eq!(b.as_str(), "<!DOCTYPE html>");
+        assert!(b.capacity() >= cap, "capacity must survive the reset");
+        b.open("html", &[]).leaf("p", &[], "second");
+        let html = b.finish();
+        assert_eq!(html, "<!DOCTYPE html><html><p>second</p></html>");
+    }
+
+    #[test]
+    fn name_arena_closes_nested_same_and_different_tags() {
+        let mut b = HtmlBuilder::fragment();
+        b.open("div", &[]).open("div", &[]).open("span", &[]);
+        b.text("x");
+        b.close().close().close();
+        assert_eq!(b.finish(), "<div><div><span>x</span></div></div>");
     }
 
     #[test]

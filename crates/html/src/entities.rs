@@ -131,29 +131,48 @@ fn decode_reference(body: &str) -> Option<char> {
 /// Escape text for inclusion in HTML text content.
 pub fn escape_text(input: &str) -> String {
     let mut out = String::with_capacity(input.len());
-    for c in input.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
-        }
-    }
+    escape_text_into(input, &mut out);
     out
+}
+
+/// [`escape_text`] appended to a caller-owned buffer: clean spans are
+/// copied wholesale (the common case — generated prose rarely contains
+/// markup metacharacters — costs one memcpy and zero allocations).
+pub fn escape_text_into(input: &str, out: &mut String) {
+    let mut rest = input;
+    while let Some(i) = rest.find(['&', '<', '>']) {
+        out.push_str(&rest[..i]);
+        out.push_str(match rest.as_bytes()[i] {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            _ => "&gt;",
+        });
+        rest = &rest[i + 1..];
+    }
+    out.push_str(rest);
 }
 
 /// Escape text for inclusion in a double-quoted attribute value.
 pub fn escape_attr(input: &str) -> String {
     let mut out = String::with_capacity(input.len());
-    for c in input.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '"' => out.push_str("&quot;"),
-            _ => out.push(c),
-        }
-    }
+    escape_attr_into(input, &mut out);
     out
+}
+
+/// [`escape_attr`] appended to a caller-owned buffer (see
+/// [`escape_text_into`] for the fast path).
+pub fn escape_attr_into(input: &str, out: &mut String) {
+    let mut rest = input;
+    while let Some(i) = rest.find(['&', '<', '"']) {
+        out.push_str(&rest[..i]);
+        out.push_str(match rest.as_bytes()[i] {
+            b'&' => "&amp;",
+            b'<' => "&lt;",
+            _ => "&quot;",
+        });
+        rest = &rest[i + 1..];
+    }
+    out.push_str(rest);
 }
 
 fn utf8_len(first_byte: u8) -> usize {

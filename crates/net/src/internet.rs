@@ -32,6 +32,16 @@ use std::sync::Arc;
 /// the blanket impl for closures.
 pub trait ContentServer: Send + Sync {
     fn serve(&self, variant: ContentVariant, path: &str) -> String;
+
+    /// Append the page body to a caller-owned buffer instead of
+    /// allocating. Content servers on a hot path (webgen's corpus
+    /// resolver) override this; the default delegates to [`serve`]
+    /// (correct, but pays the allocation).
+    ///
+    /// [`serve`]: ContentServer::serve
+    fn serve_into(&self, variant: ContentVariant, path: &str, out: &mut String) {
+        out.push_str(&self.serve(variant, path));
+    }
 }
 
 impl<F> ContentServer for F
@@ -41,6 +51,39 @@ where
     fn serve(&self, variant: ContentVariant, path: &str) -> String {
         self(variant, path)
     }
+}
+
+/// Serving metadata for a lazily resolved host.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolvedHost {
+    pub country: Country,
+    /// Probability (0–1) that this site actively detects VPN ranges.
+    pub vpn_detecting: f64,
+    /// Probability that this site hard-blocks foreign vantages.
+    pub geo_block: f64,
+}
+
+/// A lazy host registry: resolves hostnames (and serves their pages) on
+/// demand instead of requiring every host to be materialised up front via
+/// [`Internet::register`].
+///
+/// This is what lets `langcrux-webgen` shard its corpora: the resolver
+/// derives a host's country from the name, builds (or revives) the
+/// country shard, and renders pages from plans that may since have been
+/// evicted from memory. Explicitly registered hosts always win over the
+/// resolver, so tests can overlay fixtures on a lazy corpus.
+pub trait HostResolver: Send + Sync {
+    /// Serving metadata for `host`, or `None` if the name does not exist.
+    fn resolve(&self, host: &str) -> Option<ResolvedHost>;
+
+    /// Append the page body for a previously resolved host. Called only
+    /// with hostnames `resolve` accepted (possibly much later — the
+    /// backing state must be rebuildable).
+    fn serve_into(&self, host: &str, variant: ContentVariant, path: &str, out: &mut String);
+
+    /// Number of hosts this resolver can resolve (for capacity-style
+    /// telemetry; needs no materialisation).
+    fn host_count(&self) -> usize;
 }
 
 /// Per-host registration data.
@@ -75,6 +118,8 @@ pub struct Internet {
     seed: u64,
     plan: FaultPlan,
     hosts: HashMap<String, HostEntry>,
+    /// Lazy registry consulted when `hosts` misses.
+    resolver: Option<Box<dyn HostResolver>>,
     metrics: Arc<Mutex<NetMetrics>>,
 }
 
@@ -85,8 +130,15 @@ impl Internet {
             seed,
             plan,
             hosts: HashMap::new(),
+            resolver: None,
             metrics: Arc::new(Mutex::new(NetMetrics::default())),
         }
+    }
+
+    /// Install the lazy host registry. Explicitly registered hosts take
+    /// precedence on lookup.
+    pub fn set_resolver(&mut self, resolver: Box<dyn HostResolver>) {
+        self.resolver = Some(resolver);
     }
 
     /// Register a host. `vpn_detecting` and `geo_block` are per-site
@@ -120,17 +172,35 @@ impl Internet {
         self.register(host, country, 0.0, 0.0, server);
     }
 
-    /// Number of registered hosts.
+    /// Number of resolvable hosts (registered + lazy registry).
     pub fn host_count(&self) -> usize {
-        self.hosts.len()
+        match &self.resolver {
+            None => self.hosts.len(),
+            Some(resolver) => {
+                // A host registered *over* a resolver entry (test fixtures
+                // overlaying a lazy corpus) counts once.
+                let overlap = self
+                    .hosts
+                    .keys()
+                    .filter(|host| resolver.resolve(host).is_some())
+                    .count();
+                self.hosts.len() + resolver.host_count() - overlap
+            }
+        }
     }
 
     /// Whether a hostname resolves.
     pub fn knows(&self, host: &str) -> bool {
-        self.hosts.contains_key(&host.to_ascii_lowercase())
+        let host = host.to_ascii_lowercase();
+        self.hosts.contains_key(&host)
+            || self
+                .resolver
+                .as_ref()
+                .is_some_and(|r| r.resolve(&host).is_some())
     }
 
-    /// Hosts registered for a country (unordered).
+    /// *Registered* hosts for a country (unordered; lazily resolvable
+    /// hosts are not enumerable by design — ask the corpus instead).
     pub fn hosts_in(&self, country: Country) -> Vec<&str> {
         self.hosts
             .iter()
@@ -144,17 +214,56 @@ impl Internet {
         self.metrics.lock().clone()
     }
 
-    /// Execute one request.
+    /// Execute one request, allocating a fresh response body.
+    ///
+    /// Convenience wrapper over [`fetch_into`](Internet::fetch_into);
+    /// crawl hot loops reuse a body buffer there instead.
     pub fn fetch(&self, req: &Request) -> Result<Response, FetchError> {
+        let mut body = String::new();
+        let meta = self.fetch_into(req, &mut body)?;
+        Ok(Response {
+            url: req.url.clone(),
+            status: meta.status,
+            body: Bytes::from(body),
+            variant: meta.variant,
+            latency_ms: meta.latency_ms,
+        })
+    }
+
+    /// Execute one request, appending the body to a caller-owned buffer
+    /// (cleared first). The crawl path's zero-copy fetch: a browser reuses
+    /// one buffer across every visit, and content servers with a
+    /// `serve_into` override render straight into it.
+    pub fn fetch_into(&self, req: &Request, body: &mut String) -> Result<FetchMeta, FetchError> {
+        // Clear up front so an error return cannot leave a previous
+        // visit's page in the caller's reused buffer.
+        body.clear();
         let mut m = self.metrics.lock();
         m.requests += 1;
         drop(m);
 
-        let entry = match self.hosts.get(&req.url.host) {
-            Some(e) => e,
+        // Registered hosts win; the lazy resolver covers the rest.
+        let (meta, entry) = match self.hosts.get(&req.url.host) {
+            Some(entry) => (
+                ResolvedHost {
+                    country: entry.country,
+                    vpn_detecting: entry.vpn_detecting,
+                    geo_block: entry.geo_block,
+                },
+                Some(entry),
+            ),
             None => {
-                self.metrics.lock().unknown_hosts += 1;
-                return Err(FetchError::UnknownHost(req.url.host.clone()));
+                let resolved = self
+                    .resolver
+                    .as_ref()
+                    .and_then(|r| r.resolve(&req.url.host));
+                match resolved {
+                    Some(meta) => (meta, None),
+                    None => {
+                        self.metrics.lock().unknown_hosts += 1;
+                        return Err(FetchError::UnknownHost(req.url.host.clone()));
+                    }
+                }
             }
         };
 
@@ -169,8 +278,15 @@ impl Internet {
             return Err(FetchError::ConnectionReset);
         }
 
-        let variant = self.variant_for(entry, req, &dice)?;
-        let body = entry.server.serve(variant, &req.url.path);
+        let variant = self.variant_for(&meta, req, &dice)?;
+        match entry {
+            Some(entry) => entry.server.serve_into(variant, &req.url.path, body),
+            None => self
+                .resolver
+                .as_ref()
+                .expect("resolved host without resolver")
+                .serve_into(&req.url.host, variant, &req.url.path, body),
+        }
         let latency = dice.latency_ms(&self.plan);
 
         let mut m = self.metrics.lock();
@@ -182,14 +298,12 @@ impl Internet {
         m.bytes_served += body.len() as u64;
         drop(m);
 
-        Ok(Response {
-            url: req.url.clone(),
+        Ok(FetchMeta {
             status: if variant == ContentVariant::Restricted {
                 451
             } else {
                 200
             },
-            body: Bytes::from(body),
             variant,
             latency_ms: latency,
         })
@@ -199,16 +313,16 @@ impl Internet {
     /// is deterministic per (seed, host, attempt).
     fn variant_for(
         &self,
-        entry: &HostEntry,
+        host: &ResolvedHost,
         req: &Request,
         dice: &FaultDice,
     ) -> Result<ContentVariant, FetchError> {
         match req.vantage.egress_country() {
-            Some(egress) if egress == entry.country => {
+            Some(egress) if egress == host.country => {
                 if req.vantage.is_vpn() {
                     // Combined chance: the site must be a detecting site AND
                     // recognise this provider's ranges.
-                    let p_detect = entry.vpn_detecting
+                    let p_detect = host.vpn_detecting
                         * (provider_detectability(&req.vantage) + self.plan.extra_vpn_detection);
                     if dice.fires(RollPurpose::VpnDetection, p_detect.min(1.0)) {
                         self.metrics.lock().vpn_detections += 1;
@@ -219,7 +333,7 @@ impl Internet {
             }
             _ => {
                 // Foreign vantage: occasionally geo-blocked, usually global.
-                if dice.fires(RollPurpose::GeoBlock, entry.geo_block) {
+                if dice.fires(RollPurpose::GeoBlock, host.geo_block) {
                     self.metrics.lock().geo_blocks += 1;
                     return Err(FetchError::GeoBlocked);
                 }
@@ -227,6 +341,16 @@ impl Internet {
             }
         }
     }
+}
+
+/// Response metadata from [`Internet::fetch_into`] — everything a
+/// [`Response`] carries except the body, which lives in the caller's
+/// buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchMeta {
+    pub status: u16,
+    pub variant: ContentVariant,
+    pub latency_ms: u32,
 }
 
 fn provider_detectability(vantage: &Vantage) -> f64 {

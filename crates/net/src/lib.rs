@@ -26,6 +26,6 @@ pub mod url;
 
 pub use fault::{FaultDice, FaultPlan};
 pub use geo::{select_provider, vpn_vantage, Vantage, VpnProviderId};
-pub use internet::{ContentServer, Internet, NetMetrics};
+pub use internet::{ContentServer, FetchMeta, HostResolver, Internet, NetMetrics, ResolvedHost};
 pub use types::{ContentVariant, FetchError, Request, Response};
 pub use url::Url;

@@ -586,6 +586,16 @@ impl Response {
         }
     }
 
+    /// A Prometheus text-format (exposition format 0.0.4) response.
+    pub fn prometheus(status: u16, body: impl Into<Body>, keep_alive: bool) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into(),
+            keep_alive,
+        }
+    }
+
     /// The standard JSON error envelope.
     pub fn error(status: u16, detail: &str, keep_alive: bool) -> Response {
         let body = format!(

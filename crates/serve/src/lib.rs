@@ -24,7 +24,8 @@
 //!   connections with slowloris deadlines, routing: `POST /v1/audit`,
 //!   `POST /v1/batch` (streamed as chunked encoding while the
 //!   work-stealing pool completes units), `GET /v1/healthz`,
-//!   `GET /v1/stats`.
+//!   `GET /v1/stats` (JSON, or the Prometheus text exposition via
+//!   `Accept: text/plain`), `GET /v1/metrics` (always Prometheus).
 //! * [`batch`] — the bounded reorder window between pool workers and the
 //!   streaming batch writer (`peak_batch_buffer` gauge).
 //! * [`stats`] — request counters (incl. shed/timeout) and a lock-free
@@ -59,7 +60,8 @@ pub use governor::{Admission, Governor};
 pub use http::{Limits, ParseError, Request, RequestParser, Response};
 pub use loadgen::{run_load, LoadGenRun};
 pub use server::{
-    batch_buffered, route, spawn, Routed, ServeConfig, ServeState, ServerHandle, StatsSnapshot,
+    batch_buffered, prometheus_text, route, spawn, Routed, ServeConfig, ServeState, ServerHandle,
+    StatsSnapshot,
 };
 pub use service::{AuditResponse, AuditService, ScriptSlice};
 pub use stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};

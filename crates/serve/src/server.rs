@@ -151,6 +151,174 @@ impl ServeState {
     }
 }
 
+/// Render the stats snapshot in Prometheus text exposition format
+/// (version 0.0.4): every counter/gauge `GET /v1/stats` serves as JSON,
+/// under the `langcrux_serve_` namespace, scrape-ready for a Prometheus
+/// `/v1/metrics` target. Quantiles follow the summary convention
+/// (`{quantile="…"}` labels on the base metric plus `_count`/`_sum`).
+pub fn prometheus_text(stats: &StatsSnapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(2048);
+    let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+
+    let _ = writeln!(
+        out,
+        "# HELP langcrux_serve_uptime_milliseconds Time since the server started."
+    );
+    let _ = writeln!(out, "# TYPE langcrux_serve_uptime_milliseconds gauge");
+    let _ = writeln!(
+        out,
+        "langcrux_serve_uptime_milliseconds {}",
+        stats.uptime_ms
+    );
+
+    let r = &stats.requests;
+    let _ = writeln!(
+        out,
+        "# HELP langcrux_serve_requests_total Successfully routed requests by endpoint."
+    );
+    let _ = writeln!(out, "# TYPE langcrux_serve_requests_total counter");
+    for (endpoint, value) in [
+        ("audit", r.audit),
+        ("batch", r.batch),
+        ("healthz", r.healthz),
+        ("stats", r.stats),
+    ] {
+        let _ = writeln!(
+            out,
+            "langcrux_serve_requests_total{{endpoint=\"{endpoint}\"}} {value}"
+        );
+    }
+    counter(
+        &mut out,
+        "langcrux_serve_batch_pages_total",
+        "Pages audited inside batch requests.",
+        r.batch_pages,
+    );
+    counter(
+        &mut out,
+        "langcrux_serve_errors_total",
+        "4xx/5xx answers (routing + protocol errors).",
+        r.errors,
+    );
+    counter(
+        &mut out,
+        "langcrux_serve_shed_total",
+        "Connections refused with 503 by the governor.",
+        r.shed,
+    );
+    counter(
+        &mut out,
+        "langcrux_serve_timeouts_total",
+        "Connections closed with 408 by the request deadline.",
+        r.timeouts,
+    );
+
+    let c = &stats.cache;
+    counter(
+        &mut out,
+        "langcrux_serve_cache_hits_total",
+        "Response-cache lookups served from cache.",
+        c.hits,
+    );
+    counter(
+        &mut out,
+        "langcrux_serve_cache_misses_total",
+        "Response-cache lookups that computed an audit.",
+        c.misses,
+    );
+    counter(
+        &mut out,
+        "langcrux_serve_cache_evictions_total",
+        "Response-cache LRU evictions.",
+        c.evictions,
+    );
+    let _ = writeln!(
+        out,
+        "# HELP langcrux_serve_cache_entries Responses resident in the cache."
+    );
+    let _ = writeln!(out, "# TYPE langcrux_serve_cache_entries gauge");
+    let _ = writeln!(out, "langcrux_serve_cache_entries {}", c.entries);
+
+    let l = &stats.latency;
+    let _ = writeln!(
+        out,
+        "# HELP langcrux_serve_request_latency_microseconds Request latency summary \
+         (quantiles are histogram-bucket upper bounds)."
+    );
+    let _ = writeln!(
+        out,
+        "# TYPE langcrux_serve_request_latency_microseconds summary"
+    );
+    let _ = writeln!(
+        out,
+        "langcrux_serve_request_latency_microseconds{{quantile=\"0.5\"}} {}",
+        l.p50_us
+    );
+    let _ = writeln!(
+        out,
+        "langcrux_serve_request_latency_microseconds{{quantile=\"0.99\"}} {}",
+        l.p99_us
+    );
+    let _ = writeln!(
+        out,
+        "langcrux_serve_request_latency_microseconds_sum {}",
+        l.total_us
+    );
+    let _ = writeln!(
+        out,
+        "langcrux_serve_request_latency_microseconds_count {}",
+        l.count
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP langcrux_serve_peak_batch_buffer_bytes Peak bytes parked in a \
+         streaming-batch reorder window."
+    );
+    let _ = writeln!(out, "# TYPE langcrux_serve_peak_batch_buffer_bytes gauge");
+    let _ = writeln!(
+        out,
+        "langcrux_serve_peak_batch_buffer_bytes {}",
+        stats.peak_batch_buffer
+    );
+    out
+}
+
+/// Whether the request's `Accept` header *prefers* plain text over JSON
+/// (Prometheus scrapers send `text/plain` or the versioned exposition
+/// type). Honors q-values: `text/plain;q=0` refuses text, and
+/// `application/json, text/plain;q=0.1` keeps the JSON document —
+/// pre-PR clients of `/v1/stats` that merely tolerate text are not
+/// switched to the exposition format.
+fn accepts_text_plain(request: &Request) -> bool {
+    let Some(accept) = request.header("accept") else {
+        return false;
+    };
+    let mut text_q: f64 = 0.0;
+    let mut json_q: f64 = 0.0;
+    for item in accept.split(',') {
+        let mut parts = item.split(';');
+        let media = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        let mut q = 1.0f64;
+        for param in parts {
+            if let Some(value) = param.trim().strip_prefix("q=") {
+                q = value.trim().parse().unwrap_or(0.0);
+            }
+        }
+        match media.as_str() {
+            "text/plain" | "text/*" => text_q = text_q.max(q),
+            "application/json" | "application/*" => json_q = json_q.max(q),
+            _ => {}
+        }
+    }
+    text_q > 0.0 && text_q > json_q
+}
+
 /// A routed request: either a complete response, or a batch whose
 /// response the connection loop streams as chunked encoding while the
 /// work-stealing pool completes elements.
@@ -210,12 +378,23 @@ pub fn route(state: &ServeState, request: &Request) -> Routed {
         }
         ("GET", "/v1/stats") => {
             state.counters.stats.fetch_add(1, relaxed);
+            // Content negotiation: `Accept: text/plain` gets the
+            // Prometheus exposition instead of the JSON document.
+            if accepts_text_plain(request) {
+                let body = prometheus_text(&state.stats()).into_bytes();
+                return full(Response::prometheus(200, body, keep));
+            }
             let body = serde_json::to_string(&state.stats())
                 .expect("stats serialize")
                 .into_bytes();
             full(Response::json(200, body, keep))
         }
-        (_, "/v1/audit" | "/v1/batch" | "/v1/healthz" | "/v1/stats") => {
+        ("GET", "/v1/metrics") => {
+            state.counters.stats.fetch_add(1, relaxed);
+            let body = prometheus_text(&state.stats()).into_bytes();
+            full(Response::prometheus(200, body, keep))
+        }
+        (_, "/v1/audit" | "/v1/batch" | "/v1/healthz" | "/v1/stats" | "/v1/metrics") => {
             state.counters.errors.fetch_add(1, relaxed);
             full(Response::error(405, "method not allowed", keep))
         }
@@ -753,6 +932,79 @@ mod tests {
         assert!(text.contains("\"p99_us\""));
         assert!(text.contains("\"shed\""));
         assert!(text.contains("\"peak_batch_buffer\""));
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let state = test_state();
+        // Generate some traffic so counters are non-zero.
+        let _ = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        let _ = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        let resp = full(route(&state, &request("GET", "/v1/metrics", b"")));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(text.contains("# TYPE langcrux_serve_requests_total counter"));
+        assert!(text.contains("langcrux_serve_requests_total{endpoint=\"audit\"} 2"));
+        assert!(text.contains("langcrux_serve_cache_hits_total 1"));
+        assert!(text.contains("langcrux_serve_cache_misses_total 1"));
+        assert!(text.contains("# TYPE langcrux_serve_request_latency_microseconds summary"));
+        assert!(text.contains("langcrux_serve_peak_batch_buffer_bytes 0"));
+        // Every line is exposition-format: comment, or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line.split_once(' ').is_some_and(
+                        |(name, value)| !name.is_empty() && value.parse::<f64>().is_ok()
+                    ),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_route_negotiates_prometheus_via_accept() {
+        let state = test_state();
+        let mut req = request("GET", "/v1/stats", b"");
+        req.headers
+            .push(("accept".to_string(), "text/plain".to_string()));
+        let resp = full(route(&state, &req));
+        assert!(resp.content_type.starts_with("text/plain"));
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(text.contains("langcrux_serve_uptime_milliseconds"));
+        // Plain GET still answers JSON, and both count as stats requests.
+        let json = full(route(&state, &request("GET", "/v1/stats", b"")));
+        assert_eq!(json.content_type, "application/json");
+        assert_eq!(state.counters.snapshot().stats, 2);
+        // A GET with Accept: application/json is unaffected.
+        let mut req = request("GET", "/v1/stats", b"");
+        req.headers
+            .push(("accept".to_string(), "application/json".to_string()));
+        assert_eq!(full(route(&state, &req)).content_type, "application/json");
+        // q-values: tolerating text as a fallback (or refusing it) must
+        // not switch an existing JSON client to the exposition format.
+        for accept in [
+            "application/json, text/plain;q=0.1",
+            "text/plain;q=0",
+            "text/plain;q=0.2, application/json;q=0.9",
+        ] {
+            let mut req = request("GET", "/v1/stats", b"");
+            req.headers.push(("accept".to_string(), accept.to_string()));
+            assert_eq!(
+                full(route(&state, &req)).content_type,
+                "application/json",
+                "{accept}"
+            );
+        }
+        // A scraper that genuinely prefers text still gets it.
+        let mut req = request("GET", "/v1/stats", b"");
+        req.headers.push((
+            "accept".to_string(),
+            "text/plain;version=0.0.4;q=0.9, application/json;q=0.2".to_string(),
+        ));
+        assert!(full(route(&state, &req))
+            .content_type
+            .starts_with("text/plain"));
     }
 
     #[test]

@@ -99,12 +99,14 @@ impl LatencyHistogram {
 
     pub fn snapshot(&self) -> LatencySnapshot {
         let count = self.count();
+        let total_us = self.total_us.load(Ordering::Relaxed);
         LatencySnapshot {
             count,
+            total_us,
             mean_us: if count == 0 {
                 0.0
             } else {
-                self.total_us.load(Ordering::Relaxed) as f64 / count as f64
+                total_us as f64 / count as f64
             },
             p50_us: self.quantile_us(0.50),
             p99_us: self.quantile_us(0.99),
@@ -117,6 +119,9 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct LatencySnapshot {
     pub count: u64,
+    /// Exact sum of all observations (the Prometheus summary `_sum`;
+    /// monotone between scrapes, unlike a mean×count reconstruction).
+    pub total_us: u64,
     pub mean_us: f64,
     pub p50_us: u64,
     pub p99_us: u64,

@@ -73,11 +73,20 @@ fn smoke_healthz_audit_batch_stats_shutdown() {
     );
     assert_eq!(requests.get("healthz"), Some(&serde_json::Value::UInt(1)));
 
+    // Prometheus exposition over the wire: same counters, text format.
+    let (status, metrics_body) = get(&mut stream, "/v1/metrics", &mut scratch).expect("metrics");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(metrics_body).expect("utf-8 exposition");
+    assert!(metrics.contains("langcrux_serve_requests_total{endpoint=\"audit\"} 1"));
+    assert!(metrics.contains("langcrux_serve_requests_total{endpoint=\"batch\"} 1"));
+    assert!(metrics.contains("langcrux_serve_batch_pages_total 2"));
+    assert!(metrics.contains("# TYPE langcrux_serve_cache_hits_total counter"));
+
     // clean shutdown: every worker joined, final stats returned
     let finale = server.shutdown();
     assert_eq!(finale.requests.audit, 1);
     assert_eq!(finale.requests.errors, 0);
-    assert_eq!(finale.latency.count, 4);
+    assert_eq!(finale.latency.count, 5);
 }
 
 #[test]

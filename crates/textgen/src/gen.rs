@@ -46,91 +46,127 @@ impl TextGenerator {
         self.language
     }
 
+    /// Re-point a pooled generator at a new `(language, seed)` stream in
+    /// place — state-identical to [`TextGenerator::new`], but without
+    /// constructing a new value. This is what lets a render arena keep one
+    /// generator per role and recycle it across pages.
+    pub fn reseed(&mut self, language: Language, seed: u64) {
+        self.language = language;
+        self.rng = rng::rng_for(seed, &[language as u64 + 1]);
+    }
+
     fn pick<T: Copy>(&mut self, slice: &[T]) -> T {
         slice[self.rng.gen_range(0..slice.len())]
     }
 
     /// Generate one word.
     pub fn word(&mut self) -> String {
-        match self.language {
-            Language::English => self.english_word(),
-            Language::MandarinChinese => self.han_word(pools::HAN_SIMPLIFIED),
-            Language::Cantonese => self.han_word(pools::HAN_TRADITIONAL),
-            Language::Japanese => self.japanese_word(),
-            Language::Korean => self.korean_word(),
-            Language::Amharic => self.ethiopic_word(),
-            Language::Thai => self.thai_word(),
-            lang => self.alpha_word(alpha_pool_for(lang)),
-        }
-    }
-
-    fn english_word(&mut self) -> String {
-        let roll: f64 = self.rng.gen();
-        if roll < 0.25 {
-            self.pick(english::FUNCTION_WORDS).to_string()
-        } else if roll < 0.65 {
-            self.pick(english::NOUNS).to_string()
-        } else if roll < 0.85 {
-            self.pick(english::ADJECTIVES).to_string()
-        } else {
-            self.pick(english::VERBS).to_string()
-        }
-    }
-
-    /// Alphabetic / abugida word: 1–4 syllables of base(+sign|vowel).
-    fn alpha_word(&mut self, pool: AlphaPool) -> String {
-        let syllables = self.rng.gen_range(1..=4);
         let mut out = String::new();
-        // Occasionally start with an independent vowel.
-        if !pool.vowels.is_empty() && self.rng.gen_bool(0.2) {
-            out.push(self.pick(pool.vowels));
-        }
-        for _ in 0..syllables {
-            out.push(self.pick(pool.base));
-            if !pool.signs.is_empty() && self.rng.gen_bool(0.65) {
-                out.push(self.pick(pool.signs));
-            } else if !pool.vowels.is_empty() && pool.signs.is_empty() && self.rng.gen_bool(0.75) {
-                out.push(self.pick(pool.vowels));
-            }
-        }
-        if !pool.finals.is_empty() && self.rng.gen_bool(0.25) {
-            out.push(self.pick(pool.finals));
-        }
+        self.append_word(&mut out);
         out
     }
 
-    fn han_word(&mut self, pool: &[char]) -> String {
-        let len = self.pick(&[1usize, 2, 2, 2, 3]);
-        (0..len).map(|_| self.pick(pool)).collect()
+    /// [`word`](Self::word) written into a caller-owned buffer. Bytes and
+    /// RNG draws are identical to `word` — this is the innermost step of
+    /// the allocation diet (the old path allocated one `String` per word).
+    pub fn append_word(&mut self, out: &mut String) {
+        match self.language {
+            Language::English => self.append_english_word(out),
+            Language::MandarinChinese => self.append_han_word(pools::HAN_SIMPLIFIED, out),
+            Language::Cantonese => self.append_han_word(pools::HAN_TRADITIONAL, out),
+            Language::Japanese => self.append_japanese_word(out),
+            Language::Korean => self.append_korean_word(out),
+            Language::Amharic => self.append_ethiopic_word(out),
+            Language::Thai => self.append_thai_word(out),
+            lang => self.append_alpha_word(alpha_pool_for(lang), out),
+        }
     }
 
-    fn japanese_word(&mut self) -> String {
+    fn append_english_word(&mut self, out: &mut String) {
+        let roll: f64 = self.rng.gen();
+        let word = if roll < 0.25 {
+            self.pick(english::FUNCTION_WORDS)
+        } else if roll < 0.65 {
+            self.pick(english::NOUNS)
+        } else if roll < 0.85 {
+            self.pick(english::ADJECTIVES)
+        } else {
+            self.pick(english::VERBS)
+        };
+        out.push_str(word);
+    }
+
+    /// Alphabetic / abugida word: 1–4 syllables of base(+sign|vowel).
+    fn append_alpha_word(&mut self, pool: AlphaPool, out: &mut String) {
+        let syllables = self.rng.gen_range(1..=4);
+        // Occasionally start with an independent vowel.
+        if !pool.vowels.is_empty() && self.rng.gen_bool(0.2) {
+            let c = self.pick(pool.vowels);
+            out.push(c);
+        }
+        for _ in 0..syllables {
+            let c = self.pick(pool.base);
+            out.push(c);
+            if !pool.signs.is_empty() && self.rng.gen_bool(0.65) {
+                let c = self.pick(pool.signs);
+                out.push(c);
+            } else if !pool.vowels.is_empty() && pool.signs.is_empty() && self.rng.gen_bool(0.75) {
+                let c = self.pick(pool.vowels);
+                out.push(c);
+            }
+        }
+        if !pool.finals.is_empty() && self.rng.gen_bool(0.25) {
+            let c = self.pick(pool.finals);
+            out.push(c);
+        }
+    }
+
+    fn append_han_word(&mut self, pool: &[char], out: &mut String) {
+        let len = self.pick(&[1usize, 2, 2, 2, 3]);
+        for _ in 0..len {
+            let c = self.pick(pool);
+            out.push(c);
+        }
+    }
+
+    fn append_japanese_word(&mut self, out: &mut String) {
         let roll: f64 = self.rng.gen();
         if roll < 0.55 {
             // Kanji stem, optionally with hiragana okurigana.
             let kanji = self.rng.gen_range(1..=2);
-            let mut w: String = (0..kanji).map(|_| self.pick(pools::KANJI)).collect();
-            if self.rng.gen_bool(0.5) {
-                w.push(self.pick(pools::HIRAGANA));
+            for _ in 0..kanji {
+                let c = self.pick(pools::KANJI);
+                out.push(c);
             }
-            w
+            if self.rng.gen_bool(0.5) {
+                let c = self.pick(pools::HIRAGANA);
+                out.push(c);
+            }
         } else if roll < 0.85 {
             let len = self.rng.gen_range(2..=4);
-            (0..len).map(|_| self.pick(pools::HIRAGANA)).collect()
+            for _ in 0..len {
+                let c = self.pick(pools::HIRAGANA);
+                out.push(c);
+            }
         } else {
             // Katakana loan word, often with a long-vowel mark.
             let len = self.rng.gen_range(2..=5);
-            let mut w: String = (0..len).map(|_| self.pick(pools::KATAKANA)).collect();
-            if self.rng.gen_bool(0.35) {
-                w.push('ー');
+            for _ in 0..len {
+                let c = self.pick(pools::KATAKANA);
+                out.push(c);
             }
-            w
+            if self.rng.gen_bool(0.35) {
+                out.push('ー');
+            }
         }
     }
 
-    fn korean_word(&mut self) -> String {
+    fn append_korean_word(&mut self, out: &mut String) {
         let len = self.rng.gen_range(1..=4);
-        (0..len).map(|_| self.hangul_syllable()).collect()
+        for _ in 0..len {
+            let c = self.hangul_syllable();
+            out.push(c);
+        }
     }
 
     /// Compose a Hangul syllable block from jamo indices:
@@ -147,35 +183,34 @@ impl TextGenerator {
         char::from_u32(0xAC00 + (initial * 21 + vowel) * 28 + final_c).expect("valid Hangul")
     }
 
-    fn ethiopic_word(&mut self) -> String {
+    fn append_ethiopic_word(&mut self, out: &mut String) {
         let len = self.rng.gen_range(2..=4);
-        (0..len)
-            .map(|_| {
-                let base = self.pick(pools::ETHIOPIC_ROW_BASES);
-                let order = self.rng.gen_range(0..7u32);
-                char::from_u32(base + order).expect("valid Ethiopic")
-            })
-            .collect()
+        for _ in 0..len {
+            let base = self.pick(pools::ETHIOPIC_ROW_BASES);
+            let order = self.rng.gen_range(0..7u32);
+            out.push(char::from_u32(base + order).expect("valid Ethiopic"));
+        }
     }
 
-    fn thai_word(&mut self) -> String {
+    fn append_thai_word(&mut self, out: &mut String) {
         let syllables = self.rng.gen_range(1..=3);
-        let mut out = String::new();
         for _ in 0..syllables {
             if self.rng.gen_bool(0.25) {
-                out.push(self.pick(pools::THAI_PREFIX_VOWELS));
+                let c = self.pick(pools::THAI_PREFIX_VOWELS);
+                out.push(c);
             }
-            out.push(self.pick(pools::THAI.base));
+            let c = self.pick(pools::THAI.base);
+            out.push(c);
             if self.rng.gen_bool(0.6) {
                 let roll: f64 = self.rng.gen();
-                if roll < 0.5 {
-                    out.push(self.pick(pools::THAI.signs));
+                let c = if roll < 0.5 {
+                    self.pick(pools::THAI.signs)
                 } else {
-                    out.push(self.pick(pools::THAI.vowels));
-                }
+                    self.pick(pools::THAI.vowels)
+                };
+                out.push(c);
             }
         }
-        out
     }
 
     /// Whether this language writes without inter-word spaces.
@@ -204,8 +239,7 @@ impl TextGenerator {
             if i > 0 {
                 out.push_str(sep);
             }
-            let word = self.word();
-            out.push_str(&word);
+            self.append_word(out);
         }
     }
 
@@ -232,8 +266,7 @@ impl TextGenerator {
                         pools::JA_PARTICLES[self.rng.gen_range(0..pools::JA_PARTICLES.len())],
                     );
                 }
-                let word = self.word();
-                out.push_str(&word);
+                self.append_word(out);
             }
             return;
         }
@@ -289,41 +322,80 @@ impl TextGenerator {
 
     /// A short headline (2–7 words, no terminal punctuation).
     pub fn headline(&mut self) -> String {
+        let mut out = String::new();
+        self.append_headline(&mut out);
+        out
+    }
+
+    /// [`headline`](Self::headline) into a caller-owned buffer.
+    pub fn append_headline(&mut self, out: &mut String) {
         if self.language == Language::English {
-            // Headline grammar: [adj] noun verb [adj] noun
+            // Headline grammar: [adj] noun verb [adj] noun. The words are
+            // `&'static str`, so staging them in a fixed array keeps the
+            // zero-alloc property while preserving the draw order.
             let with_adj1 = self.rng.gen_bool(0.6);
             let with_adj2 = self.rng.gen_bool(0.5);
-            let mut parts: Vec<&str> = Vec::new();
+            let mut words: [&str; 5] = [""; 5];
+            let mut n = 0;
             if with_adj1 {
-                parts.push(self.pick(english::ADJECTIVES));
+                words[n] = self.pick(english::ADJECTIVES);
+                n += 1;
             }
-            parts.push(self.pick(english::NOUNS));
-            parts.push(self.pick(english::VERBS));
+            words[n] = self.pick(english::NOUNS);
+            n += 1;
+            words[n] = self.pick(english::VERBS);
+            n += 1;
             if with_adj2 {
-                parts.push(self.pick(english::ADJECTIVES));
+                words[n] = self.pick(english::ADJECTIVES);
+                n += 1;
             }
-            parts.push(self.pick(english::NOUNS));
-            return parts.join(" ");
+            words[n] = self.pick(english::NOUNS);
+            n += 1;
+            for (i, word) in words[..n].iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(word);
+            }
+            return;
         }
-        self.phrase(2, 7)
+        self.append_phrase(2, 7, out);
     }
 
     /// A descriptive alt text: what a photo depicts, in this language.
     /// English alt texts use the concrete subject bank for realism.
     pub fn alt_text(&mut self) -> String {
+        let mut out = String::new();
+        self.append_alt_text(&mut out);
+        out
+    }
+
+    /// [`alt_text`](Self::alt_text) into a caller-owned buffer.
+    pub fn append_alt_text(&mut self, out: &mut String) {
         if self.language == Language::English {
-            return self.pick(english::IMAGE_SUBJECTS).to_string();
+            let subject = self.pick(english::IMAGE_SUBJECTS);
+            out.push_str(subject);
+            return;
         }
-        self.phrase(3, 8)
+        self.append_phrase(3, 8, out);
     }
 
     /// An informative section/navigation label (1–3 words; English uses the
     /// curated multi-word section names so the single-word filter keeps it).
     pub fn section_label(&mut self) -> String {
+        let mut out = String::new();
+        self.append_section_label(&mut out);
+        out
+    }
+
+    /// [`section_label`](Self::section_label) into a caller-owned buffer.
+    pub fn append_section_label(&mut self, out: &mut String) {
         if self.language == Language::English {
-            return self.pick(english::UI_SECTIONS).to_string();
+            let section = self.pick(english::UI_SECTIONS);
+            out.push_str(section);
+            return;
         }
-        self.phrase(1, 3)
+        self.append_phrase(1, 3, out);
     }
 
     /// Expose the inner RNG for callers that need correlated decisions.
@@ -434,6 +506,65 @@ mod tests {
                 assert_eq!(scratch, expect, "{lang:?} round {round}");
             }
         }
+    }
+
+    #[test]
+    fn append_word_headline_alt_label_match_returning_variants() {
+        // Every converted API must be byte- AND RNG-draw-identical: the
+        // trailing word() comparison fails if any append variant consumed
+        // a different number of draws.
+        for &lang in ALL_LANGS {
+            let mut returning = TextGenerator::new(lang, 8181);
+            let mut appending = TextGenerator::new(lang, 8181);
+            let mut scratch = String::new();
+            for round in 0..8 {
+                let expect = format!(
+                    "{}|{}|{}|{}",
+                    returning.word(),
+                    returning.headline(),
+                    returning.alt_text(),
+                    returning.section_label()
+                );
+                scratch.clear();
+                appending.append_word(&mut scratch);
+                scratch.push('|');
+                appending.append_headline(&mut scratch);
+                scratch.push('|');
+                appending.append_alt_text(&mut scratch);
+                scratch.push('|');
+                appending.append_section_label(&mut scratch);
+                assert_eq!(scratch, expect, "{lang:?} round {round}");
+                assert_eq!(
+                    returning.word(),
+                    appending.word(),
+                    "{lang:?} draws diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_matches_fresh_generator() {
+        for &lang in ALL_LANGS {
+            let mut fresh = TextGenerator::new(lang, 4242);
+            // A polluted generator reseeded in place must be
+            // indistinguishable from a newly constructed one.
+            let mut pooled = TextGenerator::new(Language::English, 1);
+            let _ = pooled.paragraph(2);
+            pooled.reseed(lang, 4242);
+            assert_eq!(pooled.language(), lang);
+            assert_eq!(fresh.paragraph(3), pooled.paragraph(3), "{lang:?}");
+        }
+    }
+
+    #[test]
+    fn append_into_nonempty_buffer_only_appends() {
+        let mut a = TextGenerator::new(Language::Greek, 5);
+        let mut b = TextGenerator::new(Language::Greek, 5);
+        let mut buf = String::from("prefix|");
+        a.append_headline(&mut buf);
+        let expect = format!("prefix|{}", b.headline());
+        assert_eq!(buf, expect);
     }
 
     #[test]

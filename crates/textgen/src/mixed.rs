@@ -14,6 +14,12 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Generates text that interleaves a native language with English.
+///
+/// The generator carries a reusable token arena (`tok_buf` + `ranges`): a
+/// phrase's tokens are written once into the arena, shuffled by range, and
+/// copied out — so a pooled `MixedGenerator` produces phrases without any
+/// per-token `String` allocation while drawing the RNG exactly like the
+/// historical `Vec<String>`-and-`join` implementation.
 #[derive(Debug)]
 pub struct MixedGenerator {
     native: TextGenerator,
@@ -21,6 +27,10 @@ pub struct MixedGenerator {
     /// Probability that the next token is native (0.0–1.0).
     native_ratio: f64,
     rng: StdRng,
+    /// Token arena reused across phrases.
+    tok_buf: String,
+    /// `(start, end)` byte ranges of tokens inside `tok_buf`.
+    ranges: Vec<(u32, u32)>,
 }
 
 impl MixedGenerator {
@@ -32,52 +42,100 @@ impl MixedGenerator {
             english: TextGenerator::new(Language::English, seed ^ 0xEEEE),
             native_ratio: native_ratio.clamp(0.05, 0.95),
             rng: rng::rng_for(seed, &[0x3A1D, native as u64]),
+            tok_buf: String::new(),
+            ranges: Vec::new(),
         }
+    }
+
+    /// Re-point a pooled generator at a new `(native, seed, ratio)` stream
+    /// in place — state-identical to [`MixedGenerator::new`] while keeping
+    /// the token arena's capacity.
+    pub fn reseed(&mut self, native: Language, seed: u64, native_ratio: f64) {
+        self.native.reseed(native, seed);
+        self.english.reseed(Language::English, seed ^ 0xEEEE);
+        self.native_ratio = native_ratio.clamp(0.05, 0.95);
+        self.rng = rng::rng_for(seed, &[0x3A1D, native as u64]);
     }
 
     /// A mixed phrase of `min..=max` tokens. Tokens are space-separated even
     /// for scriptio-continua languages because switching scripts introduces
     /// natural boundaries (as real mixed labels do: "ดาวน์โหลด app now").
     pub fn phrase(&mut self, min: usize, max: usize) -> String {
+        let mut out = String::new();
+        self.append_phrase(min, max, &mut out);
+        out
+    }
+
+    /// [`phrase`](Self::phrase) into a caller-owned buffer. Bytes and RNG
+    /// draws are identical to `phrase`.
+    pub fn append_phrase(&mut self, min: usize, max: usize, out: &mut String) {
         let n = if min >= max {
             min.max(2)
         } else {
             self.rng.gen_range(min.max(2)..=max.max(2))
         };
-        let mut tokens: Vec<String> = Vec::with_capacity(n);
+        self.tok_buf.clear();
+        self.ranges.clear();
         // Guarantee at least one token of each language.
-        tokens.push(self.native.word());
-        tokens.push(self.english.word());
+        self.arena_token(true);
+        self.arena_token(false);
         for _ in 2..n {
-            if self.rng.gen_bool(self.native_ratio) {
-                tokens.push(self.native.word());
-            } else {
-                tokens.push(self.english.word());
-            }
+            let native = self.rng.gen_bool(self.native_ratio);
+            self.arena_token(native);
         }
         // Deterministic shuffle so the guaranteed tokens are not always
-        // in front.
-        for i in (1..tokens.len()).rev() {
+        // in front (same draws as the historical token-vector swap).
+        for i in (1..self.ranges.len()).rev() {
             let j = self.rng.gen_range(0..=i);
-            tokens.swap(i, j);
+            self.ranges.swap(i, j);
         }
-        tokens.join(" ")
+        for (i, &(start, end)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&self.tok_buf[start as usize..end as usize]);
+        }
+    }
+
+    /// Append one token to the arena, recording its range.
+    fn arena_token(&mut self, native: bool) {
+        let start = self.tok_buf.len() as u32;
+        if native {
+            self.native.append_word(&mut self.tok_buf);
+        } else {
+            self.english.append_word(&mut self.tok_buf);
+        }
+        self.ranges.push((start, self.tok_buf.len() as u32));
     }
 
     /// A mixed sentence (for visible body text on bilingual pages).
     pub fn sentence(&mut self) -> String {
-        let mut s = self.phrase(6, 14);
-        s.push('.');
+        let mut s = String::new();
+        self.append_sentence(&mut s);
         s
+    }
+
+    /// [`sentence`](Self::sentence) into a caller-owned buffer.
+    pub fn append_sentence(&mut self, out: &mut String) {
+        self.append_phrase(6, 14, out);
+        out.push('.');
     }
 
     /// A paragraph of mixed sentences.
     pub fn paragraph(&mut self, sentences: usize) -> String {
-        let mut parts = Vec::with_capacity(sentences);
-        for _ in 0..sentences {
-            parts.push(self.sentence());
+        let mut out = String::new();
+        self.append_paragraph(sentences, &mut out);
+        out
+    }
+
+    /// [`paragraph`](Self::paragraph) into a caller-owned buffer.
+    pub fn append_paragraph(&mut self, sentences: usize, out: &mut String) {
+        for i in 0..sentences {
+            if i > 0 {
+                out.push(' ');
+            }
+            self.append_sentence(out);
         }
-        parts.join(" ")
     }
 }
 
@@ -117,6 +175,47 @@ mod tests {
         let mut a = MixedGenerator::new(Language::Greek, 9, 0.5);
         let mut b = MixedGenerator::new(Language::Greek, 9, 0.5);
         assert_eq!(a.paragraph(3), b.paragraph(3));
+    }
+
+    #[test]
+    fn append_variants_match_returning_variants() {
+        for lang in [
+            Language::Thai,
+            Language::Japanese,
+            Language::Russian,
+            Language::Hebrew,
+            Language::Bangla,
+        ] {
+            let mut returning = MixedGenerator::new(lang, 77, 0.5);
+            let mut appending = MixedGenerator::new(lang, 77, 0.5);
+            let mut scratch = String::new();
+            for round in 0..6 {
+                let expect = format!(
+                    "{}|{}|{}",
+                    returning.phrase(3, 7),
+                    returning.sentence(),
+                    returning.paragraph(2)
+                );
+                scratch.clear();
+                appending.append_phrase(3, 7, &mut scratch);
+                scratch.push('|');
+                appending.append_sentence(&mut scratch);
+                scratch.push('|');
+                appending.append_paragraph(2, &mut scratch);
+                assert_eq!(scratch, expect, "{lang:?} round {round}");
+                // Draw-count identity: the next phrase must still agree.
+                assert_eq!(returning.phrase(2, 4), appending.phrase(2, 4), "{lang:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_matches_fresh_generator() {
+        let mut fresh = MixedGenerator::new(Language::Korean, 123, 0.4);
+        let mut pooled = MixedGenerator::new(Language::Thai, 9, 0.9);
+        let _ = pooled.paragraph(2); // pollute arena + rng state
+        pooled.reseed(Language::Korean, 123, 0.4);
+        assert_eq!(fresh.paragraph(3), pooled.paragraph(3));
     }
 
     #[test]

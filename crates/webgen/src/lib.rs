@@ -33,6 +33,6 @@ pub mod page;
 pub mod sample;
 pub mod site;
 
-pub use corpus::{Corpus, CorpusConfig};
-pub use page::{render, KindTruth, PageTruth};
+pub use corpus::{CandidateSet, Corpus, CorpusConfig, ShardStats};
+pub use page::{render, render_into, KindTruth, PageTruth, RenderScratch, ScratchPool};
 pub use site::{Archetype, LangBucket, PlantedText, SitePlan};

@@ -6,6 +6,19 @@
 //! pipeline *recovers* the planted distributions — the core correctness
 //! argument of the reproduction.
 //!
+//! ## The render arena
+//!
+//! The hot entry point is [`render_into`], which renders through a
+//! caller-owned [`RenderScratch`]: pooled [`TextGenerator`]s reseeded per
+//! page, reusable label/attribute/paragraph buffers, and one recycled
+//! [`HtmlBuilder`] whose output buffer amortises to the page size. In
+//! steady state a render performs **no heap allocation** — every string the
+//! old path returned is now appended into scratch. [`render`] is the
+//! allocating convenience wrapper (fresh scratch per call) and the oracle
+//! anchor: both paths are byte- and RNG-draw-identical (pinned against the
+//! preserved pre-arena renderer in `langcrux-bench`). [`ScratchPool`]
+//! shares scratches across crawl workers.
+//!
 //! Layout of the localized variant (per archetype counts):
 //!
 //! ```text
@@ -30,7 +43,7 @@
 
 use crate::calibration::{element_calibration, estimated_page_bytes};
 use crate::sample::{heavy_tail_len, int_between};
-use crate::site::{LangBucket, PlantedText, SitePlan};
+use crate::site::{LangBucket, SitePlan};
 use langcrux_filter::DiscardCategory;
 use langcrux_html::HtmlBuilder;
 use langcrux_lang::a11y::ElementKind;
@@ -41,6 +54,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::{Mutex, OnceLock};
 
 /// Expected distinguishing characters per sentence for `lang`, relative to
@@ -118,7 +132,7 @@ impl KindTruth {
 }
 
 /// Ground truth for one rendered page.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageTruth {
     /// Indexed by `ElementKind::ALL` order.
     pub per_kind: [KindTruth; 12],
@@ -151,43 +165,179 @@ fn kind_index(kind: ElementKind) -> usize {
         .expect("kind in ALL")
 }
 
-/// Render a page for the plan/variant/path. Deterministic.
-pub fn render(plan: &SitePlan, variant: ContentVariant, path: &str) -> (String, PageTruth) {
-    match variant {
-        ContentVariant::Restricted => (render_restricted(plan), PageTruth::default()),
-        ContentVariant::Localized => Renderer::new(plan, variant, path).render(),
-        ContentVariant::Global => Renderer::new(plan, variant, path).render(),
+/// The pooled generators reseeded once per page. Split out of
+/// [`RenderScratch`] so the [`Renderer`] can borrow the generators while
+/// the builder and string buffers are lent out independently.
+#[derive(Debug)]
+struct GenScratch {
+    rng: StdRng,
+    native: TextGenerator,
+    english: TextGenerator,
+    mixed: MixedGenerator,
+}
+
+impl GenScratch {
+    fn new() -> Self {
+        GenScratch {
+            rng: rng::rng_for(0, &[0]),
+            native: TextGenerator::new(Language::English, 0),
+            english: TextGenerator::new(Language::English, 0),
+            mixed: MixedGenerator::new(Language::English, 0, 0.5),
+        }
     }
 }
 
-fn render_restricted(plan: &SitePlan) -> String {
-    let mut b = HtmlBuilder::document();
+/// A reusable render arena: everything one page render needs to run
+/// without allocating. Create once per worker (or lease from a
+/// [`ScratchPool`]) and pass to [`render_into`] for every page.
+#[derive(Debug)]
+pub struct RenderScratch {
+    builder: HtmlBuilder,
+    gen: GenScratch,
+    /// Visible-text buffer (headline/paragraph/button text…).
+    text: String,
+    /// Planted accessibility-label buffer.
+    label: String,
+    /// Attribute-value buffer (`/img/3.jpg`, `field-2`, …).
+    attr: String,
+}
+
+impl RenderScratch {
+    /// A fresh arena with the output buffer pre-sized to the calibrated
+    /// page estimate.
+    pub fn new() -> Self {
+        RenderScratch {
+            builder: HtmlBuilder::document_sized(estimated_page_bytes()),
+            gen: GenScratch::new(),
+            text: String::with_capacity(512),
+            label: String::with_capacity(128),
+            attr: String::with_capacity(32),
+        }
+    }
+}
+
+impl Default for RenderScratch {
+    fn default() -> Self {
+        RenderScratch::new()
+    }
+}
+
+/// A shared pool of [`RenderScratch`] arenas.
+///
+/// The corpus resolver renders inside the simulated internet, where any
+/// crawl worker may trigger a page build; the pool hands each concurrent
+/// render its own arena (one lock op per lease — negligible against the
+/// ~100 µs render) and recycles arenas as workers finish, so steady-state
+/// crawling performs zero render allocations regardless of worker count.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<RenderScratch>>,
+}
+
+impl ScratchPool {
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Lease an arena (creating one if the pool is dry), run `f`, return
+    /// the arena to the pool.
+    pub fn with<R>(&self, f: impl FnOnce(&mut RenderScratch) -> R) -> R {
+        let mut scratch = self
+            .pool
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut scratch);
+        self.pool.lock().expect("scratch pool").push(scratch);
+        result
+    }
+
+    /// Arenas currently parked in the pool (observability/tests).
+    pub fn idle(&self) -> usize {
+        self.pool.lock().expect("scratch pool").len()
+    }
+}
+
+/// Render a page for the plan/variant/path. Deterministic.
+///
+/// Convenience wrapper over [`render_into`] with a fresh arena per call —
+/// byte-identical to the pooled path. Hot loops (the corpus content
+/// server, benchmarks) should hold a [`RenderScratch`] and call
+/// [`render_into`] instead.
+pub fn render(plan: &SitePlan, variant: ContentVariant, path: &str) -> (String, PageTruth) {
+    let mut scratch = RenderScratch::new();
+    let mut out = String::new();
+    let truth = render_into(plan, variant, path, &mut scratch, &mut out);
+    (out, truth)
+}
+
+/// Render a page through a reusable arena, appending the HTML to `out`.
+///
+/// Output bytes and RNG draws are independent of the arena's history —
+/// every generator is reseeded from `(plan.seed, variant, path)` and every
+/// buffer reset — so `(plan, variant, path)` alone determines the page at
+/// any worker count (the corpus determinism contract).
+pub fn render_into(
+    plan: &SitePlan,
+    variant: ContentVariant,
+    path: &str,
+    scratch: &mut RenderScratch,
+    out: &mut String,
+) -> PageTruth {
+    let RenderScratch {
+        builder,
+        gen,
+        text,
+        label,
+        attr,
+    } = scratch;
+    builder.reset_document();
+    let truth = match variant {
+        ContentVariant::Restricted => {
+            render_restricted_into(plan, builder, text);
+            PageTruth::default()
+        }
+        ContentVariant::Localized | ContentVariant::Global => {
+            Renderer::attach(plan, variant, path, gen).render(builder, text, label, attr)
+        }
+    };
+    out.push_str(builder.as_str());
+    truth
+}
+
+fn render_restricted_into(plan: &SitePlan, b: &mut HtmlBuilder, text: &mut String) {
     b.open("html", &[("lang", Some("en"))]);
     b.open("head", &[]);
     b.leaf("title", &[], "Access denied");
     b.close();
     b.open("body", &[]);
-    b.leaf(
-        "p",
-        &[],
-        &format!(
-            "Access to {} from your network is restricted. Please disable \
-             proxy or VPN services and try again.",
-            plan.host
-        ),
+    text.clear();
+    let _ = write!(
+        text,
+        "Access to {} from your network is restricted. Please disable \
+         proxy or VPN services and try again.",
+        plan.host
     );
+    b.leaf("p", &[], text);
     b.close();
     b.close();
-    b.finish()
+}
+
+/// What [`Renderer::plant`] decided for one slot; informative and
+/// uninformative text lands in the caller's label buffer (the language
+/// bucket / discard category only matter to the truth counters).
+enum Planted {
+    Missing,
+    Empty,
+    /// The label buffer holds the planted text.
+    Text,
 }
 
 struct Renderer<'a> {
     plan: &'a SitePlan,
     variant: ContentVariant,
-    rng: StdRng,
-    native: TextGenerator,
-    english: TextGenerator,
-    mixed: MixedGenerator,
+    g: &'a mut GenScratch,
     truth: PageTruth,
     /// Effective visible-native share for this variant.
     visible_native: f64,
@@ -195,7 +345,12 @@ struct Renderer<'a> {
 }
 
 impl<'a> Renderer<'a> {
-    fn new(plan: &'a SitePlan, variant: ContentVariant, path: &str) -> Self {
+    fn attach(
+        plan: &'a SitePlan,
+        variant: ContentVariant,
+        path: &str,
+        g: &'a mut GenScratch,
+    ) -> Self {
         let vstream = match variant {
             ContentVariant::Localized => 1,
             ContentVariant::Global => 2,
@@ -213,13 +368,17 @@ impl<'a> Renderer<'a> {
         // Convert the character-share target into a sentence probability
         // (CJK sentences carry fewer characters; see char_ratio()).
         let visible_native = native_sentence_prob(target_share, char_ratio(native_lang));
+        g.rng = rng::rng_for(page_seed, &[0x11]);
+        g.native
+            .reseed(native_lang, rng::derive(page_seed, &[0x22]));
+        g.english
+            .reseed(Language::English, rng::derive(page_seed, &[0x33]));
+        g.mixed
+            .reseed(native_lang, rng::derive(page_seed, &[0x44]), 0.5);
         Renderer {
             plan,
             variant,
-            rng: rng::rng_for(page_seed, &[0x11]),
-            native: TextGenerator::new(native_lang, rng::derive(page_seed, &[0x22])),
-            english: TextGenerator::new(Language::English, rng::derive(page_seed, &[0x33])),
-            mixed: MixedGenerator::new(native_lang, rng::derive(page_seed, &[0x44]), 0.5),
+            g,
             truth: PageTruth {
                 target_visible_native: target_share,
                 ..PageTruth::default()
@@ -234,85 +393,78 @@ impl<'a> Renderer<'a> {
         self.counter
     }
 
-    /// Visible text in the page's language mix, `words` words long.
-    fn visible_phrase(&mut self, min: usize, max: usize) -> String {
-        if self.rng.gen::<f64>() < self.visible_native {
-            self.native.phrase(min, max)
+    /// Visible text in the page's language mix, appended to `out`.
+    fn append_visible_phrase(&mut self, min: usize, max: usize, out: &mut String) {
+        if self.g.rng.gen::<f64>() < self.visible_native {
+            self.g.native.append_phrase(min, max, out);
         } else {
-            self.english.phrase(min, max)
+            self.g.english.append_phrase(min, max, out);
         }
     }
 
-    fn visible_sentencer(&mut self) -> String {
-        let mut out = String::new();
-        self.append_visible_sentence(&mut out);
-        out
-    }
-
-    /// [`visible_sentencer`](Self::visible_sentencer) into a caller-owned
-    /// scratch buffer (the article-paragraph hot path reuses one buffer
-    /// across every paragraph of a page instead of allocating per
-    /// sentence). Bytes and RNG draws are identical.
+    /// One visible sentence in the page's language mix, appended to `out`.
     fn append_visible_sentence(&mut self, out: &mut String) {
-        if self.rng.gen::<f64>() < self.visible_native {
-            self.native.append_sentence(out);
+        if self.g.rng.gen::<f64>() < self.visible_native {
+            self.g.native.append_sentence(out);
         } else {
-            self.english.append_sentence(out);
+            self.g.english.append_sentence(out);
         }
     }
 
     /// Count of elements of `kind` for this page.
     fn count_for(&mut self, kind: ElementKind) -> usize {
         let cal = element_calibration(kind);
-        let base = int_between(&mut self.rng, cal.per_page.0, cal.per_page.1);
+        let base = int_between(&mut self.g.rng, cal.per_page.0, cal.per_page.1);
         let factor = self.plan.archetype.count_factor(kind);
         ((base as f64 * factor).round() as usize).max(cal.per_page.0)
     }
 
-    /// Decide what to plant for one slot of `kind` and record the truth.
-    fn plant(&mut self, kind: ElementKind) -> PlantedText {
+    /// Decide what to plant for one slot of `kind`, record the truth, and
+    /// (for text outcomes) write the label into `label`.
+    fn plant(&mut self, kind: ElementKind, label: &mut String) -> Planted {
         let (missing_rate, empty_rate) = self.plan.rates(kind);
         let truth = &mut self.truth.per_kind[kind_index(kind)];
         truth.total += 1;
 
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.g.rng.gen();
         if roll < missing_rate {
             truth.missing += 1;
-            return PlantedText::Missing;
+            return Planted::Missing;
         }
         if roll < missing_rate + empty_rate {
             truth.empty += 1;
-            return PlantedText::Empty;
+            return Planted::Empty;
         }
 
+        label.clear();
         let (discard_total, discard_dist) = self.plan.discard_profile(kind);
-        if self.rng.gen::<f64>() < discard_total {
-            let cat = sample_category(&mut self.rng, &discard_dist);
-            let text = self.uninformative_instance(kind, cat);
+        if self.g.rng.gen::<f64>() < discard_total {
+            let cat = sample_category(&mut self.g.rng, &discard_dist);
+            self.append_uninformative(kind, cat, label);
             self.truth.per_kind[kind_index(kind)].uninformative[DiscardCategory::ALL
                 .iter()
                 .position(|&c| c == cat)
                 .expect("cat")] += 1;
-            return PlantedText::Uninformative(cat, text);
+            return Planted::Text;
         }
 
         // Informative label. The global variant serves English a11y text.
         let bucket = if self.variant == ContentVariant::Global {
             LangBucket::English
         } else {
-            self.plan.sample_bucket(&mut self.rng)
+            self.plan.sample_bucket(&mut self.g.rng)
         };
-        let text = self.informative_instance(kind, bucket);
+        self.append_informative(kind, bucket, label);
         let truth = &mut self.truth.per_kind[kind_index(kind)];
         match bucket {
             LangBucket::Native => truth.informative_native += 1,
             LangBucket::English => truth.informative_english += 1,
             LangBucket::Mixed => truth.informative_mixed += 1,
         }
-        PlantedText::Informative(bucket, text)
+        Planted::Text
     }
 
-    fn informative_instance(&mut self, kind: ElementKind, bucket: LangBucket) -> String {
+    fn append_informative(&mut self, kind: ElementKind, bucket: LangBucket, out: &mut String) {
         let cal = element_calibration(kind);
         let (min, max) = cal.words;
         // Thai/CJK single tokens must clear the filter's length bars to
@@ -326,39 +478,41 @@ impl<'a> Renderer<'a> {
             min
         };
         let max = max.max(min);
-        let base = match bucket {
-            LangBucket::Native => self.native.phrase(min, max),
-            LangBucket::English => self.english.phrase(min, max),
-            LangBucket::Mixed => self.mixed.phrase(min, max),
-        };
-        if cal.outlier_chance > 0.0 && self.rng.gen::<f64>() < cal.outlier_chance {
-            return self.outlier_text(bucket);
+        let start = out.len();
+        match bucket {
+            LangBucket::Native => self.g.native.append_phrase(min, max, out),
+            LangBucket::English => self.g.english.append_phrase(min, max, out),
+            LangBucket::Mixed => self.g.mixed.append_phrase(min, max, out),
         }
-        base
+        if cal.outlier_chance > 0.0 && self.g.rng.gen::<f64>() < cal.outlier_chance {
+            // Same draw order as the historical path: the base phrase is
+            // generated first, then discarded in favour of the outlier.
+            out.truncate(start);
+            self.append_outlier(bucket, out);
+        }
     }
 
     /// Appendix E: extreme alt texts — entire paragraphs or boilerplate
     /// dumps mistakenly placed in accessibility attributes.
-    fn outlier_text(&mut self, bucket: LangBucket) -> String {
-        let target = heavy_tail_len(&mut self.rng, (1_200, 4_000), (8_000, 260_000), 0.10);
-        let mut out = String::with_capacity(target + 64);
+    fn append_outlier(&mut self, bucket: LangBucket, out: &mut String) {
+        let target = heavy_tail_len(&mut self.g.rng, (1_200, 4_000), (8_000, 260_000), 0.10);
+        out.reserve(target + 64);
         // Track the char count incrementally: re-scanning a 260k-char
         // outlier per appended paragraph is quadratic.
         let mut chars = 0usize;
         while chars < target {
             let before = out.len();
             match bucket {
-                LangBucket::Native => self.native.append_paragraph(3, &mut out),
-                _ => self.english.append_paragraph(3, &mut out),
+                LangBucket::Native => self.g.native.append_paragraph(3, out),
+                _ => self.g.english.append_paragraph(3, out),
             }
             chars += out[before..].chars().count();
             out.push(' ');
             chars += 1;
         }
-        out
     }
 
-    fn uninformative_instance(&mut self, _kind: ElementKind, cat: DiscardCategory) -> String {
+    fn append_uninformative(&mut self, _kind: ElementKind, cat: DiscardCategory, out: &mut String) {
         let n = self.next_id();
         let native = self.plan.native_language();
         // Label-language choice for dictionary categories follows the
@@ -366,36 +520,38 @@ impl<'a> Renderer<'a> {
         // English "search" buttons).
         let use_native = {
             let (nat, _, mix) = self.plan.lang_weights;
-            self.rng.gen::<f64>() < (nat + mix * 0.5)
+            self.g.rng.gen::<f64>() < (nat + mix * 0.5)
         };
         match cat {
             DiscardCategory::Emoji => {
                 const EMOJI: &[&str] = &["📷", "🔍", "▶", "✕", "☰", "⭐", "➜", "🏠", "📧"];
-                EMOJI[self.rng.gen_range(0..EMOJI.len())].to_string()
+                out.push_str(EMOJI[self.g.rng.gen_range(0..EMOJI.len())]);
             }
             DiscardCategory::TooShort => {
                 if native.primary_script().is_cjk() && use_native {
-                    self.native.word().chars().take(1).collect()
+                    let start = out.len();
+                    self.g.native.append_word(out);
+                    // Keep only the first char (historical `take(1)`).
+                    if let Some(first) = out[start..].chars().next() {
+                        out.truncate(start + first.len_utf8());
+                    }
                 } else {
                     const SHORT: &[&str] = &["go", "ok", "..", ">>", "NA", "x"];
-                    SHORT[self.rng.gen_range(0..SHORT.len())].to_string()
+                    out.push_str(SHORT[self.g.rng.gen_range(0..SHORT.len())]);
                 }
             }
             DiscardCategory::FileName => {
                 const STEMS: &[&str] = &["banner_img", "photo-", "IMG_", "slide_", "pic", "hero-"];
                 const EXTS: &[&str] = &["jpg", "png", "jpeg", "webp", "gif"];
-                format!(
-                    "{}{}.{}",
-                    STEMS[self.rng.gen_range(0..STEMS.len())],
-                    n,
-                    EXTS[self.rng.gen_range(0..EXTS.len())]
-                )
+                let stem = STEMS[self.g.rng.gen_range(0..STEMS.len())];
+                let ext = EXTS[self.g.rng.gen_range(0..EXTS.len())];
+                let _ = write!(out, "{stem}{n}.{ext}");
             }
             DiscardCategory::UrlOrFilePath => {
-                if self.rng.gen_bool(0.5) {
-                    format!("https://{}/images/{}.png", self.plan.host, n)
+                if self.g.rng.gen_bool(0.5) {
+                    let _ = write!(out, "https://{}/images/{}.png", self.plan.host, n);
                 } else {
-                    format!("/assets/img/item-{n}.svg")
+                    let _ = write!(out, "/assets/img/item-{n}.svg");
                 }
             }
             DiscardCategory::GenericAction => {
@@ -410,7 +566,7 @@ impl<'a> Renderer<'a> {
                 } else {
                     pool
                 };
-                pool[self.rng.gen_range(0..pool.len())].to_string()
+                out.push_str(pool[self.g.rng.gen_range(0..pool.len())]);
             }
             DiscardCategory::Placeholder => {
                 let lang = if use_native {
@@ -424,82 +580,109 @@ impl<'a> Renderer<'a> {
                 } else {
                     pool
                 };
-                pool[self.rng.gen_range(0..pool.len())].to_string()
+                out.push_str(pool[self.g.rng.gen_range(0..pool.len())]);
             }
             DiscardCategory::DevLabel => {
                 const HEADS: &[&str] = &["btn", "nav", "img", "ico", "hdr", "card", "mod"];
                 const TAILS: &[&str] = &["submit", "menu", "main", "item", "box", "wrap", "toggle"];
-                let head = HEADS[self.rng.gen_range(0..HEADS.len())];
-                let tail = TAILS[self.rng.gen_range(0..TAILS.len())];
-                match self.rng.gen_range(0..3u8) {
-                    0 => format!("{head}-{tail}"),
-                    1 => format!("{head}_{tail}"),
+                let head = HEADS[self.g.rng.gen_range(0..HEADS.len())];
+                let tail = TAILS[self.g.rng.gen_range(0..TAILS.len())];
+                match self.g.rng.gen_range(0..3u8) {
+                    0 => {
+                        let _ = write!(out, "{head}-{tail}");
+                    }
+                    1 => {
+                        let _ = write!(out, "{head}_{tail}");
+                    }
                     _ => {
-                        let mut tail_cap = tail.to_string();
-                        tail_cap[..1].make_ascii_uppercase();
-                        format!("{head}{tail_cap}")
+                        // headTailCap: capitalise the tail's first letter
+                        // (tails are ASCII).
+                        out.push_str(head);
+                        out.push(tail.as_bytes()[0].to_ascii_uppercase() as char);
+                        out.push_str(&tail[1..]);
                     }
                 }
             }
             DiscardCategory::LabelNumberPattern => {
                 const WORDS: &[&str] = &["image", "button", "slide", "figure", "banner", "item"];
-                format!(
-                    "{} {}",
-                    WORDS[self.rng.gen_range(0..WORDS.len())],
-                    self.rng.gen_range(1..20u8)
-                )
+                let word = WORDS[self.g.rng.gen_range(0..WORDS.len())];
+                let num = self.g.rng.gen_range(1..20u8);
+                let _ = write!(out, "{word} {num}");
             }
             DiscardCategory::SingleWord => {
                 if use_native && !native.primary_script().is_cjk() {
                     // A short native single word (below the keep thresholds).
                     for _ in 0..8 {
-                        let w = self.native.word();
+                        let start = out.len();
+                        self.g.native.append_word(out);
+                        let w = &out[start..];
                         let len = w.chars().count();
                         if (3..8).contains(&len) && !w.contains(' ') {
-                            return w;
+                            return;
                         }
+                        out.truncate(start);
                     }
                 }
                 const WORDS: &[&str] = &[
                     "photo", "economy", "sports", "market", "health", "culture", "weather",
                     "travel", "profile",
                 ];
-                WORDS[self.rng.gen_range(0..WORDS.len())].to_string()
+                out.push_str(WORDS[self.g.rng.gen_range(0..WORDS.len())]);
             }
             DiscardCategory::MixedAlnum => {
                 const STEMS: &[&str] = &["img", "icon", "pic", "fig", "ad", "file"];
-                format!("{}{}", STEMS[self.rng.gen_range(0..STEMS.len())], n)
+                let stem = STEMS[self.g.rng.gen_range(0..STEMS.len())];
+                let _ = write!(out, "{stem}{n}");
             }
             DiscardCategory::OrdinalPhrase => {
-                let b = self.rng.gen_range(3..12u8);
-                let a = self.rng.gen_range(1..=b);
-                if self.rng.gen_bool(0.5) {
-                    format!("{a} of {b}")
+                let b = self.g.rng.gen_range(3..12u8);
+                let a = self.g.rng.gen_range(1..=b);
+                if self.g.rng.gen_bool(0.5) {
+                    let _ = write!(out, "{a} of {b}");
                 } else {
-                    format!("{a}/{b}")
+                    let _ = write!(out, "{a}/{b}");
                 }
             }
         }
     }
 
-    /// Attribute triple for a planted text: `(attr_name, value)` or inner
-    /// text, per element kind. Returns `None` for Missing.
-    fn render(mut self) -> (String, PageTruth) {
-        // Pre-sized from the calibrated page-size estimate: the buffer
-        // grows past this only for outlier pages (capacity never affects
-        // the rendered bytes).
-        let mut b = HtmlBuilder::document_sized(estimated_page_bytes());
-        let lang_attr;
-        if self.plan.declares_lang {
-            lang_attr = if self.variant == ContentVariant::Global || self.plan.declared_lang_wrong {
+    /// Test-only returning wrappers: the plant/detect agreement tests
+    /// sample instances directly.
+    #[cfg(test)]
+    fn uninformative_instance(&mut self, kind: ElementKind, cat: DiscardCategory) -> String {
+        let mut out = String::new();
+        self.append_uninformative(kind, cat, &mut out);
+        out
+    }
+
+    #[cfg(test)]
+    fn informative_instance(&mut self, kind: ElementKind, bucket: LangBucket) -> String {
+        let mut out = String::new();
+        self.append_informative(kind, bucket, &mut out);
+        out
+    }
+
+    /// Stream the page into `b`. The scratch buffers hold, at any moment,
+    /// at most one visible text (`text`), one planted label (`label`) and
+    /// one attribute value (`attr`) — the three never alias.
+    fn render(
+        mut self,
+        b: &mut HtmlBuilder,
+        text: &mut String,
+        label: &mut String,
+        attr: &mut String,
+    ) -> PageTruth {
+        let lang_attr: &str =
+            if self.variant == ContentVariant::Global || self.plan.declared_lang_wrong {
                 // Wrongly-declared sites keep the template default ("en")
                 // even though the content is native — a common real-world
                 // authoring error the paper's §1 calls out.
-                "en".to_string()
+                "en"
             } else {
-                self.plan.native_language().tag().to_string()
+                self.plan.native_language().tag()
             };
-            b.open("html", &[("lang", Some(lang_attr.as_str()))]);
+        if self.plan.declares_lang {
+            b.open("html", &[("lang", Some(lang_attr))]);
         } else {
             b.open("html", &[]);
         }
@@ -507,13 +690,13 @@ impl<'a> Renderer<'a> {
         // <head><title> — DocumentTitle slot.
         b.open("head", &[]);
         b.void("meta", &[("charset", Some("utf-8"))]);
-        match self.plant(ElementKind::DocumentTitle) {
-            PlantedText::Missing => {}
-            PlantedText::Empty => {
+        match self.plant(ElementKind::DocumentTitle, label) {
+            Planted::Missing => {}
+            Planted::Empty => {
                 b.leaf("title", &[], "");
             }
-            PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
-                b.leaf("title", &[], &t);
+            Planted::Text => {
+                b.leaf("title", &[], label);
             }
         }
         b.close(); // head
@@ -526,24 +709,26 @@ impl<'a> Renderer<'a> {
         b.open("header", &[]);
         b.open("nav", &[]);
         for i in 0..nav_links {
-            self.render_link(&mut b, &format!("/nav/{i}"));
+            attr.clear();
+            let _ = write!(attr, "/nav/{i}");
+            self.render_link(b, text, label, attr);
         }
         b.close();
         b.close();
 
         b.open("main", &[]);
-        let headline = self.visible_phrase(3, 8);
-        b.leaf("h1", &[], &headline);
+        text.clear();
+        self.append_visible_phrase(3, 8, text);
+        b.leaf("h1", &[], text);
 
         // Article paragraphs: the bulk of visible text. One scratch
         // buffer serves every paragraph of the page (allocation diet).
-        let paragraphs = int_between(&mut self.rng, 6, 16);
-        let mut text = String::with_capacity(512);
+        let paragraphs = int_between(&mut self.g.rng, 6, 16);
         for _ in 0..paragraphs {
-            let sentences = int_between(&mut self.rng, 2, 5);
+            let sentences = int_between(&mut self.g.rng, 2, 5);
             text.clear();
             for _ in 0..sentences {
-                self.append_visible_sentence(&mut text);
+                self.append_visible_sentence(text);
                 text.push(' ');
             }
             b.leaf("p", &[], text.trim());
@@ -552,18 +737,19 @@ impl<'a> Renderer<'a> {
         // Images.
         let images = self.count_for(ElementKind::ImageAlt);
         for i in 0..images {
-            let src = format!("/img/{i}.jpg");
-            match self.plant(ElementKind::ImageAlt) {
-                PlantedText::Missing => {
-                    b.void("img", &[("src", Some(src.as_str()))]);
+            attr.clear();
+            let _ = write!(attr, "/img/{i}.jpg");
+            match self.plant(ElementKind::ImageAlt, label) {
+                Planted::Missing => {
+                    b.void("img", &[("src", Some(attr.as_str()))]);
                 }
-                PlantedText::Empty => {
-                    b.void("img", &[("src", Some(src.as_str())), ("alt", Some(""))]);
+                Planted::Empty => {
+                    b.void("img", &[("src", Some(attr.as_str())), ("alt", Some(""))]);
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.void(
                         "img",
-                        &[("src", Some(src.as_str())), ("alt", Some(t.as_str()))],
+                        &[("src", Some(attr.as_str())), ("alt", Some(label.as_str()))],
                     );
                 }
             }
@@ -572,8 +758,8 @@ impl<'a> Renderer<'a> {
         // Inline SVG icons (svg-img-alt: <title> child or aria-label).
         let svgs = self.count_for(ElementKind::SvgImgAlt);
         for _ in 0..svgs {
-            match self.plant(ElementKind::SvgImgAlt) {
-                PlantedText::Missing => {
+            match self.plant(ElementKind::SvgImgAlt, label) {
+                Planted::Missing => {
                     b.open(
                         "svg",
                         &[("role", Some("img")), ("viewBox", Some("0 0 24 24"))],
@@ -581,14 +767,14 @@ impl<'a> Renderer<'a> {
                     b.raw("<path d=\"M0 0h24v24H0z\"/>");
                     b.close();
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.open("svg", &[("role", Some("img")), ("aria-label", Some(""))]);
                     b.raw("<path d=\"M0 0h24v24H0z\"/>");
                     b.close();
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.open("svg", &[("role", Some("img"))]);
-                    b.leaf("title", &[], &t);
+                    b.leaf("title", &[], label);
                     b.raw("<path d=\"M0 0h24v24H0z\"/>");
                     b.close();
                 }
@@ -598,22 +784,26 @@ impl<'a> Renderer<'a> {
         // Iframes.
         let frames = self.count_for(ElementKind::FrameTitle);
         for i in 0..frames {
-            let src = format!("/embed/{i}");
-            match self.plant(ElementKind::FrameTitle) {
-                PlantedText::Missing => {
-                    b.leaf("iframe", &[("src", Some(src.as_str()))], "");
+            attr.clear();
+            let _ = write!(attr, "/embed/{i}");
+            match self.plant(ElementKind::FrameTitle, label) {
+                Planted::Missing => {
+                    b.leaf("iframe", &[("src", Some(attr.as_str()))], "");
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.leaf(
                         "iframe",
-                        &[("src", Some(src.as_str())), ("title", Some(""))],
+                        &[("src", Some(attr.as_str())), ("title", Some(""))],
                         "",
                     );
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.leaf(
                         "iframe",
-                        &[("src", Some(src.as_str())), ("title", Some(t.as_str()))],
+                        &[
+                            ("src", Some(attr.as_str())),
+                            ("title", Some(label.as_str())),
+                        ],
                         "",
                     );
                 }
@@ -624,43 +814,45 @@ impl<'a> Renderer<'a> {
         let summaries = self.count_for(ElementKind::SummaryName);
         for _ in 0..summaries {
             b.open("details", &[]);
-            match self.plant(ElementKind::SummaryName) {
-                PlantedText::Missing => {
+            match self.plant(ElementKind::SummaryName, label) {
+                Planted::Missing => {
                     b.leaf("summary", &[], "");
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.leaf("summary", &[("aria-label", Some(""))], "");
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
-                    b.leaf("summary", &[], &t);
+                Planted::Text => {
+                    b.leaf("summary", &[], label);
                 }
             }
-            let body = self.visible_sentencer();
-            b.leaf("p", &[], &body);
+            text.clear();
+            self.append_visible_sentence(text);
+            b.leaf("p", &[], text);
             b.close();
         }
 
         // Object embeds.
         let objects = self.count_for(ElementKind::ObjectAlt);
         for i in 0..objects {
-            let data = format!("/media/{i}.pdf");
-            match self.plant(ElementKind::ObjectAlt) {
-                PlantedText::Missing => {
-                    b.leaf("object", &[("data", Some(data.as_str()))], "");
+            attr.clear();
+            let _ = write!(attr, "/media/{i}.pdf");
+            match self.plant(ElementKind::ObjectAlt, label) {
+                Planted::Missing => {
+                    b.leaf("object", &[("data", Some(attr.as_str()))], "");
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.leaf(
                         "object",
-                        &[("data", Some(data.as_str())), ("aria-label", Some(""))],
+                        &[("data", Some(attr.as_str())), ("aria-label", Some(""))],
                         "",
                     );
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.leaf(
                         "object",
                         &[
-                            ("data", Some(data.as_str())),
-                            ("aria-label", Some(t.as_str())),
+                            ("data", Some(attr.as_str())),
+                            ("aria-label", Some(label.as_str())),
                         ],
                         "",
                     );
@@ -675,61 +867,63 @@ impl<'a> Renderer<'a> {
         );
         let labels = self.count_for(ElementKind::Label);
         for i in 0..labels {
-            let id = format!("field-{i}");
-            match self.plant(ElementKind::Label) {
-                PlantedText::Missing => {
+            attr.clear();
+            let _ = write!(attr, "field-{i}");
+            match self.plant(ElementKind::Label, label) {
+                Planted::Missing => {
                     b.void(
                         "input",
                         &[
                             ("type", Some("text")),
-                            ("id", Some(id.as_str())),
-                            ("name", Some(id.as_str())),
+                            ("id", Some(attr.as_str())),
+                            ("name", Some(attr.as_str())),
                         ],
                     );
                 }
-                PlantedText::Empty => {
-                    b.leaf("label", &[("for", Some(id.as_str()))], "");
+                Planted::Empty => {
+                    b.leaf("label", &[("for", Some(attr.as_str()))], "");
                     b.void(
                         "input",
-                        &[("type", Some("text")), ("id", Some(id.as_str()))],
+                        &[("type", Some("text")), ("id", Some(attr.as_str()))],
                     );
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
-                    b.leaf("label", &[("for", Some(id.as_str()))], &t);
+                Planted::Text => {
+                    b.leaf("label", &[("for", Some(attr.as_str()))], label);
                     b.void(
                         "input",
-                        &[("type", Some("text")), ("id", Some(id.as_str()))],
+                        &[("type", Some("text")), ("id", Some(attr.as_str()))],
                     );
                 }
             }
         }
         let image_inputs = self.count_for(ElementKind::InputImageAlt);
         for i in 0..image_inputs {
-            let src = format!("/img/btn{i}.png");
-            match self.plant(ElementKind::InputImageAlt) {
-                PlantedText::Missing => {
+            attr.clear();
+            let _ = write!(attr, "/img/btn{i}.png");
+            match self.plant(ElementKind::InputImageAlt, label) {
+                Planted::Missing => {
                     b.void(
                         "input",
-                        &[("type", Some("image")), ("src", Some(src.as_str()))],
+                        &[("type", Some("image")), ("src", Some(attr.as_str()))],
                     );
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.void(
                         "input",
                         &[
                             ("type", Some("image")),
-                            ("src", Some(src.as_str())),
+                            ("src", Some(attr.as_str())),
                             ("alt", Some("")),
                         ],
                     );
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.void(
                         "input",
                         &[
                             ("type", Some("image")),
-                            ("src", Some(src.as_str())),
-                            ("alt", Some(t.as_str())),
+                            ("src", Some(attr.as_str())),
+                            ("alt", Some(label.as_str())),
                         ],
                     );
                 }
@@ -737,44 +931,49 @@ impl<'a> Renderer<'a> {
         }
         let selects = self.count_for(ElementKind::SelectName);
         for i in 0..selects {
-            let id = format!("select-{i}");
-            let planted = self.plant(ElementKind::SelectName);
-            match &planted {
-                PlantedText::Missing => {
-                    b.open("select", &[("id", Some(id.as_str()))]);
+            attr.clear();
+            let _ = write!(attr, "select-{i}");
+            match self.plant(ElementKind::SelectName, label) {
+                Planted::Missing => {
+                    b.open("select", &[("id", Some(attr.as_str()))]);
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.open(
                         "select",
-                        &[("id", Some(id.as_str())), ("aria-label", Some(""))],
+                        &[("id", Some(attr.as_str())), ("aria-label", Some(""))],
                     );
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.open(
                         "select",
-                        &[("id", Some(id.as_str())), ("aria-label", Some(t.as_str()))],
+                        &[
+                            ("id", Some(attr.as_str())),
+                            ("aria-label", Some(label.as_str())),
+                        ],
                     );
                 }
             }
-            for opt in 0..3 {
-                let text = self.visible_phrase(1, 2);
-                b.leaf("option", &[("value", Some(&*opt.to_string()))], &text);
+            const OPTION_VALUES: [&str; 3] = ["0", "1", "2"];
+            for value in OPTION_VALUES {
+                text.clear();
+                self.append_visible_phrase(1, 2, text);
+                b.leaf("option", &[("value", Some(value))], text);
             }
             b.close();
         }
         let input_buttons = self.count_for(ElementKind::InputButtonName);
         for _ in 0..input_buttons {
-            match self.plant(ElementKind::InputButtonName) {
-                PlantedText::Missing => {
+            match self.plant(ElementKind::InputButtonName, label) {
+                Planted::Missing => {
                     b.void("input", &[("type", Some("submit"))]);
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.void("input", &[("type", Some("submit")), ("value", Some(""))]);
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.void(
                         "input",
-                        &[("type", Some("submit")), ("value", Some(t.as_str()))],
+                        &[("type", Some("submit")), ("value", Some(label.as_str()))],
                     );
                 }
             }
@@ -784,23 +983,27 @@ impl<'a> Renderer<'a> {
         // Buttons (visible text + optional aria-label).
         let buttons = self.count_for(ElementKind::ButtonName);
         for _ in 0..buttons {
-            let visible = self.visible_phrase(1, 2);
-            match self.plant(ElementKind::ButtonName) {
-                PlantedText::Missing => {
-                    b.leaf("button", &[("type", Some("button"))], &visible);
+            text.clear();
+            self.append_visible_phrase(1, 2, text);
+            match self.plant(ElementKind::ButtonName, label) {
+                Planted::Missing => {
+                    b.leaf("button", &[("type", Some("button"))], text);
                 }
-                PlantedText::Empty => {
+                Planted::Empty => {
                     b.leaf(
                         "button",
                         &[("type", Some("button")), ("aria-label", Some(""))],
-                        &visible,
+                        text,
                     );
                 }
-                PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
+                Planted::Text => {
                     b.leaf(
                         "button",
-                        &[("type", Some("button")), ("aria-label", Some(t.as_str()))],
-                        &visible,
+                        &[
+                            ("type", Some("button")),
+                            ("aria-label", Some(label.as_str())),
+                        ],
+                        text,
                     );
                 }
             }
@@ -809,38 +1012,44 @@ impl<'a> Renderer<'a> {
         // Body links.
         let body_links = total_links.saturating_sub(nav_links);
         for i in 0..body_links {
-            self.render_link(&mut b, &format!("/article/{i}"));
+            attr.clear();
+            let _ = write!(attr, "/article/{i}");
+            self.render_link(b, text, label, attr);
         }
         b.close(); // main
 
         b.open("footer", &[]);
-        let footer_text = self.visible_sentencer();
-        b.leaf("p", &[], &footer_text);
+        text.clear();
+        self.append_visible_sentence(text);
+        b.leaf("p", &[], text);
         b.close();
 
         b.close(); // body
         b.close(); // html
-        (b.finish(), self.truth)
+        self.truth
     }
 
-    fn render_link(&mut self, b: &mut HtmlBuilder, href: &str) {
-        let visible = self.visible_phrase(1, 4);
-        match self.plant(ElementKind::LinkName) {
-            PlantedText::Missing => {
-                b.leaf("a", &[("href", Some(href))], &visible);
+    fn render_link(
+        &mut self,
+        b: &mut HtmlBuilder,
+        text: &mut String,
+        label: &mut String,
+        href: &str,
+    ) {
+        text.clear();
+        self.append_visible_phrase(1, 4, text);
+        match self.plant(ElementKind::LinkName, label) {
+            Planted::Missing => {
+                b.leaf("a", &[("href", Some(href))], text);
             }
-            PlantedText::Empty => {
+            Planted::Empty => {
+                b.leaf("a", &[("href", Some(href)), ("aria-label", Some(""))], text);
+            }
+            Planted::Text => {
                 b.leaf(
                     "a",
-                    &[("href", Some(href)), ("aria-label", Some(""))],
-                    &visible,
-                );
-            }
-            PlantedText::Uninformative(_, t) | PlantedText::Informative(_, t) => {
-                b.leaf(
-                    "a",
-                    &[("href", Some(href)), ("aria-label", Some(t.as_str()))],
-                    &visible,
+                    &[("href", Some(href)), ("aria-label", Some(label.as_str()))],
+                    text,
                 );
             }
         }
@@ -864,6 +1073,46 @@ mod tests {
         let (b, tb) = render(&p, ContentVariant::Localized, "/");
         assert_eq!(a, b);
         assert_eq!(ta.per_kind, tb.per_kind);
+    }
+
+    #[test]
+    fn pooled_scratch_renders_are_history_independent() {
+        // The same plan must render identically on a cold scratch, on a
+        // scratch that just rendered other pages, and via the wrapper.
+        let p = plan(Country::Japan, 4);
+        let (expect, expect_truth) = render(&p, ContentVariant::Localized, "/");
+        let mut scratch = RenderScratch::new();
+        let mut out = String::new();
+        for warm in [Country::Thailand, Country::Russia, Country::Egypt] {
+            out.clear();
+            render_into(
+                &plan(warm, 9),
+                ContentVariant::Global,
+                "/",
+                &mut scratch,
+                &mut out,
+            );
+        }
+        out.clear();
+        let truth = render_into(&p, ContentVariant::Localized, "/", &mut scratch, &mut out);
+        assert_eq!(out, expect);
+        assert_eq!(truth, expect_truth);
+    }
+
+    #[test]
+    fn scratch_pool_recycles_arenas() {
+        let pool = ScratchPool::new();
+        let p = plan(Country::Greece, 1);
+        let (expect, _) = render(&p, ContentVariant::Localized, "/");
+        for _ in 0..3 {
+            let html = pool.with(|scratch| {
+                let mut out = String::new();
+                render_into(&p, ContentVariant::Localized, "/", scratch, &mut out);
+                out
+            });
+            assert_eq!(html, expect);
+        }
+        assert_eq!(pool.idle(), 1, "sequential leases reuse one arena");
     }
 
     #[test]
@@ -962,9 +1211,10 @@ mod tests {
         // filter's verdict for the structural categories.
         let mut agree = 0u32;
         let mut total = 0u32;
+        let mut scratch = GenScratch::new();
         for idx in 0..12 {
             let p = plan(Country::SouthKorea, idx);
-            let mut renderer = Renderer::new(&p, ContentVariant::Localized, "/");
+            let mut renderer = Renderer::attach(&p, ContentVariant::Localized, "/", &mut scratch);
             for cat in DiscardCategory::ALL {
                 for _ in 0..20 {
                     let instance = renderer.uninformative_instance(ElementKind::ImageAlt, cat);
@@ -984,9 +1234,10 @@ mod tests {
         use langcrux_filter::is_informative;
         let mut survive = 0u32;
         let mut total = 0u32;
+        let mut scratch = GenScratch::new();
         for idx in 0..10 {
             let p = plan(Country::Thailand, idx);
-            let mut renderer = Renderer::new(&p, ContentVariant::Localized, "/");
+            let mut renderer = Renderer::attach(&p, ContentVariant::Localized, "/", &mut scratch);
             for bucket in [LangBucket::Native, LangBucket::English, LangBucket::Mixed] {
                 for kind in [
                     ElementKind::ImageAlt,
@@ -1010,9 +1261,12 @@ mod tests {
     #[test]
     fn outliers_appear_at_calibrated_rate() {
         let mut extreme = 0usize;
+        let mut scratch = RenderScratch::new();
+        let mut html = String::new();
         for idx in 0..400 {
             let p = plan(Country::India, idx);
-            let (html, _) = render(&p, ContentVariant::Localized, "/");
+            html.clear();
+            render_into(&p, ContentVariant::Localized, "/", &mut scratch, &mut html);
             let doc = parse(&html);
             for img in doc.elements_named("img") {
                 if let Some(alt) = doc.attr(img, "alt") {

@@ -31,9 +31,11 @@ fn main() {
     //    paper's 50%-native-content inclusion rule (disqualified sites are
     //    replaced by the next-ranked candidate).
     let vantage = vpn_vantage(Country::Bangladesh).expect("VPN endpoint");
-    let browser = Browser::new(corpus.internet(), BrowserConfig::default());
-    let (plan, visit) = corpus
-        .candidates(Country::Bangladesh)
+    let mut browser = Browser::new(corpus.internet(), BrowserConfig::default());
+    // The candidate shard is leased from the lazy corpus: binding it keeps
+    // the plans alive while we borrow the winning one.
+    let candidates = corpus.candidates(Country::Bangladesh);
+    let (plan, visit) = candidates
         .iter()
         .find_map(|plan| {
             let visit = browser.visit(&Url::from_host(&plan.host), vantage).ok()?;
