@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
+//!       [--fault-plan reliable|default|hostile|PATH.json]
 //!       [--bench-json [PATH]] [--serve-bench [PATH]]
 //!       [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]
 //!
@@ -36,6 +37,13 @@
 //! against an *external* server and exits non-zero on any failed
 //! request.
 //!
+//! `--fault-plan` selects the simulated network's fault behaviour for
+//! the dataset build: a preset name (`reliable`, `default`, `hostile`)
+//! or a path to a JSON file with any subset of `FaultPlan`'s fields
+//! (missing fields take the default plan's values). Every dataset build
+//! prints the simulated internet's traffic counters and writes the
+//! degraded-run ledger to `crawl-ledger.json` alongside the artefacts.
+//!
 //! The harness builds the synthetic corpus, runs the full LangCrUX
 //! pipeline, and prints the paper-format rows/series. Absolute values are
 //! corpus-scale dependent; the *shapes* (orderings, crossovers, drops)
@@ -66,6 +74,21 @@ struct Args {
     port: u16,
     /// `Some(host:port)` when `--loadgen` was requested.
     loadgen: Option<String>,
+    /// Fault plan for the dataset build (default: the default plan).
+    fault_plan: langcrux_net::FaultPlan,
+}
+
+/// Resolve a `--fault-plan` value: a preset name, or a path to a JSON
+/// file carrying any subset of `FaultPlan`'s fields.
+fn resolve_fault_plan(value: &str) -> langcrux_net::FaultPlan {
+    if let Some(plan) = langcrux_bench::fault_plan_preset(value) {
+        return plan;
+    }
+    let text = std::fs::read_to_string(value).unwrap_or_else(|e| {
+        panic!("--fault-plan: not a preset (reliable|default|hostile) and cannot read {value}: {e}")
+    });
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("--fault-plan: invalid fault-plan JSON in {value}: {e}"))
 }
 
 fn parse_args() -> Args {
@@ -73,6 +96,7 @@ fn parse_args() -> Args {
     let mut scale = Scale::Default;
     let mut scale_overridden = false;
     let mut seed = DEFAULT_SEED;
+    let mut fault_plan = langcrux_net::FaultPlan::default();
     let mut bench_json = None;
     let mut serve_bench = None;
     let mut serve_daemon = None;
@@ -102,6 +126,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seed requires a u64");
+            }
+            "--fault-plan" => {
+                let value = iter
+                    .next()
+                    .expect("--fault-plan requires reliable|default|hostile|PATH.json");
+                fault_plan = resolve_fault_plan(&value);
             }
             "--bench-json" => {
                 // Only a `.json`-looking token is taken as the output path,
@@ -139,6 +169,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S] \
+                     [--fault-plan reliable|default|hostile|PATH.json] \
                      [--bench-json [PATH]] [--serve-bench [PATH]] \
                      [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
@@ -165,6 +196,7 @@ fn parse_args() -> Args {
         serve_daemon,
         port,
         loadgen,
+        fault_plan,
     }
 }
 
@@ -350,12 +382,56 @@ fn main() {
             args.seed
         );
         let start = std::time::Instant::now();
-        let (corpus, ds) = langcrux_bench::build_scaled_dataset_with_corpus(args.seed, args.scale);
+        let (corpus, ds, ledger) =
+            langcrux_bench::build_scaled_dataset_with_plan(args.seed, args.scale, args.fault_plan);
         eprintln!(
             "dataset ready: {} sites in {:.1?}",
             ds.len(),
             start.elapsed()
         );
+        // Traffic counters of the simulated internet for this build —
+        // under a faulty plan these show what the retry discipline and
+        // the replacement rule absorbed.
+        let net = corpus.internet().metrics();
+        eprintln!(
+            "net: {} requests ({} localized, {} global, {} restricted), \
+             {} timeouts, {} resets, {} 5xx, {} geo-blocks, {} unknown hosts, \
+             {} vpn-detections, {} truncated, {} garbled, {} slow, {} bytes served",
+            net.requests,
+            net.localized_responses,
+            net.global_responses,
+            net.restricted_responses,
+            net.timeouts,
+            net.resets,
+            net.server_errors,
+            net.geo_blocks,
+            net.unknown_hosts,
+            net.vpn_detections,
+            net.truncated_bodies,
+            net.garbled_bodies,
+            net.slow_responses,
+            net.bytes_served,
+        );
+        // The degraded-run ledger travels with the dataset.
+        let totals = &ledger.totals;
+        eprintln!(
+            "ledger: {} attempted, {} selected, {} retries, {} errors \
+             ({} deadline, {} breaker-open), {} replacements (max run {}), \
+             {} poisoned site(s); breaker opened {}×",
+            totals.attempted,
+            totals.selected,
+            totals.retries,
+            totals.errors.total(),
+            totals.errors.deadline_exceeded,
+            totals.errors.circuit_open,
+            totals.replacements,
+            totals.max_replacement_run,
+            totals.poisoned_sites.len(),
+            totals.breaker_opened,
+        );
+        let ledger_json = ledger.to_json().expect("serialize crawl ledger");
+        std::fs::write("crawl-ledger.json", ledger_json + "\n").expect("write crawl-ledger.json");
+        eprintln!("wrote crawl-ledger.json");
         // The lazy-shard gauges: peak_live bounds corpus memory at
         // peak_live × per-country shard size (builds > countries means
         // shards were revived after LRU eviction; peak_resident is the

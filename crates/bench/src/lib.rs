@@ -38,12 +38,12 @@ pub mod perf;
 pub mod render_seed;
 pub mod serve_bench;
 
-use langcrux_core::{build_dataset, Dataset, PipelineOptions};
+use langcrux_core::{build_dataset_with_ledger, CrawlLedger, Dataset, PipelineOptions};
 use langcrux_crawl::BrowserConfig;
 use langcrux_lang::rng::DEFAULT_SEED;
 use langcrux_lang::{Country, Language};
 use langcrux_langid::{detect, TrigramDetector};
-use langcrux_net::{vpn_vantage, ContentVariant, Request, Url, Vantage};
+use langcrux_net::{vpn_vantage, ContentVariant, FaultPlan, Request, Url, Vantage};
 use langcrux_textgen::TextGenerator;
 use langcrux_webgen::{Corpus, CorpusConfig};
 
@@ -71,13 +71,31 @@ impl Scale {
     }
 }
 
-/// Build the corpus at a given scale.
+/// Build the corpus at a given scale (the workspace-default fault plan).
 pub fn build_corpus(seed: u64, scale: Scale) -> Corpus {
+    build_corpus_with_plan(seed, scale, FaultPlan::default())
+}
+
+/// Build the corpus at a given scale under an explicit fault plan.
+pub fn build_corpus_with_plan(seed: u64, scale: Scale, plan: FaultPlan) -> Corpus {
     Corpus::build(CorpusConfig {
         seed,
         sites_per_country: scale.sites_per_country(),
+        fault_plan: plan,
         ..CorpusConfig::default()
     })
+}
+
+/// Resolve a `--fault-plan` preset name. File paths are handled by the
+/// caller (`repro` reads the JSON and deserializes a partial
+/// [`FaultPlan`]).
+pub fn fault_plan_preset(name: &str) -> Option<FaultPlan> {
+    match name {
+        "reliable" => Some(FaultPlan::RELIABLE),
+        "default" => Some(FaultPlan::default()),
+        "hostile" => Some(FaultPlan::HOSTILE),
+        _ => None,
+    }
 }
 
 /// Build the full dataset (corpus + pipeline) at a given scale.
@@ -88,15 +106,26 @@ pub fn build_scaled_dataset(seed: u64, scale: Scale) -> Dataset {
 /// [`build_scaled_dataset`], also handing back the corpus so callers can
 /// inspect its lazy-shard gauges (`Corpus::shard_stats`) after the run.
 pub fn build_scaled_dataset_with_corpus(seed: u64, scale: Scale) -> (Corpus, Dataset) {
-    let corpus = build_corpus(seed, scale);
-    let dataset = build_dataset(
+    let (corpus, dataset, _) = build_scaled_dataset_with_plan(seed, scale, FaultPlan::default());
+    (corpus, dataset)
+}
+
+/// Build corpus + dataset under an explicit fault plan, returning the
+/// degraded-run ledger alongside (what `repro --fault-plan` runs).
+pub fn build_scaled_dataset_with_plan(
+    seed: u64,
+    scale: Scale,
+    plan: FaultPlan,
+) -> (Corpus, Dataset, CrawlLedger) {
+    let corpus = build_corpus_with_plan(seed, scale, plan);
+    let (dataset, ledger) = build_dataset_with_ledger(
         &corpus,
         PipelineOptions {
             quota: scale.sites_per_country(),
             ..PipelineOptions::default()
         },
     );
-    (corpus, dataset)
+    (corpus, dataset, ledger)
 }
 
 /// Build with the workspace default seed.

@@ -10,12 +10,12 @@
 //! cargo run --release -p langcrux-bench --bin repro -- --bench-json
 //! ```
 
-use crate::{baseline, build_corpus, render_seed, Scale};
-use langcrux_core::{build_dataset, PipelineOptions};
+use crate::{baseline, build_corpus, build_corpus_with_plan, render_seed, Scale};
+use langcrux_core::{build_dataset, build_dataset_with_ledger, PipelineOptions};
 use langcrux_crawl::{default_threads, extract, extract_streaming};
 use langcrux_html::parse;
 use langcrux_lang::Country;
-use langcrux_net::ContentVariant;
+use langcrux_net::{ContentVariant, FaultPlan};
 use langcrux_webgen::{render, render_into, RenderScratch, SitePlan};
 use serde::Serialize;
 use std::time::Instant;
@@ -63,7 +63,115 @@ pub struct PipelineBenchReport {
     /// Per-page generation: pooled render arena vs the preserved
     /// pre-arena renderer (the zero-alloc-render win, isolated).
     pub render: RenderTiming,
+    /// Resilience machinery cost on a clean network, plus a HOSTILE-plan
+    /// degraded run's ledger headline numbers.
+    pub resilience: ResilienceRecord,
     pub notes: String,
+}
+
+/// Cost and behaviour of the resilient crawl engine, at one scale.
+///
+/// `overhead` is the ratio of the ledger-folding RELIABLE build to the
+/// plain one on the same corpus — the price of trace accounting, backoff
+/// bookkeeping and unwind guards when nothing fails (CI gates it at
+/// ≤ 1.03). The `hostile_*` fields summarize a full degraded run under
+/// [`FaultPlan::HOSTILE`] from its [`CrawlLedger`].
+///
+/// [`CrawlLedger`]: langcrux_core::CrawlLedger
+#[derive(Debug, Clone, Serialize)]
+pub struct ResilienceRecord {
+    pub scale: String,
+    pub sites_per_country: usize,
+    /// RELIABLE-plan `build_dataset_with_ledger`, milliseconds.
+    pub fault_free_ms: f64,
+    /// RELIABLE-plan `build_dataset` (ledger discarded), milliseconds.
+    pub lean_ms: f64,
+    /// `fault_free_ms / lean_ms` — the fault-free resilience tax.
+    pub overhead: f64,
+    /// HOSTILE-plan `build_dataset_with_ledger`, milliseconds.
+    pub hostile_ms: f64,
+    /// Records the HOSTILE run still produced.
+    pub hostile_records: usize,
+    pub hostile_selected: u64,
+    /// Quota shortfall summed over countries (0 = quota met everywhere).
+    pub hostile_shortfall: u64,
+    /// Terminal errors across the taxonomy.
+    pub hostile_errors: u64,
+    pub hostile_retries: u64,
+    pub hostile_breaker_opened: u64,
+    pub hostile_truncated_bodies: u64,
+    pub hostile_garbled_bodies: u64,
+    /// Candidates the replacement rule consumed without selecting.
+    pub hostile_replacements: u64,
+    pub hostile_max_replacement_run: u64,
+}
+
+/// Measure [`ResilienceRecord`] at one scale.
+pub fn resilience_timing(seed: u64, scale: Scale) -> ResilienceRecord {
+    let quota = scale.sites_per_country();
+    let options = PipelineOptions {
+        quota,
+        ..PipelineOptions::default()
+    };
+
+    let reliable = build_corpus_with_plan(seed, scale, FaultPlan::RELIABLE);
+    let mut fault_free_ms = f64::INFINITY;
+    let mut lean_ms = f64::INFINITY;
+    // One extra run over the standard RUNS: the overhead ratio gates CI
+    // at 3%, so it needs the noise floor of min-of-3.
+    for _ in 0..RUNS.max(3) {
+        let start = Instant::now();
+        let (ds, ledger) = build_dataset_with_ledger(&reliable, options);
+        fault_free_ms = fault_free_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        // Restricted/geo-block walls are vantage behaviour and fire even
+        // under RELIABLE; only the *injected* transient classes must be
+        // silent when every fault chance is zero.
+        let injected = ledger.totals.errors.timeouts
+            + ledger.totals.errors.resets
+            + ledger.totals.errors.server_errors
+            + ledger.totals.errors.deadline_exceeded
+            + ledger.totals.errors.circuit_open;
+        assert_eq!(injected, 0, "RELIABLE run had injected-fault errors");
+        std::hint::black_box(ds.len());
+
+        let start = Instant::now();
+        let ds = build_dataset(&reliable, options);
+        lean_ms = lean_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(ds.len());
+    }
+
+    let hostile = build_corpus_with_plan(seed, scale, FaultPlan::HOSTILE);
+    let mut hostile_ms = f64::INFINITY;
+    let mut records = 0;
+    let mut totals = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let (ds, ledger) = build_dataset_with_ledger(&hostile, options);
+        hostile_ms = hostile_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        records = ds.len();
+        totals = Some(ledger.totals);
+    }
+    let totals = totals.expect("at least one hostile run");
+
+    ResilienceRecord {
+        scale: scale_name(scale),
+        sites_per_country: quota,
+        fault_free_ms,
+        lean_ms,
+        overhead: fault_free_ms / lean_ms.max(1e-9),
+        hostile_ms,
+        hostile_records: records,
+        hostile_selected: totals.selected,
+        hostile_shortfall: (quota as u64 * Country::STUDY.len() as u64)
+            .saturating_sub(totals.selected),
+        hostile_errors: totals.errors.total(),
+        hostile_retries: totals.retries,
+        hostile_breaker_opened: totals.breaker_opened,
+        hostile_truncated_bodies: totals.truncated_bodies,
+        hostile_garbled_bodies: totals.garbled_bodies,
+        hostile_replacements: totals.replacements,
+        hostile_max_replacement_run: totals.max_replacement_run,
+    }
 }
 
 /// Per-page render wall-clock: the pre-arena renderer (fresh generators,
@@ -314,6 +422,7 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
         worker_scaling,
         stream_vs_dom: stream_vs_dom(seed),
         render: render_timing(seed),
+        resilience: resilience_timing(seed, scales.first().copied().unwrap_or(Scale::Quick)),
         notes: format!(
             "baseline = seed pipeline (one thread per country, visible-text re-scan per \
              candidate and per site, Vec-probed histogram, per-site Kizuki construction); \
@@ -331,7 +440,10 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
              multi-core host the pool multiplies it further (the seed capped at 12 \
              country threads; the pool uses every core and steals across the country \
              tail). worker_scaling records the fused pipeline per worker count on \
-             multi-core hosts, isolating that parallel share.",
+             multi-core hosts, isolating that parallel share. resilience records the \
+             resilient crawl engine's fault-free tax (ledger-folding RELIABLE build vs \
+             the plain one on the same corpus; CI gates the ratio at 1.03) and the \
+             headline ledger numbers of a HOSTILE-plan degraded run at the first scale.",
             par = if cores > 1 {
                 "additional parallel speedup"
             } else {
@@ -394,6 +506,25 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         assert!(json.contains("render_us_per_page"));
         assert!(json.contains("baseline_us_per_page"));
+    }
+
+    #[test]
+    fn resilience_record_shape() {
+        let r = resilience_timing(23, Scale::Sites(5));
+        assert_eq!(r.sites_per_country, 5);
+        assert!(r.fault_free_ms > 0.0 && r.lean_ms > 0.0 && r.hostile_ms > 0.0);
+        assert!(r.overhead > 0.0);
+        // The degraded run still completes and selects most of the quota.
+        assert!(r.hostile_records > 0);
+        assert_eq!(
+            r.hostile_selected + r.hostile_shortfall,
+            5 * Country::STUDY.len() as u64
+        );
+        // A HOSTILE plan must actually hurt: errors and replacements > 0.
+        assert!(r.hostile_errors > 0, "{r:?}");
+        assert!(r.hostile_replacements > 0, "{r:?}");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("hostile_max_replacement_run"));
     }
 
     #[test]

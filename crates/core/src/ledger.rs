@@ -1,0 +1,307 @@
+//! The degraded-run ledger: what a crawl *lost* and what it cost.
+//!
+//! The dataset records what survived the crawl; under fault injection
+//! that is only half the story. [`CrawlLedger`] is the other half — a
+//! serializable per-country account of every error by taxonomy class,
+//! every retry and virtual-time wait, body damage, breaker activity, and
+//! the replacement-chain depth the paper's next-candidate rule had to
+//! walk. It is built from the same sequential verdict replay that picks
+//! the sites, so for a given `(seed, fault plan)` the ledger bytes are
+//! identical at every worker count — the same determinism contract as
+//! `Dataset::to_json`, and a tested invariant.
+//!
+//! Sites whose analysis panicked (poisoned work units — see
+//! [`crate::pipeline`]) are listed per country by host, so a degraded
+//! run is auditable down to the individual page.
+
+use crate::selection::{Rejection, SelectedSite};
+use langcrux_crawl::{VisitError, VisitTrace};
+use langcrux_net::{FaultPlan, FetchError};
+use serde::{Deserialize, Serialize};
+
+/// Terminal error counts, bucketed by the expanded fault taxonomy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorTaxonomy {
+    /// Request timeouts that survived all retries.
+    pub timeouts: u64,
+    /// Connection resets that survived all retries.
+    pub resets: u64,
+    /// Transient 5xx answers that survived all retries.
+    pub server_errors: u64,
+    /// Vantage refused outright (geo-block wall).
+    pub geo_blocks: u64,
+    /// Hostname missing from the simulated DNS.
+    pub unknown_hosts: u64,
+    /// Bot-wall / VPN-detection pages served instead of content.
+    pub restricted: u64,
+    /// Per-visit virtual-time budget exhausted mid-retry-chain.
+    pub deadline_exceeded: u64,
+    /// Circuit breaker still open at the visit deadline.
+    pub circuit_open: u64,
+}
+
+impl ErrorTaxonomy {
+    /// Bucket one terminal visit error.
+    pub fn record(&mut self, error: &VisitError) {
+        match error {
+            VisitError::Fetch(FetchError::Timeout) => self.timeouts += 1,
+            VisitError::Fetch(FetchError::ConnectionReset) => self.resets += 1,
+            VisitError::Fetch(FetchError::ServerError(_)) => self.server_errors += 1,
+            VisitError::Fetch(FetchError::GeoBlocked) => self.geo_blocks += 1,
+            VisitError::Fetch(FetchError::UnknownHost(_)) => self.unknown_hosts += 1,
+            VisitError::Restricted => self.restricted += 1,
+            VisitError::DeadlineExceeded => self.deadline_exceeded += 1,
+            VisitError::CircuitOpen => self.circuit_open += 1,
+        }
+    }
+
+    /// Sum over every bucket.
+    pub fn total(&self) -> u64 {
+        self.timeouts
+            + self.resets
+            + self.server_errors
+            + self.geo_blocks
+            + self.unknown_hosts
+            + self.restricted
+            + self.deadline_exceeded
+            + self.circuit_open
+    }
+}
+
+/// One country's degraded-run account.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CountryLedger {
+    pub country_code: String,
+    /// Candidates consumed by the replacement walk.
+    pub attempted: u64,
+    /// Candidates that qualified (== sites selected).
+    pub selected: u64,
+    /// Fetch attempts issued, including retries.
+    pub attempts: u64,
+    /// Retries alone (attempts beyond each visit's first).
+    pub retries: u64,
+    /// Terminal errors by taxonomy class.
+    pub errors: ErrorTaxonomy,
+    /// Candidates rejected by the 50% native-content threshold.
+    pub rejected_threshold: u64,
+    /// Visits whose body arrived truncated.
+    pub truncated_bodies: u64,
+    /// Visits whose body arrived with a garbled span.
+    pub garbled_bodies: u64,
+    /// Virtual ms spent in exponential-backoff waits.
+    pub backoff_wait_ms: u64,
+    /// Virtual ms spent waiting out breaker cooldowns.
+    pub breaker_wait_ms: u64,
+    /// Total virtual ms the country's visits consumed.
+    pub virtual_ms: u64,
+    /// Circuit-breaker trips (including re-opens).
+    pub breaker_opened: u64,
+    /// Half-open probes admitted.
+    pub breaker_probes: u64,
+    /// Successful probes that re-closed a breaker.
+    pub breaker_reclosed: u64,
+    /// Candidates the replacement rule consumed without selecting
+    /// (threshold rejections + terminal errors).
+    pub replacements: u64,
+    /// Longest consecutive run of non-selections — how deep the paper's
+    /// next-candidate rule had to dig at the worst point.
+    pub max_replacement_run: u64,
+    /// Hosts whose site analysis panicked and was contained.
+    pub poisoned_sites: Vec<String>,
+}
+
+impl CountryLedger {
+    pub fn new(country_code: &str) -> Self {
+        CountryLedger {
+            country_code: country_code.to_string(),
+            ..CountryLedger::default()
+        }
+    }
+
+    /// Fold one probed candidate (its verdict and visit trace) into the
+    /// account. Replacement-run depth is tracked by the caller, which
+    /// owns the sequential walk — see [`note_replacement_run`].
+    ///
+    /// [`note_replacement_run`]: CountryLedger::note_replacement_run
+    pub fn record_probe(&mut self, outcome: &Result<SelectedSite, Rejection>, trace: &VisitTrace) {
+        self.attempted += 1;
+        self.attempts += u64::from(trace.attempts);
+        self.retries += u64::from(trace.attempts.saturating_sub(1));
+        self.truncated_bodies += u64::from(trace.truncated);
+        self.garbled_bodies += u64::from(trace.garbled);
+        self.backoff_wait_ms += trace.backoff_wait_ms;
+        self.breaker_wait_ms += trace.breaker_wait_ms;
+        self.virtual_ms += trace.virtual_ms;
+        self.breaker_opened += u64::from(trace.breaker_opened);
+        self.breaker_probes += u64::from(trace.breaker_probes);
+        self.breaker_reclosed += u64::from(trace.breaker_reclosed);
+        match outcome {
+            Ok(_) => self.selected += 1,
+            Err(Rejection::BelowThreshold) => {
+                self.rejected_threshold += 1;
+                self.replacements += 1;
+            }
+            Err(Rejection::Fetch(e)) => {
+                self.errors.record(e);
+                self.replacements += 1;
+            }
+        }
+    }
+
+    /// Report one consecutive run of non-selections from the replacement
+    /// walk; keeps the maximum.
+    pub fn note_replacement_run(&mut self, run: u64) {
+        self.max_replacement_run = self.max_replacement_run.max(run);
+    }
+
+    /// Sum another account into this one (used for the run totals).
+    pub fn absorb(&mut self, other: &CountryLedger) {
+        self.attempted += other.attempted;
+        self.selected += other.selected;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.errors.timeouts += other.errors.timeouts;
+        self.errors.resets += other.errors.resets;
+        self.errors.server_errors += other.errors.server_errors;
+        self.errors.geo_blocks += other.errors.geo_blocks;
+        self.errors.unknown_hosts += other.errors.unknown_hosts;
+        self.errors.restricted += other.errors.restricted;
+        self.errors.deadline_exceeded += other.errors.deadline_exceeded;
+        self.errors.circuit_open += other.errors.circuit_open;
+        self.rejected_threshold += other.rejected_threshold;
+        self.truncated_bodies += other.truncated_bodies;
+        self.garbled_bodies += other.garbled_bodies;
+        self.backoff_wait_ms += other.backoff_wait_ms;
+        self.breaker_wait_ms += other.breaker_wait_ms;
+        self.virtual_ms += other.virtual_ms;
+        self.breaker_opened += other.breaker_opened;
+        self.breaker_probes += other.breaker_probes;
+        self.breaker_reclosed += other.breaker_reclosed;
+        self.replacements += other.replacements;
+        self.max_replacement_run = self.max_replacement_run.max(other.max_replacement_run);
+        self.poisoned_sites
+            .extend(other.poisoned_sites.iter().cloned());
+    }
+}
+
+/// The degraded-run ledger for one dataset build.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlLedger {
+    /// Corpus seed the run was built from.
+    pub seed: u64,
+    /// The fault plan in force (round-trips through JSON).
+    pub fault_plan: FaultPlan,
+    /// Per-country accounts, in study order.
+    pub countries: Vec<CountryLedger>,
+    /// Whole-run totals (`country_code == "total"`).
+    pub totals: CountryLedger,
+}
+
+impl CrawlLedger {
+    pub fn new(seed: u64, fault_plan: FaultPlan, countries: Vec<CountryLedger>) -> Self {
+        let mut totals = CountryLedger::new("total");
+        for country in &countries {
+            totals.absorb(country);
+        }
+        CrawlLedger {
+            seed,
+            fault_plan,
+            countries,
+            totals,
+        }
+    }
+
+    /// Serialize to JSON (written alongside the dataset).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Load from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<CrawlLedger> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(attempts: u32, virtual_ms: u64) -> VisitTrace {
+        VisitTrace {
+            attempts,
+            virtual_ms,
+            ..VisitTrace::default()
+        }
+    }
+
+    #[test]
+    fn taxonomy_buckets_every_error_kind() {
+        let mut tax = ErrorTaxonomy::default();
+        for e in [
+            VisitError::Fetch(FetchError::Timeout),
+            VisitError::Fetch(FetchError::ConnectionReset),
+            VisitError::Fetch(FetchError::ServerError(503)),
+            VisitError::Fetch(FetchError::GeoBlocked),
+            VisitError::Fetch(FetchError::UnknownHost("x.bd".into())),
+            VisitError::Restricted,
+            VisitError::DeadlineExceeded,
+            VisitError::CircuitOpen,
+        ] {
+            tax.record(&e);
+        }
+        assert_eq!(tax.total(), 8);
+        assert_eq!(tax.timeouts, 1);
+        assert_eq!(tax.server_errors, 1);
+        assert_eq!(tax.circuit_open, 1);
+    }
+
+    #[test]
+    fn record_probe_accumulates_and_counts_replacements() {
+        let mut ledger = CountryLedger::new("bd");
+        ledger.record_probe(&Err(Rejection::BelowThreshold), &trace(1, 50));
+        ledger.record_probe(
+            &Err(Rejection::Fetch(VisitError::Fetch(FetchError::Timeout))),
+            &trace(3, 900),
+        );
+        ledger.note_replacement_run(2);
+        assert_eq!(ledger.attempted, 2);
+        assert_eq!(ledger.attempts, 4);
+        assert_eq!(ledger.retries, 2);
+        assert_eq!(ledger.replacements, 2);
+        assert_eq!(ledger.max_replacement_run, 2);
+        assert_eq!(ledger.rejected_threshold, 1);
+        assert_eq!(ledger.errors.timeouts, 1);
+        assert_eq!(ledger.virtual_ms, 950);
+    }
+
+    #[test]
+    fn totals_absorb_all_countries() {
+        let mut bd = CountryLedger::new("bd");
+        bd.record_probe(
+            &Err(Rejection::Fetch(VisitError::Restricted)),
+            &trace(1, 10),
+        );
+        bd.poisoned_sites.push("sangbad-3.bd".into());
+        let mut th = CountryLedger::new("th");
+        th.record_probe(&Err(Rejection::BelowThreshold), &trace(2, 20));
+        let ledger = CrawlLedger::new(9, FaultPlan::RELIABLE, vec![bd, th]);
+        assert_eq!(ledger.totals.country_code, "total");
+        assert_eq!(ledger.totals.attempted, 2);
+        assert_eq!(ledger.totals.attempts, 3);
+        assert_eq!(ledger.totals.errors.restricted, 1);
+        assert_eq!(ledger.totals.poisoned_sites, vec!["sangbad-3.bd"]);
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let mut bd = CountryLedger::new("bd");
+        bd.record_probe(
+            &Err(Rejection::Fetch(VisitError::DeadlineExceeded)),
+            &trace(4, 31_000),
+        );
+        let ledger = CrawlLedger::new(41, FaultPlan::HOSTILE, vec![bd]);
+        let json = ledger.to_json().unwrap();
+        let back = CrawlLedger::from_json(&json).unwrap();
+        assert_eq!(back, ledger);
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`stats`] — summaries, CDFs, histograms, count grids.
 //! * [`selection`] — the §2 inclusion criteria (languages and websites).
 //! * [`pipeline`] — crawl + extract + filter + classify + audit, per
-//!   country on a worker pool.
+//!   country on a worker pool, with unwind-guarded work units.
+//! * [`ledger`] — the degraded-run ledger: per-country error taxonomy,
+//!   retry/backoff/breaker accounting, replacement-chain depth.
 //! * [`dataset`] — the serializable LangCrUX data model.
 //! * [`analysis`] — one function per paper artefact.
 //! * [`render`] — plain-text rendering used by the `repro` harness.
@@ -22,6 +24,7 @@
 
 pub mod analysis;
 pub mod dataset;
+pub mod ledger;
 pub mod pipeline;
 pub mod render;
 pub mod report;
@@ -29,6 +32,7 @@ pub mod selection;
 pub mod stats;
 
 pub use dataset::{Dataset, SiteRecord, TextState};
-pub use pipeline::{build_dataset, PipelineOptions};
+pub use ledger::{CountryLedger, CrawlLedger, ErrorTaxonomy};
+pub use pipeline::{build_dataset, build_dataset_with_ledger, PipelineOptions};
 pub use report::markdown_report;
 pub use selection::{select_languages, select_websites, LanguageVerdict};

@@ -25,15 +25,27 @@
 //! Record order is deterministic (study order, then rank order), and
 //! `Dataset::to_json` output is byte-identical across runs and thread
 //! counts — a tested invariant.
+//!
+//! ## Graceful degradation
+//!
+//! Every per-site analysis unit is unwind-guarded: a panic while
+//! processing one site poisons only that site — its host is listed in
+//! the run's [`CrawlLedger`] and the remaining sites of the chunk (and
+//! the pool) proceed untouched. [`build_dataset_with_ledger`] returns
+//! the ledger alongside the dataset; both serialize byte-identically at
+//! every worker count.
 
 use crate::dataset::{
     CountryCrawlSummary, Dataset, ElementRecord, ExtremeExample, MismatchExample, SiteRecord,
     TextState,
 };
-use crate::selection::{probe_candidate, tally_probe, Rejection, SelectedSite, SelectionStats};
+use crate::ledger::{CountryLedger, CrawlLedger};
+use crate::selection::{
+    probe_candidate_traced, tally_probe, Rejection, SelectedSite, SelectionStats,
+};
 use langcrux_audit::audit_page;
 use langcrux_crawl::pool::{default_threads, run_work_stealing, run_work_stealing_with};
-use langcrux_crawl::{char_word_counts, Browser, BrowserConfig};
+use langcrux_crawl::{char_word_counts, Browser, BrowserConfig, VisitTrace};
 use langcrux_filter::classify;
 use langcrux_kizuki::Kizuki;
 use langcrux_lang::a11y::ElementKind;
@@ -42,6 +54,7 @@ use langcrux_langid::{classify_label, LabelLanguage};
 use langcrux_net::vpn_vantage;
 use langcrux_webgen::Corpus;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Pipeline options.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +68,10 @@ pub struct PipelineOptions {
     pub max_mismatch_examples: usize,
     /// Worker threads for the shared pool; 0 means one per core.
     pub threads: usize,
+    /// Chaos hook: panic inside the analysis of any site whose host this
+    /// predicate matches. Exercises the unwind guard; `None` in
+    /// production.
+    pub chaos_panic_host: Option<fn(&str) -> bool>,
 }
 
 impl Default for PipelineOptions {
@@ -65,6 +82,7 @@ impl Default for PipelineOptions {
             max_extreme_examples: 40,
             max_mismatch_examples: 24,
             threads: 0,
+            chaos_panic_host: None,
         }
     }
 }
@@ -80,8 +98,9 @@ struct CountryResult {
 /// Per-country progress of the wave-probed selection phase.
 struct CountryProbe {
     country: Country,
-    /// Probe outcomes for the candidate prefix `0..verdicts.len()`.
-    verdicts: Vec<Result<SelectedSite, Rejection>>,
+    /// Probe outcomes (verdict + visit trace) for the candidate prefix
+    /// `0..verdicts.len()`.
+    verdicts: Vec<(Result<SelectedSite, Rejection>, VisitTrace)>,
     /// Qualifying candidates seen so far in the prefix.
     qualified: usize,
 }
@@ -91,6 +110,19 @@ type ProbeTask = (usize, Range<usize>);
 
 /// Build the dataset from a corpus.
 pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
+    build_dataset_with_ledger(corpus, options).0
+}
+
+/// Build the dataset plus its degraded-run [`CrawlLedger`].
+///
+/// The ledger is folded from the same sequentially-replayed verdict
+/// prefix that selects the sites, so its bytes — like the dataset's —
+/// depend only on `(corpus seed, fault plan, quota)`, never on the
+/// worker count.
+pub fn build_dataset_with_ledger(
+    corpus: &Corpus,
+    options: PipelineOptions,
+) -> (Dataset, CrawlLedger) {
     let threads = if options.threads == 0 {
         default_threads()
     } else {
@@ -131,30 +163,43 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
                 let native = country.target_language();
                 corpus.candidates(country)[range.clone()]
                     .iter()
-                    .map(|plan| probe_candidate(browser, plan, vantage, native))
+                    .map(|plan| probe_candidate_traced(browser, plan, vantage, native))
                     .collect::<Vec<_>>()
             },
         );
         for ((ci, _), outcomes) in tasks.iter().zip(wave) {
             let probe = &mut probes[*ci];
-            probe.qualified += outcomes.iter().filter(|o| o.is_ok()).count();
+            probe.qualified += outcomes.iter().filter(|(o, _)| o.is_ok()).count();
             probe.verdicts.extend(outcomes);
         }
     }
 
-    // Replay the paper's sequential replacement walk over the verdicts.
+    // Replay the paper's sequential replacement walk over the verdicts,
+    // folding the degraded-run ledger from the same consumed prefix.
+    let mut country_ledgers: Vec<CountryLedger> = Vec::with_capacity(probes.len());
     let selections: Vec<(Country, Vec<SelectedSite>, SelectionStats)> = probes
         .into_iter()
         .map(|probe| {
             let mut selected = Vec::with_capacity(options.quota);
             let mut stats = SelectionStats::default();
-            for outcome in probe.verdicts {
+            let mut ledger = CountryLedger::new(probe.country.code());
+            let mut error_run = 0u64;
+            for (outcome, trace) in probe.verdicts {
                 if selected.len() >= options.quota {
                     break;
                 }
+                ledger.record_probe(&outcome, &trace);
+                if outcome.is_ok() {
+                    ledger.note_replacement_run(error_run);
+                    error_run = 0;
+                } else {
+                    error_run += 1;
+                }
                 tally_probe(outcome, &mut selected, &mut stats);
             }
+            ledger.note_replacement_run(error_run);
             stats.shortfall = (options.quota as u64).saturating_sub(stats.selected);
+            country_ledgers.push(ledger);
             (probe.country, selected, stats)
         })
         .collect();
@@ -172,6 +217,8 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
         records: Vec<SiteRecord>,
         extremes: Vec<ExtremeExample>,
         mismatches: Vec<MismatchExample>,
+        /// Hosts whose analysis panicked (contained by the unwind guard).
+        poisoned: Vec<String>,
     }
 
     let kizuki_ref = &kizuki;
@@ -183,15 +230,32 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
             records: Vec::with_capacity(range.len()),
             extremes: Vec::new(),
             mismatches: Vec::new(),
+            poisoned: Vec::new(),
         };
         for site in &sites[range.clone()] {
-            out.records.push(process_site(
-                site,
-                *country,
-                kizuki_ref,
-                &mut out.extremes,
-                &mut out.mismatches,
-            ));
+            // Unwind guard: one site's panic poisons only that site.
+            // Examples land in per-site scratch vecs so a partial capture
+            // from a poisoned site can't leak into the output.
+            let unit = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(chaos) = options.chaos_panic_host {
+                    if chaos(&site.plan.host) {
+                        panic!("chaos hook: injected analysis panic");
+                    }
+                }
+                let mut extremes = Vec::new();
+                let mut mismatches = Vec::new();
+                let record =
+                    process_site(site, *country, kizuki_ref, &mut extremes, &mut mismatches);
+                (record, extremes, mismatches)
+            }));
+            match unit {
+                Ok((record, mut extremes, mut mismatches)) => {
+                    out.records.push(record);
+                    out.extremes.append(&mut extremes);
+                    out.mismatches.append(&mut mismatches);
+                }
+                Err(_) => out.poisoned.push(site.plan.host.clone()),
+            }
         }
         // Examples beyond the cap can never survive the ordered merge, so
         // don't carry them out of the chunk (first-N semantics preserved:
@@ -215,6 +279,9 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
         })
         .collect();
     for ((ci, _), mut out) in site_tasks.iter().zip(chunk_outputs) {
+        country_ledgers[*ci]
+            .poisoned_sites
+            .append(&mut out.poisoned);
         let result = &mut results[*ci];
         result.records.append(&mut out.records);
         for e in out.extremes {
@@ -231,6 +298,11 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
 
     // Deterministic order: study order, independent of scheduling.
     results.sort_by_key(|r| Country::STUDY.iter().position(|&c| c == r.country));
+    country_ledgers.sort_by_key(|l| {
+        Country::STUDY
+            .iter()
+            .position(|&c| c.code() == l.country_code)
+    });
 
     let mut dataset = Dataset {
         seed: corpus.config().seed,
@@ -251,7 +323,12 @@ pub fn build_dataset(corpus: &Corpus, options: PipelineOptions) -> Dataset {
             }
         }
     }
-    dataset
+    let ledger = CrawlLedger::new(
+        corpus.config().seed,
+        *corpus.internet().fault_plan(),
+        country_ledgers,
+    );
+    (dataset, ledger)
 }
 
 /// Plan the next wave of `(country, candidate-chunk)` probe units.

@@ -13,7 +13,7 @@
 //! the 50% native threshold, and "replace \[failures\] with the next-ranking
 //! candidate" until the quota is filled.
 
-use langcrux_crawl::{Browser, BrowserConfig, Visit, VisitError};
+use langcrux_crawl::{Browser, BrowserConfig, Visit, VisitError, VisitTrace};
 use langcrux_lang::{Country, Language};
 use langcrux_langid::composition_of_histogram;
 use langcrux_net::{vpn_vantage, Url, Vantage};
@@ -147,7 +147,20 @@ pub fn probe_candidate(
     vantage: Vantage,
     native: Language,
 ) -> Result<SelectedSite, Rejection> {
-    match browser.visit(&Url::from_host(&plan.host), vantage) {
+    probe_candidate_traced(browser, plan, vantage, native).0
+}
+
+/// [`probe_candidate`], also returning the visit's [`VisitTrace`] so the
+/// pipeline can fold retry/backoff/breaker/damage accounting into the
+/// degraded-run ledger ([`crate::ledger`]).
+pub fn probe_candidate_traced(
+    browser: &mut Browser,
+    plan: &SitePlan,
+    vantage: Vantage,
+    native: Language,
+) -> (Result<SelectedSite, Rejection>, VisitTrace) {
+    let (result, trace) = browser.visit_traced(&Url::from_host(&plan.host), vantage);
+    let outcome = match result {
         Ok(visit) => {
             let comp = composition_of_histogram(&visit.extract.visible_hist, native);
             if comp.has_evidence() && comp.native_pct >= NATIVE_CONTENT_THRESHOLD_PCT {
@@ -162,7 +175,8 @@ pub fn probe_candidate(
             }
         }
         Err(e) => Err(Rejection::Fetch(e)),
-    }
+    };
+    (outcome, trace)
 }
 
 /// Fold one probe outcome into the running stats, appending to `selected`

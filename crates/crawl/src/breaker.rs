@@ -1,0 +1,205 @@
+//! A per-host circuit breaker over the virtual clock.
+//!
+//! Classic three-state breaker (closed → open → half-open), with all
+//! timing in virtual milliseconds: after `threshold` *consecutive*
+//! failures the breaker opens and refuses admission for `cooldown_ms`;
+//! the first admission after the cooldown is a half-open probe; a
+//! successful probe re-closes the breaker, a failed one re-opens it for
+//! another cooldown.
+//!
+//! The browser instantiates one breaker per visit. Since the pipeline
+//! visits every host exactly once, this *is* per-host state — and keeping
+//! it visit-scoped (instead of a long-lived per-worker host map) is what
+//! preserves determinism: breaker decisions depend only on this visit's
+//! own attempt history, never on which other hosts a worker happened to
+//! crawl first.
+
+/// Breaker tuning (thresholds come from [`BrowserConfig`]).
+///
+/// [`BrowserConfig`]: crate::BrowserConfig
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// Virtual milliseconds an open breaker holds before half-opening.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown_ms: 1_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Answer to an admission request at a given virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed breaker: proceed normally.
+    Allow,
+    /// Cooldown has elapsed: proceed as the single half-open probe.
+    Probe,
+    /// Still cooling down; ask again at `until_ms`.
+    Wait { until_ms: u64 },
+}
+
+/// Three-state circuit breaker with transition counters.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Virtual time of the transition into `Open`.
+    opened_at_ms: u64,
+    /// Times the breaker tripped open (including re-opens from a failed probe).
+    pub opened: u32,
+    /// Half-open probes admitted.
+    pub probes: u32,
+    /// Successful probes that re-closed the breaker.
+    pub reclosed: u32,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_ms: 0,
+            opened: 0,
+            probes: 0,
+            reclosed: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May a request proceed at virtual time `now_ms`?
+    pub fn admit(&mut self, now_ms: u64) -> Admission {
+        match self.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                let until_ms = self.opened_at_ms.saturating_add(self.config.cooldown_ms);
+                if now_ms >= until_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes += 1;
+                    Admission::Probe
+                } else {
+                    Admission::Wait { until_ms }
+                }
+            }
+        }
+    }
+
+    /// Record a successful request (re-closes a half-open breaker).
+    pub fn record_success(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.reclosed += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed request at virtual time `now_ms`.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.consecutive_failures += 1;
+        match self.state {
+            // A failed half-open probe re-opens for another full cooldown.
+            BreakerState::HalfOpen => self.trip(now_ms),
+            BreakerState::Closed if self.consecutive_failures >= self.config.threshold => {
+                self.trip(now_ms)
+            }
+            _ => {}
+        }
+    }
+
+    fn trip(&mut self, now_ms: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_ms = now_ms;
+        self.opened += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown_ms: 100,
+        })
+    }
+
+    #[test]
+    fn closed_allows_until_threshold() {
+        let mut b = breaker();
+        assert_eq!(b.admit(0), Admission::Allow);
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(10), Admission::Allow);
+        b.record_failure(20);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened, 1);
+    }
+
+    #[test]
+    fn open_waits_out_the_cooldown_then_probes() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(10);
+        assert_eq!(b.admit(50), Admission::Wait { until_ms: 110 });
+        assert_eq!(b.admit(110), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.probes, 1);
+        // Half-open keeps answering Probe until an outcome is recorded.
+        assert_eq!(b.admit(111), Admission::Probe);
+    }
+
+    #[test]
+    fn successful_probe_recloses() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(10);
+        assert_eq!(b.admit(110), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.reclosed, 1);
+        // The failure streak is forgotten.
+        b.record_failure(120);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_fresh_cooldown() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_failure(10);
+        assert_eq!(b.admit(110), Admission::Probe);
+        b.record_failure(150);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opened, 2);
+        assert_eq!(b.admit(200), Admission::Wait { until_ms: 250 });
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = breaker();
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed, "streak must have reset");
+    }
+}

@@ -1,0 +1,62 @@
+//! A deterministic virtual clock for the crawl layer.
+//!
+//! The simulated internet reports latency but never sleeps; the crawl
+//! layer still needs a notion of elapsed time for backoff waits, circuit
+//! breaker cooldowns and fetch deadlines. [`VirtualClock`] is that notion:
+//! a logical millisecond counter advanced by injected latency and waits,
+//! so "time" is a pure function of the work performed — a crawl spends
+//! identical virtual time at every worker count and on every host,
+//! and tests over timing behaviour are exact instead of flaky.
+//!
+//! Each pool worker owns one clock (it lives inside its [`Browser`]);
+//! per-visit *decisions* (deadlines, breaker cooldowns) use a visit-local
+//! elapsed counter so they never depend on what the worker crawled
+//! before — that is what keeps verdicts pure in `(seed, host, vantage)`
+//! and the dataset byte-identical across worker counts.
+//!
+//! [`Browser`]: crate::Browser
+
+/// Monotone logical clock counting virtual milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now_ms: u64,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current logical time in virtual milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advance by `ms` virtual milliseconds (latency paid, waits served).
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(120);
+        clock.advance(0);
+        clock.advance(333);
+        assert_eq!(clock.now_ms(), 453);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut clock = VirtualClock::new();
+        clock.advance(u64::MAX - 1);
+        clock.advance(500);
+        assert_eq!(clock.now_ms(), u64::MAX);
+    }
+}

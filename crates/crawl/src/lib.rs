@@ -16,18 +16,27 @@
 //! * [`stream`] — the same extraction streamed from tokenizer events with
 //!   no DOM materialisation ([`extract_streaming`]); the crawl path's
 //!   per-visit hot loop, byte-identical to the DOM path by test.
-//! * [`browser`] — single-page visits with retry handling and
-//!   restricted-content detection.
+//! * [`browser`] — single-page visits under a production retry
+//!   discipline: capped exponential backoff with deterministic jitter,
+//!   per-visit fetch deadlines, and restricted-content detection.
+//! * [`breaker`] — a per-host circuit breaker (closed → open → half-open)
+//!   timed on the virtual clock.
+//! * [`clock`] — the deterministic [`VirtualClock`] all waiting is
+//!   counted against; nothing in the crawl layer ever sleeps.
 //! * [`pool`] — a shared work-stealing worker pool with deterministic,
 //!   scheduling-independent results; also the executor behind the
 //!   `langcrux-core` pipeline's `(country, chunk)` sharding.
 
+pub mod breaker;
 pub mod browser;
+pub mod clock;
 pub mod extract;
 pub mod pool;
 pub mod stream;
 
-pub use browser::{Browser, BrowserConfig, Visit, VisitError};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use browser::{Browser, BrowserConfig, Visit, VisitError, VisitTrace};
+pub use clock::VirtualClock;
 pub use extract::{
     char_len, char_word_counts, extract, word_count, ExtractedElement, PageExtract, TextSource,
 };

@@ -14,10 +14,17 @@
 
 use langcrux_lang::rng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Probabilities and latency model for the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Fields beyond whole-request loss model *partial* damage — truncated and
+/// garbled bodies, transient 5xx answers, persistently slow hosts — the
+/// degradations a real measurement crawl sees far more often than clean
+/// timeouts. Missing fields deserialize to their `Default` values (see the
+/// hand-written `Deserialize` impl below), so a hand-written `--fault-plan`
+/// JSON file only needs the knobs it changes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FaultPlan {
     /// Probability a request times out entirely.
     pub timeout_chance: f64,
@@ -26,10 +33,63 @@ pub struct FaultPlan {
     /// Probability a VPN-detecting site recognises the VPN *in addition to*
     /// the provider's own detectability factor.
     pub extra_vpn_detection: f64,
+    /// Probability a request is answered with a transient 5xx instead of
+    /// a body (retryable, like timeouts).
+    pub server_error_chance: f64,
+    /// Probability a served body is cut off mid-transfer (the response
+    /// still arrives, but incomplete — the extractor sees partial HTML).
+    pub truncate_chance: f64,
+    /// Probability a served body has a span of characters garbled into
+    /// U+FFFD replacement characters (mojibake after transport damage).
+    pub garble_chance: f64,
+    /// Fraction of hosts that are *persistently* slow — the property is
+    /// derived from `(seed, host)` alone, so a slow host is slow on every
+    /// attempt, from every vantage.
+    pub slow_host_fraction: f64,
+    /// Latency multiplier applied to slow hosts.
+    pub slow_latency_multiplier: u32,
     /// Base round-trip latency in milliseconds.
     pub base_latency_ms: u32,
     /// Additional uniform jitter bound in milliseconds.
     pub jitter_ms: u32,
+}
+
+/// Field-by-field deserialization with `Default` fallbacks, so partial
+/// plan files (`repro --fault-plan my-plan.json`) only name the knobs
+/// they change.
+impl serde::Deserialize for FaultPlan {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", v))?;
+        fn get<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::DeError> {
+            match obj.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::from_value(v),
+                None => Ok(default),
+            }
+        }
+        let d = FaultPlan::default();
+        Ok(FaultPlan {
+            timeout_chance: get(obj, "timeout_chance", d.timeout_chance)?,
+            reset_chance: get(obj, "reset_chance", d.reset_chance)?,
+            extra_vpn_detection: get(obj, "extra_vpn_detection", d.extra_vpn_detection)?,
+            server_error_chance: get(obj, "server_error_chance", d.server_error_chance)?,
+            truncate_chance: get(obj, "truncate_chance", d.truncate_chance)?,
+            garble_chance: get(obj, "garble_chance", d.garble_chance)?,
+            slow_host_fraction: get(obj, "slow_host_fraction", d.slow_host_fraction)?,
+            slow_latency_multiplier: get(
+                obj,
+                "slow_latency_multiplier",
+                d.slow_latency_multiplier,
+            )?,
+            base_latency_ms: get(obj, "base_latency_ms", d.base_latency_ms)?,
+            jitter_ms: get(obj, "jitter_ms", d.jitter_ms)?,
+        })
+    }
 }
 
 impl Default for FaultPlan {
@@ -38,6 +98,11 @@ impl Default for FaultPlan {
             timeout_chance: 0.01,
             reset_chance: 0.005,
             extra_vpn_detection: 0.0,
+            server_error_chance: 0.004,
+            truncate_chance: 0.004,
+            garble_chance: 0.002,
+            slow_host_fraction: 0.04,
+            slow_latency_multiplier: 8,
             base_latency_ms: 80,
             jitter_ms: 120,
         }
@@ -51,16 +116,27 @@ impl FaultPlan {
         timeout_chance: 0.0,
         reset_chance: 0.0,
         extra_vpn_detection: 0.0,
+        server_error_chance: 0.0,
+        truncate_chance: 0.0,
+        garble_chance: 0.0,
+        slow_host_fraction: 0.0,
+        slow_latency_multiplier: 1,
         base_latency_ms: 50,
         jitter_ms: 0,
     };
 
-    /// A hostile network for failure-injection tests (≈15% loss, echoing
-    /// the smoltcp examples' recommended starting point).
+    /// A hostile network for failure-injection tests (≈15% whole-request
+    /// loss, echoing the smoltcp examples' recommended starting point,
+    /// plus heavy partial damage and a sizeable slow-host population).
     pub const HOSTILE: FaultPlan = FaultPlan {
         timeout_chance: 0.10,
         reset_chance: 0.05,
         extra_vpn_detection: 0.10,
+        server_error_chance: 0.05,
+        truncate_chance: 0.04,
+        garble_chance: 0.02,
+        slow_host_fraction: 0.15,
+        slow_latency_multiplier: 12,
         base_latency_ms: 200,
         jitter_ms: 400,
     };
@@ -75,6 +151,12 @@ pub enum RollPurpose {
     VpnDetection,
     Latency,
     GeoBlock,
+    ServerError,
+    Truncate,
+    TruncatePoint,
+    Garble,
+    GarblePoint,
+    SlowHost,
 }
 
 impl RollPurpose {
@@ -85,6 +167,12 @@ impl RollPurpose {
             RollPurpose::VpnDetection => 0x73,
             RollPurpose::Latency => 0x74,
             RollPurpose::GeoBlock => 0x75,
+            RollPurpose::ServerError => 0x76,
+            RollPurpose::Truncate => 0x77,
+            RollPurpose::TruncatePoint => 0x78,
+            RollPurpose::Garble => 0x79,
+            RollPurpose::GarblePoint => 0x7A,
+            RollPurpose::SlowHost => 0x7B,
         }
     }
 }
@@ -120,20 +208,86 @@ impl FaultDice {
         p > 0.0 && self.roll(purpose) < p
     }
 
-    /// Latency sample for this request.
-    pub fn latency_ms(&self, plan: &FaultPlan) -> u32 {
-        if plan.jitter_ms == 0 {
-            return plan.base_latency_ms;
+    /// Whether this host belongs to the plan's persistently slow
+    /// population. Derived from `(seed, host)` alone — deliberately *not*
+    /// from the attempt — so the property is stable across retries and
+    /// vantages (a congested or distant server, not a flaky link).
+    pub fn host_is_slow(&self, plan: &FaultPlan) -> bool {
+        if plan.slow_host_fraction <= 0.0 {
+            return false;
         }
+        let mut r = rng::rng_for(self.seed, &[self.host_id, RollPurpose::SlowHost.stream()]);
+        r.gen::<f64>() < plan.slow_host_fraction
+    }
+
+    /// Latency sample for this request (slow hosts pay the multiplier).
+    pub fn latency_ms(&self, plan: &FaultPlan) -> u32 {
+        let sample = if plan.jitter_ms == 0 {
+            plan.base_latency_ms
+        } else {
+            let mut r = rng::rng_for(
+                self.seed,
+                &[
+                    self.host_id,
+                    u64::from(self.attempt),
+                    RollPurpose::Latency.stream(),
+                ],
+            );
+            plan.base_latency_ms + r.gen_range(0..=plan.jitter_ms)
+        };
+        if self.host_is_slow(plan) {
+            sample.saturating_mul(plan.slow_latency_multiplier.max(1))
+        } else {
+            sample
+        }
+    }
+
+    /// Which 5xx a fired server-error roll answers with.
+    pub fn server_error_code(&self) -> u16 {
+        const CODES: [u16; 4] = [500, 502, 503, 504];
         let mut r = rng::rng_for(
             self.seed,
             &[
                 self.host_id,
                 u64::from(self.attempt),
-                RollPurpose::Latency.stream(),
+                RollPurpose::ServerError.stream(),
+                1,
             ],
         );
-        plan.base_latency_ms + r.gen_range(0..=plan.jitter_ms)
+        CODES[(r.gen::<u64>() % CODES.len() as u64) as usize]
+    }
+
+    /// Byte offset at which a fired truncation cuts a body of `len` bytes
+    /// (somewhere in the middle 15–85% — a header-only fragment or a
+    /// nearly complete page are both less interesting to the extractor).
+    /// Callers must still floor the offset to a char boundary.
+    pub fn truncate_cut(&self, len: usize) -> usize {
+        let mut r = rng::rng_for(
+            self.seed,
+            &[
+                self.host_id,
+                u64::from(self.attempt),
+                RollPurpose::TruncatePoint.stream(),
+            ],
+        );
+        let frac = 0.15 + 0.70 * r.gen::<f64>();
+        (len as f64 * frac) as usize
+    }
+
+    /// `(start, span)` in bytes of a fired garble over a body of `len`
+    /// bytes. Callers must floor both edges to char boundaries.
+    pub fn garble_span(&self, len: usize) -> (usize, usize) {
+        let mut r = rng::rng_for(
+            self.seed,
+            &[
+                self.host_id,
+                u64::from(self.attempt),
+                RollPurpose::GarblePoint.stream(),
+            ],
+        );
+        let start = (len as f64 * (0.9 * r.gen::<f64>())) as usize;
+        let span = 16 + (r.gen::<u64>() % 49) as usize; // 16..=64 bytes
+        (start, span)
     }
 }
 
@@ -193,7 +347,11 @@ mod tests {
 
     #[test]
     fn latency_within_bounds() {
-        let plan = FaultPlan::default();
+        // Zero slow-host fraction isolates the jitter window.
+        let plan = FaultPlan {
+            slow_host_fraction: 0.0,
+            ..FaultPlan::default()
+        };
         for i in 0..200 {
             let d = FaultDice::new(3, "x", i);
             let l = d.latency_ms(&plan);
@@ -202,5 +360,71 @@ mod tests {
         }
         let d = FaultDice::new(3, "x", 0);
         assert_eq!(d.latency_ms(&FaultPlan::RELIABLE), 50);
+    }
+
+    #[test]
+    fn slow_hosts_are_a_stable_per_host_property() {
+        let plan = FaultPlan::HOSTILE;
+        let mut slow = 0;
+        for i in 0..2000 {
+            let host = format!("s{i}.bd");
+            let first = FaultDice::new(77, &host, 0).host_is_slow(&plan);
+            // Stable across attempts — the roll must not consume attempt.
+            for attempt in 1..4 {
+                assert_eq!(
+                    first,
+                    FaultDice::new(77, &host, attempt).host_is_slow(&plan)
+                );
+            }
+            if first {
+                slow += 1;
+            }
+        }
+        let rate = f64::from(slow) / 2000.0;
+        assert!((0.10..0.20).contains(&rate), "slow rate = {rate}");
+        // And the multiplier actually shows up in the latency sample.
+        let slow_host = (0..200)
+            .map(|i| format!("s{i}.bd"))
+            .find(|h| FaultDice::new(77, h, 0).host_is_slow(&plan))
+            .expect("a slow host in 200 draws");
+        let d = FaultDice::new(77, &slow_host, 0);
+        assert!(d.latency_ms(&plan) >= plan.base_latency_ms * plan.slow_latency_multiplier);
+    }
+
+    #[test]
+    fn server_error_codes_are_5xx() {
+        for i in 0..100 {
+            let code = FaultDice::new(13, &format!("e{i}"), 0).server_error_code();
+            assert!((500..=504).contains(&code), "{code}");
+        }
+    }
+
+    #[test]
+    fn truncate_cut_stays_in_the_middle() {
+        for i in 0..100 {
+            let cut = FaultDice::new(13, &format!("t{i}"), 0).truncate_cut(10_000);
+            assert!((1_500..8_500).contains(&cut), "{cut}");
+        }
+    }
+
+    #[test]
+    fn garble_span_is_bounded() {
+        for i in 0..100 {
+            let (start, span) = FaultDice::new(13, &format!("g{i}"), 0).garble_span(10_000);
+            assert!(start < 9_000, "{start}");
+            assert!((16..=64).contains(&span), "{span}");
+        }
+    }
+
+    #[test]
+    fn partial_plan_json_deserializes_with_defaults() {
+        let plan: FaultPlan =
+            serde_json::from_str(r#"{"timeout_chance":0.5,"garble_chance":0.25}"#).unwrap();
+        assert_eq!(plan.timeout_chance, 0.5);
+        assert_eq!(plan.garble_chance, 0.25);
+        assert_eq!(plan.base_latency_ms, FaultPlan::default().base_latency_ms);
+        let round: FaultPlan =
+            serde_json::from_str(&serde_json::to_string(&FaultPlan::HOSTILE).unwrap()).unwrap();
+        assert_eq!(round, FaultPlan::HOSTILE);
     }
 }

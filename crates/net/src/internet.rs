@@ -107,9 +107,17 @@ pub struct NetMetrics {
     pub restricted_responses: u64,
     pub timeouts: u64,
     pub resets: u64,
+    pub server_errors: u64,
     pub geo_blocks: u64,
     pub unknown_hosts: u64,
     pub vpn_detections: u64,
+    /// Bodies cut off mid-transfer (the truncated length is what counts
+    /// toward `bytes_served`).
+    pub truncated_bodies: u64,
+    /// Bodies with a garbled (U+FFFD-replaced) span.
+    pub garbled_bodies: u64,
+    /// Successful responses from the plan's persistently slow hosts.
+    pub slow_responses: u64,
     pub bytes_served: u64,
 }
 
@@ -214,6 +222,26 @@ impl Internet {
         self.metrics.lock().clone()
     }
 
+    /// The workspace seed the fault rolls derive from. Exposed so the
+    /// crawl layer can derive its *own* deterministic decisions (backoff
+    /// jitter) from the same root without holding a second seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The fault plan in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Virtual milliseconds one attempt against `host` costs — the same
+    /// latency sample `fetch_into` reports on success, so the crawl
+    /// layer's virtual clock can charge failed attempts identically
+    /// (a timed-out request still burns its round-trip budget).
+    pub fn attempt_cost_ms(&self, host: &str, attempt: u32) -> u32 {
+        FaultDice::new(self.seed, host, attempt).latency_ms(&self.plan)
+    }
+
     /// Execute one request, allocating a fresh response body.
     ///
     /// Convenience wrapper over [`fetch_into`](Internet::fetch_into);
@@ -277,6 +305,10 @@ impl Internet {
             self.metrics.lock().resets += 1;
             return Err(FetchError::ConnectionReset);
         }
+        if dice.fires(RollPurpose::ServerError, self.plan.server_error_chance) {
+            self.metrics.lock().server_errors += 1;
+            return Err(FetchError::ServerError(dice.server_error_code()));
+        }
 
         let variant = self.variant_for(&meta, req, &dice)?;
         match entry {
@@ -287,6 +319,28 @@ impl Internet {
                 .expect("resolved host without resolver")
                 .serve_into(&req.url.host, variant, &req.url.path, body),
         }
+
+        // Partial damage: the response arrives, but not intact. Both modes
+        // rewrite the rendered body in place so the streaming extractor is
+        // exercised on genuinely broken HTML, and both keep the buffer
+        // valid UTF-8 (the simulated web's invariant).
+        let truncated =
+            !body.is_empty() && dice.fires(RollPurpose::Truncate, self.plan.truncate_chance);
+        if truncated {
+            let cut = floor_char_boundary(body, dice.truncate_cut(body.len()));
+            body.truncate(cut);
+        }
+        let garbled = !body.is_empty() && dice.fires(RollPurpose::Garble, self.plan.garble_chance);
+        if garbled {
+            let (start, span) = dice.garble_span(body.len());
+            let start = floor_char_boundary(body, start);
+            let end = floor_char_boundary(body, (start + span).min(body.len()));
+            if end > start {
+                let replacement: String = body[start..end].chars().map(|_| '\u{FFFD}').collect();
+                body.replace_range(start..end, &replacement);
+            }
+        }
+
         let latency = dice.latency_ms(&self.plan);
 
         let mut m = self.metrics.lock();
@@ -294,6 +348,15 @@ impl Internet {
             ContentVariant::Localized => m.localized_responses += 1,
             ContentVariant::Global => m.global_responses += 1,
             ContentVariant::Restricted => m.restricted_responses += 1,
+        }
+        if truncated {
+            m.truncated_bodies += 1;
+        }
+        if garbled {
+            m.garbled_bodies += 1;
+        }
+        if dice.host_is_slow(&self.plan) {
+            m.slow_responses += 1;
         }
         m.bytes_served += body.len() as u64;
         drop(m);
@@ -306,6 +369,8 @@ impl Internet {
             },
             variant,
             latency_ms: latency,
+            truncated,
+            garbled,
         })
     }
 
@@ -351,6 +416,22 @@ pub struct FetchMeta {
     pub status: u16,
     pub variant: ContentVariant,
     pub latency_ms: u32,
+    /// The body was cut off mid-transfer (partial HTML in the buffer).
+    pub truncated: bool,
+    /// A span of the body was garbled into U+FFFD replacement chars.
+    pub garbled: bool,
+}
+
+/// Largest char-boundary offset `<= idx` (stable-Rust stand-in for
+/// `str::floor_char_boundary`).
+fn floor_char_boundary(s: &str, mut idx: usize) -> usize {
+    if idx >= s.len() {
+        return s.len();
+    }
+    while !s.is_char_boundary(idx) {
+        idx -= 1;
+    }
+    idx
 }
 
 fn provider_detectability(vantage: &Vantage) -> f64 {
@@ -539,6 +620,99 @@ mod tests {
         assert_eq!(m.requests, 2);
         assert_eq!(m.localized_responses, 2);
         assert!(m.bytes_served > 0);
+    }
+
+    #[test]
+    fn truncation_damages_bodies_deterministically() {
+        let plan = FaultPlan {
+            truncate_chance: 1.0,
+            ..FaultPlan::RELIABLE
+        };
+        let mut net = Internet::new(7, plan);
+        net.register_simple("cut.bd", Country::Bangladesh, test_server("cut"));
+        let req = Request::new(Url::from_host("cut.bd"), Vantage::Cloud);
+        let mut body_a = String::new();
+        let meta = net.fetch_into(&req, &mut body_a).unwrap();
+        assert!(meta.truncated);
+        assert!(!meta.garbled);
+        let full = test_server("cut").serve(ContentVariant::Global, "/");
+        assert!(body_a.len() < full.len());
+        assert!(full.starts_with(&body_a), "truncation must be a prefix");
+        // Same request ⇒ same cut.
+        let mut body_b = String::new();
+        net.fetch_into(&req, &mut body_b).unwrap();
+        assert_eq!(body_a, body_b);
+        assert_eq!(net.metrics().truncated_bodies, 2);
+    }
+
+    #[test]
+    fn garbling_keeps_utf8_and_length_of_char_count() {
+        let plan = FaultPlan {
+            garble_chance: 1.0,
+            ..FaultPlan::RELIABLE
+        };
+        let mut net = Internet::new(7, plan);
+        // Multibyte body: the bengali page exercises char-boundary flooring.
+        net.register_simple(
+            "mojibake.bd",
+            Country::Bangladesh,
+            Box::new(|_v: ContentVariant, _p: &str| {
+                "<html><body><p>বাংলা সংবাদ এবং আরো বাংলা লেখা এখানে আছে</p></body></html>".repeat(4)
+            }),
+        );
+        let req = Request::new(Url::from_host("mojibake.bd"), Vantage::Cloud);
+        let mut body = String::new();
+        let meta = net.fetch_into(&req, &mut body).unwrap();
+        assert!(meta.garbled);
+        assert!(body.contains('\u{FFFD}'), "garble must leave U+FFFD marks");
+        // String ops guarantee UTF-8; also confirm the page is still mostly intact.
+        let damaged = body.chars().filter(|&c| c == '\u{FFFD}').count();
+        assert!(damaged > 0 && damaged < body.chars().count() / 2);
+        assert_eq!(net.metrics().garbled_bodies, 1);
+    }
+
+    #[test]
+    fn server_errors_fire_and_are_retryable() {
+        let plan = FaultPlan {
+            server_error_chance: 1.0,
+            ..FaultPlan::RELIABLE
+        };
+        let mut net = Internet::new(7, plan);
+        net.register_simple("flaky.bd", Country::Bangladesh, test_server("f"));
+        let req = Request::new(Url::from_host("flaky.bd"), Vantage::Cloud);
+        let err = net.fetch(&req).unwrap_err();
+        match err {
+            FetchError::ServerError(code) => assert!((500..=504).contains(&code)),
+            other => panic!("expected 5xx, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        assert_eq!(net.metrics().server_errors, 1);
+    }
+
+    #[test]
+    fn attempt_cost_matches_served_latency() {
+        let net = internet();
+        let req = Request::new(
+            Url::from_host("news.bd"),
+            Vantage::Residential(Country::Bangladesh),
+        );
+        let resp = net.fetch(&req).unwrap();
+        assert_eq!(resp.latency_ms, net.attempt_cost_ms("news.bd", 0));
+        assert_eq!(net.seed(), 7);
+        assert_eq!(net.fault_plan(), &FaultPlan::RELIABLE);
+    }
+
+    #[test]
+    fn reliable_plan_serves_undamaged_bodies() {
+        let net = internet();
+        let req = Request::new(Url::from_host("news.bd"), Vantage::Cloud);
+        let mut body = String::new();
+        let meta = net.fetch_into(&req, &mut body).unwrap();
+        assert!(!meta.truncated && !meta.garbled);
+        assert_eq!(body, test_server("bd").serve(ContentVariant::Global, "/"));
+        let m = net.metrics();
+        assert_eq!(m.truncated_bodies + m.garbled_bodies + m.server_errors, 0);
+        assert_eq!(m.slow_responses, 0);
     }
 
     #[test]

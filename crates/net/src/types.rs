@@ -76,6 +76,8 @@ pub enum FetchError {
     Timeout,
     /// Connection reset mid-transfer.
     ConnectionReset,
+    /// The origin answered with a transient 5xx (overload, bad gateway).
+    ServerError(u16),
     /// The site refused this vantage outright (geo-block wall).
     GeoBlocked,
 }
@@ -86,6 +88,7 @@ impl fmt::Display for FetchError {
             FetchError::UnknownHost(h) => write!(f, "unknown host: {h}"),
             FetchError::Timeout => f.write_str("request timed out"),
             FetchError::ConnectionReset => f.write_str("connection reset"),
+            FetchError::ServerError(code) => write!(f, "server error: {code}"),
             FetchError::GeoBlocked => f.write_str("geo-blocked"),
         }
     }
@@ -96,7 +99,10 @@ impl std::error::Error for FetchError {}
 impl FetchError {
     /// Whether a retry at the same vantage can plausibly succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, FetchError::Timeout | FetchError::ConnectionReset)
+        matches!(
+            self,
+            FetchError::Timeout | FetchError::ConnectionReset | FetchError::ServerError(_)
+        )
     }
 }
 
@@ -116,6 +122,7 @@ mod tests {
     fn retryability() {
         assert!(FetchError::Timeout.is_retryable());
         assert!(FetchError::ConnectionReset.is_retryable());
+        assert!(FetchError::ServerError(503).is_retryable());
         assert!(!FetchError::GeoBlocked.is_retryable());
         assert!(!FetchError::UnknownHost("x".into()).is_retryable());
     }

@@ -64,4 +64,6 @@ pub use server::{
     StatsSnapshot,
 };
 pub use service::{AuditResponse, AuditService, ScriptSlice};
-pub use stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};
+pub use stats::{
+    LatencyBucket, LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot,
+};

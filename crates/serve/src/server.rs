@@ -154,8 +154,10 @@ impl ServeState {
 /// Render the stats snapshot in Prometheus text exposition format
 /// (version 0.0.4): every counter/gauge `GET /v1/stats` serves as JSON,
 /// under the `langcrux_serve_` namespace, scrape-ready for a Prometheus
-/// `/v1/metrics` target. Quantiles follow the summary convention
-/// (`{quantile="…"}` labels on the base metric plus `_count`/`_sum`).
+/// `/v1/metrics` target. Latency is a native histogram: a cumulative
+/// `_bucket{le="…"}` series (occupied buckets plus the mandatory `+Inf`)
+/// with `_sum`/`_count`, so quantiles are computed server-side by the
+/// scraper instead of being frozen at scrape time.
 pub fn prometheus_text(stats: &StatsSnapshot) -> String {
     use std::fmt::Write;
     let mut out = String::with_capacity(2048);
@@ -247,22 +249,28 @@ pub fn prometheus_text(stats: &StatsSnapshot) -> String {
     let l = &stats.latency;
     let _ = writeln!(
         out,
-        "# HELP langcrux_serve_request_latency_microseconds Request latency summary \
-         (quantiles are histogram-bucket upper bounds)."
+        "# HELP langcrux_serve_request_latency_microseconds Request latency histogram \
+         (native cumulative buckets; empty buckets elided, le bounds in microseconds)."
     );
     let _ = writeln!(
         out,
-        "# TYPE langcrux_serve_request_latency_microseconds summary"
+        "# TYPE langcrux_serve_request_latency_microseconds histogram"
     );
+    for bucket in &l.buckets {
+        // The overflow bucket is folded into the mandatory +Inf line.
+        if bucket.upper_us == u64::MAX {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "langcrux_serve_request_latency_microseconds_bucket{{le=\"{}\"}} {}",
+            bucket.upper_us, bucket.cumulative
+        );
+    }
     let _ = writeln!(
         out,
-        "langcrux_serve_request_latency_microseconds{{quantile=\"0.5\"}} {}",
-        l.p50_us
-    );
-    let _ = writeln!(
-        out,
-        "langcrux_serve_request_latency_microseconds{{quantile=\"0.99\"}} {}",
-        l.p99_us
+        "langcrux_serve_request_latency_microseconds_bucket{{le=\"+Inf\"}} {}",
+        l.count
     );
     let _ = writeln!(
         out,
@@ -948,7 +956,7 @@ mod tests {
         assert!(text.contains("langcrux_serve_requests_total{endpoint=\"audit\"} 2"));
         assert!(text.contains("langcrux_serve_cache_hits_total 1"));
         assert!(text.contains("langcrux_serve_cache_misses_total 1"));
-        assert!(text.contains("# TYPE langcrux_serve_request_latency_microseconds summary"));
+        assert!(text.contains("# TYPE langcrux_serve_request_latency_microseconds histogram"));
         assert!(text.contains("langcrux_serve_peak_batch_buffer_bytes 0"));
         // Every line is exposition-format: comment, or `name[{labels}] value`.
         for line in text.lines() {
@@ -960,6 +968,51 @@ mod tests {
                 "malformed exposition line: {line:?}"
             );
         }
+    }
+
+    #[test]
+    fn latency_exposition_is_a_native_histogram() {
+        let state = test_state();
+        // route() skips the connection layer, which is where latency is
+        // recorded — feed the histogram directly with a spread of
+        // observations (fast mass, two mid buckets, one overflow).
+        for us in [30, 30, 30, 40, 2_500, 2_600, 45_000, 8_000_000] {
+            state.latency.record_us(us);
+        }
+        let resp = full(route(&state, &request("GET", "/v1/metrics", b"")));
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        // No summary-quantile series survives; the native series replaces it.
+        assert!(!text.contains("quantile=\""), "summary leaked: {text}");
+        // Parse the _bucket series back out of the exposition.
+        let prefix = "langcrux_serve_request_latency_microseconds_bucket{le=\"";
+        let buckets: Vec<(String, u64)> = text
+            .lines()
+            .filter_map(|line| line.strip_prefix(prefix))
+            .map(|rest| {
+                let (le, value) = rest.split_once("\"} ").expect("bucket line shape");
+                (le.to_string(), value.parse().expect("bucket count"))
+            })
+            .collect();
+        assert!(buckets.len() >= 2, "need data + +Inf: {buckets:?}");
+        // Cumulative counts are monotone non-decreasing down the series,
+        // finite le bounds are strictly increasing, and the mandatory
+        // +Inf bucket closes the series at exactly _count.
+        let mut prev_le = 0u64;
+        let mut prev_cum = 0u64;
+        for (le, cum) in &buckets[..buckets.len() - 1] {
+            let le: u64 = le.parse().expect("finite le");
+            assert!(le > prev_le, "le not increasing: {buckets:?}");
+            assert!(*cum >= prev_cum, "cumulative dipped: {buckets:?}");
+            prev_le = le;
+            prev_cum = *cum;
+        }
+        let (inf_le, inf_cum) = buckets.last().unwrap();
+        assert_eq!(inf_le, "+Inf");
+        assert!(*inf_cum >= prev_cum);
+        let count_line = format!("langcrux_serve_request_latency_microseconds_count {inf_cum}");
+        assert!(text.contains(&count_line), "count != +Inf: {text}");
+        // _sum is present (exact total, not mean×count).
+        assert!(text.contains("langcrux_serve_request_latency_microseconds_sum "));
     }
 
     #[test]

@@ -97,6 +97,30 @@ impl LatencyHistogram {
         self.max_us.load(Ordering::Relaxed)
     }
 
+    /// Sparse cumulative bucket series: one entry per *occupied* bucket,
+    /// in ascending bound order, each carrying the cumulative count at
+    /// its inclusive upper bound. The overflow bucket reports
+    /// `upper_us == u64::MAX` (rendered `+Inf` in the Prometheus
+    /// exposition). Empty buckets are elided — a valid Prometheus
+    /// histogram only needs monotone cumulative counts at the bounds it
+    /// exposes, and eliding the ~200-bucket axis keeps scrapes small.
+    pub fn cumulative_buckets(&self) -> Vec<LatencyBucket> {
+        let mut series = Vec::new();
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            series.push(LatencyBucket {
+                upper_us: bucket_upper_us(idx),
+                cumulative,
+            });
+        }
+        series
+    }
+
     pub fn snapshot(&self) -> LatencySnapshot {
         let count = self.count();
         let total_us = self.total_us.load(Ordering::Relaxed);
@@ -111,8 +135,19 @@ impl LatencyHistogram {
             p50_us: self.quantile_us(0.50),
             p99_us: self.quantile_us(0.99),
             max_us: self.max_us.load(Ordering::Relaxed),
+            buckets: self.cumulative_buckets(),
         }
     }
+}
+
+/// One occupied histogram bucket: cumulative observations at (and
+/// below) its inclusive upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LatencyBucket {
+    /// Inclusive upper bound in µs (`u64::MAX` = the overflow bucket,
+    /// exposed as `+Inf`).
+    pub upper_us: u64,
+    pub cumulative: u64,
 }
 
 /// Latency figures for `GET /v1/stats` and the bench report.
@@ -126,6 +161,9 @@ pub struct LatencySnapshot {
     pub p50_us: u64,
     pub p99_us: u64,
     pub max_us: u64,
+    /// Occupied cumulative buckets — the native `_bucket` series of the
+    /// Prometheus exposition.
+    pub buckets: Vec<LatencyBucket>,
 }
 
 /// Per-endpoint request counters.
@@ -243,6 +281,48 @@ mod tests {
         assert!((snap.mean_us - 200.0).abs() < 1e-9);
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"buckets\""));
+    }
+
+    #[test]
+    fn cumulative_buckets_are_sparse_and_monotone() {
+        let h = LatencyHistogram::default();
+        for _ in 0..10 {
+            h.record_us(40); // bucket [25, 50)
+        }
+        h.record_us(40_500); // a 1 ms-step bucket
+        h.record_us(40_700); // same bucket
+        h.record_us(7_000_000); // overflow
+        let series = h.cumulative_buckets();
+        // Only the three occupied buckets appear.
+        assert_eq!(series.len(), 3);
+        assert_eq!(
+            series[0],
+            LatencyBucket {
+                upper_us: 50,
+                cumulative: 10
+            }
+        );
+        assert_eq!(series[1].cumulative, 12);
+        assert!(series[1].upper_us >= 40_700);
+        assert_eq!(
+            series[2],
+            LatencyBucket {
+                upper_us: u64::MAX,
+                cumulative: 13
+            }
+        );
+        // Monotone in both coordinates, final cumulative == count.
+        for pair in series.windows(2) {
+            assert!(pair[0].upper_us < pair[1].upper_us);
+            assert!(pair[0].cumulative < pair[1].cumulative);
+        }
+        assert_eq!(series.last().unwrap().cumulative, h.count());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_buckets() {
+        assert!(LatencyHistogram::default().cumulative_buckets().is_empty());
     }
 
     #[test]

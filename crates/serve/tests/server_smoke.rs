@@ -81,6 +81,10 @@ fn smoke_healthz_audit_batch_stats_shutdown() {
     assert!(metrics.contains("langcrux_serve_requests_total{endpoint=\"batch\"} 1"));
     assert!(metrics.contains("langcrux_serve_batch_pages_total 2"));
     assert!(metrics.contains("# TYPE langcrux_serve_cache_hits_total counter"));
+    // Latency goes out as a native histogram with the mandatory +Inf
+    // bucket closing the series at _count.
+    assert!(metrics.contains("# TYPE langcrux_serve_request_latency_microseconds histogram"));
+    assert!(metrics.contains("langcrux_serve_request_latency_microseconds_bucket{le=\"+Inf\"} 4"));
 
     // clean shutdown: every worker joined, final stats returned
     let finale = server.shutdown();

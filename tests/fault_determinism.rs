@@ -1,0 +1,103 @@
+//! Fault-injection determinism: the dataset AND the degraded-run ledger
+//! are release artefacts, so their bytes must be pure in
+//! `(corpus seed, fault plan)` — independent of worker count and of
+//! run-to-run scheduling, no matter how hostile the simulated internet.
+//!
+//! Retries, backoff waits, circuit-breaker trips and body damage are all
+//! derived from deterministic streams keyed on `(seed, host, attempt)`,
+//! so even a crawl that limps through timeouts and 5xxs replays exactly.
+
+use langcrux::core::{build_dataset_with_ledger, PipelineOptions};
+use langcrux::net::FaultPlan;
+use langcrux::webgen::{Corpus, CorpusConfig};
+use proptest::prelude::*;
+
+/// Dataset + ledger bytes at a given worker count.
+fn run_bytes(corpus: &Corpus, quota: usize, threads: usize) -> (String, String) {
+    let (dataset, ledger) = build_dataset_with_ledger(
+        corpus,
+        PipelineOptions {
+            quota,
+            threads,
+            ..PipelineOptions::default()
+        },
+    );
+    (
+        dataset.to_json().expect("dataset serializes"),
+        ledger.to_json().expect("ledger serializes"),
+    )
+}
+
+#[test]
+fn hostile_plan_is_byte_identical_across_worker_counts() {
+    // The worst preset the repo ships: every fault mode armed at once.
+    let corpus = Corpus::build(CorpusConfig {
+        fault_plan: FaultPlan::HOSTILE,
+        ..CorpusConfig::small(61, 8)
+    });
+    let (serial_ds, serial_ledger) = run_bytes(&corpus, 8, 1);
+    for threads in [2, 3, 0] {
+        let (ds, ledger) = run_bytes(&corpus, 8, threads);
+        assert_eq!(
+            serial_ds, ds,
+            "thread count {threads} changed the dataset bytes under HOSTILE"
+        );
+        assert_eq!(
+            serial_ledger, ledger,
+            "thread count {threads} changed the ledger bytes under HOSTILE"
+        );
+    }
+    // Run-to-run at the parallel count, same corpus: no hidden state.
+    let (ds, ledger) = run_bytes(&corpus, 8, 0);
+    assert_eq!(serial_ds, ds, "run-to-run dataset drift under HOSTILE");
+    assert_eq!(
+        serial_ledger, ledger,
+        "run-to-run ledger drift under HOSTILE"
+    );
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_fault_plans_replay_identically(
+        seed in 1u64..5000,
+        timeout_chance in 0.0f64..0.25,
+        reset_chance in 0.0f64..0.15,
+        server_error_chance in 0.0f64..0.20,
+        truncate_chance in 0.0f64..0.25,
+        garble_chance in 0.0f64..0.25,
+        slow_host_fraction in 0.0f64..0.5,
+        slow_latency_multiplier in 1u32..8,
+        jitter_ms in 0u32..40,
+    ) {
+        let plan = FaultPlan {
+            timeout_chance,
+            reset_chance,
+            server_error_chance,
+            truncate_chance,
+            garble_chance,
+            slow_host_fraction,
+            slow_latency_multiplier,
+            jitter_ms,
+            ..FaultPlan::default()
+        };
+        // Tiny corpus: 4 sites/country keeps each case cheap while still
+        // exercising replacement walks when the plan rejects candidates.
+        let corpus = Corpus::build(CorpusConfig {
+            fault_plan: plan,
+            ..CorpusConfig::small(seed, 4)
+        });
+        let (serial_ds, serial_ledger) = run_bytes(&corpus, 4, 1);
+        prop_assert!(!serial_ds.is_empty());
+        for threads in [2, 0] {
+            let (ds, ledger) = run_bytes(&corpus, 4, threads);
+            prop_assert_eq!(
+                &serial_ds, &ds,
+                "thread count {} changed the dataset bytes", threads
+            );
+            prop_assert_eq!(
+                &serial_ledger, &ledger,
+                "thread count {} changed the ledger bytes", threads
+            );
+        }
+    }
+}

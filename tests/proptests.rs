@@ -152,7 +152,16 @@ proptest! {
         let plan = FaultPlan::default();
         let latency = dice.latency_ms(&plan);
         prop_assert!(latency >= plan.base_latency_ms);
-        prop_assert!(latency <= plan.base_latency_ms + plan.jitter_ms);
+        // Persistently slow hosts pay the plan's multiplier on top of the
+        // base + jitter sample; everyone else stays inside it.
+        let ceiling = (plan.base_latency_ms + plan.jitter_ms)
+            * if dice.host_is_slow(&plan) {
+                plan.slow_latency_multiplier
+            } else {
+                1
+            };
+        prop_assert!(latency <= ceiling);
+        prop_assert_eq!(latency, dice.latency_ms(&plan), "latency sample not pure");
     }
 
     // ------------------------------------------------------------------ rng
