@@ -3,7 +3,8 @@
 //! ```text
 //! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
 //!       [--fault-plan reliable|default|hostile|PATH.json]
-//!       [--bench-json [PATH]] [--serve-bench [PATH]]
+//!       [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE]
+//!       [--report] [--bench-json [PATH]] [--serve-bench [PATH]]
 //!       [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]
 //!
 //! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
@@ -27,15 +28,35 @@
 //! connection governor at its tightest), and writes `BENCH_serve.json`
 //! (or PATH). `--quick` shrinks the workload to CI-smoke size.
 //!
+//! `--trace-out [PATH]` runs the dataset build inside a span-tracing
+//! session and writes the merged spans as Chrome `traceEvents` JSON
+//! (default `trace.json`) — load it in `chrome://tracing` or Perfetto
+//! (pid 1 = the run, one tid per worker). `--trace-summary` prints a
+//! per-stage count/total/p50/p99 table after the build. Neither flag
+//! changes the dataset or `crawl-ledger.json` bytes: span structure is
+//! deterministic for a seed, only wall-clock fields vary.
+//!
+//! `--metrics-out FILE` writes the unified registry exposition (build
+//! info + net + crawl-ledger + corpus-shard (+ trace when tracing ran)
+//! metric families) as a node_exporter-style textfile snapshot after the
+//! build. `--report` prints the same registry-rendered exposition as an
+//! artifact section; the classic `ledger:` / `corpus shards:` stderr
+//! lines stay by default for script compatibility.
+//!
 //! `--serve-daemon` runs the audit server as a long-lived foreground
 //! process: it binds `127.0.0.1:<--port>` (default ephemeral), writes a
 //! `{"pid":…,"port":…,"addr":…}` JSON file at PATH (default
 //! `serve-daemon.json`), and serves until SIGTERM/SIGINT, then drains
 //! gracefully — in-flight requests complete, the accept loop stops, all
-//! connection threads join — removes the file, and exits 0. Load tests
-//! point at it with `--loadgen ADDR`, which drives a quick load-gen run
-//! against an *external* server and exits non-zero on any failed
-//! request.
+//! connection threads join — removes the file, and exits 0. With
+//! explicitly named artifacts the daemon starts *after* that build and
+//! registers its observations (net, ledger, shard, pipeline-stage
+//! families) into the server's registry, so `/v1/metrics` exposes the
+//! build alongside the serve counters; without explicit artifacts the
+//! daemon skips the implicit `all` run and starts immediately. Load
+//! tests point at it with `--loadgen ADDR`, which drives a quick
+//! load-gen run against an *external* server and exits non-zero on any
+//! failed request.
 //!
 //! `--fault-plan` selects the simulated network's fault behaviour for
 //! the dataset build: a preset name (`reliable`, `default`, `hostile`)
@@ -76,6 +97,14 @@ struct Args {
     loadgen: Option<String>,
     /// Fault plan for the dataset build (default: the default plan).
     fault_plan: langcrux_net::FaultPlan,
+    /// `Some(path)` when `--trace-out` was requested.
+    trace_out: Option<String>,
+    /// Print the per-stage span summary table after the build.
+    trace_summary: bool,
+    /// `Some(path)` when `--metrics-out` was requested.
+    metrics_out: Option<String>,
+    /// Print the unified registry report after the build.
+    report: bool,
 }
 
 /// Resolve a `--fault-plan` value: a preset name, or a path to a JSON
@@ -102,6 +131,10 @@ fn parse_args() -> Args {
     let mut serve_daemon = None;
     let mut port = 0u16;
     let mut loadgen = None;
+    let mut trace_out = None;
+    let mut trace_summary = false;
+    let mut metrics_out = None;
+    let mut report = false;
     let mut iter = std::env::args().skip(1).peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -157,6 +190,22 @@ fn parse_args() -> Args {
                 };
                 serve_daemon = Some(path);
             }
+            "--trace-out" => {
+                let path = match iter.peek() {
+                    Some(next) if next.ends_with(".json") => iter.next().unwrap(),
+                    _ => "trace.json".to_string(),
+                };
+                trace_out = Some(path);
+            }
+            "--trace-summary" => {
+                trace_summary = true;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(iter.next().expect("--metrics-out requires a file path"));
+            }
+            "--report" => {
+                report = true;
+            }
             "--port" => {
                 port = iter
                     .next()
@@ -170,6 +219,7 @@ fn parse_args() -> Args {
                 println!(
                     "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S] \
                      [--fault-plan reliable|default|hostile|PATH.json] \
+                     [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE] [--report] \
                      [--bench-json [PATH]] [--serve-bench [PATH]] \
                      [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
@@ -197,6 +247,43 @@ fn parse_args() -> Args {
         port,
         loadgen,
         fault_plan,
+        trace_out,
+        trace_summary,
+        metrics_out,
+        report,
+    }
+}
+
+/// Everything one dataset build left behind for the unified registry:
+/// the simulated internet's counters, the degraded-run ledger, the
+/// lazy-shard gauges, and (when a trace session ran) the span report.
+struct BuildObservations {
+    net: langcrux_net::NetMetrics,
+    ledger: langcrux_core::CrawlLedger,
+    shards: langcrux_webgen::ShardStats,
+    trace: Option<langcrux_obs::trace::TraceReport>,
+}
+
+impl BuildObservations {
+    fn encode(&self, enc: &mut langcrux_obs::Encoder) {
+        self.net.encode_metrics(enc);
+        self.ledger.encode_metrics(enc);
+        self.shards.encode_metrics(enc);
+        if let Some(trace) = &self.trace {
+            trace.encode_metrics(enc);
+        }
+    }
+
+    /// The full exposition: build info + every build metric family.
+    fn exposition(&self) -> String {
+        let mut enc = langcrux_obs::Encoder::new();
+        langcrux_obs::registry::encode_build_info(
+            &mut enc,
+            "langcrux-repro",
+            env!("CARGO_PKG_VERSION"),
+        );
+        self.encode(&mut enc);
+        enc.prometheus_text()
     }
 }
 
@@ -232,10 +319,13 @@ mod daemon_signals {
 }
 
 /// `--serve-daemon`: run the audit server until SIGTERM, then drain.
-fn run_serve_daemon(file_path: &str, port: u16) -> ! {
+/// With `observations` from a preceding artifact build, the build's
+/// metric families are registered into the server's registry so
+/// `/v1/metrics` and `/v1/stats` expose them next to the serve counters.
+fn run_serve_daemon(file_path: &str, port: u16, observations: Option<BuildObservations>) -> ! {
     #[cfg(not(unix))]
     {
-        let _ = (file_path, port);
+        let _ = (file_path, port, observations);
         eprintln!("--serve-daemon needs unix signal handling");
         std::process::exit(2);
     }
@@ -248,6 +338,12 @@ fn run_serve_daemon(file_path: &str, port: u16) -> ! {
             ..ServeConfig::default()
         };
         let server = langcrux_serve::spawn(config).expect("bind daemon listener");
+        if let Some(observations) = observations {
+            server
+                .state()
+                .extra
+                .register(move |enc| observations.encode(enc));
+        }
         let addr = server.addr();
         let doc = format!(
             "{{\"pid\":{},\"port\":{},\"addr\":\"{addr}\"}}\n",
@@ -312,9 +408,6 @@ fn main() {
     if let Some(addr) = &args.loadgen {
         run_external_loadgen(addr, args.seed);
     }
-    if let Some(path) = &args.serve_daemon {
-        run_serve_daemon(path, args.port);
-    }
     if let Some(path) = &args.serve_bench {
         let config = langcrux_bench::serve_bench::ServeBenchConfig::for_scale(args.scale);
         eprintln!(
@@ -367,13 +460,28 @@ fn main() {
         langcrux_bench::perf::write_bench_json(path, &report).expect("write bench json");
         eprintln!("wrote {path}");
     }
-    // Bench flags stand in for the implicit `all` run, but explicitly
-    // named artifacts alongside them are still produced (no silent drop).
-    if (args.serve_bench.is_some() || args.bench_json.is_some()) && !args.explicit_artifacts {
+    // Bench flags and the daemon stand in for the implicit `all` run, but
+    // explicitly named artifacts alongside them are still produced (no
+    // silent drop) — and an artifact-less daemon starts without a build.
+    if (args.serve_bench.is_some() || args.bench_json.is_some() || args.serve_daemon.is_some())
+        && !args.explicit_artifacts
+    {
+        if let Some(path) = &args.serve_daemon {
+            run_serve_daemon(path, args.port, None);
+        }
         return;
     }
     let all = args.artifacts.iter().any(|a| a == "all");
     let wants = |name: &str| all || args.artifacts.iter().any(|a| a == name);
+
+    // Any observability output wants the build traced; tracing never
+    // changes the dataset or ledger bytes (see tests/trace_export.rs).
+    let trace_wanted = args.trace_out.is_some()
+        || args.trace_summary
+        || args.metrics_out.is_some()
+        || args.report
+        || args.serve_daemon.is_some();
+    let mut observations: Option<BuildObservations> = None;
 
     let dataset: Option<Dataset> = if needs_dataset(&args.artifacts) {
         eprintln!(
@@ -381,6 +489,8 @@ fn main() {
             args.scale.sites_per_country(),
             args.seed
         );
+        let session = trace_wanted
+            .then(|| langcrux_obs::trace::start(langcrux_obs::trace::TraceConfig::default()));
         let start = std::time::Instant::now();
         let (corpus, ds, ledger) =
             langcrux_bench::build_scaled_dataset_with_plan(args.seed, args.scale, args.fault_plan);
@@ -389,6 +499,7 @@ fn main() {
             ds.len(),
             start.elapsed()
         );
+        let trace_report = session.map(|s| s.finish());
         // Traffic counters of the simulated internet for this build —
         // under a faulty plan these show what the retry discipline and
         // the replacement rule absorbed.
@@ -449,6 +560,26 @@ fn main() {
                 shards.resident_cap.to_string()
             }
         );
+        if let Some(trace) = &trace_report {
+            if args.trace_summary {
+                eprint!("{}", trace.summary_table());
+            }
+            if let Some(path) = &args.trace_out {
+                let chrome = langcrux_obs::chrome::trace_events_json(trace);
+                std::fs::write(path, chrome + "\n").expect("write trace json");
+                eprintln!(
+                    "wrote {path} ({} spans across {} workers — load in chrome://tracing or Perfetto)",
+                    trace.span_count(),
+                    trace.workers.len()
+                );
+            }
+        }
+        observations = Some(BuildObservations {
+            net,
+            ledger,
+            shards,
+            trace: trace_report,
+        });
         Some(ds)
     } else {
         None
@@ -613,5 +744,22 @@ fn main() {
             let elapsed = langcrux_bench::crawl_scaling(args.seed, 40, threads);
             println!("  {threads:>2} workers: {elapsed:.2?}");
         }
+    }
+
+    // The unified observability outputs: one registry rendering for the
+    // console (`--report`), the textfile snapshot (`--metrics-out`), and
+    // the daemon's `/v1/metrics` (below) — all the same families.
+    if let Some(observations) = &observations {
+        if args.report {
+            section("Observability report — unified registry exposition");
+            print!("{}", observations.exposition());
+        }
+        if let Some(path) = &args.metrics_out {
+            std::fs::write(path, observations.exposition()).expect("write metrics snapshot");
+            eprintln!("wrote {path}");
+        }
+    }
+    if let Some(path) = &args.serve_daemon {
+        run_serve_daemon(path, args.port, observations);
     }
 }

@@ -66,7 +66,92 @@ pub struct PipelineBenchReport {
     /// Resilience machinery cost on a clean network, plus a HOSTILE-plan
     /// degraded run's ledger headline numbers.
     pub resilience: ResilienceRecord,
+    /// Span-tracing cost and coverage: the same build with the trace
+    /// session on vs off (CI gates `trace_overhead` at ≤ 1.03).
+    pub observability: ObservabilityRecord,
     pub notes: String,
+}
+
+/// Cost and coverage of the span-tracing layer, at one scale.
+///
+/// `trace_overhead` is the ratio of a full traced build (session active,
+/// every stage span recorded into the per-worker rings) to the identical
+/// untraced build on the same corpus — CI gates it at ≤ 1.03, the same
+/// bar as the resilience tax. The traced run must also reproduce the
+/// untraced dataset byte-for-byte (asserted before timing), so the record
+/// doubles as the determinism contract's bench-side witness.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservabilityRecord {
+    pub scale: String,
+    pub sites_per_country: usize,
+    /// `build_dataset` with tracing disabled (the default), milliseconds.
+    pub disabled_ms: f64,
+    /// The same build inside an active trace session, milliseconds.
+    pub enabled_ms: f64,
+    /// `enabled_ms / disabled_ms` — the tracing tax, CI-gated ≤ 1.03.
+    pub trace_overhead: f64,
+    /// Spans the traced run recorded across all workers.
+    pub spans: usize,
+    /// Ring-overflow drops in the traced run (0 at default capacity).
+    pub dropped_spans: u64,
+    /// Distinct stage names the traced run covered, sorted.
+    pub stages: Vec<String>,
+}
+
+/// Measure [`ObservabilityRecord`] at one scale.
+pub fn observability_timing(seed: u64, scale: Scale) -> ObservabilityRecord {
+    use langcrux_obs::trace;
+
+    let corpus = build_corpus(seed, scale);
+    let options = PipelineOptions {
+        quota: scale.sites_per_country(),
+        ..PipelineOptions::default()
+    };
+
+    // Determinism contract: a traced build yields the same dataset bytes
+    // as the untraced one (checked once, outside the timed spans).
+    let untraced = build_dataset(&corpus, options);
+    let session = trace::start(trace::TraceConfig::default());
+    let traced = build_dataset(&corpus, options);
+    let probe_report = session.finish();
+    assert_eq!(
+        untraced.to_json().expect("serialize untraced"),
+        traced.to_json().expect("serialize traced"),
+        "tracing changed the dataset bytes"
+    );
+
+    let mut disabled_ms = f64::INFINITY;
+    let mut enabled_ms = f64::INFINITY;
+    let mut report = probe_report;
+    // Same noise floor as the resilience gate: min-of-3 for a 3% CI bar.
+    for _ in 0..RUNS.max(3) {
+        let start = Instant::now();
+        let ds = build_dataset(&corpus, options);
+        disabled_ms = disabled_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(ds.len());
+
+        let session = trace::start(trace::TraceConfig::default());
+        let start = Instant::now();
+        let ds = build_dataset(&corpus, options);
+        enabled_ms = enabled_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(ds.len());
+        report = session.finish();
+    }
+
+    ObservabilityRecord {
+        scale: scale_name(scale),
+        sites_per_country: scale.sites_per_country(),
+        disabled_ms,
+        enabled_ms,
+        trace_overhead: enabled_ms / disabled_ms.max(1e-9),
+        spans: report.span_count() as usize,
+        dropped_spans: report.dropped_spans,
+        stages: report
+            .stage_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+    }
 }
 
 /// Cost and behaviour of the resilient crawl engine, at one scale.
@@ -423,6 +508,7 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
         stream_vs_dom: stream_vs_dom(seed),
         render: render_timing(seed),
         resilience: resilience_timing(seed, scales.first().copied().unwrap_or(Scale::Quick)),
+        observability: observability_timing(seed, scales.first().copied().unwrap_or(Scale::Quick)),
         notes: format!(
             "baseline = seed pipeline (one thread per country, visible-text re-scan per \
              candidate and per site, Vec-probed histogram, per-site Kizuki construction); \
@@ -443,7 +529,11 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
              multi-core hosts, isolating that parallel share. resilience records the \
              resilient crawl engine's fault-free tax (ledger-folding RELIABLE build vs \
              the plain one on the same corpus; CI gates the ratio at 1.03) and the \
-             headline ledger numbers of a HOSTILE-plan degraded run at the first scale.",
+             headline ledger numbers of a HOSTILE-plan degraded run at the first scale. \
+             observability records the span-tracing tax the same way (traced vs \
+             untraced build on the same corpus, byte-identical datasets asserted; CI \
+             gates trace_overhead at 1.03) plus the traced run's span count and stage \
+             coverage.",
             par = if cores > 1 {
                 "additional parallel speedup"
             } else {
@@ -525,6 +615,27 @@ mod tests {
         assert!(r.hostile_replacements > 0, "{r:?}");
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("hostile_max_replacement_run"));
+    }
+
+    #[test]
+    fn observability_record_shape() {
+        let r = observability_timing(29, Scale::Sites(4));
+        assert_eq!(r.sites_per_country, 4);
+        assert!(r.disabled_ms > 0.0 && r.enabled_ms > 0.0);
+        assert!(r.trace_overhead > 0.0);
+        // A traced build must actually record spans, drop nothing at the
+        // default capacity, and cover the orchestration stages.
+        assert!(r.spans > 0, "{r:?}");
+        assert_eq!(r.dropped_spans, 0, "{r:?}");
+        for stage in ["pipeline.build", "crawl.fetch", "webgen.render"] {
+            assert!(
+                r.stages.iter().any(|s| s == stage),
+                "stage {stage} missing from {:?}",
+                r.stages
+            );
+        }
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("trace_overhead"));
     }
 
     #[test]

@@ -211,6 +211,116 @@ impl CrawlLedger {
         }
     }
 
+    /// Register the run totals into the unified metrics registry
+    /// (`langcrux_crawl_*` family — see `docs/observability.md`).
+    pub fn encode_metrics(&self, enc: &mut langcrux_obs::Encoder) {
+        let t = &self.totals;
+        enc.counter(
+            "langcrux_crawl_candidates_attempted_total",
+            "Candidates consumed by the replacement walk.",
+            t.attempted as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_sites_selected_total",
+            "Candidates that qualified (sites in the dataset).",
+            t.selected as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_fetch_attempts_total",
+            "Fetch attempts issued, including retries.",
+            t.attempts as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_retries_total",
+            "Retries beyond each visit's first attempt.",
+            t.retries as f64,
+        );
+        const ERRORS: &str = "Terminal visit errors, by taxonomy class.";
+        for (class, count) in [
+            ("timeout", t.errors.timeouts),
+            ("reset", t.errors.resets),
+            ("server_error", t.errors.server_errors),
+            ("geo_block", t.errors.geo_blocks),
+            ("unknown_host", t.errors.unknown_hosts),
+            ("restricted", t.errors.restricted),
+            ("deadline_exceeded", t.errors.deadline_exceeded),
+            ("circuit_open", t.errors.circuit_open),
+        ] {
+            enc.counter_with(
+                "langcrux_crawl_errors_total",
+                ERRORS,
+                &[("class", class)],
+                count as f64,
+            );
+        }
+        enc.counter(
+            "langcrux_crawl_rejected_threshold_total",
+            "Candidates rejected by the 50% native-content threshold.",
+            t.rejected_threshold as f64,
+        );
+        const DAMAGE: &str = "Visits whose body arrived damaged, by kind.";
+        enc.counter_with(
+            "langcrux_crawl_damaged_bodies_total",
+            DAMAGE,
+            &[("kind", "truncated")],
+            t.truncated_bodies as f64,
+        );
+        enc.counter_with(
+            "langcrux_crawl_damaged_bodies_total",
+            DAMAGE,
+            &[("kind", "garbled")],
+            t.garbled_bodies as f64,
+        );
+        const WAITS: &str = "Virtual milliseconds spent waiting, by cause.";
+        enc.counter_with(
+            "langcrux_crawl_wait_virtual_milliseconds_total",
+            WAITS,
+            &[("cause", "backoff")],
+            t.backoff_wait_ms as f64,
+        );
+        enc.counter_with(
+            "langcrux_crawl_wait_virtual_milliseconds_total",
+            WAITS,
+            &[("cause", "breaker")],
+            t.breaker_wait_ms as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_virtual_milliseconds_total",
+            "Total virtual milliseconds the crawl consumed.",
+            t.virtual_ms as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_breaker_opened_total",
+            "Circuit-breaker trips, including re-opens.",
+            t.breaker_opened as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_breaker_probes_total",
+            "Half-open probes admitted.",
+            t.breaker_probes as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_breaker_reclosed_total",
+            "Successful probes that re-closed a breaker.",
+            t.breaker_reclosed as f64,
+        );
+        enc.counter(
+            "langcrux_crawl_replacements_total",
+            "Candidates consumed without selection.",
+            t.replacements as f64,
+        );
+        enc.gauge(
+            "langcrux_crawl_max_replacement_run",
+            "Deepest consecutive non-selection run of the replacement walk.",
+            t.max_replacement_run as f64,
+        );
+        enc.gauge(
+            "langcrux_crawl_poisoned_sites",
+            "Hosts whose site analysis panicked and was contained.",
+            t.poisoned_sites.len() as f64,
+        );
+    }
+
     /// Serialize to JSON (written alongside the dataset).
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)

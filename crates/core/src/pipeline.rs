@@ -52,6 +52,7 @@ use langcrux_lang::a11y::ElementKind;
 use langcrux_lang::Country;
 use langcrux_langid::{classify_label, LabelLanguage};
 use langcrux_net::vpn_vantage;
+use langcrux_obs as obs;
 use langcrux_webgen::Corpus;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -129,6 +130,9 @@ pub fn build_dataset_with_ledger(
         options.threads
     };
     let countries: Vec<Country> = corpus.countries().collect();
+    // Root span for the whole build; pool tasks fence their own depth,
+    // so worker-side spans record identically at every thread count.
+    let _build_span = obs::trace::span("pipeline.build", corpus.config().seed);
     // Hoisted: one Kizuki engine for the whole run (it is stateless and
     // Sync); previously rebuilt per site record.
     let kizuki = Kizuki::standard();
@@ -143,11 +147,16 @@ pub fn build_dataset_with_ledger(
         })
         .collect();
 
+    let mut wave_ordinal = 0u64;
     loop {
         let tasks = probe_wave_tasks(corpus, &probes, options.quota, threads);
         if tasks.is_empty() {
             break;
         }
+        // Wave count and ordinal are quota-driven, not thread-driven, so
+        // the span structure is stable across worker counts.
+        let _wave_span = obs::trace::span("pipeline.probe_wave", wave_ordinal);
+        wave_ordinal += 1;
         // One browser per pool worker: its fetch buffer (and the render
         // arenas it exercises downstream) are recycled across every chunk
         // the worker probes, regardless of country.
@@ -180,6 +189,10 @@ pub fn build_dataset_with_ledger(
     let selections: Vec<(Country, Vec<SelectedSite>, SelectionStats)> = probes
         .into_iter()
         .map(|probe| {
+            let mut replay_span = obs::trace::span(
+                "pipeline.verdict_replay",
+                obs::trace::key_str(probe.country.code()),
+            );
             let mut selected = Vec::with_capacity(options.quota);
             let mut stats = SelectionStats::default();
             let mut ledger = CountryLedger::new(probe.country.code());
@@ -199,6 +212,7 @@ pub fn build_dataset_with_ledger(
             }
             ledger.note_replacement_run(error_run);
             stats.shortfall = (options.quota as u64).saturating_sub(stats.selected);
+            replay_span.set_virtual_ms(ledger.virtual_ms);
             country_ledgers.push(ledger);
             (probe.country, selected, stats)
         })
@@ -233,6 +247,13 @@ pub fn build_dataset_with_ledger(
             poisoned: Vec::new(),
         };
         for site in &sites[range.clone()] {
+            // Per-site span (not per-chunk: chunk sizes vary with thread
+            // count, site counts don't). A panic unwinds through the
+            // guard, so even poisoned sites record their span.
+            let _site_span = obs::trace::span(
+                "pipeline.analyze_site",
+                obs::trace::key_str(&site.plan.host),
+            );
             // Unwind guard: one site's panic poisons only that site.
             // Examples land in per-site scratch vecs so a partial capture
             // from a poisoned site can't leak into the output.
@@ -268,6 +289,7 @@ pub fn build_dataset_with_ledger(
     // Deterministic merge: chunks arrive in (country, site) order; fold
     // them into per-country results and apply the example caps exactly
     // where the sequential per-country loop applied them.
+    let _fold_span = obs::trace::span("pipeline.ledger_fold", 0);
     let mut results: Vec<CountryResult> = selections
         .iter()
         .map(|(country, _, stats)| CountryResult {

@@ -29,6 +29,7 @@ use crate::extract::PageExtract;
 use crate::stream::extract_streaming;
 use langcrux_lang::rng;
 use langcrux_net::{ContentVariant, FetchError, Internet, Request, Url, Vantage};
+use langcrux_obs as obs;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -188,6 +189,11 @@ impl<'net> Browser<'net> {
         vantage: Vantage,
     ) -> (Result<Visit, VisitError>, VisitTrace) {
         let mut trace = VisitTrace::default();
+        // Span key: host hash, same derivation as the fault dice. All
+        // virtual_ms fields attached below are pure in (seed, host,
+        // vantage), keeping the trace-structure determinism contract.
+        let span_key = obs::trace::key_str(&url.host);
+        let mut fetch_span = obs::trace::span("crawl.fetch", span_key);
         // Visit-scoped breaker = per-host breaker: the pipeline visits
         // each host once, and visit-local state keeps decisions pure in
         // (seed, host, attempt) — see crate::breaker.
@@ -210,6 +216,7 @@ impl<'net> Browser<'net> {
                         break Err(VisitError::CircuitOpen);
                     }
                     trace.breaker_wait_ms += until_ms - elapsed;
+                    obs::trace::virtual_wait("crawl.breaker_wait", span_key, until_ms - elapsed);
                     elapsed = until_ms;
                     continue; // re-admit: the breaker half-opens now
                 }
@@ -232,7 +239,10 @@ impl<'net> Browser<'net> {
                     // Streaming tokenize→extract: no DOM is materialised
                     // on the crawl path (identical output to the DOM walk
                     // — see crate::stream).
-                    let page = extract_streaming(&self.body);
+                    let page = {
+                        let _extract_span = obs::trace::span("crawl.extract", span_key);
+                        extract_streaming(&self.body)
+                    };
                     break Ok(Visit {
                         url: url.clone(),
                         variant: meta.variant,
@@ -245,6 +255,7 @@ impl<'net> Browser<'net> {
                 Err(e) if e.is_retryable() && request.attempt < self.config.max_retries => {
                     breaker.record_failure(elapsed);
                     let wait = self.backoff_ms(&url.host, request.attempt);
+                    obs::trace::virtual_wait("crawl.backoff", span_key, wait);
                     trace.backoff_wait_ms += wait;
                     elapsed += wait;
                     if elapsed >= self.config.fetch_deadline_ms {
@@ -260,6 +271,8 @@ impl<'net> Browser<'net> {
         };
 
         trace.virtual_ms = elapsed;
+        fetch_span.set_virtual_ms(elapsed);
+        drop(fetch_span);
         trace.breaker_opened = breaker.opened;
         trace.breaker_probes = breaker.probes;
         trace.breaker_reclosed = breaker.reclosed;

@@ -62,7 +62,13 @@ where
         return tasks
             .iter()
             .enumerate()
-            .map(|(i, t)| f(&mut state, i, t))
+            .map(|(i, t)| {
+                // Depth-fence each task so trace spans nest identically
+                // whether the task runs inline here (under the caller's
+                // open orchestration span) or on a pool worker.
+                let _fence = langcrux_obs::trace::task_fence();
+                f(&mut state, i, t)
+            })
             .collect();
     }
 
@@ -99,7 +105,10 @@ where
                             None => steal(queues, w),
                         };
                         match next {
-                            Some(i) => results.push((i, f(&mut state, i, &tasks[i]))),
+                            Some(i) => {
+                                let _fence = langcrux_obs::trace::task_fence();
+                                results.push((i, f(&mut state, i, &tasks[i])));
+                            }
                             None => break,
                         }
                     }

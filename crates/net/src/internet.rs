@@ -121,6 +121,76 @@ pub struct NetMetrics {
     pub bytes_served: u64,
 }
 
+impl NetMetrics {
+    /// Register the fault counters into the unified metrics registry
+    /// (`langcrux_net_*` family — see `docs/observability.md`).
+    pub fn encode_metrics(&self, enc: &mut langcrux_obs::Encoder) {
+        enc.counter(
+            "langcrux_net_requests_total",
+            "Simulated fetches issued, including retries.",
+            self.requests as f64,
+        );
+        const RESPONSES: &str = "Responses served, by content variant.";
+        enc.counter_with(
+            "langcrux_net_responses_total",
+            RESPONSES,
+            &[("variant", "localized")],
+            self.localized_responses as f64,
+        );
+        enc.counter_with(
+            "langcrux_net_responses_total",
+            RESPONSES,
+            &[("variant", "global")],
+            self.global_responses as f64,
+        );
+        enc.counter_with(
+            "langcrux_net_responses_total",
+            RESPONSES,
+            &[("variant", "restricted")],
+            self.restricted_responses as f64,
+        );
+        const FAULTS: &str = "Injected faults, by kind.";
+        for (kind, count) in [
+            ("timeout", self.timeouts),
+            ("reset", self.resets),
+            ("server_error", self.server_errors),
+            ("geo_block", self.geo_blocks),
+            ("unknown_host", self.unknown_hosts),
+            ("vpn_detection", self.vpn_detections),
+        ] {
+            enc.counter_with(
+                "langcrux_net_faults_total",
+                FAULTS,
+                &[("kind", kind)],
+                count as f64,
+            );
+        }
+        const DAMAGE: &str = "Successful responses with damaged bodies, by kind.";
+        enc.counter_with(
+            "langcrux_net_damaged_bodies_total",
+            DAMAGE,
+            &[("kind", "truncated")],
+            self.truncated_bodies as f64,
+        );
+        enc.counter_with(
+            "langcrux_net_damaged_bodies_total",
+            DAMAGE,
+            &[("kind", "garbled")],
+            self.garbled_bodies as f64,
+        );
+        enc.counter(
+            "langcrux_net_slow_responses_total",
+            "Successful responses from persistently slow hosts.",
+            self.slow_responses as f64,
+        );
+        enc.counter(
+            "langcrux_net_bytes_served_total",
+            "Body bytes served across all responses.",
+            self.bytes_served as f64,
+        );
+    }
+}
+
 /// The simulated internet.
 pub struct Internet {
     seed: u64,

@@ -1,0 +1,21 @@
+//! Bakes the git SHA into the build so `/v1/healthz` and metrics
+//! snapshots can report exactly which tree produced them. Falls back to
+//! `"unknown"` outside a git checkout (e.g. a source tarball).
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=LANGCRUX_GIT_SHA={sha}");
+    // Re-run when HEAD moves so the SHA never goes stale in incremental
+    // builds; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -60,8 +60,8 @@ pub use governor::{Admission, Governor};
 pub use http::{Limits, ParseError, Request, RequestParser, Response};
 pub use loadgen::{run_load, LoadGenRun};
 pub use server::{
-    batch_buffered, prometheus_text, route, spawn, Routed, ServeConfig, ServeState, ServerHandle,
-    StatsSnapshot,
+    batch_buffered, encode_stats, prometheus_text, route, spawn, Routed, ServeConfig, ServeState,
+    ServerHandle, StatsSnapshot,
 };
 pub use service::{AuditResponse, AuditService, ScriptSlice};
 pub use stats::{

@@ -34,7 +34,8 @@ use crate::http::{self, Limits, Request, RequestParser, Response};
 use crate::service::AuditService;
 use crate::stats::{LatencyHistogram, LatencySnapshot, RequestCounters, RequestSnapshot};
 use langcrux_crawl::run_work_stealing;
-use serde::Serialize;
+use langcrux_obs as obs;
+use serde::{Serialize, Value};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -102,6 +103,11 @@ pub struct ServeState {
     /// buffers — the observable proof that batches stream instead of
     /// buffering the whole response array.
     pub peak_batch_buffer: PeakGauge,
+    /// Extra metric collectors registered by the embedding process —
+    /// the repro daemon registers its pipeline/crawl/corpus telemetry
+    /// here after a build, so `/v1/metrics` and `/v1/stats` export it
+    /// alongside the server's own counters.
+    pub extra: obs::Registry,
     batch_threads: usize,
     started: Instant,
 }
@@ -125,6 +131,7 @@ impl ServeState {
             counters: RequestCounters::default(),
             latency: LatencyHistogram::default(),
             peak_batch_buffer: PeakGauge::default(),
+            extra: obs::Registry::new(),
             batch_threads: config.batch_threads,
             started: Instant::now(),
         }
@@ -140,6 +147,54 @@ impl ServeState {
         }
     }
 
+    /// One registry pass over everything this server exports: build
+    /// info, its own stats, and every collector registered in
+    /// [`extra`](ServeState::extra). `/v1/metrics` (Prometheus) and the
+    /// `metrics` object inside `/v1/stats` (JSON) are both rendered
+    /// from this encoder, so the two views cannot drift.
+    pub fn encode_metrics(&self, stats: &StatsSnapshot) -> obs::Encoder {
+        let mut enc = obs::Encoder::new();
+        obs::registry::encode_build_info(&mut enc, "langcrux-serve", env!("CARGO_PKG_VERSION"));
+        encode_stats(stats, &mut enc);
+        self.extra.collect_into(&mut enc);
+        enc
+    }
+
+    /// The `GET /v1/healthz` build-info document.
+    fn healthz_body(&self) -> Vec<u8> {
+        let doc = Value::Object(vec![
+            ("status".to_string(), Value::Str("ok".to_string())),
+            (
+                "service".to_string(),
+                Value::Str("langcrux-serve".to_string()),
+            ),
+            (
+                "version".to_string(),
+                Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            (
+                "git_sha".to_string(),
+                Value::Str(obs::registry::git_sha().to_string()),
+            ),
+            (
+                "uptime_seconds".to_string(),
+                Value::UInt(self.started.elapsed().as_secs()),
+            ),
+            (
+                "features".to_string(),
+                Value::Array(
+                    obs::registry::feature_flags()
+                        .into_iter()
+                        .map(|f| Value::Str(f.to_string()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        serde_json::to_string(&doc)
+            .expect("healthz serialize")
+            .into_bytes()
+    }
+
     /// Effective batch fan-out worker count.
     fn batch_threads(&self) -> usize {
         if self.batch_threads == 0 {
@@ -151,150 +206,106 @@ impl ServeState {
     }
 }
 
-/// Render the stats snapshot in Prometheus text exposition format
-/// (version 0.0.4): every counter/gauge `GET /v1/stats` serves as JSON,
-/// under the `langcrux_serve_` namespace, scrape-ready for a Prometheus
-/// `/v1/metrics` target. Latency is a native histogram: a cumulative
-/// `_bucket{le="…"}` series (occupied buckets plus the mandatory `+Inf`)
-/// with `_sum`/`_count`, so quantiles are computed server-side by the
-/// scraper instead of being frozen at scrape time.
-pub fn prometheus_text(stats: &StatsSnapshot) -> String {
-    use std::fmt::Write;
-    let mut out = String::with_capacity(2048);
-    let counter = |out: &mut String, name: &str, help: &str, value: u64| {
-        let _ = writeln!(out, "# HELP {name} {help}");
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {value}");
-    };
-
-    let _ = writeln!(
-        out,
-        "# HELP langcrux_serve_uptime_milliseconds Time since the server started."
+/// Register the stats snapshot into a metrics [`obs::Encoder`] — the
+/// single definition of serve's exposition. Every counter/gauge `GET
+/// /v1/stats` serves as JSON appears here under the `langcrux_serve_`
+/// namespace; latency is a native histogram (cumulative `_bucket{le}`
+/// series — occupied buckets plus the mandatory `+Inf` — with
+/// `_sum`/`_count`), so quantiles are computed by the scraper instead of
+/// being frozen at scrape time.
+pub fn encode_stats(stats: &StatsSnapshot, enc: &mut obs::Encoder) {
+    enc.gauge(
+        "langcrux_serve_uptime_milliseconds",
+        "Time since the server started.",
+        stats.uptime_ms as f64,
     );
-    let _ = writeln!(out, "# TYPE langcrux_serve_uptime_milliseconds gauge");
-    let _ = writeln!(
-        out,
-        "langcrux_serve_uptime_milliseconds {}",
-        stats.uptime_ms
-    );
-
     let r = &stats.requests;
-    let _ = writeln!(
-        out,
-        "# HELP langcrux_serve_requests_total Successfully routed requests by endpoint."
-    );
-    let _ = writeln!(out, "# TYPE langcrux_serve_requests_total counter");
+    const REQUESTS: &str = "Successfully routed requests by endpoint.";
     for (endpoint, value) in [
         ("audit", r.audit),
         ("batch", r.batch),
         ("healthz", r.healthz),
         ("stats", r.stats),
     ] {
-        let _ = writeln!(
-            out,
-            "langcrux_serve_requests_total{{endpoint=\"{endpoint}\"}} {value}"
+        enc.counter_with(
+            "langcrux_serve_requests_total",
+            REQUESTS,
+            &[("endpoint", endpoint)],
+            value as f64,
         );
     }
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_batch_pages_total",
         "Pages audited inside batch requests.",
-        r.batch_pages,
+        r.batch_pages as f64,
     );
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_errors_total",
         "4xx/5xx answers (routing + protocol errors).",
-        r.errors,
+        r.errors as f64,
     );
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_shed_total",
         "Connections refused with 503 by the governor.",
-        r.shed,
+        r.shed as f64,
     );
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_timeouts_total",
         "Connections closed with 408 by the request deadline.",
-        r.timeouts,
+        r.timeouts as f64,
     );
-
     let c = &stats.cache;
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_cache_hits_total",
         "Response-cache lookups served from cache.",
-        c.hits,
+        c.hits as f64,
     );
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_cache_misses_total",
         "Response-cache lookups that computed an audit.",
-        c.misses,
+        c.misses as f64,
     );
-    counter(
-        &mut out,
+    enc.counter(
         "langcrux_serve_cache_evictions_total",
         "Response-cache LRU evictions.",
-        c.evictions,
+        c.evictions as f64,
     );
-    let _ = writeln!(
-        out,
-        "# HELP langcrux_serve_cache_entries Responses resident in the cache."
+    enc.gauge(
+        "langcrux_serve_cache_entries",
+        "Responses resident in the cache.",
+        c.entries as f64,
     );
-    let _ = writeln!(out, "# TYPE langcrux_serve_cache_entries gauge");
-    let _ = writeln!(out, "langcrux_serve_cache_entries {}", c.entries);
-
     let l = &stats.latency;
-    let _ = writeln!(
-        out,
-        "# HELP langcrux_serve_request_latency_microseconds Request latency histogram \
-         (native cumulative buckets; empty buckets elided, le bounds in microseconds)."
+    // The overflow bucket is folded into the mandatory +Inf line.
+    let mut buckets: Vec<(String, u64)> = l
+        .buckets
+        .iter()
+        .filter(|b| b.upper_us != u64::MAX)
+        .map(|b| (b.upper_us.to_string(), b.cumulative))
+        .collect();
+    buckets.push(("+Inf".to_string(), l.count));
+    enc.histogram(
+        "langcrux_serve_request_latency_microseconds",
+        "Request latency histogram (native cumulative buckets; empty buckets elided, \
+         le bounds in microseconds).",
+        &buckets,
+        l.total_us as f64,
+        l.count,
     );
-    let _ = writeln!(
-        out,
-        "# TYPE langcrux_serve_request_latency_microseconds histogram"
+    enc.gauge(
+        "langcrux_serve_peak_batch_buffer_bytes",
+        "Peak bytes parked in a streaming-batch reorder window.",
+        stats.peak_batch_buffer as f64,
     );
-    for bucket in &l.buckets {
-        // The overflow bucket is folded into the mandatory +Inf line.
-        if bucket.upper_us == u64::MAX {
-            continue;
-        }
-        let _ = writeln!(
-            out,
-            "langcrux_serve_request_latency_microseconds_bucket{{le=\"{}\"}} {}",
-            bucket.upper_us, bucket.cumulative
-        );
-    }
-    let _ = writeln!(
-        out,
-        "langcrux_serve_request_latency_microseconds_bucket{{le=\"+Inf\"}} {}",
-        l.count
-    );
-    let _ = writeln!(
-        out,
-        "langcrux_serve_request_latency_microseconds_sum {}",
-        l.total_us
-    );
-    let _ = writeln!(
-        out,
-        "langcrux_serve_request_latency_microseconds_count {}",
-        l.count
-    );
+}
 
-    let _ = writeln!(
-        out,
-        "# HELP langcrux_serve_peak_batch_buffer_bytes Peak bytes parked in a \
-         streaming-batch reorder window."
-    );
-    let _ = writeln!(out, "# TYPE langcrux_serve_peak_batch_buffer_bytes gauge");
-    let _ = writeln!(
-        out,
-        "langcrux_serve_peak_batch_buffer_bytes {}",
-        stats.peak_batch_buffer
-    );
-    out
+/// Render the stats snapshot in Prometheus text exposition format
+/// (version 0.0.4) via [`encode_stats`] — one encoder pass shared with
+/// the JSON view, so the two can never drift.
+pub fn prometheus_text(stats: &StatsSnapshot) -> String {
+    let mut enc = obs::Encoder::new();
+    encode_stats(stats, &mut enc);
+    enc.prometheus_text()
 }
 
 /// Whether the request's `Accept` header *prefers* plain text over JSON
@@ -382,24 +393,35 @@ pub fn route(state: &ServeState, request: &Request) -> Routed {
         }
         ("GET", "/v1/healthz") => {
             state.counters.healthz.fetch_add(1, relaxed);
-            full(Response::json(200, b"{\"status\":\"ok\"}".to_vec(), keep))
+            full(Response::json(200, state.healthz_body(), keep))
         }
         ("GET", "/v1/stats") => {
             state.counters.stats.fetch_add(1, relaxed);
+            let stats = state.stats();
             // Content negotiation: `Accept: text/plain` gets the
             // Prometheus exposition instead of the JSON document.
             if accepts_text_plain(request) {
-                let body = prometheus_text(&state.stats()).into_bytes();
+                let body = state.encode_metrics(&stats).prometheus_text().into_bytes();
                 return full(Response::prometheus(200, body, keep));
             }
-            let body = serde_json::to_string(&state.stats())
+            // Legacy typed fields plus a `metrics` object rendered from
+            // the same encoder pass as `/v1/metrics`.
+            let mut doc = stats.to_value();
+            if let Value::Object(fields) = &mut doc {
+                fields.push((
+                    "metrics".to_string(),
+                    state.encode_metrics(&stats).to_value(),
+                ));
+            }
+            let body = serde_json::to_string(&doc)
                 .expect("stats serialize")
                 .into_bytes();
             full(Response::json(200, body, keep))
         }
         ("GET", "/v1/metrics") => {
             state.counters.stats.fetch_add(1, relaxed);
-            let body = prometheus_text(&state.stats()).into_bytes();
+            let stats = state.stats();
+            let body = state.encode_metrics(&stats).prometheus_text().into_bytes();
             full(Response::prometheus(200, body, keep))
         }
         (_, "/v1/audit" | "/v1/batch" | "/v1/healthz" | "/v1/stats" | "/v1/metrics") => {
@@ -931,7 +953,13 @@ mod tests {
         let state = test_state();
         let health = full(route(&state, &request("GET", "/v1/healthz", b"")));
         assert_eq!(health.status, 200);
-        assert_eq!(health.body.as_slice(), b"{\"status\":\"ok\"}");
+        let health_text = String::from_utf8(health.body.to_vec()).unwrap();
+        assert!(health_text.starts_with("{\"status\":\"ok\""));
+        assert!(health_text.contains("\"service\":\"langcrux-serve\""));
+        assert!(health_text.contains("\"version\":\"0.1.0\""));
+        assert!(health_text.contains("\"git_sha\":\""));
+        assert!(health_text.contains("\"uptime_seconds\":"));
+        assert!(health_text.contains("\"features\":[\"span-tracing\""));
         let stats = full(route(&state, &request("GET", "/v1/stats", b"")));
         assert_eq!(stats.status, 200);
         let text = String::from_utf8(stats.body.to_vec()).unwrap();
@@ -968,6 +996,92 @@ mod tests {
                 "malformed exposition line: {line:?}"
             );
         }
+    }
+
+    /// The drift guard: every sample in the Prometheus exposition must
+    /// appear in `/v1/stats`'s `metrics` object with an equal value, and
+    /// vice versa — both are rendered from one encoder pass.
+    #[test]
+    fn stats_json_and_prometheus_expose_identical_metrics() {
+        let state = test_state();
+        let _ = route(&state, &request("POST", "/v1/audit", PAGE.as_bytes()));
+        state.latency.record_us(120);
+        state.latency.record_us(4_000);
+        let stats = state.stats();
+        let enc = state.encode_metrics(&stats);
+        let samples = enc.flat_samples();
+        assert!(samples.len() >= 18, "expected a full exposition");
+
+        // JSON view: parse the /v1/stats document's `metrics` object.
+        let resp = full(route(&state, &request("GET", "/v1/stats", b"")));
+        let doc: Value =
+            serde_json::from_str(std::str::from_utf8(resp.body.as_slice()).unwrap()).unwrap();
+        let metrics = doc.get("metrics").expect("stats document has metrics");
+        let json_fields = metrics.as_object().unwrap();
+
+        // Prometheus view: parse every sample line of /v1/metrics.
+        let resp = full(route(&state, &request("GET", "/v1/metrics", b"")));
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        let mut prom: Vec<(String, f64)> = Vec::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.split_once(' ').unwrap();
+            prom.push((name.to_string(), value.parse().unwrap()));
+        }
+
+        // Same families either way; values may advance between the two
+        // scrapes (each route call bumps counters), so compare names
+        // exhaustively and values for scrape-invariant series.
+        let json_names: Vec<&str> = json_fields.iter().map(|(k, _)| k.as_str()).collect();
+        for (name, _) in &prom {
+            assert!(
+                json_names.contains(&name.as_str()),
+                "{name} in exposition but not in stats JSON"
+            );
+        }
+        assert_eq!(prom.len(), json_fields.len(), "sample counts differ");
+        for (name, value) in &samples {
+            if name.contains("uptime") || name.contains("requests_total") {
+                continue; // advances between scrapes
+            }
+            let json_value = json_fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| match v {
+                    Value::UInt(u) => *u as f64,
+                    Value::Int(i) => *i as f64,
+                    Value::Float(f) => *f,
+                    other => panic!("non-numeric metric {name}: {other:?}"),
+                })
+                .unwrap_or_else(|| panic!("{name} missing from stats JSON"));
+            assert_eq!(json_value, *value, "value drift for {name}");
+        }
+    }
+
+    /// Collectors registered in `ServeState::extra` surface through both
+    /// exposition paths — this is how the repro daemon exports pipeline
+    /// gauges after a build.
+    #[test]
+    fn extra_registry_collectors_appear_in_both_views() {
+        let state = test_state();
+        state.extra.register(|enc| {
+            enc.counter(
+                "langcrux_crawl_retries_total",
+                "Retries beyond each visit's first attempt.",
+                7.0,
+            )
+        });
+        let resp = full(route(&state, &request("GET", "/v1/metrics", b"")));
+        let text = String::from_utf8(resp.body.to_vec()).unwrap();
+        assert!(text.contains("langcrux_crawl_retries_total 7\n"));
+        assert!(text.contains("langcrux_build_info{service=\"langcrux-serve\""));
+        let resp = full(route(&state, &request("GET", "/v1/stats", b"")));
+        let doc: Value =
+            serde_json::from_str(std::str::from_utf8(resp.body.as_slice()).unwrap()).unwrap();
+        let metrics = doc.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("langcrux_crawl_retries_total"),
+            Some(&Value::UInt(7))
+        );
     }
 
     #[test]

@@ -28,10 +28,37 @@ fn smoke_healthz_audit_batch_stats_shutdown() {
     let mut stream = connect(&server);
     let mut scratch = Vec::new();
 
-    // healthz
+    // healthz: build-info document — status plus version / git SHA /
+    // uptime / compiled feature flags (the satellite pin for PR 7).
     let (status, body) = get(&mut stream, "/v1/healthz", &mut scratch).expect("healthz");
     assert_eq!(status, 200);
-    assert_eq!(body, b"{\"status\":\"ok\"}");
+    let health: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("healthz json");
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(
+        health.get("service").and_then(|v| v.as_str()),
+        Some("langcrux-serve")
+    );
+    assert_eq!(
+        health.get("version").and_then(|v| v.as_str()),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(health
+        .get("git_sha")
+        .and_then(|v| v.as_str())
+        .is_some_and(|sha| !sha.is_empty()));
+    assert!(matches!(
+        health.get("uptime_seconds"),
+        Some(serde_json::Value::UInt(_))
+    ));
+    let features = health
+        .get("features")
+        .and_then(|v| v.as_array())
+        .expect("features array");
+    assert!(features.iter().any(|f| f.as_str() == Some("span-tracing")));
+    assert!(features
+        .iter()
+        .any(|f| f.as_str() == Some("metrics-registry")));
 
     // one audit
     let page = corpus_page(0);

@@ -168,6 +168,48 @@ pub struct ShardStats {
     pub resident_cap: usize,
 }
 
+impl ShardStats {
+    /// Register the shard gauges into the unified metrics registry
+    /// (`langcrux_corpus_*` family — see `docs/observability.md`).
+    pub fn encode_metrics(&self, enc: &mut langcrux_obs::Encoder) {
+        enc.counter(
+            "langcrux_corpus_shard_builds_total",
+            "Country-shard constructions, including rebuilds after eviction.",
+            self.builds as f64,
+        );
+        enc.counter(
+            "langcrux_corpus_shard_evictions_total",
+            "Country shards dropped by the LRU bound.",
+            self.evictions as f64,
+        );
+        enc.gauge(
+            "langcrux_corpus_shards_resident",
+            "Country shards resident in the cache right now.",
+            self.resident as f64,
+        );
+        enc.gauge(
+            "langcrux_corpus_shards_resident_peak",
+            "High-water mark of cache-resident country shards.",
+            self.peak_resident as f64,
+        );
+        enc.gauge(
+            "langcrux_corpus_shards_live",
+            "Country-shard allocations alive right now (leases included).",
+            self.live as f64,
+        );
+        enc.gauge(
+            "langcrux_corpus_shards_live_peak",
+            "High-water mark of simultaneously live shard allocations.",
+            self.peak_live as f64,
+        );
+        enc.gauge(
+            "langcrux_corpus_shard_resident_cap",
+            "Configured residency bound (0 = unbounded).",
+            self.resident_cap as f64,
+        );
+    }
+}
+
 /// The lazy per-country shard cache. Shared between the [`Corpus`] handle
 /// and the internet's host resolver.
 struct ShardCache {
@@ -325,6 +367,13 @@ impl ShardCache {
     /// `(seed, country, sites_per_country, overprovision)` — rebuilds are
     /// bit-identical, which is what makes eviction invisible downstream.
     fn build_shard(&self, country: Country) -> CountryShard {
+        // Deterministic span count only with an unbounded cache
+        // (`resident_shards: 0`, the default): LRU rebuild counts depend
+        // on eviction interleaving — see langcrux_obs::trace docs.
+        let _shard_span = langcrux_obs::trace::span(
+            "corpus.shard_build",
+            langcrux_obs::trace::key_str(country.code()),
+        );
         let n = self.candidates_per_country();
         // The paper walks CrUX ranks downward until the quota of
         // *qualifying* sites is filled; the Figure 7 rank distribution is

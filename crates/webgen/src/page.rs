@@ -285,6 +285,12 @@ pub fn render_into(
     scratch: &mut RenderScratch,
     out: &mut String,
 ) -> PageTruth {
+    // Key = (host, variant): deterministic across worker counts, and the
+    // span nests inside crawl.fetch when rendering answers a fetch.
+    let _render_span = langcrux_obs::trace::span(
+        "webgen.render",
+        langcrux_obs::trace::key_str(&plan.host) ^ (variant as u64 + 1),
+    );
     let RenderScratch {
         builder,
         gen,

@@ -12,6 +12,8 @@
 //!   the streaming tokenize→extract walk (no DOM on the hot path).
 //! * [`langid`] — script/language identification and label classification.
 //! * [`net`] — simulated geo-localized internet with VPN vantage points.
+//! * [`obs`] — unified observability: deterministic span tracing, one
+//!   metrics registry, Chrome trace export (`docs/observability.md`).
 //! * [`webgen`] — calibrated synthetic website generator + CrUX-style ranking.
 //! * [`crawl`] — Puppeteer-like browser simulation and parallel crawler.
 //! * [`audit`] — Axe/Lighthouse-like accessibility rules and scoring.
@@ -38,6 +40,7 @@ pub use langcrux_kizuki as kizuki;
 pub use langcrux_lang as lang;
 pub use langcrux_langid as langid;
 pub use langcrux_net as net;
+pub use langcrux_obs as obs;
 pub use langcrux_serve as serve;
 pub use langcrux_textgen as textgen;
 pub use langcrux_webgen as webgen;
