@@ -5,7 +5,8 @@
 //!       [--fault-plan reliable|default|hostile|PATH.json]
 //!       [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE]
 //!       [--report] [--bench-json [PATH]] [--serve-bench [PATH]]
-//!       [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]
+//!       [--serve-daemon [PATH]] [--serve-core threaded|reactor]
+//!       [--port N] [--loadgen ADDR]
 //!
 //! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
@@ -91,6 +92,9 @@ struct Args {
     serve_bench: Option<String>,
     /// `Some(pid/port-file path)` when `--serve-daemon` was requested.
     serve_daemon: Option<String>,
+    /// Connection engine for `--serve-daemon` (`--serve-core`); the
+    /// default is the platform's best core (the reactor on Linux).
+    serve_core: langcrux_serve::ServeCore,
     /// Port for the daemon listener (0 = ephemeral).
     port: u16,
     /// `Some(host:port)` when `--loadgen` was requested.
@@ -129,6 +133,7 @@ fn parse_args() -> Args {
     let mut bench_json = None;
     let mut serve_bench = None;
     let mut serve_daemon = None;
+    let mut serve_core = langcrux_serve::ServeCore::default();
     let mut port = 0u16;
     let mut loadgen = None;
     let mut trace_out = None;
@@ -190,6 +195,14 @@ fn parse_args() -> Args {
                 };
                 serve_daemon = Some(path);
             }
+            "--serve-core" => {
+                let value = iter.next().expect("--serve-core requires threaded|reactor");
+                serve_core = match value.as_str() {
+                    "threaded" => langcrux_serve::ServeCore::Threaded,
+                    "reactor" => langcrux_serve::ServeCore::Reactor,
+                    other => panic!("--serve-core: unknown core {other:?} (threaded|reactor)"),
+                };
+            }
             "--trace-out" => {
                 let path = match iter.peek() {
                     Some(next) if next.ends_with(".json") => iter.next().unwrap(),
@@ -221,7 +234,8 @@ fn parse_args() -> Args {
                      [--fault-plan reliable|default|hostile|PATH.json] \
                      [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE] [--report] \
                      [--bench-json [PATH]] [--serve-bench [PATH]] \
-                     [--serve-daemon [PATH]] [--port N] [--loadgen ADDR]\n\
+                     [--serve-daemon [PATH]] [--serve-core threaded|reactor] \
+                     [--port N] [--loadgen ADDR]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
                      fig5 fig6 fig7 fig8 fig9 headlines langmeta speech report selection crawl \
                      ablation-vpn ablation-langid ablation-crawl"
@@ -244,6 +258,7 @@ fn parse_args() -> Args {
         bench_json,
         serve_bench,
         serve_daemon,
+        serve_core,
         port,
         loadgen,
         fault_plan,
@@ -322,10 +337,15 @@ mod daemon_signals {
 /// With `observations` from a preceding artifact build, the build's
 /// metric families are registered into the server's registry so
 /// `/v1/metrics` and `/v1/stats` expose them next to the serve counters.
-fn run_serve_daemon(file_path: &str, port: u16, observations: Option<BuildObservations>) -> ! {
+fn run_serve_daemon(
+    file_path: &str,
+    port: u16,
+    core: langcrux_serve::ServeCore,
+    observations: Option<BuildObservations>,
+) -> ! {
     #[cfg(not(unix))]
     {
-        let _ = (file_path, port, observations);
+        let _ = (file_path, port, core, observations);
         eprintln!("--serve-daemon needs unix signal handling");
         std::process::exit(2);
     }
@@ -335,6 +355,7 @@ fn run_serve_daemon(file_path: &str, port: u16, observations: Option<BuildObserv
         daemon_signals::install();
         let config = ServeConfig {
             addr: format!("127.0.0.1:{port}").parse().expect("loopback addr"),
+            core,
             ..ServeConfig::default()
         };
         let server = langcrux_serve::spawn(config).expect("bind daemon listener");
@@ -352,7 +373,9 @@ fn run_serve_daemon(file_path: &str, port: u16, observations: Option<BuildObserv
         );
         std::fs::write(file_path, doc).expect("write pid/port file");
         eprintln!(
-            "serve daemon: http://{addr} (pid {}, pid/port file {file_path}); SIGTERM drains",
+            "serve daemon: http://{addr} on the {} core (pid {}, pid/port file {file_path}); \
+             SIGTERM drains",
+            core.effective().name(),
             std::process::id()
         );
         while !daemon_signals::stopped() {
@@ -427,6 +450,17 @@ fn main() {
             "  bounded {:>5.1} req/s with the governor at cap == connections — {:.2}× hot",
             report.bounded.req_per_sec, report.bounded_vs_hot
         );
+        for entry in &report.high_concurrency.cores {
+            eprintln!(
+                "  high-concurrency [{:>8}]: {:>8.1} req/s hot-only vs {:>8.1} req/s with {} \
+                 idle conns — flat ratio {:.3}",
+                entry.core,
+                entry.hot_baseline.req_per_sec,
+                entry.high.hot.req_per_sec,
+                entry.high.idle_connections,
+                entry.flat_ratio,
+            );
+        }
         langcrux_bench::serve_bench::write_serve_json(path, &report).expect("write serve json");
         eprintln!("wrote {path}");
     }
@@ -467,7 +501,7 @@ fn main() {
         && !args.explicit_artifacts
     {
         if let Some(path) = &args.serve_daemon {
-            run_serve_daemon(path, args.port, None);
+            run_serve_daemon(path, args.port, args.serve_core, None);
         }
         return;
     }
@@ -760,6 +794,6 @@ fn main() {
         }
     }
     if let Some(path) = &args.serve_daemon {
-        run_serve_daemon(path, args.port, observations);
+        run_serve_daemon(path, args.port, args.serve_core, observations);
     }
 }

@@ -23,7 +23,9 @@
 use crate::Scale;
 use langcrux_lang::Country;
 use langcrux_net::ContentVariant;
-use langcrux_serve::{run_load, LoadGenRun, ServeConfig, StatsSnapshot};
+use langcrux_serve::{
+    run_idle_load, run_load, IdleLoadRun, LoadGenRun, ServeConfig, ServeCore, StatsSnapshot,
+};
 use langcrux_webgen::{render, SitePlan};
 use serde::Serialize;
 
@@ -36,6 +38,12 @@ pub struct ServeBenchConfig {
     pub connections: usize,
     /// Hot passes over the page set after the cold pass.
     pub rounds: usize,
+    /// Idle keep-alive fleet size for the high-concurrency runs.
+    pub idle_connections: usize,
+    /// Hot subset driving audits while the idle fleet rides along.
+    pub hot_connections: usize,
+    /// Audit requests per high-concurrency measurement pass.
+    pub high_requests: usize,
 }
 
 impl ServeBenchConfig {
@@ -47,16 +55,25 @@ impl ServeBenchConfig {
                 pages: 48,
                 connections: 4,
                 rounds: 4,
+                idle_connections: 512,
+                hot_connections: 4,
+                high_requests: 1024,
             },
             Scale::Sites(n) => ServeBenchConfig {
                 pages: n.max(2),
                 connections: 4,
                 rounds: 4,
+                idle_connections: 512,
+                hot_connections: 4,
+                high_requests: 1024,
             },
             _ => ServeBenchConfig {
                 pages: 192,
                 connections: 8,
                 rounds: 8,
+                idle_connections: 1024,
+                hot_connections: 8,
+                high_requests: 4096,
             },
         }
     }
@@ -86,7 +103,121 @@ pub struct ServeBenchReport {
     /// Server-side view after the cold+hot run (cache + latency
     /// histogram); the bounded run uses its own server.
     pub server: StatsSnapshot,
+    /// Mostly-idle keep-alive fleet + hot subset, per core: the event-
+    /// driven reactor must hold its hot throughput flat while the
+    /// thread-per-connection oracle may degrade.
+    pub high_concurrency: HighConcurrencyReport,
     pub notes: String,
+}
+
+/// One core's high-concurrency comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoreHighConcurrency {
+    /// Core name (`threaded` / `reactor`).
+    pub core: String,
+    /// Hot-only baseline: the hot subset alone, no idle fleet.
+    pub hot_baseline: LoadGenRun,
+    /// The same hot subset with the idle fleet held open.
+    pub high: IdleLoadRun,
+    /// `high.hot.req_per_sec / hot_baseline.req_per_sec` — the flatness
+    /// measure. CI gates the reactor's ratio (≥ 0.95 on the committed
+    /// record); the threaded oracle's ratio is recorded, not gated.
+    pub flat_ratio: f64,
+}
+
+/// The `high_concurrency` section of `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct HighConcurrencyReport {
+    pub idle_connections: usize,
+    pub hot_connections: usize,
+    /// Audit requests per measurement pass.
+    pub requests: usize,
+    /// One entry per available core (one on non-Linux, where the
+    /// reactor falls back to the threaded core).
+    pub cores: Vec<CoreHighConcurrency>,
+}
+
+/// Run the high-concurrency comparison: for each core, measure the hot
+/// subset alone, then re-measure with the idle fleet held open.
+pub fn high_concurrency_report(seed: u64, config: ServeBenchConfig) -> HighConcurrencyReport {
+    // A small cache-hot page set (same generator and seed as the main
+    // passes): the measurement isolates connection-engine overhead, not
+    // audit compute.
+    let pages = bench_pages(seed, 24);
+    let mut available: Vec<ServeCore> = ServeCore::ALL.iter().map(|c| c.effective()).collect();
+    available.dedup();
+    let cores = available
+        .into_iter()
+        .map(|core| {
+            let server = langcrux_serve::spawn(ServeConfig {
+                core,
+                cache_shards: 8,
+                cache_capacity_per_shard: 64,
+                max_connections: config.idle_connections + config.hot_connections + 16,
+                accept_queue: 64,
+                // The idle fleet must outlive the measurement window.
+                idle_timeout: std::time::Duration::from_secs(120),
+                ..ServeConfig::default()
+            })
+            .expect("spawn high-concurrency server");
+            // Warm the cache so both passes measure pure hit throughput.
+            run_load(server.addr(), &pages, config.hot_connections, pages.len())
+                .expect("high-concurrency warm-up");
+            // Interleaved best-of-3 on both sides: the flatness claim
+            // compares the engine's *capacity* with and without the idle
+            // fleet, and a single pass on a shared host measures the
+            // scheduler as much as the server. Alternating
+            // baseline/high passes exposes both measurements to the same
+            // drift (thermal, page cache, sibling load).
+            let mut hot_baseline: Option<LoadGenRun> = None;
+            let mut high: Option<IdleLoadRun> = None;
+            for _ in 0..3 {
+                let pass = run_load(
+                    server.addr(),
+                    &pages,
+                    config.hot_connections,
+                    config.high_requests,
+                )
+                .expect("hot baseline");
+                if hot_baseline
+                    .as_ref()
+                    .is_none_or(|best| pass.req_per_sec > best.req_per_sec)
+                {
+                    hot_baseline = Some(pass);
+                }
+                let pass = run_idle_load(
+                    server.addr(),
+                    &pages,
+                    config.idle_connections,
+                    config.hot_connections,
+                    config.high_requests,
+                )
+                .expect("high-concurrency run");
+                if high
+                    .as_ref()
+                    .is_none_or(|best| pass.hot.req_per_sec > best.hot.req_per_sec)
+                {
+                    high = Some(pass);
+                }
+            }
+            let hot_baseline = hot_baseline.expect("three baseline passes");
+            let high = high.expect("three high-concurrency passes");
+            server.shutdown();
+            let flat_ratio = high.hot.req_per_sec / hot_baseline.req_per_sec.max(1e-9);
+            CoreHighConcurrency {
+                core: core.name().to_string(),
+                hot_baseline,
+                high,
+                flat_ratio,
+            }
+        })
+        .collect();
+    HighConcurrencyReport {
+        idle_connections: config.idle_connections,
+        hot_connections: config.hot_connections,
+        requests: config.high_requests,
+        cores,
+    }
 }
 
 /// Render `pages` distinct localized corpus pages, cycling countries so
@@ -156,6 +287,8 @@ pub fn serve_bench_report(seed: u64, config: ServeBenchConfig) -> ServeBenchRepo
     .expect("bounded run");
     bounded_server.shutdown();
 
+    let high_concurrency = high_concurrency_report(seed, config);
+
     let hot_vs_cold = hot.req_per_sec / cold.req_per_sec.max(1e-9);
     let bounded_vs_hot = bounded.req_per_sec / hot.req_per_sec.max(1e-9);
     ServeBenchReport {
@@ -170,16 +303,22 @@ pub fn serve_bench_report(seed: u64, config: ServeBenchConfig) -> ServeBenchRepo
         bounded,
         bounded_vs_hot,
         server: stats,
+        high_concurrency,
         notes: format!(
             "cold = one POST /v1/audit per distinct corpus page (every request is a cache \
              miss and runs the full parse+extract+audit+Kizuki+speak pipeline); hot = {} \
              further passes over the same pages answered from the sharded LRU response \
              cache; bounded = the hot workload against a server with the connection \
              governor at connection cap == {} (loadgen connection count), accept queue == \
-             cap, and request/write deadlines armed. Loopback HTTP/1.1 keep-alive, {} \
-             concurrent connections; latencies are client-side.",
+             cap, and request/write deadlines armed. high_concurrency = per serve core \
+             ({} idle keep-alive connections held open while {} hot connections drive \
+             cache-hot audits; flat_ratio compares against the same hot subset with no \
+             idle fleet). Loopback HTTP/1.1 keep-alive, {} concurrent connections; \
+             latencies are client-side.",
             config.rounds.max(1),
             config.connections,
+            config.idle_connections,
+            config.hot_connections,
             config.connections,
         ),
     }
@@ -212,6 +351,9 @@ mod tests {
                 pages: 10,
                 connections: 2,
                 rounds: 3,
+                idle_connections: 24,
+                hot_connections: 2,
+                high_requests: 20,
             },
         );
         assert_eq!(report.cold.requests, 10);
@@ -232,8 +374,19 @@ mod tests {
         assert_eq!(report.bounded.requests, 30);
         assert_eq!(report.bounded.errors, 0);
         assert!(report.bounded_vs_hot > 0.0);
+        // The high-concurrency section covers every available core and
+        // the idle fleet really rode along on each.
+        assert!(!report.high_concurrency.cores.is_empty());
+        for entry in &report.high_concurrency.cores {
+            assert_eq!(entry.high.idle_connections, 24);
+            assert_eq!(entry.high.hot.requests, 20);
+            assert_eq!(entry.hot_baseline.errors + entry.high.hot.errors, 0);
+            assert!(entry.flat_ratio > 0.0);
+        }
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"hot_vs_cold\""));
         assert!(json.contains("\"bounded_vs_hot\""));
+        assert!(json.contains("\"high_concurrency\""));
+        assert!(json.contains("\"flat_ratio\""));
     }
 }

@@ -1,0 +1,307 @@
+//! Per-client fairness: a token bucket per peer identity, enforced at
+//! the admission layer of both serve cores.
+//!
+//! The governor bounds *total* concurrency; this module bounds how much
+//! of that capacity one peer may consume. Each peer IP owns a token
+//! bucket refilled at [`FairnessConfig::rate_per_sec`] up to a burst
+//! cap; a request arriving at an empty bucket is answered
+//! `429 Too Many Requests` + `Retry-After` and the connection closes —
+//! the same shed discipline as the governor's 503, one layer up.
+//!
+//! All bucket arithmetic is integer micro-tokens on an injected
+//! microsecond clock, so refill math, burst behaviour, and multi-peer
+//! isolation are unit-tested without sockets or sleeps (the same
+//! virtual-clock discipline as the crawl layer's retry/backoff engine).
+//! Fairness is off by default (`ServeConfig::fairness: None`): the
+//! differential suite replays identical traffic against both cores with
+//! and without it.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One token = this many micro-tokens; integer math keeps refill exact.
+const MICRO: u64 = 1_000_000;
+
+/// Most peers tracked before quiet (full-bucket) entries are pruned.
+/// Bounds limiter memory under an address-diverse connection flood.
+const MAX_TRACKED_PEERS: usize = 4096;
+
+/// Per-peer rate limit. `rate_per_sec` tokens refill continuously up to
+/// `burst`; every admitted request spends one token.
+#[derive(Debug, Clone, Copy)]
+pub struct FairnessConfig {
+    /// Sustained per-peer request rate (tokens per second).
+    pub rate_per_sec: u32,
+    /// Bucket capacity: how many requests a peer may front-load.
+    pub burst: u32,
+    /// `Retry-After` hint on the 429 answer.
+    pub retry_after_secs: u32,
+}
+
+impl Default for FairnessConfig {
+    fn default() -> Self {
+        FairnessConfig {
+            rate_per_sec: 50,
+            burst: 100,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// One peer's bucket: micro-tokens plus the last refill timestamp.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBucket {
+    micro: u64,
+    last_us: u64,
+}
+
+impl TokenBucket {
+    /// A bucket born full — a new peer gets its whole burst.
+    pub fn full(burst: u32) -> Self {
+        TokenBucket {
+            micro: burst as u64 * MICRO,
+            last_us: 0,
+        }
+    }
+
+    /// Refill for the elapsed time, then try to spend one token.
+    /// `now_us` is monotonic; a stale timestamp refills nothing.
+    pub fn try_take(&mut self, now_us: u64, rate_per_sec: u32, burst: u32) -> bool {
+        let elapsed_us = now_us.saturating_sub(self.last_us);
+        self.last_us = self.last_us.max(now_us);
+        // tokens/sec × µs elapsed = micro-tokens accrued, exactly.
+        self.micro = self
+            .micro
+            .saturating_add(elapsed_us.saturating_mul(rate_per_sec as u64))
+            .min(burst as u64 * MICRO);
+        if self.micro >= MICRO {
+            self.micro -= MICRO;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available (diagnostics and tests).
+    pub fn tokens(&self) -> u64 {
+        self.micro / MICRO
+    }
+}
+
+/// The per-peer limiter shared by every connection of one server.
+pub struct PeerLimiter {
+    config: FairnessConfig,
+    epoch: Instant,
+    peers: Mutex<HashMap<IpAddr, TokenBucket>>,
+}
+
+impl PeerLimiter {
+    pub fn new(config: FairnessConfig) -> Self {
+        PeerLimiter {
+            config,
+            epoch: Instant::now(),
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admit or refuse one request from `peer` at the real clock.
+    pub fn admit(&self, peer: IpAddr) -> bool {
+        self.admit_at(peer, self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Admit or refuse at an explicit microsecond timestamp — the
+    /// virtual-clock entry point the unit tests drive.
+    pub fn admit_at(&self, peer: IpAddr, now_us: u64) -> bool {
+        let mut peers = self.peers.lock().expect("fairness lock");
+        if peers.len() >= MAX_TRACKED_PEERS && !peers.contains_key(&peer) {
+            // Keep only peers a refill leaves drained — the buckets
+            // actively refusing traffic, whose state is load-bearing.
+            // Everyone else resets to a full bucket on next contact: a
+            // bounded token gift, the price of bounded memory under an
+            // address-diverse connection flood.
+            let (rate, burst) = (self.config.rate_per_sec, self.config.burst);
+            peers.retain(|_, bucket| {
+                let mut probe = *bucket;
+                !probe.try_take(now_us, rate, burst)
+            });
+        }
+        peers
+            .entry(peer)
+            .or_insert_with(|| TokenBucket::full(self.config.burst))
+            .try_take(now_us, self.config.rate_per_sec, self.config.burst)
+    }
+
+    /// The configured `Retry-After` hint for 429 answers.
+    pub fn retry_after_secs(&self) -> u32 {
+        self.config.retry_after_secs
+    }
+
+    /// Peers currently tracked (diagnostics and tests).
+    pub fn tracked_peers(&self) -> usize {
+        self.peers.lock().expect("fairness lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([127, 0, 0, last])
+    }
+
+    #[test]
+    fn refill_math_is_exact() {
+        let mut bucket = TokenBucket::full(5);
+        // Drain the full burst at t=0.
+        for i in 0..5 {
+            assert!(bucket.try_take(0, 10, 5), "burst token {i}");
+        }
+        assert!(!bucket.try_take(0, 10, 5), "empty bucket must refuse");
+        // 10 tokens/s → one token every 100 ms. At +99 ms: still short.
+        assert!(!bucket.try_take(99_000, 10, 5));
+        // At +100 ms exactly one token has accrued.
+        assert!(bucket.try_take(100_000, 10, 5));
+        assert!(!bucket.try_take(100_000, 10, 5));
+        // Fractional refill accumulates: two half-tokens make one.
+        assert!(!bucket.try_take(150_000, 10, 5));
+        assert!(bucket.try_take(200_000, 10, 5));
+    }
+
+    #[test]
+    fn burst_cap_bounds_idle_accrual() {
+        let mut bucket = TokenBucket::full(3);
+        // An hour idle refills to the cap, not to rate × elapsed.
+        for _ in 0..3 {
+            assert!(bucket.try_take(3_600_000_000, 100, 3));
+        }
+        assert!(
+            !bucket.try_take(3_600_000_000, 100, 3),
+            "burst cap must hold after long idle"
+        );
+        assert_eq!(bucket.tokens(), 0);
+    }
+
+    #[test]
+    fn stale_clock_refills_nothing() {
+        let mut bucket = TokenBucket::full(1);
+        assert!(bucket.try_take(1_000_000, 1, 1));
+        // A now_us earlier than last_us (clock skew) must not mint
+        // tokens via underflow.
+        assert!(!bucket.try_take(500_000, 1, 1));
+        assert!(bucket.try_take(2_000_000, 1, 1));
+    }
+
+    #[test]
+    fn peers_are_isolated() {
+        let limiter = PeerLimiter::new(FairnessConfig {
+            rate_per_sec: 1,
+            burst: 2,
+            retry_after_secs: 1,
+        });
+        // Peer A exhausts its bucket…
+        assert!(limiter.admit_at(ip(1), 0));
+        assert!(limiter.admit_at(ip(1), 0));
+        assert!(!limiter.admit_at(ip(1), 0));
+        // …while peer B's bucket is untouched.
+        assert!(limiter.admit_at(ip(2), 0));
+        assert!(limiter.admit_at(ip(2), 0));
+        assert_eq!(limiter.tracked_peers(), 2);
+    }
+
+    /// The two-peer torture: a greedy peer hammering far above the rate
+    /// collects 429s while a quiet peer under the rate is never refused
+    /// — and never even has to wait (its bucket stays stocked, which is
+    /// what "latency stays flat" means with a virtual clock).
+    #[test]
+    fn greedy_peer_sheds_while_quiet_peer_stays_flat() {
+        let config = FairnessConfig {
+            rate_per_sec: 10,
+            burst: 20,
+            retry_after_secs: 1,
+        };
+        let limiter = PeerLimiter::new(config);
+        let (greedy, quiet) = (ip(66), ip(7));
+        let mut greedy_ok = 0u64;
+        let mut greedy_denied = 0u64;
+        let mut quiet_min_tokens = u64::MAX;
+        // 10 simulated seconds. Greedy: 200 req/s (every 5 ms). Quiet:
+        // 2 req/s (every 500 ms), well under the 10/s rate.
+        for ms in 0..10_000u64 {
+            let now_us = ms * 1_000;
+            if ms % 5 == 0 {
+                if limiter.admit_at(greedy, now_us) {
+                    greedy_ok += 1;
+                } else {
+                    greedy_denied += 1;
+                }
+            }
+            if ms % 500 == 0 {
+                // Flat latency: the quiet peer's bucket must hold spare
+                // tokens at every arrival, so admission is immediate.
+                let bucket = *limiter
+                    .peers
+                    .lock()
+                    .unwrap()
+                    .entry(quiet)
+                    .or_insert_with(|| TokenBucket::full(config.burst));
+                quiet_min_tokens = quiet_min_tokens.min(bucket.tokens());
+                assert!(
+                    limiter.admit_at(quiet, now_us),
+                    "quiet peer refused at {ms} ms"
+                );
+            }
+        }
+        // Greedy gets exactly burst + rate × 10 s admissions (±1 for
+        // boundary ticks) and a pile of denials.
+        let expected = (config.burst + config.rate_per_sec * 10) as u64;
+        assert!(
+            greedy_ok >= expected - 1 && greedy_ok <= expected + 1,
+            "greedy admitted {greedy_ok}, expected ≈{expected}"
+        );
+        assert!(
+            greedy_denied > 1_500,
+            "greedy must shed the bulk of its flood, denied only {greedy_denied}"
+        );
+        assert!(
+            quiet_min_tokens >= config.burst as u64 - 1,
+            "quiet peer's bucket dipped to {quiet_min_tokens}"
+        );
+    }
+
+    #[test]
+    fn pruning_keeps_active_peers() {
+        let limiter = PeerLimiter::new(FairnessConfig {
+            rate_per_sec: 1,
+            burst: 4,
+            retry_after_secs: 1,
+        });
+        // An address-diverse flood: every /32 in a /16 touches once.
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                limiter.admit_at(IpAddr::from([10, 0, a, b]), 0);
+            }
+        }
+        assert!(
+            limiter.tracked_peers() <= MAX_TRACKED_PEERS + 1,
+            "limiter memory unbounded: {}",
+            limiter.tracked_peers()
+        );
+        // A drained (active) peer survives pruning pressure: its bucket
+        // state still matters.
+        let hot = ip(99);
+        for _ in 0..4 {
+            limiter.admit_at(hot, 0);
+        }
+        assert!(!limiter.admit_at(hot, 0), "hot peer should be drained");
+        for a in 0..=255u8 {
+            limiter.admit_at(IpAddr::from([11, 1, 1, a]), 0);
+        }
+        assert!(
+            !limiter.admit_at(hot, 0),
+            "drained peer's state must survive pruning"
+        );
+    }
+}

@@ -1,7 +1,10 @@
-//! The HTTP server: governed accept loop, keep-alive connection handling
-//! with slowloris deadlines, routing, and the streaming batch writer.
+//! The HTTP server: two selectable connection cores behind one
+//! `spawn()` — the original thread-per-connection loop (the behavioural
+//! oracle) and the epoll reactor (`crate::reactor`, the scaling core) —
+//! plus routing and the streaming batch writer shared by both.
 //!
-//! Architecture (std-only, one OS thread per admitted connection):
+//! Thread-per-connection architecture (std-only, one OS thread per
+//! admitted connection; [`ServeCore::Threaded`]):
 //!
 //! ```text
 //! spawn() ──► accept thread ──► Governor ──► connection threads
@@ -18,6 +21,12 @@
 //!                    accept + connections (in-flight requests finish).
 //! ```
 //!
+//! [`ServeCore::Reactor`] replaces the per-connection threads with one
+//! event loop over non-blocking sockets (see `crate::reactor`); the
+//! governor, parser, router, and batch writer are the same objects, so
+//! the two cores answer byte-identical responses — pinned by the
+//! differential proptest and the core-parameterized torture suite.
+//!
 //! Batch requests fan their pages out over the workspace's work-stealing
 //! pool (`crawl::pool::run_work_stealing`) so a many-page batch uses
 //! every core, exactly like the offline crawl pipeline. Each page inside
@@ -29,6 +38,7 @@
 
 use crate::batch::{PeakGauge, StreamFanout};
 use crate::cache::{CacheSnapshot, ShardedCache};
+use crate::fairness::{FairnessConfig, PeerLimiter};
 use crate::governor::{Admission, Governor};
 use crate::http::{self, Limits, Request, RequestParser, Response};
 use crate::service::AuditService;
@@ -38,12 +48,59 @@ use langcrux_obs as obs;
 use serde::{Serialize, Value};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// `Retry-After` hint (seconds) on governor-shed 503 responses.
-const RETRY_AFTER_SECS: u32 = 1;
+pub(crate) const RETRY_AFTER_SECS: u32 = 1;
+
+/// Which connection engine drives accepted sockets.
+///
+/// Both cores share the governor, parser, router, cache, and batch
+/// writer; they differ only in how readiness and deadlines are
+/// delivered. `Threaded` burns one OS thread per admitted connection
+/// (simple, and kept as the behavioural oracle); `Reactor` multiplexes
+/// every connection over one epoll event loop with a deadline wheel —
+/// the core that holds throughput flat under thousands of mostly-idle
+/// keep-alive connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeCore {
+    /// One OS thread per admitted connection (the original core).
+    Threaded,
+    /// One event loop over non-blocking sockets + raw `epoll` FFI.
+    /// Falls back to `Threaded` off Linux (epoll is Linux-only).
+    Reactor,
+}
+
+impl ServeCore {
+    /// Both cores, for parameterizing tests and benches.
+    pub const ALL: [ServeCore; 2] = [ServeCore::Threaded, ServeCore::Reactor];
+
+    /// The core that will actually run on this platform.
+    pub fn effective(self) -> ServeCore {
+        if cfg!(target_os = "linux") {
+            self
+        } else {
+            ServeCore::Threaded
+        }
+    }
+
+    /// Stable lowercase name for bench records and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeCore::Threaded => "threaded",
+            ServeCore::Reactor => "reactor",
+        }
+    }
+}
+
+impl Default for ServeCore {
+    /// The reactor is the production default where it exists.
+    fn default() -> Self {
+        ServeCore::Reactor.effective()
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +130,12 @@ pub struct ServeConfig {
     /// Streaming-batch reorder window in elements (0 = auto: twice the
     /// batch worker count). Bounds batch memory at O(window × element).
     pub batch_window: usize,
+    /// Which connection engine drives accepted sockets.
+    pub core: ServeCore,
+    /// Per-peer token-bucket rate limiting (`None` = off). Enforced by
+    /// both cores at request admission: a request from a drained bucket
+    /// answers `429 + Retry-After` and closes the connection.
+    pub fairness: Option<FairnessConfig>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +152,8 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             batch_window: 0,
+            core: ServeCore::default(),
+            fairness: None,
         }
     }
 }
@@ -108,8 +173,46 @@ pub struct ServeState {
     /// here after a build, so `/v1/metrics` and `/v1/stats` export it
     /// alongside the server's own counters.
     pub extra: obs::Registry,
+    /// The per-peer fairness limiter, when configured. Shared by every
+    /// connection of this server so a peer's budget spans reconnects.
+    pub fairness: Option<PeerLimiter>,
+    /// Reactor-core telemetry (zero while the threaded core runs).
+    pub reactor: ReactorGauges,
     batch_threads: usize,
     started: Instant,
+}
+
+/// Observable reactor internals, exported on `/v1/metrics`: how many
+/// readiness events the loop has consumed, how many connections are
+/// currently armed in epoll, and how many deadline-wheel entries are
+/// outstanding.
+#[derive(Default)]
+pub struct ReactorGauges {
+    /// Total readiness events returned by `epoll_wait` (counter).
+    pub ready_events: AtomicU64,
+    /// Connections currently registered with the reactor (gauge).
+    pub armed_connections: AtomicU64,
+    /// Entries outstanding in the deadline wheel (gauge; includes
+    /// lazily-cancelled stale entries awaiting their tick).
+    pub wheel_depth: AtomicU64,
+}
+
+impl ReactorGauges {
+    pub fn snapshot(&self) -> ReactorSnapshot {
+        ReactorSnapshot {
+            ready_events: self.ready_events.load(Ordering::Relaxed),
+            armed_connections: self.armed_connections.load(Ordering::Relaxed),
+            wheel_depth: self.wheel_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The `reactor` object inside `GET /v1/stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ReactorSnapshot {
+    pub ready_events: u64,
+    pub armed_connections: u64,
+    pub wheel_depth: u64,
 }
 
 /// The `GET /v1/stats` document.
@@ -121,6 +224,8 @@ pub struct StatsSnapshot {
     pub latency: LatencySnapshot,
     /// Peak bytes buffered by any streaming batch (reorder window).
     pub peak_batch_buffer: u64,
+    /// Reactor-core internals (all zero under the threaded core).
+    pub reactor: ReactorSnapshot,
 }
 
 impl ServeState {
@@ -132,6 +237,8 @@ impl ServeState {
             latency: LatencyHistogram::default(),
             peak_batch_buffer: PeakGauge::default(),
             extra: obs::Registry::new(),
+            fairness: config.fairness.map(PeerLimiter::new),
+            reactor: ReactorGauges::default(),
             batch_threads: config.batch_threads,
             started: Instant::now(),
         }
@@ -144,6 +251,7 @@ impl ServeState {
             cache: self.cache.snapshot(),
             latency: self.latency.snapshot(),
             peak_batch_buffer: self.peak_batch_buffer.get() as u64,
+            reactor: self.reactor.snapshot(),
         }
     }
 
@@ -254,6 +362,11 @@ pub fn encode_stats(stats: &StatsSnapshot, enc: &mut obs::Encoder) {
         "Connections closed with 408 by the request deadline.",
         r.timeouts as f64,
     );
+    enc.counter(
+        "langcrux_serve_rate_limited_total",
+        "Requests refused with 429 by the per-peer fairness limiter.",
+        r.rate_limited as f64,
+    );
     let c = &stats.cache;
     enc.counter(
         "langcrux_serve_cache_hits_total",
@@ -296,6 +409,22 @@ pub fn encode_stats(stats: &StatsSnapshot, enc: &mut obs::Encoder) {
         "langcrux_serve_peak_batch_buffer_bytes",
         "Peak bytes parked in a streaming-batch reorder window.",
         stats.peak_batch_buffer as f64,
+    );
+    let rx = &stats.reactor;
+    enc.counter(
+        "langcrux_serve_reactor_ready_events_total",
+        "Readiness events consumed by the reactor's epoll loop.",
+        rx.ready_events as f64,
+    );
+    enc.gauge(
+        "langcrux_serve_reactor_armed_connections",
+        "Connections currently registered with the reactor.",
+        rx.armed_connections as f64,
+    );
+    enc.gauge(
+        "langcrux_serve_reactor_wheel_depth",
+        "Deadline-wheel entries outstanding (incl. stale lazy-cancelled).",
+        rx.wheel_depth as f64,
     );
 }
 
@@ -465,7 +594,7 @@ pub fn batch_buffered(state: &ServeState, pages: &[String]) -> Vec<u8> {
 /// order as the work-stealing pool completes them, at most a bounded
 /// reorder window of elements in memory. The de-chunked bytes are
 /// byte-identical to [`batch_buffered`] for the same pages.
-fn stream_batch(
+pub(crate) fn stream_batch(
     stream: &mut TcpStream,
     state: &ServeState,
     config: &ServeConfig,
@@ -591,21 +720,30 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Start the server. Returns once the listener is bound, with the accept
-/// loop running in the background.
+/// Start the server with the configured [`ServeCore`]. Returns once the
+/// listener is bound, with the connection engine running in the
+/// background. Both cores sit behind the same [`ServerHandle`]:
+/// `shutdown()` is flag + self-connect + join either way.
 pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr)?;
     let addr = listener.local_addr()?;
     let state = Arc::new(ServeState::new(&config));
     let shutdown = Arc::new(AtomicBool::new(false));
 
+    let core = config.core.effective();
     let accept = {
         let state = Arc::clone(&state);
         let shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()
-            .name("serve-accept".to_string())
-            .spawn(move || accept_loop(listener, state, shutdown, config))
-            .expect("spawn accept thread")
+            .name(format!("serve-{}", core.name()))
+            .spawn(move || match core {
+                ServeCore::Threaded => accept_loop(listener, state, shutdown, config),
+                #[cfg(target_os = "linux")]
+                ServeCore::Reactor => crate::reactor::run(listener, state, shutdown, config),
+                #[cfg(not(target_os = "linux"))]
+                ServeCore::Reactor => unreachable!("effective() falls back off Linux"),
+            })
+            .expect("spawn connection-engine thread")
     };
 
     Ok(ServerHandle {
@@ -616,7 +754,7 @@ pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(
+pub(crate) fn accept_loop(
     listener: TcpListener,
     state: Arc<ServeState>,
     shutdown: Arc<AtomicBool>,
@@ -764,6 +902,19 @@ fn handle_connection(
                     // (parser never empty) would be cut off with a
                     // spurious 408 after request_deadline.
                     request_started = None;
+                    // Per-peer fairness: a drained token bucket answers
+                    // 429 + Retry-After and closes, before routing.
+                    if let Some(limiter) = &state.fairness {
+                        if let Ok(peer) = stream.peer_addr() {
+                            if !limiter.admit(peer.ip()) {
+                                state.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+                                let _ = stream.write_all(&http::rate_limited_response_bytes(
+                                    limiter.retry_after_secs(),
+                                ));
+                                return Ok(());
+                            }
+                        }
+                    }
                     let started = Instant::now();
                     let keep = match route(state, &request) {
                         Routed::Response(response) => {
@@ -1190,6 +1341,21 @@ mod tests {
             405
         );
         assert_eq!(state.counters.snapshot().errors, 3);
+    }
+
+    #[test]
+    fn serve_core_selection_and_fallback() {
+        assert_eq!(ServeCore::ALL, [ServeCore::Threaded, ServeCore::Reactor]);
+        assert_eq!(ServeCore::Threaded.name(), "threaded");
+        assert_eq!(ServeCore::Reactor.name(), "reactor");
+        assert_eq!(ServeCore::Threaded.effective(), ServeCore::Threaded);
+        if cfg!(target_os = "linux") {
+            assert_eq!(ServeCore::default(), ServeCore::Reactor);
+            assert_eq!(ServeCore::Reactor.effective(), ServeCore::Reactor);
+        } else {
+            assert_eq!(ServeCore::default(), ServeCore::Threaded);
+            assert_eq!(ServeCore::Reactor.effective(), ServeCore::Threaded);
+        }
     }
 
     #[test]

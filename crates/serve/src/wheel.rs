@@ -1,0 +1,250 @@
+//! The reactor's deadline wheel: a hashed timing wheel that replaces the
+//! per-thread read/write timeouts of the thread-per-connection core.
+//!
+//! One wheel serves every connection the reactor owns. Entries are
+//! `(token, gen)` pairs — the connection's reactor token plus a
+//! generation counter — so cancellation is lazy: instead of hunting an
+//! entry down when a connection's deadline moves (every completed
+//! request re-arms the slowloris timer), the connection bumps its
+//! generation and the stale entry is discarded when it fires. At most
+//! one *live* entry exists per connection; expired-but-stale entries
+//! cost one HashMap probe each.
+//!
+//! The wheel is tick-based and pure in `(insert, advance)` calls — no
+//! clock access — so its arithmetic is unit-testable without time. The
+//! reactor maps wall time onto ticks ([`TICK_MS`] granularity) and
+//! re-validates every fired entry against real `Instant`s before acting,
+//! which also handles deadlines coarser than a tick: an entry that fires
+//! early is simply re-inserted at the remaining delay.
+
+/// Wheel granularity. Fine enough for the serve deadlines (the shortest
+/// production deadline is the 250 ms shed write window; the torture
+/// suite's 300 ms slowloris deadline resolves to 12 ticks).
+pub const TICK_MS: u64 = 25;
+
+/// One armed deadline: the connection token and the generation the
+/// connection carried when the entry was inserted. A fired entry whose
+/// generation no longer matches the connection's is stale — cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerEntry {
+    pub token: u64,
+    pub gen: u64,
+}
+
+/// A hashed timing wheel: `slot = deadline_tick % slots`. Entries whose
+/// deadline lies more than one revolution out simply stay in their slot
+/// until the cursor passes them with the right tick count — the classic
+/// "rounds" scheme, expressed by storing the absolute deadline tick.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<(u64, TimerEntry)>>,
+    now_tick: u64,
+    len: usize,
+    /// Cached earliest armed deadline — exact while `Some`. Inserts keep
+    /// it exact in O(1); `advance` invalidates it only when the cursor
+    /// reaches it, so the full-wheel rescan in [`next_deadline_tick`]
+    /// runs once per fired deadline instead of once per reactor loop
+    /// iteration (the reactor polls this with thousands of idle
+    /// connections armed).
+    earliest: Option<u64>,
+}
+
+impl TimerWheel {
+    /// A wheel with `slot_count` slots (clamped to at least 2). Slot
+    /// count trades memory for collision rate; 256 slots at 25 ms ticks
+    /// cover 6.4 s per revolution — past every default serve deadline.
+    pub fn new(slot_count: usize) -> Self {
+        TimerWheel {
+            slots: vec![Vec::new(); slot_count.max(2)],
+            now_tick: 0,
+            len: 0,
+            earliest: None,
+        }
+    }
+
+    /// The tick the wheel has advanced to.
+    pub fn now_tick(&self) -> u64 {
+        self.now_tick
+    }
+
+    /// Armed entries (live and stale alike) — the `wheel_depth` gauge.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arm an entry at an absolute tick. A deadline at or before the
+    /// current tick is clamped to the next tick — the wheel never fires
+    /// an entry in the same `advance` that armed it, so a connection
+    /// re-arming itself from a timer callback cannot livelock the
+    /// expiry pass.
+    pub fn insert_at(&mut self, deadline_tick: u64, token: u64, gen: u64) {
+        let tick = deadline_tick.max(self.now_tick + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((tick, TimerEntry { token, gen }));
+        self.len += 1;
+        self.earliest = Some(self.earliest.map_or(tick, |e| e.min(tick)));
+    }
+
+    /// Advance the cursor to `to_tick`, appending every entry whose
+    /// deadline has passed to `expired`. Entries in a visited slot with
+    /// a later deadline (a future revolution) are left in place.
+    pub fn advance(&mut self, to_tick: u64, expired: &mut Vec<TimerEntry>) {
+        let slot_count = self.slots.len() as u64;
+        while self.now_tick < to_tick {
+            // A jump larger than one revolution only needs one pass over
+            // the wheel: every slot is visited within `slot_count` steps
+            // and the `deadline <= now` test does the rest.
+            self.now_tick = if to_tick - self.now_tick > slot_count {
+                to_tick - slot_count
+            } else {
+                self.now_tick + 1
+            };
+            let slot = (self.now_tick % slot_count) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].0 <= self.now_tick {
+                    let (_, entry) = bucket.swap_remove(i);
+                    expired.push(entry);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // The cached minimum's entry has expired once the cursor reaches
+        // it; the next `next_deadline_tick` call rescans.
+        if self.earliest.is_some_and(|e| self.now_tick >= e) {
+            self.earliest = None;
+        }
+    }
+
+    /// The earliest armed deadline tick, if any — the reactor bounds its
+    /// poll timeout by this so a lone short deadline is not stretched to
+    /// the idle poll interval. Served from the O(1) cache; the wheel is
+    /// only rescanned right after the previous minimum fired.
+    pub fn next_deadline_tick(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            self.earliest = None;
+            return None;
+        }
+        if self.earliest.is_none() {
+            self.earliest = self
+                .slots
+                .iter()
+                .flat_map(|bucket| bucket.iter().map(|(tick, _)| *tick))
+                .min();
+        }
+        self.earliest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimerWheel, to_tick: u64) -> Vec<TimerEntry> {
+        let mut expired = Vec::new();
+        wheel.advance(to_tick, &mut expired);
+        expired
+    }
+
+    #[test]
+    fn fires_at_the_armed_tick_not_before() {
+        let mut wheel = TimerWheel::new(8);
+        wheel.insert_at(5, 1, 0);
+        assert!(drain(&mut wheel, 4).is_empty());
+        assert_eq!(wheel.len(), 1);
+        let fired = drain(&mut wheel, 5);
+        assert_eq!(fired, vec![TimerEntry { token: 1, gen: 0 }]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_clamp_to_the_next_tick() {
+        let mut wheel = TimerWheel::new(8);
+        drain(&mut wheel, 10);
+        wheel.insert_at(3, 7, 2); // already in the past
+        assert!(drain(&mut wheel, 10).is_empty(), "same tick must not fire");
+        let fired = drain(&mut wheel, 11);
+        assert_eq!(fired, vec![TimerEntry { token: 7, gen: 2 }]);
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_wait_their_rounds() {
+        // Slot collision: ticks 3 and 11 share slot 3 on an 8-slot wheel.
+        let mut wheel = TimerWheel::new(8);
+        wheel.insert_at(3, 1, 0);
+        wheel.insert_at(11, 2, 0);
+        let fired = drain(&mut wheel, 8);
+        assert_eq!(fired, vec![TimerEntry { token: 1, gen: 0 }]);
+        assert_eq!(wheel.len(), 1, "the round-2 entry must survive");
+        let fired = drain(&mut wheel, 11);
+        assert_eq!(fired, vec![TimerEntry { token: 2, gen: 0 }]);
+    }
+
+    #[test]
+    fn large_jumps_expire_everything_due() {
+        let mut wheel = TimerWheel::new(8);
+        for token in 0..20 {
+            wheel.insert_at(token + 1, token, 0);
+        }
+        // Jump far past every deadline in one advance (several
+        // revolutions of an 8-slot wheel).
+        let mut fired = drain(&mut wheel, 1_000);
+        assert_eq!(fired.len(), 20);
+        fired.sort_by_key(|e| e.token);
+        let tokens: Vec<u64> = fired.iter().map(|e| e.token).collect();
+        assert_eq!(tokens, (0..20).collect::<Vec<_>>());
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn generations_ride_along_for_lazy_cancellation() {
+        let mut wheel = TimerWheel::new(8);
+        // The same connection re-arms: the old entry is not removed, the
+        // caller discriminates by generation when entries fire.
+        wheel.insert_at(2, 9, 0);
+        wheel.insert_at(4, 9, 1);
+        assert_eq!(wheel.len(), 2);
+        let fired = drain(&mut wheel, 4);
+        assert_eq!(fired.len(), 2);
+        assert!(fired.contains(&TimerEntry { token: 9, gen: 0 }));
+        assert!(fired.contains(&TimerEntry { token: 9, gen: 1 }));
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_minimum() {
+        let mut wheel = TimerWheel::new(8);
+        assert_eq!(wheel.next_deadline_tick(), None);
+        wheel.insert_at(40, 1, 0);
+        wheel.insert_at(12, 2, 0);
+        assert_eq!(wheel.next_deadline_tick(), Some(12));
+        drain(&mut wheel, 12);
+        assert_eq!(wheel.next_deadline_tick(), Some(40));
+    }
+
+    #[test]
+    fn next_deadline_cache_survives_interleaved_inserts_and_advances() {
+        let mut wheel = TimerWheel::new(8);
+        wheel.insert_at(40, 1, 0);
+        // An advance that does NOT reach the minimum keeps the cache.
+        drain(&mut wheel, 5);
+        assert_eq!(wheel.next_deadline_tick(), Some(40));
+        // A later insert below the cached minimum updates it exactly.
+        wheel.insert_at(20, 2, 0);
+        assert_eq!(wheel.next_deadline_tick(), Some(20));
+        // Past-deadline inserts clamp, and the clamped tick is cached.
+        drain(&mut wheel, 20);
+        wheel.insert_at(3, 3, 0);
+        assert_eq!(wheel.next_deadline_tick(), Some(21));
+        drain(&mut wheel, 21);
+        assert_eq!(wheel.next_deadline_tick(), Some(40));
+        drain(&mut wheel, 40);
+        assert_eq!(wheel.next_deadline_tick(), None);
+    }
+}

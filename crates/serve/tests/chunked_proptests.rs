@@ -15,6 +15,8 @@
 use langcrux_serve::http::{Limits, ParseError, Request, RequestParser};
 use proptest::prelude::*;
 
+mod common;
+
 /// Feed `bytes` split at `cuts` (offsets taken modulo the length, any
 /// order, duplicates fine) and return the first complete poll result.
 fn parse_torn(bytes: &[u8], cuts: &[usize], limits: Limits) -> Result<Option<Request>, ParseError> {
@@ -187,5 +189,34 @@ proptest! {
         let err = parse_torn(&raw, &cuts, limits).unwrap_err();
         prop_assert_eq!(&err, &ParseError::BodyTooLarge(128 + over));
         prop_assert_eq!(err.status(), 413);
+    }
+
+    /// Live-server tear replay across cores: a chunked audit, torn at an
+    /// arbitrary offset (chunk-size lines, data CRLFs, and the trailer
+    /// block included), must be answered byte-identically by both cores.
+    #[test]
+    fn torn_chunked_audit_is_identical_across_cores(
+        body in prop::collection::vec(any::<u8>(), 1..200),
+        splits in prop::collection::vec(0usize..256, 0..5),
+        cut in 0usize..1024,
+    ) {
+        let raw = build_chunked(
+            "/v1/audit",
+            &body,
+            &splits,
+            "x=1",
+            &[("X-Trailer".to_string(), "ignored".to_string())],
+        );
+        let replies = common::replay_torn_across_cores(&raw, cut);
+        prop_assert!(!replies[0].1.is_empty(), "no response on {}", replies[0].0.name());
+        for (core, reply) in &replies[1..] {
+            prop_assert_eq!(
+                reply,
+                &replies[0].1,
+                "{} drifted from {}",
+                core.name(),
+                replies[0].0.name()
+            );
+        }
     }
 }

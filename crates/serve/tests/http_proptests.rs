@@ -8,6 +8,8 @@
 use langcrux_serve::http::{Limits, ParseError, Request, RequestParser};
 use proptest::prelude::*;
 
+mod common;
+
 /// Parse a full byte stream in one feed.
 fn parse_one_shot(bytes: &[u8], limits: Limits) -> Result<Option<Request>, ParseError> {
     let mut parser = RequestParser::new(limits);
@@ -140,6 +142,28 @@ proptest! {
         let result = parse_chunked(raw.as_bytes(), &cuts, Limits::default());
         let err = result.unwrap_err();
         prop_assert_eq!(err.status(), 400);
+    }
+
+    /// Live-server tear replay across cores: the same torn audit stream
+    /// (valid or invalid UTF-8 → 200 or 400) answered by the threaded
+    /// oracle and the reactor produces byte-identical response streams.
+    #[test]
+    fn torn_audit_replay_is_identical_across_cores(
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        cut in 0usize..1024,
+    ) {
+        let raw = build_request("/v1/audit", &[("Host".to_string(), "xc".to_string())], &body);
+        let replies = common::replay_torn_across_cores(&raw, cut);
+        prop_assert!(!replies[0].1.is_empty(), "no response on {}", replies[0].0.name());
+        for (core, reply) in &replies[1..] {
+            prop_assert_eq!(
+                reply,
+                &replies[0].1,
+                "{} drifted from {}",
+                core.name(),
+                replies[0].0.name()
+            );
+        }
     }
 }
 

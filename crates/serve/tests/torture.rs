@@ -14,9 +14,15 @@
 //! * **graceful drain** — shutdown under load: the in-flight (streamed
 //!   batch) response completes byte-perfect, new connections are
 //!   refused.
+//!
+//! Every scenario runs against both serve cores (`common::for_each_core`):
+//! the thread-per-connection oracle and the epoll reactor must satisfy
+//! identical guarantees.
 
 use langcrux_serve::loadgen::{get, post, read_response};
-use langcrux_serve::{spawn, ServeConfig, ServerHandle};
+use langcrux_serve::{spawn, ServeConfig, ServeCore, ServerHandle};
+
+mod common;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -48,7 +54,12 @@ const PAGE: &str = "<html lang=hi><head><title>समाचार</title></head>
 
 #[test]
 fn slowloris_headers_hit_the_deadline_not_a_hang() {
+    common::for_each_core(slowloris_headers_hit_the_deadline);
+}
+
+fn slowloris_headers_hit_the_deadline(core: ServeCore) {
     let server = spawn(ServeConfig {
+        core,
         request_deadline: Duration::from_millis(300),
         // Idle timeout far beyond the deadline: if the connection dies
         // within ~the deadline it was the slowloris bound, not idleness.
@@ -115,12 +126,17 @@ fn slowloris_headers_hit_the_deadline_not_a_hang() {
 
 #[test]
 fn sustained_pipelining_is_not_mistaken_for_slowloris() {
+    common::for_each_core(sustained_pipelining_is_not_cut_off);
+}
+
+fn sustained_pipelining_is_not_cut_off(core: ServeCore) {
     // A fast, valid client that pipelines nonstop keeps the parser
     // mid-request almost permanently (reads tear at arbitrary offsets).
     // The request deadline must bound a *single* request's parse — it
     // resets on every completed request — so sustained pipelining far
     // past the deadline must never be answered 408.
     let server = spawn(ServeConfig {
+        core,
         request_deadline: Duration::from_millis(300),
         ..ServeConfig::default()
     })
@@ -166,9 +182,14 @@ fn sustained_pipelining_is_not_mistaken_for_slowloris() {
 
 #[test]
 fn connection_cap_storm_sheds_exactly_the_overflow() {
+    common::for_each_core(connection_cap_storm_sheds_overflow);
+}
+
+fn connection_cap_storm_sheds_overflow(core: ServeCore) {
     const CAP: usize = 2;
     const OVERFLOW: usize = 3;
     let server = spawn(ServeConfig {
+        core,
         max_connections: CAP,
         accept_queue: 0,
         ..ServeConfig::default()
@@ -231,6 +252,10 @@ fn connection_cap_storm_sheds_exactly_the_overflow() {
 
 #[test]
 fn pipelined_chunked_requests_torn_at_every_chunk_boundary() {
+    common::for_each_core(chunked_requests_torn_at_every_boundary);
+}
+
+fn chunked_requests_torn_at_every_boundary(core: ServeCore) {
     // Two pipelined chunked audits over one connection. The stream is
     // torn in two at every chunk boundary (and the head/trailer seams);
     // every tear must produce the same two responses as the untorn
@@ -261,7 +286,11 @@ fn pipelined_chunked_requests_torn_at_every_chunk_boundary() {
         raw
     }
 
-    let server = spawn(ServeConfig::default()).expect("spawn");
+    let server = spawn(ServeConfig {
+        core,
+        ..ServeConfig::default()
+    })
+    .expect("spawn");
 
     // Oracle: the same bodies as Content-Length requests.
     let mut scratch = Vec::new();
@@ -297,7 +326,12 @@ fn pipelined_chunked_requests_torn_at_every_chunk_boundary() {
 
 #[test]
 fn graceful_drain_completes_in_flight_and_refuses_new() {
+    common::for_each_core(graceful_drain_completes_in_flight);
+}
+
+fn graceful_drain_completes_in_flight(core: ServeCore) {
     let server = spawn(ServeConfig {
+        core,
         batch_threads: 2,
         ..ServeConfig::default()
     })
