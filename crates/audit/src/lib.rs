@@ -13,11 +13,15 @@
 //! * [`rules`] — per-element rule logic and Axe impact weights.
 //! * [`report`] — page-level audits and the weighted 0–100 score.
 //! * [`matrix`] — the Appendix D isolated-probe experiment (Table 3).
+//! * [`gaps`] — per-subtree translation-gap detection: which regions of a
+//!   page disagree with its declared or evident language.
 
+pub mod gaps;
 pub mod matrix;
 pub mod report;
 pub mod rules;
 
+pub use gaps::{gap_report, GapKind, GapRegion, GapReport, MIN_REGION_EVIDENCE};
 pub use matrix::{lighthouse_matrix, probe_page, Condition, MatrixRow};
 pub use report::{audit_page, AuditOutcome, AuditReport, OTHER_AUDITS_WEIGHT};
 pub use rules::{element_passes, weight};

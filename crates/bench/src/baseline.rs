@@ -589,6 +589,7 @@ fn process_site_seed(
         base_score: base.score,
         kizuki_score,
         kizuki_eligible: Kizuki::figure6_eligible(&base),
+        gaps: None,
     }
 }
 

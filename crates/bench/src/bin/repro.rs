@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S]
-//!       [--fault-plan reliable|default|hostile|PATH.json]
+//!       [--fault-plan reliable|default|hostile|PATH.json] [--gap-scenarios]
 //!       [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE]
 //!       [--report] [--bench-json [PATH]] [--serve-bench [PATH]]
 //!       [--serve-daemon [PATH]] [--serve-core threaded|reactor]
@@ -59,6 +59,13 @@
 //! load-gen run against an *external* server and exits non-zero on any
 //! failed request.
 //!
+//! `--gap-scenarios` enables the corpus's partial-localisation
+//! scenarios (untranslated chrome, per-subtree `lang` mismatches,
+//! fallback English strings): the dataset's site records carry gap
+//! verdicts, the ledger counts gap pages/regions per country, and a
+//! `gaps:` stderr line summarises the run. Without the flag the corpus,
+//! dataset, and ledger bytes are identical to the historical run.
+//!
 //! `--fault-plan` selects the simulated network's fault behaviour for
 //! the dataset build: a preset name (`reliable`, `default`, `hostile`)
 //! or a path to a JSON file with any subset of `FaultPlan`'s fields
@@ -101,6 +108,8 @@ struct Args {
     loadgen: Option<String>,
     /// Fault plan for the dataset build (default: the default plan).
     fault_plan: langcrux_net::FaultPlan,
+    /// Enable the corpus's translation-gap scenarios (`--gap-scenarios`).
+    gap_scenarios: bool,
     /// `Some(path)` when `--trace-out` was requested.
     trace_out: Option<String>,
     /// Print the per-stage span summary table after the build.
@@ -130,6 +139,7 @@ fn parse_args() -> Args {
     let mut scale_overridden = false;
     let mut seed = DEFAULT_SEED;
     let mut fault_plan = langcrux_net::FaultPlan::default();
+    let mut gap_scenarios = false;
     let mut bench_json = None;
     let mut serve_bench = None;
     let mut serve_daemon = None;
@@ -170,6 +180,9 @@ fn parse_args() -> Args {
                     .next()
                     .expect("--fault-plan requires reliable|default|hostile|PATH.json");
                 fault_plan = resolve_fault_plan(&value);
+            }
+            "--gap-scenarios" => {
+                gap_scenarios = true;
             }
             "--bench-json" => {
                 // Only a `.json`-looking token is taken as the output path,
@@ -231,7 +244,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "repro [ARTIFACT...] [--sites N | --quick | --full] [--seed S] \
-                     [--fault-plan reliable|default|hostile|PATH.json] \
+                     [--fault-plan reliable|default|hostile|PATH.json] [--gap-scenarios] \
                      [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE] [--report] \
                      [--bench-json [PATH]] [--serve-bench [PATH]] \
                      [--serve-daemon [PATH]] [--serve-core threaded|reactor] \
@@ -262,6 +275,7 @@ fn parse_args() -> Args {
         port,
         loadgen,
         fault_plan,
+        gap_scenarios,
         trace_out,
         trace_summary,
         metrics_out,
@@ -526,8 +540,12 @@ fn main() {
         let session = trace_wanted
             .then(|| langcrux_obs::trace::start(langcrux_obs::trace::TraceConfig::default()));
         let start = std::time::Instant::now();
-        let (corpus, ds, ledger) =
-            langcrux_bench::build_scaled_dataset_with_plan(args.seed, args.scale, args.fault_plan);
+        let (corpus, ds, ledger) = langcrux_bench::build_scaled_dataset_with_gaps(
+            args.seed,
+            args.scale,
+            args.fault_plan,
+            args.gap_scenarios,
+        );
         eprintln!(
             "dataset ready: {} sites in {:.1?}",
             ds.len(),
@@ -574,6 +592,12 @@ fn main() {
             totals.poisoned_sites.len(),
             totals.breaker_opened,
         );
+        if args.gap_scenarios {
+            eprintln!(
+                "gaps: {} page(s) with translation gaps, {} region(s) flagged",
+                ledger.totals.gap_pages, ledger.totals.gap_regions,
+            );
+        }
         let ledger_json = ledger.to_json().expect("serialize crawl ledger");
         std::fs::write("crawl-ledger.json", ledger_json + "\n").expect("write crawl-ledger.json");
         eprintln!("wrote crawl-ledger.json");

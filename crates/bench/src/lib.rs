@@ -78,10 +78,18 @@ pub fn build_corpus(seed: u64, scale: Scale) -> Corpus {
 
 /// Build the corpus at a given scale under an explicit fault plan.
 pub fn build_corpus_with_plan(seed: u64, scale: Scale, plan: FaultPlan) -> Corpus {
+    build_corpus_with_gaps(seed, scale, plan, false)
+}
+
+/// [`build_corpus_with_plan`] with the translation-gap scenarios toggled
+/// explicitly (what `repro --gap-scenarios` builds). With `gaps` off the
+/// corpus is byte-identical to the historical one.
+pub fn build_corpus_with_gaps(seed: u64, scale: Scale, plan: FaultPlan, gaps: bool) -> Corpus {
     Corpus::build(CorpusConfig {
         seed,
         sites_per_country: scale.sites_per_country(),
         fault_plan: plan,
+        gap_scenarios: gaps,
         ..CorpusConfig::default()
     })
 }
@@ -117,7 +125,20 @@ pub fn build_scaled_dataset_with_plan(
     scale: Scale,
     plan: FaultPlan,
 ) -> (Corpus, Dataset, CrawlLedger) {
-    let corpus = build_corpus_with_plan(seed, scale, plan);
+    build_scaled_dataset_with_gaps(seed, scale, plan, false)
+}
+
+/// [`build_scaled_dataset_with_plan`] with the translation-gap scenarios
+/// toggled explicitly. Gaps off reproduces the historical bytes; gaps on
+/// adds the partial-localisation scenarios to the corpus and the gap
+/// verdicts to the dataset and ledger.
+pub fn build_scaled_dataset_with_gaps(
+    seed: u64,
+    scale: Scale,
+    plan: FaultPlan,
+    gaps: bool,
+) -> (Corpus, Dataset, CrawlLedger) {
+    let corpus = build_corpus_with_gaps(seed, scale, plan, gaps);
     let (dataset, ledger) = build_dataset_with_ledger(
         &corpus,
         PipelineOptions {

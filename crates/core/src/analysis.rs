@@ -518,6 +518,7 @@ mod tests {
             base_score: 95.0,
             kizuki_score: 88.0,
             kizuki_eligible: true,
+            gaps: None,
         }
     }
 

@@ -16,7 +16,7 @@ use langcrux_filter::DiscardCategory;
 use langcrux_lang::a11y::ElementKind;
 use langcrux_lang::Country;
 use langcrux_langid::LabelLanguage;
-use serde::{Deserialize, Serialize};
+use serde::{field, DeError, Deserialize, Serialize, Value};
 
 /// State of one accessibility element on a site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,8 +45,37 @@ pub struct ElementRecord {
     pub state: TextState,
 }
 
+/// Per-site translation-gap summary, aggregated from the audit layer's
+/// [`GapReport`](langcrux_audit::GapReport) and Kizuki's speak-order
+/// outcome model. Present only on gap-enabled runs where at least one
+/// region was flagged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteGaps {
+    /// Flagged regions on the landing page.
+    pub regions: u32,
+    /// Untranslated `nav`/`header`/`footer` chrome landmarks.
+    pub chrome: u32,
+    /// Subtrees whose `lang` attribute contradicts their content.
+    pub lang_attr: u32,
+    /// Unmarked foreign-script fallback regions.
+    pub fallback: u32,
+    /// Foreign distinguishing characters across flagged regions.
+    pub foreign_chars: u64,
+    /// Gap regions a VoiceOver-like reader would mispronounce (it picks
+    /// an engine for the claimed language and reads foreign text with it).
+    pub mispronounced: u32,
+    /// Gap regions such a reader would skip outright (no engine at all).
+    pub skipped: u32,
+}
+
 /// One website in the dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) for one reason: the
+/// optional `gaps` object must be *absent* — not `null` — when a site has
+/// no translation-gap summary, so datasets built with gap scenarios
+/// disabled serialize byte-identically to those produced before the gap
+/// dimension existed. The field order matches the old derive exactly.
+#[derive(Debug, Clone)]
 pub struct SiteRecord {
     pub host: String,
     pub country: Country,
@@ -66,6 +95,63 @@ pub struct SiteRecord {
     pub kizuki_score: f64,
     /// Whether the site passes base `image-alt` (Figure 6 eligibility).
     pub kizuki_eligible: bool,
+    /// Translation-gap summary; `None` when gap scenarios were disabled
+    /// or the page audited clean.
+    pub gaps: Option<SiteGaps>,
+}
+
+impl Serialize for SiteRecord {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("host".to_string(), self.host.to_value()),
+            ("country".to_string(), self.country.to_value()),
+            ("rank".to_string(), self.rank.to_value()),
+            (
+                "visible_native_pct".to_string(),
+                self.visible_native_pct.to_value(),
+            ),
+            (
+                "visible_english_pct".to_string(),
+                self.visible_english_pct.to_value(),
+            ),
+            ("declared_lang".to_string(), self.declared_lang.to_value()),
+            ("elements".to_string(), self.elements.to_value()),
+            ("base_score".to_string(), self.base_score.to_value()),
+            ("kizuki_score".to_string(), self.kizuki_score.to_value()),
+            (
+                "kizuki_eligible".to_string(),
+                self.kizuki_eligible.to_value(),
+            ),
+        ];
+        if let Some(gaps) = &self.gaps {
+            obj.push(("gaps".to_string(), gaps.to_value()));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for SiteRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        Ok(SiteRecord {
+            host: field(obj, "host")?,
+            country: field(obj, "country")?,
+            rank: field(obj, "rank")?,
+            visible_native_pct: field(obj, "visible_native_pct")?,
+            visible_english_pct: field(obj, "visible_english_pct")?,
+            declared_lang: field(obj, "declared_lang")?,
+            elements: field(obj, "elements")?,
+            base_score: field(obj, "base_score")?,
+            kizuki_score: field(obj, "kizuki_score")?,
+            kizuki_eligible: field(obj, "kizuki_eligible")?,
+            gaps: match v.get("gaps") {
+                Some(g) => Some(SiteGaps::from_value(g)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl SiteRecord {
@@ -241,6 +327,7 @@ mod tests {
             base_score: 93.0,
             kizuki_score: 86.0,
             kizuki_eligible: true,
+            gaps: None,
         }
     }
 
@@ -290,6 +377,38 @@ mod tests {
         assert_eq!(back.records[0].host, "sangbad-1.bd");
         assert_eq!(back.records[0].elements.len(), 6);
         assert_eq!(back.crawl_summaries[0].selected, 10);
+    }
+
+    #[test]
+    fn gap_summary_is_absent_not_null_when_missing() {
+        let r = record();
+        let v = r.to_value();
+        assert!(
+            v.get("gaps").is_none(),
+            "a gap-free record must not carry a `gaps` key at all"
+        );
+        // And a pre-gap-dimension record (no `gaps` key) still loads.
+        let back = SiteRecord::from_value(&v).unwrap();
+        assert_eq!(back.gaps, None);
+        assert_eq!(back.host, r.host);
+    }
+
+    #[test]
+    fn gap_summary_round_trips_when_present() {
+        let mut r = record();
+        r.gaps = Some(SiteGaps {
+            regions: 3,
+            chrome: 2,
+            lang_attr: 1,
+            fallback: 0,
+            foreign_chars: 184,
+            mispronounced: 2,
+            skipped: 1,
+        });
+        let v = r.to_value();
+        assert!(v.get("gaps").is_some());
+        let back = SiteRecord::from_value(&v).unwrap();
+        assert_eq!(back.gaps, r.gaps);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::selection::{Rejection, SelectedSite};
 use langcrux_crawl::{VisitError, VisitTrace};
 use langcrux_net::{FaultPlan, FetchError};
-use serde::{Deserialize, Serialize};
+use serde::{field, DeError, Deserialize, Serialize, Value};
 
 /// Terminal error counts, bucketed by the expanded fault taxonomy.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,7 +69,13 @@ impl ErrorTaxonomy {
 }
 
 /// One country's degraded-run account.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written so the translation-gap counters — which
+/// only a gap-enabled corpus can make nonzero — are *omitted* when zero.
+/// Ledgers from runs with gap scenarios disabled therefore serialize
+/// byte-identically to ledgers produced before the gap dimension existed,
+/// and old ledger JSON still deserializes (missing counters read as 0).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CountryLedger {
     pub country_code: String,
     /// Candidates consumed by the replacement walk.
@@ -108,6 +114,94 @@ pub struct CountryLedger {
     pub max_replacement_run: u64,
     /// Hosts whose site analysis panicked and was contained.
     pub poisoned_sites: Vec<String>,
+    /// Selected pages carrying at least one translation-gap region.
+    pub gap_pages: u64,
+    /// Translation-gap regions flagged across the country's pages.
+    pub gap_regions: u64,
+}
+
+impl Serialize for CountryLedger {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("country_code".to_string(), self.country_code.to_value()),
+            ("attempted".to_string(), self.attempted.to_value()),
+            ("selected".to_string(), self.selected.to_value()),
+            ("attempts".to_string(), self.attempts.to_value()),
+            ("retries".to_string(), self.retries.to_value()),
+            ("errors".to_string(), self.errors.to_value()),
+            (
+                "rejected_threshold".to_string(),
+                self.rejected_threshold.to_value(),
+            ),
+            (
+                "truncated_bodies".to_string(),
+                self.truncated_bodies.to_value(),
+            ),
+            ("garbled_bodies".to_string(), self.garbled_bodies.to_value()),
+            (
+                "backoff_wait_ms".to_string(),
+                self.backoff_wait_ms.to_value(),
+            ),
+            (
+                "breaker_wait_ms".to_string(),
+                self.breaker_wait_ms.to_value(),
+            ),
+            ("virtual_ms".to_string(), self.virtual_ms.to_value()),
+            ("breaker_opened".to_string(), self.breaker_opened.to_value()),
+            ("breaker_probes".to_string(), self.breaker_probes.to_value()),
+            (
+                "breaker_reclosed".to_string(),
+                self.breaker_reclosed.to_value(),
+            ),
+            ("replacements".to_string(), self.replacements.to_value()),
+            (
+                "max_replacement_run".to_string(),
+                self.max_replacement_run.to_value(),
+            ),
+            ("poisoned_sites".to_string(), self.poisoned_sites.to_value()),
+        ];
+        if self.gap_pages != 0 || self.gap_regions != 0 {
+            obj.push(("gap_pages".to_string(), self.gap_pages.to_value()));
+            obj.push(("gap_regions".to_string(), self.gap_regions.to_value()));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for CountryLedger {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        let optional = |name: &str| -> Result<u64, DeError> {
+            match v.get(name) {
+                Some(count) => u64::from_value(count),
+                None => Ok(0),
+            }
+        };
+        Ok(CountryLedger {
+            country_code: field(obj, "country_code")?,
+            attempted: field(obj, "attempted")?,
+            selected: field(obj, "selected")?,
+            attempts: field(obj, "attempts")?,
+            retries: field(obj, "retries")?,
+            errors: field(obj, "errors")?,
+            rejected_threshold: field(obj, "rejected_threshold")?,
+            truncated_bodies: field(obj, "truncated_bodies")?,
+            garbled_bodies: field(obj, "garbled_bodies")?,
+            backoff_wait_ms: field(obj, "backoff_wait_ms")?,
+            breaker_wait_ms: field(obj, "breaker_wait_ms")?,
+            virtual_ms: field(obj, "virtual_ms")?,
+            breaker_opened: field(obj, "breaker_opened")?,
+            breaker_probes: field(obj, "breaker_probes")?,
+            breaker_reclosed: field(obj, "breaker_reclosed")?,
+            replacements: field(obj, "replacements")?,
+            max_replacement_run: field(obj, "max_replacement_run")?,
+            poisoned_sites: field(obj, "poisoned_sites")?,
+            gap_pages: optional("gap_pages")?,
+            gap_regions: optional("gap_regions")?,
+        })
+    }
 }
 
 impl CountryLedger {
@@ -181,6 +275,8 @@ impl CountryLedger {
         self.max_replacement_run = self.max_replacement_run.max(other.max_replacement_run);
         self.poisoned_sites
             .extend(other.poisoned_sites.iter().cloned());
+        self.gap_pages += other.gap_pages;
+        self.gap_regions += other.gap_regions;
     }
 }
 
@@ -319,6 +415,23 @@ impl CrawlLedger {
             "Hosts whose site analysis panicked and was contained.",
             t.poisoned_sites.len() as f64,
         );
+        const GAP_PAGES: &str = "Selected pages with at least one translation-gap region.";
+        const GAP_REGIONS: &str = "Translation-gap regions flagged by the audit.";
+        for c in &self.countries {
+            let labels = [("country", c.country_code.as_str())];
+            enc.counter_with(
+                "langcrux_crawl_gap_pages_total",
+                GAP_PAGES,
+                &labels,
+                c.gap_pages as f64,
+            );
+            enc.counter_with(
+                "langcrux_crawl_gap_regions_total",
+                GAP_REGIONS,
+                &labels,
+                c.gap_regions as f64,
+            );
+        }
     }
 
     /// Serialize to JSON (written alongside the dataset).
@@ -400,6 +513,33 @@ mod tests {
         assert_eq!(ledger.totals.attempts, 3);
         assert_eq!(ledger.totals.errors.restricted, 1);
         assert_eq!(ledger.totals.poisoned_sites, vec!["sangbad-3.bd"]);
+    }
+
+    #[test]
+    fn gap_counters_are_elided_when_zero_and_round_trip_when_set() {
+        // Zero counters: no keys at all, so gap-free ledgers serialize
+        // byte-identically to pre-gap-dimension ledgers …
+        let clean = CountryLedger::new("bd");
+        let v = clean.to_value();
+        assert!(v.get("gap_pages").is_none());
+        assert!(v.get("gap_regions").is_none());
+        // … and old JSON (no keys) still loads, defaulting to 0.
+        let back = CountryLedger::from_value(&v).unwrap();
+        assert_eq!(back, clean);
+
+        let mut gappy = CountryLedger::new("th");
+        gappy.gap_pages = 4;
+        gappy.gap_regions = 11;
+        let v = gappy.to_value();
+        assert!(v.get("gap_pages").is_some());
+        let back = CountryLedger::from_value(&v).unwrap();
+        assert_eq!(back, gappy);
+
+        let mut totals = CountryLedger::new("total");
+        totals.absorb(&clean);
+        totals.absorb(&gappy);
+        assert_eq!(totals.gap_pages, 4);
+        assert_eq!(totals.gap_regions, 11);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod report;
 pub mod selection;
 pub mod stats;
 
-pub use dataset::{Dataset, SiteRecord, TextState};
+pub use dataset::{Dataset, SiteGaps, SiteRecord, TextState};
 pub use ledger::{CountryLedger, CrawlLedger, ErrorTaxonomy};
 pub use pipeline::{build_dataset, build_dataset_with_ledger, PipelineOptions};
 pub use report::markdown_report;

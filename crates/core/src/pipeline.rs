@@ -36,18 +36,18 @@
 //! every worker count.
 
 use crate::dataset::{
-    CountryCrawlSummary, Dataset, ElementRecord, ExtremeExample, MismatchExample, SiteRecord,
-    TextState,
+    CountryCrawlSummary, Dataset, ElementRecord, ExtremeExample, MismatchExample, SiteGaps,
+    SiteRecord, TextState,
 };
 use crate::ledger::{CountryLedger, CrawlLedger};
 use crate::selection::{
     probe_candidate_traced, tally_probe, Rejection, SelectedSite, SelectionStats,
 };
-use langcrux_audit::audit_page;
+use langcrux_audit::{audit_page, gap_report, GapKind};
 use langcrux_crawl::pool::{default_threads, run_work_stealing, run_work_stealing_with};
 use langcrux_crawl::{char_word_counts, Browser, BrowserConfig, VisitTrace};
 use langcrux_filter::classify;
-use langcrux_kizuki::Kizuki;
+use langcrux_kizuki::{page_language, Kizuki, ScreenReader};
 use langcrux_lang::a11y::ElementKind;
 use langcrux_lang::Country;
 use langcrux_langid::{classify_label, LabelLanguage};
@@ -136,6 +136,11 @@ pub fn build_dataset_with_ledger(
     // Hoisted: one Kizuki engine for the whole run (it is stateless and
     // Sync); previously rebuilt per site record.
     let kizuki = Kizuki::standard();
+    // Translation-gap detection runs only when the corpus was built with
+    // gap scenarios enabled; the reference reader maps each flagged
+    // region to what a screen reader would do with it.
+    let gaps_enabled = corpus.config().gap_scenarios;
+    let reader = ScreenReader::voiceover_like();
 
     // ---- Phase 1: probe candidates in waves of (country, chunk) units.
     let mut probes: Vec<CountryProbe> = countries
@@ -236,6 +241,7 @@ pub fn build_dataset_with_ledger(
     }
 
     let kizuki_ref = &kizuki;
+    let reader_ref = &reader;
     let selections_ref = &selections;
     let chunk_outputs = run_work_stealing(threads, &site_tasks, |_, task: &ProbeTask| {
         let (ci, range) = task;
@@ -265,8 +271,15 @@ pub fn build_dataset_with_ledger(
                 }
                 let mut extremes = Vec::new();
                 let mut mismatches = Vec::new();
-                let record =
-                    process_site(site, *country, kizuki_ref, &mut extremes, &mut mismatches);
+                let gap_reader = gaps_enabled.then_some(reader_ref);
+                let record = process_site(
+                    site,
+                    *country,
+                    kizuki_ref,
+                    gap_reader,
+                    &mut extremes,
+                    &mut mismatches,
+                );
                 (record, extremes, mismatches)
             }));
             match unit {
@@ -301,9 +314,17 @@ pub fn build_dataset_with_ledger(
         })
         .collect();
     for ((ci, _), mut out) in site_tasks.iter().zip(chunk_outputs) {
-        country_ledgers[*ci]
-            .poisoned_sites
-            .append(&mut out.poisoned);
+        let ledger = &mut country_ledgers[*ci];
+        ledger.poisoned_sites.append(&mut out.poisoned);
+        // Gap counters fold from the records themselves during the
+        // ordered merge, so — like every other ledger field — they are
+        // independent of which worker analysed which chunk.
+        for record in &out.records {
+            if let Some(gaps) = &record.gaps {
+                ledger.gap_pages += 1;
+                ledger.gap_regions += u64::from(gaps.regions);
+            }
+        }
         let result = &mut results[*ci];
         result.records.append(&mut out.records);
         for e in out.extremes {
@@ -415,10 +436,16 @@ fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
 /// and rescore. Example capture is uncapped here — chunks are merged in
 /// site order and the caller truncates to the configured caps, which
 /// reproduces the sequential "first N qualifying" capture exactly.
+///
+/// `gap_reader` is `Some` only on gap-enabled runs: the page's region
+/// histograms are then classified into a translation-gap summary, with
+/// the reader deciding which flagged regions a screen reader would
+/// mispronounce versus skip.
 fn process_site(
     site: &SelectedSite,
     country: Country,
     kizuki: &Kizuki,
+    gap_reader: Option<&ScreenReader>,
     extremes: &mut Vec<ExtremeExample>,
     mismatches: &mut Vec<MismatchExample>,
 ) -> SiteRecord {
@@ -479,6 +506,23 @@ fn process_site(
 
     let base = audit_page(extract);
     let kizuki_report = kizuki.evaluate(extract, &base);
+    let gaps = gap_reader.and_then(|reader| {
+        let report = gap_report(extract);
+        if report.is_clean() {
+            return None;
+        }
+        let speech = reader.gap_speech(&report, page_language(extract));
+        let count = |kind: GapKind| report.regions.iter().filter(|g| g.kind == kind).count() as u32;
+        Some(SiteGaps {
+            regions: report.regions.len() as u32,
+            chrome: count(GapKind::UntranslatedChrome),
+            lang_attr: count(GapKind::LangAttrMismatch),
+            fallback: count(GapKind::FallbackText),
+            foreign_chars: report.foreign_chars as u64,
+            mispronounced: speech.mispronounced,
+            skipped: speech.skipped,
+        })
+    });
     SiteRecord {
         host: site.plan.host.clone(),
         country,
@@ -490,6 +534,7 @@ fn process_site(
         base_score: base.score,
         kizuki_score: kizuki_report.new_score,
         kizuki_eligible: Kizuki::figure6_eligible(&base),
+        gaps,
     }
 }
 

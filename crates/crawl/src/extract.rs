@@ -14,6 +14,7 @@
 //! this DOM-walking implementation stays as the test oracle and for
 //! callers that already hold a parsed [`Document`].
 
+use crate::regions::{LangRegion, RegionTracker};
 use langcrux_html::dom::{Document, NodeId, NodeKind};
 use langcrux_html::visible::visible_text_histogram;
 use langcrux_lang::a11y::ElementKind;
@@ -79,6 +80,9 @@ pub struct PageExtract {
     pub declared_lang: Option<String>,
     /// All accessibility elements in document order.
     pub elements: Vec<ExtractedElement>,
+    /// Per-subtree language regions of the visible text (document order),
+    /// the input to translation-gap detection. See [`crate::regions`].
+    pub regions: Vec<LangRegion>,
 }
 
 impl PageExtract {
@@ -129,9 +133,12 @@ pub fn char_word_counts(text: &str) -> (usize, usize) {
 /// Extract all accessibility elements plus page-level facts from a DOM.
 pub fn extract(doc: &Document) -> PageExtract {
     let (visible_text, visible_hist) = visible_text_histogram(doc);
+    let mut tracker = RegionTracker::default();
+    langcrux_html::walk_events(doc, &mut tracker);
     let mut out = PageExtract {
         visible_text,
         visible_hist,
+        regions: tracker.finish(),
         ..PageExtract::default()
     };
 

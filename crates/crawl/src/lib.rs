@@ -16,6 +16,9 @@
 //! * [`stream`] — the same extraction streamed from tokenizer events with
 //!   no DOM materialisation ([`extract_streaming`]); the crawl path's
 //!   per-visit hot loop, byte-identical to the DOM path by test.
+//! * [`regions`] — per-subtree language regions of the visible text
+//!   (chrome landmarks, explicit `lang` subtrees), derived identically on
+//!   both extraction paths; the carrier for translation-gap detection.
 //! * [`browser`] — single-page visits under a production retry
 //!   discipline: capped exponential backoff with deterministic jitter,
 //!   per-visit fetch deadlines, and restricted-content detection.
@@ -32,6 +35,7 @@ pub mod browser;
 pub mod clock;
 pub mod extract;
 pub mod pool;
+pub mod regions;
 pub mod stream;
 
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
@@ -44,4 +48,5 @@ pub use pool::{
     crawl_hosts, default_threads, run_work_stealing, run_work_stealing_with, CrawlConfig,
     CrawlOutcome, CrawlStats,
 };
+pub use regions::LangRegion;
 pub use stream::extract_streaming;

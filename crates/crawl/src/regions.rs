@@ -1,0 +1,262 @@
+//! Per-subtree language regions: the extraction-side carrier for
+//! translation-gap detection.
+//!
+//! The paper's core axis is declared vs. actual language, measured over
+//! the whole page. Partially localised sites — translated body text
+//! wrapped in untranslated navigation chrome, or subtrees whose `lang`
+//! attribute disagrees with their content — are invisible to a page-level
+//! histogram. This module attributes every visible text character to the
+//! *innermost language region* it renders in, so `langcrux-audit` can
+//! compare script evidence per region instead of per page.
+//!
+//! A region opens at:
+//!
+//! * the document root (`<html>`, role `"page"`), carrying the declared
+//!   page language;
+//! * a chrome landmark (`nav`/`header`/`footer`/`main`/`aside`),
+//!   inheriting the effective language context;
+//! * any element carrying a `lang` attribute — even one matching the
+//!   inherited language (role = tag name, `explicit = true`): a subtree
+//!   tagged `lang=bn` whose content turns out to be English is exactly
+//!   the mismatch the audit layer wants isolated.
+//!
+//! Text attributes to the innermost open region only — a `nav` region's
+//! histogram never double-counts into the page region. Hidden subtrees
+//! contribute nothing (the `visible` flags of the shared walk).
+//!
+//! `RegionTracker` implements [`StreamSink`] and is fed from *both*
+//! extraction paths — the tokenizer walk via `ExtractSink` and the DOM
+//! oracle via [`langcrux_html::walk_events`] — so the derived regions are
+//! identical by construction wherever the two walks deliver the same
+//! events (pinned in `langcrux-html`).
+
+use langcrux_html::stream::StreamSink;
+use langcrux_html::tokenizer::Attribute;
+use langcrux_lang::script::ScriptHistogram;
+use serde::{Deserialize, Serialize};
+
+/// One visible-text region with a constant language context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LangRegion {
+    /// Structural role: `"page"` for the document root, the landmark name
+    /// for chrome regions, or the tag name for explicit `lang` subtrees.
+    pub role: String,
+    /// Effective declared language as a lowercased primary subtag
+    /// (`"bn"`, `"en"`), explicit or inherited; `None` when no `lang`
+    /// context is in scope.
+    pub lang: Option<String>,
+    /// Whether `lang` comes from a `lang` attribute on this region's own
+    /// root element rather than inherited context.
+    pub explicit: bool,
+    /// Script histogram of the visible text attributed to this region.
+    pub hist: ScriptHistogram,
+}
+
+/// Chrome landmarks that open a region of their own.
+fn is_landmark(name: &str) -> bool {
+    matches!(name, "nav" | "header" | "footer" | "main" | "aside")
+}
+
+/// Normalise a `lang` attribute to its lowercased primary subtag.
+fn primary_subtag(value: &str) -> Option<String> {
+    let primary = value.trim().split(['-', '_']).next().unwrap_or("");
+    (!primary.is_empty()).then(|| primary.to_ascii_lowercase())
+}
+
+/// Per-open-element bookkeeping (one frame per `element_start`).
+struct Frame {
+    opened_region: bool,
+    pushed_lang: bool,
+}
+
+/// Event-driven region builder; see the module docs.
+#[derive(Default)]
+pub(crate) struct RegionTracker {
+    regions: Vec<LangRegion>,
+    /// Indices into `regions` for currently open regions, innermost last.
+    active: Vec<usize>,
+    frames: Vec<Frame>,
+    /// Effective explicit-lang stack (primary subtags, innermost last).
+    langs: Vec<String>,
+}
+
+impl RegionTracker {
+    /// Close out the walk and return regions that saw any visible text,
+    /// in document order of opening.
+    pub(crate) fn finish(self) -> Vec<LangRegion> {
+        self.regions
+            .into_iter()
+            .filter(|r| r.hist.total > 0)
+            .collect()
+    }
+
+    fn open_region(&mut self, role: &str, lang: Option<String>, explicit: bool) {
+        self.regions.push(LangRegion {
+            role: role.to_string(),
+            lang,
+            explicit,
+            hist: ScriptHistogram::default(),
+        });
+        self.active.push(self.regions.len() - 1);
+    }
+}
+
+impl StreamSink for RegionTracker {
+    fn element_start(&mut self, name: &str, attrs: &[Attribute], visible: bool) {
+        let mut frame = Frame {
+            opened_region: false,
+            pushed_lang: false,
+        };
+        if visible {
+            let lang_attr = attrs
+                .iter()
+                .find(|a| a.name == "lang")
+                .and_then(|a| primary_subtag(&a.value));
+            let inherited = self.langs.last().cloned();
+            let root = name == "html" && self.regions.is_empty();
+            if root || lang_attr.is_some() || is_landmark(name) {
+                let role = if root { "page" } else { name };
+                let lang = lang_attr.clone().or(inherited);
+                self.open_region(role, lang, lang_attr.is_some());
+                frame.opened_region = true;
+            }
+            if let Some(lang) = lang_attr {
+                self.langs.push(lang);
+                frame.pushed_lang = true;
+            }
+        }
+        self.frames.push(frame);
+    }
+
+    fn element_end(&mut self, _name: &str) {
+        let frame = self.frames.pop().expect("balanced element events");
+        if frame.opened_region {
+            self.active.pop();
+        }
+        if frame.pushed_lang {
+            self.langs.pop();
+        }
+    }
+
+    fn text(&mut self, text: &str, visible: bool) {
+        if !visible {
+            return;
+        }
+        let idx = match self.active.last() {
+            Some(&idx) => idx,
+            None => {
+                // Visible text before (or outside) any region-opening
+                // element: attribute it to an implicit page region.
+                self.open_region("page", self.langs.last().cloned(), false);
+                // The implicit region has no closing element; leave it
+                // active for the rest of the document.
+                *self.active.last().expect("region just opened")
+            }
+        };
+        let hist = &mut self.regions[idx].hist;
+        for c in text.chars() {
+            hist.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::stream::extract_streaming;
+    use langcrux_html::parse;
+    use langcrux_lang::script::Script;
+
+    fn regions_of(html: &str) -> Vec<LangRegion> {
+        let streamed = extract_streaming(html);
+        let dom = extract(&parse(html));
+        assert_eq!(streamed.regions, dom.regions, "region parity on {html:?}");
+        streamed.regions
+    }
+
+    #[test]
+    fn page_region_carries_declared_lang() {
+        let regions = regions_of("<html lang=bn-IN><body><p>বাংলা</p></body></html>");
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].role, "page");
+        assert_eq!(regions[0].lang.as_deref(), Some("bn"));
+        assert!(regions[0].explicit);
+        assert!(regions[0].hist.count(Script::Bengali) > 0);
+    }
+
+    #[test]
+    fn landmarks_open_their_own_regions() {
+        let regions = regions_of(
+            "<html lang=bn><body><nav>Home About</nav>\
+             <main><p>বাংলা সংবাদ</p></main><footer>Contact</footer></body></html>",
+        );
+        let roles: Vec<&str> = regions.iter().map(|r| r.role.as_str()).collect();
+        assert_eq!(roles, vec!["nav", "main", "footer"]);
+        // Landmark regions inherit the page language, not explicitly.
+        assert!(regions.iter().all(|r| r.lang.as_deref() == Some("bn")));
+        assert!(regions.iter().all(|r| !r.explicit));
+        assert!(regions[0].hist.count(Script::Latin) > 0);
+        assert!(regions[1].hist.count(Script::Bengali) > 0);
+    }
+
+    #[test]
+    fn lang_attrs_open_explicit_regions() {
+        let regions = regions_of(
+            "<html lang=bn><body><p>বাংলা</p>\
+             <section lang=en>English callout</section>\
+             <section lang=bn>ভুল নয়</section></body></html>",
+        );
+        // page + one explicit region per lang-tagged section — including
+        // the one matching the page language, so mistagged content stays
+        // separable from its surroundings.
+        assert_eq!(regions.len(), 3);
+        assert_eq!(regions[1].role, "section");
+        assert_eq!(regions[1].lang.as_deref(), Some("en"));
+        assert!(regions[1].explicit);
+        assert_eq!(
+            regions[1].hist.count(Script::Latin),
+            "Englishcallout".chars().count()
+        );
+        assert_eq!(regions[2].lang.as_deref(), Some("bn"));
+        assert!(regions[2].explicit);
+        assert!(regions[2].hist.count(Script::Bengali) > 0);
+    }
+
+    #[test]
+    fn text_attributes_to_innermost_region_only() {
+        let regions = regions_of("<html lang=th><body>ก่อน<nav>เมนู</nav>หลัง</body></html>");
+        assert_eq!(regions.len(), 2);
+        let page = &regions[0];
+        let nav = &regions[1];
+        assert_eq!(page.hist.count(Script::Thai), 8); // ก่อน + หลัง
+        assert_eq!(nav.hist.count(Script::Thai), 4);
+    }
+
+    #[test]
+    fn hidden_subtrees_contribute_nothing() {
+        let regions =
+            regions_of("<html lang=bn><body><nav hidden>secret nav</nav><p>বাংলা</p></body></html>");
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].role, "page");
+    }
+
+    #[test]
+    fn bare_fragment_gets_an_implicit_page_region() {
+        let regions = regions_of("plain text only");
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].role, "page");
+        assert_eq!(regions[0].lang, None);
+        assert!(!regions[0].explicit);
+    }
+
+    #[test]
+    fn whitespace_only_regions_are_dropped() {
+        let regions = regions_of("<html lang=bn><body><nav>  </nav><p>বাংলা</p></body></html>");
+        // The nav saw only whitespace (Common chars) but did see text, so
+        // it is retained; an empty nav would not be.
+        assert_eq!(regions.len(), 2);
+        let empty = regions_of("<html lang=bn><body><nav></nav><p>বাংলা</p></body></html>");
+        assert_eq!(empty.len(), 1);
+    }
+}

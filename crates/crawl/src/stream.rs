@@ -26,6 +26,7 @@
 //!   `<svg role="img">` without `aria-label` becomes its name.
 
 use crate::extract::{ExtractedElement, PageExtract, TextSource};
+use crate::regions::RegionTracker;
 use langcrux_html::stream::{stream_extract, StreamSink};
 use langcrux_html::tokenizer::Attribute;
 use langcrux_lang::a11y::ElementKind;
@@ -104,6 +105,8 @@ struct ExtractSink {
     fixups: Vec<(usize, String)>,
     /// Element start counter (document order of starts).
     seq: usize,
+    /// Per-subtree language regions, fed from the same event stream.
+    regions: RegionTracker,
 }
 
 fn attr_of<'a>(attrs: &'a [Attribute], name: &str) -> Option<&'a str> {
@@ -158,6 +161,7 @@ impl ExtractSink {
             label_entries: Vec::new(),
             fixups: Vec::new(),
             seq: 0,
+            regions: RegionTracker::default(),
         }
     }
 
@@ -224,12 +228,14 @@ impl ExtractSink {
             visible_hist: Default::default(),
             declared_lang: self.declared_lang,
             elements: self.elements,
+            regions: self.regions.finish(),
         }
     }
 }
 
 impl StreamSink for ExtractSink {
-    fn element_start(&mut self, name: &str, attrs: &[Attribute], _visible: bool) {
+    fn element_start(&mut self, name: &str, attrs: &[Attribute], visible: bool) {
+        self.regions.element_start(name, attrs, visible);
         self.seq += 1;
         let seq = self.seq;
         let mut open = Open {
@@ -387,7 +393,8 @@ impl StreamSink for ExtractSink {
         self.stack.push(open);
     }
 
-    fn element_end(&mut self, _name: &str) {
+    fn element_end(&mut self, name: &str) {
+        self.regions.element_end(name);
         let open = self.stack.pop().expect("balanced element events");
         if open.is_svg {
             self.svg_depth -= 1;
@@ -398,7 +405,8 @@ impl StreamSink for ExtractSink {
         }
     }
 
-    fn text(&mut self, text: &str, _visible: bool) {
+    fn text(&mut self, text: &str, visible: bool) {
+        self.regions.text(text, visible);
         // Every open capture owns this text: the DOM's text_content is
         // unconditional over descendants, including invisible subtrees.
         for capture in &mut self.captures {

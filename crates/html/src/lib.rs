@@ -39,7 +39,7 @@ pub use builder::HtmlBuilder;
 pub use dom::{Document, NodeId, NodeKind};
 pub use parser::parse;
 pub use serialize::serialize;
-pub use stream::{stream_extract, stream_visible_text_histogram, StreamSink};
+pub use stream::{stream_extract, stream_visible_text_histogram, walk_events, StreamSink};
 pub use visible::{
     visible_text, visible_text_histogram, visible_text_histogram_of, visible_text_of,
 };

@@ -26,10 +26,11 @@
 //! [`Normaliser`]: crate::visible
 //! [`visible_text_histogram`]: crate::visible::visible_text_histogram
 
+use crate::dom::{Document, NodeId, NodeKind};
 use crate::entities::decode_into;
 use crate::parser::{closes_same, is_void_element};
 use crate::tokenizer::{tokenize_into, Attribute, TokenSink};
-use crate::visible::{attrs_hide, is_block, is_non_rendering, Normaliser};
+use crate::visible::{attrs_hide, element_hidden, is_block, is_non_rendering, Normaliser};
 use langcrux_lang::script::ScriptHistogram;
 
 /// Observer of tree-level events during a streaming extraction pass.
@@ -98,6 +99,42 @@ pub fn stream_extract<S: StreamSink>(html: &str, sink: S) -> (String, ScriptHist
         walk.pop_one();
     }
     (walk.normaliser.out, walk.normaliser.tally, walk.sink)
+}
+
+/// Replay the tree-level events of a parsed [`Document`] into a
+/// [`StreamSink`] — the DOM-side twin of [`stream_extract`]'s event
+/// delivery. Element starts/ends arrive balanced in document order and
+/// the `visible` flags follow the exact rules of
+/// [`crate::visible::visible_text`] (non-rendering elements, `hidden`,
+/// `aria-hidden="true"`, hiding inline styles), so a sink fed from a
+/// `Document` observes the same region structure as one fed from the
+/// tokenizer. Consumers that must produce identical derived state on
+/// both extraction paths (the crawler's per-subtree language regions)
+/// drive one tracker from both event sources.
+pub fn walk_events<S: StreamSink>(doc: &Document, sink: &mut S) {
+    walk_events_at(doc, NodeId::ROOT, 0, sink);
+}
+
+fn walk_events_at<S: StreamSink>(doc: &Document, id: NodeId, skip_depth: usize, sink: &mut S) {
+    match &doc.node(id).kind {
+        NodeKind::Text(t) => sink.text(t, skip_depth == 0),
+        NodeKind::Comment(_) => {}
+        NodeKind::Document => {
+            for &c in &doc.node(id).children {
+                walk_events_at(doc, c, skip_depth, sink);
+            }
+        }
+        NodeKind::Element { name, .. } => {
+            let skipped = is_non_rendering(name) || element_hidden(doc, id);
+            let visible = skip_depth == 0 && !skipped;
+            sink.element_start(name, doc.attrs(id), visible);
+            let child_skip = skip_depth + usize::from(skipped);
+            for &c in &doc.node(id).children {
+                walk_events_at(doc, c, child_skip, sink);
+            }
+            sink.element_end(name);
+        }
+    }
 }
 
 /// One emulated open element. The name lives in the shared arena
@@ -365,6 +402,51 @@ mod tests {
                 "-li",
             ]
         );
+    }
+
+    #[test]
+    fn dom_walk_events_match_streaming_events() {
+        // The contract `walk_events` exists for: a sink fed from the DOM
+        // observes the same element structure, attributes-at-start, and
+        // visible text runs as one fed from the tokenizer. Adjacent text
+        // events may be split differently between the two paths, so text
+        // is compared as merged (content, visible) runs.
+        #[derive(Default, PartialEq, Debug)]
+        struct Events(Vec<String>);
+        impl StreamSink for Events {
+            fn element_start(&mut self, name: &str, attrs: &[Attribute], visible: bool) {
+                let mut attrs: Vec<String> = attrs
+                    .iter()
+                    .map(|a| format!("{}={}", a.name, a.value))
+                    .collect();
+                attrs.sort();
+                self.0
+                    .push(format!("+{name}/{}/{visible}", attrs.join(";")));
+            }
+            fn element_end(&mut self, name: &str) {
+                self.0.push(format!("-{name}"));
+            }
+            fn text(&mut self, text: &str, visible: bool) {
+                let tagged = format!("t{visible}:");
+                match self.0.last_mut() {
+                    Some(last) if last.starts_with(&tagged) => last.push_str(text),
+                    _ => self.0.push(format!("{tagged}{text}")),
+                }
+            }
+        }
+        for html in [
+            "<html lang=bn><body><nav>menu</nav><main lang=en>text</main></body></html>",
+            "<div hidden><p>secret</p></div><p>shown</p>",
+            "<ul><li>one<li>two</ul>",
+            "<script>x</script><title>T</title>tail",
+            "<p>a &amp; b</p><img src=x alt=y>",
+            "<div><span>text</div></span><b>unclosed",
+        ] {
+            let (_, _, streamed) = stream_extract(html, Events::default());
+            let mut dom_events = Events::default();
+            walk_events(&parse(html), &mut dom_events);
+            assert_eq!(streamed, dom_events, "events diverged on {html:?}");
+        }
     }
 
     #[test]

@@ -26,4 +26,4 @@ pub mod speak;
 
 pub use checks::{AltLanguageCheck, CheckOutcome, LanguageAwareCheck, LinkLanguageCheck};
 pub use engine::{page_language, Kizuki, KizukiReport};
-pub use speak::{ScreenReader, SpeechOutcome, SpeechStats, Utterance};
+pub use speak::{GapSpeech, ScreenReader, SpeechOutcome, SpeechStats, Utterance};

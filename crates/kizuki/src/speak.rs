@@ -15,6 +15,7 @@
 //! used by the `repro speech` artefact to report per-country
 //! mispronunciation rates.
 
+use langcrux_audit::{GapKind, GapRegion, GapReport};
 use langcrux_crawl::{ExtractedElement, PageExtract};
 use langcrux_lang::a11y::ElementKind;
 use langcrux_lang::Language;
@@ -199,6 +200,71 @@ impl ScreenReader {
             language: text_language,
             outcome,
         }
+    }
+}
+
+/// Speech impact of a page's translation gaps under one reader profile.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapSpeech {
+    /// Gap regions the speak order passes through.
+    pub regions: u32,
+    /// Regions read with a wrong-language engine.
+    pub mispronounced: u32,
+    /// Regions the reader has no usable engine for.
+    pub skipped: u32,
+    /// Foreign distinguishing characters across the regions — how much
+    /// text the listener hits in the wrong language.
+    pub foreign_chars: u64,
+}
+
+impl GapSpeech {
+    pub fn merge(&mut self, other: &GapSpeech) {
+        self.regions += other.regions;
+        self.mispronounced += other.mispronounced;
+        self.skipped += other.skipped;
+        self.foreign_chars += other.foreign_chars;
+    }
+}
+
+impl ScreenReader {
+    /// What the user hears when the speak order reaches one translation-gap
+    /// region.
+    ///
+    /// The reader speaks a region with the engine its context selects: the
+    /// `lang`-tagged language for explicit mismatches (readers honour
+    /// markup), the page language otherwise. A gap region's content is by
+    /// construction in a script that engine was never built for, so the
+    /// only question is whether the selected engine exists at all:
+    /// no engine → [`SpeechOutcome::Skipped`] (spelled out or silently
+    /// passed over); any engine → [`SpeechOutcome::Mispronounced`]
+    /// (wrong-language synthesis, §1's mixed-language failure mode).
+    pub fn gap_outcome(&self, gap: &GapRegion, page_language: Option<Language>) -> SpeechOutcome {
+        let engine = match gap.kind {
+            GapKind::LangAttrMismatch => {
+                gap.lang.as_deref().and_then(Language::from_primary_subtag)
+            }
+            GapKind::UntranslatedChrome | GapKind::FallbackText => page_language,
+        };
+        match engine.map(|l| self.support(l)) {
+            None | Some(EngineSupport::None) => SpeechOutcome::Skipped,
+            Some(EngineSupport::Full) | Some(EngineSupport::Partial) => {
+                SpeechOutcome::Mispronounced
+            }
+        }
+    }
+
+    /// Aggregate [`Self::gap_outcome`] over a page's whole gap report.
+    pub fn gap_speech(&self, report: &GapReport, page_language: Option<Language>) -> GapSpeech {
+        let mut speech = GapSpeech::default();
+        for gap in &report.regions {
+            speech.regions += 1;
+            speech.foreign_chars += gap.foreign_chars as u64;
+            match self.gap_outcome(gap, page_language) {
+                SpeechOutcome::Skipped => speech.skipped += 1,
+                _ => speech.mispronounced += 1,
+            }
+        }
+        speech
     }
 }
 
@@ -389,6 +455,56 @@ mod tests {
             .unwrap();
         assert_eq!(img.outcome, SpeechOutcome::Skipped);
         assert_eq!(reader.name(), "english-only");
+    }
+
+    #[test]
+    fn gap_outcomes_depend_on_the_selected_engine() {
+        use langcrux_audit::gap_report;
+        use langcrux_crawl::extract_streaming;
+
+        let bn_body = "বাংলাদেশের সংবাদপত্রে প্রতিদিন নতুন খবর প্রকাশিত হয় এবং পাঠকেরা তা পড়েন। \
+            দেশের বিভিন্ন অঞ্চল থেকে সংবাদদাতারা প্রতিবেদন পাঠান এবং সম্পাদকেরা তা প্রকাশ করেন";
+        let html = format!(
+            "<html lang=bn><body><nav>Home News Sports Entertainment Opinion More</nav>\
+             <main><p>{bn_body}</p>\
+             <section lang=ur>Untranslated placeholder copy shipped here</section></main>\
+             </body></html>"
+        );
+        let report = gap_report(&extract_streaming(&html));
+        assert_eq!(report.regions.len(), 2);
+        let chrome = &report.regions[0];
+        let mistagged = &report.regions[1];
+        assert_eq!(chrome.kind, GapKind::UntranslatedChrome);
+        assert_eq!(mistagged.kind, GapKind::LangAttrMismatch);
+
+        let vo = ScreenReader::voiceover_like();
+        // Bangla engine exists (partial): English chrome goes through it.
+        assert_eq!(
+            vo.gap_outcome(chrome, Some(Language::Bangla)),
+            SpeechOutcome::Mispronounced
+        );
+        // The ur tag selects an engine VoiceOver does not have at all.
+        assert_eq!(
+            vo.gap_outcome(mistagged, Some(Language::Bangla)),
+            SpeechOutcome::Skipped
+        );
+        // An English-only reader has no Bangla engine: the chrome region
+        // is skipped outright.
+        let en = ScreenReader::english_only();
+        assert_eq!(
+            en.gap_outcome(chrome, Some(Language::Bangla)),
+            SpeechOutcome::Skipped
+        );
+
+        let speech = vo.gap_speech(&report, Some(Language::Bangla));
+        assert_eq!(speech.regions, 2);
+        assert_eq!(speech.mispronounced, 1);
+        assert_eq!(speech.skipped, 1);
+        assert_eq!(speech.foreign_chars, report.foreign_chars as u64);
+        let mut merged = speech;
+        merged.merge(&speech);
+        assert_eq!(merged.regions, 4);
+        assert_eq!(merged.foreign_chars, 2 * speech.foreign_chars);
     }
 
     #[test]

@@ -218,6 +218,25 @@ impl Language {
         }
     }
 
+    /// Resolve a BCP-47-ish tag to the pool language with the same primary
+    /// subtag, e.g. `"bn"`, `"bn-IN"`, `"BN_in"` → `Bangla`. Shared primary
+    /// subtags resolve to the first pool entry (`"zh"` → `MandarinChinese`,
+    /// `"ar"` → `ModernStandardArabic`); `"en"` resolves to `English`.
+    pub fn from_primary_subtag(tag: &str) -> Option<Language> {
+        let primary = tag.trim().split(['-', '_']).next().unwrap_or("");
+        if primary.is_empty() {
+            return None;
+        }
+        std::iter::once(Language::English)
+            .chain(Language::CANDIDATE_POOL)
+            .find(|l| {
+                l.tag()
+                    .split('-')
+                    .next()
+                    .is_some_and(|t| t.eq_ignore_ascii_case(primary))
+            })
+    }
+
     /// English display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -369,6 +388,37 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(tags.len(), dedup.len());
+    }
+
+    #[test]
+    fn primary_subtag_resolution() {
+        assert_eq!(Language::from_primary_subtag("bn"), Some(Language::Bangla));
+        assert_eq!(
+            Language::from_primary_subtag("bn-IN"),
+            Some(Language::Bangla)
+        );
+        assert_eq!(
+            Language::from_primary_subtag(" BN_in "),
+            Some(Language::Bangla)
+        );
+        // Shared subtags pick the first pool entry.
+        assert_eq!(
+            Language::from_primary_subtag("zh-HK"),
+            Some(Language::MandarinChinese)
+        );
+        assert_eq!(
+            Language::from_primary_subtag("ar-EG"),
+            Some(Language::ModernStandardArabic)
+        );
+        assert_eq!(Language::from_primary_subtag("en"), Some(Language::English));
+        assert_eq!(Language::from_primary_subtag("xx"), None);
+        assert_eq!(Language::from_primary_subtag(""), None);
+        // Every pool tag must round-trip to *some* language with the same
+        // primary subtag.
+        for l in Language::CANDIDATE_POOL {
+            let resolved = Language::from_primary_subtag(l.tag()).unwrap();
+            assert_eq!(resolved.tag().split('-').next(), l.tag().split('-').next());
+        }
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct Sample {
 impl Sample {
     /// `name{k="v",...}` — the flat identity used by both the JSON view
     /// and the drift test.
+    ///
+    /// Label *values* are escaped per the Prometheus text-format spec
+    /// (`\` → `\\`, `"` → `\"`, newline → `\n`): a value containing a
+    /// quote or newline would otherwise break out of the sample line and
+    /// corrupt the whole exposition. Every rendering path — the text
+    /// exposition, [`Encoder::flat_samples`], [`Encoder::to_value`] —
+    /// funnels through here, so all three stay in agreement.
     pub fn flat_name(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -61,7 +68,14 @@ impl Sample {
             }
             out.push_str(k);
             out.push_str("=\"");
-            out.push_str(v);
+            for ch in v.chars() {
+                match ch {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
             out.push('"');
         }
         out.push('}');
@@ -400,6 +414,37 @@ mod tests {
         );
         let json = serde_json::to_string(&enc.to_value()).unwrap();
         assert_eq!(json, "{\"a_total\":5,\"b{k=\\\"v\\\"}\":1.5}");
+    }
+
+    #[test]
+    fn hostile_label_values_are_escaped_in_every_view() {
+        let mut enc = Encoder::new();
+        enc.counter_with(
+            "evil_total",
+            "Hostile labels.",
+            &[("path", "a\"b\\c\nd")],
+            1.0,
+        );
+        let text = enc.prometheus_text();
+        // The sample line must carry the spec escapes — and in particular
+        // must stay a single line.
+        assert!(
+            text.contains("evil_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            "{text:?}"
+        );
+        assert_eq!(text.lines().count(), 3, "{text:?}");
+        // flat_samples and the JSON view agree with the exposition.
+        let flat = enc.flat_samples();
+        assert_eq!(flat[0].0, "evil_total{path=\"a\\\"b\\\\c\\nd\"}");
+        let json = serde_json::to_string(&enc.to_value()).unwrap();
+        assert!(json.contains("evil_total"), "{json}");
+        // A benign value is untouched.
+        let plain = Sample {
+            name: "ok".into(),
+            labels: vec![("k".into(), "v".into())],
+            value: 0.0,
+        };
+        assert_eq!(plain.flat_name(), "ok{k=\"v\"}");
     }
 
     #[test]

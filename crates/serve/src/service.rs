@@ -12,9 +12,9 @@
 //! the response cache store bytes and what the API determinism test pins.
 
 use crate::cache::CacheKey;
-use langcrux_audit::{audit_page, AuditReport};
+use langcrux_audit::{audit_page, gap_report, AuditReport, GapReport};
 use langcrux_crawl::extract_streaming;
-use langcrux_kizuki::{page_language, Kizuki, KizukiReport, ScreenReader, Utterance};
+use langcrux_kizuki::{page_language, GapSpeech, Kizuki, KizukiReport, ScreenReader, Utterance};
 use langcrux_lang::script::Script;
 use langcrux_lang::Language;
 use serde::Serialize;
@@ -49,6 +49,11 @@ pub struct AuditResponse {
     pub kizuki: KizukiReport,
     /// Screen-reader announcements in document (speak) order.
     pub speak_order: Vec<Utterance>,
+    /// Translation-gap verdict: which subtrees disagree with the page's
+    /// declared/inherited language, with script evidence per region.
+    pub gaps: GapReport,
+    /// What the reader would do with each flagged gap region.
+    pub gap_speech: GapSpeech,
 }
 
 /// The shared audit engine: Kizuki checks and the screen-reader profile
@@ -97,6 +102,11 @@ impl AuditService {
         let base = audit_page(&page);
         let kizuki = self.kizuki.evaluate(&page, &base);
         let language = page_language(&page);
+        // Translation-gap pass: always computed here (the service has no
+        // corpus flag to honour — a submitted page either has gap regions
+        // or it doesn't).
+        let gaps = gap_report(&page);
+        let gap_speech = self.reader.gap_speech(&gaps, language);
         // Speak-order pass: announce against the detected content
         // language; undetermined pages are announced with an English
         // engine (the reader's default voice).
@@ -127,6 +137,8 @@ impl AuditService {
             audit: base,
             kizuki,
             speak_order,
+            gaps,
+            gap_speech,
         }
     }
 
@@ -192,6 +204,34 @@ mod tests {
             let dom_bytes = serde_json::to_string(&service.audit_extract(dom_page, html)).unwrap();
             assert_eq!(dom_bytes.into_bytes(), service.audit_json(html), "{html:?}");
         }
+    }
+
+    #[test]
+    fn gap_verdict_flags_english_chrome_on_a_bengali_page() {
+        // A partially localised page: translated body, untranslated nav.
+        let html = r#"<html lang="bn"><body>
+            <nav><a href="/">Home page overview</a>
+            <a href="/shop">Product catalogue listing</a>
+            <a href="/help">Customer support center</a></nav>
+            <p>বাংলাদেশের শিক্ষকদের জন্য জাতীয় প্ল্যাটফর্মে স্বাগতম। এখানে
+            পাঠ পরিকল্পনা এবং প্রশিক্ষণ উপকরণ পাওয়া যায়। প্রতিটি জেলার
+            শিক্ষকরা এখানে নিজেদের অভিজ্ঞতা ভাগ করে নেন।</p>
+            </body></html>"#;
+        let service = AuditService::new();
+        let resp = service.audit(html);
+        assert_eq!(resp.gaps.regions.len(), 1, "{:?}", resp.gaps);
+        let gap = &resp.gaps.regions[0];
+        assert_eq!(gap.role, "nav");
+        assert_eq!(gap.kind.label(), "chrome");
+        // VoiceOver has a Bangla engine: the English nav is read aloud
+        // with it, i.e. mispronounced rather than skipped.
+        assert_eq!(resp.gap_speech.regions, 1);
+        assert_eq!(resp.gap_speech.mispronounced, 1);
+        assert_eq!(resp.gap_speech.skipped, 0);
+        // The fully localised test page has no gaps at all.
+        let clean = service.audit(PAGE);
+        assert!(clean.gaps.is_clean(), "{:?}", clean.gaps);
+        assert_eq!(clean.gap_speech, GapSpeech::default());
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! * **graceful drain** — shutdown under load: the in-flight (streamed
 //!   batch) response completes byte-perfect, new connections are
 //!   refused.
+//! * **stalled batch reader** — a client that requests a huge streamed
+//!   batch and never reads a byte is failed at the OS write deadline;
+//!   it cannot pin the server (in the reactor: the event loop itself,
+//!   which runs batches blocking) and a concurrent `/v1/audit` still
+//!   answers promptly and byte-exact.
 //!
 //! Every scenario runs against both serve cores (`common::for_each_core`):
 //! the thread-per-connection oracle and the epoll reactor must satisfy
@@ -321,6 +326,130 @@ fn chunked_requests_torn_at_every_boundary(core: ServeCore) {
         assert_eq!(status, 200, "cut at {cut}");
         assert_eq!(second, oracle_b, "cut at {cut}: second response drifted");
     }
+    server.shutdown();
+}
+
+#[test]
+fn stalled_batch_reader_is_cut_at_the_write_deadline() {
+    common::for_each_core(stalled_batch_reader_cannot_pin_the_server);
+}
+
+/// Set a socket's receive buffer (std-only `extern "C"`, matching the
+/// reactor's epoll discipline). Shrinking it before the request matters:
+/// the kernel's receive-buffer auto-tuning can otherwise absorb tens of
+/// megabytes of response on loopback, and a "non-reading" client never
+/// actually makes the server's writes block. Re-enlarging it before the
+/// drain matters just as much: through a 16 KiB window the server's
+/// already-queued send buffer trickles out at ~100 KB/s, slow enough to
+/// look like an endless stream.
+fn set_recv_buffer(stream: &TcpStream, size: i32) {
+    use std::os::fd::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    }
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&size as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+}
+
+fn stalled_batch_reader_cannot_pin_the_server(core: ServeCore) {
+    const WRITE_TIMEOUT: Duration = Duration::from_millis(400);
+    let server = spawn(ServeConfig {
+        core,
+        write_timeout: WRITE_TIMEOUT,
+        ..ServeConfig::default()
+    })
+    .expect("spawn");
+
+    // A batch whose streamed response dwarfs the loopback socket buffers.
+    // The pages are identical, so after the first audit every element is
+    // a response-cache hit: generation is fast and the *write* path is
+    // what stalls when the client never reads.
+    let pages: Vec<String> = vec![PAGE.to_string(); 12_000];
+    let payload = serde_json::to_string(&pages).expect("payload");
+    let mut stalled = connect(&server);
+    set_recv_buffer(&stalled, 16 * 1024);
+    let request = format!(
+        "POST /v1/batch HTTP/1.1\r\nHost: stall\r\nContent-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stalled
+        .write_all(request.as_bytes())
+        .expect("batch request");
+    // Deliberately never read from `stalled`.
+
+    // Let the server start streaming and fill both socket buffers.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A concurrent audit must answer within a couple of write deadlines
+    // — in the reactor the batch runs blocking on the event loop, so
+    // without the OS write deadline this request would hang forever.
+    let oracle = langcrux_serve::AuditService::new().audit_json(PAGE);
+    let started = Instant::now();
+    let mut client = connect(&server);
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    let mut scratch = Vec::new();
+    let (status, body) =
+        post(&mut client, "/v1/audit", PAGE.as_bytes(), &mut scratch).expect("concurrent audit");
+    let elapsed = started.elapsed();
+    assert_eq!(status, 200);
+    assert_eq!(body, oracle, "audit bytes drifted behind a stalled batch");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "stalled batch delayed a concurrent audit by {elapsed:?}"
+    );
+
+    // Let the deadline expire before touching the stalled socket: on the
+    // threaded core the audit above returns in milliseconds, and draining
+    // immediately would reopen the receive window while the server's
+    // blocked write is still inside its 400 ms grace.
+    std::thread::sleep(WRITE_TIMEOUT * 3);
+
+    // The stalled connection itself was failed at the deadline: once we
+    // finally drain it, the stream ends (EOF or reset) after only the
+    // bytes that fit in the socket buffers — had the server still been
+    // attached, reopening the window would resume the stream and deliver
+    // the full multi-megabyte batch. Reopen the window wide first so the
+    // kernel-buffered remainder arrives in seconds, not minutes.
+    set_recv_buffer(&stalled, 8 * 1024 * 1024);
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let full_response = 12_000 * oracle.len();
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    let mut drained = 0usize;
+    let mut buf = [0u8; 65536];
+    let closed = loop {
+        match stalled.read(&mut buf) {
+            Ok(0) | Err(_) => break true,
+            Ok(n) => {
+                drained += n;
+                if Instant::now() > drain_deadline {
+                    break false;
+                }
+            }
+        }
+    };
+    assert!(
+        closed,
+        "server kept streaming to a client it should have cut \
+         (drained {drained} of ~{full_response} bytes)"
+    );
+    assert!(
+        drained < full_response / 2,
+        "drained {drained} of ~{full_response} bytes: the write deadline never fired"
+    );
     server.shutdown();
 }
 

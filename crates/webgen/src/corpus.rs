@@ -61,6 +61,12 @@ pub struct CorpusConfig {
     /// small cap trades rebuild CPU for memory without changing any
     /// output byte.
     pub resident_shards: usize,
+    /// Plant partial-localisation (translation-gap) scenarios: untranslated
+    /// chrome, mistagged `lang` subtrees, unmarked English fallback blocks.
+    /// Default `false`, under which the corpus is byte-identical to one
+    /// built before gap support existed (gap sampling uses dedicated RNG
+    /// streams that are never drawn when disabled).
+    pub gap_scenarios: bool,
 }
 
 impl Default for CorpusConfig {
@@ -72,6 +78,7 @@ impl Default for CorpusConfig {
             fault_plan: FaultPlan::default(),
             overprovision: 1.5,
             resident_shards: 0,
+            gap_scenarios: false,
         }
     }
 }
@@ -218,6 +225,7 @@ struct ShardCache {
     overprovision: f64,
     countries: Vec<Country>,
     resident_cap: usize,
+    gap_scenarios: bool,
     map: Mutex<ShardMap>,
     built: Condvar,
     builds: AtomicU64,
@@ -243,6 +251,7 @@ impl ShardCache {
             overprovision: config.overprovision,
             countries: config.countries.clone(),
             resident_cap: config.resident_shards,
+            gap_scenarios: config.gap_scenarios,
             map: Mutex::new(ShardMap {
                 slots: HashMap::new(),
                 tick: 0,
@@ -386,7 +395,8 @@ impl ShardCache {
         let expected_depth = (self.sites_per_country as f64 / 0.86).ceil();
         let mut plans = Vec::with_capacity(n);
         for index in 0..n as u32 {
-            let mut plan = SitePlan::build(self.seed, country, index, None);
+            let mut plan =
+                SitePlan::build_gapped(self.seed, country, index, None, self.gap_scenarios);
             let u = (f64::from(index) + 0.5) / expected_depth;
             plan.rank = if u <= 1.0 {
                 rank_quantile(country, u)
@@ -459,21 +469,24 @@ impl CorpusResolver {
     /// match the sampled one.
     fn plan_for(&self, host: &str) -> Option<SitePlan> {
         thread_local! {
-            /// `(seed, candidate bound, plan)` of the most recent
-            /// derivation on this thread. Plans are pure in
-            /// `(seed, host)`; the bound keys the memo so a same-seed
-            /// corpus with a smaller candidate range still rejects
-            /// out-of-range indices.
-            static LAST_PLAN: std::cell::RefCell<Option<(u64, usize, SitePlan)>> =
+            /// `(seed, candidate bound, gap flag, plan)` of the most
+            /// recent derivation on this thread. Plans are pure in
+            /// `(seed, gap flag, host)`; the bound keys the memo so a
+            /// same-seed corpus with a smaller candidate range still
+            /// rejects out-of-range indices.
+            static LAST_PLAN: std::cell::RefCell<Option<(u64, usize, bool, SitePlan)>> =
                 const { std::cell::RefCell::new(None) };
         }
         let seed = self.shards.seed;
         let bound = self.shards.candidates_per_country();
+        let gaps = self.shards.gap_scenarios;
         let memoized = LAST_PLAN.with(|memo| {
             memo.borrow()
                 .as_ref()
-                .filter(|(s, b, plan)| *s == seed && *b == bound && plan.host == host)
-                .map(|(_, _, plan)| plan.clone())
+                .filter(|(s, b, g, plan)| {
+                    *s == seed && *b == bound && *g == gaps && plan.host == host
+                })
+                .map(|(_, _, _, plan)| plan.clone())
         });
         if let Some(plan) = memoized {
             return Some(plan);
@@ -484,11 +497,11 @@ impl CorpusResolver {
         if index as usize >= bound {
             return None;
         }
-        let plan = SitePlan::build(seed, country, index, None);
+        let plan = SitePlan::build_gapped(seed, country, index, None, gaps);
         if plan.host != host {
             return None;
         }
-        LAST_PLAN.with(|memo| *memo.borrow_mut() = Some((seed, bound, plan.clone())));
+        LAST_PLAN.with(|memo| *memo.borrow_mut() = Some((seed, bound, gaps, plan.clone())));
         Some(plan)
     }
 }

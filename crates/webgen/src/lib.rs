@@ -34,5 +34,5 @@ pub mod sample;
 pub mod site;
 
 pub use corpus::{CandidateSet, Corpus, CorpusConfig, ShardStats};
-pub use page::{render, render_into, KindTruth, PageTruth, RenderScratch, ScratchPool};
-pub use site::{Archetype, LangBucket, PlantedText, SitePlan};
+pub use page::{render, render_into, GapTruth, KindTruth, PageTruth, RenderScratch, ScratchPool};
+pub use site::{Archetype, GapPlan, LangBucket, PlantedText, SitePlan};

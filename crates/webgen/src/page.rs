@@ -43,7 +43,7 @@
 
 use crate::calibration::{element_calibration, estimated_page_bytes};
 use crate::sample::{heavy_tail_len, int_between};
-use crate::site::{LangBucket, SitePlan};
+use crate::site::{GapPlan, LangBucket, SitePlan};
 use langcrux_filter::DiscardCategory;
 use langcrux_html::HtmlBuilder;
 use langcrux_lang::a11y::ElementKind;
@@ -131,6 +131,28 @@ impl KindTruth {
     }
 }
 
+/// Translation-gap scenarios actually rendered into one page.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapTruth {
+    /// Nav/footer chrome was rendered in English instead of the page mix.
+    pub chrome: bool,
+    /// `<section lang=<native>>` blocks holding English text.
+    pub attr_mismatch: u32,
+    /// `<section lang="en">` correctly-tagged English blocks (controls —
+    /// detection must NOT flag these).
+    pub control_tagged: u32,
+    /// Unmarked English `<aside>` fallback blocks.
+    pub fallback: u32,
+}
+
+impl GapTruth {
+    /// Number of regions detection is expected to flag (chrome counts as
+    /// two: the nav and the footer each form a region).
+    pub fn expected_gap_regions(&self) -> u32 {
+        u32::from(self.chrome) * 2 + self.attr_mismatch + self.fallback
+    }
+}
+
 /// Ground truth for one rendered page.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageTruth {
@@ -138,6 +160,8 @@ pub struct PageTruth {
     pub per_kind: [KindTruth; 12],
     /// The plan's target visible native share at render time.
     pub target_visible_native: f64,
+    /// Translation-gap scenarios rendered into this page.
+    pub gaps: GapTruth,
 }
 
 impl PageTruth {
@@ -348,6 +372,14 @@ struct Renderer<'a> {
     /// Effective visible-native share for this variant.
     visible_native: f64,
     counter: u32,
+    /// Gap scenarios active for this render (the plan's scenarios on the
+    /// localized variant; always off on global/restricted, which are
+    /// English-dominant or stubs anyway).
+    gaps: GapPlan,
+    /// Dedicated RNG stream (`0x55`) for gap-block sampling. Never shared
+    /// with `g.rng`, so a plan without scenarios renders byte- and
+    /// draw-identically whether or not gap support exists.
+    gap_rng: StdRng,
 }
 
 impl<'a> Renderer<'a> {
@@ -381,6 +413,11 @@ impl<'a> Renderer<'a> {
             .reseed(Language::English, rng::derive(page_seed, &[0x33]));
         g.mixed
             .reseed(native_lang, rng::derive(page_seed, &[0x44]), 0.5);
+        let gaps = if variant == ContentVariant::Localized {
+            plan.gaps
+        } else {
+            GapPlan::default()
+        };
         Renderer {
             plan,
             variant,
@@ -391,6 +428,8 @@ impl<'a> Renderer<'a> {
             },
             visible_native,
             counter: 0,
+            gaps,
+            gap_rng: rng::rng_for(page_seed, &[0x55]),
         }
     }
 
@@ -678,6 +717,7 @@ impl<'a> Renderer<'a> {
         label: &mut String,
         attr: &mut String,
     ) -> PageTruth {
+        self.truth.gaps.chrome = self.gaps.chrome;
         let lang_attr: &str =
             if self.variant == ContentVariant::Global || self.plan.declared_lang_wrong {
                 // Wrongly-declared sites keep the template default ("en")
@@ -717,7 +757,7 @@ impl<'a> Renderer<'a> {
         for i in 0..nav_links {
             attr.clear();
             let _ = write!(attr, "/nav/{i}");
-            self.render_link(b, text, label, attr);
+            self.render_link(b, text, label, attr, true);
         }
         b.close();
         b.close();
@@ -739,6 +779,8 @@ impl<'a> Renderer<'a> {
             }
             b.leaf("p", &[], text.trim());
         }
+
+        self.render_gap_sections(b, text);
 
         // Images.
         let images = self.count_for(ElementKind::ImageAlt);
@@ -1020,13 +1062,27 @@ impl<'a> Renderer<'a> {
         for i in 0..body_links {
             attr.clear();
             let _ = write!(attr, "/article/{i}");
-            self.render_link(b, text, label, attr);
+            self.render_link(b, text, label, attr, false);
         }
         b.close(); // main
 
+        if self.gaps.fallback {
+            // Unmarked English fallback block: no lang attribute, not a
+            // chrome landmark's normal content — exactly the "fallback
+            // strings shipped untranslated" scenario.
+            b.open("aside", &[]);
+            self.append_gap_block(b, text);
+            b.close();
+            self.truth.gaps.fallback += 1;
+        }
+
         b.open("footer", &[]);
         text.clear();
-        self.append_visible_sentence(text);
+        if self.gaps.chrome {
+            self.g.english.append_sentence(text);
+        } else {
+            self.append_visible_sentence(text);
+        }
         b.leaf("p", &[], text);
         b.close();
 
@@ -1035,15 +1091,61 @@ impl<'a> Renderer<'a> {
         self.truth
     }
 
+    /// Partial-localisation section blocks, rendered inside `<main>`.
+    ///
+    /// Gap sampling draws only from the dedicated `gap_rng` stream and the
+    /// English generator; a plan with no scenarios reaches none of it, so
+    /// the default corpus is untouched byte for byte.
+    fn render_gap_sections(&mut self, b: &mut HtmlBuilder, text: &mut String) {
+        if self.gaps.attr_mismatch {
+            // Tagged with the native language, shipped in English: the
+            // lang metadata contradicts the content.
+            b.open(
+                "section",
+                &[("lang", Some(self.plan.native_language().tag()))],
+            );
+            self.append_gap_block(b, text);
+            b.close();
+            self.truth.gaps.attr_mismatch += 1;
+        }
+        if self.gaps.control_tagged {
+            // Correctly tagged English: the control detection must pass.
+            b.open("section", &[("lang", Some("en"))]);
+            self.append_gap_block(b, text);
+            b.close();
+            self.truth.gaps.control_tagged += 1;
+        }
+    }
+
+    /// A paragraph of English sentences for a gap/control block.
+    fn append_gap_block(&mut self, b: &mut HtmlBuilder, text: &mut String) {
+        let sentences = int_between(&mut self.gap_rng, 2, 4);
+        text.clear();
+        for _ in 0..sentences {
+            self.g.english.append_sentence(text);
+            text.push(' ');
+        }
+        b.leaf("p", &[], text.trim());
+    }
+
     fn render_link(
         &mut self,
         b: &mut HtmlBuilder,
         text: &mut String,
         label: &mut String,
         href: &str,
+        chrome: bool,
     ) {
         text.clear();
-        self.append_visible_phrase(1, 4, text);
+        if chrome && self.gaps.chrome {
+            // Untranslated chrome: nav link text stays English regardless
+            // of the page's language mix. Two-word floor keeps the nav
+            // region above the detector's evidence threshold even on
+            // three-link navs.
+            self.g.english.append_phrase(2, 4, text);
+        } else {
+            self.append_visible_phrase(1, 4, text);
+        }
         match self.plant(ElementKind::LinkName, label) {
             Planted::Missing => {
                 b.leaf("a", &[("href", Some(href))], text);
@@ -1147,6 +1249,171 @@ mod tests {
             truth.kind(ElementKind::LinkName).total as usize
         );
         assert!(doc.elements_named("form").count() >= 1);
+    }
+
+    fn gapped_plan(country: Country, idx: u32) -> SitePlan {
+        SitePlan::build_gapped(1234, country, idx, Some(true), true)
+    }
+
+    /// First index whose gap plan plants every scenario kind (chrome,
+    /// mismatch, control, fallback) for the country/seed above.
+    fn full_gap_plan(country: Country) -> SitePlan {
+        (0..5_000)
+            .map(|i| gapped_plan(country, i))
+            .find(|p| {
+                p.gaps.chrome && p.gaps.attr_mismatch && p.gaps.control_tagged && p.gaps.fallback
+            })
+            .expect("some site plants all four scenarios")
+    }
+
+    #[test]
+    fn gapless_plans_render_identically_under_gap_support() {
+        // A plan built with gap sampling enabled but no scenario selected
+        // renders byte-identically to the plain build — and the plain
+        // build itself must be unchanged by the gap machinery.
+        for idx in 0..30 {
+            let off = plan(Country::Bangladesh, idx);
+            let gapped = gapped_plan(Country::Bangladesh, idx);
+            let (html_off, truth_off) = render(&off, ContentVariant::Localized, "/");
+            if !gapped.gaps.any() {
+                let (html_on, truth_on) = render(&gapped, ContentVariant::Localized, "/");
+                assert_eq!(html_off, html_on, "site {idx}");
+                assert_eq!(truth_off, truth_on, "site {idx}");
+            }
+            assert_eq!(truth_off.gaps, GapTruth::default());
+            assert!(!html_off.contains("<aside"));
+        }
+    }
+
+    #[test]
+    fn gap_scenarios_render_deterministically_with_structure_intact() {
+        let p = full_gap_plan(Country::Thailand);
+        let (a, ta) = render(&p, ContentVariant::Localized, "/");
+        let (b, tb) = render(&p, ContentVariant::Localized, "/");
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+        assert!(ta.gaps.chrome);
+        assert_eq!(ta.gaps.attr_mismatch, 1);
+        assert_eq!(ta.gaps.control_tagged, 1);
+        assert_eq!(ta.gaps.fallback, 1);
+        assert_eq!(ta.gaps.expected_gap_regions(), 4);
+        // Injected blocks carry no counted element kinds: the structural
+        // truth still matches the DOM exactly.
+        let doc = parse(&a);
+        assert_eq!(
+            doc.elements_named("img").count(),
+            ta.kind(ElementKind::ImageAlt).total as usize
+        );
+        assert_eq!(
+            doc.elements_named("a").count(),
+            ta.kind(ElementKind::LinkName).total as usize
+        );
+        assert_eq!(doc.elements_named("aside").count(), 1);
+        assert_eq!(doc.elements_named("section").count(), 2);
+    }
+
+    #[test]
+    fn gap_scenarios_only_affect_the_localized_variant() {
+        let p = full_gap_plan(Country::Japan);
+        let mut ungapped = p.clone();
+        ungapped.gaps = crate::site::GapPlan::default();
+        let (with_gaps, truth) = render(&p, ContentVariant::Global, "/");
+        let (without, _) = render(&ungapped, ContentVariant::Global, "/");
+        assert_eq!(with_gaps, without, "global variant ignores gap plans");
+        assert_eq!(truth.gaps, GapTruth::default());
+    }
+
+    #[test]
+    fn rendered_gaps_are_detected_by_the_audit_layer() {
+        // End-to-end plant→detect agreement on corpus pages: every
+        // scenario the renderer plants must surface in the gap report,
+        // and the control section must not.
+        use langcrux_audit::{gap_report, GapKind};
+        use langcrux_crawl::extract_streaming;
+        let mut seen_chrome = 0u32;
+        let mut seen_mismatch = 0u32;
+        let mut seen_fallback = 0u32;
+        for idx in 0..200 {
+            let p = gapped_plan(Country::Bangladesh, idx);
+            // Mismatch-profile sites have English-heavy visible text where
+            // chrome gaps are genuinely undetectable; focus on the
+            // native-dominant majority.
+            if p.visible_native_share < 0.7 {
+                continue;
+            }
+            let (html, truth) = render(&p, ContentVariant::Localized, "/");
+            let report = gap_report(&extract_streaming(&html));
+            // On short pages the injected English itself can flip the
+            // page-majority script, after which inherited-context regions
+            // agree with the (now English) page: detection is only
+            // *expected* to fire while the body majority stays native.
+            let native_page = report.page_script == Some(p.native_language().primary_script());
+            for gap in &report.regions {
+                match gap.kind {
+                    GapKind::UntranslatedChrome => {
+                        // No phantom assert here: a page whose footer
+                        // sentence landed all-English by the plan's own
+                        // language mix genuinely ships English chrome —
+                        // an honest partial-localisation signal.
+                        seen_chrome += 1;
+                    }
+                    GapKind::LangAttrMismatch => {
+                        assert!(truth.gaps.attr_mismatch > 0, "{}: phantom mismatch", p.host);
+                        assert_eq!(gap.role, "section");
+                        seen_mismatch += 1;
+                    }
+                    GapKind::FallbackText => {
+                        assert!(truth.gaps.fallback > 0, "{}: phantom fallback", p.host);
+                        assert_eq!(gap.role, "aside");
+                        seen_fallback += 1;
+                    }
+                }
+                // The correctly-tagged control never shows up as a gap
+                // (chrome regions may legitimately carry an inherited
+                // "en" on wrongly-declared pages).
+                if gap.role == "section" {
+                    assert_ne!(
+                        gap.lang.as_deref(),
+                        Some("en"),
+                        "{}: control flagged",
+                        p.host
+                    );
+                }
+            }
+            if truth.gaps.chrome && native_page {
+                assert!(
+                    report
+                        .regions
+                        .iter()
+                        .any(|g| g.kind == GapKind::UntranslatedChrome),
+                    "{}: planted chrome gap missed",
+                    p.host
+                );
+            }
+            if truth.gaps.attr_mismatch > 0 {
+                // The mismatch section is explicitly tagged: detection
+                // does not depend on the page majority.
+                assert!(
+                    report
+                        .regions
+                        .iter()
+                        .any(|g| g.kind == GapKind::LangAttrMismatch),
+                    "{}: planted mismatch missed",
+                    p.host
+                );
+            }
+            if truth.gaps.fallback > 0 && native_page {
+                assert!(
+                    report
+                        .regions
+                        .iter()
+                        .any(|g| g.kind == GapKind::FallbackText),
+                    "{}: planted fallback missed",
+                    p.host
+                );
+            }
+        }
+        assert!(seen_chrome > 0 && seen_mismatch > 0 && seen_fallback > 0);
     }
 
     #[test]

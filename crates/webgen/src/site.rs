@@ -106,6 +106,39 @@ pub enum LangBucket {
     Mixed,
 }
 
+/// Which partial-localisation (translation-gap) scenarios a site ships.
+///
+/// All false by default; only [`SitePlan::build_gapped`] with gap
+/// scenarios enabled ever sets one, so the default corpus renders
+/// byte-identically with the flag off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GapPlan {
+    /// Navigation and footer chrome left in English around translated
+    /// body copy.
+    pub chrome: bool,
+    /// A subtree tagged with the native language but shipped in English —
+    /// `lang` metadata contradicted by content.
+    pub attr_mismatch: bool,
+    /// A *correctly* `lang="en"`-tagged English subtree: the control case
+    /// that detection must NOT flag.
+    pub control_tagged: bool,
+    /// An unmarked English fallback block (`<aside>`) embedded in the
+    /// non-Latin page.
+    pub fallback: bool,
+}
+
+impl GapPlan {
+    /// True when any scenario (including the non-gap control) is planted.
+    pub fn any(self) -> bool {
+        self.chrome || self.attr_mismatch || self.control_tagged || self.fallback
+    }
+
+    /// True when a scenario that detection should flag is planted.
+    pub fn any_gap(self) -> bool {
+        self.chrome || self.attr_mismatch || self.fallback
+    }
+}
+
 /// Everything sampled once per site.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SitePlan {
@@ -146,6 +179,9 @@ pub struct SitePlan {
     pub vpn_detecting: f64,
     /// Probability this site geo-blocks foreign vantages.
     pub geo_block: f64,
+    /// Partial-localisation scenarios (all false unless the corpus enables
+    /// gap scenarios).
+    pub gaps: GapPlan,
 }
 
 impl SitePlan {
@@ -159,6 +195,22 @@ impl SitePlan {
         country: Country,
         index: u32,
         force_qualifying: Option<bool>,
+    ) -> SitePlan {
+        SitePlan::build_gapped(workspace_seed, country, index, force_qualifying, false)
+    }
+
+    /// [`Self::build`] plus translation-gap scenario sampling.
+    ///
+    /// Gap decisions come from their own RNG stream (`0x6A70`), never from
+    /// the plan stream, so `build_gapped(.., true)` produces exactly the
+    /// same plan as [`Self::build`] in every other field — enabling gaps
+    /// cannot perturb the rest of the corpus.
+    pub fn build_gapped(
+        workspace_seed: u64,
+        country: Country,
+        index: u32,
+        force_qualifying: Option<bool>,
+        gap_scenarios: bool,
     ) -> SitePlan {
         let profile = country_profile(country);
         let mut r = rng::rng_for(workspace_seed, &[0x517E, country as u64, u64::from(index)]);
@@ -217,6 +269,12 @@ impl SitePlan {
         let host = host_name(country, archetype, index);
         let seed = rng::derive(workspace_seed, &[0x9A6E, rng::stream_id(&host)]);
 
+        let gaps = if gap_scenarios {
+            sample_gap_plan(workspace_seed, country, index)
+        } else {
+            GapPlan::default()
+        };
+
         SitePlan {
             host,
             country,
@@ -234,6 +292,7 @@ impl SitePlan {
             declared_lang_wrong: r.gen::<f64>() < 0.22,
             vpn_detecting: if r.gen::<f64>() < 0.04 { 0.8 } else { 0.0 },
             geo_block: if r.gen::<f64>() < 0.015 { 1.0 } else { 0.0 },
+            gaps,
         }
     }
 
@@ -301,6 +360,26 @@ fn sample_lang_weights(
     let jm = mixed * (0.6 + r.gen::<f64>() * 0.8);
     let sum = jn + je + jm;
     (jn / sum, je / sum, jm / sum)
+}
+
+/// Sample which gap scenarios a site ships, from the dedicated `0x6A70`
+/// stream. Roughly a third of sites are partially localised; a selected
+/// gap site always plants at least one detectable scenario.
+fn sample_gap_plan(workspace_seed: u64, country: Country, index: u32) -> GapPlan {
+    let mut r = rng::rng_for(workspace_seed, &[0x6A70, country as u64, u64::from(index)]);
+    if r.gen::<f64>() >= 0.35 {
+        return GapPlan::default();
+    }
+    let mut gaps = GapPlan {
+        chrome: r.gen::<f64>() < 0.60,
+        attr_mismatch: r.gen::<f64>() < 0.45,
+        control_tagged: r.gen::<f64>() < 0.35,
+        fallback: r.gen::<f64>() < 0.40,
+    };
+    if !gaps.any_gap() {
+        gaps.chrome = true;
+    }
+    gaps
 }
 
 fn sample_rank(r: &mut StdRng, profile: &CountryProfile) -> u64 {
@@ -394,6 +473,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn gap_sampling_never_perturbs_the_plan() {
+        for i in 0..200 {
+            let off = SitePlan::build(42, Country::Bangladesh, i, None);
+            let on = SitePlan::build_gapped(42, Country::Bangladesh, i, None, true);
+            assert_eq!(off.gaps, GapPlan::default());
+            // Every non-gap field identical: enabling scenarios only adds.
+            assert_eq!(off.host, on.host);
+            assert_eq!(off.rank, on.rank);
+            assert_eq!(off.seed, on.seed);
+            assert_eq!(off.visible_native_share, on.visible_native_share);
+            assert_eq!(off.lang_weights, on.lang_weights);
+            assert_eq!(off.element_rates, on.element_rates);
+            assert_eq!(off.declares_lang, on.declares_lang);
+            assert_eq!(off.declared_lang_wrong, on.declared_lang_wrong);
+        }
+    }
+
+    #[test]
+    fn gap_sites_are_a_deterministic_minority_with_a_scenario() {
+        let n = 1000;
+        let plans: Vec<GapPlan> = (0..n)
+            .map(|i| SitePlan::build_gapped(42, Country::Thailand, i, None, true).gaps)
+            .collect();
+        let again: Vec<GapPlan> = (0..n)
+            .map(|i| SitePlan::build_gapped(42, Country::Thailand, i, None, true).gaps)
+            .collect();
+        assert_eq!(plans, again);
+        let gapped = plans.iter().filter(|g| g.any()).count();
+        let rate = gapped as f64 / n as f64;
+        assert!((0.28..0.42).contains(&rate), "gap-site rate = {rate}");
+        // Every selected gap site plants at least one *detectable* gap.
+        for g in plans.iter().filter(|g| g.any()) {
+            assert!(g.any_gap());
+        }
+        // All four scenarios occur somewhere.
+        assert!(plans.iter().any(|g| g.chrome));
+        assert!(plans.iter().any(|g| g.attr_mismatch));
+        assert!(plans.iter().any(|g| g.control_tagged));
+        assert!(plans.iter().any(|g| g.fallback));
     }
 
     #[test]
