@@ -6,7 +6,9 @@
 //!       [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE]
 //!       [--report] [--bench-json [PATH]] [--serve-bench [PATH]]
 //!       [--serve-daemon [PATH]] [--serve-core threaded|reactor]
-//!       [--port N] [--loadgen ADDR]
+//!       [--port N] [--loadgen ADDR] [--dataset-out FILE]
+//!       [--dist N] [--chaos-kill-workers] [--dist-checkpoint PATH]
+//!       [--dist-worker [PATH]]
 //!
 //! ARTIFACT: all (default) | table1 | table2 | table3 | table4 | table5
 //!         | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9
@@ -58,6 +60,25 @@
 //! tests point at it with `--loadgen ADDR`, which drives a quick
 //! load-gen run against an *external* server and exits non-zero on any
 //! failed request.
+//!
+//! `--dist N` runs the dataset build as a fault-tolerant distributed
+//! system: N worker *processes* (each `repro --dist-worker`, an audit
+//! server with the unit-RPC hook installed) are spawned and driven over
+//! loopback HTTP by the in-process coordinator, which leases
+//! `(country, chunk)` work units, retries units whose worker dies or
+//! stalls, and replays completed verdicts sequentially — so the dataset
+//! and `crawl-ledger.json` bytes are identical to the single-process
+//! build at every worker count. `--chaos-kill-workers` arms the
+//! deterministic crash harness (SIGKILL workers mid-unit on a schedule
+//! pure in `(seed, unit)`); the bytes must *still* match, which CI pins.
+//! `--dist-checkpoint PATH` appends completed units to a checkpoint log
+//! so a killed coordinator resumes without recomputing them. Units that
+//! exhaust their reassignment budget land in the ledger's
+//! `degraded_units` section instead of aborting the run.
+//!
+//! `--dataset-out FILE` writes the dataset JSON after the build (both
+//! single-process and distributed) — the byte-comparison hook the
+//! distributed CI smoke uses.
 //!
 //! `--gap-scenarios` enables the corpus's partial-localisation
 //! scenarios (untranslated chrome, per-subtree `lang` mismatches,
@@ -118,6 +139,19 @@ struct Args {
     metrics_out: Option<String>,
     /// Print the unified registry report after the build.
     report: bool,
+    /// `Some(workers)` when `--dist` was requested: build the dataset
+    /// through the distributed coordinator with that many worker
+    /// processes.
+    dist: Option<usize>,
+    /// Arm the deterministic worker-crash harness for `--dist`.
+    chaos_kill_workers: bool,
+    /// `Some(path)` when `--dist-checkpoint` was requested.
+    dist_checkpoint: Option<String>,
+    /// `Some(pid/port-file path)` when running as a distributed-build
+    /// worker process (`--dist-worker`).
+    dist_worker: Option<String>,
+    /// `Some(path)` when `--dataset-out` was requested.
+    dataset_out: Option<String>,
 }
 
 /// Resolve a `--fault-plan` value: a preset name, or a path to a JSON
@@ -150,6 +184,11 @@ fn parse_args() -> Args {
     let mut trace_summary = false;
     let mut metrics_out = None;
     let mut report = false;
+    let mut dist = None;
+    let mut chaos_kill_workers = false;
+    let mut dist_checkpoint = None;
+    let mut dist_worker = None;
+    let mut dataset_out = None;
     let mut iter = std::env::args().skip(1).peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -232,6 +271,29 @@ fn parse_args() -> Args {
             "--report" => {
                 report = true;
             }
+            "--dist" => {
+                let n: usize = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--dist requires a worker count");
+                dist = Some(n.max(1));
+            }
+            "--chaos-kill-workers" => {
+                chaos_kill_workers = true;
+            }
+            "--dist-checkpoint" => {
+                dist_checkpoint = Some(iter.next().expect("--dist-checkpoint requires a path"));
+            }
+            "--dist-worker" => {
+                let path = match iter.peek() {
+                    Some(next) if next.ends_with(".json") => iter.next().unwrap(),
+                    _ => "dist-worker.json".to_string(),
+                };
+                dist_worker = Some(path);
+            }
+            "--dataset-out" => {
+                dataset_out = Some(iter.next().expect("--dataset-out requires a file path"));
+            }
             "--port" => {
                 port = iter
                     .next()
@@ -248,7 +310,9 @@ fn parse_args() -> Args {
                      [--trace-out [PATH]] [--trace-summary] [--metrics-out FILE] [--report] \
                      [--bench-json [PATH]] [--serve-bench [PATH]] \
                      [--serve-daemon [PATH]] [--serve-core threaded|reactor] \
-                     [--port N] [--loadgen ADDR]\n\
+                     [--port N] [--loadgen ADDR] [--dataset-out FILE] \
+                     [--dist N] [--chaos-kill-workers] [--dist-checkpoint PATH] \
+                     [--dist-worker [PATH]]\n\
                      artifacts: all table1 table2 table3 table4 table5 fig2 fig3 fig4 \
                      fig5 fig6 fig7 fig8 fig9 headlines langmeta speech report selection crawl \
                      ablation-vpn ablation-langid ablation-crawl"
@@ -280,6 +344,11 @@ fn parse_args() -> Args {
         trace_summary,
         metrics_out,
         report,
+        dist,
+        chaos_kill_workers,
+        dist_checkpoint,
+        dist_worker,
+        dataset_out,
     }
 }
 
@@ -291,6 +360,8 @@ struct BuildObservations {
     ledger: langcrux_core::CrawlLedger,
     shards: langcrux_webgen::ShardStats,
     trace: Option<langcrux_obs::trace::TraceReport>,
+    /// Coordinator counters when the build ran distributed (`--dist`).
+    dist: Option<langcrux_core::DistStats>,
 }
 
 impl BuildObservations {
@@ -300,6 +371,9 @@ impl BuildObservations {
         self.shards.encode_metrics(enc);
         if let Some(trace) = &self.trace {
             trace.encode_metrics(enc);
+        }
+        if let Some(dist) = &self.dist {
+            dist.encode_metrics(enc);
         }
     }
 
@@ -380,12 +454,19 @@ fn run_serve_daemon(
                 .register(move |enc| observations.encode(enc));
         }
         let addr = server.addr();
-        let doc = format!(
-            "{{\"pid\":{},\"port\":{},\"addr\":\"{addr}\"}}\n",
-            std::process::id(),
-            addr.port(),
-        );
-        std::fs::write(file_path, doc).expect("write pid/port file");
+        // Claim the pid/port file: a stale file (dead pid — SIGKILL, OOM)
+        // is replaced so restarts never wedge; a live holder is refused
+        // so a running daemon's advertisement is never clobbered.
+        let doc = langcrux_serve::PidFileDoc::new(addr.port(), &addr.to_string());
+        if let Err(held) = langcrux_serve::claim_pidfile(std::path::Path::new(file_path), &doc) {
+            let holder = match held {
+                langcrux_serve::PidFileStatus::Live(doc) => doc.pid,
+                _ => 0,
+            };
+            eprintln!("serve daemon: refusing to start — {file_path} is held by live pid {holder}");
+            server.shutdown();
+            std::process::exit(3);
+        }
         eprintln!(
             "serve daemon: http://{addr} on the {} core (pid {}, pid/port file {file_path}); \
              SIGTERM drains",
@@ -406,6 +487,65 @@ fn run_serve_daemon(
             stats.requests.shed,
             stats.requests.errors,
         );
+        std::process::exit(0);
+    }
+}
+
+/// `--dist-worker`: run as a distributed-build worker — the audit server
+/// with the unit-RPC hook installed, advertised through a pid/port file
+/// the coordinator polls. Uses the thread-per-connection core: a unit
+/// RPC executes a whole `(country, chunk)` work unit, far beyond the
+/// reactor's run-to-completion window for short requests.
+fn run_dist_worker(file_path: &str, port: u16) -> ! {
+    #[cfg(not(unix))]
+    {
+        let _ = (file_path, port);
+        eprintln!("--dist-worker needs unix signal handling");
+        std::process::exit(2);
+    }
+    #[cfg(unix)]
+    {
+        use langcrux_serve::{RpcHook, ServeConfig, ServeCore};
+        use std::sync::Arc;
+        daemon_signals::install();
+        let state = Arc::new(langcrux_core::WorkerState::new());
+        let hook = RpcHook(Arc::new(move |name, body| match name {
+            "unit" => Some(match state.handle_unit(body) {
+                Ok(json) => (200, json.into_bytes()),
+                Err(err) => (
+                    400,
+                    serde_json::to_string(&err)
+                        .expect("serialize worker error")
+                        .into_bytes(),
+                ),
+            }),
+            _ => None,
+        }));
+        let config = ServeConfig {
+            addr: format!("127.0.0.1:{port}").parse().expect("loopback addr"),
+            core: ServeCore::Threaded,
+            rpc: Some(hook),
+            ..ServeConfig::default()
+        };
+        let server = langcrux_serve::spawn(config).expect("bind worker listener");
+        let addr = server.addr();
+        // Same stale-vs-live discipline as the daemon: replace leftovers
+        // of a crashed worker, never clobber a live one's advertisement.
+        let doc = langcrux_serve::PidFileDoc::new(addr.port(), &addr.to_string());
+        if langcrux_serve::claim_pidfile(std::path::Path::new(file_path), &doc).is_err() {
+            eprintln!("dist worker: refusing to start — {file_path} is held by a live process");
+            server.shutdown();
+            std::process::exit(3);
+        }
+        eprintln!(
+            "dist worker: http://{addr} (pid {}, pid/port file {file_path})",
+            std::process::id()
+        );
+        while !daemon_signals::stopped() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        server.shutdown();
+        let _ = std::fs::remove_file(file_path);
         std::process::exit(0);
     }
 }
@@ -442,6 +582,9 @@ fn section(title: &str) {
 
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.dist_worker {
+        run_dist_worker(path, args.port);
+    }
     if let Some(addr) = &args.loadgen {
         run_external_loadgen(addr, args.seed);
     }
@@ -540,12 +683,57 @@ fn main() {
         let session = trace_wanted
             .then(|| langcrux_obs::trace::start(langcrux_obs::trace::TraceConfig::default()));
         let start = std::time::Instant::now();
-        let (corpus, ds, ledger) = langcrux_bench::build_scaled_dataset_with_gaps(
-            args.seed,
-            args.scale,
-            args.fault_plan,
-            args.gap_scenarios,
-        );
+        let (corpus, ds, ledger, dist_stats) = if let Some(workers) = args.dist {
+            eprintln!(
+                "distributed build: {workers} worker process(es){}{}",
+                if args.chaos_kill_workers {
+                    ", chaos kills armed"
+                } else {
+                    ""
+                },
+                match &args.dist_checkpoint {
+                    Some(path) => format!(", checkpoint log {path}"),
+                    None => String::new(),
+                },
+            );
+            let run = langcrux_bench::dist::DistRunConfig {
+                workers,
+                chaos_kill_workers: args.chaos_kill_workers,
+                checkpoint: args.dist_checkpoint.as_ref().map(std::path::PathBuf::from),
+            };
+            let (corpus, build) = langcrux_bench::dist::build_distributed_dataset(
+                args.seed,
+                args.scale,
+                args.fault_plan,
+                args.gap_scenarios,
+                &run,
+            )
+            .expect("distributed build");
+            let s = &build.stats;
+            eprintln!(
+                "dist: {} units over {} waves ({} executed, {} from checkpoint), \
+                 {} reassignments, {} worker deaths, {} lease expirations, \
+                 {} revivals, {} degraded unit(s)",
+                s.units_planned,
+                s.waves,
+                s.units_executed,
+                s.units_from_checkpoint,
+                s.reassignments,
+                s.worker_deaths,
+                s.lease_expirations,
+                s.worker_revivals,
+                s.degraded_units,
+            );
+            (corpus, build.dataset, build.ledger, Some(build.stats))
+        } else {
+            let (corpus, ds, ledger) = langcrux_bench::build_scaled_dataset_with_gaps(
+                args.seed,
+                args.scale,
+                args.fault_plan,
+                args.gap_scenarios,
+            );
+            (corpus, ds, ledger, None)
+        };
         eprintln!(
             "dataset ready: {} sites in {:.1?}",
             ds.len(),
@@ -637,7 +825,13 @@ fn main() {
             ledger,
             shards,
             trace: trace_report,
+            dist: dist_stats,
         });
+        if let Some(path) = &args.dataset_out {
+            let json = ds.to_json().expect("serialize dataset");
+            std::fs::write(path, json + "\n").expect("write dataset json");
+            eprintln!("wrote {path}");
+        }
         Some(ds)
     } else {
         None

@@ -34,6 +34,7 @@
 //! `docs/benchmarks.md`.
 
 pub mod baseline;
+pub mod dist;
 pub mod perf;
 pub mod render_seed;
 pub mod serve_bench;

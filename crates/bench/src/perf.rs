@@ -11,9 +11,11 @@
 //! ```
 
 use crate::{baseline, build_corpus, build_corpus_with_plan, render_seed, Scale};
+use langcrux_core::dist::{build_dataset_distributed, DistOptions, LocalExecutor, WireBuildConfig};
 use langcrux_core::{build_dataset, build_dataset_with_ledger, PipelineOptions};
-use langcrux_crawl::{default_threads, extract, extract_streaming};
+use langcrux_crawl::{default_threads, extract, extract_streaming, BrowserConfig};
 use langcrux_html::parse;
+use langcrux_lang::rng;
 use langcrux_lang::Country;
 use langcrux_net::{ContentVariant, FaultPlan};
 use langcrux_webgen::{render, render_into, RenderScratch, SitePlan};
@@ -69,7 +71,121 @@ pub struct PipelineBenchReport {
     /// Span-tracing cost and coverage: the same build with the trace
     /// session on vs off (CI gates `trace_overhead` at ≤ 1.03).
     pub observability: ObservabilityRecord,
+    /// Distributed-coordinator cost and recovery at the first scale
+    /// (CI gates `efficiency` at ≥ 0.25).
+    pub distributed: DistributedRecord,
     pub notes: String,
+}
+
+/// Cost and recovery behaviour of the fault-tolerant distributed build,
+/// at one scale.
+///
+/// Timed against the in-process [`LocalExecutor`] (which rebuilds its
+/// own corpus from the wire config, exactly as a worker process would),
+/// so the record isolates *coordination* cost — wave planning, unit
+/// dispatch, backoff accounting, sequential verdict replay — from
+/// process-spawn and HTTP-transport cost, which vary with the host.
+/// `efficiency` is `single_process_ms / distributed_ms`; CI gates it at
+/// ≥ 0.25 (coordination may cost at most 4× the plain build at smoke
+/// scale — generous because units re-execute per-candidate probes that
+/// the single-process build amortises across its thread pool). The
+/// chaos run re-times the same build under a seeded kill schedule and
+/// must still produce the oracle bytes (asserted before recording).
+#[derive(Debug, Clone, Serialize)]
+pub struct DistributedRecord {
+    pub scale: String,
+    pub sites_per_country: usize,
+    /// Worker slots the coordinator drove.
+    pub workers: usize,
+    /// Single-process `build_dataset_with_ledger`, milliseconds.
+    pub single_process_ms: f64,
+    /// Distributed coordinator over the in-process executor, ms.
+    pub distributed_ms: f64,
+    /// `single_process_ms / distributed_ms` — CI-gated ≥ 0.25.
+    pub efficiency: f64,
+    /// Work units the coordinator planned / probe waves it ran.
+    pub units: u64,
+    pub waves: u64,
+    /// The same build under a seeded kill schedule, milliseconds.
+    pub chaos_ms: f64,
+    /// Kills the schedule injected (each one a reassignment).
+    pub chaos_reassignments: u64,
+}
+
+/// Measure [`DistributedRecord`] at one scale.
+pub fn distributed_timing(seed: u64, scale: Scale) -> DistributedRecord {
+    let quota = scale.sites_per_country();
+    let corpus = build_corpus(seed, scale);
+    let options = PipelineOptions {
+        quota,
+        ..PipelineOptions::default()
+    };
+
+    let mut single_process_ms = f64::INFINITY;
+    let mut oracle = (String::new(), String::new());
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let (ds, ledger) = build_dataset_with_ledger(&corpus, options);
+        single_process_ms = single_process_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        oracle = (ds.to_json().unwrap(), ledger.to_json().unwrap());
+    }
+
+    let config = WireBuildConfig::of(&corpus, BrowserConfig::default());
+    let executor = LocalExecutor::new(&config);
+    let dist_options = DistOptions {
+        quota,
+        workers: 2,
+        ..DistOptions::default()
+    };
+    let mut distributed_ms = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let build =
+            build_dataset_distributed(&corpus, &executor, &dist_options).expect("dist build");
+        distributed_ms = distributed_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            (
+                build.dataset.to_json().unwrap(),
+                build.ledger.to_json().unwrap()
+            ),
+            oracle,
+            "distributed build diverged from the single-process oracle"
+        );
+        stats = Some(build.stats);
+    }
+    let stats = stats.expect("at least one distributed run");
+
+    // Chaos pass: every unit dies up to twice on a seeded schedule; the
+    // recovered bytes must still equal the oracle.
+    let chaos_executor = LocalExecutor::with_failures(&config, |key, attempt| {
+        attempt < (rng::stream_id(key) % 3) as u32
+    });
+    let start = Instant::now();
+    let chaos =
+        build_dataset_distributed(&corpus, &chaos_executor, &dist_options).expect("chaos build");
+    let chaos_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        (
+            chaos.dataset.to_json().unwrap(),
+            chaos.ledger.to_json().unwrap()
+        ),
+        oracle,
+        "chaos-disturbed build diverged from the single-process oracle"
+    );
+
+    DistributedRecord {
+        scale: scale_name(scale),
+        sites_per_country: quota,
+        workers: dist_options.workers,
+        single_process_ms,
+        distributed_ms,
+        efficiency: single_process_ms / distributed_ms.max(1e-9),
+        units: stats.units_planned,
+        waves: stats.waves,
+        chaos_ms,
+        chaos_reassignments: chaos.stats.reassignments,
+    }
 }
 
 /// Cost and coverage of the span-tracing layer, at one scale.
@@ -509,6 +625,7 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
         render: render_timing(seed),
         resilience: resilience_timing(seed, scales.first().copied().unwrap_or(Scale::Quick)),
         observability: observability_timing(seed, scales.first().copied().unwrap_or(Scale::Quick)),
+        distributed: distributed_timing(seed, scales.first().copied().unwrap_or(Scale::Quick)),
         notes: format!(
             "baseline = seed pipeline (one thread per country, visible-text re-scan per \
              candidate and per site, Vec-probed histogram, per-site Kizuki construction); \
@@ -533,7 +650,11 @@ pub fn pipeline_bench_report(seed: u64, scales: &[Scale]) -> PipelineBenchReport
              observability records the span-tracing tax the same way (traced vs \
              untraced build on the same corpus, byte-identical datasets asserted; CI \
              gates trace_overhead at 1.03) plus the traced run's span count and stage \
-             coverage.",
+             coverage. distributed records the fault-tolerant coordinator's cost over \
+             the in-process unit executor at the first scale — byte-identity with the \
+             single-process oracle is asserted before recording, clean and under a \
+             seeded kill schedule (chaos_ms / chaos_reassignments); CI gates \
+             efficiency (single_process_ms / distributed_ms) at 0.25.",
             par = if cores > 1 {
                 "additional parallel speedup"
             } else {
@@ -636,6 +757,23 @@ mod tests {
         }
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("trace_overhead"));
+    }
+
+    #[test]
+    fn distributed_record_shape() {
+        let r = distributed_timing(37, Scale::Sites(5));
+        assert_eq!(r.sites_per_country, 5);
+        assert_eq!(r.workers, 2);
+        assert!(r.single_process_ms > 0.0 && r.distributed_ms > 0.0 && r.chaos_ms > 0.0);
+        assert!(r.efficiency > 0.0);
+        assert!(r.units >= 12, "one unit per country at minimum: {r:?}");
+        assert!(r.waves >= 1);
+        // The seeded schedule must actually kill something, and byte
+        // identity under it is asserted inside distributed_timing.
+        assert!(r.chaos_reassignments > 0, "{r:?}");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("chaos_reassignments"));
+        assert!(json.contains("efficiency"));
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub struct SiteGaps {
 /// no translation-gap summary, so datasets built with gap scenarios
 /// disabled serialize byte-identically to those produced before the gap
 /// dimension existed. The field order matches the old derive exactly.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SiteRecord {
     pub host: String,
     pub country: Country,

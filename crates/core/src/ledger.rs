@@ -218,6 +218,14 @@ impl CountryLedger {
     ///
     /// [`note_replacement_run`]: CountryLedger::note_replacement_run
     pub fn record_probe(&mut self, outcome: &Result<SelectedSite, Rejection>, trace: &VisitTrace) {
+        self.record_probe_outcome(outcome.as_ref().map(|_| ()), trace);
+    }
+
+    /// [`record_probe`](CountryLedger::record_probe) over a site-free
+    /// verdict — the shape distributed workers ship back. Both replays
+    /// fold through this one accumulator, so their arithmetic cannot
+    /// drift.
+    pub fn record_probe_outcome(&mut self, outcome: Result<(), &Rejection>, trace: &VisitTrace) {
         self.attempted += 1;
         self.attempts += u64::from(trace.attempts);
         self.retries += u64::from(trace.attempts.saturating_sub(1));
@@ -230,7 +238,7 @@ impl CountryLedger {
         self.breaker_probes += u64::from(trace.breaker_probes);
         self.breaker_reclosed += u64::from(trace.breaker_reclosed);
         match outcome {
-            Ok(_) => self.selected += 1,
+            Ok(()) => self.selected += 1,
             Err(Rejection::BelowThreshold) => {
                 self.rejected_threshold += 1;
                 self.replacements += 1;
@@ -280,8 +288,30 @@ impl CountryLedger {
     }
 }
 
+/// A work unit a distributed build permanently lost: its worker died (or
+/// stalled past its lease) more than `max_reassignments` times, so its
+/// candidate range was never probed. The affected country's verdict
+/// replay truncates at the hole — the run degrades to a quota shortfall
+/// instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedUnit {
+    pub country_code: String,
+    /// Candidate range the unit covered (`start..end`, rank order).
+    pub start: u64,
+    pub end: u64,
+    /// Dispatch attempts consumed before the unit was given up.
+    pub attempts: u32,
+}
+
 /// The degraded-run ledger for one dataset build.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written for the same reason as
+/// [`CountryLedger`]'s: the `degraded_units` section — which only a
+/// distributed build that permanently lost a unit can populate — is
+/// *omitted* when empty, so single-process ledgers (and every fully
+/// recovered distributed run) serialize byte-identically to ledgers
+/// produced before the distributed build existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrawlLedger {
     /// Corpus seed the run was built from.
     pub seed: u64,
@@ -291,6 +321,42 @@ pub struct CrawlLedger {
     pub countries: Vec<CountryLedger>,
     /// Whole-run totals (`country_code == "total"`).
     pub totals: CountryLedger,
+    /// Work units a distributed build lost after max reassignments;
+    /// empty on single-process and fully recovered runs.
+    pub degraded_units: Vec<DegradedUnit>,
+}
+
+impl Serialize for CrawlLedger {
+    fn to_value(&self) -> Value {
+        let mut obj = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("fault_plan".to_string(), self.fault_plan.to_value()),
+            ("countries".to_string(), self.countries.to_value()),
+            ("totals".to_string(), self.totals.to_value()),
+        ];
+        if !self.degraded_units.is_empty() {
+            obj.push(("degraded_units".to_string(), self.degraded_units.to_value()));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for CrawlLedger {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", v))?;
+        Ok(CrawlLedger {
+            seed: field(obj, "seed")?,
+            fault_plan: field(obj, "fault_plan")?,
+            countries: field(obj, "countries")?,
+            totals: field(obj, "totals")?,
+            degraded_units: match v.get("degraded_units") {
+                Some(units) => Vec::from_value(units)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl CrawlLedger {
@@ -304,6 +370,7 @@ impl CrawlLedger {
             fault_plan,
             countries,
             totals,
+            degraded_units: Vec::new(),
         }
     }
 
@@ -540,6 +607,43 @@ mod tests {
         totals.absorb(&gappy);
         assert_eq!(totals.gap_pages, 4);
         assert_eq!(totals.gap_regions, 11);
+    }
+
+    #[test]
+    fn degraded_units_elided_when_empty_and_round_trip_when_set() {
+        // Empty: no key at all, so fully recovered (and single-process)
+        // ledgers serialize byte-identically to pre-distributed ones …
+        let clean = CrawlLedger::new(7, FaultPlan::RELIABLE, vec![CountryLedger::new("bd")]);
+        let v = clean.to_value();
+        assert!(v.get("degraded_units").is_none());
+        // … and old JSON (no key) still loads, defaulting to empty.
+        let back = CrawlLedger::from_value(&v).unwrap();
+        assert_eq!(back, clean);
+
+        let mut degraded = clean.clone();
+        degraded.degraded_units.push(DegradedUnit {
+            country_code: "bd".into(),
+            start: 64,
+            end: 128,
+            attempts: 6,
+        });
+        let v = degraded.to_value();
+        assert!(v.get("degraded_units").is_some());
+        let back = CrawlLedger::from_value(&v).unwrap();
+        assert_eq!(back, degraded);
+        assert_eq!(back.degraded_units[0].end, 128);
+    }
+
+    #[test]
+    fn record_probe_outcome_matches_sited_replay() {
+        let mut by_site = CountryLedger::new("bd");
+        by_site.record_probe(&Err(Rejection::BelowThreshold), &trace(2, 40));
+        let mut by_wire = CountryLedger::new("bd");
+        by_wire.record_probe_outcome(Err(&Rejection::BelowThreshold), &trace(2, 40));
+        by_wire.record_probe_outcome(Ok(()), &trace(1, 10));
+        by_site.record_probe_outcome(Ok(()), &trace(1, 10));
+        assert_eq!(by_site, by_wire);
+        assert_eq!(by_wire.selected, 1);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   country on a worker pool, with unwind-guarded work units.
 //! * [`ledger`] — the degraded-run ledger: per-country error taxonomy,
 //!   retry/backoff/breaker accounting, replacement-chain depth.
+//! * [`dist`] — the fault-tolerant distributed build: coordinator/worker
+//!   sharding with lease-based reassignment, checkpoint/resume, and
+//!   byte-identical recovery under injected crashes.
 //! * [`dataset`] — the serializable LangCrUX data model.
 //! * [`analysis`] — one function per paper artefact.
 //! * [`render`] — plain-text rendering used by the `repro` harness.
@@ -24,6 +27,7 @@
 
 pub mod analysis;
 pub mod dataset;
+pub mod dist;
 pub mod ledger;
 pub mod pipeline;
 pub mod render;
@@ -32,7 +36,11 @@ pub mod selection;
 pub mod stats;
 
 pub use dataset::{Dataset, SiteGaps, SiteRecord, TextState};
-pub use ledger::{CountryLedger, CrawlLedger, ErrorTaxonomy};
+pub use dist::{
+    build_dataset_distributed, DistBuild, DistHalted, DistOptions, DistStats, LocalExecutor,
+    UnitError, UnitExecutor, UnitRequest, WireBuildConfig, WorkerState,
+};
+pub use ledger::{CountryLedger, CrawlLedger, DegradedUnit, ErrorTaxonomy};
 pub use pipeline::{build_dataset, build_dataset_with_ledger, PipelineOptions};
 pub use report::markdown_report;
 pub use selection::{select_languages, select_websites, LanguageVerdict};

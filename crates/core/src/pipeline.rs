@@ -399,9 +399,7 @@ fn probe_wave_tasks(
             continue;
         }
         let need = quota - probe.qualified;
-        // Inflate by the expected disqualification rate, plus slack so
-        // small quotas converge in one wave.
-        let window = (need + need / 7 + 8).min(candidates - probed);
+        let window = probe_window(need).min(candidates - probed);
         windows.push((ci, probed..probed + window));
         total += window;
     }
@@ -415,13 +413,22 @@ fn probe_wave_tasks(
     tasks
 }
 
+/// The probe window a country still short of quota extends its probed
+/// prefix by: the outstanding need inflated by the expected ~12%
+/// disqualification rate, plus slack so small quotas converge in one
+/// wave. Shared with the distributed coordinator so its wave planning
+/// probes exactly the same candidate prefix as the in-process pipeline.
+pub(crate) fn probe_window(need: usize) -> usize {
+    need + need / 7 + 8
+}
+
 /// Split `0..len` into consecutive ranges of at most `chunk`.
-fn chunk_ranges(len: usize, chunk: usize) -> impl Iterator<Item = Range<usize>> {
+pub(crate) fn chunk_ranges(len: usize, chunk: usize) -> impl Iterator<Item = Range<usize>> {
     let chunk = chunk.max(1);
     (0..len.div_ceil(chunk)).map(move |i| (i * chunk)..((i + 1) * chunk).min(len))
 }
 
-fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
+pub(crate) fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
     CountryCrawlSummary {
         country_code: country.code().to_string(),
         attempted: stats.attempted,
@@ -441,7 +448,11 @@ fn to_summary(country: Country, stats: &SelectionStats) -> CountryCrawlSummary {
 /// histograms are then classified into a translation-gap summary, with
 /// the reader deciding which flagged regions a screen reader would
 /// mispronounce versus skip.
-fn process_site(
+///
+/// `pub(crate)`: distributed workers ([`crate::dist`]) run it per
+/// qualifying candidate to ship a finished [`SiteRecord`] (plus example
+/// captures) back to the coordinator.
+pub(crate) fn process_site(
     site: &SelectedSite,
     country: Country,
     kizuki: &Kizuki,

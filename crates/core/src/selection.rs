@@ -187,12 +187,19 @@ pub fn tally_probe(
     selected: &mut Vec<SelectedSite>,
     stats: &mut SelectionStats,
 ) {
+    tally_outcome(outcome.as_ref().map(|_| ()), stats);
+    if let Ok(site) = outcome {
+        selected.push(site);
+    }
+}
+
+/// [`tally_probe`] over a site-free verdict — the shape distributed
+/// workers ship back ([`crate::dist`]). Every replay counts through this
+/// one function, so single-process and distributed stats cannot drift.
+pub fn tally_outcome(outcome: Result<(), &Rejection>, stats: &mut SelectionStats) {
     stats.attempted += 1;
     match outcome {
-        Ok(site) => {
-            stats.selected += 1;
-            selected.push(site);
-        }
+        Ok(()) => stats.selected += 1,
         Err(Rejection::BelowThreshold) => stats.rejected_threshold += 1,
         Err(Rejection::Fetch(VisitError::Restricted)) => {
             stats.restricted += 1;

@@ -118,7 +118,11 @@ impl Default for BrowserConfig {
 
 /// What one visit did, regardless of outcome — the raw material of the
 /// pipeline's `CrawlLedger`. All waits are virtual milliseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Serializable so distributed workers can ship each probe's trace back
+/// to the coordinator, which folds them into the ledger exactly as the
+/// single-process replay would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VisitTrace {
     /// Fetch attempts issued (1 + retries).
     pub attempts: u32,

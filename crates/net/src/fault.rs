@@ -291,6 +291,67 @@ impl FaultDice {
     }
 }
 
+/// Derivation stream tag for worker-kill chaos (disjoint from the
+/// request-level [`RollPurpose`] streams and from the crawl backoff
+/// stream `0xB0FF`).
+const KILL_STREAM: u64 = 0xD157;
+
+/// The distributed build's worker-kill chaos plan (`repro
+/// --chaos-kill-workers`).
+///
+/// Like every other hazard in this module, kills are *scheduled*, not
+/// random at runtime: how many times the worker executing a given work
+/// unit is SIGKILLed is a pure function of `(seed, unit key)`, so a
+/// chaos run is exactly reproducible and — because the schedule never
+/// exceeds the coordinator's reassignment budget — provably recoverable.
+/// The unit key is the coordinator's stable `"<country>:<start>:<end>"`
+/// string, which survives coordinator restarts and is independent of
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChaosKillPlan {
+    /// Derivation seed (defaults to the corpus seed).
+    pub seed: u64,
+    /// Chance that a unit's schedule contains at least one kill.
+    pub kill_chance: f64,
+    /// Most kills any single unit's schedule may contain. Keep strictly
+    /// below the coordinator's `max_reassignments` so every scheduled
+    /// kill is eventually recovered and the output bytes stay identical
+    /// to the no-failure run.
+    pub max_kills_per_unit: u32,
+}
+
+impl ChaosKillPlan {
+    /// The default chaos schedule: roughly half the units lose their
+    /// worker at least once, some twice.
+    pub fn standard(seed: u64) -> Self {
+        ChaosKillPlan {
+            seed,
+            kill_chance: 0.5,
+            max_kills_per_unit: 2,
+        }
+    }
+
+    /// How many times the worker executing `unit_key` is killed before
+    /// the unit is allowed to complete. Pure in `(seed, unit_key)`.
+    pub fn kills_for_unit(&self, unit_key: &str) -> u32 {
+        if self.kill_chance <= 0.0 || self.max_kills_per_unit == 0 {
+            return 0;
+        }
+        let mut r = rng::rng_for(self.seed, &[rng::stream_id(unit_key), KILL_STREAM]);
+        if r.gen::<f64>() >= self.kill_chance {
+            return 0;
+        }
+        1 + (r.gen::<u64>() % u64::from(self.max_kills_per_unit)) as u32
+    }
+
+    /// Whether dispatch attempt `attempt` (0-based) of `unit_key` should
+    /// be killed mid-unit. The first `kills_for_unit` attempts die; every
+    /// later attempt runs to completion.
+    pub fn should_kill(&self, unit_key: &str, attempt: u32) -> bool {
+        attempt < self.kills_for_unit(unit_key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +475,35 @@ mod tests {
             assert!(start < 9_000, "{start}");
             assert!((16..=64).contains(&span), "{span}");
         }
+    }
+
+    #[test]
+    fn kill_schedule_is_pure_and_bounded() {
+        let plan = ChaosKillPlan::standard(41);
+        let mut killed_units = 0u32;
+        for i in 0..400 {
+            let key = format!("bd:{}:{}", i * 64, (i + 1) * 64);
+            let kills = plan.kills_for_unit(&key);
+            assert_eq!(kills, plan.kills_for_unit(&key), "schedule must be pure");
+            assert!(kills <= plan.max_kills_per_unit);
+            if kills > 0 {
+                killed_units += 1;
+            }
+            // The first `kills` attempts die, then the unit completes.
+            for attempt in 0..kills {
+                assert!(plan.should_kill(&key, attempt));
+            }
+            assert!(!plan.should_kill(&key, kills));
+        }
+        // Roughly kill_chance of units are scheduled to die at least once.
+        let rate = f64::from(killed_units) / 400.0;
+        assert!((0.35..0.65).contains(&rate), "kill rate = {rate}");
+        // Chaos off: no unit ever dies.
+        let off = ChaosKillPlan {
+            kill_chance: 0.0,
+            ..plan
+        };
+        assert_eq!(off.kills_for_unit("bd:0:64"), 0);
     }
 
     #[test]

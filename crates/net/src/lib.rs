@@ -24,7 +24,7 @@ pub mod internet;
 pub mod types;
 pub mod url;
 
-pub use fault::{FaultDice, FaultPlan};
+pub use fault::{ChaosKillPlan, FaultDice, FaultPlan};
 pub use geo::{select_provider, vpn_vantage, Vantage, VpnProviderId};
 pub use internet::{ContentServer, FetchMeta, HostResolver, Internet, NetMetrics, ResolvedHost};
 pub use types::{ContentVariant, FetchError, Request, Response};

@@ -60,6 +60,7 @@ pub mod fairness;
 pub mod governor;
 pub mod http;
 pub mod loadgen;
+pub mod pidfile;
 #[cfg(target_os = "linux")]
 mod reactor;
 pub mod server;
@@ -73,8 +74,9 @@ pub use fairness::{FairnessConfig, PeerLimiter, TokenBucket};
 pub use governor::{Admission, Governor};
 pub use http::{Limits, ParseError, Request, RequestParser, Response};
 pub use loadgen::{run_idle_load, run_load, IdleLoadRun, LoadGenRun};
+pub use pidfile::{claim as claim_pidfile, examine as examine_pidfile, PidFileDoc, PidFileStatus};
 pub use server::{
-    batch_buffered, encode_stats, prometheus_text, route, spawn, ReactorSnapshot, Routed,
+    batch_buffered, encode_stats, prometheus_text, route, spawn, ReactorSnapshot, Routed, RpcHook,
     ServeConfig, ServeCore, ServeState, ServerHandle, StatsSnapshot,
 };
 pub use service::{AuditResponse, AuditService, ScriptSlice};

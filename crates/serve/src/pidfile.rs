@@ -1,0 +1,210 @@
+//! Pid/port discovery files for daemonised servers.
+//!
+//! The repro daemon (and the distributed build's worker processes)
+//! advertise themselves through a small JSON file —
+//! `{"pid":…,"port":…,"addr":"…"}` — that clients poll to discover the
+//! ephemeral listen port. A process that crashes (SIGKILL, OOM) leaves
+//! its file behind, and the naive "refuse if the file exists" startup
+//! check then wedges every restart until a human deletes it; the naive
+//! "always overwrite" check clobbers a *live* daemon's advertisement and
+//! strands its clients. This module does the correct thing: classify the
+//! existing file by probing the recorded pid, then **replace** a stale or
+//! malformed file and **refuse** only when the recorded process is
+//! actually alive.
+//!
+//! Liveness is `kill(pid, 0)` — signal 0 delivers nothing but performs
+//! the full existence/permission check. `EPERM` means the process exists
+//! but belongs to someone else, which still counts as alive: we must not
+//! clobber its file.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The discovery document a daemonised server writes next to itself.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PidFileDoc {
+    pub pid: u32,
+    pub port: u16,
+    /// Full `ip:port` dial address.
+    pub addr: String,
+}
+
+impl PidFileDoc {
+    pub fn new(port: u16, addr: &str) -> Self {
+        PidFileDoc {
+            pid: std::process::id(),
+            port,
+            addr: addr.to_string(),
+        }
+    }
+}
+
+/// Classification of a path that may hold a pid/port file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PidFileStatus {
+    /// No file at the path.
+    Absent,
+    /// A file exists but does not parse as a discovery document (torn
+    /// write, foreign file). Safe to replace.
+    Malformed,
+    /// A valid document whose recorded process is gone. Safe to replace.
+    Stale(PidFileDoc),
+    /// A valid document whose recorded process is alive. Do not clobber.
+    Live(PidFileDoc),
+}
+
+/// Whether `pid` names a live process.
+#[cfg(unix)]
+pub fn pid_alive(pid: u32) -> bool {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    if pid == 0 || pid > i32::MAX as u32 {
+        return false;
+    }
+    // 0 → exists and signalable; -1 → check errno via a second probe:
+    // EPERM (exists, not ours) vs ESRCH (gone). The C shim below avoids
+    // depending on errno plumbing: a -1 from kill() with signal 0 means
+    // ESRCH for processes we spawned ourselves, and for foreign pids we
+    // conservatively report alive only when kill succeeded — except that
+    // EPERM *should* count as alive. Without errno we cannot tell the
+    // two apart, so probe `/proc/<pid>` as the tiebreak (Linux) and fall
+    // back to "gone" elsewhere.
+    if unsafe { kill(pid as i32, 0) } == 0 {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Non-unix fallback: no signal 0 probe available, so a recorded pid is
+/// conservatively treated as alive (never clobber on a platform we can't
+/// check).
+#[cfg(not(unix))]
+pub fn pid_alive(_pid: u32) -> bool {
+    true
+}
+
+/// Classify the pid/port file at `path`.
+pub fn examine(path: &Path) -> PidFileStatus {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return PidFileStatus::Absent;
+    };
+    let Ok(doc) = serde_json::from_str::<PidFileDoc>(text.trim()) else {
+        return PidFileStatus::Malformed;
+    };
+    if pid_alive(doc.pid) {
+        PidFileStatus::Live(doc)
+    } else {
+        PidFileStatus::Stale(doc)
+    }
+}
+
+/// Claim `path` for this process: replace an absent, malformed, or stale
+/// file; refuse when a live process holds it. On success the file holds
+/// `doc` (trailing newline, matching the historical hand-written format).
+pub fn claim(path: &Path, doc: &PidFileDoc) -> Result<(), PidFileStatus> {
+    match examine(path) {
+        live @ PidFileStatus::Live(_) => Err(live),
+        _ => {
+            let body = format!(
+                "{}\n",
+                serde_json::to_string(doc).expect("serialize pid/port doc")
+            );
+            std::fs::write(path, body).expect("write pid/port file");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("langcrux-pidfile-{tag}-{}", std::process::id()))
+    }
+
+    /// A pid guaranteed dead: spawn a short-lived child and reap it.
+    fn dead_pid() -> u32 {
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn true");
+        let pid = child.id();
+        child.wait().expect("reap child");
+        pid
+    }
+
+    #[test]
+    fn absent_and_malformed_files_are_claimable() {
+        let path = temp_path("absent");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(examine(&path), PidFileStatus::Absent);
+        let doc = PidFileDoc::new(8080, "127.0.0.1:8080");
+        claim(&path, &doc).expect("claim absent path");
+        assert_eq!(examine(&path), PidFileStatus::Live(doc.clone()));
+
+        std::fs::write(&path, "{torn json").unwrap();
+        assert_eq!(examine(&path), PidFileStatus::Malformed);
+        claim(&path, &doc).expect("claim malformed file");
+        assert_eq!(examine(&path), PidFileStatus::Live(doc));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn stale_file_is_replaced_live_file_is_refused() {
+        let path = temp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        // A dead process's leftovers: startup must replace, not wedge.
+        let stale = PidFileDoc {
+            pid: dead_pid(),
+            port: 9999,
+            addr: "127.0.0.1:9999".to_string(),
+        };
+        std::fs::write(
+            &path,
+            format!("{}\n", serde_json::to_string(&stale).unwrap()),
+        )
+        .unwrap();
+        assert!(matches!(examine(&path), PidFileStatus::Stale(d) if d == stale));
+        let doc = PidFileDoc::new(8081, "127.0.0.1:8081");
+        claim(&path, &doc).expect("stale file must be replaceable");
+
+        // Our own (live) claim must now refuse a second claimant.
+        let rival = PidFileDoc {
+            pid: doc.pid,
+            port: 1,
+            addr: "127.0.0.1:1".to_string(),
+        };
+        let refused = claim(&path, &rival).expect_err("live file must refuse");
+        assert!(matches!(refused, PidFileStatus::Live(d) if d == doc));
+        // And the original advertisement survives untouched.
+        assert_eq!(examine(&path), PidFileStatus::Live(doc));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn pid_liveness_probe_is_sound() {
+        assert!(pid_alive(std::process::id()));
+        assert!(!pid_alive(dead_pid()));
+        assert!(!pid_alive(0));
+    }
+
+    #[test]
+    fn doc_round_trips_in_the_historical_format() {
+        let doc = PidFileDoc {
+            pid: 42,
+            port: 7070,
+            addr: "127.0.0.1:7070".to_string(),
+        };
+        let json = serde_json::to_string(&doc).unwrap();
+        assert_eq!(
+            json,
+            "{\"pid\":42,\"port\":7070,\"addr\":\"127.0.0.1:7070\"}"
+        );
+        let back: PidFileDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+}

@@ -102,6 +102,29 @@ impl Default for ServeCore {
     }
 }
 
+/// An embedder-installed handler for `POST /v1/rpc/<name>` requests:
+/// `(name, body) -> Some((status, json_body))`, or `None` for an unknown
+/// RPC name (404). The repro harness uses this to expose the distributed
+/// build's unit-execution endpoint on worker processes without the serve
+/// crate knowing anything about the pipeline.
+///
+/// The hook runs on whichever thread routed the request — a connection
+/// thread under the threaded core, the event loop under the reactor.
+/// Long-running hooks (like distributed work units) should therefore be
+/// served with [`ServeCore::Threaded`]; the reactor core's
+/// run-to-completion discipline is sized for short audit requests.
+#[derive(Clone)]
+pub struct RpcHook(pub Arc<RpcHandler>);
+
+/// The boxed handler type inside an [`RpcHook`].
+pub type RpcHandler = dyn Fn(&str, &[u8]) -> Option<(u16, Vec<u8>)> + Send + Sync;
+
+impl std::fmt::Debug for RpcHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RpcHook(..)")
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -136,6 +159,18 @@ pub struct ServeConfig {
     /// both cores at request admission: a request from a drained bucket
     /// answers `429 + Retry-After` and closes the connection.
     pub fairness: Option<FairnessConfig>,
+    /// Cap on a `POST /v1/batch` (or `/v1/rpc/*`) body in bytes; larger
+    /// bodies answer `413`. This is the bound on the reactor core's
+    /// run-to-completion window: the event loop streams a batch to
+    /// completion while other connections wait (`run_batch_blocking` in
+    /// the reactor), so the blocking stretch is proportional to batch
+    /// size — capping the bytes caps the stall. Enforced in the shared
+    /// router, so both cores shed identically. Tighter than
+    /// [`Limits::max_body_bytes`], which bounds what the *parser* will
+    /// buffer for any request.
+    pub max_batch_bytes: usize,
+    /// Embedder RPC handler for `POST /v1/rpc/*` (`None` = 404).
+    pub rpc: Option<RpcHook>,
 }
 
 impl Default for ServeConfig {
@@ -154,6 +189,8 @@ impl Default for ServeConfig {
             batch_window: 0,
             core: ServeCore::default(),
             fairness: None,
+            max_batch_bytes: 2 * 1024 * 1024,
+            rpc: None,
         }
     }
 }
@@ -179,6 +216,10 @@ pub struct ServeState {
     /// Reactor-core telemetry (zero while the threaded core runs).
     pub reactor: ReactorGauges,
     batch_threads: usize,
+    /// See [`ServeConfig::max_batch_bytes`].
+    max_batch_bytes: usize,
+    /// See [`ServeConfig::rpc`].
+    rpc: Option<RpcHook>,
     started: Instant,
 }
 
@@ -240,6 +281,8 @@ impl ServeState {
             fairness: config.fairness.map(PeerLimiter::new),
             reactor: ReactorGauges::default(),
             batch_threads: config.batch_threads,
+            max_batch_bytes: config.max_batch_bytes,
+            rpc: config.rpc.clone(),
             started: Instant::now(),
         }
     }
@@ -332,6 +375,7 @@ pub fn encode_stats(stats: &StatsSnapshot, enc: &mut obs::Encoder) {
     for (endpoint, value) in [
         ("audit", r.audit),
         ("batch", r.batch),
+        ("rpc", r.rpc),
         ("healthz", r.healthz),
         ("stats", r.stats),
     ] {
@@ -501,6 +545,17 @@ pub fn route(state: &ServeState, request: &Request) -> Routed {
             full(Response::json(200, bytes, keep))
         }
         ("POST", "/v1/batch") => {
+            // Satellite guard for the reactor's run-to-completion batch
+            // handoff: bound how long one batch can pin the event loop
+            // by bounding its bytes (see [`ServeConfig::max_batch_bytes`]).
+            if request.body.len() > state.max_batch_bytes {
+                state.counters.errors.fetch_add(1, relaxed);
+                return full(Response::error(
+                    413,
+                    "batch body exceeds max_batch_bytes",
+                    keep,
+                ));
+            }
             let Ok(body) = std::str::from_utf8(&request.body) else {
                 state.counters.errors.fetch_add(1, relaxed);
                 return full(Response::error(400, "body is not valid utf-8", keep));
@@ -553,7 +608,43 @@ pub fn route(state: &ServeState, request: &Request) -> Routed {
             let body = state.encode_metrics(&stats).prometheus_text().into_bytes();
             full(Response::prometheus(200, body, keep))
         }
+        ("POST", path) if path.starts_with("/v1/rpc/") => {
+            // Embedder RPC (e.g. distributed-build work units). The same
+            // byte cap as /v1/batch applies: an RPC body is executed
+            // run-to-completion by whichever thread routed it.
+            if request.body.len() > state.max_batch_bytes {
+                state.counters.errors.fetch_add(1, relaxed);
+                return full(Response::error(
+                    413,
+                    "rpc body exceeds max_batch_bytes",
+                    keep,
+                ));
+            }
+            let name = &path["/v1/rpc/".len()..];
+            match state
+                .rpc
+                .as_ref()
+                .and_then(|hook| (hook.0)(name, &request.body))
+            {
+                Some((status, body)) if status < 400 => {
+                    state.counters.rpc.fetch_add(1, relaxed);
+                    full(Response::json(status, body, keep))
+                }
+                Some((status, body)) => {
+                    state.counters.errors.fetch_add(1, relaxed);
+                    full(Response::json(status, body, keep))
+                }
+                None => {
+                    state.counters.errors.fetch_add(1, relaxed);
+                    full(Response::error(404, "no such rpc", keep))
+                }
+            }
+        }
         (_, "/v1/audit" | "/v1/batch" | "/v1/healthz" | "/v1/stats" | "/v1/metrics") => {
+            state.counters.errors.fetch_add(1, relaxed);
+            full(Response::error(405, "method not allowed", keep))
+        }
+        (_, path) if path.starts_with("/v1/rpc/") => {
             state.counters.errors.fetch_add(1, relaxed);
             full(Response::error(405, "method not allowed", keep))
         }
@@ -1027,6 +1118,66 @@ mod tests {
 
     const PAGE: &str = "<html lang=th><head><title>ข่าว</title></head><body>\
         <p>ข่าววันนี้ของประเทศไทยทั้งหมด</p><img src=a alt=\"market stalls\"></body></html>";
+
+    #[test]
+    fn oversized_batch_body_answers_413_before_parsing() {
+        let state = ServeState::new(&ServeConfig {
+            batch_threads: 2,
+            max_batch_bytes: 64,
+            ..ServeConfig::default()
+        });
+        let big = vec![b'x'; 65];
+        let resp = full(route(&state, &request("POST", "/v1/batch", &big)));
+        assert_eq!(resp.status, 413);
+        // At the cap is still admitted (and then rejected as bad JSON,
+        // proving the guard ran first and the parser second).
+        let at_cap = vec![b'x'; 64];
+        let resp = full(route(&state, &request("POST", "/v1/batch", &at_cap)));
+        assert_eq!(resp.status, 400);
+        assert_eq!(state.counters.errors.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn rpc_routes_through_the_hook_with_the_batch_byte_cap() {
+        let hook = RpcHook(Arc::new(|name: &str, body: &[u8]| match name {
+            "echo" => Some((200, body.to_vec())),
+            "teapot" => Some((418, b"{}".to_vec())),
+            _ => None,
+        }));
+        let state = ServeState::new(&ServeConfig {
+            batch_threads: 2,
+            max_batch_bytes: 64,
+            rpc: Some(hook),
+            ..ServeConfig::default()
+        });
+        let ok = full(route(&state, &request("POST", "/v1/rpc/echo", b"[1,2]")));
+        assert_eq!(ok.status, 200);
+        match &ok.body {
+            Body::Owned(b) => assert_eq!(b, b"[1,2]"),
+            Body::Shared(b) => assert_eq!(b.as_slice(), b"[1,2]"),
+        }
+        assert_eq!(state.counters.rpc.load(Ordering::Relaxed), 1);
+        // Hook-reported errors count as errors, not rpc successes.
+        let err = full(route(&state, &request("POST", "/v1/rpc/teapot", b"")));
+        assert_eq!(err.status, 418);
+        // Unknown RPC name → 404; wrong method → 405; oversized → 413.
+        let missing = full(route(&state, &request("POST", "/v1/rpc/nope", b"")));
+        assert_eq!(missing.status, 404);
+        let verb = full(route(&state, &request("GET", "/v1/rpc/echo", b"")));
+        assert_eq!(verb.status, 405);
+        let big = vec![b'x'; 65];
+        let capped = full(route(&state, &request("POST", "/v1/rpc/echo", &big)));
+        assert_eq!(capped.status, 413);
+        assert_eq!(state.counters.rpc.load(Ordering::Relaxed), 1);
+        assert_eq!(state.counters.errors.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn rpc_without_a_hook_is_404() {
+        let state = test_state();
+        let resp = full(route(&state, &request("POST", "/v1/rpc/unit", b"{}")));
+        assert_eq!(resp.status, 404);
+    }
 
     #[test]
     fn audit_route_answers_cached_bytes() {

@@ -173,6 +173,8 @@ pub struct RequestCounters {
     pub batch: AtomicU64,
     /// Pages audited inside batch requests.
     pub batch_pages: AtomicU64,
+    /// `POST /v1/rpc/*` requests answered by the embedder's hook.
+    pub rpc: AtomicU64,
     pub healthz: AtomicU64,
     pub stats: AtomicU64,
     /// 4xx/5xx answers (routing errors + protocol errors).
@@ -192,6 +194,7 @@ impl RequestCounters {
             audit: self.audit.load(Ordering::Relaxed),
             batch: self.batch.load(Ordering::Relaxed),
             batch_pages: self.batch_pages.load(Ordering::Relaxed),
+            rpc: self.rpc.load(Ordering::Relaxed),
             healthz: self.healthz.load(Ordering::Relaxed),
             stats: self.stats.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -207,6 +210,7 @@ pub struct RequestSnapshot {
     pub audit: u64,
     pub batch: u64,
     pub batch_pages: u64,
+    pub rpc: u64,
     pub healthz: u64,
     pub stats: u64,
     pub errors: u64,
@@ -218,7 +222,7 @@ pub struct RequestSnapshot {
 impl RequestSnapshot {
     /// All successfully routed requests.
     pub fn total(&self) -> u64 {
-        self.audit + self.batch + self.healthz + self.stats
+        self.audit + self.batch + self.rpc + self.healthz + self.stats
     }
 }
 
